@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Shopping/checkout scenario: a form-bearing application (amazon).
+ *
+ * Demonstrates two PES behaviours that matter beyond raw numbers:
+ *
+ *   1. Commit-gated side effects (Sec. 5.3): speculatively executed
+ *      submit handlers must not issue their network requests until the
+ *      prediction is confirmed — the simulator counts the suppressions.
+ *   2. The commit-match policy knob: type-level matching (the paper's
+ *      accuracy granularity) vs strict node-level matching, and what
+ *      each costs in squashes and energy.
+ *
+ * Run: ./build/examples/shopping_checkout
+ */
+
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace pes;
+
+namespace {
+
+SimResult
+runWithPolicy(Experiment &exp, const AppProfile &profile,
+              const InteractionTrace &trace, MatchPolicy policy)
+{
+    PesScheduler::Config config;
+    config.matchPolicy = policy;
+    PesScheduler pes(exp.trainedModel(), config);
+
+    SimConfig sim_config;
+    sim_config.renderScale = profile.renderScale;
+    sim_config.matchPolicy = policy;
+    RuntimeSimulator sim(exp.platform(), exp.power(),
+                         exp.generator().appFor(profile), sim_config);
+    return sim.run(trace, pes);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    Experiment exp;
+    exp.trainedModel();
+    const AppProfile &profile = appByName("amazon");
+
+    // Find a session that actually reaches the checkout form.
+    InteractionTrace trace;
+    for (uint64_t seed = TraceGenerator::kEvaluationSeedBase;
+         seed < TraceGenerator::kEvaluationSeedBase + 60; ++seed) {
+        InteractionTrace candidate =
+            exp.generator().generate(profile, seed);
+        bool has_submit = false;
+        for (const TraceEvent &e : candidate.events)
+            has_submit |= e.type == DomEventType::Submit;
+        if (has_submit) {
+            trace = std::move(candidate);
+            break;
+        }
+    }
+    if (trace.events.empty())
+        trace = exp.generator().generate(
+            profile, TraceGenerator::kEvaluationSeedBase);
+
+    int submits = 0, loads = 0, taps = 0, moves = 0;
+    for (const TraceEvent &e : trace.events) {
+        submits += e.type == DomEventType::Submit ? 1 : 0;
+        switch (interactionOf(e.type)) {
+          case Interaction::Load: ++loads; break;
+          case Interaction::Tap: ++taps; break;
+          case Interaction::Move: ++moves; break;
+        }
+    }
+    std::cout << "amazon session of user " << trace.userSeed << ": "
+              << trace.size() << " events (" << loads << " loads, "
+              << taps << " taps incl. " << submits << " submits, "
+              << moves << " moves).\n\n";
+
+    const SimResult type_level =
+        runWithPolicy(exp, profile, trace, MatchPolicy::TypeLevel);
+    const SimResult strict =
+        runWithPolicy(exp, profile, trace, MatchPolicy::Strict);
+
+    Table table({"metric", "type-level match", "strict match"});
+    table.beginRow().cell(std::string("total energy (mJ)"))
+        .cell(type_level.totalEnergy, 1).cell(strict.totalEnergy, 1);
+    table.beginRow().cell(std::string("QoS violations"))
+        .cell(formatPercent(type_level.violationRate()))
+        .cell(formatPercent(strict.violationRate()));
+    table.beginRow().cell(std::string("prediction accuracy"))
+        .cell(formatPercent(type_level.predictionAccuracy()))
+        .cell(formatPercent(strict.predictionAccuracy()));
+    table.beginRow().cell(std::string("squashes"))
+        .cell(static_cast<long>(type_level.mispredictions))
+        .cell(static_cast<long>(strict.mispredictions));
+    table.beginRow().cell(std::string("suppressed network requests"))
+        .cell(static_cast<long>(type_level.suppressedNetworkRequests))
+        .cell(static_cast<long>(strict.suppressedNetworkRequests));
+    table.beginRow().cell(std::string("speculative waste (mJ)"))
+        .cell(type_level.wasteEnergy, 1).cell(strict.wasteEnergy, 1);
+    table.print(std::cout);
+
+    std::cout <<
+        "\nNotes:\n"
+        "  - 'suppressed network requests' counts speculative submit "
+        "executions whose\n    irreversible side effect was held back "
+        "until the user's input confirmed the\n    prediction "
+        "(Sec. 5.3's dispatcher rule).\n"
+        "  - strict matching squashes whenever the predicted *node* "
+        "differs, which is\n    why the paper's type-level accuracy "
+        "metric is the practical choice.\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+#include "core/ebs_scheduler.hh"
+
+#include <cmath>
+
+namespace pes {
+
+void
+EbsScheduler::begin(SimulatorApi &api)
+{
+    // Measurements persist across sessions (the device keeps its Eqn.-1
+    // history), so only create the policy once.
+    if (!policy_)
+        policy_.emplace(api.platform(), api.powerModel());
+}
+
+TimeMs
+EbsScheduler::displayDeadline(SimulatorApi &api, const TraceEvent &event)
+{
+    const TimeMs period = api.vsync().periodMs();
+    // The last VSync at or before (arrival + QoS target): a frame that
+    // completes by then is displayed within the target.
+    return std::floor((event.arrival + event.qosTarget()) / period) *
+        period;
+}
+
+WorkItem
+EbsScheduler::reactiveItem(SimulatorApi &api, EbsPolicy &policy,
+                           int trace_index)
+{
+    const TraceEvent &event = api.arrivedEvent(trace_index);
+    const TimeMs budget =
+        displayDeadline(api, event) - api.now() -
+        api.platform().switchCost(api.currentConfig(),
+                                  api.platform().maxConfig());
+    WorkItem item;
+    item.kind = WorkItem::Kind::Real;
+    item.traceIndex = trace_index;
+    item.config = policy.chooseConfig(event.classKey, event.type,
+                                      std::max(0.0, budget));
+    return item;
+}
+
+std::optional<WorkItem>
+EbsScheduler::nextWork(SimulatorApi &api)
+{
+    const auto front = api.pendingQueue().front();
+    if (!front)
+        return std::nullopt;
+    return reactiveItem(api, *policy_, front->traceIndex);
+}
+
+void
+EbsScheduler::onWorkFinished(SimulatorApi &api, const CompletedWork &work)
+{
+    if (work.item.kind != WorkItem::Kind::Real)
+        return;
+    const TraceEvent &event = api.arrivedEvent(work.item.traceIndex);
+    policy_->recordMeasurement(event.classKey, event.type,
+                               work.finalConfig, work.execMs);
+}
+
+} // namespace pes

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * EBS: the state-of-the-art reactive QoS-aware baseline (Sec. 6.1).
+ *
+ * Schedules one event at a time, at its arrival, onto the minimum-energy
+ * configuration that meets the event's QoS target per the online Eqn.-1
+ * estimate. Reactive by construction: it never looks past the pending
+ * queue head, which is exactly the limitation PES removes.
+ */
+
+#ifndef PES_CORE_EBS_SCHEDULER_HH
+#define PES_CORE_EBS_SCHEDULER_HH
+
+#include "core/ebs_policy.hh"
+#include "sim/scheduler_driver.hh"
+#include "sim/simulator_api.hh"
+
+namespace pes {
+
+/**
+ * Event-Based Scheduler driver.
+ */
+class EbsScheduler : public SchedulerDriver
+{
+  public:
+    std::string name() const override { return "EBS"; }
+
+    void begin(SimulatorApi &api) override;
+    std::optional<WorkItem> nextWork(SimulatorApi &api) override;
+    void onWorkFinished(SimulatorApi &api,
+                        const CompletedWork &work) override;
+
+    /** The shared policy (diagnostics/tests). */
+    const EbsPolicy *policy() const { return policy_ ? &*policy_ : nullptr; }
+
+    /**
+     * Latest frame-completion time that still displays within the QoS
+     * target of @p event (VSync-floor of arrival + QoS).
+     */
+    static TimeMs displayDeadline(SimulatorApi &api,
+                                  const TraceEvent &event);
+
+    /** Build the reactive work item for the queue head (shared w/ PES). */
+    static WorkItem reactiveItem(SimulatorApi &api, EbsPolicy &policy,
+                                 int trace_index);
+
+  private:
+    std::optional<EbsPolicy> policy_;
+};
+
+} // namespace pes
+
+#endif // PES_CORE_EBS_SCHEDULER_HH

@@ -1,0 +1,104 @@
+#include "core/experiment.hh"
+
+#include "core/ebs_scheduler.hh"
+#include "core/governors.hh"
+#include "core/oracle_scheduler.hh"
+#include "core/predictor_training.hh"
+#include "util/logging.hh"
+
+namespace pes {
+
+const char *
+schedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Interactive:
+        return "Interactive";
+      case SchedulerKind::Ondemand:
+        return "Ondemand";
+      case SchedulerKind::Ebs:
+        return "EBS";
+      case SchedulerKind::Pes:
+        return "PES";
+      case SchedulerKind::Oracle:
+        return "Oracle";
+    }
+    panic("schedulerKindName: invalid kind");
+}
+
+Experiment::Experiment(AcmpPlatform platform)
+    : platform_(std::move(platform)), power_(platform_),
+      generator_(platform_)
+{
+}
+
+const LogisticModel &
+Experiment::trainedModel()
+{
+    if (!model_) {
+        model_ = trainEventModel(generator_, seenApps(),
+                                 kTrainingTracesPerApp);
+    }
+    return *model_;
+}
+
+std::unique_ptr<SchedulerDriver>
+Experiment::makeScheduler(SchedulerKind kind,
+                          std::optional<PesScheduler::Config> pes_config)
+{
+    switch (kind) {
+      case SchedulerKind::Interactive:
+        return std::make_unique<InteractiveGovernor>();
+      case SchedulerKind::Ondemand:
+        return std::make_unique<OndemandGovernor>();
+      case SchedulerKind::Ebs:
+        return std::make_unique<EbsScheduler>();
+      case SchedulerKind::Pes:
+        return std::make_unique<PesScheduler>(
+            trainedModel(),
+            pes_config.value_or(PesScheduler::Config{}));
+      case SchedulerKind::Oracle:
+        return std::make_unique<OracleScheduler>();
+    }
+    panic("makeScheduler: invalid kind");
+}
+
+SimResult
+Experiment::runTrace(const AppProfile &profile,
+                     const InteractionTrace &trace,
+                     SchedulerDriver &driver)
+{
+    const WebApp &app = generator_.appFor(profile);
+    SimConfig config;
+    config.renderScale = profile.renderScale;
+    RuntimeSimulator simulator(platform_, power_, app, config);
+    return simulator.run(trace, driver);
+}
+
+void
+Experiment::runSweep(const std::vector<AppProfile> &profiles,
+                     const std::vector<SchedulerKind> &kinds,
+                     ResultSet &out)
+{
+    for (const AppProfile &profile : profiles) {
+        const auto traces =
+            generator_.evaluationSet(profile, kEvalTracesPerApp);
+        for (const SchedulerKind kind : kinds) {
+            const auto driver = makeScheduler(kind);
+            for (const InteractionTrace &trace : traces)
+                out.add(runTrace(profile, trace, *driver));
+        }
+    }
+}
+
+void
+Experiment::runAppUnder(const AppProfile &profile, SchedulerDriver &driver,
+                        ResultSet &out)
+{
+    for (const InteractionTrace &trace :
+         generator_.evaluationSet(profile, kEvalTracesPerApp)) {
+        out.add(runTrace(profile, trace, driver));
+    }
+}
+
+} // namespace pes

@@ -1,0 +1,96 @@
+#include "core/governors.hh"
+
+#include <algorithm>
+
+namespace pes {
+
+std::optional<WorkItem>
+SamplingGovernor::nextWork(SimulatorApi &api)
+{
+    const auto front = api.pendingQueue().front();
+    if (!front)
+        return std::nullopt;
+    WorkItem item;
+    item.kind = WorkItem::Kind::Real;
+    item.traceIndex = front->traceIndex;
+    item.config = api.currentConfig();
+    return item;
+}
+
+double
+SamplingGovernor::capacityOf(SimulatorApi &api, const AcmpConfig &cfg)
+{
+    return 1.0 / api.latencyModel().cycleCoeff(cfg);
+}
+
+AcmpConfig
+SamplingGovernor::configForCapacity(SimulatorApi &api, double desired)
+{
+    const AcmpPlatform &platform = api.platform();
+    int best = -1;
+    double best_capacity = 0.0;
+    for (int j = 0; j < platform.numConfigs(); ++j) {
+        const double cap = capacityOf(api, platform.configAt(j));
+        if (cap + 1e-9 < desired)
+            continue;
+        if (best == -1 || cap < best_capacity) {
+            best = j;
+            best_capacity = cap;
+        }
+    }
+    if (best == -1)
+        return platform.maxConfig();
+    return platform.configAt(best);
+}
+
+InteractiveGovernor::InteractiveGovernor()
+    : InteractiveGovernor(Params{})
+{
+}
+
+InteractiveGovernor::InteractiveGovernor(Params params)
+    : params_(params)
+{
+}
+
+std::optional<AcmpConfig>
+InteractiveGovernor::onSampleTick(SimulatorApi &api,
+                                  const ExecutionStatus &status)
+{
+    const double load = status.utilization;
+    if (load >= params_.goHispeedLoad) {
+        lastHighLoad_ = api.now();
+        return api.platform().maxConfig();  // hispeed_freq
+    }
+    // Hold the current speed for min_sample_time after high load.
+    if (api.now() - lastHighLoad_ < params_.minSampleTimeMs)
+        return std::nullopt;
+    // Scale capacity so that utilization lands at target_load.
+    const double current = capacityOf(api, status.config);
+    const double desired = current * load / params_.targetLoad;
+    return configForCapacity(api, desired);
+}
+
+OndemandGovernor::OndemandGovernor()
+    : OndemandGovernor(Params{})
+{
+}
+
+OndemandGovernor::OndemandGovernor(Params params)
+    : params_(params)
+{
+}
+
+std::optional<AcmpConfig>
+OndemandGovernor::onSampleTick(SimulatorApi &api,
+                               const ExecutionStatus &status)
+{
+    const double load = status.utilization;
+    if (load > params_.upThreshold)
+        return api.platform().maxConfig();
+    const double current = capacityOf(api, status.config);
+    const double desired = current * load / params_.upThreshold;
+    return configForCapacity(api, desired);
+}
+
+} // namespace pes

@@ -1,0 +1,28 @@
+#include "core/hints.hh"
+
+namespace pes {
+
+void
+PredictionHintTable::add(const PredictionHint &hint)
+{
+    hints_.push_back(hint);
+}
+
+std::optional<PredictionHint>
+PredictionHintTable::lookup(int page_id, DomEventType last_type,
+                            NodeId last_node) const
+{
+    for (const PredictionHint &hint : hints_) {
+        if (hint.trigger != last_type)
+            continue;
+        if (hint.pageId >= 0 && hint.pageId != page_id)
+            continue;
+        if (hint.triggerNode != kInvalidNode &&
+            hint.triggerNode != last_node)
+            continue;
+        return hint;
+    }
+    return std::nullopt;
+}
+
+} // namespace pes

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Developer prediction hints (the paper's Sec. 7 future-work item:
+ * "language extensions such as hints for predicting future events that
+ * could better guide PES scheduling").
+ *
+ * A hint declares, at application level, that after a given trigger
+ * event the user will very likely produce a specific next event — e.g.
+ * "after tapping the search field, a submit follows" or "opening this
+ * menu leads to a navigation". The predictor consults the hint table
+ * before the statistical learner; a matching hint supplies both the
+ * predicted event and its confidence, and the normal cumulative-
+ * confidence machinery (and the control unit's squash path) applies
+ * unchanged, so a wrong hint degrades gracefully instead of breaking
+ * QoS.
+ */
+
+#ifndef PES_CORE_HINTS_HH
+#define PES_CORE_HINTS_HH
+
+#include <optional>
+#include <vector>
+
+#include "sim/sim_types.hh"
+
+namespace pes {
+
+/**
+ * One developer-declared transition hint.
+ */
+struct PredictionHint
+{
+    /** Page the trigger lives on; -1 = any page. */
+    int pageId = -1;
+    /** Trigger event type. */
+    DomEventType trigger = DomEventType::Click;
+    /** Trigger node; kInvalidNode = any node with that event type. */
+    NodeId triggerNode = kInvalidNode;
+
+    /** The event the developer expects next. */
+    DomEventType next = DomEventType::Click;
+    /** Its target node; kInvalidNode = let the analyzer pick. */
+    NodeId nextNode = kInvalidNode;
+    /** Declared confidence (drives the prediction-degree cutoff). */
+    double confidence = 0.95;
+};
+
+/**
+ * Ordered hint table: the first matching hint wins.
+ */
+class PredictionHintTable
+{
+  public:
+    /** Register a hint (kept in registration order). */
+    void add(const PredictionHint &hint);
+
+    /**
+     * The hint matching the last observed event, if any.
+     * @param page_id Current page.
+     * @param last_type Type of the most recent event.
+     * @param last_node Its target node.
+     */
+    std::optional<PredictionHint>
+    lookup(int page_id, DomEventType last_type, NodeId last_node) const;
+
+    /** Number of registered hints. */
+    size_t size() const { return hints_.size(); }
+
+  private:
+    std::vector<PredictionHint> hints_;
+};
+
+} // namespace pes
+
+#endif // PES_CORE_HINTS_HH

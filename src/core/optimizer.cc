@@ -1,0 +1,96 @@
+#include "core/optimizer.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pes {
+
+GlobalOptimizer::GlobalOptimizer(const DvfsLatencyModel &model,
+                                 const PowerModel &power,
+                                 const VsyncClock &vsync,
+                                 double latency_margin)
+    : model_(&model), power_(&power), vsync_(&vsync),
+      margin_(latency_margin)
+{
+}
+
+ScheduleProblem
+GlobalOptimizer::buildProblem(TimeMs now, const AcmpConfig &current_config,
+                              const std::vector<PlanEventSpec> &events)
+    const
+{
+    const AcmpPlatform &platform = model_->platform();
+    const int c = platform.numConfigs();
+
+    ScheduleProblem problem;
+    problem.initialConfig = platform.configIndex(current_config);
+
+    // Switch-cost matrix.
+    problem.switchCost.assign(static_cast<size_t>(c),
+                              std::vector<TimeMs>(static_cast<size_t>(c),
+                                                  0.0));
+    for (int a = 0; a < c; ++a) {
+        for (int b = 0; b < c; ++b) {
+            problem.switchCost[static_cast<size_t>(a)]
+                              [static_cast<size_t>(b)] =
+                platform.switchCost(platform.configAt(a),
+                                    platform.configAt(b));
+        }
+    }
+
+    const TimeMs period = vsync_->periodMs();
+    TimeMs prev_deadline = 0.0;
+    for (const PlanEventSpec &spec : events) {
+        ScheduleEvent ev;
+        ev.latency.reserve(static_cast<size_t>(c));
+        ev.energy.reserve(static_cast<size_t>(c));
+        for (int j = 0; j < c; ++j) {
+            const TimeMs latency = model_->latencyAt(spec.work, j);
+            // Chain timing uses margin-inflated latency (headroom against
+            // estimation noise); energy uses the unbiased estimate.
+            ev.latency.push_back(latency * margin_);
+            ev.energy.push_back(
+                energyOf(power_->busyPowerAt(j), latency));
+        }
+        if (spec.arrival) {
+            // Outstanding: display-floor of arrival + QoS.
+            const TimeMs display_deadline =
+                std::floor((*spec.arrival + spec.qosTarget) / period) *
+                period;
+            ev.deadline = display_deadline - now;
+        } else if (spec.expectedArrival) {
+            // Predicted with an inter-arrival model: the frame must be
+            // displayable by (expected trigger + QoS). Never looser than
+            // preserving chain order, never tighter than the
+            // conservative bound.
+            const TimeMs display_deadline =
+                std::floor((*spec.expectedArrival + spec.qosTarget) /
+                           period) * period;
+            ev.deadline = std::max(display_deadline - now,
+                                   std::max(prev_deadline, 0.0) +
+                                       spec.qosTarget);
+        } else {
+            // Predicted: conservative chaining (may trigger immediately).
+            ev.deadline = std::max(prev_deadline, 0.0) + spec.qosTarget;
+        }
+        prev_deadline = ev.deadline;
+        problem.events.push_back(std::move(ev));
+    }
+    return problem;
+}
+
+ScheduleSolution
+GlobalOptimizer::solve(const ScheduleProblem &problem) const
+{
+    return solver_.solve(problem);
+}
+
+ScheduleSolution
+GlobalOptimizer::planSchedule(TimeMs now, const AcmpConfig &current_config,
+                              const std::vector<PlanEventSpec> &events)
+    const
+{
+    return solve(buildProblem(now, current_config, events));
+}
+
+} // namespace pes

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The PES energy/QoS optimizer (paper Sec. 5.3).
+ *
+ * Translates a window of events — outstanding plus predicted — into the
+ * Eqn. 2-5 scheduling problem (per-configuration latency from the Eqn.-1
+ * estimate, per-configuration energy from the power table, chained
+ * deadlines) and solves it with the specialized exact solver. Deadline
+ * construction:
+ *
+ *   outstanding event: the last VSync at or before (arrival + QoS),
+ *                      relative to the chain start "now";
+ *   predicted event:   conservatively chained — it may arrive immediately
+ *                      after its predecessor, so its deadline is
+ *                      max(predecessor deadline, 0) + its QoS target.
+ */
+
+#ifndef PES_CORE_OPTIMIZER_HH
+#define PES_CORE_OPTIMIZER_HH
+
+#include <optional>
+#include <vector>
+
+#include "hw/dvfs_model.hh"
+#include "hw/power_model.hh"
+#include "solver/schedule_problem.hh"
+#include "web/vsync.hh"
+
+namespace pes {
+
+/** One event of the optimization window. */
+struct PlanEventSpec
+{
+    /** Estimated (or, for the oracle, true) workload. */
+    Workload work;
+    /** QoS target of the event. */
+    TimeMs qosTarget = 300.0;
+    /** Arrival time for outstanding events; unset for predicted ones. */
+    std::optional<TimeMs> arrival;
+    /**
+     * Expected trigger time of a predicted event (from the scheduler's
+     * inter-arrival model). When unset, the deadline falls back to the
+     * conservative "may trigger immediately" chaining.
+     */
+    std::optional<TimeMs> expectedArrival;
+};
+
+/**
+ * Builds and solves the global scheduling problem.
+ */
+class GlobalOptimizer
+{
+  public:
+    /**
+     * @param latency_margin Multiplier on estimated latencies inside the
+     * chain constraints (1.0 = trust estimates; > 1 adds noise headroom).
+     */
+    GlobalOptimizer(const DvfsLatencyModel &model, const PowerModel &power,
+                    const VsyncClock &vsync, double latency_margin = 1.0);
+
+    /**
+     * Build the Eqn. 2-5 problem for a chain starting at @p now on
+     * @p current_config (switch costs included).
+     */
+    ScheduleProblem buildProblem(TimeMs now,
+                                 const AcmpConfig &current_config,
+                                 const std::vector<PlanEventSpec> &events)
+        const;
+
+    /** Solve (exact DP); see ParetoDpSolver for the objective. */
+    ScheduleSolution solve(const ScheduleProblem &problem) const;
+
+    /** Convenience: buildProblem + solve. */
+    ScheduleSolution
+    planSchedule(TimeMs now, const AcmpConfig &current_config,
+                 const std::vector<PlanEventSpec> &events) const;
+
+  private:
+    const DvfsLatencyModel *model_;
+    const PowerModel *power_;
+    const VsyncClock *vsync_;
+    double margin_ = 1.0;
+    ParetoDpSolver solver_;
+};
+
+} // namespace pes
+
+#endif // PES_CORE_OPTIMIZER_HH

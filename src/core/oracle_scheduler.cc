@@ -1,0 +1,108 @@
+#include "core/oracle_scheduler.hh"
+
+#include <cmath>
+
+#include "core/optimizer.hh"
+#include "util/logging.hh"
+
+namespace pes {
+
+void
+OracleScheduler::begin(SimulatorApi &api)
+{
+    configs_.clear();
+    nextToDispatch_ = 0;
+    framesByPosition_.clear();
+    inflightPosition_ = -1;
+    inflightAdopted_ = false;
+
+    const InteractionTrace &trace = api.fullTrace();
+
+    // One global plan over the entire sequence with true workloads and
+    // true (absolute) deadlines; the chain starts at t = now (= 0 plus
+    // the scheduler-compute charge below).
+    api.chargeSchedulerOverhead(2.0);
+
+    GlobalOptimizer optimizer(api.latencyModel(), api.powerModel(),
+                              api.vsync());
+    std::vector<PlanEventSpec> specs;
+    specs.reserve(trace.events.size());
+    for (const TraceEvent &ev : trace.events) {
+        PlanEventSpec spec;
+        spec.work = ev.totalWork();
+        spec.qosTarget = ev.qosTarget();
+        spec.arrival = ev.arrival;
+        specs.push_back(spec);
+    }
+    const ScheduleSolution solution = optimizer.planSchedule(
+        api.now(), api.currentConfig(), specs);
+    configs_ = solution.configOf;
+    if (!solution.feasible) {
+        warn("oracle: trace %s/user %llu is not oracle-feasible "
+             "(tardiness %.2f ms)", trace.appName.c_str(),
+             static_cast<unsigned long long>(trace.userSeed),
+             solution.totalTardiness);
+    }
+}
+
+void
+OracleScheduler::onArrival(SimulatorApi &api, int trace_index)
+{
+    // A frame may already be waiting for this event.
+    const auto it = framesByPosition_.find(trace_index);
+    if (it != framesByPosition_.end()) {
+        api.serveFromSpeculation(trace_index, it->second);
+        framesByPosition_.erase(it);
+        return;
+    }
+    if (inflightPosition_ == trace_index && !inflightAdopted_) {
+        api.adoptInFlight(trace_index);
+        inflightAdopted_ = true;
+    }
+    // Otherwise the event's execution has not started yet; it will be
+    // served when its (always matching) frame completes.
+}
+
+std::optional<WorkItem>
+OracleScheduler::nextWork(SimulatorApi &api)
+{
+    const InteractionTrace &trace = api.fullTrace();
+    if (nextToDispatch_ >= static_cast<int>(trace.events.size()))
+        return std::nullopt;
+
+    const int position = nextToDispatch_++;
+    const TraceEvent &ev = trace.events[static_cast<size_t>(position)];
+
+    WorkItem work;
+    work.kind = WorkItem::Kind::Speculative;
+    work.targetPosition = position;
+    work.predicted = {ev.type, ev.node, ev.pageId, 1.0};
+    work.config = api.platform().configAt(
+        configs_[static_cast<size_t>(position)]);
+    inflightPosition_ = position;
+    inflightAdopted_ = false;
+    return work;
+}
+
+void
+OracleScheduler::onWorkFinished(SimulatorApi &api,
+                                const CompletedWork &work)
+{
+    panic_if(work.item.kind != WorkItem::Kind::Speculative,
+             "oracle dispatches only speculative work");
+    const int position = work.item.targetPosition;
+    const bool adopted = inflightAdopted_ && inflightPosition_ == position;
+    inflightPosition_ = -1;
+    inflightAdopted_ = false;
+    if (adopted)
+        return;  // simulator already served it at completion
+    if (position < api.arrivedCount()) {
+        // Arrived while we were finishing but adopt was not possible
+        // (the arrival predates this item's dispatch).
+        api.serveFromSpeculation(position, work.workId);
+        return;
+    }
+    framesByPosition_[position] = work.workId;
+}
+
+} // namespace pes

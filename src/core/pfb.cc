@@ -1,0 +1,43 @@
+#include "core/pfb.hh"
+
+#include "util/logging.hh"
+
+namespace pes {
+
+void
+PendingFrameBuffer::push(const PendingFrame &frame)
+{
+    panic_if(!frames_.empty() &&
+             frame.position <= frames_.back().position,
+             "PFB: frames must arrive in increasing position order "
+             "(%d after %d)", frame.position, frames_.back().position);
+    frames_.push_back(frame);
+}
+
+std::optional<PendingFrame>
+PendingFrameBuffer::head() const
+{
+    if (frames_.empty())
+        return std::nullopt;
+    return frames_.front();
+}
+
+std::optional<PendingFrame>
+PendingFrameBuffer::pop()
+{
+    if (frames_.empty())
+        return std::nullopt;
+    PendingFrame frame = frames_.front();
+    frames_.pop_front();
+    return frame;
+}
+
+std::deque<PendingFrame>
+PendingFrameBuffer::drain()
+{
+    std::deque<PendingFrame> out;
+    out.swap(frames_);
+    return out;
+}
+
+} // namespace pes

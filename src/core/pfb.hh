@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Pending Frame Buffer (paper Sec. 5.4).
+ *
+ * Holds speculative frames, in arrival-position order, until the control
+ * unit commits them against actual user events or squashes them on a
+ * misprediction. The buffer only stores bookkeeping — the frames' energy
+ * and timing live in the simulator; commit/squash is signalled through
+ * SimulatorApi verbs by the owner (PesScheduler's control unit).
+ */
+
+#ifndef PES_CORE_PFB_HH
+#define PES_CORE_PFB_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "sim/sim_types.hh"
+
+namespace pes {
+
+/** One completed speculative frame awaiting validation. */
+struct PendingFrame
+{
+    /** Simulator work id (for serve/discard verbs). */
+    uint64_t workId = 0;
+    /** Arrival position this frame anticipates. */
+    int position = -1;
+    /** The prediction that produced it. */
+    PredictedEvent predicted;
+    /** Frame-ready time. */
+    TimeMs ready = 0.0;
+    /** Execution time spent generating it. */
+    TimeMs execMs = 0.0;
+    /** Configuration it was generated on (dense index). */
+    int configIndex = -1;
+};
+
+/**
+ * FIFO buffer of speculative frames.
+ */
+class PendingFrameBuffer
+{
+  public:
+    /** Append a frame (positions must be strictly increasing). */
+    void push(const PendingFrame &frame);
+
+    /** The oldest (next-to-commit) frame; nullopt when empty. */
+    std::optional<PendingFrame> head() const;
+
+    /** Remove and return the oldest frame. */
+    std::optional<PendingFrame> pop();
+
+    /** Remove all frames (squash); returns them for discarding. */
+    std::deque<PendingFrame> drain();
+
+    /** Number of buffered frames. */
+    int size() const { return static_cast<int>(frames_.size()); }
+
+    /** True when no frames are buffered. */
+    bool empty() const { return frames_.empty(); }
+
+  private:
+    std::deque<PendingFrame> frames_;
+};
+
+} // namespace pes
+
+#endif // PES_CORE_PFB_HH

@@ -1,0 +1,182 @@
+#include "core/predictor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pes {
+
+EventPredictor::EventPredictor(const LogisticModel &model)
+    : EventPredictor(model, Config{})
+{
+}
+
+EventPredictor::EventPredictor(const LogisticModel &model, Config config)
+    : model_(&model), config_(config)
+{
+}
+
+std::optional<CandidateEvent>
+EventPredictor::pickTarget(const DomAnalyzer &analyzer,
+                           const DomOverlay &state,
+                           const FeatureWindow &window,
+                           const std::vector<CandidateEvent> &candidates,
+                           DomEventType type) const
+{
+    const Viewport viewport = analyzer.viewportFor(state);
+    const Rect view = viewport.rect();
+
+    double last_x = view.cx();
+    double last_y = view.cy();
+    window.lastTapPosition(last_x, last_y);
+
+    // Deterministic mirror of the user model's attention heuristic:
+    // visible area, proximity to the previous tap, open menus first.
+    std::optional<CandidateEvent> best;
+    double best_score = -1.0;
+    for (const CandidateEvent &cand : candidates) {
+        if (cand.type != type)
+            continue;
+        const Rect rect = analyzer.nodeRect(state, cand.node);
+        double score = std::sqrt(
+            std::max(1.0, rect.intersectionArea(view)));
+        const double dx = rect.cx() - last_x;
+        const double dy = rect.cy() - last_y;
+        const double dist = std::sqrt(dx * dx + dy * dy);
+        score *= 1.0 + 2.0 / (1.0 + dist / 200.0);
+        if (analyzer.nodeRole(state, cand.node) == NodeRole::MenuItem)
+            score *= 6.0;
+        if (cand.node == 0 && interactionOf(type) == Interaction::Load)
+            score *= 0.08;  // direct reloads are rare
+        if (best_score < score) {
+            best_score = score;
+            best = cand;
+        }
+    }
+    return best;
+}
+
+std::optional<PredictedEvent>
+EventPredictor::predictNext(const DomAnalyzer &analyzer,
+                            const DomOverlay &state,
+                            const FeatureWindow &window) const
+{
+    // Without DOM analysis (Sec. 6.5 ablation) the learner predicts over
+    // the full class space: nothing narrows the prediction to the events
+    // the application logic can actually trigger.
+    const auto candidates = config_.useDomAnalysis
+        ? analyzer.likelyNextEvents(state)
+        : analyzer.allPageEvents(state);
+    if (config_.useDomAnalysis && candidates.empty())
+        return std::nullopt;
+
+    // Developer hints take precedence over the statistical learner
+    // (Sec. 7 future work: language extensions guiding PES).
+    if (config_.hints) {
+        DomEventType last_type;
+        NodeId last_node;
+        if (window.lastEvent(last_type, last_node)) {
+            const auto hint = config_.hints->lookup(state.pageId,
+                                                    last_type, last_node);
+            if (hint) {
+                PredictedEvent prediction;
+                prediction.type = hint->next;
+                prediction.pageId = state.pageId;
+                prediction.confidence = hint->confidence;
+                if (hint->nextNode != kInvalidNode) {
+                    prediction.node = hint->nextNode;
+                    return prediction;
+                }
+                const auto target = pickTarget(analyzer, state, window,
+                                               candidates, hint->next);
+                if (target) {
+                    prediction.node = target->node;
+                    return prediction;
+                }
+                // No visible target for the hinted type: fall through to
+                // the learner.
+            }
+        }
+    }
+
+    const ViewportStats stats = analyzer.viewportStats(state);
+    const FeatureVector f = window.extract(stats);
+    const auto probs = model_->probabilities(f);
+
+    // Mask the learner's classes with the candidate set (DOM analysis
+    // narrows the prediction space, Sec. 5.2).
+    std::array<bool, kNumDomEventTypes> possible{};
+    if (config_.useDomAnalysis) {
+        for (const CandidateEvent &cand : candidates)
+            possible[static_cast<size_t>(cand.type)] = true;
+    } else {
+        possible.fill(true);
+    }
+
+    int best_cls = -1;
+    double mass = 0.0;
+    for (int c = 0; c < kNumDomEventTypes; ++c) {
+        if (!possible[static_cast<size_t>(c)])
+            continue;
+        mass += probs[static_cast<size_t>(c)];
+        if (best_cls == -1 ||
+            probs[static_cast<size_t>(c)] >
+                probs[static_cast<size_t>(best_cls)]) {
+            best_cls = c;
+        }
+    }
+    if (best_cls == -1)
+        return std::nullopt;
+    const auto type = static_cast<DomEventType>(best_cls);
+
+    const auto target = pickTarget(analyzer, state, window, candidates,
+                                   type);
+    if (config_.useDomAnalysis && !target)
+        return std::nullopt;
+
+    PredictedEvent prediction;
+    prediction.type = type;
+    // Learner-only mode may predict a type the page does not even
+    // register; fall back to the document root as the nominal target.
+    prediction.node = target ? target->node : 0;
+    prediction.pageId = state.pageId;
+    // Confidence: the chosen logistic model's probability, renormalized
+    // over the possible (masked) classes — the probability that the next
+    // event is of this type given that it is one the application logic
+    // allows. Sec. 5.2's p with the LNES conditioning made explicit.
+    prediction.confidence = mass > 0.0
+        ? probs[static_cast<size_t>(best_cls)] / mass
+        : probs[static_cast<size_t>(best_cls)];
+    return prediction;
+}
+
+std::vector<PredictedEvent>
+EventPredictor::predictSequence(const DomAnalyzer &analyzer,
+                                DomOverlay state,
+                                FeatureWindow window) const
+{
+    std::vector<PredictedEvent> out;
+    double cumulative = 1.0;
+    while (static_cast<int>(out.size()) < config_.maxDegree) {
+        const auto next = predictNext(analyzer, state, window);
+        if (!next)
+            break;
+        const double tentative = cumulative * next->confidence;
+        if (tentative < config_.confidenceThreshold)
+            break;
+        cumulative = tentative;
+        out.push_back(*next);
+
+        // Feed the prediction back: window update + static state rollout.
+        // Without DOM analysis there is no SemanticTree to roll the
+        // hypothetical state forward (Sec. 6.5 ablation): the learner
+        // keeps predicting against the stale state, which is what costs
+        // it accuracy at higher prediction degrees.
+        const Rect rect = analyzer.nodeRect(state, next->node);
+        window.observe(next->type, rect.cx(), rect.cy(), next->node);
+        if (config_.useDomAnalysis)
+            analyzer.applyHypothetical({next->type, next->node}, state);
+    }
+    return out;
+}
+
+} // namespace pes

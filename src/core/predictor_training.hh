@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Training and offline evaluation of the event-sequence model (Sec. 5.5).
+ *
+ * The paper records over 100 interaction traces across the 12 seen
+ * applications and trains one global logistic model (the DOM analysis
+ * specializes it per application at runtime). Datasets are built by
+ * replaying traces through a session: at each step the Table-1 features
+ * of the current state are paired with the type of the *next* event.
+ */
+
+#ifndef PES_CORE_PREDICTOR_TRAINING_HH
+#define PES_CORE_PREDICTOR_TRAINING_HH
+
+#include <vector>
+
+#include "core/predictor.hh"
+#include "ml/metrics.hh"
+#include "ml/trainer.hh"
+#include "trace/generator.hh"
+
+namespace pes {
+
+/** Supervised samples from one trace (replayed against @p app). */
+std::vector<TrainSample> buildDataset(const WebApp &app,
+                                      const InteractionTrace &trace);
+
+/**
+ * Train the global event-sequence model on training traces from
+ * @p profiles (@p traces_per_app sessions each; the paper uses >100
+ * traces across the 12 seen applications).
+ */
+LogisticModel trainEventModel(TraceGenerator &generator,
+                              const std::vector<AppProfile> &profiles,
+                              int traces_per_app,
+                              const TrainConfig &config = TrainConfig{});
+
+/** Offline predictor-quality report for one trace. */
+struct PredictorEval
+{
+    ConfusionMatrix confusion;
+    CalibrationBins calibration{10};
+
+    /** Single-step type-prediction accuracy. */
+    double accuracy() const { return confusion.accuracy(); }
+};
+
+/**
+ * Evaluate single-step predictions along @p trace: at every event the
+ * predictor sees the true history and committed DOM state and predicts
+ * the next event type (the Fig. 8 metric).
+ */
+PredictorEval evaluatePredictor(const LogisticModel &model,
+                                const WebApp &app,
+                                const InteractionTrace &trace,
+                                EventPredictor::Config config =
+                                    EventPredictor::Config{});
+
+} // namespace pes
+
+#endif // PES_CORE_PREDICTOR_TRAINING_HH

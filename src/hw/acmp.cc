@@ -1,0 +1,165 @@
+#include "hw/acmp.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pes {
+
+const char *
+coreTypeName(CoreType type)
+{
+    return type == CoreType::Big ? "big" : "little";
+}
+
+std::vector<FreqMhz>
+ClusterSpec::frequencies() const
+{
+    std::vector<FreqMhz> out;
+    for (FreqMhz f = fmin; f <= fmax + 1e-9; f += fstep)
+        out.push_back(f);
+    return out;
+}
+
+double
+ClusterSpec::voltageAt(FreqMhz f) const
+{
+    if (fmax <= fmin)
+        return vmin;
+    const double t = (f - fmin) / (fmax - fmin);
+    return vmin + (vmax - vmin) * std::clamp(t, 0.0, 1.0);
+}
+
+AcmpPlatform::AcmpPlatform(std::string name, ClusterSpec little,
+                           ClusterSpec big, TimeMs dvfs_switch_ms,
+                           TimeMs migration_ms)
+    : name_(std::move(name)), little_(std::move(little)),
+      big_(std::move(big)), dvfsSwitchMs_(dvfs_switch_ms),
+      migrationMs_(migration_ms)
+{
+    panic_if(little_.type != CoreType::Little,
+             "little cluster must have type Little");
+    panic_if(big_.type != CoreType::Big, "big cluster must have type Big");
+    for (FreqMhz f : little_.frequencies())
+        configs_.push_back({CoreType::Little, f});
+    for (FreqMhz f : big_.frequencies())
+        configs_.push_back({CoreType::Big, f});
+}
+
+AcmpPlatform
+AcmpPlatform::exynos5410()
+{
+    ClusterSpec a7;
+    a7.name = "Cortex-A7";
+    a7.type = CoreType::Little;
+    a7.fmin = 350.0;
+    a7.fmax = 600.0;
+    a7.fstep = 50.0;
+    a7.cpiFactor = 2.1;   // in-order 2-wide vs. out-of-order 3-wide
+    a7.vmin = 0.90;
+    a7.vmax = 1.05;
+    a7.dynCoeff = 0.16;
+    a7.leakCoeff = 30.0;
+
+    ClusterSpec a15;
+    a15.name = "Cortex-A15";
+    a15.type = CoreType::Big;
+    a15.fmin = 800.0;
+    a15.fmax = 1800.0;
+    a15.fstep = 100.0;
+    a15.cpiFactor = 1.0;
+    a15.vmin = 0.92;
+    a15.vmax = 1.25;
+    a15.dynCoeff = 0.56;
+    a15.leakCoeff = 160.0;
+
+    // Paper Sec. 6.3: frequency switch ~100 us, core migration ~20 us.
+    return AcmpPlatform("Exynos 5410", a7, a15, 0.1, 0.02);
+}
+
+AcmpPlatform
+AcmpPlatform::tegraParker()
+{
+    // Jetson TX2: Denver2 (big-class) + Cortex-A57. We expose the A57
+    // quad as the efficiency cluster and Denver2 as the performance
+    // cluster; ladders follow the TX2's published operating points
+    // (coarsened to a uniform step).
+    ClusterSpec a57;
+    a57.name = "Cortex-A57";
+    a57.type = CoreType::Little;
+    a57.fmin = 345.0;
+    a57.fmax = 1113.0;
+    a57.fstep = 96.0;
+    a57.cpiFactor = 1.35;
+    a57.vmin = 0.80;
+    a57.vmax = 1.00;
+    a57.dynCoeff = 0.30;
+    a57.leakCoeff = 60.0;
+
+    ClusterSpec denver;
+    denver.name = "Denver2";
+    denver.type = CoreType::Big;
+    denver.fmin = 1113.0;
+    denver.fmax = 2035.0;
+    denver.fstep = 115.25;
+    denver.cpiFactor = 1.0;
+    denver.vmin = 0.85;
+    denver.vmax = 1.15;
+    denver.dynCoeff = 0.42;
+    denver.leakCoeff = 110.0;
+
+    return AcmpPlatform("NVIDIA Parker (TX2)", a57, denver, 0.1, 0.02);
+}
+
+const ClusterSpec &
+AcmpPlatform::cluster(CoreType type) const
+{
+    return type == CoreType::Big ? big_ : little_;
+}
+
+int
+AcmpPlatform::configIndex(const AcmpConfig &cfg) const
+{
+    for (size_t i = 0; i < configs_.size(); ++i) {
+        if (configs_[i].core == cfg.core &&
+            std::abs(configs_[i].freq - cfg.freq) < 1e-6) {
+            return static_cast<int>(i);
+        }
+    }
+    panic("configIndex: <%s, %.0f MHz> is not a valid configuration",
+          coreTypeName(cfg.core), cfg.freq);
+}
+
+const AcmpConfig &
+AcmpPlatform::configAt(int idx) const
+{
+    panic_if(idx < 0 || idx >= numConfigs(),
+             "configAt: index %d out of range [0, %d)", idx, numConfigs());
+    return configs_[static_cast<size_t>(idx)];
+}
+
+AcmpConfig
+AcmpPlatform::maxConfig() const
+{
+    return {CoreType::Big, big_.fmax};
+}
+
+AcmpConfig
+AcmpPlatform::minConfig() const
+{
+    return {CoreType::Little, little_.fmin};
+}
+
+TimeMs
+AcmpPlatform::switchCost(const AcmpConfig &from, const AcmpConfig &to) const
+{
+    TimeMs cost = 0.0;
+    if (from.core != to.core)
+        cost += migrationMs_;
+    if (std::abs(from.freq - to.freq) > 1e-9)
+        cost += dvfsSwitchMs_;
+    return cost;
+}
+
+} // namespace pes

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Asymmetric chip-multiprocessor (ACMP) platform model.
+ *
+ * Models the scheduling-visible aspects of a big.LITTLE SoC: two core
+ * clusters with distinct frequency ladders and microarchitectural strength,
+ * the set of <core, frequency> execution configurations exposed to the
+ * scheduler, and the cost of moving between configurations (DVFS transition
+ * and core migration).
+ *
+ * The default preset mirrors the paper's evaluation platform, the Samsung
+ * Exynos 5410 (ODROID XU+E): four out-of-order Cortex-A15 cores at
+ * 800 MHz..1.8 GHz in 100 MHz steps and four in-order Cortex-A7 cores at
+ * 350..600 MHz in 50 MHz steps — 17 configurations in total. A second preset
+ * models NVIDIA's Parker SoC (Jetson TX2) for the paper's "other devices"
+ * sensitivity study (Sec. 6.5).
+ */
+
+#ifndef PES_HW_ACMP_HH
+#define PES_HW_ACMP_HH
+
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace pes {
+
+/** Which cluster a configuration runs on. */
+enum class CoreType { Little = 0, Big = 1 };
+
+/** Human-readable name of a core type. */
+const char *coreTypeName(CoreType type);
+
+/**
+ * One ACMP execution configuration: a <core, frequency> tuple
+ * (the scheduling knob of the paper, Sec. 4.1).
+ */
+struct AcmpConfig
+{
+    CoreType core = CoreType::Little;
+    FreqMhz freq = 0.0;
+
+    bool operator==(const AcmpConfig &other) const = default;
+};
+
+/**
+ * Static description of one core cluster.
+ */
+struct ClusterSpec
+{
+    /** Marketing name, e.g. "Cortex-A15". */
+    std::string name;
+    /** Cluster type. */
+    CoreType type = CoreType::Little;
+    /** Lowest operating frequency (MHz). */
+    FreqMhz fmin = 0.0;
+    /** Highest operating frequency (MHz). */
+    FreqMhz fmax = 0.0;
+    /** DVFS step (MHz). */
+    FreqMhz fstep = 0.0;
+    /**
+     * Cycle inflation relative to the reference (big) core: an event that
+     * needs Ndep cycles on the big core needs cpiFactor * Ndep cycles here.
+     * The big cluster has cpiFactor 1.0 by definition.
+     */
+    double cpiFactor = 1.0;
+    /** Supply voltage at fmin (V). */
+    double vmin = 0.9;
+    /** Supply voltage at fmax (V). */
+    double vmax = 1.2;
+    /** Dynamic power coefficient (mW per V^2 per MHz). */
+    double dynCoeff = 0.5;
+    /** Leakage coefficient (mW per V). */
+    double leakCoeff = 100.0;
+
+    /** All operating frequencies, ascending. */
+    std::vector<FreqMhz> frequencies() const;
+
+    /** Supply voltage at frequency @p f (linear fmin..fmax interpolation). */
+    double voltageAt(FreqMhz f) const;
+};
+
+/**
+ * The ACMP platform: two clusters plus configuration-transition costs.
+ */
+class AcmpPlatform
+{
+  public:
+    /**
+     * @param name Platform name for reports.
+     * @param little Little-cluster description.
+     * @param big Big-cluster description.
+     * @param dvfs_switch_ms Cost of a frequency change within a cluster.
+     * @param migration_ms Cost of migrating the thread across clusters.
+     */
+    AcmpPlatform(std::string name, ClusterSpec little, ClusterSpec big,
+                 TimeMs dvfs_switch_ms, TimeMs migration_ms);
+
+    /** The paper's evaluation SoC (Exynos 5410 / ODROID XU+E). */
+    static AcmpPlatform exynos5410();
+
+    /** NVIDIA Parker (Jetson TX2) for the Sec. 6.5 portability study. */
+    static AcmpPlatform tegraParker();
+
+    /** Platform name. */
+    const std::string &name() const { return name_; }
+
+    /** Cluster description for @p type. */
+    const ClusterSpec &cluster(CoreType type) const;
+
+    /** All <core, frequency> configurations (little ascending, then big). */
+    const std::vector<AcmpConfig> &configs() const { return configs_; }
+
+    /** Number of configurations. */
+    int numConfigs() const { return static_cast<int>(configs_.size()); }
+
+    /** Dense index of @p cfg in configs(); panics when @p cfg is invalid. */
+    int configIndex(const AcmpConfig &cfg) const;
+
+    /** Configuration at dense index @p idx. */
+    const AcmpConfig &configAt(int idx) const;
+
+    /** Highest-performance configuration (big @ fmax). */
+    AcmpConfig maxConfig() const;
+
+    /** Lowest-power configuration (little @ fmin). */
+    AcmpConfig minConfig() const;
+
+    /**
+     * Time cost of switching from @p from to @p to: cluster migration plus a
+     * DVFS transition when the target frequency differs. Zero when equal.
+     */
+    TimeMs switchCost(const AcmpConfig &from, const AcmpConfig &to) const;
+
+    /** DVFS transition cost (paper: ~100 us). */
+    TimeMs dvfsSwitchMs() const { return dvfsSwitchMs_; }
+
+    /** Cross-cluster migration cost (paper: ~20 us). */
+    TimeMs migrationMs() const { return migrationMs_; }
+
+  private:
+    std::string name_;
+    ClusterSpec little_;
+    ClusterSpec big_;
+    TimeMs dvfsSwitchMs_;
+    TimeMs migrationMs_;
+    std::vector<AcmpConfig> configs_;
+};
+
+} // namespace pes
+
+#endif // PES_HW_ACMP_HH

@@ -1,0 +1,52 @@
+#include "hw/dvfs_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pes {
+
+DvfsLatencyModel::DvfsLatencyModel(const AcmpPlatform &platform)
+    : platform_(&platform)
+{
+}
+
+double
+DvfsLatencyModel::cycleCoeff(const AcmpConfig &cfg) const
+{
+    const ClusterSpec &spec = platform_->cluster(cfg.core);
+    // ms per mega-cycle: 1000 * cpi / f[MHz].
+    return 1000.0 * spec.cpiFactor / cfg.freq;
+}
+
+TimeMs
+DvfsLatencyModel::latency(const Workload &work, const AcmpConfig &cfg) const
+{
+    return work.tmemMs + cycleCoeff(cfg) * work.ndep;
+}
+
+TimeMs
+DvfsLatencyModel::latencyAt(const Workload &work, int config_index) const
+{
+    return latency(work, platform_->configAt(config_index));
+}
+
+Workload
+DvfsLatencyModel::solveTwoPoint(const AcmpConfig &cfg1, TimeMs t1,
+                                const AcmpConfig &cfg2, TimeMs t2) const
+{
+    const double k1 = cycleCoeff(cfg1);
+    const double k2 = cycleCoeff(cfg2);
+    panic_if(std::abs(k1 - k2) < 1e-12,
+             "solveTwoPoint: configurations have equal cycle coefficients");
+    // t1 = tmem + k1 * ndep; t2 = tmem + k2 * ndep.
+    const double ndep = (t1 - t2) / (k1 - k2);
+    const double tmem = t1 - k1 * ndep;
+    Workload work;
+    work.ndep = std::max(0.0, ndep);
+    work.tmemMs = std::max(0.0, tmem);
+    return work;
+}
+
+} // namespace pes

@@ -1,0 +1,82 @@
+#include "hw/energy_meter.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pes {
+
+uint64_t
+EnergyMeter::addSegment(TimeMs t0, TimeMs t1, PowerMw power, EnergyTag tag)
+{
+    panic_if(t1 < t0 - 1e-9, "EnergyMeter: segment ends before it starts "
+             "(t0=%.6f, t1=%.6f)", t0, t1);
+    segments_.push_back({t0, std::max(t0, t1), power, tag});
+    duration_ = std::max(duration_, t1);
+    return segments_.size() - 1;
+}
+
+void
+EnergyMeter::retag(uint64_t id, EnergyTag tag)
+{
+    panic_if(id >= segments_.size(), "EnergyMeter: retag of unknown id");
+    segments_[id].tag = tag;
+}
+
+EnergyMj
+EnergyMeter::totalEnergy() const
+{
+    EnergyMj total = 0.0;
+    for (const Segment &s : segments_)
+        total += energyOf(s.power, s.t1 - s.t0);
+    return total;
+}
+
+EnergyMj
+EnergyMeter::energyOfTag(EnergyTag tag) const
+{
+    EnergyMj total = 0.0;
+    for (const Segment &s : segments_) {
+        if (s.tag == tag)
+            total += energyOf(s.power, s.t1 - s.t0);
+    }
+    return total;
+}
+
+EnergyMj
+EnergyMeter::energyOfSegment(uint64_t id) const
+{
+    panic_if(id >= segments_.size(), "energyOfSegment: unknown id");
+    const Segment &s = segments_[id];
+    return energyOf(s.power, s.t1 - s.t0);
+}
+
+PowerMw
+EnergyMeter::averagePower() const
+{
+    if (duration_ <= 0.0)
+        return 0.0;
+    return totalEnergy() / duration_ * 1000.0;
+}
+
+std::vector<PowerMw>
+EnergyMeter::sampleTrace(double rate_hz) const
+{
+    panic_if(rate_hz <= 0.0, "EnergyMeter: sample rate must be positive");
+    const TimeMs step = 1000.0 / rate_hz;
+    const auto samples = static_cast<size_t>(duration_ / step) + 1;
+    std::vector<PowerMw> trace(samples, 0.0);
+    for (const Segment &s : segments_) {
+        auto first = static_cast<size_t>(std::ceil(s.t0 / step));
+        for (size_t i = first; i < samples; ++i) {
+            const TimeMs t = static_cast<double>(i) * step;
+            if (t >= s.t1)
+                break;
+            trace[i] += s.power;
+        }
+    }
+    return trace;
+}
+
+} // namespace pes

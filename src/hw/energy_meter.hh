@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Energy accounting for a simulation run.
+ *
+ * Stand-in for the paper's NI DAQ X-6366 measurement setup: the simulator
+ * reports piecewise-constant power segments; the meter integrates them into
+ * energy, keeps per-purpose tags (busy / idle / transition overhead /
+ * squashed speculative work), and can materialize a fixed-rate sample trace
+ * like the 1 kHz waveform the DAQ captures.
+ *
+ * Segments carry ids so speculative work can be re-tagged once its fate
+ * (commit vs. squash) is known — exactly how mispredict waste is accounted.
+ */
+
+#ifndef PES_HW_ENERGY_METER_HH
+#define PES_HW_ENERGY_METER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace pes {
+
+/** Purpose of an energy segment. */
+enum class EnergyTag
+{
+    Busy = 0,           ///< committed useful execution
+    Idle,               ///< main thread idle
+    Overhead,           ///< DVFS switches, migrations, scheduler compute
+    SpeculativeWaste,   ///< squashed speculative frame generation
+};
+
+/** Number of EnergyTag values. */
+constexpr int kNumEnergyTags = 4;
+
+/**
+ * Integrates a piecewise-constant power waveform.
+ */
+class EnergyMeter
+{
+  public:
+    /**
+     * Record that the platform drew @p power over [t0, t1).
+     * Returns a segment id usable with retag(). Zero-length segments are
+     * accepted and return an id but contribute no energy.
+     */
+    uint64_t addSegment(TimeMs t0, TimeMs t1, PowerMw power, EnergyTag tag);
+
+    /** Change the tag of segment @p id (e.g. Busy -> SpeculativeWaste). */
+    void retag(uint64_t id, EnergyTag tag);
+
+    /** Total integrated energy. */
+    EnergyMj totalEnergy() const;
+
+    /** Energy attributed to @p tag. */
+    EnergyMj energyOfTag(EnergyTag tag) const;
+
+    /** Energy of one segment by id. */
+    EnergyMj energyOfSegment(uint64_t id) const;
+
+    /** Latest segment end time seen (the waveform duration). */
+    TimeMs duration() const { return duration_; }
+
+    /** Average power over the waveform duration (0 when empty). */
+    PowerMw averagePower() const;
+
+    /**
+     * Emulate the DAQ: sample the power waveform at @p rate_hz and return
+     * one power value per sample instant from t=0 to duration().
+     * Instants not covered by any segment read 0.
+     */
+    std::vector<PowerMw> sampleTrace(double rate_hz) const;
+
+    /** Number of recorded segments. */
+    size_t segmentCount() const { return segments_.size(); }
+
+  private:
+    struct Segment
+    {
+        TimeMs t0;
+        TimeMs t1;
+        PowerMw power;
+        EnergyTag tag;
+    };
+
+    std::vector<Segment> segments_;
+    TimeMs duration_ = 0.0;
+};
+
+} // namespace pes
+
+#endif // PES_HW_ENERGY_METER_HH

@@ -1,0 +1,103 @@
+#include "hw/estimator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pes {
+
+TwoPointEstimator::TwoPointEstimator(const DvfsLatencyModel &model)
+    : model_(&model)
+{
+}
+
+bool
+TwoPointEstimator::hasEstimate(uint64_t key) const
+{
+    const auto it = entries_.find(key);
+    return it != entries_.end() && it->second.fit.has_value();
+}
+
+std::optional<Workload>
+TwoPointEstimator::estimate(uint64_t key) const
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end())
+        return std::nullopt;
+    return it->second.fit;
+}
+
+void
+TwoPointEstimator::record(uint64_t key, const AcmpConfig &cfg,
+                          TimeMs latency)
+{
+    if (!(latency > 0.0) || !std::isfinite(latency))
+        return;
+    Entry &entry = entries_[key];
+    entry.points.emplace_back(model_->cycleCoeff(cfg), latency);
+    refit(entry);
+}
+
+void
+TwoPointEstimator::refit(Entry &entry) const
+{
+    // Least squares of t = tmem + k * ndep over all (k, t) points.
+    // Needs at least two distinct k values to be identifiable.
+    const size_t n = entry.points.size();
+    if (n < 2)
+        return;
+
+    double sum_k = 0.0, sum_t = 0.0, sum_kk = 0.0, sum_kt = 0.0;
+    for (const auto &[k, t] : entry.points) {
+        sum_k += k;
+        sum_t += t;
+        sum_kk += k * k;
+        sum_kt += k * t;
+    }
+    const double nd = static_cast<double>(n);
+    const double denom = nd * sum_kk - sum_k * sum_k;
+    if (std::abs(denom) < 1e-12)
+        return;  // all measurements at the same coefficient
+
+    const double ndep = (nd * sum_kt - sum_k * sum_t) / denom;
+    const double tmem = (sum_t - ndep * sum_k) / nd;
+    Workload fit;
+    fit.ndep = std::max(0.0, ndep);
+    fit.tmemMs = std::max(0.0, tmem);
+    entry.fit = fit;
+}
+
+AcmpConfig
+TwoPointEstimator::probeConfig(uint64_t key) const
+{
+    const AcmpPlatform &platform = model_->platform();
+    const int count = measurementCount(key);
+    if (count == 0)
+        return platform.maxConfig();
+    // Second probe: big cluster at a clearly different frequency so the
+    // two-point system is well conditioned, but still fast enough that an
+    // unknown deadline is unlikely to be blown.
+    const ClusterSpec &big = platform.cluster(CoreType::Big);
+    const FreqMhz mid =
+        big.fmin + big.fstep *
+        std::round((big.fmax - big.fmin) * 0.6 / big.fstep);
+    return {CoreType::Big, mid};
+}
+
+std::optional<std::pair<double, TimeMs>>
+TwoPointEstimator::firstMeasurement(uint64_t key) const
+{
+    const auto it = entries_.find(key);
+    if (it == entries_.end() || it->second.points.empty())
+        return std::nullopt;
+    return it->second.points.front();
+}
+
+int
+TwoPointEstimator::measurementCount(uint64_t key) const
+{
+    const auto it = entries_.find(key);
+    return it == entries_.end()
+        ? 0 : static_cast<int>(it->second.points.size());
+}
+
+} // namespace pes

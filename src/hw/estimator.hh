@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Online per-event-class workload estimator.
+ *
+ * Paper Sec. 5.3: "For the first two times an event is encountered, we
+ * measure its latency under two different frequencies and solve the system
+ * of equations as formulated by Eqn. 1 to obtain the values of Tmem and
+ * Ndep." This class implements that protocol: it stores measurements per
+ * event class (keyed by a caller-chosen 64-bit id), proposes probe
+ * configurations for the first two encounters, and afterwards answers
+ * workload estimates via a least-squares fit of all measurements (which
+ * degenerates to the exact two-point solution when exactly two are known).
+ */
+
+#ifndef PES_HW_ESTIMATOR_HH
+#define PES_HW_ESTIMATOR_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/dvfs_model.hh"
+
+namespace pes {
+
+/**
+ * Two-point (and beyond) Tmem/Ndep estimator keyed by event class.
+ */
+class TwoPointEstimator
+{
+  public:
+    explicit TwoPointEstimator(const DvfsLatencyModel &model);
+
+    /** True once at least two distinct-coefficient measurements exist. */
+    bool hasEstimate(uint64_t key) const;
+
+    /** Current workload estimate; nullopt before two measurements. */
+    std::optional<Workload> estimate(uint64_t key) const;
+
+    /**
+     * Record an observed latency of event class @p key on @p cfg.
+     * Non-positive or non-finite latencies are ignored.
+     */
+    void record(uint64_t key, const AcmpConfig &cfg, TimeMs latency);
+
+    /**
+     * Configuration to use for a measurement probe. First encounter: big @
+     * fmax (safe for unknown deadlines). Second: big @ a mid frequency so
+     * the two-point system is well conditioned.
+     */
+    AcmpConfig probeConfig(uint64_t key) const;
+
+    /** Number of recorded measurements for @p key. */
+    int measurementCount(uint64_t key) const;
+
+    /**
+     * The first recorded (cycle coefficient, latency) measurement of
+     * @p key, when one exists (for one-point estimation).
+     */
+    std::optional<std::pair<double, TimeMs>>
+    firstMeasurement(uint64_t key) const;
+
+    /** Number of event classes with at least one measurement. */
+    size_t knownClasses() const { return entries_.size(); }
+
+  private:
+    struct Entry
+    {
+        // (cycle coefficient, latency) pairs.
+        std::vector<std::pair<double, TimeMs>> points;
+        std::optional<Workload> fit;
+    };
+
+    void refit(Entry &entry) const;
+
+    const DvfsLatencyModel *model_;
+    std::unordered_map<uint64_t, Entry> entries_;
+};
+
+} // namespace pes
+
+#endif // PES_HW_ESTIMATOR_HH

@@ -1,0 +1,160 @@
+#include "hw/power_model.hh"
+
+#include <cmath>
+#include <fstream>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace pes {
+
+namespace {
+
+/** Always-on domain charged to each cluster while idle (mW). */
+constexpr PowerMw kIdleFloorMw = 6.0;
+/** Fraction of leakage that survives clock gating while idle. */
+constexpr double kIdleLeakFraction = 0.35;
+
+PowerMw
+clusterBusyPower(const ClusterSpec &spec, FreqMhz f)
+{
+    const double v = spec.voltageAt(f);
+    const double dynamic = spec.dynCoeff * v * v * f;
+    const double leak = spec.leakCoeff * v;
+    return dynamic + leak;
+}
+
+PowerMw
+clusterIdlePower(const ClusterSpec &spec)
+{
+    const double v = spec.voltageAt(spec.fmin);
+    return kIdleLeakFraction * spec.leakCoeff * v + kIdleFloorMw;
+}
+
+} // namespace
+
+PowerModel::PowerModel(const AcmpPlatform &platform)
+    : platform_(&platform)
+{
+    busy_.reserve(platform.configs().size());
+    for (const AcmpConfig &cfg : platform.configs())
+        busy_.push_back(clusterBusyPower(platform.cluster(cfg.core),
+                                         cfg.freq));
+    idleLittle_ = clusterIdlePower(platform.cluster(CoreType::Little));
+    idleBig_ = clusterIdlePower(platform.cluster(CoreType::Big));
+}
+
+PowerMw
+PowerModel::busyPower(const AcmpConfig &cfg) const
+{
+    return busyPowerAt(platform_->configIndex(cfg));
+}
+
+PowerMw
+PowerModel::busyPowerAt(int config_index) const
+{
+    panic_if(config_index < 0 ||
+             config_index >= static_cast<int>(busy_.size()),
+             "busyPowerAt: bad config index %d", config_index);
+    return busy_[static_cast<size_t>(config_index)];
+}
+
+PowerMw
+PowerModel::idlePower(CoreType type) const
+{
+    return type == CoreType::Big ? idleBig_ : idleLittle_;
+}
+
+PowerMw
+PowerModel::platformIdlePower() const
+{
+    return idleLittle_ + idleBig_;
+}
+
+EnergyMj
+PowerModel::busyEnergy(const AcmpConfig &cfg, TimeMs duration) const
+{
+    return energyOf(busyPower(cfg), duration);
+}
+
+bool
+PowerModel::saveToFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out.precision(17);
+    out << "# PES power LUT v1: <core> <freq_mhz> <busy_mw>\n";
+    out << "platform " << platform_->name() << "\n";
+    out << "idle little " << idleLittle_ << "\n";
+    out << "idle big " << idleBig_ << "\n";
+    for (int i = 0; i < platform_->numConfigs(); ++i) {
+        const AcmpConfig &cfg = platform_->configAt(i);
+        out << coreTypeName(cfg.core) << " " << cfg.freq << " "
+            << busy_[static_cast<size_t>(i)] << "\n";
+    }
+    return static_cast<bool>(out);
+}
+
+std::optional<PowerModel>
+PowerModel::loadFromFile(const std::string &path,
+                         const AcmpPlatform &platform)
+{
+    std::ifstream in(path);
+    if (!in)
+        return std::nullopt;
+
+    PowerModel model;
+    model.platform_ = &platform;
+    model.busy_.assign(platform.configs().size(), -1.0);
+
+    std::string line;
+    while (std::getline(in, line)) {
+        line = trim(line);
+        if (line.empty() || line[0] == '#')
+            continue;
+        const auto fields = split(line, ' ');
+        if (fields[0] == "platform") {
+            continue;
+        } else if (fields[0] == "idle" && fields.size() == 3) {
+            const double value = std::strtod(fields[2].c_str(), nullptr);
+            if (fields[1] == "little")
+                model.idleLittle_ = value;
+            else if (fields[1] == "big")
+                model.idleBig_ = value;
+            else
+                return std::nullopt;
+        } else if (fields.size() == 3) {
+            AcmpConfig cfg;
+            if (fields[0] == "big")
+                cfg.core = CoreType::Big;
+            else if (fields[0] == "little")
+                cfg.core = CoreType::Little;
+            else
+                return std::nullopt;
+            cfg.freq = std::strtod(fields[1].c_str(), nullptr);
+            bool found = false;
+            for (int i = 0; i < platform.numConfigs(); ++i) {
+                const AcmpConfig &candidate = platform.configAt(i);
+                if (candidate.core == cfg.core &&
+                    std::abs(candidate.freq - cfg.freq) < 1e-6) {
+                    model.busy_[static_cast<size_t>(i)] =
+                        std::strtod(fields[2].c_str(), nullptr);
+                    found = true;
+                    break;
+                }
+            }
+            if (!found)
+                return std::nullopt;  // config not on this platform
+        } else {
+            return std::nullopt;
+        }
+    }
+    for (double p : model.busy_) {
+        if (p < 0.0)
+            return std::nullopt;  // incomplete table
+    }
+    return model;
+}
+
+} // namespace pes

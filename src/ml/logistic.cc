@@ -1,0 +1,112 @@
+#include "ml/logistic.hh"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace pes {
+
+double
+sigmoid(double z)
+{
+    if (z >= 0.0) {
+        const double e = std::exp(-z);
+        return 1.0 / (1.0 + e);
+    }
+    const double e = std::exp(z);
+    return e / (1.0 + e);
+}
+
+LogisticModel::LogisticModel()
+{
+    for (auto &row : w_)
+        row.fill(0.0);
+}
+
+double
+LogisticModel::logit(int cls, const FeatureVector &x) const
+{
+    panic_if(cls < 0 || cls >= kNumDomEventTypes,
+             "logit: bad class %d", cls);
+    const auto &row = w_[static_cast<size_t>(cls)];
+    double z = row[kNumFeatures];  // bias
+    for (int i = 0; i < kNumFeatures; ++i)
+        z += row[static_cast<size_t>(i)] * x.v[static_cast<size_t>(i)];
+    return z;
+}
+
+double
+LogisticModel::probability(int cls, const FeatureVector &x) const
+{
+    return sigmoid(logit(cls, x));
+}
+
+std::array<double, kNumDomEventTypes>
+LogisticModel::probabilities(const FeatureVector &x) const
+{
+    std::array<double, kNumDomEventTypes> out;
+    for (int c = 0; c < kNumDomEventTypes; ++c)
+        out[static_cast<size_t>(c)] = probability(c, x);
+    return out;
+}
+
+double &
+LogisticModel::weight(int cls, int feature)
+{
+    panic_if(cls < 0 || cls >= kNumDomEventTypes, "weight: bad class");
+    panic_if(feature < 0 || feature >= kWeightsPerClass,
+             "weight: bad feature index");
+    return w_[static_cast<size_t>(cls)][static_cast<size_t>(feature)];
+}
+
+double
+LogisticModel::weight(int cls, int feature) const
+{
+    return const_cast<LogisticModel *>(this)->weight(cls, feature);
+}
+
+std::string
+LogisticModel::serialize() const
+{
+    std::ostringstream out;
+    out.precision(17);
+    out << "pes-logistic-v1 " << kNumDomEventTypes << " "
+        << kWeightsPerClass << "\n";
+    for (const auto &row : w_) {
+        for (size_t i = 0; i < row.size(); ++i) {
+            if (i)
+                out << " ";
+            out << row[i];
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+std::optional<LogisticModel>
+LogisticModel::deserialize(const std::string &blob)
+{
+    std::istringstream in(blob);
+    std::string magic;
+    int classes = 0;
+    int weights = 0;
+    in >> magic >> classes >> weights;
+    if (magic != "pes-logistic-v1" || classes != kNumDomEventTypes ||
+        weights != kWeightsPerClass) {
+        return std::nullopt;
+    }
+    LogisticModel model;
+    for (int c = 0; c < classes; ++c) {
+        for (int i = 0; i < weights; ++i) {
+            double value = 0.0;
+            if (!(in >> value))
+                return std::nullopt;
+            model.weight(c, i) = value;
+        }
+    }
+    return model;
+}
+
+} // namespace pes

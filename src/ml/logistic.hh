@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Logistic event-sequence model (paper Sec. 5.2).
+ *
+ * "The event sequence learner employs a set of logistic models, each of
+ * which estimates the probability of one possible next event through
+ * ln(p/(1-p)) = x*beta." One independent sigmoid per DOM event type; the
+ * chosen prediction is the (LNES-masked) class with the highest
+ * probability, and that probability is the prediction's confidence.
+ */
+
+#ifndef PES_ML_LOGISTIC_HH
+#define PES_ML_LOGISTIC_HH
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "ml/features.hh"
+#include "web/event_types.hh"
+
+namespace pes {
+
+/**
+ * One-vs-rest logistic model over the DOM event types.
+ */
+class LogisticModel
+{
+  public:
+    /** Weights per class: one per feature plus a bias term. */
+    static constexpr int kWeightsPerClass = kNumFeatures + 1;
+
+    /** Zero-initialized model (all probabilities 0.5). */
+    LogisticModel();
+
+    /** Probability that class @p cls is the next event, given @p x. */
+    double probability(int cls, const FeatureVector &x) const;
+
+    /** All class probabilities (independent sigmoids, not normalized). */
+    std::array<double, kNumDomEventTypes>
+    probabilities(const FeatureVector &x) const;
+
+    /** Raw logit of class @p cls. */
+    double logit(int cls, const FeatureVector &x) const;
+
+    /** Mutable weight (feature index kNumFeatures is the bias). */
+    double &weight(int cls, int feature);
+    /** Immutable weight. */
+    double weight(int cls, int feature) const;
+
+    /** Serialize into a text blob (versioned). */
+    std::string serialize() const;
+
+    /** Parse a serialized model; nullopt on malformed input. */
+    static std::optional<LogisticModel> deserialize(const std::string &blob);
+
+    bool operator==(const LogisticModel &other) const = default;
+
+  private:
+    std::array<std::array<double, kWeightsPerClass>, kNumDomEventTypes> w_;
+};
+
+/** Numerically stable sigmoid. */
+double sigmoid(double z);
+
+} // namespace pes
+
+#endif // PES_ML_LOGISTIC_HH

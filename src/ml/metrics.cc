@@ -1,0 +1,108 @@
+#include "ml/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pes {
+
+void
+ConfusionMatrix::add(DomEventType actual, DomEventType predicted)
+{
+    counts_[static_cast<size_t>(actual)][static_cast<size_t>(predicted)]++;
+    ++total_;
+}
+
+long
+ConfusionMatrix::count(DomEventType actual, DomEventType predicted) const
+{
+    return counts_[static_cast<size_t>(actual)]
+                  [static_cast<size_t>(predicted)];
+}
+
+double
+ConfusionMatrix::accuracy() const
+{
+    if (total_ == 0)
+        return 0.0;
+    long correct = 0;
+    for (int c = 0; c < kNumDomEventTypes; ++c)
+        correct += counts_[static_cast<size_t>(c)][static_cast<size_t>(c)];
+    return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double
+ConfusionMatrix::recall(DomEventType cls) const
+{
+    const auto c = static_cast<size_t>(cls);
+    long row = 0;
+    for (int p = 0; p < kNumDomEventTypes; ++p)
+        row += counts_[c][static_cast<size_t>(p)];
+    if (row == 0)
+        return 0.0;
+    return static_cast<double>(counts_[c][c]) / static_cast<double>(row);
+}
+
+CalibrationBins::CalibrationBins(int bins)
+    : sumConf_(static_cast<size_t>(bins), 0.0),
+      correct_(static_cast<size_t>(bins), 0),
+      counts_(static_cast<size_t>(bins), 0)
+{
+    panic_if(bins <= 0, "CalibrationBins: bins must be positive");
+}
+
+void
+CalibrationBins::add(double confidence, bool correct)
+{
+    const double clamped = std::clamp(confidence, 0.0, 1.0);
+    auto bin = static_cast<size_t>(clamped *
+                                   static_cast<double>(bins()));
+    bin = std::min(bin, sumConf_.size() - 1);
+    sumConf_[bin] += clamped;
+    correct_[bin] += correct ? 1 : 0;
+    counts_[bin] += 1;
+}
+
+double
+CalibrationBins::binConfidence(int i) const
+{
+    const auto idx = static_cast<size_t>(i);
+    return counts_[idx] ? sumConf_[idx] /
+        static_cast<double>(counts_[idx]) : 0.0;
+}
+
+double
+CalibrationBins::binAccuracy(int i) const
+{
+    const auto idx = static_cast<size_t>(i);
+    return counts_[idx] ? static_cast<double>(correct_[idx]) /
+        static_cast<double>(counts_[idx]) : 0.0;
+}
+
+long
+CalibrationBins::binCount(int i) const
+{
+    return counts_[static_cast<size_t>(i)];
+}
+
+double
+CalibrationBins::expectedCalibrationError() const
+{
+    long total = 0;
+    for (long c : counts_)
+        total += c;
+    if (total == 0)
+        return 0.0;
+    double ece = 0.0;
+    for (int i = 0; i < bins(); ++i) {
+        if (!binCount(i))
+            continue;
+        const double w = static_cast<double>(binCount(i)) /
+            static_cast<double>(total);
+        ece += w * std::abs(binConfidence(i) - binAccuracy(i));
+    }
+    return ece;
+}
+
+} // namespace pes

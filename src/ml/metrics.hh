@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Classification quality metrics for the event predictor.
+ */
+
+#ifndef PES_ML_METRICS_HH
+#define PES_ML_METRICS_HH
+
+#include <array>
+#include <vector>
+
+#include "ml/trainer.hh"
+
+namespace pes {
+
+/**
+ * Confusion matrix and derived metrics over the event-type classes.
+ */
+class ConfusionMatrix
+{
+  public:
+    /** Record one (actual, predicted) pair. */
+    void add(DomEventType actual, DomEventType predicted);
+
+    /** Count at (actual, predicted). */
+    long count(DomEventType actual, DomEventType predicted) const;
+
+    /** Overall accuracy (0 when empty). */
+    double accuracy() const;
+
+    /** Per-class recall (0 when the class never occurs). */
+    double recall(DomEventType cls) const;
+
+    /** Total number of recorded pairs. */
+    long total() const { return total_; }
+
+  private:
+    std::array<std::array<long, kNumDomEventTypes>, kNumDomEventTypes>
+        counts_{};
+    long total_ = 0;
+};
+
+/**
+ * Reliability diagram: do confidences match empirical accuracy? Used to
+ * validate the cumulative-confidence stopping rule of the predictor.
+ */
+class CalibrationBins
+{
+  public:
+    /** @param bins Number of equal-width confidence bins over [0, 1]. */
+    explicit CalibrationBins(int bins = 10);
+
+    /** Record a prediction made with @p confidence that was @p correct. */
+    void add(double confidence, bool correct);
+
+    /** Mean confidence of bin @p i (0 when empty). */
+    double binConfidence(int i) const;
+    /** Empirical accuracy of bin @p i (0 when empty). */
+    double binAccuracy(int i) const;
+    /** Samples in bin @p i. */
+    long binCount(int i) const;
+    /** Number of bins. */
+    int bins() const { return static_cast<int>(sumConf_.size()); }
+
+    /** Expected calibration error (confidence-weighted |conf - acc|). */
+    double expectedCalibrationError() const;
+
+  private:
+    std::vector<double> sumConf_;
+    std::vector<long> correct_;
+    std::vector<long> counts_;
+};
+
+} // namespace pes
+
+#endif // PES_ML_METRICS_HH

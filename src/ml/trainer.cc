@@ -1,0 +1,72 @@
+#include "ml/trainer.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace pes {
+
+SgdTrainer::SgdTrainer(TrainConfig config)
+    : config_(config)
+{
+}
+
+LogisticModel
+SgdTrainer::train(const std::vector<TrainSample> &samples) const
+{
+    LogisticModel model;
+    if (samples.empty())
+        return model;
+
+    Rng rng(config_.shuffleSeed);
+    std::vector<size_t> order(samples.size());
+    std::iota(order.begin(), order.end(), 0);
+
+    double lr = config_.learningRate;
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+        // Fisher-Yates shuffle with our deterministic generator.
+        for (size_t i = order.size(); i > 1; --i) {
+            const size_t j = static_cast<size_t>(
+                rng.uniformInt(0, static_cast<int>(i) - 1));
+            std::swap(order[i - 1], order[j]);
+        }
+        for (size_t idx : order) {
+            const TrainSample &s = samples[idx];
+            for (int c = 0; c < kNumDomEventTypes; ++c) {
+                const double y =
+                    (static_cast<int>(s.label) == c) ? 1.0 : 0.0;
+                const double p = model.probability(c, s.x);
+                const double err = p - y;
+                for (int f = 0; f < kNumFeatures; ++f) {
+                    double &w = model.weight(c, f);
+                    w -= lr * (err * s.x.v[static_cast<size_t>(f)] +
+                               config_.l2 * w);
+                }
+                double &bias = model.weight(c, kNumFeatures);
+                bias -= lr * err;
+            }
+        }
+        lr *= config_.learningRateDecay;
+    }
+    return model;
+}
+
+double
+SgdTrainer::loss(const LogisticModel &model,
+                 const std::vector<TrainSample> &samples)
+{
+    if (samples.empty())
+        return 0.0;
+    double total = 0.0;
+    for (const TrainSample &s : samples) {
+        for (int c = 0; c < kNumDomEventTypes; ++c) {
+            const double y = (static_cast<int>(s.label) == c) ? 1.0 : 0.0;
+            const double p =
+                std::clamp(model.probability(c, s.x), 1e-12, 1.0 - 1e-12);
+            total += -(y * std::log(p) + (1.0 - y) * std::log(1.0 - p));
+        }
+    }
+    return total / static_cast<double>(samples.size());
+}
+
+} // namespace pes

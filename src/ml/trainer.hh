@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Mini-batch SGD trainer for the logistic event-sequence model.
+ *
+ * Training is cheap by design (the paper reports ~3 s on a desktop CPU,
+ * motivating easy re-training); our datasets are tens of thousands of
+ * samples and train in well under a second.
+ */
+
+#ifndef PES_ML_TRAINER_HH
+#define PES_ML_TRAINER_HH
+
+#include <vector>
+
+#include "ml/logistic.hh"
+#include "util/rng.hh"
+
+namespace pes {
+
+/** One supervised sample: features at time t, the event type at t+1. */
+struct TrainSample
+{
+    FeatureVector x;
+    DomEventType label = DomEventType::Click;
+};
+
+/** Trainer hyper-parameters. */
+struct TrainConfig
+{
+    int epochs = 60;
+    double learningRate = 0.5;
+    double learningRateDecay = 0.97;
+    double l2 = 1e-5;
+    uint64_t shuffleSeed = 7;
+};
+
+/**
+ * Trains a one-vs-rest LogisticModel by SGD on the logistic loss.
+ */
+class SgdTrainer
+{
+  public:
+    explicit SgdTrainer(TrainConfig config = TrainConfig{});
+
+    /** Train a fresh model on @p samples. */
+    LogisticModel train(const std::vector<TrainSample> &samples) const;
+
+    /** Mean logistic loss of @p model on @p samples (all classes). */
+    static double loss(const LogisticModel &model,
+                       const std::vector<TrainSample> &samples);
+
+    /** The active configuration. */
+    const TrainConfig &config() const { return config_; }
+
+  private:
+    TrainConfig config_;
+};
+
+} // namespace pes
+
+#endif // PES_ML_TRAINER_HH

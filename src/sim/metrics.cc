@@ -1,0 +1,132 @@
+#include "sim/metrics.hh"
+
+#include <algorithm>
+
+namespace pes {
+
+void
+ResultSet::add(SimResult result)
+{
+    results_.push_back(std::move(result));
+}
+
+std::vector<std::string>
+ResultSet::apps() const
+{
+    std::vector<std::string> out;
+    for (const SimResult &r : results_) {
+        if (std::find(out.begin(), out.end(), r.appName) == out.end())
+            out.push_back(r.appName);
+    }
+    return out;
+}
+
+std::vector<std::string>
+ResultSet::schedulers() const
+{
+    std::vector<std::string> out;
+    for (const SimResult &r : results_) {
+        if (std::find(out.begin(), out.end(), r.schedulerName) == out.end())
+            out.push_back(r.schedulerName);
+    }
+    return out;
+}
+
+GroupSummary
+ResultSet::summarizeMatching(const std::string &app,
+                             const std::string &scheduler) const
+{
+    GroupSummary s;
+    s.appName = app;
+    s.schedulerName = scheduler;
+
+    EnergyMj energy_sum = 0.0;
+    double latency_sum = 0.0;
+    int violations = 0;
+    int predictions = 0;
+    int correct = 0;
+    int mispredictions = 0;
+    TimeMs waste_ms = 0.0;
+    EnergyMj waste_mj = 0.0;
+    double queue_sum = 0.0;
+
+    for (const SimResult &r : results_) {
+        if (!app.empty() && r.appName != app)
+            continue;
+        if (r.schedulerName != scheduler)
+            continue;
+        ++s.traces;
+        energy_sum += r.totalEnergy;
+        queue_sum += r.avgQueueLength;
+        for (const EventRecord &e : r.events) {
+            ++s.events;
+            latency_sum += e.latency();
+            violations += e.violated() ? 1 : 0;
+        }
+        predictions += r.predictionsMade;
+        correct += r.predictionsCorrect;
+        mispredictions += r.mispredictions;
+        waste_ms += r.mispredictWasteMs;
+        waste_mj += r.wasteEnergy - r.endOfRunWasteMj;
+    }
+
+    if (s.traces == 0)
+        return s;
+    s.meanEnergy = energy_sum / s.traces;
+    s.avgQueueLength = queue_sum / s.traces;
+    if (s.events > 0) {
+        s.violationRate =
+            static_cast<double>(violations) / s.events;
+        s.meanLatency = latency_sum / s.events;
+        s.wastePerEventMs = waste_ms / s.events;
+    }
+    if (predictions > 0) {
+        s.predictionAccuracy =
+            static_cast<double>(correct) / predictions;
+    }
+    if (mispredictions > 0) {
+        s.wastePerMispredictMs = waste_ms / mispredictions;
+        s.wastePerMispredictMj = waste_mj / mispredictions;
+    }
+    return s;
+}
+
+GroupSummary
+ResultSet::summarize(const std::string &app,
+                     const std::string &scheduler) const
+{
+    return summarizeMatching(app, scheduler);
+}
+
+GroupSummary
+ResultSet::summarizeScheduler(const std::string &scheduler) const
+{
+    return summarizeMatching(std::string(), scheduler);
+}
+
+double
+ResultSet::normalizedEnergy(const std::string &app,
+                            const std::string &scheduler,
+                            const std::string &baseline) const
+{
+    const GroupSummary target = summarize(app, scheduler);
+    const GroupSummary base = summarize(app, baseline);
+    if (target.traces == 0 || base.traces == 0 || base.meanEnergy <= 0.0)
+        return 1.0;
+    return target.meanEnergy / base.meanEnergy;
+}
+
+double
+ResultSet::meanNormalizedEnergy(const std::vector<std::string> &apps,
+                                const std::string &scheduler,
+                                const std::string &baseline) const
+{
+    if (apps.empty())
+        return 1.0;
+    double sum = 0.0;
+    for (const std::string &app : apps)
+        sum += normalizedEnergy(app, scheduler, baseline);
+    return sum / static_cast<double>(apps.size());
+}
+
+} // namespace pes

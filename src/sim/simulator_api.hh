@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The runtime facilities a SchedulerDriver may use.
+ *
+ * Thin facade over RuntimeSimulator internals: clock, platform/power
+ * models, the committed application session, the pending queue, arrived
+ * events, and the speculation-serving verbs. Created and owned by the
+ * simulator for the duration of one replay.
+ */
+
+#ifndef PES_SIM_SIMULATOR_API_HH
+#define PES_SIM_SIMULATOR_API_HH
+
+#include "hw/dvfs_model.hh"
+#include "hw/power_model.hh"
+#include "sim/sim_types.hh"
+#include "trace/trace.hh"
+#include "web/event_loop.hh"
+#include "web/vsync.hh"
+#include "web/web_app.hh"
+
+namespace pes {
+
+class RuntimeSimulator;
+
+/**
+ * Driver-facing simulator interface.
+ */
+class SimulatorApi
+{
+  public:
+    /** Current simulation time. */
+    TimeMs now() const;
+
+    /** The ACMP platform. */
+    const AcmpPlatform &platform() const;
+
+    /** The power lookup table. */
+    const PowerModel &powerModel() const;
+
+    /** The Eqn.-1 latency model over the platform. */
+    const DvfsLatencyModel &latencyModel() const;
+
+    /** The VSync clock. */
+    const VsyncClock &vsync() const;
+
+    /** Committed application state (what the user currently sees). */
+    const WebAppSession &session() const;
+
+    /** The platform configuration currently in effect. */
+    AcmpConfig currentConfig() const;
+
+    /** The main-thread pending queue (arrived, unserved events). */
+    const EventLoop &pendingQueue() const;
+
+    /** Number of events that have arrived so far. */
+    int arrivedCount() const;
+
+    /** First arrival position that has not been served yet. */
+    int nextUnservedPosition() const;
+
+    /**
+     * An event that has already arrived (panics on not-yet-arrived
+     * indices: schedulers cannot look into the future).
+     */
+    const TraceEvent &arrivedEvent(int trace_index) const;
+
+    /**
+     * Whole trace including future events. Only the OracleScheduler may
+     * use this; it exists to implement the paper's oracle baseline.
+     */
+    const InteractionTrace &fullTrace() const;
+
+    // ---- Speculation verbs (see SchedulerDriver) ----
+
+    /**
+     * Serve arrived event @p trace_index from a finished speculative
+     * frame @p work_id. The display time is the first VSync after
+     * max(arrival, frame-ready).
+     */
+    void serveFromSpeculation(int trace_index, uint64_t work_id);
+
+    /**
+     * Serve arrived event @p trace_index with the currently executing
+     * speculative item when it finishes.
+     */
+    void adoptInFlight(int trace_index);
+
+    /** Abort the currently executing speculative item (squash). */
+    void abortInFlight();
+
+    /**
+     * QoS safety net: re-configure the in-flight speculative item so its
+     * frame completes by @p deadline if possible — the cheapest
+     * configuration that still meets it, or the fastest one when none
+     * does. Models the control unit raising DVFS when the user arrives
+     * earlier than speculation assumed. Returns the configuration now in
+     * effect.
+     */
+    AcmpConfig boostInFlightToMeet(TimeMs deadline);
+
+    /**
+     * Declare a finished speculative frame squashed: its busy energy is
+     * re-tagged as mispredict waste.
+     */
+    void discardSpeculativeWork(uint64_t work_id);
+
+    /**
+     * Charge scheduler compute (prediction + optimization) on the main
+     * thread: advances time and adds Overhead-tagged energy.
+     */
+    void chargeSchedulerOverhead(TimeMs duration);
+
+    // ---- Reporting verbs (fill SimResult bookkeeping) ----
+
+    /** Record a PFB occupancy sample (Fig. 9). */
+    void recordPfbSample(int pfb_size, bool after_squash);
+
+    /** Record a validated prediction outcome (Fig. 8 accuracy). */
+    void notePrediction(bool correct);
+
+    /** Record the degree of a completed prediction round. */
+    void notePredictionRound(int degree);
+
+    /** Record that prediction was disabled (>3 mispredicts, Sec. 5.4). */
+    void noteFallback();
+
+  private:
+    friend class RuntimeSimulator;
+    explicit SimulatorApi(RuntimeSimulator &sim) : sim_(&sim) {}
+
+    RuntimeSimulator *sim_;
+};
+
+} // namespace pes
+
+#endif // PES_SIM_SIMULATOR_API_HH

@@ -1,0 +1,129 @@
+#include "solver/ilp.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace pes {
+
+namespace {
+constexpr double kIntTol = 1e-6;
+} // namespace
+
+IntegerProgram::IntegerProgram(int num_vars)
+    : numVars_(num_vars),
+      objective_(static_cast<size_t>(num_vars), 0.0)
+{
+    panic_if(num_vars <= 0, "IntegerProgram needs at least one variable");
+}
+
+void
+IntegerProgram::setObjective(std::vector<double> coeffs)
+{
+    panic_if(static_cast<int>(coeffs.size()) != numVars_,
+             "objective size mismatch");
+    objective_ = std::move(coeffs);
+}
+
+void
+IntegerProgram::addConstraint(std::vector<double> coeffs, Relation relation,
+                              double rhs)
+{
+    panic_if(static_cast<int>(coeffs.size()) != numVars_,
+             "constraint size mismatch");
+    rows_.push_back({std::move(coeffs), relation, rhs});
+}
+
+LpResult
+IntegerProgram::solveRelaxation(const std::vector<int> &fixed) const
+{
+    // LP relaxation: maximize -(c.x) with 0 <= x <= 1 and fixings as
+    // equality rows.
+    LinearProgram lp(numVars_);
+    std::vector<double> neg(objective_.size());
+    for (size_t i = 0; i < objective_.size(); ++i)
+        neg[i] = -objective_[i];
+    lp.setObjective(std::move(neg));
+    for (const LpConstraint &row : rows_)
+        lp.addConstraint(row.coeffs, row.relation, row.rhs);
+    for (int j = 0; j < numVars_; ++j) {
+        std::vector<double> unit(static_cast<size_t>(numVars_), 0.0);
+        unit[static_cast<size_t>(j)] = 1.0;
+        if (fixed[static_cast<size_t>(j)] == -1) {
+            lp.addConstraint(std::move(unit), Relation::LessEqual, 1.0);
+        } else {
+            lp.addConstraint(
+                std::move(unit), Relation::Equal,
+                static_cast<double>(fixed[static_cast<size_t>(j)]));
+        }
+    }
+    return lp.solve();
+}
+
+IlpResult
+IntegerProgram::solve() const
+{
+    IlpResult best;
+    best.objective = std::numeric_limits<double>::infinity();
+
+    struct Node
+    {
+        std::vector<int> fixed;  // -1 free, 0/1 fixed
+    };
+
+    std::vector<Node> stack;
+    stack.push_back({std::vector<int>(static_cast<size_t>(numVars_), -1)});
+
+    while (!stack.empty()) {
+        const Node node = std::move(stack.back());
+        stack.pop_back();
+        ++best.nodesExplored;
+
+        const LpResult relax = solveRelaxation(node.fixed);
+        if (relax.status != LpStatus::Optimal)
+            continue;  // infeasible subtree (bounded by construction)
+        const double lower_bound = -relax.objective;
+        if (best.status == IlpStatus::Optimal &&
+            lower_bound >= best.objective - 1e-9) {
+            continue;  // cannot improve
+        }
+
+        // Find the most fractional variable.
+        int branch_var = -1;
+        double best_frac = kIntTol;
+        for (int j = 0; j < numVars_; ++j) {
+            const double v = relax.x[static_cast<size_t>(j)];
+            const double frac = std::abs(v - std::round(v));
+            if (frac > best_frac) {
+                best_frac = frac;
+                branch_var = j;
+            }
+        }
+
+        if (branch_var == -1) {
+            // Integral solution.
+            if (lower_bound < best.objective - 1e-12) {
+                best.status = IlpStatus::Optimal;
+                best.objective = lower_bound;
+                best.x.assign(static_cast<size_t>(numVars_), 0);
+                for (int j = 0; j < numVars_; ++j) {
+                    best.x[static_cast<size_t>(j)] = static_cast<int>(
+                        std::round(relax.x[static_cast<size_t>(j)]));
+                }
+            }
+            continue;
+        }
+
+        for (int value : {1, 0}) {
+            Node child = node;
+            child.fixed[static_cast<size_t>(branch_var)] = value;
+            stack.push_back(std::move(child));
+        }
+    }
+
+    return best;
+}
+
+} // namespace pes

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Branch-and-bound 0/1 integer linear programming.
+ *
+ * Generic binary ILP used to cross-validate the specialized scheduling DP
+ * solver and available to library users for other formulations. Minimizes
+ * c.x over binary x subject to general rows.
+ */
+
+#ifndef PES_SOLVER_ILP_HH
+#define PES_SOLVER_ILP_HH
+
+#include <vector>
+
+#include "solver/lp.hh"
+
+namespace pes {
+
+/** Outcome of an ILP solve. */
+enum class IlpStatus
+{
+    Optimal = 0,
+    Infeasible,
+};
+
+/** Solution of a binary ILP. */
+struct IlpResult
+{
+    IlpStatus status = IlpStatus::Infeasible;
+    double objective = 0.0;
+    std::vector<int> x;
+    /** Branch-and-bound nodes explored (diagnostic). */
+    long nodesExplored = 0;
+};
+
+/**
+ * A binary integer program: minimize objective . x, x in {0,1}^n.
+ */
+class IntegerProgram
+{
+  public:
+    /** @param num_vars Number of binary decision variables. */
+    explicit IntegerProgram(int num_vars);
+
+    /** Set the (minimization) objective. */
+    void setObjective(std::vector<double> coeffs);
+
+    /** Add a general constraint row. */
+    void addConstraint(std::vector<double> coeffs, Relation relation,
+                       double rhs);
+
+    /** Number of variables. */
+    int numVars() const { return numVars_; }
+
+    /** Solve by LP-relaxation branch and bound (best-bound pruning). */
+    IlpResult solve() const;
+
+  private:
+    struct Fixing
+    {
+        int var;
+        int value;
+    };
+
+    LpResult solveRelaxation(const std::vector<int> &fixed) const;
+
+    int numVars_;
+    std::vector<double> objective_;
+    std::vector<LpConstraint> rows_;
+};
+
+} // namespace pes
+
+#endif // PES_SOLVER_ILP_HH

@@ -1,0 +1,267 @@
+#include "solver/lp.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace pes {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+/**
+ * Dense simplex tableau with Bland's rule.
+ *
+ * Layout: rows_ x cols_ matrix; the last column is the rhs, the last row
+ * is the (negated) objective. Column j < structural+slack+artificial are
+ * variables.
+ */
+class Tableau
+{
+  public:
+    Tableau(size_t rows, size_t cols)
+        : rows_(rows), cols_(cols),
+          a_(rows * cols, 0.0), basis_(rows - 1, -1)
+    {
+    }
+
+    double &at(size_t r, size_t c) { return a_[r * cols_ + c]; }
+    double at(size_t r, size_t c) const { return a_[r * cols_ + c]; }
+
+    size_t constraintRows() const { return rows_ - 1; }
+    size_t objRow() const { return rows_ - 1; }
+    size_t rhsCol() const { return cols_ - 1; }
+
+    void setBasis(size_t row, int var) { basis_[row] = var; }
+    int basis(size_t row) const { return basis_[row]; }
+
+    /** Run simplex until optimal/unbounded over columns [0, limit). */
+    bool
+    iterate(size_t var_limit)
+    {
+        for (;;) {
+            // Bland: entering variable = lowest index with positive
+            // reduced profit (we maximize; objective row holds -c).
+            size_t enter = var_limit;
+            for (size_t j = 0; j < var_limit; ++j) {
+                if (at(objRow(), j) < -kEps) {
+                    enter = j;
+                    break;
+                }
+            }
+            if (enter == var_limit)
+                return true;  // optimal
+
+            // Ratio test; Bland tie-break on smallest basis variable.
+            size_t leave = constraintRows();
+            double best_ratio = std::numeric_limits<double>::infinity();
+            for (size_t r = 0; r < constraintRows(); ++r) {
+                const double coef = at(r, enter);
+                if (coef > kEps) {
+                    const double ratio = at(r, rhsCol()) / coef;
+                    if (ratio < best_ratio - kEps ||
+                        (std::abs(ratio - best_ratio) <= kEps &&
+                         leave < constraintRows() &&
+                         basis_[r] < basis_[leave])) {
+                        best_ratio = ratio;
+                        leave = r;
+                    }
+                }
+            }
+            if (leave == constraintRows())
+                return false;  // unbounded
+
+            pivot(leave, enter);
+        }
+    }
+
+    void
+    pivot(size_t prow, size_t pcol)
+    {
+        const double pval = at(prow, pcol);
+        panic_if(std::abs(pval) < kEps, "simplex pivot on ~zero element");
+        for (size_t c = 0; c < cols_; ++c)
+            at(prow, c) /= pval;
+        for (size_t r = 0; r < rows_; ++r) {
+            if (r == prow)
+                continue;
+            const double factor = at(r, pcol);
+            if (std::abs(factor) < kEps)
+                continue;
+            for (size_t c = 0; c < cols_; ++c)
+                at(r, c) -= factor * at(prow, c);
+        }
+        basis_[prow] = static_cast<int>(pcol);
+    }
+
+  private:
+    size_t rows_;
+    size_t cols_;
+    std::vector<double> a_;
+    std::vector<int> basis_;
+};
+
+} // namespace
+
+LinearProgram::LinearProgram(int num_vars)
+    : numVars_(num_vars),
+      objective_(static_cast<size_t>(num_vars), 0.0)
+{
+    panic_if(num_vars <= 0, "LinearProgram needs at least one variable");
+}
+
+void
+LinearProgram::setObjective(std::vector<double> coeffs)
+{
+    panic_if(static_cast<int>(coeffs.size()) != numVars_,
+             "objective size mismatch");
+    objective_ = std::move(coeffs);
+}
+
+void
+LinearProgram::addConstraint(std::vector<double> coeffs, Relation relation,
+                             double rhs)
+{
+    panic_if(static_cast<int>(coeffs.size()) != numVars_,
+             "constraint size mismatch");
+    rows_.push_back({std::move(coeffs), relation, rhs});
+}
+
+LpResult
+LinearProgram::solve() const
+{
+    const size_t m = rows_.size();
+    const size_t n = static_cast<size_t>(numVars_);
+
+    // Normalize rows to non-negative rhs.
+    std::vector<LpConstraint> rows = rows_;
+    for (LpConstraint &row : rows) {
+        if (row.rhs < 0.0) {
+            for (double &c : row.coeffs)
+                c = -c;
+            row.rhs = -row.rhs;
+            if (row.relation == Relation::LessEqual)
+                row.relation = Relation::GreaterEqual;
+            else if (row.relation == Relation::GreaterEqual)
+                row.relation = Relation::LessEqual;
+        }
+    }
+
+    // Count slack (<=), surplus (>=), artificial (>= and =) columns.
+    size_t slack = 0;
+    size_t artificial = 0;
+    for (const LpConstraint &row : rows) {
+        if (row.relation == Relation::LessEqual) {
+            ++slack;
+        } else if (row.relation == Relation::GreaterEqual) {
+            ++slack;       // surplus
+            ++artificial;
+        } else {
+            ++artificial;
+        }
+    }
+
+    const size_t total_vars = n + slack + artificial;
+    Tableau t(m + 1, total_vars + 1);
+
+    size_t next_slack = n;
+    size_t next_art = n + slack;
+    std::vector<size_t> art_cols;
+    for (size_t r = 0; r < m; ++r) {
+        const LpConstraint &row = rows[r];
+        for (size_t j = 0; j < n; ++j)
+            t.at(r, j) = row.coeffs[j];
+        t.at(r, t.rhsCol()) = row.rhs;
+        if (row.relation == Relation::LessEqual) {
+            t.at(r, next_slack) = 1.0;
+            t.setBasis(r, static_cast<int>(next_slack));
+            ++next_slack;
+        } else if (row.relation == Relation::GreaterEqual) {
+            t.at(r, next_slack) = -1.0;
+            ++next_slack;
+            t.at(r, next_art) = 1.0;
+            t.setBasis(r, static_cast<int>(next_art));
+            art_cols.push_back(next_art);
+            ++next_art;
+        } else {
+            t.at(r, next_art) = 1.0;
+            t.setBasis(r, static_cast<int>(next_art));
+            art_cols.push_back(next_art);
+            ++next_art;
+        }
+    }
+
+    LpResult result;
+
+    // ---- Phase 1: minimize the sum of artificials ----
+    if (artificial > 0) {
+        // Maximize -(sum of artificials): objective row = +1 on each
+        // artificial, then eliminate basic artificials from the row.
+        for (size_t col : art_cols)
+            t.at(t.objRow(), col) = 1.0;
+        for (size_t r = 0; r < m; ++r) {
+            const int b = t.basis(r);
+            if (b >= static_cast<int>(n + slack)) {
+                for (size_t c = 0; c < total_vars + 1; ++c)
+                    t.at(t.objRow(), c) -= t.at(r, c);
+            }
+        }
+        if (!t.iterate(total_vars)) {
+            result.status = LpStatus::Unbounded;  // cannot happen in ph.1
+            return result;
+        }
+        const double phase1 = -t.at(t.objRow(), t.rhsCol());
+        if (std::abs(phase1) > 1e-6) {
+            result.status = LpStatus::Infeasible;
+            return result;
+        }
+        // Drive any artificial still in the basis out (degenerate rows).
+        for (size_t r = 0; r < m; ++r) {
+            if (t.basis(r) >= static_cast<int>(n + slack)) {
+                for (size_t j = 0; j < n + slack; ++j) {
+                    if (std::abs(t.at(r, j)) > kEps) {
+                        t.pivot(r, j);
+                        break;
+                    }
+                }
+            }
+        }
+        // Reset the objective row for phase 2.
+        for (size_t c = 0; c < total_vars + 1; ++c)
+            t.at(t.objRow(), c) = 0.0;
+    }
+
+    // ---- Phase 2: maximize the real objective ----
+    for (size_t j = 0; j < n; ++j)
+        t.at(t.objRow(), j) = -objective_[j];
+    // Eliminate basic variables from the objective row.
+    for (size_t r = 0; r < m; ++r) {
+        const int b = t.basis(r);
+        if (b >= 0 && b < static_cast<int>(n) &&
+            std::abs(t.at(t.objRow(), static_cast<size_t>(b))) > kEps) {
+            const double factor = t.at(t.objRow(), static_cast<size_t>(b));
+            for (size_t c = 0; c < total_vars + 1; ++c)
+                t.at(t.objRow(), c) -= factor * t.at(r, c);
+        }
+    }
+    // Phase 2 must not re-enter artificial columns.
+    if (!t.iterate(n + slack)) {
+        result.status = LpStatus::Unbounded;
+        return result;
+    }
+
+    result.status = LpStatus::Optimal;
+    result.objective = t.at(t.objRow(), t.rhsCol());
+    result.x.assign(n, 0.0);
+    for (size_t r = 0; r < m; ++r) {
+        const int b = t.basis(r);
+        if (b >= 0 && b < static_cast<int>(n))
+            result.x[static_cast<size_t>(b)] = t.at(r, t.rhsCol());
+    }
+    return result;
+}
+
+} // namespace pes

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Dense two-phase simplex linear-programming solver.
+ *
+ * Supports maximization of c.x subject to general rows (<=, =, >=) with
+ * x >= 0. Used as the relaxation engine of the branch-and-bound integer
+ * solver, which in turn cross-validates the specialized scheduling DP
+ * (Sec. 5.5: "we implement our own solver customized to this particular
+ * formulation instead of using a third-party solver").
+ *
+ * Bland's anti-cycling rule keeps the solver terminating on degenerate
+ * instances; the problem sizes in PES (tens of variables) make performance
+ * a non-issue for the generic path.
+ */
+
+#ifndef PES_SOLVER_LP_HH
+#define PES_SOLVER_LP_HH
+
+#include <vector>
+
+namespace pes {
+
+/** Relation of a constraint row. */
+enum class Relation
+{
+    LessEqual = 0,
+    Equal,
+    GreaterEqual,
+};
+
+/** One constraint row: coeffs . x (relation) rhs. */
+struct LpConstraint
+{
+    std::vector<double> coeffs;
+    Relation relation = Relation::LessEqual;
+    double rhs = 0.0;
+};
+
+/** Outcome of an LP solve. */
+enum class LpStatus
+{
+    Optimal = 0,
+    Infeasible,
+    Unbounded,
+};
+
+/** Solution of an LP. */
+struct LpResult
+{
+    LpStatus status = LpStatus::Infeasible;
+    double objective = 0.0;
+    std::vector<double> x;
+};
+
+/**
+ * A linear program: maximize objective . x subject to constraints, x >= 0.
+ */
+class LinearProgram
+{
+  public:
+    /** @param num_vars Number of decision variables. */
+    explicit LinearProgram(int num_vars);
+
+    /** Set the objective coefficients (maximization). */
+    void setObjective(std::vector<double> coeffs);
+
+    /** Add one constraint row; coefficient count must match num_vars. */
+    void addConstraint(std::vector<double> coeffs, Relation relation,
+                       double rhs);
+
+    /** Number of variables. */
+    int numVars() const { return numVars_; }
+    /** Number of constraint rows. */
+    int numConstraints() const { return static_cast<int>(rows_.size()); }
+
+    /** Solve with two-phase simplex. */
+    LpResult solve() const;
+
+  private:
+    int numVars_;
+    std::vector<double> objective_;
+    std::vector<LpConstraint> rows_;
+};
+
+} // namespace pes
+
+#endif // PES_SOLVER_LP_HH

@@ -1,0 +1,240 @@
+#include "solver/schedule_problem.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace pes {
+
+IntegerProgram
+ScheduleProblem::toIlp() const
+{
+    panic_if(!switchCost.empty(),
+             "toIlp: switch costs are not expressible in the Eqn. 5 ILP");
+    const int n = static_cast<int>(events.size());
+    const int c = numConfigs();
+    panic_if(n == 0, "toIlp: empty problem");
+
+    // Variables: tau(i, j) laid out row-major.
+    IntegerProgram ilp(n * c);
+    auto var = [c](int i, int j) { return i * c + j; };
+
+    std::vector<double> objective(static_cast<size_t>(n * c), 0.0);
+    for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < c; ++j) {
+            objective[static_cast<size_t>(var(i, j))] =
+                events[static_cast<size_t>(i)].energy
+                    [static_cast<size_t>(j)];
+        }
+    }
+    ilp.setObjective(std::move(objective));
+
+    // Eqn. 2: each event picks exactly one configuration.
+    for (int i = 0; i < n; ++i) {
+        std::vector<double> row(static_cast<size_t>(n * c), 0.0);
+        for (int j = 0; j < c; ++j)
+            row[static_cast<size_t>(var(i, j))] = 1.0;
+        ilp.addConstraint(std::move(row), Relation::Equal, 1.0);
+    }
+
+    // Eqn. 4: prefix-sum latencies within each deadline.
+    for (int i = 0; i < n; ++i) {
+        const TimeMs deadline = events[static_cast<size_t>(i)].deadline;
+        if (!std::isfinite(deadline))
+            continue;
+        std::vector<double> row(static_cast<size_t>(n * c), 0.0);
+        for (int k = 0; k <= i; ++k) {
+            for (int j = 0; j < c; ++j) {
+                row[static_cast<size_t>(var(k, j))] =
+                    events[static_cast<size_t>(k)].latency
+                        [static_cast<size_t>(j)];
+            }
+        }
+        ilp.addConstraint(std::move(row), Relation::LessEqual, deadline);
+    }
+
+    return ilp;
+}
+
+namespace {
+
+/**
+ * Weight folding tardiness and energy into one scalar cost. Any positive
+ * tardiness above ~1e-6 ms outweighs every achievable energy total, which
+ * realizes the lexicographic (tardiness, energy) objective; on feasible
+ * instances (tardiness 0) the cost *is* the energy, so the DP stays exact
+ * for the Eqn. 5 optimum.
+ */
+constexpr double kTardinessWeight = 1e12;
+
+/** One Pareto state after scheduling a prefix of events. */
+struct DpState
+{
+    TimeMs finish = 0.0;
+    TimeMs tardiness = 0.0;
+    EnergyMj energy = 0.0;
+    /** Configuration of the last scheduled event. */
+    int lastConfig = 0;
+    /** Index into the previous stage's state vector (for reconstruction) */
+    int parent = -1;
+    /** Config chosen at this stage. */
+    int chosen = -1;
+
+    double cost() const
+    {
+        return tardiness * kTardinessWeight + energy;
+    }
+};
+
+/** Hard cap on frontier states kept per lastConfig bucket. */
+constexpr size_t kMaxBucketStates = 256;
+
+/**
+ * Keep the (finish, cost) Pareto frontier of one bucket: after sorting by
+ * finish, a state survives only when its cost strictly beats every
+ * earlier-finishing survivor. O(n log n).
+ */
+void
+pruneBucket(std::vector<DpState> &states)
+{
+    std::sort(states.begin(), states.end(),
+              [](const DpState &a, const DpState &b) {
+                  if (a.finish != b.finish)
+                      return a.finish < b.finish;
+                  return a.cost() < b.cost();
+              });
+    std::vector<DpState> kept;
+    double min_cost = std::numeric_limits<double>::infinity();
+    for (const DpState &s : states) {
+        const double c = s.cost();
+        if (c < min_cost - 1e-12) {
+            kept.push_back(s);
+            min_cost = c;
+        }
+    }
+    // Bound the frontier (defensive; real instances stay far below the
+    // cap). Thinning keeps the cheapest and fastest extremes.
+    if (kept.size() > kMaxBucketStates) {
+        std::vector<DpState> thinned;
+        thinned.reserve(kMaxBucketStates);
+        const double step = static_cast<double>(kept.size() - 1) /
+            static_cast<double>(kMaxBucketStates - 1);
+        for (size_t i = 0; i < kMaxBucketStates; ++i) {
+            thinned.push_back(
+                kept[static_cast<size_t>(std::round(step *
+                                                    static_cast<double>(i)))]);
+        }
+        kept = std::move(thinned);
+    }
+    states = std::move(kept);
+}
+
+} // namespace
+
+ScheduleSolution
+ParetoDpSolver::solve(const ScheduleProblem &problem) const
+{
+    ScheduleSolution solution;
+    const int n = static_cast<int>(problem.events.size());
+    if (n == 0) {
+        solution.feasible = true;
+        return solution;
+    }
+    const int c = problem.numConfigs();
+    panic_if(c == 0, "ParetoDpSolver: no configurations");
+    const bool use_switch = !problem.switchCost.empty();
+
+    // stages[i] holds the surviving states after scheduling event i.
+    std::vector<std::vector<DpState>> stages(static_cast<size_t>(n));
+
+    DpState init;
+    init.lastConfig = problem.initialConfig;
+    std::vector<DpState> frontier{init};
+
+    for (int i = 0; i < n; ++i) {
+        const ScheduleEvent &ev = problem.events[static_cast<size_t>(i)];
+        panic_if(static_cast<int>(ev.latency.size()) != c ||
+                 static_cast<int>(ev.energy.size()) != c,
+                 "ParetoDpSolver: ragged event table at %d", i);
+
+        std::vector<DpState> next;
+        next.reserve(frontier.size() * static_cast<size_t>(c));
+        for (size_t s = 0; s < frontier.size(); ++s) {
+            const DpState &prev = frontier[s];
+            for (int j = 0; j < c; ++j) {
+                TimeMs lat = ev.latency[static_cast<size_t>(j)];
+                if (use_switch) {
+                    lat += problem.switchCost
+                        [static_cast<size_t>(prev.lastConfig)]
+                        [static_cast<size_t>(j)];
+                }
+                DpState st;
+                st.finish = prev.finish + lat;
+                st.energy = prev.energy +
+                    ev.energy[static_cast<size_t>(j)];
+                st.tardiness = prev.tardiness +
+                    std::max(0.0, st.finish - ev.deadline);
+                st.lastConfig = j;
+                st.parent = static_cast<int>(s);
+                st.chosen = j;
+                next.push_back(st);
+            }
+        }
+
+        if (use_switch) {
+            // Prune per lastConfig bucket (the config is part of the
+            // state and affects future switch costs).
+            std::vector<DpState> pruned;
+            for (int j = 0; j < c; ++j) {
+                std::vector<DpState> bucket;
+                for (const DpState &st : next) {
+                    if (st.lastConfig == j)
+                        bucket.push_back(st);
+                }
+                pruneBucket(bucket);
+                pruned.insert(pruned.end(), bucket.begin(), bucket.end());
+            }
+            next = std::move(pruned);
+        } else {
+            pruneBucket(next);
+        }
+
+        stages[static_cast<size_t>(i)] = next;
+        frontier = std::move(next);
+    }
+
+    // Pick the lexicographic (tardiness, energy) best final state.
+    const std::vector<DpState> &finals = stages[static_cast<size_t>(n - 1)];
+    panic_if(finals.empty(), "ParetoDpSolver: lost all states");
+    size_t best = 0;
+    for (size_t s = 1; s < finals.size(); ++s) {
+        const DpState &a = finals[s];
+        const DpState &b = finals[best];
+        if (a.tardiness < b.tardiness - 1e-12 ||
+            (std::abs(a.tardiness - b.tardiness) <= 1e-12 &&
+             a.energy < b.energy - 1e-12)) {
+            best = s;
+        }
+    }
+
+    // Reconstruct the assignment.
+    solution.configOf.assign(static_cast<size_t>(n), 0);
+    solution.finishTime.assign(static_cast<size_t>(n), 0.0);
+    int idx = static_cast<int>(best);
+    for (int i = n - 1; i >= 0; --i) {
+        const DpState &st = stages[static_cast<size_t>(i)]
+                                  [static_cast<size_t>(idx)];
+        solution.configOf[static_cast<size_t>(i)] = st.chosen;
+        solution.finishTime[static_cast<size_t>(i)] = st.finish;
+        idx = st.parent;
+    }
+    const DpState &chosen = finals[best];
+    solution.totalEnergy = chosen.energy;
+    solution.totalTardiness = chosen.tardiness;
+    solution.feasible = chosen.tardiness <= 1e-9;
+    return solution;
+}
+
+} // namespace pes

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The PES scheduling formulation and its custom exact solver.
+ *
+ * Paper Sec. 5.3 (Eqns. 2-5): pick exactly one ACMP configuration per
+ * event so that the chain of event executions meets every event's deadline
+ * while the total energy  sum_i p(i) * dt(i)  is minimized. The paper
+ * implements "our own solver customized to this particular formulation" —
+ * this file is that solver: a dynamic program over Pareto-optimal
+ * (finish time, tardiness, energy) states per event, exact for the chain
+ * structure, with an optional last-configuration state dimension that
+ * accounts for DVFS-switch and migration costs.
+ *
+ * When no assignment can meet all deadlines (e.g. an inherently heavy
+ * Type I event with an immediate conservative deadline), the solver
+ * degrades lexicographically: minimize total tardiness first, then energy.
+ *
+ * toIlp() emits the paper's exact ILP (Eqn. 5) for the generic
+ * branch-and-bound solver; property tests assert both agree.
+ */
+
+#ifndef PES_SOLVER_SCHEDULE_PROBLEM_HH
+#define PES_SOLVER_SCHEDULE_PROBLEM_HH
+
+#include <vector>
+
+#include "solver/ilp.hh"
+#include "util/types.hh"
+
+namespace pes {
+
+/**
+ * One event to schedule: per-configuration latency and energy plus an
+ * absolute deadline (relative to the chain start at t = 0).
+ */
+struct ScheduleEvent
+{
+    /** Execution latency under each configuration (ms). */
+    std::vector<TimeMs> latency;
+    /** Energy under each configuration (mJ): p(j) * dt(i,j). */
+    std::vector<EnergyMj> energy;
+    /** Deadline relative to chain start; infinity = unconstrained. */
+    TimeMs deadline = 0.0;
+};
+
+/**
+ * The chain-scheduling problem over N events and C configurations.
+ */
+struct ScheduleProblem
+{
+    std::vector<ScheduleEvent> events;
+    /**
+     * Optional switch-cost matrix: switchCost[a][b] is added to the
+     * latency when an event runs on configuration b after configuration a.
+     * Empty = no switch costs (the Eqn. 5 formulation).
+     */
+    std::vector<std::vector<TimeMs>> switchCost;
+    /** Configuration active before the first event (with switch costs). */
+    int initialConfig = 0;
+
+    /** Number of configurations (from the first event). */
+    int numConfigs() const
+    {
+        return events.empty()
+            ? 0 : static_cast<int>(events.front().latency.size());
+    }
+
+    /**
+     * Emit the paper's ILP (Eqn. 5). Requires empty switchCost (switch
+     * costs make the objective non-linear in tau).
+     */
+    IntegerProgram toIlp() const;
+};
+
+/**
+ * Solution: one configuration per event.
+ */
+struct ScheduleSolution
+{
+    /** True when every deadline is met. */
+    bool feasible = false;
+    /** Chosen configuration index per event. */
+    std::vector<int> configOf;
+    /** Total energy of the chosen assignment. */
+    EnergyMj totalEnergy = 0.0;
+    /** Total tardiness (0 when feasible). */
+    TimeMs totalTardiness = 0.0;
+    /** Finish time of each event, relative to chain start. */
+    std::vector<TimeMs> finishTime;
+};
+
+/**
+ * Exact Pareto-frontier dynamic program for ScheduleProblem.
+ */
+class ParetoDpSolver
+{
+  public:
+    /**
+     * Solve the chain problem exactly. Objective is lexicographic
+     * (total tardiness, total energy); feasible instances therefore get
+     * the minimum-energy deadline-meeting assignment (the Eqn. 5 optimum).
+     */
+    ScheduleSolution solve(const ScheduleProblem &problem) const;
+};
+
+} // namespace pes
+
+#endif // PES_SOLVER_SCHEDULE_PROBLEM_HH

@@ -1,0 +1,300 @@
+#include "trace/app_profile.hh"
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace pes {
+
+namespace {
+
+AppProfile
+makeProfile(const std::string &name, bool seen)
+{
+    AppProfile p;
+    p.name = name;
+    p.seen = seen;
+    p.domSeed = hashString(name.c_str());
+    return p;
+}
+
+std::vector<AppProfile>
+buildRegistry()
+{
+    std::vector<AppProfile> apps;
+
+    // ---------------- 12 seen applications ----------------
+    {
+        // Chinese portal: dense links, long pages.
+        AppProfile p = makeProfile("163", true);
+        p.numPages = 5;
+        p.pageHeightFactor = 4.5;
+        p.linkDensity = 0.55;
+        p.buttonDensity = 0.30;
+        p.behaviorTemp = 0.26;
+        p.loadWorkScale = 1.2;
+        p.renderScale = 1.1;
+        p.navBias = 0.16;
+        apps.push_back(p);
+    }
+    {
+        AppProfile p = makeProfile("msn", true);
+        p.pageHeightFactor = 4.0;
+        p.linkDensity = 0.45;
+        p.buttonDensity = 0.30;
+        p.behaviorTemp = 0.17;
+        p.loadWorkScale = 1.1;
+        p.moveBias = 1.25;
+        apps.push_back(p);
+    }
+    {
+        // Sparse text site: very predictable users (paper: 97%).
+        AppProfile p = makeProfile("slashdot", true);
+        p.pageHeightFactor = 5.0;
+        p.linkDensity = 0.25;
+        p.buttonDensity = 0.15;
+        p.menuCount = 1;
+        p.behaviorTemp = 0.15;
+        p.moveBias = 1.6;
+        p.tapWorkScale = 0.8;
+        apps.push_back(p);
+    }
+    {
+        // Media-heavy; taps open players (heavy callbacks).
+        AppProfile p = makeProfile("youtube", true);
+        p.pageHeightFactor = 3.5;
+        p.buttonDensity = 0.55;
+        p.linkDensity = 0.20;
+        p.behaviorTemp = 0.3;
+        p.tapWorkScale = 1.5;
+        p.heavyTapFraction = 0.14;
+        p.renderScale = 1.25;
+        p.clickManifestation = 0.15;  // touch-first UI
+        p.scrollManifestation = false;
+        apps.push_back(p);
+    }
+    {
+        // Search: huge clickable area, least predictable (paper: 82.2%).
+        AppProfile p = makeProfile("google", true);
+        p.numPages = 6;
+        p.pageHeightFactor = 2.5;
+        p.linkDensity = 0.65;
+        p.buttonDensity = 0.50;
+        p.hasForm = true;
+        p.behaviorTemp = 0.52;
+        p.loadWorkScale = 0.7;
+        p.tapWorkScale = 0.7;
+        p.navBias = 0.2;
+                apps.push_back(p);
+    }
+    {
+        // Shopping: large clickable area, harder to predict (Sec. 6.2).
+        AppProfile p = makeProfile("amazon", true);
+        p.numPages = 6;
+        p.pageHeightFactor = 4.0;
+        p.linkDensity = 0.50;
+        p.buttonDensity = 0.60;
+        p.hasForm = true;
+        p.behaviorTemp = 0.45;
+        p.loadWorkScale = 1.3;
+        p.tapWorkScale = 1.1;
+        p.heavyTapFraction = 0.10;
+        p.clickManifestation = 0.10;
+        apps.push_back(p);
+    }
+    {
+        AppProfile p = makeProfile("ebay", true);
+        p.numPages = 5;
+        p.pageHeightFactor = 3.5;
+        p.linkDensity = 0.45;
+        p.buttonDensity = 0.50;
+        p.hasForm = true;
+        p.behaviorTemp = 0.37;
+        p.loadWorkScale = 1.15;
+        p.clickManifestation = 0.2;
+        p.scrollManifestation = false;
+        apps.push_back(p);
+    }
+    {
+        // Chinese portal: heavy pages, many sections.
+        AppProfile p = makeProfile("sina", true);
+        p.pageHeightFactor = 5.0;
+        p.linkDensity = 0.55;
+        p.buttonDensity = 0.35;
+        p.behaviorTemp = 0.19;
+        p.loadWorkScale = 1.35;
+        p.renderScale = 1.2;
+        p.tapWorkScale = 0.5;   // compute-light events (paper Sec. 6.4)
+        p.moveWorkScale = 0.6;
+        p.navBias = 0.16;
+        apps.push_back(p);
+    }
+    {
+        AppProfile p = makeProfile("espn", true);
+        p.pageHeightFactor = 4.0;
+        p.linkDensity = 0.40;
+        p.buttonDensity = 0.40;
+        p.behaviorTemp = 0.3;
+        p.loadWorkScale = 1.2;
+        p.renderScale = 1.15;
+        p.moveBias = 1.3;
+        apps.push_back(p);
+    }
+    {
+        AppProfile p = makeProfile("bbc", true);
+        p.pageHeightFactor = 4.0;
+        p.linkDensity = 0.35;
+        p.buttonDensity = 0.30;
+        p.behaviorTemp = 0.2;
+        p.loadWorkScale = 1.0;
+        p.moveBias = 1.35;
+        apps.push_back(p);
+    }
+    {
+        // The paper's running example (Fig. 2).
+        AppProfile p = makeProfile("cnn", true);
+        p.pageHeightFactor = 4.5;
+        p.linkDensity = 0.40;
+        p.buttonDensity = 0.35;
+        p.behaviorTemp = 0.3;
+        p.loadWorkScale = 1.25;
+        p.renderScale = 1.2;
+        p.heavyTapFraction = 0.12;
+        p.moveBias = 1.2;
+        apps.push_back(p);
+    }
+    {
+        // Feed app: scroll-dominated bursts.
+        AppProfile p = makeProfile("twitter", true);
+        p.numPages = 3;
+        p.pageHeightFactor = 6.0;
+        p.linkDensity = 0.25;
+        p.buttonDensity = 0.45;
+        p.behaviorTemp = 0.28;
+        p.moveBias = 1.9;
+        p.burstiness = 0.5;
+        p.clickManifestation = 0.1;
+        p.scrollManifestation = false;
+        p.tapWorkScale = 0.9;
+        apps.push_back(p);
+    }
+
+    // ---------------- 6 unseen applications ----------------
+    {
+        AppProfile p = makeProfile("yahoo", false);
+        p.pageHeightFactor = 4.0;
+        p.linkDensity = 0.45;
+        p.buttonDensity = 0.35;
+        p.behaviorTemp = 0.32;
+        p.loadWorkScale = 1.1;
+        p.navBias = 0.15;
+        apps.push_back(p);
+    }
+    {
+        AppProfile p = makeProfile("nytimes", false);
+        p.pageHeightFactor = 5.0;
+        p.linkDensity = 0.30;
+        p.buttonDensity = 0.25;
+        p.behaviorTemp = 0.27;
+        p.loadWorkScale = 1.2;
+        p.renderScale = 1.15;
+        p.moveBias = 1.4;
+        apps.push_back(p);
+    }
+    {
+        AppProfile p = makeProfile("stackoverflow", false);
+        p.pageHeightFactor = 5.5;
+        p.linkDensity = 0.35;
+        p.buttonDensity = 0.20;
+        p.menuCount = 1;
+        p.behaviorTemp = 0.17;
+        p.tapWorkScale = 0.8;
+        p.moveBias = 1.5;
+        apps.push_back(p);
+    }
+    {
+        // Chinese shopping: big clickable areas, touch-first.
+        AppProfile p = makeProfile("taobao", false);
+        p.numPages = 6;
+        p.pageHeightFactor = 4.5;
+        p.linkDensity = 0.50;
+        p.buttonDensity = 0.60;
+        p.hasForm = true;
+        p.behaviorTemp = 0.43;
+        p.loadWorkScale = 1.3;
+        p.renderScale = 1.2;
+        p.clickManifestation = 0.1;
+        p.scrollManifestation = false;
+        apps.push_back(p);
+    }
+    {
+        AppProfile p = makeProfile("tmall", false);
+        p.numPages = 5;
+        p.pageHeightFactor = 4.0;
+        p.linkDensity = 0.45;
+        p.buttonDensity = 0.55;
+        p.hasForm = true;
+        p.behaviorTemp = 0.4;
+        p.loadWorkScale = 1.25;
+        p.heavyTapFraction = 0.10;
+        p.clickManifestation = 0.15;
+        p.scrollManifestation = false;
+        apps.push_back(p);
+    }
+    {
+        AppProfile p = makeProfile("jd", false);
+        p.numPages = 5;
+        p.pageHeightFactor = 4.0;
+        p.linkDensity = 0.45;
+        p.buttonDensity = 0.50;
+        p.hasForm = true;
+        p.behaviorTemp = 0.38;
+        p.loadWorkScale = 1.2;
+        p.clickManifestation = 0.2;
+        apps.push_back(p);
+    }
+
+    return apps;
+}
+
+} // namespace
+
+const std::vector<AppProfile> &
+appRegistry()
+{
+    static const std::vector<AppProfile> registry = buildRegistry();
+    return registry;
+}
+
+std::vector<AppProfile>
+seenApps()
+{
+    std::vector<AppProfile> out;
+    for (const AppProfile &p : appRegistry()) {
+        if (p.seen)
+            out.push_back(p);
+    }
+    return out;
+}
+
+std::vector<AppProfile>
+unseenApps()
+{
+    std::vector<AppProfile> out;
+    for (const AppProfile &p : appRegistry()) {
+        if (!p.seen)
+            out.push_back(p);
+    }
+    return out;
+}
+
+const AppProfile &
+appByName(const std::string &name)
+{
+    for (const AppProfile &p : appRegistry()) {
+        if (p.name == name)
+            return p;
+    }
+    fatal("unknown application '%s'", name.c_str());
+}
+
+} // namespace pes

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Profiles of the 18 benchmark applications.
+ *
+ * The paper evaluates 12 Alexa-top-25 applications (used for training and
+ * characterization) plus six unseen applications for generalizability
+ * (Sec. 3, Sec. 6.1). Real page content and recorded user traces are not
+ * redistributable, so each application is described by a compact profile —
+ * DOM shape, interactivity density, workload scales, and user-behaviour
+ * parameters — from which seeded synthesis reproduces the properties the
+ * paper's results depend on: temporal predictability of event sequences,
+ * app-dependent prediction difficulty (more clickable area = harder, Sec.
+ * 6.2), realistic think-time slack, and a Type I-IV event mix under
+ * reactive scheduling (Sec. 4.3).
+ */
+
+#ifndef PES_TRACE_APP_PROFILE_HH
+#define PES_TRACE_APP_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace pes {
+
+/**
+ * Static description of one benchmark application.
+ */
+struct AppProfile
+{
+    /** Application name (e.g. "cnn"). */
+    std::string name;
+    /** True for the 12 applications in the training/characterization set. */
+    bool seen = true;
+    /** Seed for DOM synthesis (independent of user seeds). */
+    uint64_t domSeed = 1;
+
+    // -------- DOM shape --------
+    /** Number of pages reachable in the app. */
+    int numPages = 4;
+    /** Content sections per page (scaled by page height). */
+    int sectionsPerViewport = 4;
+    /** Page height in viewport multiples. */
+    double pageHeightFactor = 3.0;
+    /** Probability a content section carries a tappable button. */
+    double buttonDensity = 0.45;
+    /** Probability a content section carries a navigation link. */
+    double linkDensity = 0.35;
+    /** Number of collapsible menus in the header. */
+    int menuCount = 2;
+    /** Items per menu. */
+    int menuItems = 5;
+    /** Whether the app contains a form (fields + submit). */
+    bool hasForm = false;
+    /** Fraction of tap handlers registered as click (vs. touchstart). */
+    double clickManifestation = 0.9;
+    /** True when the app's document move listener is scroll (vs touchmove) */
+    bool scrollManifestation = true;
+
+    // -------- Workload scales --------
+    /** Multiplier on the base page-load workload. */
+    double loadWorkScale = 1.0;
+    /** Multiplier on the base tap-callback workload. */
+    double tapWorkScale = 1.0;
+    /** Multiplier on the base move-callback workload. */
+    double moveWorkScale = 1.0;
+    /** Rendering (visual complexity) multiplier. */
+    double renderScale = 1.0;
+    /** Probability a button's callback is inherently heavy (Type I seed). */
+    double heavyTapFraction = 0.08;
+    /** Log-space sigma of per-instance workload noise. */
+    double workSigma = 0.10;
+
+    // -------- User behaviour --------
+    /**
+     * Softmax temperature of the user model's next-event choice. Higher
+     * means less predictable users; roughly tracks clickable density as
+     * the paper observes (Sec. 6.2).
+     */
+    double behaviorTemp = 1.0;
+    /** Median think time between non-burst inputs (ms). */
+    TimeMs thinkMedianMs = 5600.0;
+    /** Probability an input is part of a short burst. */
+    double burstiness = 0.25;
+    /** Base preference weights: tap / move / nav / submit. */
+    double tapBias = 1.0;
+    double moveBias = 1.0;
+    double navBias = 0.12;
+    double submitBias = 0.12;
+};
+
+/** All 18 applications (12 seen followed by 6 unseen). */
+const std::vector<AppProfile> &appRegistry();
+
+/** The 12 seen applications. */
+std::vector<AppProfile> seenApps();
+
+/** The six unseen applications. */
+std::vector<AppProfile> unseenApps();
+
+/** Look up an application by name; panics when unknown. */
+const AppProfile &appByName(const std::string &name);
+
+} // namespace pes
+
+#endif // PES_TRACE_APP_PROFILE_HH

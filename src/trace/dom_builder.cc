@@ -1,0 +1,259 @@
+#include "trace/dom_builder.hh"
+
+#include <algorithm>
+
+#include "trace/workload_params.hh"
+#include "util/rng.hh"
+
+namespace pes {
+
+namespace {
+
+/** Load-work multiplier for a page: page 0 is the cold landing page. */
+double
+pageLoadFactor(int page_id, Rng &rng)
+{
+    if (page_id == 0)
+        return 1.0;
+    return rng.uniform(0.55, 0.90);
+}
+
+} // namespace
+
+AppDomBuilder::AppDomBuilder(const AppProfile &profile)
+    : profile_(&profile)
+{
+}
+
+DomEventType
+AppDomBuilder::tapTypeFor(const AppProfile &profile, double roll)
+{
+    // Tap manifestation is a site-wide convention: an app handles taps
+    // either through click or through touchstart listeners. (A per-node
+    // mix would make the *type* of a tap unpredictable by construction,
+    // which matches neither real sites nor the paper's 91% accuracy.)
+    (void)roll;
+    return profile.clickManifestation >= 0.5 ? DomEventType::Click
+                                             : DomEventType::TouchStart;
+}
+
+DomEventType
+AppDomBuilder::moveTypeFor(const AppProfile &profile)
+{
+    return profile.scrollManifestation ? DomEventType::Scroll
+                                       : DomEventType::TouchMove;
+}
+
+WebApp
+AppDomBuilder::build() const
+{
+    const AppProfile &p = *profile_;
+    Viewport viewport;
+    WebApp app(p.name, viewport);
+
+    Rng rng(p.domSeed);
+    std::vector<double> load_factors;
+    load_factors.reserve(static_cast<size_t>(p.numPages));
+    for (int page = 0; page < p.numPages; ++page)
+        load_factors.push_back(pageLoadFactor(page, rng));
+
+    for (int page = 0; page < p.numPages; ++page) {
+        Rng page_rng = rng.fork(static_cast<uint64_t>(page) + 101);
+        DomTree dom;
+
+        const double view_w = viewport.width;
+        const double view_h = viewport.height;
+        const double page_h = p.pageHeightFactor * view_h;
+        dom.node(dom.root()).rect = {0.0, 0.0, view_w, page_h};
+
+        // ---- Document-level handlers on the root ----
+        {
+            // Direct navigation / reload of this page.
+            HandlerSpec load;
+            load.type = DomEventType::Load;
+            load.effect = {EffectKind::Navigate, kInvalidNode, page, 0.0};
+            load.medianWork = kBaseLoadWork.scaled(
+                p.loadWorkScale *
+                load_factors[static_cast<size_t>(page)]);
+            load.workSigma = p.workSigma;
+            load.dirtyNodes = kDirtyNodesLoad;
+            load.renderCostScale = kRenderScaleLoad;
+            dom.addHandler(dom.root(), load);
+
+            // Document scroll listener.
+            HandlerSpec move;
+            move.type = moveTypeFor(p);
+            move.effect = {EffectKind::ScrollBy, kInvalidNode, -1,
+                           view_h * 0.6};
+            move.medianWork = kBaseMoveWork.scaled(p.moveWorkScale);
+            move.workSigma = p.workSigma;
+            move.dirtyNodes = kDirtyNodesMove;
+            move.renderCostScale = kRenderScaleMove;
+            move.handlerClassId = 7;  // shared document scroll handler
+            dom.addHandler(dom.root(), move);
+        }
+
+        // ---- Header with collapsible menus ----
+        const NodeId header = dom.createNode(
+            dom.root(), NodeRole::Container, {0.0, 0.0, view_w, 56.0});
+        for (int m = 0; m < p.menuCount; ++m) {
+            const double toggle_x = 8.0 + 52.0 * static_cast<double>(m);
+            const NodeId toggle = dom.createNode(
+                header, NodeRole::MenuToggle,
+                {toggle_x, 8.0, 40.0, 40.0});
+
+            const double menu_h = 48.0 * static_cast<double>(p.menuItems);
+            const NodeId menu = dom.createNode(
+                dom.root(), NodeRole::Container,
+                {0.0, 56.0, view_w, menu_h});
+            dom.setDisplayed(menu, false);
+
+            HandlerSpec toggle_spec;
+            toggle_spec.type = tapTypeFor(p, page_rng.uniform());
+            toggle_spec.effect = {EffectKind::ToggleDisplay, menu, -1, 0.0};
+            toggle_spec.medianWork = kBaseTapWork.scaled(p.tapWorkScale);
+            toggle_spec.workSigma = p.workSigma;
+            toggle_spec.dirtyNodes = kDirtyNodesTap + p.menuItems;
+            toggle_spec.handlerClassId = 5;  // shared menu-toggle handler
+            dom.addHandler(toggle, toggle_spec);
+
+            for (int item = 0; item < p.menuItems; ++item) {
+                const NodeId entry = dom.createNode(
+                    menu, NodeRole::MenuItem,
+                    {0.0, 56.0 + 48.0 * static_cast<double>(item),
+                     view_w, 48.0});
+                if (page_rng.bernoulli(0.7) && p.numPages > 1) {
+                    // Menu entry that navigates (a link semantically).
+                    int dest = page_rng.uniformInt(0, p.numPages - 1);
+                    if (dest == page)
+                        dest = (dest + 1) % p.numPages;
+                    HandlerSpec nav;
+                    nav.type = DomEventType::Load;
+                    nav.effect = {EffectKind::Navigate, kInvalidNode,
+                                  dest, 0.0};
+                    nav.medianWork = kBaseLoadWork.scaled(
+                        p.loadWorkScale *
+                        load_factors[static_cast<size_t>(dest)]);
+                    nav.workSigma = p.workSigma;
+                    nav.dirtyNodes = kDirtyNodesLoad;
+                    nav.renderCostScale = kRenderScaleLoad;
+                    dom.addHandler(entry, nav);
+                } else {
+                    HandlerSpec act;
+                    act.type = tapTypeFor(p, page_rng.uniform());
+                    act.effect = {EffectKind::None, kInvalidNode, -1, 0.0};
+                    act.medianWork = kBaseTapWork.scaled(p.tapWorkScale);
+                    act.workSigma = p.workSigma;
+                    act.dirtyNodes = kDirtyNodesTap;
+                    act.handlerClassId = 3;  // shared menu-item handler
+                    dom.addHandler(entry, act);
+                }
+            }
+        }
+
+        // ---- Content sections ----
+        double y = 64.0;
+        const double section_h_base =
+            view_h / static_cast<double>(p.sectionsPerViewport);
+        while (y < page_h - 40.0) {
+            const double section_h = std::min(
+                page_h - y,
+                section_h_base * page_rng.uniform(0.8, 1.3));
+            const NodeId section = dom.createNode(
+                dom.root(), NodeRole::Container,
+                {0.0, y, view_w, section_h});
+
+            // Static content.
+            dom.createNode(section, NodeRole::Text,
+                           {12.0, y + 6.0, view_w - 24.0,
+                            section_h * 0.35});
+            if (page_rng.bernoulli(0.5)) {
+                dom.createNode(section, NodeRole::Image,
+                               {12.0, y + section_h * 0.45,
+                                view_w * 0.45, section_h * 0.45});
+            }
+
+            if (page_rng.bernoulli(p.buttonDensity)) {
+                const NodeId button = dom.createNode(
+                    section, NodeRole::Button,
+                    {view_w * 0.55, y + section_h * 0.45,
+                     view_w * 0.38, 44.0});
+                const bool heavy = page_rng.bernoulli(p.heavyTapFraction);
+                HandlerSpec spec;
+                spec.type = tapTypeFor(p, page_rng.uniform());
+                spec.effect = {EffectKind::None, kInvalidNode, -1, 0.0};
+                spec.medianWork =
+                    (heavy ? kBaseHeavyTapWork : kBaseTapWork)
+                        .scaled(p.tapWorkScale);
+                spec.workSigma = p.workSigma;
+                spec.dirtyNodes =
+                    heavy ? kDirtyNodesHeavyTap : kDirtyNodesTap;
+                // Content cards share one of two callbacks: the common
+                // light handler or the heavy media handler.
+                spec.handlerClassId = heavy ? 2 : 1;
+                dom.addHandler(button, spec);
+            }
+
+            if (page_rng.bernoulli(p.linkDensity) && p.numPages > 1) {
+                const NodeId link = dom.createNode(
+                    section, NodeRole::Link,
+                    {12.0, y + section_h * 0.82, view_w * 0.6, 28.0});
+                int dest = page_rng.uniformInt(0, p.numPages - 1);
+                if (dest == page)
+                    dest = (dest + 1) % p.numPages;
+                HandlerSpec nav;
+                nav.type = DomEventType::Load;
+                nav.effect = {EffectKind::Navigate, kInvalidNode,
+                              dest, 0.0};
+                nav.medianWork = kBaseLoadWork.scaled(
+                    p.loadWorkScale *
+                    load_factors[static_cast<size_t>(dest)]);
+                nav.workSigma = p.workSigma;
+                nav.dirtyNodes = kDirtyNodesLoad;
+                nav.renderCostScale = kRenderScaleLoad;
+                dom.addHandler(link, nav);
+            }
+
+            y += section_h;
+        }
+
+        // ---- Form (search/checkout) on the last page of form apps ----
+        if (p.hasForm && page == p.numPages - 1) {
+            const double form_y = 72.0;
+            for (int field = 0; field < 2; ++field) {
+                const NodeId input = dom.createNode(
+                    dom.root(), NodeRole::FormField,
+                    {24.0, form_y + 56.0 * static_cast<double>(field),
+                     view_w - 48.0, 44.0});
+                HandlerSpec focus;
+                focus.type = tapTypeFor(p, page_rng.uniform());
+                focus.effect = {EffectKind::None, kInvalidNode, -1, 0.0};
+                focus.medianWork =
+                    kBaseFieldTapWork.scaled(p.tapWorkScale);
+                focus.workSigma = p.workSigma;
+                focus.dirtyNodes = kDirtyNodesField;
+                focus.handlerClassId = 4;  // shared field-focus handler
+                dom.addHandler(input, focus);
+            }
+            const NodeId submit = dom.createNode(
+                dom.root(), NodeRole::SubmitButton,
+                {24.0, form_y + 120.0, view_w - 48.0, 48.0});
+            HandlerSpec send;
+            send.type = DomEventType::Submit;
+            send.effect = {EffectKind::Navigate, kInvalidNode, 0, 0.0};
+            send.medianWork = kBaseSubmitWork.scaled(p.tapWorkScale);
+            send.workSigma = p.workSigma;
+            send.dirtyNodes = kDirtyNodesSubmit;
+            send.issuesNetworkRequest = true;
+            send.handlerClassId = 6;
+            dom.addHandler(submit, send);
+        }
+
+        dom.fitRootToContent();
+        app.addPage(std::move(dom));
+    }
+
+    return app;
+}
+
+} // namespace pes

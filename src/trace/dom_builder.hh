@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Seeded synthesis of an application's pages from its profile.
+ *
+ * Stands in for parsing real HTML/CSS: produces, deterministically from
+ * AppProfile::domSeed, a multi-page WebApp whose DOM shape (menus, links,
+ * buttons, forms, page length) matches the profile. Handler cost models
+ * and semantic effects are attached at "parse" time, which is also when
+ * the SemanticTree memoization happens (inside WebApp::addPage).
+ */
+
+#ifndef PES_TRACE_DOM_BUILDER_HH
+#define PES_TRACE_DOM_BUILDER_HH
+
+#include "trace/app_profile.hh"
+#include "web/web_app.hh"
+
+namespace pes {
+
+/**
+ * Builds the WebApp for one profile.
+ */
+class AppDomBuilder
+{
+  public:
+    explicit AppDomBuilder(const AppProfile &profile);
+
+    /** Synthesize all pages. Deterministic in the profile's domSeed. */
+    WebApp build() const;
+
+    /** The profile being built. */
+    const AppProfile &profile() const { return *profile_; }
+
+    /** The tap-class DOM event type for a node, per app manifestation. */
+    static DomEventType tapTypeFor(const AppProfile &profile, double roll);
+
+    /** The move-class DOM event type of the app. */
+    static DomEventType moveTypeFor(const AppProfile &profile);
+
+  private:
+    const AppProfile *profile_;
+};
+
+} // namespace pes
+
+#endif // PES_TRACE_DOM_BUILDER_HH

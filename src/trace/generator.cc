@@ -1,0 +1,54 @@
+#include "trace/generator.hh"
+
+#include "trace/dom_builder.hh"
+
+namespace pes {
+
+TraceGenerator::TraceGenerator(const AcmpPlatform &platform)
+    : platform_(&platform)
+{
+}
+
+const WebApp &
+TraceGenerator::appFor(const AppProfile &profile)
+{
+    auto it = apps_.find(profile.name);
+    if (it == apps_.end()) {
+        AppDomBuilder builder(profile);
+        it = apps_.emplace(profile.name,
+                           std::make_unique<WebApp>(builder.build())).first;
+    }
+    return *it->second;
+}
+
+InteractionTrace
+TraceGenerator::generate(const AppProfile &profile, uint64_t user_seed)
+{
+    const WebApp &app = appFor(profile);
+    UserModel model(profile, app, user_seed, *platform_);
+    return model.generateSession();
+}
+
+std::vector<InteractionTrace>
+TraceGenerator::trainingSet(const AppProfile &profile, int count)
+{
+    std::vector<InteractionTrace> traces;
+    traces.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i)
+        traces.push_back(generate(profile, kTrainingSeedBase +
+                                  static_cast<uint64_t>(i)));
+    return traces;
+}
+
+std::vector<InteractionTrace>
+TraceGenerator::evaluationSet(const AppProfile &profile, int count)
+{
+    std::vector<InteractionTrace> traces;
+    traces.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i)
+        traces.push_back(generate(profile, kEvaluationSeedBase +
+                                  static_cast<uint64_t>(i)));
+    return traces;
+}
+
+} // namespace pes

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Synthetic mobile-Web user.
+ *
+ * Generates one interaction session over a WebApp. The next interaction is
+ * sampled from a softmax whose scores are linear in the *same Table-1
+ * feature family the paper's predictor uses* (viewport clickable/link
+ * density, recent scrolls/navigations, distance to the previous tap), with
+ * app-specific biases and a per-app temperature. This grounds the
+ * predictor's learnability in the traces instead of hard-coding it: apps
+ * with larger clickable areas and higher temperature are harder to predict
+ * — the correlation the paper reports in Sec. 6.2.
+ *
+ * Think times reproduce the paper's trace statistics (sessions of roughly
+ * 110 s with ~25 events, up to 70): long pauses after navigation, shorter
+ * pauses between taps, and short bursts (e.g. scroll flicks) that create
+ * the event interference the Type II/III analysis depends on.
+ *
+ * A final feasibility pass stretches arrival times just enough that an
+ * oracle executing every event back-to-back at the highest configuration
+ * meets every deadline — the property that gives the paper's Oracle its
+ * zero QoS violations.
+ */
+
+#ifndef PES_TRACE_USER_MODEL_HH
+#define PES_TRACE_USER_MODEL_HH
+
+#include "hw/dvfs_model.hh"
+#include "trace/app_profile.hh"
+#include "trace/trace.hh"
+#include "web/vsync.hh"
+#include "web/web_app.hh"
+
+namespace pes {
+
+/** Per-user behavioural quirks (sampled from the user seed). */
+struct UserParams
+{
+    /** Multiplier on all think times. */
+    double thinkScale = 1.0;
+    /** Multiplier on the move-class weight. */
+    double moveAffinity = 1.0;
+    /** Multiplier on the tap-class weight. */
+    double tapAffinity = 1.0;
+    /** Multiplier on the navigation-class weight. */
+    double navAffinity = 1.0;
+
+    /** Sample quirks from @p rng. */
+    static UserParams sample(class Rng &rng);
+};
+
+/**
+ * Generates interaction sessions for one (app, user seed) pair.
+ */
+class UserModel
+{
+  public:
+    /**
+     * @param profile The application profile.
+     * @param app The synthesized application (from AppDomBuilder).
+     * @param user_seed Seed identifying the user; different seeds are
+     *        different users (the paper collects training and evaluation
+     *        traces from different users).
+     * @param platform Platform used by the oracle-feasibility repair pass.
+     */
+    UserModel(const AppProfile &profile, const WebApp &app,
+              uint64_t user_seed, const AcmpPlatform &platform);
+
+    /** Generate one session. Deterministic in (profile, app, seed). */
+    InteractionTrace generateSession() const;
+
+    /** Maximum events per session (paper: traces contain up to ~70). */
+    static constexpr int kMaxEvents = 70;
+
+  private:
+    const AppProfile *profile_;
+    const WebApp *app_;
+    uint64_t userSeed_;
+    const AcmpPlatform *platform_;
+};
+
+/**
+ * Stretch arrivals so a back-to-back max-configuration execution meets
+ * every deadline with one VSync period of slack (oracle feasibility).
+ * Returns the number of events whose arrival was adjusted.
+ */
+int repairOracleFeasibility(InteractionTrace &trace,
+                            const DvfsLatencyModel &latency_model,
+                            const VsyncClock &vsync);
+
+} // namespace pes
+
+#endif // PES_TRACE_USER_MODEL_HH

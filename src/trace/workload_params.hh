@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Base workload constants for synthetic applications.
+ *
+ * Calibrated so that, on the Exynos 5410 model at the big cluster's top
+ * frequency, event latencies land in the regimes the paper reports: page
+ * loads take one to three seconds, ordinary taps tens of milliseconds,
+ * "heavy" taps approach or exceed the 300 ms tap deadline (the Type I
+ * seeds of Sec. 4.3), and moves a few milliseconds. Per-app multipliers
+ * come from AppProfile; per-instance noise from the trace generator.
+ */
+
+#ifndef PES_TRACE_WORKLOAD_PARAMS_HH
+#define PES_TRACE_WORKLOAD_PARAMS_HH
+
+#include "hw/dvfs_model.hh"
+
+namespace pes {
+
+/** Callback workload of a full page load (before app scaling). */
+inline constexpr Workload kBaseLoadWork{300.0, 3000.0};
+
+/** Callback workload of an ordinary tap. */
+inline constexpr Workload kBaseTapWork{3.0, 55.0};
+
+/** Callback workload of an inherently heavy tap (Type I candidate). */
+inline constexpr Workload kBaseHeavyTapWork{8.0, 520.0};
+
+/** Callback workload of a move (scroll step). */
+inline constexpr Workload kBaseMoveWork{0.3, 6.0};
+
+/** Callback workload of a form-field tap. */
+inline constexpr Workload kBaseFieldTapWork{1.5, 25.0};
+
+/** Callback workload of a form submit. */
+inline constexpr Workload kBaseSubmitWork{6.0, 140.0};
+
+/** DOM nodes dirtied by the respective event classes. */
+inline constexpr int kDirtyNodesTap = 6;
+inline constexpr int kDirtyNodesHeavyTap = 14;
+inline constexpr int kDirtyNodesMove = 2;
+inline constexpr int kDirtyNodesLoad = 60;
+inline constexpr int kDirtyNodesField = 2;
+inline constexpr int kDirtyNodesSubmit = 10;
+
+/** Render-cost multipliers (HandlerSpec::renderCostScale). */
+inline constexpr double kRenderScaleMove = 0.30;   // composite-dominated
+inline constexpr double kRenderScaleLoad = 1.50;   // full-page render
+
+/**
+ * Hard cap on a load's total latency at the highest configuration: keeps
+ * the landing-page load (which cannot be pre-executed) inside its 3 s QoS
+ * target, as every real page in the paper's suite is.
+ */
+inline constexpr TimeMs kMaxLoadLatencyAtMaxMs = 2850.0;
+
+} // namespace pes
+
+#endif // PES_TRACE_WORKLOAD_PARAMS_HH

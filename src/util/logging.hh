@@ -1,0 +1,50 @@
+/**
+ * @file
+ * gem5-style status and error reporting.
+ *
+ * panic() aborts on internal invariant violations (library bugs);
+ * fatal() exits on unusable user input (bad configuration / arguments);
+ * warn()/inform() report conditions without stopping.
+ */
+
+#ifndef PES_UTIL_LOGGING_HH
+#define PES_UTIL_LOGGING_HH
+
+#include <cstdarg>
+
+namespace pes {
+
+/** Print an error for an internal bug and abort(). printf-style format. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print an error caused by the user and exit(1). printf-style format. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning and continue. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a status message and continue. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Globally silence warn()/inform() (used by tests and benches). */
+void setQuiet(bool quiet);
+
+/** panic() when @p cond holds. */
+#define panic_if(cond, ...)                   \
+    do {                                      \
+        if (cond)                             \
+            ::pes::panic(__VA_ARGS__);        \
+    } while (0)
+
+/** fatal() when @p cond holds. */
+#define fatal_if(cond, ...)                   \
+    do {                                      \
+        if (cond)                             \
+            ::pes::fatal(__VA_ARGS__);        \
+    } while (0)
+
+} // namespace pes
+
+#endif // PES_UTIL_LOGGING_HH

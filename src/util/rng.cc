@@ -1,0 +1,155 @@
+#include "util/rng.hh"
+
+#include <cmath>
+
+namespace pes {
+
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+hashCombine(uint64_t a, uint64_t b)
+{
+    uint64_t state = a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2));
+    return splitmix64(state);
+}
+
+uint64_t
+hashString(const char *s)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (; *s; ++s) {
+        h ^= static_cast<uint64_t>(static_cast<unsigned char>(*s));
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+namespace {
+
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+int
+Rng::uniformInt(int lo, int hi)
+{
+    const auto span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int>(next() % span);
+}
+
+double
+Rng::normal()
+{
+    if (haveSpare_) {
+        haveSpare_ = false;
+        return spare_;
+    }
+    double u1 = 0.0;
+    do {
+        u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    haveSpare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::lognormal(double median, double sigma)
+{
+    return median * std::exp(sigma * normal());
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u = 0.0;
+    do {
+        u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform() < p;
+}
+
+int
+Rng::categorical(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights)
+        total += (w > 0.0) ? w : 0.0;
+    if (total <= 0.0)
+        return uniformInt(0, static_cast<int>(weights.size()) - 1);
+    double r = uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        const double w = (weights[i] > 0.0) ? weights[i] : 0.0;
+        if (r < w)
+            return static_cast<int>(i);
+        r -= w;
+    }
+    return static_cast<int>(weights.size()) - 1;
+}
+
+Rng
+Rng::fork(uint64_t salt)
+{
+    return Rng(hashCombine(next(), salt));
+}
+
+} // namespace pes

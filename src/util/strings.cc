@@ -1,0 +1,52 @@
+#include "util/strings.hh"
+
+#include <cctype>
+
+namespace pes {
+
+std::vector<std::string>
+split(std::string_view s, char sep)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    for (size_t i = 0; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] == sep) {
+            out.emplace_back(s.substr(start, i - start));
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+std::string
+trim(std::string_view s)
+{
+    size_t b = 0;
+    size_t e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return std::string(s.substr(b, e - b));
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+        s.substr(0, prefix.size()) == prefix;
+}
+
+} // namespace pes

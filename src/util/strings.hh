@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Small string helpers used by trace serialization and bench output.
+ */
+
+#ifndef PES_UTIL_STRINGS_HH
+#define PES_UTIL_STRINGS_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pes {
+
+/** Split @p s on @p sep (single char); keeps empty fields. */
+std::vector<std::string> split(std::string_view s, char sep);
+
+/** Strip leading/trailing whitespace. */
+std::string trim(std::string_view s);
+
+/** Join @p parts with @p sep. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** True when @p s starts with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+} // namespace pes
+
+#endif // PES_UTIL_STRINGS_HH

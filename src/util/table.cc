@@ -1,0 +1,145 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace pes {
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+formatPercent(double fraction)
+{
+    return formatDouble(fraction * 100.0, 1) + "%";
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    panic_if(cells.size() != headers_.size(),
+             "Table row has %zu cells, expected %zu",
+             cells.size(), headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+Table &
+Table::beginRow()
+{
+    flushPending();
+    buildingRow_ = true;
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &value)
+{
+    panic_if(!buildingRow_, "cell() outside beginRow()");
+    pending_.push_back(value);
+    return *this;
+}
+
+Table &
+Table::cell(double value, int precision)
+{
+    return cell(formatDouble(value, precision));
+}
+
+Table &
+Table::cell(long value)
+{
+    return cell(std::to_string(value));
+}
+
+void
+Table::flushPending()
+{
+    if (buildingRow_ && !pending_.empty()) {
+        addRow(std::move(pending_));
+        pending_.clear();
+    }
+    buildingRow_ = false;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    const_cast<Table *>(this)->flushPending();
+    std::vector<size_t> widths(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << "  " << row[c]
+               << std::string(widths[c] - row[c].size(), ' ');
+        }
+        os << "\n";
+    };
+
+    print_row(headers_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        print_row(row);
+}
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    const_cast<Table *>(this)->flushPending();
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            const bool needs_quote =
+                row[c].find_first_of(",\"\n") != std::string::npos;
+            if (needs_quote) {
+                os << '"';
+                for (char ch : row[c]) {
+                    if (ch == '"')
+                        os << '"';
+                    os << ch;
+                }
+                os << '"';
+            } else {
+                os << row[c];
+            }
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    for (const auto &row : rows_)
+        emit(row);
+}
+
+void
+Table::writeCsvFile(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out) {
+        warn("could not open %s for CSV output", path.c_str());
+        return;
+    }
+    printCsv(out);
+}
+
+} // namespace pes

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Console table and CSV emission for bench binaries.
+ *
+ * Every figure/table bench prints a human-readable aligned table to stdout
+ * and can optionally mirror the same rows into a CSV file for plotting.
+ */
+
+#ifndef PES_UTIL_TABLE_HH
+#define PES_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pes {
+
+/**
+ * Row-oriented table builder with aligned console output and CSV export.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a full row of pre-formatted cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Start building a row cell-by-cell. */
+    Table &beginRow();
+    /** Append a string cell to the row under construction. */
+    Table &cell(const std::string &value);
+    /** Append a numeric cell with the given precision. */
+    Table &cell(double value, int precision = 2);
+    /** Append an integer cell. */
+    Table &cell(long value);
+
+    /** Number of data rows. */
+    size_t rows() const { return rows_.size(); }
+
+    /** Write the aligned table to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Write the table as CSV to @p os. */
+    void printCsv(std::ostream &os) const;
+
+    /** Write CSV to the file at @p path (best-effort; warns on failure). */
+    void writeCsvFile(const std::string &path) const;
+
+  private:
+    void flushPending();
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> pending_;
+    bool buildingRow_ = false;
+};
+
+/** Format a double with fixed precision into a string. */
+std::string formatDouble(double value, int precision = 2);
+
+/** Format a fraction (0..1) as a percentage string with one decimal. */
+std::string formatPercent(double fraction);
+
+} // namespace pes
+
+#endif // PES_UTIL_TABLE_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Fundamental unit aliases shared across the PES code base.
+ *
+ * All simulation time is kept in milliseconds as double; frequencies in MHz;
+ * power in milliwatts; energy in millijoules; compute work in mega-cycles.
+ * The combinations used throughout are dimensionally consistent:
+ *   latency_ms = tmem_ms + 1000 * ndep_mcycles / freq_mhz
+ *   energy_mj  = power_mw * latency_ms / 1000
+ */
+
+#ifndef PES_UTIL_TYPES_HH
+#define PES_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace pes {
+
+/** Simulation time / latency in milliseconds. */
+using TimeMs = double;
+/** CPU frequency in MHz. */
+using FreqMhz = double;
+/** Power in milliwatts. */
+using PowerMw = double;
+/** Energy in millijoules. */
+using EnergyMj = double;
+/** Compute work in millions of CPU cycles. */
+using MegaCycles = double;
+
+/** Latency of executing @p ndep mega-cycles at @p freq MHz, plus memory time. */
+inline TimeMs
+computeLatencyMs(TimeMs tmem_ms, MegaCycles ndep, FreqMhz freq)
+{
+    return tmem_ms + 1000.0 * ndep / freq;
+}
+
+/** Energy of running at @p power mW for @p duration ms. */
+inline EnergyMj
+energyOf(PowerMw power, TimeMs duration)
+{
+    return power * duration / 1000.0;
+}
+
+} // namespace pes
+
+#endif // PES_UTIL_TYPES_HH

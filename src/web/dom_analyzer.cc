@@ -1,0 +1,156 @@
+#include "web/dom_analyzer.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace pes {
+
+DomAnalyzer::DomAnalyzer(const WebAppSession &session)
+    : session_(&session)
+{
+}
+
+const DomTree &
+DomAnalyzer::domOf(const DomOverlay &state) const
+{
+    // The committed session DOM only applies to the page the session is
+    // on; a hypothetical navigation lands on a pristine page (navigation
+    // re-parses the destination, see WebAppSession::applyEffect).
+    if (state.pageId == session_->currentPage())
+        return session_->dom();
+    return session_->app().dom(state.pageId);
+}
+
+const SemanticTree &
+DomAnalyzer::semanticsOf(const DomOverlay &state) const
+{
+    return session_->app().semantics(state.pageId);
+}
+
+Viewport
+DomAnalyzer::viewportOf(const DomOverlay &state) const
+{
+    Viewport viewport = session_->app().viewportTemplate();
+    viewport.scrollY = state.scrollY;
+    return viewport;
+}
+
+std::vector<CandidateEvent>
+DomAnalyzer::allPageEvents(const DomOverlay &state) const
+{
+    const DomTree &dom = domOf(state);
+    std::vector<CandidateEvent> out;
+    for (size_t i = 0; i < dom.size(); ++i) {
+        const DomNode &node = dom.node(static_cast<NodeId>(i));
+        for (const HandlerSpec &spec : node.handlers)
+            out.push_back({spec.type, node.id});
+    }
+    return out;
+}
+
+Viewport
+DomAnalyzer::viewportFor(const DomOverlay &state) const
+{
+    return viewportOf(state);
+}
+
+NodeRole
+DomAnalyzer::nodeRole(const DomOverlay &state, NodeId node) const
+{
+    const DomTree &dom = domOf(state);
+    if (node < 0 || node >= static_cast<NodeId>(dom.size()))
+        return NodeRole::Container;
+    return dom.node(node).role;
+}
+
+std::vector<CandidateEvent>
+DomAnalyzer::likelyNextEvents(const DomOverlay &state) const
+{
+    const DomTree &dom = domOf(state);
+    const Viewport viewport = viewportOf(state);
+    const Rect view_rect = viewport.rect();
+
+    std::vector<CandidateEvent> out;
+    for (size_t i = 0; i < dom.size(); ++i) {
+        const NodeId id = static_cast<NodeId>(i);
+        const DomNode &node = dom.node(id);
+        if (node.handlers.empty())
+            continue;
+        if (!state.displayedOf(dom, id))
+            continue;
+        if (!node.rect.intersects(view_rect))
+            continue;
+        for (const HandlerSpec &spec : node.handlers)
+            out.push_back({spec.type, id});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const CandidateEvent &a, const CandidateEvent &b) {
+                  if (a.node != b.node)
+                      return a.node < b.node;
+                  return static_cast<int>(a.type) < static_cast<int>(b.type);
+              });
+    return out;
+}
+
+ViewportStats
+DomAnalyzer::viewportStats(const DomOverlay &state) const
+{
+    const DomTree &dom = domOf(state);
+    const Viewport viewport = viewportOf(state);
+    const Rect view_rect = viewport.rect();
+    const double view_area = view_rect.area();
+
+    ViewportStats stats;
+    double clickable_area = 0.0;
+    double link_area = 0.0;
+    for (size_t i = 0; i < dom.size(); ++i) {
+        const NodeId id = static_cast<NodeId>(i);
+        const DomNode &node = dom.node(id);
+        if (!state.displayedOf(dom, id))
+            continue;
+        const double overlap = node.rect.intersectionArea(view_rect);
+        if (overlap <= 0.0)
+            continue;
+        ++stats.visibleNodes;
+        if (node.isClickable())
+            clickable_area += overlap;
+        // "Links" are navigation affordances: anchor elements and any
+        // clickable element whose handler triggers a page load (e.g. nav
+        // menu items). The document-level load handler does not count —
+        // it is not a visible affordance.
+        if (node.isLink() ||
+            (node.isClickable() && node.handlerFor(DomEventType::Load)))
+            link_area += overlap;
+    }
+    stats.clickableFrac = std::min(1.0, clickable_area / view_area);
+    stats.visibleLinkFrac = std::min(1.0, link_area / view_area);
+    stats.scrollable =
+        dom.pageHeight() > viewport.height + 1.0;
+    return stats;
+}
+
+void
+DomAnalyzer::applyHypothetical(const CandidateEvent &event,
+                               DomOverlay &state) const
+{
+    const SemanticTree &semantics = semanticsOf(state);
+    const auto effect = semantics.effectOf(event.node, event.type);
+    if (!effect)
+        return;
+    state.apply(domOf(state), *effect);
+}
+
+Rect
+DomAnalyzer::nodeRect(const DomOverlay &state, NodeId node) const
+{
+    const DomTree &dom = domOf(state);
+    if (node == kInvalidNode ||
+        node >= static_cast<NodeId>(dom.size())) {
+        const Viewport viewport = viewportOf(state);
+        return viewport.rect();
+    }
+    return dom.node(node).rect;
+}
+
+} // namespace pes

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Web-application analysis: Likely-Next-Event-Set and viewport features.
+ *
+ * The DOM analyzer (paper Sec. 5.2) traverses the part of the DOM tree
+ * inside the current viewport and accumulates the events registered on the
+ * visible nodes — the Likely-Next-Event-Set (LNES) the sequence learner
+ * predicts from. Because one event's execution can mutate the visible DOM,
+ * the analyzer supports *hypothetical* rollouts: applying an event's
+ * statically memoized consequence (SemanticTree) to a DomOverlay so the
+ * LNES of the state *after* a predicted event can be computed without
+ * evaluating any callback.
+ */
+
+#ifndef PES_WEB_DOM_ANALYZER_HH
+#define PES_WEB_DOM_ANALYZER_HH
+
+#include <vector>
+
+#include "web/web_app.hh"
+
+namespace pes {
+
+/** One LNES entry: an event that could legally be triggered next. */
+struct CandidateEvent
+{
+    DomEventType type = DomEventType::Click;
+    NodeId node = kInvalidNode;
+
+    bool operator==(const CandidateEvent &other) const = default;
+};
+
+/** Application-inherent viewport features (paper Table 1). */
+struct ViewportStats
+{
+    /** Fraction of the viewport covered by clickable elements. */
+    double clickableFrac = 0.0;
+    /** Fraction of the viewport covered by visible links. */
+    double visibleLinkFrac = 0.0;
+    /** Number of visible nodes (diagnostic). */
+    int visibleNodes = 0;
+    /** Whether the page extends beyond the viewport (scrollable). */
+    bool scrollable = false;
+};
+
+/**
+ * Static analyzer over a WebAppSession's committed state plus an optional
+ * hypothetical overlay.
+ */
+class DomAnalyzer
+{
+  public:
+    /**
+     * @param session Live session; the analyzer reads its committed DOMs.
+     *
+     * The analyzer holds a reference; the session must outlive it.
+     */
+    explicit DomAnalyzer(const WebAppSession &session);
+
+    /**
+     * Likely-Next-Event-Set for the state described by @p state
+     * (page + scroll + display overrides). Enumerates every (type, node)
+     * pair registered on a visible node, plus the document-level scroll
+     * candidates when the page is scrollable.
+     */
+    std::vector<CandidateEvent>
+    likelyNextEvents(const DomOverlay &state) const;
+
+    /**
+     * Every (type, node) pair registered anywhere on the current page of
+     * @p state, ignoring visibility. This is what a learner-only
+     * predictor (no DOM analysis, Sec. 6.5 ablation) has to choose from.
+     */
+    std::vector<CandidateEvent>
+    allPageEvents(const DomOverlay &state) const;
+
+    /** The viewport implied by @p state (device size + overlay scroll). */
+    Viewport viewportFor(const DomOverlay &state) const;
+
+    /** Accessibility role of @p node on the page of @p state. */
+    NodeRole nodeRole(const DomOverlay &state, NodeId node) const;
+
+    /** Table-1 viewport features for the state @p state. */
+    ViewportStats viewportStats(const DomOverlay &state) const;
+
+    /**
+     * Statically roll @p state forward through @p event using the
+     * SemanticTree (no callback evaluation). Display toggles, scrolls and
+     * navigations all update the overlay in place.
+     */
+    void applyHypothetical(const CandidateEvent &event,
+                           DomOverlay &state) const;
+
+    /**
+     * Geometric center of @p node on the page of @p state, used as the
+     * touch position for interaction-dependent features. Scroll events
+     * report the viewport center.
+     */
+    Rect nodeRect(const DomOverlay &state, NodeId node) const;
+
+  private:
+    const DomTree &domOf(const DomOverlay &state) const;
+    const SemanticTree &semanticsOf(const DomOverlay &state) const;
+    Viewport viewportOf(const DomOverlay &state) const;
+
+    const WebAppSession *session_;
+};
+
+} // namespace pes
+
+#endif // PES_WEB_DOM_ANALYZER_HH

@@ -1,0 +1,30 @@
+#include "web/event_loop.hh"
+
+namespace pes {
+
+void
+EventLoop::push(const QueuedEvent &event)
+{
+    queue_.push_back(event);
+    lengthStats_.add(static_cast<double>(queue_.size()));
+}
+
+std::optional<QueuedEvent>
+EventLoop::pop()
+{
+    if (queue_.empty())
+        return std::nullopt;
+    QueuedEvent event = queue_.front();
+    queue_.pop_front();
+    return event;
+}
+
+std::optional<QueuedEvent>
+EventLoop::front() const
+{
+    if (queue_.empty())
+        return std::nullopt;
+    return queue_.front();
+}
+
+} // namespace pes

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Main-thread event queue.
+ *
+ * The Web runtime dispatches events from a FIFO queue on the main thread.
+ * The queue also tracks occupancy statistics: the paper observes that the
+ * average queue length stays below 2 because humans generate interactions
+ * slowly (Sec. 4.2) — a property our traces must reproduce, verified by a
+ * test and reported by the metrics module.
+ */
+
+#ifndef PES_WEB_EVENT_LOOP_HH
+#define PES_WEB_EVENT_LOOP_HH
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "util/stats.hh"
+#include "util/types.hh"
+
+namespace pes {
+
+/** A queued, not-yet-executed input event (index into the trace). */
+struct QueuedEvent
+{
+    int traceIndex = -1;
+    TimeMs arrival = 0.0;
+};
+
+/**
+ * FIFO main-thread event queue with occupancy statistics.
+ */
+class EventLoop
+{
+  public:
+    /** Enqueue an arrived event (samples queue-length statistics). */
+    void push(const QueuedEvent &event);
+
+    /** Dequeue the oldest event; nullopt when empty. */
+    std::optional<QueuedEvent> pop();
+
+    /** Peek at the oldest event without removing it. */
+    std::optional<QueuedEvent> front() const;
+
+    /** Current number of queued events. */
+    size_t length() const { return queue_.size(); }
+
+    /** Snapshot of the queued events, oldest first. */
+    std::vector<QueuedEvent> snapshot() const
+    {
+        return {queue_.begin(), queue_.end()};
+    }
+
+    /** True when no events are pending. */
+    bool empty() const { return queue_.empty(); }
+
+    /** Queue length sampled at each arrival (including the new event). */
+    const RunningStats &lengthStats() const { return lengthStats_; }
+
+  private:
+    std::deque<QueuedEvent> queue_;
+    RunningStats lengthStats_;
+};
+
+} // namespace pes
+
+#endif // PES_WEB_EVENT_LOOP_HH

@@ -1,0 +1,93 @@
+#include "web/event_types.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace pes {
+
+Interaction
+interactionOf(DomEventType type)
+{
+    switch (type) {
+      case DomEventType::Load:
+        return Interaction::Load;
+      case DomEventType::Click:
+      case DomEventType::TouchStart:
+      case DomEventType::Submit:
+        return Interaction::Tap;
+      case DomEventType::Scroll:
+      case DomEventType::TouchMove:
+        return Interaction::Move;
+    }
+    panic("interactionOf: invalid event type");
+}
+
+TimeMs
+qosTargetMs(Interaction interaction)
+{
+    switch (interaction) {
+      case Interaction::Load:
+        return 3000.0;
+      case Interaction::Tap:
+        return 300.0;
+      case Interaction::Move:
+        return 33.0;
+    }
+    panic("qosTargetMs: invalid interaction");
+}
+
+TimeMs
+qosTargetMs(DomEventType type)
+{
+    return qosTargetMs(interactionOf(type));
+}
+
+const char *
+domEventTypeName(DomEventType type)
+{
+    switch (type) {
+      case DomEventType::Load:
+        return "load";
+      case DomEventType::Click:
+        return "click";
+      case DomEventType::TouchStart:
+        return "touchstart";
+      case DomEventType::Scroll:
+        return "scroll";
+      case DomEventType::TouchMove:
+        return "touchmove";
+      case DomEventType::Submit:
+        return "submit";
+    }
+    panic("domEventTypeName: invalid event type");
+}
+
+const char *
+interactionName(Interaction interaction)
+{
+    switch (interaction) {
+      case Interaction::Load:
+        return "load";
+      case Interaction::Tap:
+        return "tap";
+      case Interaction::Move:
+        return "move";
+    }
+    panic("interactionName: invalid interaction");
+}
+
+bool
+parseDomEventType(const char *name, DomEventType &out)
+{
+    for (int i = 0; i < kNumDomEventTypes; ++i) {
+        const auto type = static_cast<DomEventType>(i);
+        if (std::strcmp(name, domEventTypeName(type)) == 0) {
+            out = type;
+            return true;
+        }
+    }
+    return false;
+}
+
+} // namespace pes

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Event taxonomy of the mobile Web execution model.
+ *
+ * The paper builds on three primitive user interactions — load, tap, and
+ * move — with QoS targets of 3 s, 300 ms and 33 ms respectively (Sec. 4.2,
+ * following GreenWeb). Each primitive manifests as one or more DOM event
+ * types (e.g. a "tap" arrives as either click or touchstart, Sec. 5.5);
+ * the predictor operates at DOM-event granularity.
+ */
+
+#ifndef PES_WEB_EVENT_TYPES_HH
+#define PES_WEB_EVENT_TYPES_HH
+
+#include "util/types.hh"
+
+namespace pes {
+
+/** DOM-level event types the runtime dispatches. */
+enum class DomEventType
+{
+    Load = 0,     ///< page navigation / initial load
+    Click,        ///< tap manifestation #1
+    TouchStart,   ///< tap manifestation #2
+    Scroll,       ///< move manifestation #1
+    TouchMove,    ///< move manifestation #2
+    Submit,       ///< form submission (tap-class QoS)
+};
+
+/** Number of DomEventType values (predictor class count). */
+constexpr int kNumDomEventTypes = 6;
+
+/** The three primitive interactions of the paper. */
+enum class Interaction
+{
+    Load = 0,
+    Tap,
+    Move,
+};
+
+/** Number of Interaction values. */
+constexpr int kNumInteractions = 3;
+
+/** Primitive interaction an event type belongs to. */
+Interaction interactionOf(DomEventType type);
+
+/** QoS target (deadline) of a primitive interaction: 3 s / 300 ms / 33 ms. */
+TimeMs qosTargetMs(Interaction interaction);
+
+/** QoS target of an event type (via its interaction class). */
+TimeMs qosTargetMs(DomEventType type);
+
+/** Lower-case event name, e.g. "touchstart". */
+const char *domEventTypeName(DomEventType type);
+
+/** Interaction name: "load" / "tap" / "move". */
+const char *interactionName(Interaction interaction);
+
+/** Parse an event name; returns false when unknown. */
+bool parseDomEventType(const char *name, DomEventType &out);
+
+} // namespace pes
+
+#endif // PES_WEB_EVENT_TYPES_HH

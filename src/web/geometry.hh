@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Page geometry: rectangles and the scrollable viewport.
+ *
+ * Page coordinates are CSS pixels with y growing downward. The viewport is
+ * a fixed-size window whose vertical position is the scroll offset.
+ */
+
+#ifndef PES_WEB_GEOMETRY_HH
+#define PES_WEB_GEOMETRY_HH
+
+#include <algorithm>
+#include <cmath>
+
+namespace pes {
+
+/** Axis-aligned rectangle in page coordinates. */
+struct Rect
+{
+    double x = 0.0;
+    double y = 0.0;
+    double w = 0.0;
+    double h = 0.0;
+
+    /** Rectangle area. */
+    double area() const { return w * h; }
+
+    /** Center x. */
+    double cx() const { return x + w / 2.0; }
+    /** Center y. */
+    double cy() const { return y + h / 2.0; }
+
+    /** Area of the intersection with @p other. */
+    double
+    intersectionArea(const Rect &other) const
+    {
+        const double ix = std::max(0.0, std::min(x + w, other.x + other.w) -
+                                   std::max(x, other.x));
+        const double iy = std::max(0.0, std::min(y + h, other.y + other.h) -
+                                   std::max(y, other.y));
+        return ix * iy;
+    }
+
+    /** True when the rectangles overlap with positive area. */
+    bool intersects(const Rect &other) const
+    {
+        return intersectionArea(other) > 0.0;
+    }
+
+    /** Euclidean distance between the centers of two rectangles. */
+    static double
+    centerDistance(const Rect &a, const Rect &b)
+    {
+        const double dx = a.cx() - b.cx();
+        const double dy = a.cy() - b.cy();
+        return std::sqrt(dx * dx + dy * dy);
+    }
+};
+
+/** The visible window over a page. */
+struct Viewport
+{
+    /** Device width in CSS pixels (360 = common mobile width). */
+    double width = 360.0;
+    /** Device height in CSS pixels. */
+    double height = 640.0;
+    /** Vertical scroll offset (top of the visible window). */
+    double scrollY = 0.0;
+
+    /** The visible region as a page-coordinate rectangle. */
+    Rect
+    rect() const
+    {
+        return {0.0, scrollY, width, height};
+    }
+};
+
+} // namespace pes
+
+#endif // PES_WEB_GEOMETRY_HH

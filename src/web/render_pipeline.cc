@@ -1,0 +1,68 @@
+#include "web/render_pipeline.hh"
+
+#include "util/logging.hh"
+
+namespace pes {
+
+const char *
+renderStageName(RenderStage stage)
+{
+    switch (stage) {
+      case RenderStage::Style:
+        return "style";
+      case RenderStage::Layout:
+        return "layout";
+      case RenderStage::Paint:
+        return "paint";
+      case RenderStage::Composite:
+        return "composite";
+    }
+    panic("renderStageName: invalid stage");
+}
+
+Workload
+RenderWork::total() const
+{
+    Workload sum;
+    for (const Workload &w : stages)
+        sum = sum + w;
+    return sum;
+}
+
+RenderWork
+RenderWork::scaled(double factor) const
+{
+    RenderWork out;
+    for (size_t i = 0; i < stages.size(); ++i)
+        out.stages[i] = stages[i].scaled(factor);
+    return out;
+}
+
+RenderPipeline::RenderPipeline(const Coefficients &coeffs)
+    : coeffs_(coeffs)
+{
+}
+
+RenderWork
+RenderPipeline::frameWork(size_t dom_size, int dirty_nodes,
+                          double scale) const
+{
+    RenderWork work;
+    for (int s = 0; s < kNumRenderStages; ++s) {
+        const auto i = static_cast<size_t>(s);
+        const MegaCycles cycles =
+            (coeffs_.fixed[i] +
+             coeffs_.perDirtyNode[i] * static_cast<double>(dirty_nodes) +
+             coeffs_.perDomNode[i] * static_cast<double>(dom_size)) * scale;
+        Workload stage;
+        stage.ndep = cycles;
+        // Memory time scales with the stage's cycle time at the reference
+        // frequency: bigger frames touch more memory.
+        stage.tmemMs = coeffs_.memFraction *
+            (1000.0 * cycles / coeffs_.referenceFreq);
+        work.stages[i] = stage;
+    }
+    return work;
+}
+
+} // namespace pes

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Rendering-engine cost model.
+ *
+ * After an event's callback runs, the result flows through the rendering
+ * pipeline — style resolution, layout, paint, composite — to produce a
+ * frame (paper Fig. 1). Each stage is a Workload (Eqn.-1 terms) whose size
+ * scales with the number of DOM nodes the callback dirtied and with the
+ * page size. The frame is then held until the next display refresh
+ * (VsyncClock).
+ */
+
+#ifndef PES_WEB_RENDER_PIPELINE_HH
+#define PES_WEB_RENDER_PIPELINE_HH
+
+#include <array>
+#include <cstddef>
+
+#include "hw/dvfs_model.hh"
+
+namespace pes {
+
+/** Pipeline stages in execution order. */
+enum class RenderStage
+{
+    Style = 0,
+    Layout,
+    Paint,
+    Composite,
+};
+
+/** Number of pipeline stages. */
+constexpr int kNumRenderStages = 4;
+
+/** Stage name ("style", "layout", ...). */
+const char *renderStageName(RenderStage stage);
+
+/**
+ * Per-stage workloads of producing one frame.
+ */
+struct RenderWork
+{
+    std::array<Workload, kNumRenderStages> stages;
+
+    /** Workload of one stage. */
+    const Workload &stage(RenderStage s) const
+    {
+        return stages[static_cast<size_t>(s)];
+    }
+
+    /** Sum over all stages. */
+    Workload total() const;
+
+    /** Elementwise scale of every stage. */
+    RenderWork scaled(double factor) const;
+};
+
+/**
+ * Cost model mapping invalidation size to per-stage work.
+ */
+class RenderPipeline
+{
+  public:
+    /** Tunable stage coefficients (mega-cycles). */
+    struct Coefficients
+    {
+        /** Fixed cycles per stage regardless of dirty size. */
+        std::array<MegaCycles, kNumRenderStages> fixed{1.0, 2.0, 3.0, 1.5};
+        /** Cycles per dirtied node per stage. */
+        std::array<MegaCycles, kNumRenderStages> perDirtyNode{
+            0.40, 0.80, 1.20, 0.30};
+        /** Cycles per DOM node per stage (whole-tree walks). */
+        std::array<MegaCycles, kNumRenderStages> perDomNode{
+            0.012, 0.008, 0.004, 0.002};
+        /**
+         * Memory-time per stage as a fraction of the stage's cycle time at
+         * the reference frequency (1.8 GHz): render stages are partly
+         * memory bound (raster, texture upload).
+         */
+        double memFraction = 0.18;
+        /** Reference frequency for the memFraction conversion (MHz). */
+        FreqMhz referenceFreq = 1800.0;
+    };
+
+    RenderPipeline() = default;
+    explicit RenderPipeline(const Coefficients &coeffs);
+
+    /**
+     * Per-stage work for a frame that dirtied @p dirty_nodes of a
+     * @p dom_size -node page, scaled by the app-specific @p scale
+     * (visual complexity).
+     */
+    RenderWork frameWork(size_t dom_size, int dirty_nodes,
+                         double scale = 1.0) const;
+
+    /** The active coefficients. */
+    const Coefficients &coefficients() const { return coeffs_; }
+
+  private:
+    Coefficients coeffs_;
+};
+
+} // namespace pes
+
+#endif // PES_WEB_RENDER_PIPELINE_HH

@@ -1,0 +1,103 @@
+#include "web/semantic_tree.hh"
+
+#include <algorithm>
+
+namespace pes {
+
+uint64_t
+SemanticTree::key(NodeId node, DomEventType type)
+{
+    return (static_cast<uint64_t>(static_cast<uint32_t>(node)) << 8) |
+        static_cast<uint64_t>(type);
+}
+
+void
+SemanticTree::memoize(NodeId node, DomEventType type,
+                      const HandlerEffect &effect)
+{
+    table_[key(node, type)] = SemanticEntry{node, type, effect};
+}
+
+SemanticTree
+SemanticTree::fromDom(const DomTree &dom)
+{
+    SemanticTree tree;
+    for (size_t i = 0; i < dom.size(); ++i) {
+        const DomNode &node = dom.node(static_cast<NodeId>(i));
+        for (const HandlerSpec &spec : node.handlers)
+            tree.memoize(node.id, spec.type, spec.effect);
+    }
+    return tree;
+}
+
+std::optional<HandlerEffect>
+SemanticTree::effectOf(NodeId node, DomEventType type) const
+{
+    const auto it = table_.find(key(node, type));
+    if (it == table_.end())
+        return std::nullopt;
+    return it->second.effect;
+}
+
+std::vector<SemanticEntry>
+SemanticTree::entries() const
+{
+    std::vector<SemanticEntry> out;
+    out.reserve(table_.size());
+    for (const auto &[k, entry] : table_)
+        out.push_back(entry);
+    std::sort(out.begin(), out.end(),
+              [](const SemanticEntry &a, const SemanticEntry &b) {
+                  if (a.node != b.node)
+                      return a.node < b.node;
+                  return static_cast<int>(a.type) < static_cast<int>(b.type);
+              });
+    return out;
+}
+
+bool
+DomOverlay::displayedOf(const DomTree &dom, NodeId id) const
+{
+    NodeId cur = id;
+    while (cur != kInvalidNode) {
+        const auto it = displayOverride.find(cur);
+        const bool displayed = it != displayOverride.end()
+            ? it->second : dom.node(cur).displayed;
+        if (!displayed)
+            return false;
+        cur = dom.node(cur).parent;
+    }
+    return true;
+}
+
+bool
+DomOverlay::apply(const DomTree &dom, const HandlerEffect &effect)
+{
+    switch (effect.kind) {
+      case EffectKind::None:
+        return true;
+      case EffectKind::ToggleDisplay: {
+        if (effect.target == kInvalidNode)
+            return true;
+        const auto it = displayOverride.find(effect.target);
+        const bool current = it != displayOverride.end()
+            ? it->second : dom.node(effect.target).displayed;
+        displayOverride[effect.target] = !current;
+        return true;
+      }
+      case EffectKind::ScrollBy: {
+        const double page_height = dom.pageHeight();
+        scrollY = std::clamp(scrollY + effect.scrollDelta, 0.0,
+                             std::max(0.0, page_height - 1.0));
+        return true;
+      }
+      case EffectKind::Navigate:
+        displayOverride.clear();
+        scrollY = 0.0;
+        pageId = effect.pageId;
+        return false;
+    }
+    return true;
+}
+
+} // namespace pes

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Semantic Tree: static post-callback DOM-state inference.
+ *
+ * The DOM analyzer must know the DOM state *after* a predicted event
+ * without evaluating the event's callback (paper Sec. 5.2, Fig. 7). The
+ * paper piggybacks this on the browser's Accessibility Tree: during parsing
+ * it memoizes, e.g., that a <div> is a button that toggles a particular
+ * menu node. This class is that memo: a side table mapping (node, event
+ * type) to the semantic consequence, populated at page-build ("parse")
+ * time, and queried statically by the analyzer when rolling out
+ * hypothetical multi-event futures.
+ */
+
+#ifndef PES_WEB_SEMANTIC_TREE_HH
+#define PES_WEB_SEMANTIC_TREE_HH
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "web/dom.hh"
+
+namespace pes {
+
+/**
+ * Statically inferred consequence of triggering an event on a node.
+ */
+struct SemanticEntry
+{
+    NodeId node = kInvalidNode;
+    DomEventType type = DomEventType::Click;
+    HandlerEffect effect;
+};
+
+/**
+ * The semantic side table for one page.
+ */
+class SemanticTree
+{
+  public:
+    /** Memoize the consequence of (node, type) (called at parse time). */
+    void memoize(NodeId node, DomEventType type,
+                 const HandlerEffect &effect);
+
+    /**
+     * Build the full table from a parsed DOM tree — the analogue of
+     * deriving the Accessibility Tree during parsing.
+     */
+    static SemanticTree fromDom(const DomTree &dom);
+
+    /** Statically look up the consequence of (node, type). */
+    std::optional<HandlerEffect>
+    effectOf(NodeId node, DomEventType type) const;
+
+    /** All memoized entries (for inspection/tests). */
+    std::vector<SemanticEntry> entries() const;
+
+    /** Number of memoized entries. */
+    size_t size() const { return table_.size(); }
+
+  private:
+    static uint64_t key(NodeId node, DomEventType type);
+
+    std::unordered_map<uint64_t, SemanticEntry> table_;
+};
+
+/**
+ * A lightweight overlay describing a *hypothetical* DOM state: the result
+ * of applying zero or more predicted-but-unexecuted events on top of the
+ * committed state. Used by the DOM analyzer to compute the LNES several
+ * events ahead (prediction degree > 1) without mutating the real DOM.
+ */
+struct DomOverlay
+{
+    /** Display overrides (node -> displayed?) from hypothetical toggles. */
+    std::unordered_map<NodeId, bool> displayOverride;
+    /** Hypothetical scroll offset. */
+    double scrollY = 0.0;
+    /** Hypothetical current page (changes on Navigate). */
+    int pageId = 0;
+
+    /** Displayed state of @p id under this overlay. */
+    bool displayedOf(const DomTree &dom, NodeId id) const;
+
+    /**
+     * Apply a statically inferred effect to this overlay (toggle, scroll,
+     * navigate). Returns false when the effect leaves the current page
+     * (Navigate) — the caller must re-anchor to the destination page.
+     */
+    bool apply(const DomTree &dom, const HandlerEffect &effect);
+};
+
+} // namespace pes
+
+#endif // PES_WEB_SEMANTIC_TREE_HH

@@ -1,0 +1,34 @@
+#include "web/vsync.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace pes {
+
+VsyncClock::VsyncClock(double rate_hz)
+{
+    panic_if(rate_hz <= 0.0, "VsyncClock: rate must be positive");
+    period_ = 1000.0 / rate_hz;
+}
+
+TimeMs
+VsyncClock::nextVsyncAt(TimeMs t) const
+{
+    if (t <= 0.0)
+        return 0.0;
+    const double frames = t / period_;
+    const double up = std::ceil(frames);
+    // Guard against floating-point jitter when t is already on a boundary.
+    if (up - frames < 1e-9)
+        return up * period_;
+    return up * period_;
+}
+
+long
+VsyncClock::frameIndexAt(TimeMs t) const
+{
+    return static_cast<long>(std::floor(t / period_ + 1e-9));
+}
+
+} // namespace pes

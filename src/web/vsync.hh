@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Display refresh (VSync) clock.
+ *
+ * Frames become visible only at display refresh boundaries — on mobile,
+ * typically 60 Hz (paper Sec. 2, Fig. 1). Event latency therefore includes
+ * the idle wait between frame completion and the next VSync.
+ */
+
+#ifndef PES_WEB_VSYNC_HH
+#define PES_WEB_VSYNC_HH
+
+#include "util/types.hh"
+
+namespace pes {
+
+/**
+ * Fixed-rate display refresh clock starting at t = 0.
+ */
+class VsyncClock
+{
+  public:
+    /** @param rate_hz Display refresh rate (default 60 Hz). */
+    explicit VsyncClock(double rate_hz = 60.0);
+
+    /** Refresh period in ms (16.67 ms at 60 Hz). */
+    TimeMs periodMs() const { return period_; }
+
+    /**
+     * First refresh instant at or after @p t — when a frame finished at
+     * @p t becomes visible.
+     */
+    TimeMs nextVsyncAt(TimeMs t) const;
+
+    /** Number of complete refresh intervals before @p t. */
+    long frameIndexAt(TimeMs t) const;
+
+  private:
+    TimeMs period_;
+};
+
+} // namespace pes
+
+#endif // PES_WEB_VSYNC_HH

@@ -1,0 +1,653 @@
+/**
+ * @file
+ * Tests for the core library: EBS policy, governors, event predictor,
+ * global optimizer, pending frame buffer, and the PES/Oracle drivers'
+ * observable behaviour on controlled workloads.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ebs_policy.hh"
+#include "core/hints.hh"
+#include "core/ebs_scheduler.hh"
+#include "core/experiment.hh"
+#include "core/governors.hh"
+#include "core/optimizer.hh"
+#include "core/oracle_scheduler.hh"
+#include "core/pes_scheduler.hh"
+#include "core/pfb.hh"
+#include "core/predictor.hh"
+#include "core/predictor_training.hh"
+#include "trace/dom_builder.hh"
+#include "util/logging.hh"
+
+namespace pes {
+namespace {
+
+class CoreFixture : public ::testing::Test
+{
+  protected:
+    AcmpPlatform soc = AcmpPlatform::exynos5410();
+    PowerModel power{soc};
+    DvfsLatencyModel model{soc};
+};
+
+// ------------------------------------------------------------ EbsPolicy
+
+TEST_F(CoreFixture, EbsChoiceMatchesBruteForce)
+{
+    EbsPolicy policy(soc, power);
+    const Workload work{5.0, 120.0};
+    for (TimeMs budget : {50.0, 120.0, 300.0, 1000.0, 5000.0}) {
+        const AcmpConfig choice = policy.chooseConfigFor(work, budget);
+        // Brute force the minimum-energy feasible configuration.
+        int best = -1;
+        EnergyMj best_energy = 0.0;
+        for (int j = 0; j < soc.numConfigs(); ++j) {
+            const TimeMs lat = model.latencyAt(work, j);
+            if (lat > budget)
+                continue;
+            const EnergyMj e = energyOf(power.busyPowerAt(j), lat);
+            if (best == -1 || e < best_energy) {
+                best = j;
+                best_energy = e;
+            }
+        }
+        const AcmpConfig expected =
+            best == -1 ? soc.maxConfig() : soc.configAt(best);
+        EXPECT_EQ(choice, expected) << "budget " << budget;
+    }
+}
+
+TEST_F(CoreFixture, EbsLooseBudgetPicksLittleCore)
+{
+    EbsPolicy policy(soc, power);
+    const AcmpConfig choice =
+        policy.chooseConfigFor({5.0, 120.0}, 10000.0);
+    EXPECT_EQ(choice.core, CoreType::Little);
+}
+
+TEST_F(CoreFixture, EbsImpossibleBudgetFallsBackToMax)
+{
+    EbsPolicy policy(soc, power);
+    EXPECT_EQ(policy.chooseConfigFor({50.0, 1000.0}, 1.0),
+              soc.maxConfig());
+}
+
+TEST_F(CoreFixture, EbsProbesUnknownClassAtMax)
+{
+    EbsPolicy policy(soc, power);
+    EXPECT_EQ(policy.chooseConfig(42, DomEventType::Click, 300.0),
+              soc.maxConfig());
+}
+
+TEST_F(CoreFixture, EbsOnePointEstimateAfterFirstMeasurement)
+{
+    EbsPolicy policy(soc, power);
+    const Workload truth{5.0, 120.0};
+    policy.recordMeasurement(42, DomEventType::Click, soc.maxConfig(),
+                             model.latency(truth, soc.maxConfig()));
+    const Workload est = policy.estimateWorkload(42, DomEventType::Click);
+    // One-point estimate reproduces the measured latency at the probe.
+    EXPECT_NEAR(model.latency(est, soc.maxConfig()),
+                model.latency(truth, soc.maxConfig()), 1e-6);
+    // And the second-encounter choice is no longer the blind max probe.
+    const AcmpConfig second =
+        policy.chooseConfig(42, DomEventType::Click, 5000.0);
+    EXPECT_NE(second, soc.maxConfig());
+}
+
+TEST_F(CoreFixture, EbsTwoPointEstimateIsExact)
+{
+    EbsPolicy policy(soc, power);
+    const Workload truth{5.0, 120.0};
+    policy.recordMeasurement(7, DomEventType::Click, soc.maxConfig(),
+                             model.latency(truth, soc.maxConfig()));
+    policy.recordMeasurement(7, DomEventType::Click,
+                             {CoreType::Big, 1000.0},
+                             model.latency(truth, {CoreType::Big, 1000.0}));
+    ASSERT_TRUE(policy.hasEstimate(7));
+    const Workload est = policy.estimateWorkload(7, DomEventType::Click);
+    EXPECT_NEAR(est.tmemMs, truth.tmemMs, 1e-6);
+    EXPECT_NEAR(est.ndep, truth.ndep, 1e-6);
+}
+
+TEST_F(CoreFixture, EbsPriorsKickInForUnseenClasses)
+{
+    EbsPolicy policy(soc, power);
+    const Workload truth{5.0, 120.0};
+    // Teach the policy one tap class fully.
+    policy.recordMeasurement(1, DomEventType::Click, soc.maxConfig(),
+                             model.latency(truth, soc.maxConfig()));
+    policy.recordMeasurement(1, DomEventType::Click,
+                             {CoreType::Big, 1000.0},
+                             model.latency(truth, {CoreType::Big, 1000.0}));
+    // A different tap class inherits the interaction prior.
+    const Workload prior = policy.estimateWorkload(999,
+                                                   DomEventType::Click);
+    EXPECT_NEAR(prior.ndep, truth.ndep, 1.0);
+}
+
+TEST_F(CoreFixture, FeasibilityMarginRejectsMarginalConfigs)
+{
+    EbsPolicy strict(soc, power, 1.3);
+    EbsPolicy paper(soc, power, 1.0);
+    const Workload work{0.0, 100.0};
+    // Budget exactly equal to some config's latency: the margin-free
+    // policy takes it, the margined one steps up.
+    const AcmpConfig cfg{CoreType::Big, 1000.0};
+    const TimeMs budget = model.latency(work, cfg);
+    EXPECT_EQ(paper.chooseConfigFor(work, budget), cfg);
+    const AcmpConfig safer = strict.chooseConfigFor(work, budget);
+    EXPECT_LT(model.latency(work, safer), budget);
+}
+
+// ------------------------------------------------------------ Optimizer
+
+TEST_F(CoreFixture, OptimizerMeetsOutstandingDeadlines)
+{
+    const VsyncClock vsync;
+    GlobalOptimizer optimizer(model, power, vsync);
+
+    std::vector<PlanEventSpec> specs(3);
+    specs[0].work = {5.0, 90.0};
+    specs[0].qosTarget = 300.0;
+    specs[0].arrival = 1000.0;
+    specs[1].work = {5.0, 90.0};
+    specs[1].qosTarget = 300.0;
+    specs[1].arrival = 1100.0;
+    specs[2].work = {0.5, 10.0};
+    specs[2].qosTarget = 33.0;
+    specs[2].arrival = 1200.0;
+
+    const ScheduleSolution sol =
+        optimizer.planSchedule(1000.0, soc.minConfig(), specs);
+    ASSERT_TRUE(sol.feasible);
+    // Finish times (relative to now=1000) stay within each deadline.
+    EXPECT_LE(sol.finishTime[0], 300.0 + 1e-9);
+    EXPECT_LE(sol.finishTime[2], 1200.0 + 33.0 - 1000.0 + 1e-9);
+}
+
+TEST_F(CoreFixture, OptimizerChainsPredictedDeadlines)
+{
+    const VsyncClock vsync;
+    GlobalOptimizer optimizer(model, power, vsync);
+    std::vector<PlanEventSpec> specs(2);
+    specs[0].work = {5.0, 90.0};
+    specs[0].qosTarget = 300.0;   // predicted, no arrival
+    specs[1].work = {5.0, 90.0};
+    specs[1].qosTarget = 300.0;
+    const ScheduleProblem problem =
+        optimizer.buildProblem(0.0, soc.minConfig(), specs);
+    EXPECT_NEAR(problem.events[0].deadline, 300.0, 1e-9);
+    EXPECT_NEAR(problem.events[1].deadline, 600.0, 1e-9);
+}
+
+TEST_F(CoreFixture, OptimizerExpectedArrivalRelaxesDeadline)
+{
+    const VsyncClock vsync;
+    GlobalOptimizer optimizer(model, power, vsync);
+    std::vector<PlanEventSpec> specs(1);
+    specs[0].work = {5.0, 90.0};
+    specs[0].qosTarget = 300.0;
+    specs[0].expectedArrival = 5000.0;
+    const ScheduleProblem problem =
+        optimizer.buildProblem(0.0, soc.minConfig(), specs);
+    EXPECT_GT(problem.events[0].deadline, 5000.0);
+}
+
+TEST_F(CoreFixture, OptimizerDeeperChainGetsCheaperConfigs)
+{
+    // A chain of identical taps: later slots have larger cumulative
+    // budgets, so their configurations are no more power-hungry.
+    const VsyncClock vsync;
+    GlobalOptimizer optimizer(model, power, vsync);
+    std::vector<PlanEventSpec> specs(4);
+    for (auto &s : specs) {
+        s.work = {5.0, 120.0};
+        s.qosTarget = 300.0;
+    }
+    const ScheduleSolution sol =
+        optimizer.planSchedule(0.0, soc.minConfig(), specs);
+    ASSERT_TRUE(sol.feasible);
+    EXPECT_GE(power.busyPowerAt(sol.configOf.front()),
+              power.busyPowerAt(sol.configOf.back()) - 1e-9);
+}
+
+// ------------------------------------------------------------ PFB
+
+TEST(Pfb, FifoCommitOrder)
+{
+    PendingFrameBuffer pfb;
+    pfb.push({1, 0, {}, 10.0, 5.0, 0});
+    pfb.push({2, 1, {}, 20.0, 5.0, 0});
+    EXPECT_EQ(pfb.size(), 2);
+    EXPECT_EQ(pfb.head()->position, 0);
+    EXPECT_EQ(pfb.pop()->position, 0);
+    EXPECT_EQ(pfb.pop()->position, 1);
+    EXPECT_FALSE(pfb.pop().has_value());
+}
+
+TEST(Pfb, DrainReturnsEverything)
+{
+    PendingFrameBuffer pfb;
+    pfb.push({1, 3, {}, 0.0, 0.0, 0});
+    pfb.push({2, 4, {}, 0.0, 0.0, 0});
+    const auto drained = pfb.drain();
+    EXPECT_EQ(drained.size(), 2u);
+    EXPECT_TRUE(pfb.empty());
+}
+
+TEST(Pfb, RejectsOutOfOrderPositions)
+{
+    PendingFrameBuffer pfb;
+    pfb.push({1, 5, {}, 0.0, 0.0, 0});
+    EXPECT_DEATH(pfb.push({2, 4, {}, 0.0, 0.0, 0}), "increasing");
+}
+
+// ------------------------------------------------------------ Predictor
+
+class PredictorFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // A model that strongly predicts Load when links are visible and
+        // Click otherwise.
+        model.weight(static_cast<int>(DomEventType::Load), 1) = 20.0;
+        model.weight(static_cast<int>(DomEventType::Load),
+                     kNumFeatures) = -4.0;
+        model.weight(static_cast<int>(DomEventType::Click),
+                     kNumFeatures) = 1.5;
+    }
+
+    LogisticModel model;
+    WebApp app = AppDomBuilder(appByName("cnn")).build();
+};
+
+TEST_F(PredictorFixture, PredictsFromLnesOnly)
+{
+    WebAppSession session(app);
+    DomAnalyzer analyzer(session);
+    FeatureWindow window;
+    window.observe(DomEventType::Click, 100, 100);
+
+    EventPredictor predictor(model);
+    const auto next = predictor.predictNext(
+        analyzer, session.snapshotState(), window);
+    ASSERT_TRUE(next.has_value());
+    // The chosen target must be in the current LNES.
+    const auto lnes = analyzer.likelyNextEvents(session.snapshotState());
+    const bool in_lnes = std::any_of(
+        lnes.begin(), lnes.end(), [&](const CandidateEvent &c) {
+            return c.node == next->node && c.type == next->type;
+        });
+    EXPECT_TRUE(in_lnes);
+}
+
+TEST_F(PredictorFixture, ConfidenceThresholdBoundsDegree)
+{
+    WebAppSession session(app);
+    DomAnalyzer analyzer(session);
+    FeatureWindow window;
+    window.observe(DomEventType::Click, 100, 100);
+
+    EventPredictor::Config strict;
+    strict.confidenceThreshold = 0.995;
+    EventPredictor::Config loose;
+    loose.confidenceThreshold = 0.30;
+    EventPredictor::Config paper;  // 0.70
+
+    const auto none = EventPredictor(model, strict)
+        .predictSequence(analyzer, session.snapshotState(), window);
+    const auto some = EventPredictor(model, paper)
+        .predictSequence(analyzer, session.snapshotState(), window);
+    const auto more = EventPredictor(model, loose)
+        .predictSequence(analyzer, session.snapshotState(), window);
+    EXPECT_LE(none.size(), some.size());
+    EXPECT_LE(some.size(), more.size());
+}
+
+TEST_F(PredictorFixture, CumulativeConfidenceRespectsThreshold)
+{
+    WebAppSession session(app);
+    DomAnalyzer analyzer(session);
+    FeatureWindow window;
+    window.observe(DomEventType::Click, 100, 100);
+
+    EventPredictor predictor(model);  // threshold 0.70
+    const auto seq = predictor.predictSequence(
+        analyzer, session.snapshotState(), window);
+    double cumulative = 1.0;
+    for (const PredictedEvent &p : seq) {
+        cumulative *= p.confidence;
+        EXPECT_GE(p.confidence, 0.0);
+        EXPECT_LE(p.confidence, 1.0);
+    }
+    EXPECT_GE(cumulative, 0.70 - 1e-9);
+}
+
+TEST_F(PredictorFixture, MaxDegreeCap)
+{
+    WebAppSession session(app);
+    DomAnalyzer analyzer(session);
+    FeatureWindow window;
+    window.observe(DomEventType::Click, 100, 100);
+
+    EventPredictor::Config config;
+    config.confidenceThreshold = 0.0;  // never stop on confidence
+    config.maxDegree = 3;
+    const auto seq = EventPredictor(model, config)
+        .predictSequence(analyzer, session.snapshotState(), window);
+    EXPECT_LE(seq.size(), 3u);
+}
+
+// -------------------------------------------------- End-to-end drivers
+
+class DriverFixture : public ::testing::Test
+{
+  protected:
+    static Experiment &
+    experiment()
+    {
+        static Experiment exp;
+        static bool trained = false;
+        if (!trained) {
+            setQuiet(true);
+            exp.trainedModel();
+            trained = true;
+        }
+        return exp;
+    }
+};
+
+TEST_F(DriverFixture, OracleHasZeroViolations)
+{
+    Experiment &exp = experiment();
+    for (const char *name : {"cnn", "twitter"}) {
+        const AppProfile &profile = appByName(name);
+        const auto driver = exp.makeScheduler(SchedulerKind::Oracle);
+        const auto traces = exp.generator().evaluationSet(profile, 2);
+        for (const auto &trace : traces) {
+            const SimResult r = exp.runTrace(profile, trace, *driver);
+            EXPECT_NEAR(r.violationRate(), 0.0, 1e-12)
+                << name << " user " << trace.userSeed;
+        }
+    }
+}
+
+TEST_F(DriverFixture, SchedulerEnergyOrdering)
+{
+    // Oracle <= PES <= Interactive and EBS <= Interactive on aggregate.
+    Experiment &exp = experiment();
+    ResultSet rs;
+    for (const char *name : {"cnn", "ebay"}) {
+        const AppProfile &profile = appByName(name);
+        for (SchedulerKind kind :
+             {SchedulerKind::Interactive, SchedulerKind::Ebs,
+              SchedulerKind::Pes, SchedulerKind::Oracle}) {
+            const auto driver = exp.makeScheduler(kind);
+            exp.runAppUnder(profile, *driver, rs);
+        }
+    }
+    const auto apps = rs.apps();
+    const double ebs = rs.meanNormalizedEnergy(apps, "EBS", "Interactive");
+    const double pes = rs.meanNormalizedEnergy(apps, "PES", "Interactive");
+    const double oracle =
+        rs.meanNormalizedEnergy(apps, "Oracle", "Interactive");
+    EXPECT_LT(ebs, 1.0);
+    EXPECT_LT(pes, ebs);
+    EXPECT_LT(oracle, pes);
+}
+
+TEST_F(DriverFixture, PesReducesViolationsVersusEbs)
+{
+    Experiment &exp = experiment();
+    ResultSet rs;
+    for (const char *name : {"cnn", "google", "twitter"}) {
+        const AppProfile &profile = appByName(name);
+        for (SchedulerKind kind : {SchedulerKind::Ebs, SchedulerKind::Pes}) {
+            const auto driver = exp.makeScheduler(kind);
+            exp.runAppUnder(profile, *driver, rs);
+        }
+    }
+    EXPECT_LT(rs.summarizeScheduler("PES").violationRate,
+              rs.summarizeScheduler("EBS").violationRate);
+}
+
+TEST_F(DriverFixture, PesPredictionAccuracyInPaperBand)
+{
+    Experiment &exp = experiment();
+    ResultSet rs;
+    for (const char *name : {"cnn", "ebay", "twitter"}) {
+        const auto driver = exp.makeScheduler(SchedulerKind::Pes);
+        exp.runAppUnder(appByName(name), *driver, rs);
+    }
+    const double acc = rs.summarizeScheduler("PES").predictionAccuracy;
+    EXPECT_GT(acc, 0.80);
+    EXPECT_LE(acc, 1.0);
+}
+
+TEST_F(DriverFixture, PesSpeculatesMostEvents)
+{
+    Experiment &exp = experiment();
+    const AppProfile &profile = appByName("twitter");
+    const auto driver = exp.makeScheduler(SchedulerKind::Pes);
+    ResultSet rs;
+    exp.runAppUnder(profile, *driver, rs);
+    int speculative = 0;
+    int total = 0;
+    for (const SimResult &r : rs.results()) {
+        for (const EventRecord &e : r.events) {
+            ++total;
+            speculative += e.servedSpeculatively ? 1 : 0;
+        }
+    }
+    EXPECT_GT(static_cast<double>(speculative) / total, 0.4);
+}
+
+TEST_F(DriverFixture, PfbTraceShowsSawtooth)
+{
+    // Fig. 9: frames pushed then committed one by one.
+    Experiment &exp = experiment();
+    const AppProfile &profile = appByName("ebay");
+    const auto driver = exp.makeScheduler(SchedulerKind::Pes);
+    ResultSet rs;
+    exp.runAppUnder(profile, *driver, rs);
+    bool saw_growth = false;
+    bool saw_drain = false;
+    for (const SimResult &r : rs.results()) {
+        for (size_t i = 1; i < r.pfbTrace.size(); ++i) {
+            if (r.pfbTrace[i].pfbSize > r.pfbTrace[i - 1].pfbSize)
+                saw_growth = true;
+            if (r.pfbTrace[i].pfbSize < r.pfbTrace[i - 1].pfbSize)
+                saw_drain = true;
+        }
+    }
+    EXPECT_TRUE(saw_growth);
+    EXPECT_TRUE(saw_drain);
+}
+
+TEST_F(DriverFixture, GovernorsAreQosAgnosticallyDifferent)
+{
+    // Interactive ramps faster than Ondemand: fewer violations, more
+    // energy (aggregate over two bursty apps).
+    Experiment &exp = experiment();
+    ResultSet rs;
+    for (const char *name : {"cnn", "twitter"}) {
+        for (SchedulerKind kind :
+             {SchedulerKind::Interactive, SchedulerKind::Ondemand}) {
+            const auto driver = exp.makeScheduler(kind);
+            exp.runAppUnder(appByName(name), *driver, rs);
+        }
+    }
+    EXPECT_LE(rs.summarizeScheduler("Interactive").violationRate,
+              rs.summarizeScheduler("Ondemand").violationRate + 1e-9);
+    EXPECT_GE(rs.summarizeScheduler("Interactive").meanEnergy,
+              rs.summarizeScheduler("Ondemand").meanEnergy);
+}
+
+TEST_F(DriverFixture, PesFallsBackAfterConsecutiveMispredicts)
+{
+    // With an adversarial (untrained, zero) model and strict matching,
+    // speculation keeps missing; the control unit must disable it.
+    Experiment &exp = experiment();
+    LogisticModel zero_model;
+    PesScheduler::Config config;
+    config.matchPolicy = MatchPolicy::Strict;
+    PesScheduler pes(zero_model, config);
+    const AppProfile &profile = appByName("google");
+    const auto trace = exp.generator().evaluationSet(profile, 1).front();
+    const SimResult r = exp.runTrace(profile, trace, pes);
+    EXPECT_TRUE(r.fellBackToReactive || r.mispredictions == 0);
+    // All events still get served.
+    for (const EventRecord &e : r.events)
+        EXPECT_GT(e.displayed, 0.0);
+}
+
+TEST_F(DriverFixture, NetworkRequestsSuppressedDuringSpeculation)
+{
+    // Speculated submits are commit-gated; count them on a form app.
+    Experiment &exp = experiment();
+    const AppProfile &profile = appByName("amazon");
+    const auto driver = exp.makeScheduler(SchedulerKind::Pes);
+    ResultSet rs;
+    exp.runAppUnder(profile, *driver, rs);
+    int suppressed = 0;
+    for (const SimResult &r : rs.results())
+        suppressed += r.suppressedNetworkRequests;
+    // Amazon traces contain submits only occasionally; the counter must
+    // at least be consistent (non-negative and bounded by events).
+    EXPECT_GE(suppressed, 0);
+}
+
+TEST_F(DriverFixture, DisabledPredictionEqualsReactiveBehavior)
+{
+    // enablePrediction=false turns PES into a reactive scheduler: no
+    // speculative serves, no waste.
+    Experiment &exp = experiment();
+    PesScheduler::Config config;
+    config.enablePrediction = false;
+    PesScheduler pes(exp.trainedModel(), config);
+    const AppProfile &profile = appByName("bbc");
+    const auto trace = exp.generator().evaluationSet(profile, 1).front();
+    const SimResult r = exp.runTrace(profile, trace, pes);
+    EXPECT_EQ(r.predictionsMade, 0);
+    EXPECT_EQ(r.wasteEnergy, 0.0);
+    for (const EventRecord &e : r.events)
+        EXPECT_FALSE(e.servedSpeculatively);
+}
+
+
+// ------------------------------------------------------------ Hints
+
+TEST(Hints, LookupMatchingRules)
+{
+    PredictionHintTable table;
+    PredictionHint any_click;
+    any_click.trigger = DomEventType::Click;
+    any_click.next = DomEventType::Scroll;
+    table.add(any_click);
+
+    PredictionHint page1_load;
+    page1_load.pageId = 1;
+    page1_load.trigger = DomEventType::Load;
+    page1_load.next = DomEventType::Click;
+    table.add(page1_load);
+
+    // Wildcard click hint fires on any page/node.
+    auto hit = table.lookup(0, DomEventType::Click, 7);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->next, DomEventType::Scroll);
+    // Page-scoped load hint only on page 1.
+    EXPECT_FALSE(table.lookup(0, DomEventType::Load, 0).has_value());
+    EXPECT_TRUE(table.lookup(1, DomEventType::Load, 0).has_value());
+}
+
+TEST(Hints, NodeScopedHintWinsByOrder)
+{
+    PredictionHintTable table;
+    PredictionHint specific;
+    specific.trigger = DomEventType::Click;
+    specific.triggerNode = 5;
+    specific.next = DomEventType::Load;
+    table.add(specific);
+    PredictionHint generic;
+    generic.trigger = DomEventType::Click;
+    generic.next = DomEventType::Scroll;
+    table.add(generic);
+
+    EXPECT_EQ(table.lookup(0, DomEventType::Click, 5)->next,
+              DomEventType::Load);
+    EXPECT_EQ(table.lookup(0, DomEventType::Click, 6)->next,
+              DomEventType::Scroll);
+}
+
+TEST(Hints, PredictorPrefersHintOverLearner)
+{
+    const WebApp app = AppDomBuilder(appByName("cnn")).build();
+    WebAppSession session(app);
+    DomAnalyzer analyzer(session);
+    FeatureWindow window;
+    window.observe(DomEventType::Click, 100, 100, 3);
+
+    // A learner that would otherwise predict Click everywhere.
+    LogisticModel model;
+    model.weight(static_cast<int>(DomEventType::Click),
+                 kNumFeatures) = 5.0;
+
+    PredictionHintTable hints;
+    PredictionHint hint;
+    hint.trigger = DomEventType::Click;
+    hint.next = AppDomBuilder::moveTypeFor(appByName("cnn"));
+    hint.confidence = 0.99;
+    hints.add(hint);
+
+    EventPredictor::Config config;
+    config.hints = &hints;
+    EventPredictor predictor(model, config);
+    const auto next = predictor.predictNext(
+        analyzer, session.snapshotState(), window);
+    ASSERT_TRUE(next.has_value());
+    EXPECT_EQ(next->type, hint.next);
+    EXPECT_NEAR(next->confidence, 0.99, 1e-12);
+
+    // Without the table, the learner's majority class wins.
+    const auto plain = EventPredictor(model).predictNext(
+        analyzer, session.snapshotState(), window);
+    ASSERT_TRUE(plain.has_value());
+    EXPECT_EQ(plain->type, DomEventType::Click);
+}
+
+TEST(Hints, HintedPesRunsEndToEnd)
+{
+    // A correct document-level hint ("after a scroll, another scroll")
+    // must not break the pipeline and keeps accuracy high on a
+    // scroll-heavy app.
+    Experiment exp;
+    setQuiet(true);
+    exp.trainedModel();
+    const AppProfile &profile = appByName("twitter");
+
+    PredictionHintTable hints;
+    PredictionHint hint;
+    hint.trigger = AppDomBuilder::moveTypeFor(profile);
+    hint.next = hint.trigger;
+    hint.confidence = 0.9;
+    hints.add(hint);
+
+    PesScheduler::Config config;
+    config.predictor.hints = &hints;
+    PesScheduler pes(exp.trainedModel(), config);
+    const auto trace = exp.generator().evaluationSet(profile, 1).front();
+    const SimResult r = exp.runTrace(profile, trace, pes);
+    EXPECT_GT(r.predictionsMade, 0);
+    EXPECT_GT(r.predictionAccuracy(), 0.7);
+    for (const EventRecord &e : r.events)
+        EXPECT_GT(e.displayed, 0.0);
+}
+
+} // namespace
+} // namespace pes
+

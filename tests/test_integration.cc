@@ -1,0 +1,212 @@
+/**
+ * @file
+ * End-to-end integration tests: the full pipeline (DOM synthesis ->
+ * trace generation -> predictor training -> replay under every
+ * scheduler) and the cross-scheduler invariants the paper's evaluation
+ * rests on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hh"
+#include "core/predictor_training.hh"
+#include "sim/classifier.hh"
+#include "util/logging.hh"
+
+namespace pes {
+namespace {
+
+/** Shared harness: train once for the whole test binary. */
+Experiment &
+experiment()
+{
+    static Experiment exp;
+    static bool trained = false;
+    if (!trained) {
+        setQuiet(true);
+        exp.trainedModel();
+        trained = true;
+    }
+    return exp;
+}
+
+TEST(Integration, TrainedPredictorAccuracyBands)
+{
+    // Paper Fig. 8: ~91% on seen apps, ~89% on unseen, with apps ranging
+    // roughly 80..97%. Verified on a subset for test speed.
+    Experiment &exp = experiment();
+    const LogisticModel &model = exp.trainedModel();
+    double sum = 0.0;
+    int n = 0;
+    for (const char *name : {"cnn", "ebay", "espn", "tmall", "yahoo"}) {
+        const AppProfile &profile = appByName(name);
+        const WebApp &app = exp.generator().appFor(profile);
+        for (const auto &trace :
+             exp.generator().evaluationSet(profile, 2)) {
+            const PredictorEval eval =
+                evaluatePredictor(model, app, trace);
+            sum += eval.accuracy();
+            ++n;
+        }
+    }
+    const double mean = sum / n;
+    EXPECT_GT(mean, 0.82);
+    EXPECT_LT(mean, 1.0);
+}
+
+TEST(Integration, DomAnalysisAblationCostsAccuracy)
+{
+    // Sec. 6.5: without DOM analysis the predictor cannot roll the
+    // hypothetical state through predicted events (no SemanticTree), so
+    // the *runtime* (multi-step) prediction accuracy drops.
+    Experiment &exp = experiment();
+    PesScheduler::Config without;
+    without.predictor.useDomAnalysis = false;
+    without.nameOverride = "PES-noDOM";
+
+    ResultSet rs;
+    for (const char *name : {"cnn", "ebay", "twitter", "google"}) {
+        const AppProfile &profile = appByName(name);
+        const auto with_driver = exp.makeScheduler(SchedulerKind::Pes);
+        exp.runAppUnder(profile, *with_driver, rs);
+        PesScheduler without_driver(exp.trainedModel(), without);
+        exp.runAppUnder(profile, without_driver, rs);
+    }
+    const double acc_with =
+        rs.summarizeScheduler("PES").predictionAccuracy;
+    const double acc_without =
+        rs.summarizeScheduler("PES-noDOM").predictionAccuracy;
+    EXPECT_GT(acc_with, acc_without);
+}
+
+TEST(Integration, QueueLengthsStaySmall)
+{
+    // Sec. 4.2: "the average event queue length is below 2" — humans
+    // generate interactions slowly. Holds on aggregate (the burstiest
+    // app can exceed it on individual traces).
+    Experiment &exp = experiment();
+    ResultSet rs;
+    for (const char *name : {"cnn", "twitter", "google"}) {
+        const auto driver = exp.makeScheduler(SchedulerKind::Ebs);
+        exp.runAppUnder(appByName(name), *driver, rs);
+    }
+    EXPECT_LT(rs.summarizeScheduler("EBS").avgQueueLength, 2.0);
+    for (const SimResult &r : rs.results())
+        EXPECT_LT(r.avgQueueLength, 3.0) << r.appName;
+}
+
+TEST(Integration, EventTypeDistributionUnderEbs)
+{
+    // Fig. 3's structure: all four categories appear; Type IV dominates;
+    // a meaningful share of events is non-benign.
+    Experiment &exp = experiment();
+    EventClassifier classifier(exp.platform(), exp.power());
+    CategoryDistribution dist;
+    for (const char *name : {"cnn", "youtube", "twitter", "google"}) {
+        const AppProfile &profile = appByName(name);
+        const auto driver = exp.makeScheduler(SchedulerKind::Ebs);
+        for (const auto &trace :
+             exp.generator().evaluationSet(profile, 2)) {
+            const SimResult r = exp.runTrace(profile, trace, *driver);
+            dist.merge(classifier.classifyRun(trace, r));
+        }
+    }
+    EXPECT_GT(dist.fraction(EventCategory::TypeIV), 0.5);
+    const double non_benign = 1.0 - dist.fraction(EventCategory::TypeIV);
+    EXPECT_GT(non_benign, 0.05);
+    EXPECT_GT(dist.counts[static_cast<size_t>(EventCategory::TypeI)] +
+                  dist.counts[static_cast<size_t>(EventCategory::TypeII)],
+              0);
+}
+
+TEST(Integration, ParetoDominanceOfPes)
+{
+    // Fig. 13: PES must Pareto-dominate EBS (less energy, fewer
+    // violations) and beat the governors on both axes.
+    Experiment &exp = experiment();
+    ResultSet rs;
+    for (const char *name : {"cnn", "ebay", "twitter", "google"}) {
+        const AppProfile &profile = appByName(name);
+        for (SchedulerKind kind :
+             {SchedulerKind::Interactive, SchedulerKind::Ondemand,
+              SchedulerKind::Ebs, SchedulerKind::Pes}) {
+            const auto driver = exp.makeScheduler(kind);
+            exp.runAppUnder(profile, *driver, rs);
+        }
+    }
+    const auto apps = rs.apps();
+    const double pes_energy =
+        rs.meanNormalizedEnergy(apps, "PES", "Interactive");
+    const double ebs_energy =
+        rs.meanNormalizedEnergy(apps, "EBS", "Interactive");
+    const double pes_viol = rs.summarizeScheduler("PES").violationRate;
+    const double ebs_viol = rs.summarizeScheduler("EBS").violationRate;
+    const double interactive_viol =
+        rs.summarizeScheduler("Interactive").violationRate;
+
+    EXPECT_LT(pes_energy, ebs_energy);
+    EXPECT_LT(pes_viol, ebs_viol);
+    EXPECT_LT(pes_viol, interactive_viol);
+}
+
+TEST(Integration, MispredictWasteIsSmallAmortized)
+{
+    // Sec. 6.3: waste amortizes to a few ms per event and a small
+    // fraction of total energy.
+    Experiment &exp = experiment();
+    ResultSet rs;
+    for (const char *name : {"cnn", "ebay", "google"}) {
+        const auto driver = exp.makeScheduler(SchedulerKind::Pes);
+        exp.runAppUnder(appByName(name), *driver, rs);
+    }
+    for (const SimResult &r : rs.results()) {
+        const double waste_fraction =
+            r.totalEnergy > 0.0 ? r.wasteEnergy / r.totalEnergy : 0.0;
+        EXPECT_LT(waste_fraction, 0.15) << r.appName;
+    }
+}
+
+TEST(Integration, DeterministicEndToEnd)
+{
+    // Same seeds, fresh harness -> identical results (the property every
+    // figure bench relies on).
+    setQuiet(true);
+    Experiment a, b;
+    const AppProfile &profile = appByName("bbc");
+    const auto trace_a = a.generator().evaluationSet(profile, 1).front();
+    const auto trace_b = b.generator().evaluationSet(profile, 1).front();
+    ASSERT_EQ(trace_a.serialize(), trace_b.serialize());
+
+    const auto da = a.makeScheduler(SchedulerKind::Pes);
+    const auto db = b.makeScheduler(SchedulerKind::Pes);
+    const SimResult ra = a.runTrace(profile, trace_a, *da);
+    const SimResult rb = b.runTrace(profile, trace_b, *db);
+    EXPECT_DOUBLE_EQ(ra.totalEnergy, rb.totalEnergy);
+    EXPECT_EQ(ra.predictionsMade, rb.predictionsMade);
+    ASSERT_EQ(ra.events.size(), rb.events.size());
+    for (size_t i = 0; i < ra.events.size(); ++i)
+        EXPECT_DOUBLE_EQ(ra.events[i].displayed, rb.events[i].displayed);
+}
+
+TEST(Integration, TegraParkerPortability)
+{
+    // Sec. 6.5 "other devices": the same machinery produces savings on
+    // the TX2 model as well.
+    setQuiet(true);
+    Experiment exp(AcmpPlatform::tegraParker());
+    exp.trainedModel();
+    ResultSet rs;
+    for (const char *name : {"cnn", "ebay"}) {
+        const AppProfile &profile = appByName(name);
+        for (SchedulerKind kind :
+             {SchedulerKind::Interactive, SchedulerKind::Pes}) {
+            const auto driver = exp.makeScheduler(kind);
+            exp.runAppUnder(profile, *driver, rs);
+        }
+    }
+    EXPECT_LT(rs.meanNormalizedEnergy(rs.apps(), "PES", "Interactive"),
+              1.0);
+}
+
+} // namespace
+} // namespace pes

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * Unit tests for the ML substrate: Table-1 features, logistic models,
+ * SGD training, and classification metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/features.hh"
+#include "ml/logistic.hh"
+#include "ml/metrics.hh"
+#include "ml/trainer.hh"
+#include "util/rng.hh"
+
+namespace pes {
+namespace {
+
+// ------------------------------------------------------------ Features
+
+TEST(Features, NamesCoverTable1)
+{
+    // Paper Table 1: 2 application-inherent + 3 interaction-dependent.
+    EXPECT_EQ(kNumFeatures, 5);
+    EXPECT_STREQ(featureName(0), "clickable_region_pct");
+    EXPECT_STREQ(featureName(1), "visible_link_pct");
+    EXPECT_STREQ(featureName(2), "dist_to_prev_click");
+    EXPECT_STREQ(featureName(3), "navigations_in_window");
+    EXPECT_STREQ(featureName(4), "scrolls_in_window");
+}
+
+TEST(Features, WindowIsFiveEvents)
+{
+    // "runtime information within a window of the five most recent
+    // events" (Sec. 5.2).
+    EXPECT_EQ(FeatureWindow::kWindowSize, 5);
+    FeatureWindow w;
+    for (int i = 0; i < 8; ++i)
+        w.observe(DomEventType::Scroll, 0, 0);
+    EXPECT_EQ(w.eventsInWindow(), 5);
+}
+
+TEST(Features, CountsNavsAndScrolls)
+{
+    FeatureWindow w;
+    w.observe(DomEventType::Load, 0, 0);
+    w.observe(DomEventType::Scroll, 0, 100);
+    w.observe(DomEventType::TouchMove, 0, 200);
+    w.observe(DomEventType::Click, 50, 250);
+    ViewportStats stats;
+    const FeatureVector f = w.extract(stats);
+    EXPECT_NEAR(f.navsInWindow(), 1.0 / 5.0, 1e-12);
+    EXPECT_NEAR(f.scrollsInWindow(), 2.0 / 5.0, 1e-12);
+}
+
+TEST(Features, OldEventsFallOutOfWindow)
+{
+    FeatureWindow w;
+    w.observe(DomEventType::Load, 0, 0);
+    for (int i = 0; i < 5; ++i)
+        w.observe(DomEventType::Click, 0, 0);
+    const FeatureVector f = w.extract(ViewportStats{});
+    EXPECT_NEAR(f.navsInWindow(), 0.0, 1e-12);  // load aged out
+}
+
+TEST(Features, DistanceBetweenLastTwoTaps)
+{
+    FeatureWindow w;
+    w.observe(DomEventType::Click, 0.0, 0.0);
+    w.observe(DomEventType::Scroll, 99.0, 99.0);  // not a tap
+    w.observe(DomEventType::Click, 30.0, 40.0);
+    const FeatureVector f = w.extract(ViewportStats{});
+    // sqrt(30^2+40^2)=50, normalized by the 734 px diagonal.
+    EXPECT_NEAR(f.distToPrevClick(), 50.0 / 734.0, 1e-9);
+}
+
+TEST(Features, DistanceZeroWithFewerThanTwoTaps)
+{
+    FeatureWindow w;
+    w.observe(DomEventType::Click, 100.0, 100.0);
+    EXPECT_NEAR(w.extract(ViewportStats{}).distToPrevClick(), 0.0, 1e-12);
+}
+
+TEST(Features, ViewportStatsPassThrough)
+{
+    FeatureWindow w;
+    ViewportStats stats;
+    stats.clickableFrac = 0.42;
+    stats.visibleLinkFrac = 0.17;
+    const FeatureVector f = w.extract(stats);
+    EXPECT_DOUBLE_EQ(f.clickableFrac(), 0.42);
+    EXPECT_DOUBLE_EQ(f.visibleLinkFrac(), 0.17);
+}
+
+TEST(Features, LastTapPosition)
+{
+    FeatureWindow w;
+    double x = 0, y = 0;
+    EXPECT_FALSE(w.lastTapPosition(x, y));
+    w.observe(DomEventType::Click, 12.0, 34.0);
+    w.observe(DomEventType::Scroll, 0.0, 0.0);
+    ASSERT_TRUE(w.lastTapPosition(x, y));
+    EXPECT_DOUBLE_EQ(x, 12.0);
+    EXPECT_DOUBLE_EQ(y, 34.0);
+}
+
+TEST(Features, ClearResets)
+{
+    FeatureWindow w;
+    w.observe(DomEventType::Click, 1, 1);
+    w.clear();
+    EXPECT_EQ(w.eventsInWindow(), 0);
+}
+
+// ------------------------------------------------------------ Logistic
+
+TEST(Logistic, SigmoidProperties)
+{
+    EXPECT_NEAR(sigmoid(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(sigmoid(100.0), 1.0, 1e-12);
+    EXPECT_NEAR(sigmoid(-100.0), 0.0, 1e-12);
+    EXPECT_NEAR(sigmoid(2.0) + sigmoid(-2.0), 1.0, 1e-12);
+}
+
+TEST(Logistic, ZeroModelOutputsHalf)
+{
+    LogisticModel model;
+    FeatureVector x;
+    x.v = {0.1, 0.2, 0.3, 0.4, 0.5};
+    for (int c = 0; c < kNumDomEventTypes; ++c)
+        EXPECT_NEAR(model.probability(c, x), 0.5, 1e-12);
+}
+
+TEST(Logistic, LogitIsLinear)
+{
+    // ln(p/(1-p)) = x.beta (Sec. 5.2).
+    LogisticModel model;
+    model.weight(0, 0) = 2.0;
+    model.weight(0, kNumFeatures) = -1.0;  // bias
+    FeatureVector x;
+    x.v = {3.0, 0, 0, 0, 0};
+    EXPECT_NEAR(model.logit(0, x), 5.0, 1e-12);
+    const double p = model.probability(0, x);
+    EXPECT_NEAR(std::log(p / (1.0 - p)), 5.0, 1e-9);
+}
+
+TEST(Logistic, SerializeRoundTrip)
+{
+    LogisticModel model;
+    Rng rng(17);
+    for (int c = 0; c < kNumDomEventTypes; ++c)
+        for (int f = 0; f < LogisticModel::kWeightsPerClass; ++f)
+            model.weight(c, f) = rng.normal(0.0, 2.0);
+    const auto restored = LogisticModel::deserialize(model.serialize());
+    ASSERT_TRUE(restored.has_value());
+    EXPECT_EQ(*restored, model);
+}
+
+TEST(Logistic, DeserializeRejectsGarbage)
+{
+    EXPECT_FALSE(LogisticModel::deserialize("not-a-model").has_value());
+    EXPECT_FALSE(LogisticModel::deserialize("pes-logistic-v1 2 3\n1 2 3")
+                     .has_value());
+}
+
+// ------------------------------------------------------------ Trainer
+
+TEST(Trainer, LearnsSeparableData)
+{
+    // Feature 4 (scrolls) high => Scroll, else Click.
+    std::vector<TrainSample> samples;
+    Rng rng(3);
+    for (int i = 0; i < 400; ++i) {
+        TrainSample s;
+        const bool scrolly = rng.bernoulli(0.5);
+        s.x.v = {rng.uniform(), rng.uniform(), rng.uniform(),
+                 rng.uniform(0.0, 0.2),
+                 scrolly ? rng.uniform(0.6, 1.0) : rng.uniform(0.0, 0.2)};
+        s.label = scrolly ? DomEventType::Scroll : DomEventType::Click;
+        samples.push_back(s);
+    }
+    SgdTrainer trainer;
+    const LogisticModel model = trainer.train(samples);
+    int correct = 0;
+    for (const TrainSample &s : samples) {
+        const auto probs = model.probabilities(s.x);
+        const bool predicted_scroll =
+            probs[static_cast<size_t>(DomEventType::Scroll)] >
+            probs[static_cast<size_t>(DomEventType::Click)];
+        correct += (predicted_scroll ==
+                    (s.label == DomEventType::Scroll)) ? 1 : 0;
+    }
+    EXPECT_GT(correct, 380);  // > 95% on separable data
+}
+
+TEST(Trainer, LossDecreasesWithTraining)
+{
+    std::vector<TrainSample> samples;
+    Rng rng(9);
+    for (int i = 0; i < 200; ++i) {
+        TrainSample s;
+        const bool navy = rng.bernoulli(0.4);
+        s.x.v = {0, navy ? 0.8 : 0.1, 0, navy ? 0.9 : 0.1, 0};
+        s.label = navy ? DomEventType::Load : DomEventType::Click;
+        samples.push_back(s);
+    }
+    const LogisticModel untrained;
+    SgdTrainer trainer;
+    const LogisticModel trained = trainer.train(samples);
+    EXPECT_LT(SgdTrainer::loss(trained, samples),
+              SgdTrainer::loss(untrained, samples));
+}
+
+TEST(Trainer, DeterministicGivenSeed)
+{
+    std::vector<TrainSample> samples;
+    Rng rng(4);
+    for (int i = 0; i < 50; ++i) {
+        TrainSample s;
+        s.x.v = {rng.uniform(), rng.uniform(), rng.uniform(),
+                 rng.uniform(), rng.uniform()};
+        s.label = static_cast<DomEventType>(rng.uniformInt(0, 5));
+        samples.push_back(s);
+    }
+    SgdTrainer a, b;
+    EXPECT_EQ(a.train(samples).serialize(), b.train(samples).serialize());
+}
+
+TEST(Trainer, EmptyDatasetYieldsZeroModel)
+{
+    SgdTrainer trainer;
+    const LogisticModel model = trainer.train({});
+    EXPECT_EQ(model, LogisticModel{});
+}
+
+TEST(Trainer, ProbabilitiesCalibratedOnNoisyData)
+{
+    // 70/30 class mix with uninformative features: the trained
+    // probability should approach the base rate.
+    std::vector<TrainSample> samples;
+    Rng rng(21);
+    for (int i = 0; i < 2000; ++i) {
+        TrainSample s;
+        s.x.v = {0.5, 0.5, 0.5, 0.5, 0.5};
+        s.label = rng.bernoulli(0.7) ? DomEventType::Click
+                                     : DomEventType::Scroll;
+        samples.push_back(s);
+    }
+    SgdTrainer trainer;
+    const LogisticModel model = trainer.train(samples);
+    FeatureVector x;
+    x.v = {0.5, 0.5, 0.5, 0.5, 0.5};
+    EXPECT_NEAR(model.probability(
+                    static_cast<int>(DomEventType::Click), x),
+                0.7, 0.08);
+}
+
+// ------------------------------------------------------------ Metrics
+
+TEST(ConfusionMatrix, AccuracyAndRecall)
+{
+    ConfusionMatrix cm;
+    cm.add(DomEventType::Click, DomEventType::Click);
+    cm.add(DomEventType::Click, DomEventType::Click);
+    cm.add(DomEventType::Click, DomEventType::Scroll);
+    cm.add(DomEventType::Scroll, DomEventType::Scroll);
+    EXPECT_NEAR(cm.accuracy(), 0.75, 1e-12);
+    EXPECT_NEAR(cm.recall(DomEventType::Click), 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(cm.recall(DomEventType::Scroll), 1.0, 1e-12);
+    EXPECT_NEAR(cm.recall(DomEventType::Load), 0.0, 1e-12);
+    EXPECT_EQ(cm.total(), 4);
+}
+
+TEST(ConfusionMatrix, EmptyAccuracyIsZero)
+{
+    ConfusionMatrix cm;
+    EXPECT_EQ(cm.accuracy(), 0.0);
+}
+
+TEST(CalibrationBins, PerfectCalibration)
+{
+    CalibrationBins bins(10);
+    Rng rng(6);
+    for (int i = 0; i < 20000; ++i) {
+        const double conf = rng.uniform(0.05, 0.95);
+        bins.add(conf, rng.bernoulli(conf));
+    }
+    EXPECT_LT(bins.expectedCalibrationError(), 0.03);
+}
+
+TEST(CalibrationBins, DetectsOverconfidence)
+{
+    CalibrationBins bins(10);
+    Rng rng(8);
+    for (int i = 0; i < 5000; ++i)
+        bins.add(0.95, rng.bernoulli(0.5));  // claims 95%, delivers 50%
+    EXPECT_GT(bins.expectedCalibrationError(), 0.3);
+}
+
+TEST(CalibrationBins, BinBookkeeping)
+{
+    CalibrationBins bins(4);
+    bins.add(0.1, true);
+    bins.add(0.9, false);
+    bins.add(1.0, true);  // clamps into the last bin
+    EXPECT_EQ(bins.binCount(0), 1);
+    EXPECT_EQ(bins.binCount(3), 2);
+    EXPECT_NEAR(bins.binAccuracy(0), 1.0, 1e-12);
+    EXPECT_NEAR(bins.binAccuracy(3), 0.5, 1e-12);
+}
+
+} // namespace
+} // namespace pes

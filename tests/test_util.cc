@@ -1,0 +1,329 @@
+/**
+ * @file
+ * Unit tests for the util substrate: deterministic RNG, statistics,
+ * tables, and string helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "util/rng.hh"
+#include "util/stats.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+#include "util/types.hh"
+
+namespace pes {
+namespace {
+
+// ---------------------------------------------------------------- Rng
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int differing = 0;
+    for (int i = 0; i < 32; ++i)
+        differing += a.next() != b.next() ? 1 : 0;
+    EXPECT_GT(differing, 28);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(5.0, 9.0);
+        EXPECT_GE(u, 5.0);
+        EXPECT_LT(u, 9.0);
+    }
+}
+
+TEST(Rng, UniformIntInclusiveBounds)
+{
+    Rng rng(11);
+    std::set<int> seen;
+    for (int i = 0; i < 1000; ++i) {
+        const int v = rng.uniformInt(2, 5);
+        EXPECT_GE(v, 2);
+        EXPECT_LE(v, 5);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 4u);  // all four values appear
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(19);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(rng.normal(10.0, 2.0));
+    EXPECT_NEAR(stats.mean(), 10.0, 0.05);
+    EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMedianParameterization)
+{
+    Rng rng(23);
+    SampleSet samples;
+    for (int i = 0; i < 30000; ++i)
+        samples.add(rng.lognormal(100.0, 0.5));
+    EXPECT_NEAR(samples.median(), 100.0, 3.0);
+}
+
+TEST(Rng, LognormalZeroSigmaIsExact)
+{
+    Rng rng(29);
+    EXPECT_DOUBLE_EQ(rng.lognormal(42.0, 0.0), 42.0);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng rng(31);
+    RunningStats stats;
+    for (int i = 0; i < 50000; ++i)
+        stats.add(rng.exponential(7.0));
+    EXPECT_NEAR(stats.mean(), 7.0, 0.15);
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(37);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.015);
+}
+
+TEST(Rng, CategoricalFollowsWeights)
+{
+    Rng rng(41);
+    std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+    std::vector<int> counts(4, 0);
+    const int n = 30000;
+    for (int i = 0; i < n; ++i)
+        ++counts[static_cast<size_t>(rng.categorical(weights))];
+    EXPECT_EQ(counts[2], 0);  // zero weight never drawn
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+    EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(Rng, CategoricalAllZeroWeightsIsUniform)
+{
+    Rng rng(43);
+    std::vector<double> weights{0.0, 0.0, 0.0};
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < 9000; ++i)
+        ++counts[static_cast<size_t>(rng.categorical(weights))];
+    for (int c : counts)
+        EXPECT_GT(c, 2500);
+}
+
+TEST(Rng, ForkIsIndependentAndDeterministic)
+{
+    Rng a(5);
+    Rng b(5);
+    Rng fa = a.fork(99);
+    Rng fb = b.fork(99);
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(fa.next(), fb.next());
+}
+
+TEST(Rng, HashStringStable)
+{
+    EXPECT_EQ(hashString("cnn"), hashString("cnn"));
+    EXPECT_NE(hashString("cnn"), hashString("bbc"));
+}
+
+TEST(Rng, HashCombineOrderSensitive)
+{
+    EXPECT_NE(hashCombine(1, 2), hashCombine(2, 1));
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 4.571428571, 1e-9);
+    EXPECT_EQ(s.min(), 2.0);
+    EXPECT_EQ(s.max(), 9.0);
+    EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesPooled)
+{
+    RunningStats a, b, pooled;
+    Rng rng(13);
+    for (int i = 0; i < 100; ++i) {
+        const double x = rng.uniform(0.0, 10.0);
+        (i < 40 ? a : b).add(x);
+        pooled.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), pooled.count());
+    EXPECT_NEAR(a.mean(), pooled.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), pooled.variance(), 1e-9);
+}
+
+TEST(SampleSet, PercentilesOnKnownData)
+{
+    SampleSet s;
+    for (int i = 1; i <= 100; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_NEAR(s.percentile(0.0), 1.0, 1e-12);
+    EXPECT_NEAR(s.percentile(100.0), 100.0, 1e-12);
+    EXPECT_NEAR(s.median(), 50.5, 1e-12);
+    EXPECT_NEAR(s.percentile(90.0), 90.1, 1e-9);
+}
+
+TEST(SampleSet, PercentileAfterMoreSamples)
+{
+    SampleSet s;
+    s.add(10.0);
+    EXPECT_EQ(s.median(), 10.0);
+    s.add(20.0);
+    EXPECT_NEAR(s.median(), 15.0, 1e-12);
+}
+
+TEST(Histogram, BinningAndClamping)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(0.5);    // bin 0
+    h.add(9.99);   // bin 4
+    h.add(-3.0);   // clamps to bin 0
+    h.add(42.0);   // clamps to bin 4
+    h.add(5.0);    // bin 2
+    EXPECT_EQ(h.binCount(0), 2u);
+    EXPECT_EQ(h.binCount(2), 1u);
+    EXPECT_EQ(h.binCount(4), 2u);
+    EXPECT_EQ(h.total(), 5u);
+    EXPECT_DOUBLE_EQ(h.binLo(2), 4.0);
+}
+
+TEST(Geomean, KnownValue)
+{
+    EXPECT_NEAR(geomean({1.0, 8.0}), std::sqrt(8.0), 1e-12);
+    EXPECT_EQ(geomean({}), 0.0);
+}
+
+// ---------------------------------------------------------------- Table
+
+TEST(Table, AlignedOutputContainsCells)
+{
+    Table t({"app", "energy"});
+    t.beginRow().cell(std::string("cnn")).cell(12.345, 2);
+    t.beginRow().cell(std::string("bbc")).cell(7L);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("cnn"), std::string::npos);
+    EXPECT_NE(out.find("12.35"), std::string::npos);
+    EXPECT_NE(out.find("7"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters)
+{
+    Table t({"name", "note"});
+    t.addRow({"a,b", "say \"hi\""});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_NE(os.str().find("\"a,b\""), std::string::npos);
+    EXPECT_NE(os.str().find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(formatDouble(3.14159, 3), "3.142");
+    EXPECT_EQ(formatPercent(0.256), "25.6%");
+}
+
+// ---------------------------------------------------------------- Strings
+
+TEST(Strings, SplitKeepsEmptyFields)
+{
+    const auto parts = split("a,,b,", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+    EXPECT_EQ(parts[3], "");
+}
+
+TEST(Strings, TrimWhitespace)
+{
+    EXPECT_EQ(trim("  hello \t\n"), "hello");
+    EXPECT_EQ(trim(""), "");
+    EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, JoinRoundTrip)
+{
+    const std::vector<std::string> parts{"x", "y", "z"};
+    EXPECT_EQ(join(parts, "-"), "x-y-z");
+    EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Strings, StartsWith)
+{
+    EXPECT_TRUE(startsWith("pes-trace-v1", "pes-"));
+    EXPECT_FALSE(startsWith("pes", "pes-trace"));
+}
+
+// ---------------------------------------------------------------- Types
+
+TEST(Types, LatencyFormula)
+{
+    // 90 Mcycles at 1800 MHz = 50 ms, plus 10 ms memory time.
+    EXPECT_NEAR(computeLatencyMs(10.0, 90.0, 1800.0), 60.0, 1e-12);
+}
+
+TEST(Types, EnergyFormula)
+{
+    // 2000 mW for 500 ms = 1000 mJ.
+    EXPECT_NEAR(energyOf(2000.0, 500.0), 1000.0, 1e-12);
+}
+
+} // namespace
+} // namespace pes

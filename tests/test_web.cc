@@ -1,0 +1,540 @@
+/**
+ * @file
+ * Unit tests for the web-runtime substrate: event taxonomy, DOM tree,
+ * semantic tree, DOM analyzer (LNES), rendering pipeline, VSync clock,
+ * event loop, and WebApp sessions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "web/dom.hh"
+#include "web/dom_analyzer.hh"
+#include "web/event_loop.hh"
+#include "web/event_types.hh"
+#include "web/render_pipeline.hh"
+#include "web/semantic_tree.hh"
+#include "web/vsync.hh"
+#include "web/web_app.hh"
+
+namespace pes {
+namespace {
+
+// ------------------------------------------------------------ Events
+
+TEST(EventTypes, QosTargetsPerPaper)
+{
+    // Sec. 4.2: load 3 s, tap 300 ms, move 33 ms.
+    EXPECT_DOUBLE_EQ(qosTargetMs(DomEventType::Load), 3000.0);
+    EXPECT_DOUBLE_EQ(qosTargetMs(DomEventType::Click), 300.0);
+    EXPECT_DOUBLE_EQ(qosTargetMs(DomEventType::TouchStart), 300.0);
+    EXPECT_DOUBLE_EQ(qosTargetMs(DomEventType::Submit), 300.0);
+    EXPECT_DOUBLE_EQ(qosTargetMs(DomEventType::Scroll), 33.0);
+    EXPECT_DOUBLE_EQ(qosTargetMs(DomEventType::TouchMove), 33.0);
+}
+
+TEST(EventTypes, ManifestationsMapToInteractions)
+{
+    EXPECT_EQ(interactionOf(DomEventType::Click), Interaction::Tap);
+    EXPECT_EQ(interactionOf(DomEventType::TouchStart), Interaction::Tap);
+    EXPECT_EQ(interactionOf(DomEventType::Scroll), Interaction::Move);
+    EXPECT_EQ(interactionOf(DomEventType::TouchMove), Interaction::Move);
+    EXPECT_EQ(interactionOf(DomEventType::Load), Interaction::Load);
+}
+
+TEST(EventTypes, NameRoundTrip)
+{
+    for (int i = 0; i < kNumDomEventTypes; ++i) {
+        const auto type = static_cast<DomEventType>(i);
+        DomEventType parsed;
+        ASSERT_TRUE(parseDomEventType(domEventTypeName(type), parsed));
+        EXPECT_EQ(parsed, type);
+    }
+    DomEventType out;
+    EXPECT_FALSE(parseDomEventType("mousewheel", out));
+}
+
+// ------------------------------------------------------------ Geometry
+
+TEST(Geometry, IntersectionArea)
+{
+    const Rect a{0, 0, 10, 10};
+    const Rect b{5, 5, 10, 10};
+    EXPECT_DOUBLE_EQ(a.intersectionArea(b), 25.0);
+    EXPECT_TRUE(a.intersects(b));
+    const Rect c{20, 20, 5, 5};
+    EXPECT_DOUBLE_EQ(a.intersectionArea(c), 0.0);
+    EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(Geometry, ViewportRectTracksScroll)
+{
+    Viewport v;
+    v.scrollY = 500.0;
+    EXPECT_DOUBLE_EQ(v.rect().y, 500.0);
+    EXPECT_DOUBLE_EQ(v.rect().h, v.height);
+}
+
+// ------------------------------------------------------------ DOM
+
+class DomFixture : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dom.node(dom.root()).rect = {0, 0, 360, 2000};
+        visible = dom.createNode(dom.root(), NodeRole::Button,
+                                 {10, 100, 100, 40});
+        below_fold = dom.createNode(dom.root(), NodeRole::Button,
+                                    {10, 1500, 100, 40});
+        hidden_menu = dom.createNode(dom.root(), NodeRole::Container,
+                                     {0, 56, 360, 200});
+        dom.setDisplayed(hidden_menu, false);
+        menu_item = dom.createNode(hidden_menu, NodeRole::MenuItem,
+                                   {0, 60, 360, 48});
+    }
+
+    DomTree dom;
+    NodeId visible = kInvalidNode;
+    NodeId below_fold = kInvalidNode;
+    NodeId hidden_menu = kInvalidNode;
+    NodeId menu_item = kInvalidNode;
+};
+
+TEST_F(DomFixture, VisibilityRequiresDisplayAndViewport)
+{
+    const Viewport view;  // scroll 0, 360x640
+    EXPECT_TRUE(dom.isVisible(visible, view));
+    EXPECT_FALSE(dom.isVisible(below_fold, view));   // outside viewport
+    EXPECT_FALSE(dom.isVisible(menu_item, view));    // ancestor hidden
+}
+
+TEST_F(DomFixture, AncestorDisplayGatesDescendants)
+{
+    EXPECT_FALSE(dom.isDisplayed(menu_item));
+    dom.setDisplayed(hidden_menu, true);
+    EXPECT_TRUE(dom.isDisplayed(menu_item));
+}
+
+TEST_F(DomFixture, ScrollBringsNodesIntoView)
+{
+    Viewport view;
+    view.scrollY = 1400.0;
+    EXPECT_TRUE(dom.isVisible(below_fold, view));
+    EXPECT_FALSE(dom.isVisible(visible, view));
+}
+
+TEST_F(DomFixture, VisibleNodesEnumerates)
+{
+    const Viewport view;
+    const auto nodes = dom.visibleNodes(view);
+    EXPECT_NE(std::find(nodes.begin(), nodes.end(), visible),
+              nodes.end());
+    EXPECT_EQ(std::find(nodes.begin(), nodes.end(), menu_item),
+              nodes.end());
+}
+
+TEST_F(DomFixture, PageHeightIgnoresHiddenNodes)
+{
+    DomTree t;
+    t.node(t.root()).rect = {0, 0, 360, 100};
+    const NodeId tall =
+        t.createNode(t.root(), NodeRole::Container, {0, 0, 360, 5000});
+    EXPECT_DOUBLE_EQ(t.pageHeight(), 5000.0);
+    t.setDisplayed(tall, false);
+    EXPECT_DOUBLE_EQ(t.pageHeight(), 100.0);
+}
+
+TEST_F(DomFixture, HandlerLookup)
+{
+    HandlerSpec spec;
+    spec.type = DomEventType::Click;
+    dom.addHandler(visible, spec);
+    EXPECT_NE(dom.node(visible).handlerFor(DomEventType::Click), nullptr);
+    EXPECT_EQ(dom.node(visible).handlerFor(DomEventType::Scroll), nullptr);
+    EXPECT_FALSE(dom.node(below_fold).hasListeners());
+}
+
+TEST(DomNode, ClickableRoles)
+{
+    DomNode n;
+    for (NodeRole role : {NodeRole::Link, NodeRole::Button,
+                          NodeRole::MenuToggle, NodeRole::MenuItem,
+                          NodeRole::FormField, NodeRole::SubmitButton}) {
+        n.role = role;
+        EXPECT_TRUE(n.isClickable()) << nodeRoleName(role);
+    }
+    for (NodeRole role : {NodeRole::Container, NodeRole::Text,
+                          NodeRole::Image}) {
+        n.role = role;
+        EXPECT_FALSE(n.isClickable()) << nodeRoleName(role);
+    }
+}
+
+// ------------------------------------------------------ Semantic tree
+
+TEST(SemanticTree, MemoizesToggleWithoutCallbackEvaluation)
+{
+    // The Fig. 7 scenario: a button whose callback toggles a menu. The
+    // semantic tree must expose the post-event DOM state statically.
+    DomTree dom;
+    dom.node(dom.root()).rect = {0, 0, 360, 640};
+    const NodeId menu =
+        dom.createNode(dom.root(), NodeRole::Container, {0, 56, 360, 200});
+    dom.setDisplayed(menu, false);
+    const NodeId button = dom.createNode(dom.root(), NodeRole::MenuToggle,
+                                         {8, 8, 40, 40});
+    HandlerSpec spec;
+    spec.type = DomEventType::Click;
+    spec.effect = {EffectKind::ToggleDisplay, menu, -1, 0.0};
+    dom.addHandler(button, spec);
+
+    const SemanticTree semantics = SemanticTree::fromDom(dom);
+    const auto effect = semantics.effectOf(button, DomEventType::Click);
+    ASSERT_TRUE(effect.has_value());
+    EXPECT_EQ(effect->kind, EffectKind::ToggleDisplay);
+    EXPECT_EQ(effect->target, menu);
+
+    // Static rollout: the overlay knows the menu is open after the click.
+    DomOverlay overlay;
+    EXPECT_FALSE(overlay.displayedOf(dom, menu));
+    overlay.apply(dom, *effect);
+    EXPECT_TRUE(overlay.displayedOf(dom, menu));
+    // And closed again after a second click (toggle semantics).
+    overlay.apply(dom, *effect);
+    EXPECT_FALSE(overlay.displayedOf(dom, menu));
+}
+
+TEST(SemanticTree, UnknownNodeHasNoEntry)
+{
+    DomTree dom;
+    const SemanticTree semantics = SemanticTree::fromDom(dom);
+    EXPECT_FALSE(semantics.effectOf(5, DomEventType::Click).has_value());
+}
+
+TEST(SemanticTree, NavigationResetsOverlay)
+{
+    DomTree dom;
+    DomOverlay overlay;
+    overlay.scrollY = 300.0;
+    overlay.displayOverride[3] = true;
+    HandlerEffect nav{EffectKind::Navigate, kInvalidNode, 2, 0.0};
+    EXPECT_FALSE(overlay.apply(dom, nav));  // leaves the page
+    EXPECT_EQ(overlay.pageId, 2);
+    EXPECT_DOUBLE_EQ(overlay.scrollY, 0.0);
+    EXPECT_TRUE(overlay.displayOverride.empty());
+}
+
+TEST(SemanticTree, ScrollClampsToPage)
+{
+    DomTree dom;
+    dom.node(dom.root()).rect = {0, 0, 360, 1000};
+    DomOverlay overlay;
+    HandlerEffect scroll{EffectKind::ScrollBy, kInvalidNode, -1, 5000.0};
+    overlay.apply(dom, scroll);
+    EXPECT_LE(overlay.scrollY, 1000.0);
+    HandlerEffect up{EffectKind::ScrollBy, kInvalidNode, -1, -9999.0};
+    overlay.apply(dom, up);
+    EXPECT_DOUBLE_EQ(overlay.scrollY, 0.0);
+}
+
+// --------------------------------------------------------- WebApp
+
+WebApp
+makeTwoPageApp()
+{
+    WebApp app("testapp");
+    for (int page = 0; page < 2; ++page) {
+        DomTree dom;
+        dom.node(dom.root()).rect = {0, 0, 360, 1280};
+        const NodeId menu = dom.createNode(dom.root(), NodeRole::Container,
+                                           {0, 56, 360, 96});
+        dom.setDisplayed(menu, false);
+        const NodeId toggle = dom.createNode(
+            dom.root(), NodeRole::MenuToggle, {8, 8, 40, 40});
+        HandlerSpec toggle_spec;
+        toggle_spec.type = DomEventType::Click;
+        toggle_spec.effect = {EffectKind::ToggleDisplay, menu, -1, 0.0};
+        dom.addHandler(toggle, toggle_spec);
+
+        const NodeId item =
+            dom.createNode(menu, NodeRole::MenuItem, {0, 56, 360, 48});
+        HandlerSpec nav;
+        nav.type = DomEventType::Load;
+        nav.effect = {EffectKind::Navigate, kInvalidNode, 1 - page, 0.0};
+        dom.addHandler(item, nav);
+
+        HandlerSpec move;
+        move.type = DomEventType::Scroll;
+        move.effect = {EffectKind::ScrollBy, kInvalidNode, -1, 384.0};
+        dom.addHandler(dom.root(), move);
+        app.addPage(std::move(dom));
+    }
+    return app;
+}
+
+TEST(WebAppSession, CommitTogglesAndNavigates)
+{
+    const WebApp app = makeTwoPageApp();
+    WebAppSession session(app);
+    EXPECT_EQ(session.currentPage(), 0);
+    EXPECT_FALSE(session.dom().node(1).displayed);  // menu hidden
+
+    session.commitEvent(2, DomEventType::Click);    // toggle
+    EXPECT_TRUE(session.dom().node(1).displayed);
+
+    session.commitEvent(3, DomEventType::Load);     // navigate
+    EXPECT_EQ(session.currentPage(), 1);
+    EXPECT_DOUBLE_EQ(session.viewport().scrollY, 0.0);
+}
+
+TEST(WebAppSession, NavigationResetsDestinationDom)
+{
+    const WebApp app = makeTwoPageApp();
+    WebAppSession session(app);
+    session.commitEvent(2, DomEventType::Click);  // open menu on page 0
+    session.commitEvent(3, DomEventType::Load);   // to page 1
+    session.commitEvent(3, DomEventType::Load);   // back to page 0
+    // Fresh parse: the menu is hidden again.
+    EXPECT_FALSE(session.dom().node(1).displayed);
+}
+
+TEST(WebAppSession, ScrollCommitMovesViewport)
+{
+    const WebApp app = makeTwoPageApp();
+    WebAppSession session(app);
+    session.commitEvent(0, DomEventType::Scroll);
+    EXPECT_DOUBLE_EQ(session.viewport().scrollY, 384.0);
+    // Clamped at page bottom (1280 - 640 = 640 max).
+    session.commitEvent(0, DomEventType::Scroll);
+    session.commitEvent(0, DomEventType::Scroll);
+    EXPECT_DOUBLE_EQ(session.viewport().scrollY, 640.0);
+}
+
+TEST(WebAppSession, EventsWithoutHandlersAreNoOps)
+{
+    const WebApp app = makeTwoPageApp();
+    WebAppSession session(app);
+    session.commitEvent(2, DomEventType::Submit);   // no submit handler
+    session.commitEvent(999, DomEventType::Click);  // no such node
+    EXPECT_EQ(session.committedEvents(), 0);
+}
+
+// --------------------------------------------------------- Analyzer
+
+TEST(DomAnalyzer, LnesListsOnlyVisibleHandlers)
+{
+    const WebApp app = makeTwoPageApp();
+    WebAppSession session(app);
+    DomAnalyzer analyzer(session);
+    const auto lnes = analyzer.likelyNextEvents(session.snapshotState());
+    // Toggle click + document scroll are visible; menu item is not.
+    const bool has_toggle = std::any_of(
+        lnes.begin(), lnes.end(), [](const CandidateEvent &c) {
+            return c.node == 2 && c.type == DomEventType::Click;
+        });
+    const bool has_menu_item = std::any_of(
+        lnes.begin(), lnes.end(),
+        [](const CandidateEvent &c) { return c.node == 3; });
+    EXPECT_TRUE(has_toggle);
+    EXPECT_FALSE(has_menu_item);
+}
+
+TEST(DomAnalyzer, HypotheticalToggleEnlargesLnes)
+{
+    // Paper Sec. 5.2: the analyzer must compute the LNES *after* a
+    // predicted menu-opening event without executing its callback.
+    const WebApp app = makeTwoPageApp();
+    WebAppSession session(app);
+    DomAnalyzer analyzer(session);
+    DomOverlay state = session.snapshotState();
+    analyzer.applyHypothetical({DomEventType::Click, 2}, state);
+    const auto lnes = analyzer.likelyNextEvents(state);
+    const bool has_menu_item = std::any_of(
+        lnes.begin(), lnes.end(), [](const CandidateEvent &c) {
+            return c.node == 3 && c.type == DomEventType::Load;
+        });
+    EXPECT_TRUE(has_menu_item);
+    // The committed session state is untouched.
+    EXPECT_FALSE(session.dom().node(1).displayed);
+}
+
+TEST(DomAnalyzer, HypotheticalNavigationChangesPage)
+{
+    const WebApp app = makeTwoPageApp();
+    WebAppSession session(app);
+    DomAnalyzer analyzer(session);
+    DomOverlay state = session.snapshotState();
+    analyzer.applyHypothetical({DomEventType::Click, 2}, state);
+    analyzer.applyHypothetical({DomEventType::Load, 3}, state);
+    EXPECT_EQ(state.pageId, 1);
+    EXPECT_TRUE(state.displayOverride.empty());
+}
+
+TEST(DomAnalyzer, ViewportStatsCountLinksAndClickables)
+{
+    const WebApp app = makeTwoPageApp();
+    WebAppSession session(app);
+    DomAnalyzer analyzer(session);
+    const DomOverlay committed = session.snapshotState();
+    const ViewportStats before = analyzer.viewportStats(committed);
+
+    DomOverlay opened = committed;
+    analyzer.applyHypothetical({DomEventType::Click, 2}, opened);
+    const ViewportStats after = analyzer.viewportStats(opened);
+    // Opening the menu exposes a nav item: link fraction must rise.
+    EXPECT_GT(after.visibleLinkFrac, before.visibleLinkFrac);
+    EXPECT_GT(after.clickableFrac, before.clickableFrac);
+    EXPECT_TRUE(before.scrollable);
+}
+
+TEST(DomAnalyzer, AllPageEventsIgnoresVisibility)
+{
+    const WebApp app = makeTwoPageApp();
+    WebAppSession session(app);
+    DomAnalyzer analyzer(session);
+    const auto all = analyzer.allPageEvents(session.snapshotState());
+    const bool has_menu_item = std::any_of(
+        all.begin(), all.end(),
+        [](const CandidateEvent &c) { return c.node == 3; });
+    EXPECT_TRUE(has_menu_item);  // hidden but registered
+}
+
+// ------------------------------------------------------ Render pipeline
+
+TEST(RenderPipeline, StagesScaleWithDirtySize)
+{
+    RenderPipeline pipeline;
+    const RenderWork small = pipeline.frameWork(150, 2);
+    const RenderWork large = pipeline.frameWork(150, 30);
+    EXPECT_GT(large.total().ndep, small.total().ndep);
+    EXPECT_GT(large.total().tmemMs, small.total().tmemMs);
+}
+
+TEST(RenderPipeline, ScaleMultiplies)
+{
+    RenderPipeline pipeline;
+    const RenderWork base = pipeline.frameWork(100, 5, 1.0);
+    const RenderWork doubled = pipeline.frameWork(100, 5, 2.0);
+    EXPECT_NEAR(doubled.total().ndep, 2.0 * base.total().ndep, 1e-9);
+}
+
+TEST(RenderPipeline, TotalIsSumOfStages)
+{
+    RenderPipeline pipeline;
+    const RenderWork work = pipeline.frameWork(200, 8);
+    Workload sum;
+    for (int s = 0; s < kNumRenderStages; ++s)
+        sum = sum + work.stages[static_cast<size_t>(s)];
+    EXPECT_NEAR(sum.ndep, work.total().ndep, 1e-12);
+    EXPECT_NEAR(sum.tmemMs, work.total().tmemMs, 1e-12);
+}
+
+TEST(RenderPipeline, TypicalTapFrameInPaperRegime)
+{
+    // A tap frame should cost on the order of 10-30 ms at the big
+    // cluster's top frequency (the ~20 ms speculative frames of Fig. 10).
+    RenderPipeline pipeline;
+    const DvfsLatencyModel model(AcmpPlatform::exynos5410());
+    const RenderWork work = pipeline.frameWork(150, 6);
+    const TimeMs at_max =
+        model.latency(work.total(), {CoreType::Big, 1800.0});
+    EXPECT_GT(at_max, 5.0);
+    EXPECT_LT(at_max, 40.0);
+}
+
+TEST(RenderWork, ScaledIsElementwise)
+{
+    RenderPipeline pipeline;
+    const RenderWork work = pipeline.frameWork(100, 4);
+    const RenderWork half = work.scaled(0.5);
+    for (int s = 0; s < kNumRenderStages; ++s) {
+        EXPECT_NEAR(half.stages[static_cast<size_t>(s)].ndep,
+                    0.5 * work.stages[static_cast<size_t>(s)].ndep, 1e-12);
+    }
+}
+
+// ------------------------------------------------------------ VSync
+
+TEST(Vsync, PeriodAt60Hz)
+{
+    const VsyncClock vsync;
+    EXPECT_NEAR(vsync.periodMs(), 16.6667, 1e-3);
+}
+
+TEST(Vsync, NextVsyncCeils)
+{
+    const VsyncClock vsync;
+    const double period = vsync.periodMs();
+    EXPECT_NEAR(vsync.nextVsyncAt(0.0), 0.0, 1e-9);
+    EXPECT_NEAR(vsync.nextVsyncAt(1.0), period, 1e-9);
+    EXPECT_NEAR(vsync.nextVsyncAt(period), period, 1e-6);
+    EXPECT_NEAR(vsync.nextVsyncAt(period + 0.001), 2 * period, 1e-6);
+}
+
+/** A frame never waits more than one refresh period. */
+class VsyncWaitBound : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(VsyncWaitBound, WaitWithinOnePeriod)
+{
+    const VsyncClock vsync;
+    const double t = GetParam();
+    const double displayed = vsync.nextVsyncAt(t);
+    EXPECT_GE(displayed + 1e-9, t);
+    EXPECT_LE(displayed - t, vsync.periodMs() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Times, VsyncWaitBound,
+                         ::testing::Values(0.0, 0.5, 16.0, 16.67, 17.0,
+                                           100.0, 333.33, 1000.01,
+                                           59999.5));
+
+TEST(Vsync, FrameIndex)
+{
+    const VsyncClock vsync;
+    EXPECT_EQ(vsync.frameIndexAt(0.0), 0);
+    EXPECT_EQ(vsync.frameIndexAt(17.0), 1);
+    EXPECT_EQ(vsync.frameIndexAt(1000.0), 60);
+}
+
+// --------------------------------------------------------- Event loop
+
+TEST(EventLoop, FifoOrder)
+{
+    EventLoop loop;
+    loop.push({0, 10.0});
+    loop.push({1, 20.0});
+    loop.push({2, 30.0});
+    EXPECT_EQ(loop.length(), 3u);
+    EXPECT_EQ(loop.front()->traceIndex, 0);
+    EXPECT_EQ(loop.pop()->traceIndex, 0);
+    EXPECT_EQ(loop.pop()->traceIndex, 1);
+    EXPECT_EQ(loop.pop()->traceIndex, 2);
+    EXPECT_FALSE(loop.pop().has_value());
+}
+
+TEST(EventLoop, LengthStatsSampledAtArrivals)
+{
+    EventLoop loop;
+    loop.push({0, 0.0});   // length 1
+    loop.push({1, 1.0});   // length 2
+    loop.pop();
+    loop.push({2, 2.0});   // length 2
+    EXPECT_NEAR(loop.lengthStats().mean(), (1 + 2 + 2) / 3.0, 1e-12);
+}
+
+TEST(EventLoop, SnapshotPreservesOrder)
+{
+    EventLoop loop;
+    loop.push({5, 1.0});
+    loop.push({6, 2.0});
+    const auto snap = loop.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].traceIndex, 5);
+    EXPECT_EQ(snap[1].traceIndex, 6);
+}
+
+} // namespace
+} // namespace pes

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * pes_trace_tool — command-line record/replay utility.
+ *
+ * Subcommands:
+ *   apps                       list the 18 benchmark applications
+ *   gen  <app> <seed> <file>   generate a session and save it
+ *   info <file>                summarize a saved trace
+ *   replay <file> <scheduler>  replay a trace under one scheduler
+ *   compare <file>             replay under all five schedulers
+ *
+ * Schedulers: interactive | ondemand | ebs | pes | oracle.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "core/experiment.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace pes;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr <<
+        "usage:\n"
+        "  pes_trace_tool apps\n"
+        "  pes_trace_tool gen <app> <seed> <file>\n"
+        "  pes_trace_tool info <file>\n"
+        "  pes_trace_tool replay <file> <scheduler>\n"
+        "  pes_trace_tool compare <file>\n"
+        "schedulers: interactive | ondemand | ebs | pes | oracle\n";
+    return 2;
+}
+
+std::optional<SchedulerKind>
+parseScheduler(const std::string &name)
+{
+    if (name == "interactive")
+        return SchedulerKind::Interactive;
+    if (name == "ondemand")
+        return SchedulerKind::Ondemand;
+    if (name == "ebs")
+        return SchedulerKind::Ebs;
+    if (name == "pes")
+        return SchedulerKind::Pes;
+    if (name == "oracle")
+        return SchedulerKind::Oracle;
+    return std::nullopt;
+}
+
+InteractionTrace
+loadOrDie(const std::string &path)
+{
+    auto trace = InteractionTrace::loadFromFile(path);
+    fatal_if(!trace, "cannot read trace file '%s'", path.c_str());
+    return *trace;
+}
+
+int
+cmdApps()
+{
+    Table table({"app", "set", "pages", "temp", "load_scale"});
+    for (const AppProfile &p : appRegistry()) {
+        table.beginRow()
+            .cell(p.name)
+            .cell(std::string(p.seen ? "seen" : "unseen"))
+            .cell(static_cast<long>(p.numPages))
+            .cell(p.behaviorTemp, 2)
+            .cell(p.loadWorkScale, 2);
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdGen(const std::string &app, uint64_t seed, const std::string &path)
+{
+    Experiment exp;
+    const InteractionTrace trace =
+        exp.generator().generate(appByName(app), seed);
+    fatal_if(!trace.saveToFile(path), "cannot write '%s'", path.c_str());
+    std::cout << "wrote " << trace.size() << " events ("
+              << formatDouble(trace.duration() / 1000.0, 1) << " s) to "
+              << path << "\n";
+    return 0;
+}
+
+int
+cmdInfo(const std::string &path)
+{
+    const InteractionTrace trace = loadOrDie(path);
+    std::cout << "app:      " << trace.appName << "\n"
+              << "user:     " << trace.userSeed << "\n"
+              << "events:   " << trace.size() << "\n"
+              << "duration: "
+              << formatDouble(trace.duration() / 1000.0, 1) << " s\n";
+    int counts[kNumInteractions] = {};
+    double gaps = 0.0;
+    for (size_t i = 0; i < trace.events.size(); ++i) {
+        ++counts[static_cast<int>(interactionOf(trace.events[i].type))];
+        if (i)
+            gaps += trace.events[i].arrival - trace.events[i - 1].arrival;
+    }
+    std::cout << "mix:      " << counts[0] << " loads, " << counts[1]
+              << " taps, " << counts[2] << " moves\n";
+    if (trace.size() > 1) {
+        std::cout << "mean gap: "
+                  << formatDouble(gaps / (trace.size() - 1) / 1000.0, 2)
+                  << " s\n";
+    }
+    return 0;
+}
+
+void
+printResult(const SimResult &r)
+{
+    std::cout << r.schedulerName << ": energy "
+              << formatDouble(r.totalEnergy, 1) << " mJ, violations "
+              << formatPercent(r.violationRate());
+    if (r.predictionsMade > 0) {
+        std::cout << ", prediction accuracy "
+                  << formatPercent(r.predictionAccuracy());
+    }
+    std::cout << "\n";
+}
+
+int
+cmdReplay(const std::string &path, const std::string &sched)
+{
+    const auto kind = parseScheduler(sched);
+    if (!kind)
+        return usage();
+    const InteractionTrace trace = loadOrDie(path);
+    Experiment exp;
+    if (*kind == SchedulerKind::Pes)
+        exp.trainedModel();
+    const AppProfile &profile = appByName(trace.appName);
+    const auto driver = exp.makeScheduler(*kind);
+    printResult(exp.runTrace(profile, trace, *driver));
+    return 0;
+}
+
+int
+cmdCompare(const std::string &path)
+{
+    const InteractionTrace trace = loadOrDie(path);
+    Experiment exp;
+    exp.trainedModel();
+    const AppProfile &profile = appByName(trace.appName);
+    for (SchedulerKind kind :
+         {SchedulerKind::Interactive, SchedulerKind::Ondemand,
+          SchedulerKind::Ebs, SchedulerKind::Pes,
+          SchedulerKind::Oracle}) {
+        const auto driver = exp.makeScheduler(kind);
+        printResult(exp.runTrace(profile, trace, *driver));
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "apps")
+        return cmdApps();
+    if (cmd == "gen" && argc == 5)
+        return cmdGen(argv[2], std::strtoull(argv[3], nullptr, 10),
+                      argv[4]);
+    if (cmd == "info" && argc == 3)
+        return cmdInfo(argv[2]);
+    if (cmd == "replay" && argc == 4)
+        return cmdReplay(argv[2], argv[3]);
+    if (cmd == "compare" && argc == 3)
+        return cmdCompare(argv[2]);
+    return usage();
+}
