@@ -37,15 +37,30 @@ emitTable(const Table &table, const std::string &csv_name)
     std::cout << "\n[csv: " << csv_name << "]\n";
 }
 
-/** Run the standard evaluation sweep for the given scheduler kinds. */
+/**
+ * Run the standard evaluation sweep on the fleet runner (warm per-cell
+ * drivers, evaluation population, all hardware threads) and return the
+ * outcome: aggregated per-cell metrics, plus the raw ResultSet unless
+ * @p collect_results is false (metrics-only benches skip the per-event
+ * retention).
+ */
+inline FleetOutcome
+runFleetEvaluation(Experiment &exp,
+                   const std::vector<AppProfile> &profiles,
+                   const std::vector<SchedulerKind> &kinds,
+                   bool collect_results = true)
+{
+    return exp.runFleetSweep(profiles, kinds, collect_results);
+}
+
+/** Evaluation sweep, raw results only (fleet-backed). */
 inline ResultSet
 runEvaluationSweep(Experiment &exp,
                    const std::vector<AppProfile> &profiles,
                    const std::vector<SchedulerKind> &kinds)
 {
-    ResultSet rs;
-    exp.runSweep(profiles, kinds, rs);
-    return rs;
+    FleetOutcome outcome = exp.runFleetSweep(profiles, kinds);
+    return std::move(outcome.results);
 }
 
 /** Names of all apps in a profile list. */

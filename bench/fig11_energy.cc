@@ -28,7 +28,10 @@ main()
     Table table({"app", "set", "Interactive", "EBS", "PES", "Oracle"});
     for (const bool seen : {true, false}) {
         const auto profiles = seen ? seenApps() : unseenApps();
-        ResultSet rs = runEvaluationSweep(exp, profiles, kinds);
+        // Fleet-backed sweep; normalization needs the raw per-trace
+        // energies, so use the outcome's ResultSet.
+        const ResultSet rs =
+            runFleetEvaluation(exp, profiles, kinds).results;
         for (const AppProfile &p : profiles) {
             table.beginRow()
                 .cell(p.name)

@@ -24,19 +24,25 @@ main()
         SchedulerKind::Interactive, SchedulerKind::Ebs,
         SchedulerKind::Pes, SchedulerKind::Oracle};
 
+    const std::string device = exp.platform().name();
+
     Table table({"app", "set", "Interactive", "EBS", "PES", "Oracle"});
     double seen_pes = 0.0, seen_ebs = 0.0, seen_inter = 0.0;
     for (const bool seen : {true, false}) {
         const auto profiles = seen ? seenApps() : unseenApps();
-        ResultSet rs = runEvaluationSweep(exp, profiles, kinds);
+        const FleetOutcome outcome = runFleetEvaluation(
+            exp, profiles, kinds, /*collect_results=*/false);
+        const MetricsAggregator &metrics = outcome.metrics;
         double pes_sum = 0, ebs_sum = 0, inter_sum = 0, oracle_sum = 0;
         for (const AppProfile &p : profiles) {
             const double inter =
-                rs.summarize(p.name, "Interactive").violationRate;
-            const double ebs = rs.summarize(p.name, "EBS").violationRate;
-            const double pes = rs.summarize(p.name, "PES").violationRate;
+                metrics.cell(device, p.name, "Interactive").violationRate;
+            const double ebs =
+                metrics.cell(device, p.name, "EBS").violationRate;
+            const double pes =
+                metrics.cell(device, p.name, "PES").violationRate;
             const double oracle =
-                rs.summarize(p.name, "Oracle").violationRate;
+                metrics.cell(device, p.name, "Oracle").violationRate;
             inter_sum += inter;
             ebs_sum += ebs;
             pes_sum += pes;

@@ -1,5 +1,8 @@
 #include "core/experiment.hh"
 
+#include <algorithm>
+#include <thread>
+
 #include "core/ebs_scheduler.hh"
 #include "core/governors.hh"
 #include "core/oracle_scheduler.hh"
@@ -7,24 +10,6 @@
 #include "util/logging.hh"
 
 namespace pes {
-
-const char *
-schedulerKindName(SchedulerKind kind)
-{
-    switch (kind) {
-      case SchedulerKind::Interactive:
-        return "Interactive";
-      case SchedulerKind::Ondemand:
-        return "Ondemand";
-      case SchedulerKind::Ebs:
-        return "EBS";
-      case SchedulerKind::Pes:
-        return "PES";
-      case SchedulerKind::Oracle:
-        return "Oracle";
-    }
-    panic("schedulerKindName: invalid kind");
-}
 
 Experiment::Experiment(AcmpPlatform platform)
     : platform_(std::move(platform)), power_(platform_),
@@ -75,20 +60,52 @@ Experiment::runTrace(const AppProfile &profile,
     return simulator.run(trace, driver);
 }
 
+int
+Experiment::defaultSweepThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw ? static_cast<int>(hw) : 1;
+}
+
+void
+Experiment::setSweepThreads(int threads)
+{
+    sweepThreads_ = std::max(1, threads);
+}
+
+FleetOutcome
+Experiment::runFleetSweep(const std::vector<AppProfile> &profiles,
+                          const std::vector<SchedulerKind> &kinds,
+                          bool collect_results)
+{
+    FleetConfig config;
+    config.devices = {platform_};
+    config.apps = profiles;
+    config.schedulers = kinds;
+    config.users = kEvalTracesPerApp;
+    config.seedMode = SeedMode::Evaluation;
+    config.warmDrivers = true;
+    config.collectResults = collect_results;
+    config.threads = sweepThreads_;
+    config.trainingTracesPerApp = kTrainingTracesPerApp;
+    for (const SchedulerKind kind : kinds) {
+        if (kind == SchedulerKind::Pes) {
+            config.pretrainedModel = &trainedModel();
+            config.pretrainedModelDevice = platform_.name();
+            break;
+        }
+    }
+    return FleetRunner(std::move(config)).run();
+}
+
 void
 Experiment::runSweep(const std::vector<AppProfile> &profiles,
                      const std::vector<SchedulerKind> &kinds,
                      ResultSet &out)
 {
-    for (const AppProfile &profile : profiles) {
-        const auto traces =
-            generator_.evaluationSet(profile, kEvalTracesPerApp);
-        for (const SchedulerKind kind : kinds) {
-            const auto driver = makeScheduler(kind);
-            for (const InteractionTrace &trace : traces)
-                out.add(runTrace(profile, trace, *driver));
-        }
-    }
+    FleetOutcome outcome = runFleetSweep(profiles, kinds);
+    for (SimResult &result : outcome.results.takeAll())
+        out.add(std::move(result));
 }
 
 void

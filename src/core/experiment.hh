@@ -16,24 +16,13 @@
 #include <optional>
 
 #include "core/pes_scheduler.hh"
+#include "core/scheduler_kind.hh"
+#include "runner/fleet_runner.hh"
 #include "sim/metrics.hh"
 #include "sim/runtime_simulator.hh"
 #include "trace/generator.hh"
 
 namespace pes {
-
-/** The schedulers of the evaluation (Sec. 6.1 plus Ondemand, Fig. 13). */
-enum class SchedulerKind
-{
-    Interactive = 0,
-    Ondemand,
-    Ebs,
-    Pes,
-    Oracle,
-};
-
-/** Scheduler display name. */
-const char *schedulerKindName(SchedulerKind kind);
 
 /**
  * Experiment harness (non-copyable: internal models hold pointers).
@@ -81,9 +70,32 @@ class Experiment
      * The full evaluation sweep: for every profile, kEvalTracesPerApp
      * fresh-user traces, each replayed under every scheduler in
      * @p kinds. Results accumulate into @p out.
+     *
+     * Executes on the fleet runner (warm per-cell drivers, evaluation
+     * user population) with sweepThreads() workers; results are
+     * identical to the historical serial implementation for any thread
+     * count.
      */
     void runSweep(const std::vector<AppProfile> &profiles,
                   const std::vector<SchedulerKind> &kinds, ResultSet &out);
+
+    /**
+     * The evaluation sweep as a fleet run, returning the aggregated
+     * per-cell metrics next to the raw results. Metrics-only callers
+     * pass collect_results = false to skip retaining per-event records.
+     */
+    FleetOutcome runFleetSweep(const std::vector<AppProfile> &profiles,
+                               const std::vector<SchedulerKind> &kinds,
+                               bool collect_results = true);
+
+    /** Worker threads used by runSweep/runFleetSweep. */
+    int sweepThreads() const { return sweepThreads_; }
+
+    /** Override the sweep worker count (>= 1). */
+    void setSweepThreads(int threads);
+
+    /** Default sweep parallelism: the hardware concurrency. */
+    static int defaultSweepThreads();
 
     /**
      * Replay the evaluation traces of @p profile under a caller-built
@@ -97,6 +109,7 @@ class Experiment
     PowerModel power_;
     TraceGenerator generator_;
     std::optional<LogisticModel> model_;
+    int sweepThreads_ = defaultSweepThreads();
 };
 
 } // namespace pes

@@ -1,0 +1,43 @@
+#include "core/scheduler_kind.hh"
+
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace pes {
+
+const char *
+schedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Interactive:
+        return "Interactive";
+      case SchedulerKind::Ondemand:
+        return "Ondemand";
+      case SchedulerKind::Ebs:
+        return "EBS";
+      case SchedulerKind::Pes:
+        return "PES";
+      case SchedulerKind::Oracle:
+        return "Oracle";
+    }
+    panic("schedulerKindName: invalid kind");
+}
+
+std::optional<SchedulerKind>
+schedulerKindFromName(const std::string &name)
+{
+    const std::string low = toLower(name);
+    if (low == "interactive")
+        return SchedulerKind::Interactive;
+    if (low == "ondemand")
+        return SchedulerKind::Ondemand;
+    if (low == "ebs")
+        return SchedulerKind::Ebs;
+    if (low == "pes")
+        return SchedulerKind::Pes;
+    if (low == "oracle")
+        return SchedulerKind::Oracle;
+    return std::nullopt;
+}
+
+} // namespace pes

@@ -41,7 +41,14 @@ struct AcmpConfig
     CoreType core = CoreType::Little;
     FreqMhz freq = 0.0;
 
-    bool operator==(const AcmpConfig &other) const = default;
+    bool operator==(const AcmpConfig &other) const
+    {
+        return core == other.core && freq == other.freq;
+    }
+    bool operator!=(const AcmpConfig &other) const
+    {
+        return !(*this == other);
+    }
 };
 
 /**

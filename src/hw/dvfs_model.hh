@@ -38,7 +38,14 @@ struct Workload
         return {tmemMs * factor, ndep * factor};
     }
 
-    bool operator==(const Workload &other) const = default;
+    bool operator==(const Workload &other) const
+    {
+        return tmemMs == other.tmemMs && ndep == other.ndep;
+    }
+    bool operator!=(const Workload &other) const
+    {
+        return !(*this == other);
+    }
 };
 
 /**

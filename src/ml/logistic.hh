@@ -54,7 +54,14 @@ class LogisticModel
     /** Parse a serialized model; nullopt on malformed input. */
     static std::optional<LogisticModel> deserialize(const std::string &blob);
 
-    bool operator==(const LogisticModel &other) const = default;
+    bool operator==(const LogisticModel &other) const
+    {
+        return w_ == other.w_;
+    }
+    bool operator!=(const LogisticModel &other) const
+    {
+        return !(*this == other);
+    }
 
   private:
     std::array<std::array<double, kWeightsPerClass>, kNumDomEventTypes> w_;

@@ -1,0 +1,140 @@
+#include "runner/fleet_config.hh"
+
+#include <climits>
+
+#include "trace/generator.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+#include "util/strings.hh"
+
+namespace pes {
+
+int
+FleetConfig::cellCount() const
+{
+    const size_t devs = devices.empty() ? 1 : devices.size();
+    return static_cast<int>(devs * apps.size() * schedulers.size());
+}
+
+int
+FleetConfig::jobCount() const
+{
+    const long long total =
+        static_cast<long long>(cellCount()) * users;
+    fatal_if(total > INT_MAX, "fleet: %lld sessions exceed the job limit",
+             total);
+    return static_cast<int>(total);
+}
+
+uint64_t
+fleetUserSeed(const FleetConfig &config, int user_index)
+{
+    const uint64_t idx = static_cast<uint64_t>(user_index);
+    switch (config.seedMode) {
+      case SeedMode::Fleet:
+        return hashCombine(config.baseSeed, idx);
+      case SeedMode::Evaluation:
+        return TraceGenerator::kEvaluationSeedBase + idx;
+    }
+    panic("fleetUserSeed: invalid seed mode");
+}
+
+std::vector<JobSpec>
+enumerateJobs(const FleetConfig &config)
+{
+    fatal_if(config.apps.empty(), "fleet: no application profiles");
+    fatal_if(config.schedulers.empty(), "fleet: no schedulers");
+    fatal_if(config.users < 1, "fleet: users must be >= 1");
+
+    const int devs =
+        config.devices.empty() ? 1 : static_cast<int>(config.devices.size());
+    std::vector<JobSpec> jobs;
+    jobs.reserve(static_cast<size_t>(config.jobCount()));
+    int index = 0;
+    for (int d = 0; d < devs; ++d) {
+        for (size_t a = 0; a < config.apps.size(); ++a) {
+            for (size_t s = 0; s < config.schedulers.size(); ++s) {
+                for (int u = 0; u < config.users; ++u) {
+                    JobSpec job;
+                    job.index = index++;
+                    job.deviceIndex = d;
+                    job.appIndex = static_cast<int>(a);
+                    job.schedulerIndex = static_cast<int>(s);
+                    job.userIndex = u;
+                    job.userSeed = fleetUserSeed(config, u);
+                    jobs.push_back(job);
+                }
+            }
+        }
+    }
+    return jobs;
+}
+
+std::vector<SchedulerKind>
+parseSchedulerList(const std::string &spec)
+{
+    std::vector<SchedulerKind> kinds;
+    for (const std::string &raw : split(spec, ',')) {
+        const std::string name = trim(raw);
+        if (name.empty())
+            continue;
+        const auto kind = schedulerKindFromName(name);
+        fatal_if(!kind, "unknown scheduler '%s' (expected one of "
+                 "interactive, ondemand, ebs, pes, oracle)", name.c_str());
+        kinds.push_back(*kind);
+    }
+    fatal_if(kinds.empty(), "empty scheduler list '%s'", spec.c_str());
+    return kinds;
+}
+
+std::vector<AppProfile>
+parseAppList(const std::string &spec)
+{
+    std::vector<AppProfile> apps;
+    for (const std::string &raw : split(spec, ',')) {
+        const std::string name = toLower(trim(raw));
+        if (name.empty())
+            continue;
+        if (name == "seen") {
+            for (const AppProfile &p : seenApps())
+                apps.push_back(p);
+        } else if (name == "unseen") {
+            for (const AppProfile &p : unseenApps())
+                apps.push_back(p);
+        } else if (name == "all") {
+            for (const AppProfile &p : appRegistry())
+                apps.push_back(p);
+        } else if (name == "extra") {
+            for (const AppProfile &p : extraApps())
+                apps.push_back(p);
+        } else {
+            apps.push_back(appByName(name));
+        }
+    }
+    fatal_if(apps.empty(), "empty application list '%s'", spec.c_str());
+    return apps;
+}
+
+std::vector<AcmpPlatform>
+parseDeviceList(const std::string &spec)
+{
+    std::vector<AcmpPlatform> devices;
+    for (const std::string &raw : split(spec, ',')) {
+        const std::string name = toLower(trim(raw));
+        if (name.empty())
+            continue;
+        if (name == "exynos5410" || name == "exynos") {
+            devices.push_back(AcmpPlatform::exynos5410());
+        } else if (name == "tegra-parker" || name == "parker" ||
+                   name == "tx2") {
+            devices.push_back(AcmpPlatform::tegraParker());
+        } else {
+            fatal("unknown device '%s' (expected exynos5410 or "
+                  "tegra-parker)", name.c_str());
+        }
+    }
+    fatal_if(devices.empty(), "empty device list '%s'", spec.c_str());
+    return devices;
+}
+
+} // namespace pes

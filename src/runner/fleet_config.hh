@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Fleet sweep description and deterministic job enumeration.
+ *
+ * A fleet run is the cross-product of scheduler drivers, application
+ * profiles, device (ACMP) models, and simulated users. Each element of
+ * that product is one JobSpec: a single user session replayed under one
+ * scheduler on one device. Job enumeration is deterministic and
+ * thread-count independent — the JobSpec::index is the canonical ordering
+ * key, and every per-session random stream derives from the job's
+ * userSeed through util/rng hashing (no ad-hoc arithmetic seeding), so a
+ * fleet is reproducible bit-for-bit regardless of how many workers
+ * execute it.
+ */
+
+#ifndef PES_RUNNER_FLEET_CONFIG_HH
+#define PES_RUNNER_FLEET_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scheduler_kind.hh"
+#include "hw/acmp.hh"
+#include "trace/app_profile.hh"
+
+namespace pes {
+
+class LogisticModel;
+
+/** One simulated user session of a fleet sweep. */
+struct JobSpec
+{
+    /** Dense id; also the canonical (thread-independent) ordering key. */
+    int index = 0;
+    /** Index into FleetConfig::devices. */
+    int deviceIndex = 0;
+    /** Index into FleetConfig::apps. */
+    int appIndex = 0;
+    /** Index into FleetConfig::schedulers. */
+    int schedulerIndex = 0;
+    /** User shard [0, users). */
+    int userIndex = 0;
+    /** Trace-generation seed of this user (derived, deterministic). */
+    uint64_t userSeed = 0;
+};
+
+/** Which user population a fleet draws its traces from. */
+enum class SeedMode
+{
+    /**
+     * Fresh fleet users: shard seeds are hashed from
+     * FleetConfig::baseSeed via util/rng (hashCombine), disjoint from
+     * the training and evaluation populations.
+     */
+    Fleet = 0,
+    /**
+     * The paper's evaluation population (Sec. 6.1): user @c i maps to
+     * TraceGenerator::kEvaluationSeedBase + i, reproducing the classic
+     * Experiment::runSweep protocol exactly.
+     */
+    Evaluation,
+};
+
+/**
+ * Description of one fleet sweep.
+ */
+struct FleetConfig
+{
+    /** Default base seed of the fleet user population. */
+    static constexpr uint64_t kDefaultBaseSeed = 0xf1ee7u;
+
+    /** Device models to sweep (empty = the paper's Exynos 5410). */
+    std::vector<AcmpPlatform> devices;
+    /** Application profiles to sweep. */
+    std::vector<AppProfile> apps;
+    /** Scheduler drivers to sweep. */
+    std::vector<SchedulerKind> schedulers;
+    /** Simulated users per (device, app, scheduler) cell. */
+    int users = 1;
+    /** Worker threads (>= 1). Never affects results, only wall-clock. */
+    int threads = 1;
+    /** Base seed of the fleet population (SeedMode::Fleet). */
+    uint64_t baseSeed = kDefaultBaseSeed;
+    /** User population. */
+    SeedMode seedMode = SeedMode::Fleet;
+    /**
+     * Keep one driver per (device, app, scheduler) cell, replaying the
+     * cell's sessions in user order on a single worker ("warmed device":
+     * EBS/PES carry their Eqn.-1 measurement history across sessions,
+     * exactly like the classic Experiment::runSweep). When false every
+     * session gets a fresh driver — the independent-users fleet model —
+     * and all sessions parallelize freely.
+     */
+    bool warmDrivers = false;
+    /** Also retain every full SimResult (ResultSet) next to the
+     *  aggregated metrics. Costs memory on big fleets. */
+    bool collectResults = false;
+    /** Training sessions per seen app for the PES event model. */
+    int trainingTracesPerApp = 9;
+    /**
+     * Optional pre-trained event model (borrowed, not owned). Used only
+     * for single-device fleets whose device name equals
+     * pretrainedModelDevice (the model's training platform); otherwise
+     * the runner trains per device.
+     */
+    const LogisticModel *pretrainedModel = nullptr;
+    /** Platform name the pretrained model was trained on. */
+    std::string pretrainedModelDevice;
+
+    /** Sessions per cell times cells. */
+    int jobCount() const;
+    /** Number of (device, app, scheduler) cells. */
+    int cellCount() const;
+};
+
+/**
+ * Trace seed of user @p user_index under @p config (see SeedMode).
+ */
+uint64_t fleetUserSeed(const FleetConfig &config, int user_index);
+
+/**
+ * Enumerate the full cross-product in canonical order: device, then app,
+ * then scheduler, then user. Sessions of one cell are contiguous (the
+ * shard unit of warm-driver runs).
+ */
+std::vector<JobSpec> enumerateJobs(const FleetConfig &config);
+
+// ---------------- CLI parsing helpers (pes_fleet, tests) ----------------
+
+/**
+ * Parse a comma-separated scheduler list ("pes,ebs,interactive");
+ * panics via fatal() on unknown names.
+ */
+std::vector<SchedulerKind> parseSchedulerList(const std::string &spec);
+
+/**
+ * Parse a comma-separated application list. Accepts registry names
+ * ("cnn"), extra profiles ("social_feed"), and the group aliases
+ * "seen", "unseen", "all" (the 18 paper apps), and "extra".
+ */
+std::vector<AppProfile> parseAppList(const std::string &spec);
+
+/**
+ * Parse a comma-separated device list: "exynos5410" and "tegra-parker".
+ */
+std::vector<AcmpPlatform> parseDeviceList(const std::string &spec);
+
+} // namespace pes
+
+#endif // PES_RUNNER_FLEET_CONFIG_HH

@@ -1,0 +1,236 @@
+#include "runner/fleet_runner.hh"
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <tuple>
+
+#include "core/ebs_scheduler.hh"
+#include "core/governors.hh"
+#include "core/oracle_scheduler.hh"
+#include "core/pes_scheduler.hh"
+#include "core/predictor_training.hh"
+#include "runner/thread_pool.hh"
+#include "sim/runtime_simulator.hh"
+#include "trace/generator.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace pes {
+
+namespace {
+
+/** Salt for deriving per-session speculation-noise seeds (fleet mode). */
+constexpr uint64_t kSpecNoiseSalt = 0x5eedu;
+
+/**
+ * Immutable per-device state shared by every worker: the platform, its
+ * power table, and the trained event model. Construction order matters
+ * (power and generator hold references into platform), hence the
+ * in-struct initialization.
+ */
+struct DeviceContext
+{
+    explicit DeviceContext(const AcmpPlatform &p)
+        : platform(p), power(platform), trainGenerator(platform)
+    {
+    }
+
+    AcmpPlatform platform;
+    PowerModel power;
+    /** Main-thread generator used only for model training. */
+    TraceGenerator trainGenerator;
+    /** Trained event model; unset when no scheduler needs it. */
+    std::optional<LogisticModel> ownedModel;
+    /** Model the PES driver uses (owned or borrowed). */
+    const LogisticModel *model = nullptr;
+};
+
+std::unique_ptr<SchedulerDriver>
+makeFleetScheduler(SchedulerKind kind, const DeviceContext &device)
+{
+    switch (kind) {
+      case SchedulerKind::Interactive:
+        return std::make_unique<InteractiveGovernor>();
+      case SchedulerKind::Ondemand:
+        return std::make_unique<OndemandGovernor>();
+      case SchedulerKind::Ebs:
+        return std::make_unique<EbsScheduler>();
+      case SchedulerKind::Pes:
+        panic_if(!device.model, "fleet: PES scheduled without a model");
+        return std::make_unique<PesScheduler>(*device.model);
+      case SchedulerKind::Oracle:
+        return std::make_unique<OracleScheduler>();
+    }
+    panic("makeFleetScheduler: invalid kind");
+}
+
+/** A contiguous run of jobs executed in order by one worker. */
+struct Shard
+{
+    int first = 0;
+    int count = 0;
+};
+
+} // namespace
+
+FleetRunner::FleetRunner(FleetConfig config) : config_(std::move(config))
+{
+    if (config_.devices.empty())
+        config_.devices.push_back(AcmpPlatform::exynos5410());
+    if (config_.threads < 1)
+        config_.threads = 1;
+    jobs_ = enumerateJobs(config_);
+}
+
+FleetOutcome
+FleetRunner::run()
+{
+    // ---- Shared immutable state (built before any worker starts). ----
+    bool needs_model = false;
+    for (const SchedulerKind kind : config_.schedulers)
+        needs_model |= kind == SchedulerKind::Pes;
+
+    std::vector<std::unique_ptr<DeviceContext>> devices;
+    devices.reserve(config_.devices.size());
+    for (const AcmpPlatform &platform : config_.devices) {
+        auto ctx = std::make_unique<DeviceContext>(platform);
+        if (needs_model) {
+            if (config_.pretrainedModel && config_.devices.size() == 1 &&
+                platform.name() == config_.pretrainedModelDevice) {
+                ctx->model = config_.pretrainedModel;
+            } else {
+                ctx->ownedModel = trainEventModel(
+                    ctx->trainGenerator, seenApps(),
+                    config_.trainingTracesPerApp);
+                ctx->model = &*ctx->ownedModel;
+            }
+        }
+        devices.push_back(std::move(ctx));
+    }
+
+    // ---- Shards: per cell when drivers are warm, per job otherwise. ----
+    std::vector<Shard> shards;
+    if (config_.warmDrivers) {
+        for (int first = 0; first < static_cast<int>(jobs_.size());
+             first += config_.users)
+            shards.push_back(Shard{first, config_.users});
+    } else {
+        shards.reserve(jobs_.size());
+        for (int i = 0; i < static_cast<int>(jobs_.size()); ++i)
+            shards.push_back(Shard{i, 1});
+    }
+
+    // ---- Parallel phase: job-indexed slots, no cross-worker sharing. ----
+    std::vector<SessionStats> stats(jobs_.size());
+    std::vector<SimResult> full;
+    if (config_.collectResults)
+        full.resize(jobs_.size());
+
+    // Per-worker, per-device trace generators (each caches built apps).
+    std::vector<std::vector<std::unique_ptr<TraceGenerator>>> generators(
+        static_cast<size_t>(config_.threads));
+    for (auto &slots : generators)
+        slots.resize(devices.size());
+
+    // Warm sweeps replay the same (app, user) trace once per scheduler
+    // cell; memoize per worker so a kinds-wide sweep generates each
+    // trace once. Bounded by the protocol (few users per cell), unlike
+    // fresh fleets where users can be huge — those generate per job.
+    using TraceKey = std::tuple<int, int, uint64_t>;
+    std::vector<std::map<TraceKey, InteractionTrace>> trace_caches(
+        config_.warmDrivers ? static_cast<size_t>(config_.threads) : 0);
+
+    const auto runJob = [&](const JobSpec &job, int worker,
+                            SchedulerDriver &driver) {
+        DeviceContext &device = *devices[static_cast<size_t>(
+            job.deviceIndex)];
+        auto &gen_slot =
+            generators[static_cast<size_t>(worker)]
+                      [static_cast<size_t>(job.deviceIndex)];
+        if (!gen_slot)
+            gen_slot = std::make_unique<TraceGenerator>(device.platform);
+
+        const AppProfile &profile =
+            config_.apps[static_cast<size_t>(job.appIndex)];
+        InteractionTrace fresh;
+        const InteractionTrace *trace = nullptr;
+        if (config_.warmDrivers) {
+            auto &cache = trace_caches[static_cast<size_t>(worker)];
+            const TraceKey key{job.deviceIndex, job.appIndex,
+                               job.userSeed};
+            auto it = cache.find(key);
+            if (it == cache.end())
+                it = cache.emplace(key, gen_slot->generate(
+                                            profile, job.userSeed))
+                         .first;
+            trace = &it->second;
+        } else {
+            fresh = gen_slot->generate(profile, job.userSeed);
+            trace = &fresh;
+        }
+
+        SimConfig sim_config;
+        sim_config.renderScale = profile.renderScale;
+        if (config_.seedMode == SeedMode::Fleet) {
+            // Per-shard speculation-noise stream (instead of the
+            // default fixed seed) so fleets are reproducible per user,
+            // not merely per run.
+            sim_config.specNoiseSeed =
+                hashCombine(job.userSeed, kSpecNoiseSalt);
+        }
+        RuntimeSimulator simulator(device.platform, device.power,
+                                   gen_slot->appFor(profile), sim_config);
+        SimResult result = simulator.run(*trace, driver);
+        stats[static_cast<size_t>(job.index)] =
+            SessionStats::reduce(result);
+        if (config_.collectResults)
+            full[static_cast<size_t>(job.index)] = std::move(result);
+    };
+
+    const auto start = std::chrono::steady_clock::now();
+    {
+        ThreadPool pool(config_.threads);
+        for (const Shard &shard : shards) {
+            pool.submit([&, shard](int worker) {
+                // One driver per shard: a per-cell "warmed device" for
+                // warm shards, a fresh driver for singleton shards.
+                const JobSpec &head =
+                    jobs_[static_cast<size_t>(shard.first)];
+                DeviceContext &device = *devices[static_cast<size_t>(
+                    head.deviceIndex)];
+                const auto driver = makeFleetScheduler(
+                    config_.schedulers[static_cast<size_t>(
+                        head.schedulerIndex)],
+                    device);
+                for (int i = 0; i < shard.count; ++i)
+                    runJob(jobs_[static_cast<size_t>(shard.first + i)],
+                           worker, *driver);
+            });
+        }
+        pool.wait();
+    }
+    const auto stop = std::chrono::steady_clock::now();
+
+    // ---- Deterministic reduction in canonical job order. ----
+    FleetOutcome outcome;
+    outcome.jobCount = static_cast<int>(jobs_.size());
+    outcome.wallMs =
+        std::chrono::duration<double, std::milli>(stop - start).count();
+    for (const JobSpec &job : jobs_) {
+        const DeviceContext &device =
+            *devices[static_cast<size_t>(job.deviceIndex)];
+        outcome.metrics.add(
+            device.platform.name(),
+            config_.apps[static_cast<size_t>(job.appIndex)].name,
+            schedulerKindName(config_.schedulers[static_cast<size_t>(
+                job.schedulerIndex)]),
+            stats[static_cast<size_t>(job.index)]);
+        if (config_.collectResults)
+            outcome.results.add(
+                std::move(full[static_cast<size_t>(job.index)]));
+    }
+    return outcome;
+}
+
+} // namespace pes

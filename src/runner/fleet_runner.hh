@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The fleet runner: batch execution of many simulated user sessions.
+ *
+ * Executes the job cross-product of a FleetConfig on a ThreadPool, one
+ * session per job, and aggregates the per-session reductions into
+ * per-cell summaries. Three properties make it the substrate for
+ * large-scale sweeps:
+ *
+ *  - Determinism: every session derives all randomness from its
+ *    JobSpec::userSeed; workers write reductions into job-indexed slots
+ *    and aggregation replays the slots in canonical job order, so the
+ *    outcome is bit-identical for any thread count.
+ *  - Sharding: sessions are dispatched in shards. Fresh-driver fleets
+ *    shard per job (maximum parallelism); warm-driver runs shard per
+ *    (device, app, scheduler) cell so a driver's cross-session state
+ *    (EBS/PES measurement history) replays sequentially, reproducing
+ *    the classic Experiment::runSweep protocol.
+ *  - Isolation: each worker keeps its own trace-generator caches;
+ *    shared state (platform, power table, trained event model) is
+ *    immutable during the run.
+ */
+
+#ifndef PES_RUNNER_FLEET_RUNNER_HH
+#define PES_RUNNER_FLEET_RUNNER_HH
+
+#include "runner/fleet_config.hh"
+#include "runner/metrics_aggregator.hh"
+#include "sim/metrics.hh"
+
+namespace pes {
+
+/** Everything a finished fleet run produced. */
+struct FleetOutcome
+{
+    /** Per-cell aggregation over all sessions. */
+    MetricsAggregator metrics;
+    /** Full per-session results in job order (FleetConfig::collectResults). */
+    ResultSet results;
+    /** Number of sessions executed. */
+    int jobCount = 0;
+    /** Wall-clock of the parallel phase (ms). Never serialized. */
+    double wallMs = 0.0;
+};
+
+/**
+ * Executes one FleetConfig.
+ */
+class FleetRunner
+{
+  public:
+    explicit FleetRunner(FleetConfig config);
+
+    /** The (validated) configuration. */
+    const FleetConfig &config() const { return config_; }
+
+    /** The enumerated jobs, in canonical order. */
+    const std::vector<JobSpec> &jobs() const { return jobs_; }
+
+    /**
+     * Run every job and aggregate. Trains the PES event model per
+     * device first when needed (or borrows config.pretrainedModel).
+     * Reentrant: each call re-executes the fleet.
+     */
+    FleetOutcome run();
+
+  private:
+    FleetConfig config_;
+    std::vector<JobSpec> jobs_;
+};
+
+} // namespace pes
+
+#endif // PES_RUNNER_FLEET_RUNNER_HH

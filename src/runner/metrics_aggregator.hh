@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Per-cell aggregation of fleet session results.
+ *
+ * Workers reduce every finished SimResult to a compact SessionStats (a
+ * few dozen scalars — scales to fleets far beyond what retaining raw
+ * results allows) and write it into a job-indexed slot without locking;
+ * the runner then feeds the slots to a MetricsAggregator in canonical
+ * job order. Aggregation is therefore deterministic in the face of any
+ * worker interleaving: same fleet, same summary bytes, any thread count.
+ *
+ * Cells are (device, app, scheduler) groups. Means/extrema use
+ * util/stats RunningStats; percentiles come from per-session sample
+ * sets (session mean and session p95 latency), which keeps cell memory
+ * O(sessions), not O(events).
+ */
+
+#ifndef PES_RUNNER_METRICS_AGGREGATOR_HH
+#define PES_RUNNER_METRICS_AGGREGATOR_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/sim_types.hh"
+#include "util/stats.hh"
+
+namespace pes {
+
+/** Compact per-session reduction of one SimResult. */
+struct SessionStats
+{
+    int events = 0;
+    int violations = 0;
+    double totalEnergyMj = 0.0;
+    double busyEnergyMj = 0.0;
+    double idleEnergyMj = 0.0;
+    double overheadEnergyMj = 0.0;
+    double wasteEnergyMj = 0.0;
+    double durationMs = 0.0;
+    /** Event-weighted mean latency within the session. */
+    double meanLatencyMs = 0.0;
+    double p95LatencyMs = 0.0;
+    double maxLatencyMs = 0.0;
+    int predictionsMade = 0;
+    int predictionsCorrect = 0;
+    int mispredictions = 0;
+    double mispredictWasteMs = 0.0;
+    double avgQueueLength = 0.0;
+    bool fellBackToReactive = false;
+
+    /** Reduce a full simulation result. */
+    static SessionStats reduce(const SimResult &result);
+};
+
+/** Aggregated summary of one (device, app, scheduler) cell. */
+struct CellSummary
+{
+    std::string device;
+    std::string app;
+    std::string scheduler;
+
+    int sessions = 0;
+    long events = 0;
+    long violations = 0;
+    /** Event-weighted QoS violation rate. */
+    double violationRate = 0.0;
+
+    double meanEnergyMj = 0.0;
+    double stddevEnergyMj = 0.0;
+    double minEnergyMj = 0.0;
+    double maxEnergyMj = 0.0;
+    double meanBusyEnergyMj = 0.0;
+    double meanIdleEnergyMj = 0.0;
+    double meanOverheadEnergyMj = 0.0;
+    double meanWasteEnergyMj = 0.0;
+    double meanDurationMs = 0.0;
+
+    /** Event-weighted mean latency over the cell. */
+    double meanLatencyMs = 0.0;
+    /** Median of per-session mean latencies. */
+    double p50SessionLatencyMs = 0.0;
+    /** 95th percentile of per-session p95 latencies. */
+    double p95SessionLatencyMs = 0.0;
+    /** Worst event latency of any session. */
+    double maxLatencyMs = 0.0;
+    /** Mean of per-session average queue lengths. */
+    double avgQueueLength = 0.0;
+
+    /** Pooled prediction accuracy; 0 when no predictions. */
+    double predictionAccuracy = 0.0;
+    double mispredictsPerSession = 0.0;
+    double mispredictWasteMsPerSession = 0.0;
+    /** Fraction of sessions that hit the reactive fallback. */
+    double fallbackRate = 0.0;
+};
+
+/**
+ * Merges SessionStats into per-cell summaries.
+ */
+class MetricsAggregator
+{
+  public:
+    /** Fold one session into cell (device, app, scheduler). */
+    void add(const std::string &device, const std::string &app,
+             const std::string &scheduler, const SessionStats &stats);
+
+    /** Fold another aggregator's cells into this one. */
+    void merge(const MetricsAggregator &other);
+
+    /** Total sessions across all cells. */
+    int sessions() const;
+
+    /** Total events across all cells. */
+    long events() const;
+
+    /** All cell summaries, ordered by (device, app, scheduler) key. */
+    std::vector<CellSummary> cells() const;
+
+    /**
+     * Summary of one cell; a zeroed summary when the cell is unknown
+     * (sessions == 0 flags it).
+     */
+    CellSummary cell(const std::string &device, const std::string &app,
+                     const std::string &scheduler) const;
+
+  private:
+    struct CellKey
+    {
+        std::string device;
+        std::string app;
+        std::string scheduler;
+
+        bool operator<(const CellKey &o) const
+        {
+            if (device != o.device)
+                return device < o.device;
+            if (app != o.app)
+                return app < o.app;
+            return scheduler < o.scheduler;
+        }
+    };
+
+    struct CellAccum
+    {
+        int sessions = 0;
+        long events = 0;
+        long violations = 0;
+        RunningStats energy;
+        RunningStats busyEnergy;
+        RunningStats idleEnergy;
+        RunningStats overheadEnergy;
+        RunningStats wasteEnergy;
+        RunningStats duration;
+        RunningStats queueLength;
+        double maxLatencyMs = 0.0;
+        /** Session mean latencies weighted by events (pooled mean). */
+        double latencyEventSum = 0.0;
+        SampleSet sessionMeanLatency;
+        SampleSet sessionP95Latency;
+        long predictionsMade = 0;
+        long predictionsCorrect = 0;
+        long mispredictions = 0;
+        double mispredictWasteMs = 0.0;
+        int fallbacks = 0;
+    };
+
+    CellSummary summarize(const CellKey &key, const CellAccum &acc) const;
+
+    std::map<CellKey, CellAccum> cells_;
+};
+
+} // namespace pes
+
+#endif // PES_RUNNER_METRICS_AGGREGATOR_HH

@@ -1,0 +1,454 @@
+#include "runner/reporters.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "runner/fleet_config.hh"
+#include "util/strings.hh"
+
+namespace pes {
+
+namespace {
+
+/** Shortest round-trippable-enough float formatting (deterministic). */
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+void
+writeStringArray(std::ostream &os, const std::vector<std::string> &xs)
+{
+    os << "[";
+    for (size_t i = 0; i < xs.size(); ++i)
+        os << (i ? ", " : "") << '"' << jsonEscape(xs[i]) << '"';
+    os << "]";
+}
+
+// ------------------------------------------------- minimal JSON parsing
+//
+// Understands the subset this reporter emits: objects, arrays, strings
+// with \" \\ \uXXXX escapes, and plain numbers. Numbers keep their raw
+// token so 64-bit seeds survive the trip.
+
+struct JValue
+{
+    enum class Kind { Null, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    std::string str;  // String payload or raw Number token.
+    std::vector<JValue> arr;
+    std::vector<std::pair<std::string, JValue>> obj;
+
+    const JValue *find(const std::string &key) const
+    {
+        for (const auto &[k, v] : obj) {
+            if (k == key)
+                return &v;
+        }
+        return nullptr;
+    }
+
+    double number() const { return std::strtod(str.c_str(), nullptr); }
+    uint64_t number64() const
+    {
+        return std::strtoull(str.c_str(), nullptr, 10);
+    }
+};
+
+struct JsonScanner
+{
+    const std::string &text;
+    size_t pos = 0;
+
+    void ws()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\n' ||
+                text[pos] == '\t' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool consume(char c)
+    {
+        ws();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool parseString(std::string &out)
+    {
+        ws();
+        if (pos >= text.size() || text[pos] != '"')
+            return false;
+        ++pos;
+        out.clear();
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c == '\\' && pos < text.size()) {
+                const char esc = text[pos++];
+                if (esc == 'u') {
+                    if (pos + 4 > text.size())
+                        return false;
+                    const std::string hex = text.substr(pos, 4);
+                    pos += 4;
+                    out += static_cast<char>(
+                        std::strtoul(hex.c_str(), nullptr, 16));
+                    continue;
+                }
+                c = esc;
+            }
+            out += c;
+        }
+        if (pos >= text.size())
+            return false;
+        ++pos;  // closing quote
+        return true;
+    }
+
+    bool parseValue(JValue &out)
+    {
+        ws();
+        if (pos >= text.size())
+            return false;
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out.kind = JValue::Kind::Object;
+            if (consume('}'))
+                return true;
+            do {
+                std::string key;
+                if (!parseString(key) || !consume(':'))
+                    return false;
+                JValue val;
+                if (!parseValue(val))
+                    return false;
+                out.obj.emplace_back(std::move(key), std::move(val));
+            } while (consume(','));
+            return consume('}');
+        }
+        if (c == '[') {
+            ++pos;
+            out.kind = JValue::Kind::Array;
+            if (consume(']'))
+                return true;
+            do {
+                JValue val;
+                if (!parseValue(val))
+                    return false;
+                out.arr.push_back(std::move(val));
+            } while (consume(','));
+            return consume(']');
+        }
+        if (c == '"') {
+            out.kind = JValue::Kind::String;
+            return parseString(out.str);
+        }
+        // Number token.
+        out.kind = JValue::Kind::Number;
+        const size_t start = pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '-' || text[pos] == '+' || text[pos] == '.' ||
+                text[pos] == 'e' || text[pos] == 'E'))
+            ++pos;
+        if (pos == start)
+            return false;
+        out.str = text.substr(start, pos - start);
+        return true;
+    }
+};
+
+std::vector<std::string>
+stringArray(const JValue &v)
+{
+    std::vector<std::string> out;
+    for (const JValue &e : v.arr)
+        out.push_back(e.str);
+    return out;
+}
+
+double
+fieldNum(const JValue &obj, const char *key)
+{
+    const JValue *v = obj.find(key);
+    return v ? v->number() : 0.0;
+}
+
+std::string
+fieldStr(const JValue &obj, const char *key)
+{
+    const JValue *v = obj.find(key);
+    return v ? v->str : std::string();
+}
+
+/** The cell column order shared by the JSON and CSV schemas. */
+constexpr const char *kCellColumns[] = {
+    "sessions", "events", "violations", "violation_rate",
+    "mean_energy_mj", "stddev_energy_mj", "min_energy_mj", "max_energy_mj",
+    "mean_busy_energy_mj", "mean_idle_energy_mj",
+    "mean_overhead_energy_mj", "mean_waste_energy_mj",
+    "mean_duration_ms", "mean_latency_ms", "p50_session_latency_ms",
+    "p95_session_latency_ms", "max_latency_ms", "avg_queue_length",
+    "prediction_accuracy", "mispredicts_per_session",
+    "mispredict_waste_ms_per_session", "fallback_rate",
+};
+
+std::vector<double>
+cellNumbers(const CellSummary &c)
+{
+    return {static_cast<double>(c.sessions), static_cast<double>(c.events),
+            static_cast<double>(c.violations), c.violationRate,
+            c.meanEnergyMj, c.stddevEnergyMj, c.minEnergyMj, c.maxEnergyMj,
+            c.meanBusyEnergyMj, c.meanIdleEnergyMj, c.meanOverheadEnergyMj,
+            c.meanWasteEnergyMj, c.meanDurationMs, c.meanLatencyMs,
+            c.p50SessionLatencyMs, c.p95SessionLatencyMs, c.maxLatencyMs,
+            c.avgQueueLength, c.predictionAccuracy,
+            c.mispredictsPerSession, c.mispredictWasteMsPerSession,
+            c.fallbackRate};
+}
+
+bool
+fillCellNumbers(CellSummary &c, const std::vector<double> &xs)
+{
+    constexpr size_t kCount =
+        sizeof(kCellColumns) / sizeof(kCellColumns[0]);
+    if (xs.size() != kCount)
+        return false;
+    size_t i = 0;
+    c.sessions = static_cast<int>(xs[i++]);
+    c.events = static_cast<long>(xs[i++]);
+    c.violations = static_cast<long>(xs[i++]);
+    c.violationRate = xs[i++];
+    c.meanEnergyMj = xs[i++];
+    c.stddevEnergyMj = xs[i++];
+    c.minEnergyMj = xs[i++];
+    c.maxEnergyMj = xs[i++];
+    c.meanBusyEnergyMj = xs[i++];
+    c.meanIdleEnergyMj = xs[i++];
+    c.meanOverheadEnergyMj = xs[i++];
+    c.meanWasteEnergyMj = xs[i++];
+    c.meanDurationMs = xs[i++];
+    c.meanLatencyMs = xs[i++];
+    c.p50SessionLatencyMs = xs[i++];
+    c.p95SessionLatencyMs = xs[i++];
+    c.maxLatencyMs = xs[i++];
+    c.avgQueueLength = xs[i++];
+    c.predictionAccuracy = xs[i++];
+    c.mispredictsPerSession = xs[i++];
+    c.mispredictWasteMsPerSession = xs[i++];
+    c.fallbackRate = xs[i++];
+    return true;
+}
+
+} // namespace
+
+FleetReport
+makeFleetReport(const FleetConfig &config, const MetricsAggregator &metrics)
+{
+    FleetReport report;
+    report.baseSeed = config.baseSeed;
+    report.seedMode =
+        config.seedMode == SeedMode::Fleet ? "fleet" : "evaluation";
+    report.users = config.users;
+    report.sessions = metrics.sessions();
+    report.events = metrics.events();
+    if (config.devices.empty()) {
+        report.devices.push_back(AcmpPlatform::exynos5410().name());
+    } else {
+        for (const AcmpPlatform &d : config.devices)
+            report.devices.push_back(d.name());
+    }
+    for (const AppProfile &p : config.apps)
+        report.apps.push_back(p.name);
+    for (const SchedulerKind k : config.schedulers)
+        report.schedulers.push_back(schedulerKindName(k));
+    report.cells = metrics.cells();
+    return report;
+}
+
+// ------------------------------------------------------------ JSON sink
+
+void
+JsonReporter::write(const FleetReport &report, std::ostream &os)
+{
+    os << "{\n";
+    os << "  \"version\": " << FleetReport::kVersion << ",\n";
+    os << "  \"meta\": {\n";
+    os << "    \"base_seed\": " << report.baseSeed << ",\n";
+    os << "    \"seed_mode\": \"" << jsonEscape(report.seedMode) << "\",\n";
+    os << "    \"users\": " << report.users << ",\n";
+    os << "    \"sessions\": " << report.sessions << ",\n";
+    os << "    \"events\": " << report.events << ",\n";
+    os << "    \"devices\": ";
+    writeStringArray(os, report.devices);
+    os << ",\n    \"apps\": ";
+    writeStringArray(os, report.apps);
+    os << ",\n    \"schedulers\": ";
+    writeStringArray(os, report.schedulers);
+    os << "\n  },\n";
+    os << "  \"cells\": [";
+    for (size_t i = 0; i < report.cells.size(); ++i) {
+        const CellSummary &c = report.cells[i];
+        os << (i ? ",\n" : "\n");
+        os << "    {\"device\": \"" << jsonEscape(c.device)
+           << "\", \"app\": \"" << jsonEscape(c.app)
+           << "\", \"scheduler\": \"" << jsonEscape(c.scheduler) << "\",\n";
+        const std::vector<double> xs = cellNumbers(c);
+        os << "     ";
+        for (size_t k = 0; k < xs.size(); ++k) {
+            os << (k ? ", " : "") << '"' << kCellColumns[k]
+               << "\": " << num(xs[k]);
+        }
+        os << "}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+std::string
+JsonReporter::toString(const FleetReport &report)
+{
+    std::ostringstream ss;
+    write(report, ss);
+    return ss.str();
+}
+
+std::optional<FleetReport>
+JsonReporter::parse(const std::string &text)
+{
+    JsonScanner scanner{text};
+    JValue root;
+    if (!scanner.parseValue(root) || root.kind != JValue::Kind::Object)
+        return std::nullopt;
+
+    FleetReport report;
+    const JValue *meta = root.find("meta");
+    const JValue *cells = root.find("cells");
+    if (!meta || !cells || cells->kind != JValue::Kind::Array)
+        return std::nullopt;
+
+    if (const JValue *v = meta->find("base_seed"))
+        report.baseSeed = v->number64();
+    report.seedMode = fieldStr(*meta, "seed_mode");
+    report.users = static_cast<int>(fieldNum(*meta, "users"));
+    report.sessions = static_cast<int>(fieldNum(*meta, "sessions"));
+    report.events = static_cast<long>(fieldNum(*meta, "events"));
+    if (const JValue *v = meta->find("devices"))
+        report.devices = stringArray(*v);
+    if (const JValue *v = meta->find("apps"))
+        report.apps = stringArray(*v);
+    if (const JValue *v = meta->find("schedulers"))
+        report.schedulers = stringArray(*v);
+
+    for (const JValue &cv : cells->arr) {
+        if (cv.kind != JValue::Kind::Object)
+            return std::nullopt;
+        CellSummary c;
+        c.device = fieldStr(cv, "device");
+        c.app = fieldStr(cv, "app");
+        c.scheduler = fieldStr(cv, "scheduler");
+        std::vector<double> xs;
+        for (const char *col : kCellColumns)
+            xs.push_back(fieldNum(cv, col));
+        if (!fillCellNumbers(c, xs))
+            return std::nullopt;
+        report.cells.push_back(std::move(c));
+    }
+    return report;
+}
+
+// ------------------------------------------------------------- CSV sink
+
+void
+CsvReporter::write(const FleetReport &report, std::ostream &os)
+{
+    os << "# pes_fleet report v" << FleetReport::kVersion << "\n";
+    os << "# base_seed=" << report.baseSeed
+       << " seed_mode=" << report.seedMode << " users=" << report.users
+       << " sessions=" << report.sessions << " events=" << report.events
+       << "\n";
+    os << "device,app,scheduler";
+    for (const char *col : kCellColumns)
+        os << ',' << col;
+    os << "\n";
+    for (const CellSummary &c : report.cells) {
+        os << c.device << ',' << c.app << ',' << c.scheduler;
+        for (const double x : cellNumbers(c))
+            os << ',' << num(x);
+        os << "\n";
+    }
+}
+
+std::string
+CsvReporter::toString(const FleetReport &report)
+{
+    std::ostringstream ss;
+    write(report, ss);
+    return ss.str();
+}
+
+std::optional<std::vector<CellSummary>>
+CsvReporter::parse(const std::string &text)
+{
+    std::vector<CellSummary> cells;
+    bool seen_header = false;
+    for (const std::string &line : split(text, '\n')) {
+        const std::string row = trim(line);
+        if (row.empty() || row[0] == '#')
+            continue;
+        if (!seen_header) {
+            // Column-name row.
+            if (!startsWith(row, "device,"))
+                return std::nullopt;
+            seen_header = true;
+            continue;
+        }
+        const std::vector<std::string> fields = split(row, ',');
+        if (fields.size() < 4)
+            return std::nullopt;
+        CellSummary c;
+        c.device = fields[0];
+        c.app = fields[1];
+        c.scheduler = fields[2];
+        std::vector<double> xs;
+        for (size_t i = 3; i < fields.size(); ++i)
+            xs.push_back(std::strtod(fields[i].c_str(), nullptr));
+        if (!fillCellNumbers(c, xs))
+            return std::nullopt;
+        cells.push_back(std::move(c));
+    }
+    if (!seen_header)
+        return std::nullopt;
+    return cells;
+}
+
+} // namespace pes

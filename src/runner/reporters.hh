@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Serialization sinks for fleet results.
+ *
+ * A FleetReport is the serializable view of one fleet run: the sweep
+ * axes plus the per-cell summaries. JsonReporter and CsvReporter write
+ * it; both can parse their own output back (used by tests and by
+ * downstream tooling that post-processes sweeps). Output is fully
+ * deterministic — no timestamps, hostnames, or wall-clock values ever
+ * enter a report, so two runs of the same fleet are byte-identical
+ * regardless of thread count or machine.
+ */
+
+#ifndef PES_RUNNER_REPORTERS_HH
+#define PES_RUNNER_REPORTERS_HH
+
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "runner/metrics_aggregator.hh"
+
+namespace pes {
+
+struct FleetConfig;
+
+/** Serializable view of one fleet run. */
+struct FleetReport
+{
+    /** Report-format version (bumped on schema changes). */
+    static constexpr int kVersion = 1;
+
+    uint64_t baseSeed = 0;
+    /** "fleet" or "evaluation" (see SeedMode). */
+    std::string seedMode = "fleet";
+    int users = 0;
+    int sessions = 0;
+    long events = 0;
+    std::vector<std::string> devices;
+    std::vector<std::string> apps;
+    std::vector<std::string> schedulers;
+    std::vector<CellSummary> cells;
+};
+
+/** Assemble a report from a finished aggregation. */
+FleetReport makeFleetReport(const FleetConfig &config,
+                            const MetricsAggregator &metrics);
+
+/**
+ * JSON sink: one object with a "meta" header and a "cells" array.
+ */
+class JsonReporter
+{
+  public:
+    /** Write @p report as JSON. */
+    static void write(const FleetReport &report, std::ostream &os);
+
+    /** Serialize to a string. */
+    static std::string toString(const FleetReport &report);
+
+    /**
+     * Parse a report previously produced by write(); nullopt on
+     * malformed input. Understands exactly this reporter's schema, not
+     * arbitrary JSON.
+     */
+    static std::optional<FleetReport> parse(const std::string &text);
+};
+
+/**
+ * CSV sink: one row per cell (meta header carried as '#' comments).
+ */
+class CsvReporter
+{
+  public:
+    /** Write @p report as CSV. */
+    static void write(const FleetReport &report, std::ostream &os);
+
+    /** Serialize to a string. */
+    static std::string toString(const FleetReport &report);
+
+    /** Parse the cell rows of a CSV produced by write(). */
+    static std::optional<std::vector<CellSummary>>
+    parse(const std::string &text);
+};
+
+} // namespace pes
+
+#endif // PES_RUNNER_REPORTERS_HH

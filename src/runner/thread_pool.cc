@@ -1,0 +1,80 @@
+#include "runner/thread_pool.hh"
+
+#include <algorithm>
+
+namespace pes {
+
+ThreadPool::ThreadPool(int threads)
+{
+    const int count = std::max(1, threads);
+    workers_.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    drained_.wait(lock, [this] { return queue_.empty() && inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop(int worker)
+{
+    for (;;) {
+        Task task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock,
+                       [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                // stopping_ set and nothing left to do.
+                return;
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
+            ++inFlight_;
+        }
+        task(worker);
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            --inFlight_;
+            if (queue_.empty() && inFlight_ == 0)
+                drained_.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(int n, int threads,
+            const std::function<void(int index, int worker)> &fn)
+{
+    ThreadPool pool(threads);
+    for (int i = 0; i < n; ++i)
+        pool.submit([i, &fn](int worker) { fn(i, worker); });
+    pool.wait();
+}
+
+} // namespace pes

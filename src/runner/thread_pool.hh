@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Queue-based worker pool for the fleet runner.
+ *
+ * Plain std::thread + mutex/condvar (no external dependencies). Tasks
+ * receive the id of the worker executing them so callers can keep cheap
+ * worker-local state (the fleet runner's per-worker trace-generator
+ * caches) without locking. The pool makes no ordering promises — fleet
+ * determinism comes from writing results into job-indexed slots and
+ * aggregating in job order, never from scheduling.
+ */
+
+#ifndef PES_RUNNER_THREAD_POOL_HH
+#define PES_RUNNER_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pes {
+
+/**
+ * Fixed-size worker pool over a FIFO task queue.
+ */
+class ThreadPool
+{
+  public:
+    /** Task signature: receives the executing worker's id [0, threads). */
+    using Task = std::function<void(int worker)>;
+
+    /** Spawn @p threads workers (clamped to >= 1). */
+    explicit ThreadPool(int threads);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of workers. */
+    int threadCount() const { return static_cast<int>(workers_.size()); }
+
+    /** Enqueue a task. Safe from any thread, including workers. */
+    void submit(Task task);
+
+    /** Block until every submitted task has finished. */
+    void wait();
+
+  private:
+    void workerLoop(int worker);
+
+    std::vector<std::thread> workers_;
+    std::deque<Task> queue_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable drained_;
+    int inFlight_ = 0;
+    bool stopping_ = false;
+};
+
+/**
+ * Run fn(i, worker) for every i in [0, n) on a temporary pool of
+ * @p threads workers and block until done.
+ */
+void parallelFor(int n, int threads,
+                 const std::function<void(int index, int worker)> &fn);
+
+} // namespace pes
+
+#endif // PES_RUNNER_THREAD_POOL_HH

@@ -256,6 +256,39 @@ buildRegistry()
     return apps;
 }
 
+std::vector<AppProfile>
+buildExtras()
+{
+    std::vector<AppProfile> apps;
+    {
+        // Infinite-scroll feed: long sessions of scroll bursts over a
+        // very tall page, sparse navigation, touch-first UI. Stresses
+        // the Type II/III regimes (compute-light but deadline-tight
+        // move events) that dominate modern feed apps.
+        AppProfile p = makeProfile("social_feed", false);
+        p.numPages = 2;
+        p.pageHeightFactor = 8.0;
+        p.sectionsPerViewport = 5;
+        p.linkDensity = 0.12;
+        p.buttonDensity = 0.40;
+        p.menuCount = 1;
+        p.behaviorTemp = 0.24;
+        p.moveBias = 2.4;
+        p.tapBias = 0.8;
+        p.navBias = 0.05;
+        p.burstiness = 0.65;
+        p.thinkMedianMs = 3600.0;
+        p.clickManifestation = 0.08;   // touch-first UI
+        p.scrollManifestation = false;
+        p.moveWorkScale = 1.2;         // feed recycling on scroll
+        p.tapWorkScale = 0.9;
+        p.renderScale = 1.2;           // media-rich cards
+        p.heavyTapFraction = 0.10;     // open-post / media taps
+        apps.push_back(p);
+    }
+    return apps;
+}
+
 } // namespace
 
 const std::vector<AppProfile> &
@@ -263,6 +296,13 @@ appRegistry()
 {
     static const std::vector<AppProfile> registry = buildRegistry();
     return registry;
+}
+
+const std::vector<AppProfile> &
+extraApps()
+{
+    static const std::vector<AppProfile> extras = buildExtras();
+    return extras;
 }
 
 std::vector<AppProfile>
@@ -291,6 +331,10 @@ const AppProfile &
 appByName(const std::string &name)
 {
     for (const AppProfile &p : appRegistry()) {
+        if (p.name == name)
+            return p;
+    }
+    for (const AppProfile &p : extraApps()) {
         if (p.name == name)
             return p;
     }

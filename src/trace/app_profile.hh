@@ -100,7 +100,18 @@ std::vector<AppProfile> seenApps();
 /** The six unseen applications. */
 std::vector<AppProfile> unseenApps();
 
-/** Look up an application by name; panics when unknown. */
+/**
+ * Extra (non-paper) applications for fleet workloads. Kept out of
+ * appRegistry() so the 18-app paper protocol (training population,
+ * figure benches) is untouched; currently the infinite-scroll
+ * "social_feed" profile.
+ */
+const std::vector<AppProfile> &extraApps();
+
+/**
+ * Look up an application by name across the registry and the extra
+ * profiles; panics when unknown.
+ */
 const AppProfile &appByName(const std::string &name);
 
 } // namespace pes

@@ -1,5 +1,6 @@
 #include "util/strings.hh"
 
+#include <algorithm>
 #include <cctype>
 
 namespace pes {
@@ -47,6 +48,16 @@ startsWith(std::string_view s, std::string_view prefix)
 {
     return s.size() >= prefix.size() &&
         s.substr(0, prefix.size()) == prefix;
+}
+
+
+std::string
+toLower(std::string_view s)
+{
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return out;
 }
 
 } // namespace pes

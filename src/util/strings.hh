@@ -25,6 +25,9 @@ std::string join(const std::vector<std::string> &parts,
 /** True when @p s starts with @p prefix. */
 bool startsWith(std::string_view s, std::string_view prefix);
 
+/** ASCII-lowercased copy of @p s. */
+std::string toLower(std::string_view s);
+
 } // namespace pes
 
 #endif // PES_UTIL_STRINGS_HH

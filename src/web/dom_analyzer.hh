@@ -27,7 +27,14 @@ struct CandidateEvent
     DomEventType type = DomEventType::Click;
     NodeId node = kInvalidNode;
 
-    bool operator==(const CandidateEvent &other) const = default;
+    bool operator==(const CandidateEvent &other) const
+    {
+        return type == other.type && node == other.node;
+    }
+    bool operator!=(const CandidateEvent &other) const
+    {
+        return !(*this == other);
+    }
 };
 
 /** Application-inherent viewport features (paper Table 1). */

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * pes_fleet: batch fleet simulation over the scheduler x app x device x
+ * user cross-product.
+ *
+ *   pes_fleet --schedulers=pes,ebs --apps=cnn,amazon,social_feed \
+ *             --users=1000 --threads=8 --out=fleet.json --csv=fleet.csv
+ *
+ * Runs users x apps x schedulers x devices sessions on a worker pool and
+ * writes deterministic JSON/CSV reports: the report bytes are identical
+ * for any --threads value (wall-clock and throughput go to stdout only).
+ */
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/experiment.hh"
+#include "runner/fleet_runner.hh"
+#include "runner/reporters.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace pes;
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "pes_fleet - batch fleet simulation (schedulers x apps x "
+        "devices x users)\n\n"
+        "Options (defaults in brackets):\n"
+        "  --schedulers=LIST  comma list: interactive, ondemand, ebs, "
+        "pes, oracle [pes,ebs]\n"
+        "  --apps=LIST        app names, or groups seen/unseen/all/extra "
+        "[cnn,amazon,social_feed]\n"
+        "  --devices=LIST     exynos5410, tegra-parker [exynos5410]\n"
+        "  --users=N          simulated users per cell [100]\n"
+        "  --threads=N        worker threads [hardware concurrency]\n"
+        "  --seed=S           base seed of the fleet population "
+        "[0xf1ee7]\n"
+        "  --eval-population  draw users from the paper's Sec.-6.1 "
+        "evaluation seeds\n"
+        "  --warm             one warmed driver per cell (sessions of a "
+        "cell run in order)\n"
+        "  --out=FILE         write the JSON report\n"
+        "  --csv=FILE         write the CSV report\n"
+        "  --quiet            suppress progress chatter\n"
+        "  --help             this text\n";
+}
+
+bool
+flagValue(const std::string &arg, const std::string &name,
+          std::string &out)
+{
+    const std::string prefix = "--" + name + "=";
+    if (!startsWith(arg, prefix))
+        return false;
+    out = arg.substr(prefix.size());
+    return true;
+}
+
+long
+parseLong(const std::string &value, const std::string &flag)
+{
+    errno = 0;
+    char *end = nullptr;
+    const long v = std::strtol(value.c_str(), &end, 0);
+    fatal_if(end == value.c_str() || *end != '\0' || errno == ERANGE,
+             "bad value '%s' for --%s", value.c_str(), flag.c_str());
+    return v;
+}
+
+uint64_t
+parseSeed(const std::string &value)
+{
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(value.c_str(), &end, 0);
+    fatal_if(end == value.c_str() || *end != '\0' || errno == ERANGE ||
+             value.find('-') != std::string::npos,
+             "bad value '%s' for --seed", value.c_str());
+    return static_cast<uint64_t>(v);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FleetConfig config;
+    config.schedulers = {SchedulerKind::Pes, SchedulerKind::Ebs};
+    config.apps = parseAppList("cnn,amazon,social_feed");
+    config.users = 100;
+    config.threads = Experiment::defaultSweepThreads();
+
+    std::string out_path;
+    std::string csv_path;
+    bool quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--warm") {
+            config.warmDrivers = true;
+        } else if (arg == "--eval-population") {
+            config.seedMode = SeedMode::Evaluation;
+        } else if (flagValue(arg, "schedulers", value)) {
+            config.schedulers = parseSchedulerList(value);
+        } else if (flagValue(arg, "apps", value)) {
+            config.apps = parseAppList(value);
+        } else if (flagValue(arg, "devices", value)) {
+            config.devices = parseDeviceList(value);
+        } else if (flagValue(arg, "users", value)) {
+            const long users = parseLong(value, "users");
+            fatal_if(users < 1 || users > 100000000,
+                     "--users must be in [1, 1e8]");
+            config.users = static_cast<int>(users);
+        } else if (flagValue(arg, "threads", value)) {
+            const long threads = parseLong(value, "threads");
+            fatal_if(threads < 1 || threads > 4096,
+                     "--threads must be in [1, 4096]");
+            config.threads = static_cast<int>(threads);
+        } else if (flagValue(arg, "seed", value)) {
+            config.baseSeed = parseSeed(value);
+        } else if (flagValue(arg, "out", value)) {
+            out_path = value;
+        } else if (flagValue(arg, "csv", value)) {
+            csv_path = value;
+        } else {
+            std::cerr << "unknown option '" << arg << "'\n\n";
+            usage();
+            return 1;
+        }
+    }
+    fatal_if(config.users < 1 || config.users > 100000000,
+             "--users must be in [1, 1e8]");
+    fatal_if(config.threads < 1 || config.threads > 4096,
+             "--threads must be in [1, 4096]");
+    setQuiet(true);
+
+    FleetRunner runner(std::move(config));
+    const FleetConfig &cfg = runner.config();
+    if (!quiet) {
+        std::cout << "fleet: " << cfg.apps.size() << " apps x "
+                  << cfg.schedulers.size() << " schedulers x "
+                  << cfg.devices.size() << " devices x " << cfg.users
+                  << " users = " << runner.jobs().size()
+                  << " sessions on " << cfg.threads << " threads\n";
+        const bool needs_pes = [&] {
+            for (const SchedulerKind k : cfg.schedulers)
+                if (k == SchedulerKind::Pes)
+                    return true;
+            return false;
+        }();
+        if (needs_pes)
+            std::cout << "training event model(s)...\n";
+        std::cout.flush();
+    }
+
+    FleetOutcome outcome = runner.run();
+    const FleetReport report = makeFleetReport(cfg, outcome.metrics);
+
+    // Human summary: one row per cell.
+    Table table({"device", "app", "scheduler", "sessions", "viol%",
+                 "energy(mJ)", "waste(mJ)", "lat(ms)", "p95(ms)",
+                 "pred%"});
+    for (const CellSummary &c : report.cells) {
+        table.beginRow()
+            .cell(c.device)
+            .cell(c.app)
+            .cell(c.scheduler)
+            .cell(static_cast<long>(c.sessions))
+            .cell(c.violationRate * 100.0, 2)
+            .cell(c.meanEnergyMj, 1)
+            .cell(c.meanWasteEnergyMj, 1)
+            .cell(c.meanLatencyMs, 2)
+            .cell(c.p95SessionLatencyMs, 2)
+            .cell(c.predictionAccuracy * 100.0, 1);
+    }
+    table.print(std::cout);
+
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        fatal_if(!os, "cannot open '%s'", out_path.c_str());
+        JsonReporter::write(report, os);
+        std::cout << "[json: " << out_path << "]\n";
+    }
+    if (!csv_path.empty()) {
+        std::ofstream os(csv_path);
+        fatal_if(!os, "cannot open '%s'", csv_path.c_str());
+        CsvReporter::write(report, os);
+        std::cout << "[csv: " << csv_path << "]\n";
+    }
+
+    const double secs = outcome.wallMs / 1000.0;
+    std::cout << outcome.jobCount << " sessions, "
+              << outcome.metrics.events() << " events in "
+              << formatDouble(secs, 2) << " s ("
+              << formatDouble(secs > 0 ? outcome.jobCount / secs : 0.0, 1)
+              << " sessions/s, " << cfg.threads << " threads)\n";
+    return 0;
+}
