@@ -1,0 +1,318 @@
+#include "corpus/corpus_store.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hh"
+
+namespace fs = std::filesystem;
+
+namespace pes {
+
+namespace {
+
+void
+setError(std::string *error, const std::string &why)
+{
+    if (error)
+        *error = why;
+}
+
+/** File-name-safe slug: lowercase alnum, everything else '-'. */
+std::string
+slugOf(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        const unsigned char u = static_cast<unsigned char>(c);
+        out += std::isalnum(u) ? static_cast<char>(std::tolower(u)) : '-';
+    }
+    return out;
+}
+
+std::string
+manifestText(const std::vector<CorpusEntry> &entries)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"version\": " << CorpusStore::kManifestVersion << ",\n";
+    os << "  \"traces\": [";
+    for (size_t i = 0; i < entries.size(); ++i) {
+        const CorpusEntry &e = entries[i];
+        os << (i ? ",\n" : "\n");
+        os << "    {\"file\": \"" << jsonEscape(e.file) << "\", \"app\": \""
+           << jsonEscape(e.app) << "\", \"device\": \""
+           << jsonEscape(e.device) << "\", \"user_seed\": " << e.userSeed
+           << ", \"events\": " << e.eventCount
+           << ", \"checksum\": " << e.checksum << "}";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+bool
+entryLess(const CorpusEntry &a, const CorpusEntry &b)
+{
+    return std::tie(a.app, a.device, a.userSeed) <
+        std::tie(b.app, b.device, b.userSeed);
+}
+
+} // namespace
+
+std::optional<CorpusStore>
+CorpusStore::open(const std::string &dir, std::string *error)
+{
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) {
+        setError(error, "'" + dir + "' is not a directory");
+        return std::nullopt;
+    }
+    CorpusStore store;
+    store.dir_ = dir;
+    if (!store.loadManifest(error))
+        return std::nullopt;
+    return store;
+}
+
+std::optional<CorpusStore>
+CorpusStore::create(const std::string &dir, std::string *error)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        setError(error,
+                 "cannot create '" + dir + "': " + ec.message());
+        return std::nullopt;
+    }
+    if (fs::exists(fs::path(dir) / kManifestName, ec))
+        return open(dir, error);
+    CorpusStore store;
+    store.dir_ = dir;
+    if (!store.save(error))
+        return std::nullopt;
+    return store;
+}
+
+bool
+CorpusStore::loadManifest(std::string *error)
+{
+    const std::string path = (fs::path(dir_) / kManifestName).string();
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        setError(error, "no manifest: cannot open '" + path + "'");
+        return false;
+    }
+    std::ostringstream buf;
+    buf << is.rdbuf();
+
+    const auto root = parseJson(buf.str());
+    if (!root || root->kind != JsonValue::Kind::Object) {
+        setError(error, "malformed manifest '" + path + "'");
+        return false;
+    }
+    const JsonValue *version = root->find("version");
+    if (!version ||
+        static_cast<int>(version->number()) != kManifestVersion) {
+        setError(error, "manifest '" + path + "': unsupported version " +
+                 (version ? version->str : std::string("<missing>")) +
+                 " (this build reads " + std::to_string(kManifestVersion) +
+                 ")");
+        return false;
+    }
+    const JsonValue *traces = root->find("traces");
+    if (!traces || traces->kind != JsonValue::Kind::Array) {
+        setError(error, "manifest '" + path + "': no traces array");
+        return false;
+    }
+
+    entries_.clear();
+    for (const JsonValue &tv : traces->arr) {
+        if (tv.kind != JsonValue::Kind::Object) {
+            setError(error, "manifest '" + path + "': bad trace row");
+            return false;
+        }
+        CorpusEntry e;
+        const JsonValue *file = tv.find("file");
+        const JsonValue *app = tv.find("app");
+        const JsonValue *device = tv.find("device");
+        const JsonValue *seed = tv.find("user_seed");
+        if (!file || !app || !device || !seed || file->str.empty()) {
+            setError(error, "manifest '" + path +
+                     "': trace row missing file/app/device/user_seed");
+            return false;
+        }
+        e.file = file->str;
+        e.app = app->str;
+        e.device = device->str;
+        e.userSeed = seed->number64();
+        if (const JsonValue *v = tv.find("events"))
+            e.eventCount = v->number64();
+        if (const JsonValue *v = tv.find("checksum"))
+            e.checksum = v->number64();
+        entries_.push_back(std::move(e));
+    }
+    std::sort(entries_.begin(), entries_.end(), entryLess);
+    reindex();
+    return true;
+}
+
+void
+CorpusStore::reindex()
+{
+    index_.clear();
+    for (size_t i = 0; i < entries_.size(); ++i) {
+        const CorpusEntry &e = entries_[i];
+        index_[Key{e.app, e.device, e.userSeed}] = i;
+    }
+}
+
+std::string
+CorpusStore::pathOf(const CorpusEntry &entry) const
+{
+    return (fs::path(dir_) / entry.file).string();
+}
+
+const CorpusEntry *
+CorpusStore::find(const std::string &app, const std::string &device,
+                  uint64_t user_seed) const
+{
+    const auto it = index_.find(Key{app, device, user_seed});
+    return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+bool
+CorpusStore::add(const InteractionTrace &trace,
+                 const TraceProvenance &provenance, std::string *error)
+{
+    CorpusEntry entry;
+    entry.app = trace.appName;
+    entry.device = provenance.device;
+    entry.userSeed = trace.userSeed;
+    entry.eventCount = trace.events.size();
+    entry.checksum = traceChecksum(trace);
+    entry.file = slugOf(trace.appName) + "-" + slugOf(provenance.device) +
+        "-u" + std::to_string(trace.userSeed) + ".ptrc";
+
+    if (!TraceWriter::writeFile(trace, provenance, pathOf(entry), error))
+        return false;
+
+    const Key key{entry.app, entry.device, entry.userSeed};
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        entries_[it->second] = std::move(entry);
+    } else {
+        entries_.push_back(std::move(entry));
+        std::sort(entries_.begin(), entries_.end(), entryLess);
+        reindex();
+    }
+    return true;
+}
+
+bool
+CorpusStore::save(std::string *error) const
+{
+    const fs::path final_path = fs::path(dir_) / kManifestName;
+    const fs::path tmp_path = fs::path(dir_) / (std::string(kManifestName) +
+                                                ".tmp");
+    {
+        std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            setError(error,
+                     "cannot write '" + tmp_path.string() + "'");
+            return false;
+        }
+        os << manifestText(entries_);
+        os.flush();
+        if (!os) {
+            setError(error, "short write to '" + tmp_path.string() + "'");
+            return false;
+        }
+    }
+    std::error_code ec;
+    fs::rename(tmp_path, final_path, ec);
+    if (ec) {
+        setError(error, "cannot replace manifest: " + ec.message());
+        return false;
+    }
+    return true;
+}
+
+std::optional<InteractionTrace>
+CorpusStore::load(const CorpusEntry &entry, std::string *error) const
+{
+    TraceReader reader;
+    if (!reader.open(pathOf(entry))) {
+        setError(error, entry.file + ": " + reader.error());
+        return std::nullopt;
+    }
+    const PtrcHeader &h = reader.header();
+    if (h.app != entry.app || h.userSeed != entry.userSeed ||
+        h.provenance.device != entry.device) {
+        setError(error, entry.file +
+                 ": header does not match the manifest row (app/device/"
+                 "seed)");
+        return std::nullopt;
+    }
+    if (h.eventsChecksum != entry.checksum) {
+        setError(error, entry.file +
+                 ": checksum differs from the manifest (stale or "
+                 "swapped file)");
+        return std::nullopt;
+    }
+    auto trace = reader.readTrace();
+    if (!trace) {
+        setError(error, entry.file + ": " + reader.error());
+        return std::nullopt;
+    }
+    return trace;
+}
+
+bool
+CorpusStore::forEach(
+    const std::function<bool(const CorpusEntry &,
+                             const InteractionTrace &)> &fn,
+    std::string *error) const
+{
+    for (const CorpusEntry &entry : entries_) {
+        const auto trace = load(entry, error);
+        if (!trace)
+            return false;
+        if (!fn(entry, *trace))
+            return true;
+    }
+    return true;
+}
+
+bool
+CorpusStore::validate(std::vector<std::string> &problems) const
+{
+    const size_t before = problems.size();
+    for (const CorpusEntry &entry : entries_) {
+        std::error_code ec;
+        if (!fs::exists(pathOf(entry), ec)) {
+            problems.push_back(entry.file +
+                               ": referenced by the manifest but missing "
+                               "on disk");
+            continue;
+        }
+        std::string error;
+        const auto trace = load(entry, &error);
+        if (!trace) {
+            problems.push_back(error);
+            continue;
+        }
+        if (trace->events.size() != entry.eventCount) {
+            problems.push_back(entry.file + ": manifest says " +
+                               std::to_string(entry.eventCount) +
+                               " events, file holds " +
+                               std::to_string(trace->events.size()));
+        }
+    }
+    return problems.size() == before;
+}
+
+} // namespace pes

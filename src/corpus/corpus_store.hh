@@ -1,0 +1,131 @@
+/**
+ * @file
+ * On-disk trace corpus: a directory of .ptrc files plus a JSON manifest.
+ *
+ * The manifest (manifest.json) indexes every trace by (app, device,
+ * user seed) and carries the events-section checksum, so a corpus can be
+ * validated without trusting file names. Iteration is streaming: one
+ * trace is resident at a time, so million-session corpora never fully
+ * load into memory. All failure paths return diagnostics instead of
+ * crashing — a corpus fetched from another machine (or a truncated
+ * download) must degrade to a readable error, not UB.
+ *
+ * Mutating calls (add/save) are single-threaded by design; concurrent
+ * readers of an opened store are safe because lookups never touch disk
+ * and loads open independent file handles.
+ */
+
+#ifndef PES_CORPUS_CORPUS_STORE_HH
+#define PES_CORPUS_CORPUS_STORE_HH
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "corpus/trace_format.hh"
+
+namespace pes {
+
+/** One manifest row: where a recorded trace lives and what it holds. */
+struct CorpusEntry
+{
+    /** File name relative to the corpus directory. */
+    std::string file;
+    std::string app;
+    /** Platform name the trace was synthesized against. */
+    std::string device;
+    uint64_t userSeed = 0;
+    uint64_t eventCount = 0;
+    /** Events-section checksum (see traceChecksum). */
+    uint64_t checksum = 0;
+};
+
+/**
+ * A directory of recorded traces with a manifest index.
+ */
+class CorpusStore
+{
+  public:
+    /** Manifest schema version. */
+    static constexpr int kManifestVersion = 1;
+    /** Manifest file name inside the corpus directory. */
+    static constexpr const char *kManifestName = "manifest.json";
+
+    /**
+     * Open an existing corpus (reads + parses the manifest); nullopt
+     * with @p error set when the directory or manifest is unusable.
+     */
+    static std::optional<CorpusStore> open(const std::string &dir,
+                                          std::string *error);
+
+    /**
+     * Create a new corpus directory (parents included) with an empty
+     * manifest; opening an existing corpus this way keeps its entries.
+     */
+    static std::optional<CorpusStore> create(const std::string &dir,
+                                             std::string *error);
+
+    /** The corpus directory. */
+    const std::string &dir() const { return dir_; }
+
+    /** Manifest rows in canonical (app, device, seed) order. */
+    const std::vector<CorpusEntry> &entries() const { return entries_; }
+
+    /** Entry lookup; nullptr when the corpus has no such trace. */
+    const CorpusEntry *find(const std::string &app,
+                            const std::string &device,
+                            uint64_t user_seed) const;
+
+    /**
+     * Record @p trace: writes the .ptrc file and upserts the manifest
+     * row keyed on (app, provenance.device, trace.userSeed). The
+     * manifest itself is persisted by save().
+     */
+    bool add(const InteractionTrace &trace,
+             const TraceProvenance &provenance, std::string *error);
+
+    /** Persist the manifest (atomically via a temp file + rename). */
+    bool save(std::string *error) const;
+
+    /** Load one entry's trace; header must match the manifest row. */
+    std::optional<InteractionTrace> load(const CorpusEntry &entry,
+                                         std::string *error) const;
+
+    /**
+     * Streaming iteration in canonical order: @p fn gets each entry with
+     * its freshly-loaded trace; return false from @p fn to stop early.
+     * Returns false (with @p error) on the first unreadable entry.
+     */
+    bool forEach(
+        const std::function<bool(const CorpusEntry &,
+                                 const InteractionTrace &)> &fn,
+        std::string *error) const;
+
+    /**
+     * Full integrity pass: every manifest row's file must exist, parse,
+     * match the row (app/device/seed/count/checksum), and decode with a
+     * valid checksum. Appends one diagnostic per problem; returns true
+     * when the corpus is clean.
+     */
+    bool validate(std::vector<std::string> &problems) const;
+
+  private:
+    using Key = std::tuple<std::string, std::string, uint64_t>;
+
+    CorpusStore() = default;
+
+    bool loadManifest(std::string *error);
+    void reindex();
+    std::string pathOf(const CorpusEntry &entry) const;
+
+    std::string dir_;
+    std::vector<CorpusEntry> entries_;
+    std::map<Key, size_t> index_;
+};
+
+} // namespace pes
+
+#endif // PES_CORPUS_CORPUS_STORE_HH

@@ -1,0 +1,80 @@
+#include "corpus/trace_cache.hh"
+
+namespace pes {
+
+const InteractionTrace *
+TraceCache::lookup(const std::string &device, const std::string &app,
+                   uint64_t user_seed) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = traces_.find(Key{device, app, user_seed});
+    return it == traces_.end() ? nullptr : it->second.get();
+}
+
+const InteractionTrace &
+TraceCache::getOrGenerate(const std::string &device,
+                          const AppProfile &profile, uint64_t user_seed,
+                          TraceGenerator &generator)
+{
+    const Key key{device, profile.name, user_seed};
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = traces_.find(key);
+        if (it != traces_.end()) {
+            ++hits_;
+            return *it->second;
+        }
+    }
+    // Synthesize outside the lock: workers racing on the same key each
+    // produce an identical trace (deterministic generator); the first
+    // insert wins and the rest adopt it.
+    auto trace = std::make_unique<InteractionTrace>(
+        generator.generate(profile, user_seed));
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = traces_.emplace(key, std::move(trace)).first;
+    ++misses_;
+    return *it->second;
+}
+
+bool
+TraceCache::insert(const std::string &device, InteractionTrace trace)
+{
+    Key key{device, trace.appName, trace.userSeed};
+    auto owned = std::make_unique<InteractionTrace>(std::move(trace));
+    std::lock_guard<std::mutex> lock(mutex_);
+    // First insert wins, like getOrGenerate: replacing would destroy a
+    // trace another thread may already hold a reference to.
+    return traces_.emplace(std::move(key), std::move(owned)).second;
+}
+
+size_t
+TraceCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return traces_.size();
+}
+
+uint64_t
+TraceCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+uint64_t
+TraceCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+void
+TraceCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    traces_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+} // namespace pes

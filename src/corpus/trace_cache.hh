@@ -1,0 +1,92 @@
+/**
+ * @file
+ * In-process trace cache: synthesize once, replay many.
+ *
+ * A fleet sweep replays the same (device, app, user) trace under every
+ * scheduler, yet historically each job re-synthesized it. The cache
+ * keys traces on (device, app, userSeed) — device included because the
+ * generator's oracle-feasibility repair pass consults the platform — and
+ * hands out stable read-only pointers, so one synthesis (or one corpus
+ * load) serves the whole scheduler axis.
+ *
+ * Thread model: lookups and inserts take a mutex; generation runs
+ * OUTSIDE the lock, so concurrent workers may race to synthesize the
+ * same trace — the first insert wins and losers adopt it. Synthesis is
+ * deterministic, both copies are identical, and results stay bit-exact
+ * for any thread count. Entries are unique_ptr-owned, so pointers stay
+ * valid across rehashes for the cache's lifetime.
+ */
+
+#ifndef PES_CORPUS_TRACE_CACHE_HH
+#define PES_CORPUS_TRACE_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <tuple>
+
+#include "trace/generator.hh"
+
+namespace pes {
+
+/**
+ * Shared read-only trace storage for fleet runs.
+ */
+class TraceCache
+{
+  public:
+    TraceCache() = default;
+    TraceCache(const TraceCache &) = delete;
+    TraceCache &operator=(const TraceCache &) = delete;
+
+    /**
+     * The cached trace, or nullptr. Never counts toward hit/miss stats
+     * (those track getOrGenerate traffic only).
+     */
+    const InteractionTrace *lookup(const std::string &device,
+                                   const std::string &app,
+                                   uint64_t user_seed) const;
+
+    /**
+     * The cached trace for (device, profile.name, user_seed),
+     * synthesizing through @p generator on first use. The returned
+     * reference lives as long as the cache.
+     */
+    const InteractionTrace &getOrGenerate(const std::string &device,
+                                          const AppProfile &profile,
+                                          uint64_t user_seed,
+                                          TraceGenerator &generator);
+
+    /**
+     * Insert a trace (e.g. loaded from a corpus) unless the key is
+     * already present — first insert wins, so references handed out
+     * earlier are never invalidated. Returns whether it was inserted.
+     */
+    bool insert(const std::string &device, InteractionTrace trace);
+
+    /** Number of cached traces. */
+    size_t size() const;
+
+    /** getOrGenerate calls served from the cache. */
+    uint64_t hits() const;
+
+    /** getOrGenerate calls that synthesized. */
+    uint64_t misses() const;
+
+    /** Drop all entries and reset the counters. */
+    void clear();
+
+  private:
+    using Key = std::tuple<std::string, std::string, uint64_t>;
+
+    mutable std::mutex mutex_;
+    std::map<Key, std::unique_ptr<InteractionTrace>> traces_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace pes
+
+#endif // PES_CORPUS_TRACE_CACHE_HH

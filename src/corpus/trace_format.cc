@@ -1,0 +1,419 @@
+#include "corpus/trace_format.hh"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/rng.hh"
+
+namespace pes {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'T', 'R', 'C'};
+constexpr size_t kMaxStringLen = 1u << 20;       // 1 MiB per string
+constexpr uint64_t kMaxEventCount = 1ull << 32;  // sanity bound
+/** Fixed width of one v1 event record (see the header layout doc). */
+constexpr uint64_t kEventRecordBytes =
+    8 + 1 + 4 + 4 + 8 + 8 + 2 * 8 + 4 * 2 * 8 + 1 + 8;
+
+// ------------------------------------------------------------- encoding
+
+void
+putU8(std::string &out, uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putU32(std::string &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putI32(std::string &out, int32_t v)
+{
+    putU32(out, static_cast<uint32_t>(v));
+}
+
+void
+putF64(std::string &out, double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+void
+putStr(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<uint32_t>(s.size()));
+    out += s;
+}
+
+// ------------------------------------------------------------- decoding
+
+bool
+getU8(const std::string &in, size_t &pos, size_t end, uint8_t &v)
+{
+    if (pos + 1 > end)
+        return false;
+    v = static_cast<uint8_t>(in[pos++]);
+    return true;
+}
+
+bool
+getU32(const std::string &in, size_t &pos, size_t end, uint32_t &v)
+{
+    if (pos + 4 > end)
+        return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(static_cast<uint8_t>(in[pos + i]))
+            << (8 * i);
+    pos += 4;
+    return true;
+}
+
+bool
+getU64(const std::string &in, size_t &pos, size_t end, uint64_t &v)
+{
+    if (pos + 8 > end)
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(static_cast<uint8_t>(in[pos + i]))
+            << (8 * i);
+    pos += 8;
+    return true;
+}
+
+bool
+getI32(const std::string &in, size_t &pos, size_t end, int32_t &v)
+{
+    uint32_t u;
+    if (!getU32(in, pos, end, u))
+        return false;
+    v = static_cast<int32_t>(u);
+    return true;
+}
+
+bool
+getF64(const std::string &in, size_t &pos, size_t end, double &v)
+{
+    uint64_t bits;
+    if (!getU64(in, pos, end, bits))
+        return false;
+    std::memcpy(&v, &bits, sizeof(v));
+    return true;
+}
+
+bool
+getStr(const std::string &in, size_t &pos, size_t end, std::string &s)
+{
+    uint32_t len;
+    if (!getU32(in, pos, end, len) || len > kMaxStringLen ||
+        pos + len > end)
+        return false;
+    s.assign(in, pos, len);
+    pos += len;
+    return true;
+}
+
+std::string
+provenancePayload(const InteractionTrace &trace,
+                  const TraceProvenance &provenance)
+{
+    std::string out;
+    putStr(out, trace.appName);
+    putU64(out, trace.userSeed);
+    putStr(out, provenance.device);
+    putU32(out, static_cast<uint32_t>(provenance.params.size()));
+    for (const auto &[key, value] : provenance.params) {
+        putStr(out, key);
+        putStr(out, value);
+    }
+    return out;
+}
+
+std::string
+eventsPayload(const InteractionTrace &trace)
+{
+    std::string out;
+    out.reserve(8 + trace.events.size() * kEventRecordBytes);
+    putU64(out, trace.events.size());
+    for (const TraceEvent &e : trace.events) {
+        putF64(out, e.arrival);
+        putU8(out, static_cast<uint8_t>(e.type));
+        putI32(out, e.node);
+        putI32(out, e.pageId);
+        putF64(out, e.x);
+        putF64(out, e.y);
+        putF64(out, e.callbackWork.tmemMs);
+        putF64(out, e.callbackWork.ndep);
+        for (const Workload &stage : e.renderWork.stages) {
+            putF64(out, stage.tmemMs);
+            putF64(out, stage.ndep);
+        }
+        putU8(out, e.issuesNetwork ? 1 : 0);
+        putU64(out, e.classKey);
+    }
+    return out;
+}
+
+} // namespace
+
+// ------------------------------------------------------------ TraceWriter
+
+std::string
+TraceWriter::toBytes(const InteractionTrace &trace,
+                     const TraceProvenance &provenance)
+{
+    const std::string prov = provenancePayload(trace, provenance);
+    const std::string events = eventsPayload(trace);
+
+    std::string out;
+    out.reserve(4 + 4 + 4 + prov.size() + 8 + 8 + events.size() + 8);
+    out.append(kMagic, sizeof(kMagic));
+    putU32(out, kPtrcVersion);
+    putU32(out, static_cast<uint32_t>(prov.size()));
+    out += prov;
+    putU64(out, hashBytes(prov.data(), prov.size()));
+    putU64(out, events.size());
+    out += events;
+    putU64(out, hashBytes(events.data(), events.size()));
+    return out;
+}
+
+bool
+TraceWriter::writeFile(const InteractionTrace &trace,
+                       const TraceProvenance &provenance,
+                       const std::string &path, std::string *error)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        if (error)
+            *error = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    const std::string bytes = toBytes(trace, provenance);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    if (!os) {
+        if (error)
+            *error = "short write to '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+// ------------------------------------------------------------ TraceReader
+
+bool
+TraceReader::fail(const std::string &why)
+{
+    error_ = why;
+    opened_ = false;
+    return false;
+}
+
+bool
+TraceReader::open(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is)
+        return fail("cannot open '" + path + "'");
+    std::string bytes((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+    if (is.bad())
+        return fail("read error on '" + path + "'");
+    return openBytes(std::move(bytes));
+}
+
+bool
+TraceReader::openBytes(std::string bytes)
+{
+    bytes_ = std::move(bytes);
+    error_.clear();
+    header_ = PtrcHeader{};
+    opened_ = parseHeader();
+    return opened_;
+}
+
+bool
+TraceReader::parseHeader()
+{
+    size_t pos = 0;
+    const size_t end = bytes_.size();
+    if (end < sizeof(kMagic) + 4)
+        return fail("truncated file: no header");
+    if (std::memcmp(bytes_.data(), kMagic, sizeof(kMagic)) != 0)
+        return fail("bad magic (not a .ptrc trace)");
+    pos = sizeof(kMagic);
+
+    uint32_t version;
+    if (!getU32(bytes_, pos, end, version))
+        return fail("truncated file: no version");
+    if (version != kPtrcVersion) {
+        return fail("unsupported .ptrc version " +
+                    std::to_string(version) + " (this build reads " +
+                    std::to_string(kPtrcVersion) + ")");
+    }
+    header_.version = version;
+
+    uint32_t prov_len;
+    if (!getU32(bytes_, pos, end, prov_len))
+        return fail("truncated file: no provenance length");
+    if (pos + prov_len + 8 > end)
+        return fail("truncated file: provenance section cut short");
+    const size_t prov_start = pos;
+    const size_t prov_end = pos + prov_len;
+
+    if (!getStr(bytes_, pos, prov_end, header_.app) ||
+        !getU64(bytes_, pos, prov_end, header_.userSeed) ||
+        !getStr(bytes_, pos, prov_end, header_.provenance.device)) {
+        return fail("malformed provenance block");
+    }
+    uint32_t nparams;
+    if (!getU32(bytes_, pos, prov_end, nparams))
+        return fail("malformed provenance block");
+    for (uint32_t i = 0; i < nparams; ++i) {
+        std::string key, value;
+        if (!getStr(bytes_, pos, prov_end, key) ||
+            !getStr(bytes_, pos, prov_end, value)) {
+            return fail("malformed provenance parameter list");
+        }
+        header_.provenance.params.emplace_back(std::move(key),
+                                               std::move(value));
+    }
+    if (pos != prov_end)
+        return fail("provenance section has trailing bytes");
+
+    uint64_t prov_checksum;
+    if (!getU64(bytes_, pos, end, prov_checksum))
+        return fail("truncated file: no provenance checksum");
+    if (prov_checksum !=
+        hashBytes(bytes_.data() + prov_start, prov_len)) {
+        return fail("provenance checksum mismatch (corrupt file)");
+    }
+
+    if (!getU64(bytes_, pos, end, eventsPayloadLen_))
+        return fail("truncated file: no events length");
+    if (pos + eventsPayloadLen_ + 8 > end ||
+        pos + eventsPayloadLen_ + 8 < pos) {
+        return fail("truncated file: events section cut short");
+    }
+    eventsPayloadPos_ = pos;
+
+    // Peek the event count so header-only consumers (manifest listing)
+    // never decode the payload. v1 records are fixed-width, so the
+    // count must account for the payload exactly — this also stops a
+    // corrupt count from driving a huge allocation in readTrace().
+    {
+        size_t p = pos;
+        if (!getU64(bytes_, p, pos + eventsPayloadLen_,
+                    header_.eventCount) ||
+            header_.eventCount > kMaxEventCount) {
+            return fail("malformed events section: bad event count");
+        }
+        if (eventsPayloadLen_ !=
+            8 + header_.eventCount * kEventRecordBytes) {
+            return fail("malformed events section: length does not "
+                        "match the event count");
+        }
+    }
+    size_t cpos = pos + eventsPayloadLen_;
+    if (!getU64(bytes_, cpos, end, header_.eventsChecksum))
+        return fail("truncated file: no events checksum");
+    if (cpos != end)
+        return fail("trailing bytes after events checksum");
+    return true;
+}
+
+std::optional<InteractionTrace>
+TraceReader::readTrace()
+{
+    if (!opened_) {
+        if (error_.empty())
+            error_ = "readTrace() before a successful open()";
+        return std::nullopt;
+    }
+    const size_t payload_end = eventsPayloadPos_ +
+        static_cast<size_t>(eventsPayloadLen_);
+    if (header_.eventsChecksum !=
+        hashBytes(bytes_.data() + eventsPayloadPos_,
+                  static_cast<size_t>(eventsPayloadLen_))) {
+        fail("events checksum mismatch (corrupt file)");
+        return std::nullopt;
+    }
+
+    InteractionTrace trace;
+    trace.appName = header_.app;
+    trace.userSeed = header_.userSeed;
+
+    size_t pos = eventsPayloadPos_;
+    uint64_t count;
+    if (!getU64(bytes_, pos, payload_end, count)) {
+        fail("malformed events section: bad event count");
+        return std::nullopt;
+    }
+    trace.events.reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+        TraceEvent e;
+        uint8_t type, network;
+        if (!getF64(bytes_, pos, payload_end, e.arrival) ||
+            !getU8(bytes_, pos, payload_end, type) ||
+            !getI32(bytes_, pos, payload_end, e.node) ||
+            !getI32(bytes_, pos, payload_end, e.pageId) ||
+            !getF64(bytes_, pos, payload_end, e.x) ||
+            !getF64(bytes_, pos, payload_end, e.y) ||
+            !getF64(bytes_, pos, payload_end, e.callbackWork.tmemMs) ||
+            !getF64(bytes_, pos, payload_end, e.callbackWork.ndep)) {
+            fail("truncated event record " + std::to_string(i));
+            return std::nullopt;
+        }
+        if (type >= kNumDomEventTypes) {
+            fail("event " + std::to_string(i) + ": invalid type " +
+                 std::to_string(type));
+            return std::nullopt;
+        }
+        e.type = static_cast<DomEventType>(type);
+        for (Workload &stage : e.renderWork.stages) {
+            if (!getF64(bytes_, pos, payload_end, stage.tmemMs) ||
+                !getF64(bytes_, pos, payload_end, stage.ndep)) {
+                fail("truncated event record " + std::to_string(i));
+                return std::nullopt;
+            }
+        }
+        if (!getU8(bytes_, pos, payload_end, network) ||
+            !getU64(bytes_, pos, payload_end, e.classKey)) {
+            fail("truncated event record " + std::to_string(i));
+            return std::nullopt;
+        }
+        e.issuesNetwork = network != 0;
+        trace.events.push_back(e);
+    }
+    if (pos != payload_end) {
+        fail("events section has trailing bytes");
+        return std::nullopt;
+    }
+    return trace;
+}
+
+uint64_t
+traceChecksum(const InteractionTrace &trace)
+{
+    const std::string payload = eventsPayload(trace);
+    return hashBytes(payload.data(), payload.size());
+}
+
+} // namespace pes

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * The .ptrc on-disk trace format (versioned, checksummed).
+ *
+ * A .ptrc file persists one InteractionTrace exactly — every double is
+ * stored as its IEEE-754 bit pattern, so record -> replay is bit-for-bit
+ * identical to live synthesis. Layout (all integers little-endian):
+ *
+ *   "PTRC"                     4-byte magic
+ *   u32  version               format version (kPtrcVersion)
+ *   u32  provLen               provenance payload byte length
+ *        provenance payload:   str app, u64 userSeed, str device,
+ *                              u32 n, n x (str key, str value)
+ *   u64  provChecksum          FNV-1a over the provenance payload
+ *   u64  eventsLen             events payload byte length
+ *        events payload:       u64 count, count x event record
+ *   u64  eventsChecksum        FNV-1a over the events payload
+ *
+ * Strings are u32 length + raw bytes. An event record is: f64 arrival,
+ * u8 type, i32 node, i32 pageId, f64 x, f64 y, f64x2 callback workload,
+ * 4 x f64x2 render-stage workloads, u8 issuesNetwork, u64 classKey.
+ *
+ * TraceReader is two-phase: open() validates magic/version/provenance
+ * only (cheap; what CorpusStore iteration uses to stream a manifest
+ * without decoding every event), readTrace() decodes and checks the
+ * events section. All failures produce a diagnostic via error(), never
+ * a crash.
+ */
+
+#ifndef PES_CORPUS_TRACE_FORMAT_HH
+#define PES_CORPUS_TRACE_FORMAT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace pes {
+
+/** The .ptrc version this build writes (readers reject anything else). */
+constexpr uint32_t kPtrcVersion = 1;
+
+/** Where a recorded trace came from (stored in the provenance block). */
+struct TraceProvenance
+{
+    /** Platform the trace was synthesized/repaired against. */
+    std::string device;
+    /** Free-form key/value pairs (generator, mutation op, ...). */
+    std::vector<std::pair<std::string, std::string>> params;
+};
+
+/** Decoded .ptrc header: everything except the event payload. */
+struct PtrcHeader
+{
+    uint32_t version = kPtrcVersion;
+    std::string app;
+    uint64_t userSeed = 0;
+    TraceProvenance provenance;
+    uint64_t eventCount = 0;
+    /** Events-section checksum as stored in the file. */
+    uint64_t eventsChecksum = 0;
+};
+
+/**
+ * Serializer: InteractionTrace -> .ptrc bytes.
+ */
+class TraceWriter
+{
+  public:
+    /** Encode to a byte string. */
+    static std::string toBytes(const InteractionTrace &trace,
+                               const TraceProvenance &provenance);
+
+    /** Write to @p path; on failure returns false and sets @p error. */
+    static bool writeFile(const InteractionTrace &trace,
+                          const TraceProvenance &provenance,
+                          const std::string &path, std::string *error);
+};
+
+/**
+ * Deserializer with section validation and diagnostics.
+ */
+class TraceReader
+{
+  public:
+    /** Open @p path and validate magic/version/provenance. */
+    bool open(const std::string &path);
+
+    /** Same, from an in-memory byte string (takes ownership). */
+    bool openBytes(std::string bytes);
+
+    /** Header of the opened file (valid after a successful open). */
+    const PtrcHeader &header() const { return header_; }
+
+    /**
+     * Decode the events section and verify its checksum; nullopt (with
+     * error() set) on truncation or corruption.
+     */
+    std::optional<InteractionTrace> readTrace();
+
+    /** Human-readable reason of the last failure. */
+    const std::string &error() const { return error_; }
+
+  private:
+    bool fail(const std::string &why);
+    bool parseHeader();
+
+    std::string bytes_;
+    size_t eventsPayloadPos_ = 0;
+    uint64_t eventsPayloadLen_ = 0;
+    PtrcHeader header_;
+    std::string error_;
+    bool opened_ = false;
+};
+
+/**
+ * Events-section checksum of a trace: the corpus-manifest fingerprint.
+ * Matches the eventsChecksum a TraceWriter would store.
+ */
+uint64_t traceChecksum(const InteractionTrace &trace);
+
+} // namespace pes
+
+#endif // PES_CORPUS_TRACE_FORMAT_HH

@@ -1,0 +1,158 @@
+#include "corpus/trace_mutator.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace pes {
+
+namespace {
+
+/** Operator tags keep each mutation's derived seeds disjoint. */
+enum : uint64_t
+{
+    kTagTimeScale = 0x7501,
+    kTagEventDrop = 0x7502,
+    kTagBurst = 0x7503,
+    kTagConcat = 0x7504,
+};
+
+uint64_t
+doubleBits(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+/** Mutation randomness: a pure function of (mutator, trace, op, param). */
+Rng
+mutationRng(uint64_t mutator_seed, const InteractionTrace &trace,
+            uint64_t tag, uint64_t param)
+{
+    return Rng(hashCombine(hashCombine(mutator_seed, trace.userSeed),
+                           hashCombine(tag, param)));
+}
+
+uint64_t
+derivedUserSeed(uint64_t mutator_seed, uint64_t source_seed, uint64_t tag,
+                uint64_t param)
+{
+    return hashCombine(hashCombine(mutator_seed, source_seed),
+                       hashCombine(tag, ~param));
+}
+
+} // namespace
+
+InteractionTrace
+TraceMutator::timeScale(const InteractionTrace &trace, double factor) const
+{
+    panic_if(!(factor > 0.0), "timeScale: factor must be > 0");
+    InteractionTrace out = trace;
+    out.userSeed = derivedUserSeed(seed_, trace.userSeed, kTagTimeScale,
+                                   doubleBits(factor));
+    for (TraceEvent &e : out.events)
+        e.arrival *= factor;
+    return out;
+}
+
+InteractionTrace
+TraceMutator::dropEvents(const InteractionTrace &trace,
+                         double probability) const
+{
+    panic_if(probability < 0.0 || probability > 1.0,
+             "dropEvents: probability must be in [0, 1]");
+    Rng rng = mutationRng(seed_, trace, kTagEventDrop,
+                          doubleBits(probability));
+    InteractionTrace out;
+    out.appName = trace.appName;
+    out.userSeed = derivedUserSeed(seed_, trace.userSeed, kTagEventDrop,
+                                   doubleBits(probability));
+    out.events.reserve(trace.events.size());
+    for (size_t i = 0; i < trace.events.size(); ++i) {
+        // Draw for every event (not just kept ones) so the stream stays
+        // aligned regardless of outcomes.
+        const bool drop = rng.bernoulli(probability);
+        if (i == 0 || !drop)
+            out.events.push_back(trace.events[i]);
+    }
+    return out;
+}
+
+InteractionTrace
+TraceMutator::injectBursts(const InteractionTrace &trace, double rate,
+                           int burst_len) const
+{
+    panic_if(rate < 0.0 || rate > 1.0,
+             "injectBursts: rate must be in [0, 1]");
+    panic_if(burst_len < 1, "injectBursts: burst length must be >= 1");
+    Rng rng = mutationRng(seed_, trace, kTagBurst,
+                          hashCombine(doubleBits(rate),
+                                      static_cast<uint64_t>(burst_len)));
+    constexpr TimeMs kEchoSpacingMs = 80.0;
+
+    InteractionTrace out;
+    out.appName = trace.appName;
+    out.userSeed = derivedUserSeed(seed_, trace.userSeed, kTagBurst,
+                                   hashCombine(doubleBits(rate),
+                                               static_cast<uint64_t>(
+                                                   burst_len)));
+    out.events.reserve(trace.events.size());
+    for (const TraceEvent &e : trace.events) {
+        out.events.push_back(e);
+        const Interaction kind = interactionOf(e.type);
+        if (kind != Interaction::Tap && kind != Interaction::Move)
+            continue;
+        if (!rng.bernoulli(rate))
+            continue;
+        for (int k = 1; k <= burst_len; ++k) {
+            TraceEvent echo = e;
+            echo.arrival = e.arrival + kEchoSpacingMs * k;
+            // Repeated inputs hit warm caches; jitter around a slightly
+            // lighter replay of the anchor's workload.
+            const double scale = rng.uniform(0.7, 1.1);
+            echo.callbackWork = e.callbackWork.scaled(scale);
+            echo.renderWork = e.renderWork.scaled(scale);
+            // Only the first submission of a handler issues the network
+            // request; echoes are pure recomputation.
+            echo.issuesNetwork = false;
+            out.events.push_back(echo);
+        }
+    }
+    // Echoes can overtake later recorded events; restore time order.
+    // stable_sort keeps the record/echo order of equal arrivals, so the
+    // result is deterministic.
+    std::stable_sort(out.events.begin(), out.events.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.arrival < b.arrival;
+                     });
+    return out;
+}
+
+InteractionTrace
+TraceMutator::concatenate(const InteractionTrace &first,
+                          const InteractionTrace &second,
+                          TimeMs gap_ms) const
+{
+    panic_if(first.appName != second.appName,
+             "concatenate: traces belong to different apps ('%s' vs '%s')",
+             first.appName.c_str(), second.appName.c_str());
+    panic_if(gap_ms < 0.0, "concatenate: gap must be >= 0");
+
+    InteractionTrace out;
+    out.appName = first.appName;
+    out.userSeed = derivedUserSeed(seed_, first.userSeed, kTagConcat,
+                                   second.userSeed);
+    out.events = first.events;
+    out.events.reserve(first.events.size() + second.events.size());
+    const TimeMs shift = first.duration() + gap_ms;
+    for (TraceEvent e : second.events) {
+        e.arrival += shift;
+        out.events.push_back(e);
+    }
+    return out;
+}
+
+} // namespace pes

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Deterministic scenario mutation over recorded traces.
+ *
+ * The 18 paper profiles bound what synthesis can express; mutation opens
+ * workloads beyond them by deriving new sessions from recorded ones:
+ * compressed/stretched think time (time-scale), flaky-input sessions
+ * (event-drop), rage-tap storms (burst-injection), and marathon
+ * sessions (concatenation). Every operator is a pure function of
+ * (input trace, parameters, mutator seed): the derived randomness is
+ * hashed from the mutator seed and the input's user seed, so the same
+ * call always yields byte-identical output — mutated corpora are as
+ * reproducible as recorded ones.
+ *
+ * Each output gets a fresh userSeed derived from the inputs and the
+ * operator tag, so mutants never collide with their sources in a
+ * CorpusStore.
+ */
+
+#ifndef PES_CORPUS_TRACE_MUTATOR_HH
+#define PES_CORPUS_TRACE_MUTATOR_HH
+
+#include <cstdint>
+
+#include "trace/trace.hh"
+
+namespace pes {
+
+/**
+ * Derives deterministic trace variants.
+ */
+class TraceMutator
+{
+  public:
+    /** @p seed selects the mutation randomness stream. */
+    explicit TraceMutator(uint64_t seed = 0) : seed_(seed) {}
+
+    /** The mutation stream seed. */
+    uint64_t seed() const { return seed_; }
+
+    /**
+     * Scale every arrival time by @p factor (> 0): < 1 compresses think
+     * time (a hurried user), > 1 stretches it. Workloads are untouched.
+     */
+    InteractionTrace timeScale(const InteractionTrace &trace,
+                               double factor) const;
+
+    /**
+     * Drop each event independently with probability @p probability in
+     * [0, 1]. The first event (the session's initial load) is always
+     * kept so the session still opens on a page.
+     */
+    InteractionTrace dropEvents(const InteractionTrace &trace,
+                                double probability) const;
+
+    /**
+     * After each tap/move event, with probability @p rate, inject
+     * @p burst_len echoes of it at ~80 ms spacing with jittered
+     * workloads — the "rage tap" / frantic-scroll stress shape. Echoes
+     * keep the anchor's class key (same node, same handler).
+     */
+    InteractionTrace injectBursts(const InteractionTrace &trace,
+                                  double rate, int burst_len) const;
+
+    /**
+     * Splice @p second after @p first (same app required), shifting its
+     * arrivals past the end of @p first plus @p gap_ms of idle time.
+     */
+    InteractionTrace concatenate(const InteractionTrace &first,
+                                 const InteractionTrace &second,
+                                 TimeMs gap_ms) const;
+
+  private:
+    uint64_t seed_;
+};
+
+} // namespace pes
+
+#endif // PES_CORPUS_TRACE_MUTATOR_HH

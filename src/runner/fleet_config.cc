@@ -10,6 +10,12 @@
 namespace pes {
 
 int
+FleetConfig::effectiveUsers() const
+{
+    return userSeeds.empty() ? users : static_cast<int>(userSeeds.size());
+}
+
+int
 FleetConfig::cellCount() const
 {
     const size_t devs = devices.empty() ? 1 : devices.size();
@@ -20,7 +26,7 @@ int
 FleetConfig::jobCount() const
 {
     const long long total =
-        static_cast<long long>(cellCount()) * users;
+        static_cast<long long>(cellCount()) * effectiveUsers();
     fatal_if(total > INT_MAX, "fleet: %lld sessions exceed the job limit",
              total);
     return static_cast<int>(total);
@@ -29,6 +35,13 @@ FleetConfig::jobCount() const
 uint64_t
 fleetUserSeed(const FleetConfig &config, int user_index)
 {
+    if (!config.userSeeds.empty()) {
+        panic_if(user_index < 0 ||
+                 user_index >= static_cast<int>(config.userSeeds.size()),
+                 "fleetUserSeed: user %d outside the explicit seed list",
+                 user_index);
+        return config.userSeeds[static_cast<size_t>(user_index)];
+    }
     const uint64_t idx = static_cast<uint64_t>(user_index);
     switch (config.seedMode) {
       case SeedMode::Fleet:
@@ -44,7 +57,8 @@ enumerateJobs(const FleetConfig &config)
 {
     fatal_if(config.apps.empty(), "fleet: no application profiles");
     fatal_if(config.schedulers.empty(), "fleet: no schedulers");
-    fatal_if(config.users < 1, "fleet: users must be >= 1");
+    const int users = config.effectiveUsers();
+    fatal_if(users < 1, "fleet: users must be >= 1");
 
     const int devs =
         config.devices.empty() ? 1 : static_cast<int>(config.devices.size());
@@ -54,7 +68,7 @@ enumerateJobs(const FleetConfig &config)
     for (int d = 0; d < devs; ++d) {
         for (size_t a = 0; a < config.apps.size(); ++a) {
             for (size_t s = 0; s < config.schedulers.size(); ++s) {
-                for (int u = 0; u < config.users; ++u) {
+                for (int u = 0; u < users; ++u) {
                     JobSpec job;
                     job.index = index++;
                     job.deviceIndex = d;
@@ -115,23 +129,63 @@ parseAppList(const std::string &spec)
     return apps;
 }
 
+const std::vector<DeviceInfo> &
+deviceRegistry()
+{
+    static const std::vector<DeviceInfo> registry{
+        {AcmpPlatform::exynos5410(), "exynos5410", {"exynos"}},
+        {AcmpPlatform::tegraParker(), "tegra-parker", {"parker", "tx2"}},
+    };
+    return registry;
+}
+
+std::vector<AcmpPlatform>
+knownDevices()
+{
+    std::vector<AcmpPlatform> devices;
+    for (const DeviceInfo &info : deviceRegistry())
+        devices.push_back(info.platform);
+    return devices;
+}
+
+std::optional<AcmpPlatform>
+deviceByPlatformName(const std::string &name)
+{
+    for (const DeviceInfo &info : deviceRegistry()) {
+        if (info.platform.name() == name)
+            return info.platform;
+    }
+    return std::nullopt;
+}
+
 std::vector<AcmpPlatform>
 parseDeviceList(const std::string &spec)
 {
+    const auto lookup = [](const std::string &name) -> const DeviceInfo * {
+        for (const DeviceInfo &info : deviceRegistry()) {
+            if (name == info.cliName)
+                return &info;
+            for (const std::string &alias : info.aliases) {
+                if (name == alias)
+                    return &info;
+            }
+        }
+        return nullptr;
+    };
     std::vector<AcmpPlatform> devices;
     for (const std::string &raw : split(spec, ',')) {
         const std::string name = toLower(trim(raw));
         if (name.empty())
             continue;
-        if (name == "exynos5410" || name == "exynos") {
-            devices.push_back(AcmpPlatform::exynos5410());
-        } else if (name == "tegra-parker" || name == "parker" ||
-                   name == "tx2") {
-            devices.push_back(AcmpPlatform::tegraParker());
-        } else {
-            fatal("unknown device '%s' (expected exynos5410 or "
-                  "tegra-parker)", name.c_str());
+        const DeviceInfo *info = lookup(name);
+        if (!info) {
+            std::string known;
+            for (const DeviceInfo &d : deviceRegistry())
+                known += (known.empty() ? "" : ", ") + d.cliName;
+            fatal("unknown device '%s' (expected one of %s)",
+                  name.c_str(), known.c_str());
         }
+        devices.push_back(info->platform);
     }
     fatal_if(devices.empty(), "empty device list '%s'", spec.c_str());
     return devices;

@@ -17,6 +17,7 @@
 #define PES_RUNNER_FLEET_CONFIG_HH
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,7 +27,9 @@
 
 namespace pes {
 
+class CorpusStore;
 class LogisticModel;
+class TraceCache;
 
 /** One simulated user session of a fleet sweep. */
 struct JobSpec
@@ -85,6 +88,12 @@ struct FleetConfig
     /** User population. */
     SeedMode seedMode = SeedMode::Fleet;
     /**
+     * Explicit per-user trace seeds. When non-empty this overrides both
+     * @c users and @c seedMode: the user axis is exactly this list (in
+     * order). Corpus replay uses it to sweep the recorded population.
+     */
+    std::vector<uint64_t> userSeeds;
+    /**
      * Keep one driver per (device, app, scheduler) cell, replaying the
      * cell's sessions in user order on a single worker ("warmed device":
      * EBS/PES carry their Eqn.-1 measurement history across sessions,
@@ -107,7 +116,45 @@ struct FleetConfig
     const LogisticModel *pretrainedModel = nullptr;
     /** Platform name the pretrained model was trained on. */
     std::string pretrainedModelDevice;
+    /**
+     * Share each (device, app, user) trace across the scheduler axis
+     * through an in-process TraceCache (synthesize once, replay many).
+     * Results are bit-identical either way — synthesis is deterministic
+     * — so this is purely a wall-clock/memory trade. Off means every
+     * job re-synthesizes its trace (the historical behaviour; benches
+     * use it as the comparison baseline).
+     *
+     * Sharing keeps every distinct trace resident for the whole run,
+     * so the runner only auto-enables it when it pays (more than one
+     * scheduler replays each trace) AND the distinct-trace count is at
+     * most maxSharedTraces — giant fresh fleets fall back to bounded
+     * per-job synthesis instead of accumulating millions of traces.
+     * Warm, corpus, and external-cache runs always share.
+     */
+    bool shareTraces = true;
+    /**
+     * Auto-sharing bound: the largest devices x apps x users resident
+     * set shareTraces may cache (0 = unlimited). ~32k traces is a few
+     * hundred MB at typical session sizes.
+     */
+    long long maxSharedTraces = 32768;
+    /**
+     * Optional external trace cache (borrowed, not owned): lets several
+     * runs share one warm cache. When null and sharing is on, the
+     * runner builds a private cache per run() call.
+     */
+    TraceCache *traceCache = nullptr;
+    /**
+     * Optional recorded corpus (borrowed, not owned): traces replay
+     * from disk instead of being synthesized. Every (device, app, user
+     * seed) of the cross-product must exist in the corpus — missing
+     * entries are a fatal configuration error, reported before any job
+     * runs. Implies trace sharing.
+     */
+    const CorpusStore *corpus = nullptr;
 
+    /** The user-axis length (userSeeds list or @c users). */
+    int effectiveUsers() const;
     /** Sessions per cell times cells. */
     int jobCount() const;
     /** Number of (device, app, scheduler) cells. */
@@ -145,6 +192,30 @@ std::vector<AppProfile> parseAppList(const std::string &spec);
  * Parse a comma-separated device list: "exynos5410" and "tegra-parker".
  */
 std::vector<AcmpPlatform> parseDeviceList(const std::string &spec);
+
+/** One row of the device registry: the model plus its CLI spellings. */
+struct DeviceInfo
+{
+    AcmpPlatform platform;
+    /** Canonical CLI name ("exynos5410"). */
+    std::string cliName;
+    /** Accepted alternative spellings. */
+    std::vector<std::string> aliases;
+};
+
+/**
+ * Every device model the fleet knows. The single source of truth
+ * behind parseDeviceList and `pes_fleet --list-devices` — adding a
+ * platform here updates parsing and discovery together.
+ */
+const std::vector<DeviceInfo> &deviceRegistry();
+
+/** The registry's platforms only, in registry order. */
+std::vector<AcmpPlatform> knownDevices();
+
+/** Look up a device by its platform name (e.g. "Exynos 5410"); nullopt
+ *  when no known device matches (corpus manifests store this name). */
+std::optional<AcmpPlatform> deviceByPlatformName(const std::string &name);
 
 } // namespace pes
 

@@ -1,11 +1,12 @@
 #include "runner/fleet_runner.hh"
 
 #include <chrono>
-#include <map>
 #include <memory>
-#include <tuple>
+#include <utility>
 
 #include "core/ebs_scheduler.hh"
+#include "corpus/corpus_store.hh"
+#include "corpus/trace_cache.hh"
 #include "core/governors.hh"
 #include "core/oracle_scheduler.hh"
 #include "core/pes_scheduler.hh"
@@ -110,11 +111,12 @@ FleetRunner::run()
     }
 
     // ---- Shards: per cell when drivers are warm, per job otherwise. ----
+    const int users_per_cell = config_.effectiveUsers();
     std::vector<Shard> shards;
     if (config_.warmDrivers) {
         for (int first = 0; first < static_cast<int>(jobs_.size());
-             first += config_.users)
-            shards.push_back(Shard{first, config_.users});
+             first += users_per_cell)
+            shards.push_back(Shard{first, users_per_cell});
     } else {
         shards.reserve(jobs_.size());
         for (int i = 0; i < static_cast<int>(jobs_.size()); ++i)
@@ -133,13 +135,66 @@ FleetRunner::run()
     for (auto &slots : generators)
         slots.resize(devices.size());
 
-    // Warm sweeps replay the same (app, user) trace once per scheduler
-    // cell; memoize per worker so a kinds-wide sweep generates each
-    // trace once. Bounded by the protocol (few users per cell), unlike
-    // fresh fleets where users can be huge — those generate per job.
-    using TraceKey = std::tuple<int, int, uint64_t>;
-    std::vector<std::map<TraceKey, InteractionTrace>> trace_caches(
-        config_.warmDrivers ? static_cast<size_t>(config_.threads) : 0);
+    // Shared trace storage: each (device, app, user) trace materializes
+    // once — synthesized on first use, or preloaded from the corpus —
+    // and replays read-only across the scheduler axis. Warm sweeps,
+    // corpus replay, and caller-provided caches always share; the
+    // automatic case additionally requires the cache to pay (a lone
+    // scheduler never reuses a trace) and the resident set to stay
+    // bounded (a huge fresh fleet must not hold every trace at once).
+    const long long distinct_traces =
+        static_cast<long long>(devices.size()) *
+        static_cast<long long>(config_.apps.size()) *
+        config_.effectiveUsers();
+    const bool auto_share = config_.shareTraces &&
+        config_.schedulers.size() > 1 &&
+        (config_.maxSharedTraces <= 0 ||
+         distinct_traces <= config_.maxSharedTraces);
+    const bool share_traces = auto_share || config_.warmDrivers ||
+        config_.corpus != nullptr || config_.traceCache != nullptr;
+    std::unique_ptr<TraceCache> owned_cache;
+    TraceCache *cache = nullptr;
+    if (share_traces) {
+        cache = config_.traceCache;
+        if (!cache) {
+            owned_cache = std::make_unique<TraceCache>();
+            cache = owned_cache.get();
+        }
+    }
+
+    // ---- Corpus preload: replay-from-disk fleets resolve every trace
+    // up front so a missing or corrupt recording fails before any
+    // session runs, with a per-entry diagnostic. ----
+    uint64_t traces_from_corpus = 0;
+    if (config_.corpus) {
+        for (const JobSpec &job : jobs_) {
+            const AppProfile &profile =
+                config_.apps[static_cast<size_t>(job.appIndex)];
+            const std::string &device_name =
+                devices[static_cast<size_t>(job.deviceIndex)]
+                    ->platform.name();
+            // Every job's trace must exist in the corpus even when a
+            // caller-provided warm cache already holds the key — a
+            // stale cache must not mask a missing recording.
+            const CorpusEntry *entry = config_.corpus->find(
+                profile.name, device_name, job.userSeed);
+            fatal_if(!entry,
+                     "corpus '%s' has no trace for app '%s' on '%s' with "
+                     "user seed %llu (re-record, or drop --corpus to "
+                     "synthesize live)",
+                     config_.corpus->dir().c_str(), profile.name.c_str(),
+                     device_name.c_str(),
+                     static_cast<unsigned long long>(job.userSeed));
+            if (cache->lookup(device_name, profile.name, job.userSeed))
+                continue;  // already resident (earlier job or warm cache)
+            std::string error;
+            auto trace = config_.corpus->load(*entry, &error);
+            fatal_if(!trace, "corpus '%s': %s",
+                     config_.corpus->dir().c_str(), error.c_str());
+            cache->insert(device_name, std::move(*trace));
+            ++traces_from_corpus;
+        }
+    }
 
     const auto runJob = [&](const JobSpec &job, int worker,
                             SchedulerDriver &driver) {
@@ -155,16 +210,9 @@ FleetRunner::run()
             config_.apps[static_cast<size_t>(job.appIndex)];
         InteractionTrace fresh;
         const InteractionTrace *trace = nullptr;
-        if (config_.warmDrivers) {
-            auto &cache = trace_caches[static_cast<size_t>(worker)];
-            const TraceKey key{job.deviceIndex, job.appIndex,
-                               job.userSeed};
-            auto it = cache.find(key);
-            if (it == cache.end())
-                it = cache.emplace(key, gen_slot->generate(
-                                            profile, job.userSeed))
-                         .first;
-            trace = &it->second;
+        if (cache) {
+            trace = &cache->getOrGenerate(device.platform.name(), profile,
+                                          job.userSeed, *gen_slot);
         } else {
             fresh = gen_slot->generate(profile, job.userSeed);
             trace = &fresh;
@@ -217,6 +265,11 @@ FleetRunner::run()
     outcome.jobCount = static_cast<int>(jobs_.size());
     outcome.wallMs =
         std::chrono::duration<double, std::milli>(stop - start).count();
+    if (cache) {
+        outcome.traceCacheHits = cache->hits();
+        outcome.traceCacheMisses = cache->misses();
+    }
+    outcome.tracesFromCorpus = traces_from_corpus;
     for (const JobSpec &job : jobs_) {
         const DeviceContext &device =
             *devices[static_cast<size_t>(job.deviceIndex)];

@@ -41,6 +41,12 @@ struct FleetOutcome
     int jobCount = 0;
     /** Wall-clock of the parallel phase (ms). Never serialized. */
     double wallMs = 0.0;
+    /** Trace-cache traffic of the run (0/0 when sharing was off).
+     *  Diagnostics only — never serialized into reports. */
+    uint64_t traceCacheHits = 0;
+    uint64_t traceCacheMisses = 0;
+    /** Traces preloaded from the corpus (corpus replay only). */
+    uint64_t tracesFromCorpus = 0;
 };
 
 /**

@@ -1,10 +1,10 @@
 #include "runner/reporters.hh"
 
-#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
 #include "runner/fleet_config.hh"
+#include "util/json.hh"
 #include "util/strings.hh"
 
 namespace pes {
@@ -15,30 +15,7 @@ namespace {
 std::string
 num(double v)
 {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.10g", v);
-    return buf;
-}
-
-std::string
-jsonEscape(const std::string &s)
-{
-    std::string out;
-    out.reserve(s.size() + 2);
-    for (const char c : s) {
-        if (c == '"' || c == '\\') {
-            out += '\\';
-            out += c;
-        } else if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof(buf), "\\u%04x",
-                          static_cast<unsigned>(c));
-            out += buf;
-        } else {
-            out += c;
-        }
-    }
-    return out;
+    return jsonNum(v);
 }
 
 void
@@ -50,164 +27,26 @@ writeStringArray(std::ostream &os, const std::vector<std::string> &xs)
     os << "]";
 }
 
-// ------------------------------------------------- minimal JSON parsing
-//
-// Understands the subset this reporter emits: objects, arrays, strings
-// with \" \\ \uXXXX escapes, and plain numbers. Numbers keep their raw
-// token so 64-bit seeds survive the trip.
-
-struct JValue
-{
-    enum class Kind { Null, Number, String, Array, Object };
-
-    Kind kind = Kind::Null;
-    std::string str;  // String payload or raw Number token.
-    std::vector<JValue> arr;
-    std::vector<std::pair<std::string, JValue>> obj;
-
-    const JValue *find(const std::string &key) const
-    {
-        for (const auto &[k, v] : obj) {
-            if (k == key)
-                return &v;
-        }
-        return nullptr;
-    }
-
-    double number() const { return std::strtod(str.c_str(), nullptr); }
-    uint64_t number64() const
-    {
-        return std::strtoull(str.c_str(), nullptr, 10);
-    }
-};
-
-struct JsonScanner
-{
-    const std::string &text;
-    size_t pos = 0;
-
-    void ws()
-    {
-        while (pos < text.size() &&
-               (text[pos] == ' ' || text[pos] == '\n' ||
-                text[pos] == '\t' || text[pos] == '\r'))
-            ++pos;
-    }
-
-    bool consume(char c)
-    {
-        ws();
-        if (pos < text.size() && text[pos] == c) {
-            ++pos;
-            return true;
-        }
-        return false;
-    }
-
-    bool parseString(std::string &out)
-    {
-        ws();
-        if (pos >= text.size() || text[pos] != '"')
-            return false;
-        ++pos;
-        out.clear();
-        while (pos < text.size() && text[pos] != '"') {
-            char c = text[pos++];
-            if (c == '\\' && pos < text.size()) {
-                const char esc = text[pos++];
-                if (esc == 'u') {
-                    if (pos + 4 > text.size())
-                        return false;
-                    const std::string hex = text.substr(pos, 4);
-                    pos += 4;
-                    out += static_cast<char>(
-                        std::strtoul(hex.c_str(), nullptr, 16));
-                    continue;
-                }
-                c = esc;
-            }
-            out += c;
-        }
-        if (pos >= text.size())
-            return false;
-        ++pos;  // closing quote
-        return true;
-    }
-
-    bool parseValue(JValue &out)
-    {
-        ws();
-        if (pos >= text.size())
-            return false;
-        const char c = text[pos];
-        if (c == '{') {
-            ++pos;
-            out.kind = JValue::Kind::Object;
-            if (consume('}'))
-                return true;
-            do {
-                std::string key;
-                if (!parseString(key) || !consume(':'))
-                    return false;
-                JValue val;
-                if (!parseValue(val))
-                    return false;
-                out.obj.emplace_back(std::move(key), std::move(val));
-            } while (consume(','));
-            return consume('}');
-        }
-        if (c == '[') {
-            ++pos;
-            out.kind = JValue::Kind::Array;
-            if (consume(']'))
-                return true;
-            do {
-                JValue val;
-                if (!parseValue(val))
-                    return false;
-                out.arr.push_back(std::move(val));
-            } while (consume(','));
-            return consume(']');
-        }
-        if (c == '"') {
-            out.kind = JValue::Kind::String;
-            return parseString(out.str);
-        }
-        // Number token.
-        out.kind = JValue::Kind::Number;
-        const size_t start = pos;
-        while (pos < text.size() &&
-               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
-                text[pos] == '-' || text[pos] == '+' || text[pos] == '.' ||
-                text[pos] == 'e' || text[pos] == 'E'))
-            ++pos;
-        if (pos == start)
-            return false;
-        out.str = text.substr(start, pos - start);
-        return true;
-    }
-};
-
 std::vector<std::string>
-stringArray(const JValue &v)
+stringArray(const JsonValue &v)
 {
     std::vector<std::string> out;
-    for (const JValue &e : v.arr)
+    for (const JsonValue &e : v.arr)
         out.push_back(e.str);
     return out;
 }
 
 double
-fieldNum(const JValue &obj, const char *key)
+fieldNum(const JsonValue &obj, const char *key)
 {
-    const JValue *v = obj.find(key);
+    const JsonValue *v = obj.find(key);
     return v ? v->number() : 0.0;
 }
 
 std::string
-fieldStr(const JValue &obj, const char *key)
+fieldStr(const JsonValue &obj, const char *key)
 {
-    const JValue *v = obj.find(key);
+    const JsonValue *v = obj.find(key);
     return v ? v->str : std::string();
 }
 
@@ -279,7 +118,7 @@ makeFleetReport(const FleetConfig &config, const MetricsAggregator &metrics)
     report.baseSeed = config.baseSeed;
     report.seedMode =
         config.seedMode == SeedMode::Fleet ? "fleet" : "evaluation";
-    report.users = config.users;
+    report.users = config.effectiveUsers();
     report.sessions = metrics.sessions();
     report.events = metrics.events();
     if (config.devices.empty()) {
@@ -345,32 +184,32 @@ JsonReporter::toString(const FleetReport &report)
 std::optional<FleetReport>
 JsonReporter::parse(const std::string &text)
 {
-    JsonScanner scanner{text};
-    JValue root;
-    if (!scanner.parseValue(root) || root.kind != JValue::Kind::Object)
+    const auto parsed = parseJson(text);
+    if (!parsed || parsed->kind != JsonValue::Kind::Object)
         return std::nullopt;
+    const JsonValue &root = *parsed;
 
     FleetReport report;
-    const JValue *meta = root.find("meta");
-    const JValue *cells = root.find("cells");
-    if (!meta || !cells || cells->kind != JValue::Kind::Array)
+    const JsonValue *meta = root.find("meta");
+    const JsonValue *cells = root.find("cells");
+    if (!meta || !cells || cells->kind != JsonValue::Kind::Array)
         return std::nullopt;
 
-    if (const JValue *v = meta->find("base_seed"))
+    if (const JsonValue *v = meta->find("base_seed"))
         report.baseSeed = v->number64();
     report.seedMode = fieldStr(*meta, "seed_mode");
     report.users = static_cast<int>(fieldNum(*meta, "users"));
     report.sessions = static_cast<int>(fieldNum(*meta, "sessions"));
     report.events = static_cast<long>(fieldNum(*meta, "events"));
-    if (const JValue *v = meta->find("devices"))
+    if (const JsonValue *v = meta->find("devices"))
         report.devices = stringArray(*v);
-    if (const JValue *v = meta->find("apps"))
+    if (const JsonValue *v = meta->find("apps"))
         report.apps = stringArray(*v);
-    if (const JValue *v = meta->find("schedulers"))
+    if (const JsonValue *v = meta->find("schedulers"))
         report.schedulers = stringArray(*v);
 
-    for (const JValue &cv : cells->arr) {
-        if (cv.kind != JValue::Kind::Object)
+    for (const JsonValue &cv : cells->arr) {
+        if (cv.kind != JsonValue::Kind::Object)
             return std::nullopt;
         CellSummary c;
         c.device = fieldStr(cv, "device");

@@ -37,6 +37,10 @@ class TraceGenerator
 
     explicit TraceGenerator(const AcmpPlatform &platform);
 
+    /** The generator keeps a pointer to @p platform; a temporary would
+     *  dangle by the first generate() call. */
+    explicit TraceGenerator(AcmpPlatform &&) = delete;
+
     /** The (cached) synthesized application for @p profile. */
     const WebApp &appFor(const AppProfile &profile);
 

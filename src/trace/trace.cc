@@ -40,6 +40,23 @@ eventClassKeyFor(const std::string &app_name, int page_id, NodeId node,
     return eventClassKey(app_name, page_id, node, handler.type);
 }
 
+bool
+operator==(const TraceEvent &a, const TraceEvent &b)
+{
+    return a.arrival == b.arrival && a.type == b.type && a.node == b.node &&
+        a.pageId == b.pageId && a.x == b.x && a.y == b.y &&
+        a.callbackWork == b.callbackWork &&
+        a.renderWork.stages == b.renderWork.stages &&
+        a.issuesNetwork == b.issuesNetwork && a.classKey == b.classKey;
+}
+
+bool
+operator==(const InteractionTrace &a, const InteractionTrace &b)
+{
+    return a.appName == b.appName && a.userSeed == b.userSeed &&
+        a.events == b.events;
+}
+
 std::string
 InteractionTrace::serialize() const
 {

@@ -92,6 +92,20 @@ struct InteractionTrace
     loadFromFile(const std::string &path);
 };
 
+/** Exact field-wise equality (corpus round-trip checks). */
+bool operator==(const TraceEvent &a, const TraceEvent &b);
+inline bool operator!=(const TraceEvent &a, const TraceEvent &b)
+{
+    return !(a == b);
+}
+
+/** Exact equality: app, user seed, and every event field. */
+bool operator==(const InteractionTrace &a, const InteractionTrace &b);
+inline bool operator!=(const InteractionTrace &a, const InteractionTrace &b)
+{
+    return !(a == b);
+}
+
 /** Compute the estimator class key for (app, page, node, type). */
 uint64_t eventClassKey(const std::string &app_name, int page_id,
                        NodeId node, DomEventType type);

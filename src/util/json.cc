@@ -1,0 +1,181 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pes {
+
+namespace {
+
+struct JsonScanner
+{
+    const std::string &text;
+    size_t pos = 0;
+
+    void ws()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\n' ||
+                text[pos] == '\t' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool consume(char c)
+    {
+        ws();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    bool parseString(std::string &out)
+    {
+        ws();
+        if (pos >= text.size() || text[pos] != '"')
+            return false;
+        ++pos;
+        out.clear();
+        while (pos < text.size() && text[pos] != '"') {
+            char c = text[pos++];
+            if (c == '\\' && pos < text.size()) {
+                const char esc = text[pos++];
+                if (esc == 'u') {
+                    if (pos + 4 > text.size())
+                        return false;
+                    const std::string hex = text.substr(pos, 4);
+                    pos += 4;
+                    out += static_cast<char>(
+                        std::strtoul(hex.c_str(), nullptr, 16));
+                    continue;
+                }
+                c = esc;
+            }
+            out += c;
+        }
+        if (pos >= text.size())
+            return false;
+        ++pos;  // closing quote
+        return true;
+    }
+
+    bool parseValue(JsonValue &out)
+    {
+        ws();
+        if (pos >= text.size())
+            return false;
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out.kind = JsonValue::Kind::Object;
+            if (consume('}'))
+                return true;
+            do {
+                std::string key;
+                if (!parseString(key) || !consume(':'))
+                    return false;
+                JsonValue val;
+                if (!parseValue(val))
+                    return false;
+                out.obj.emplace_back(std::move(key), std::move(val));
+            } while (consume(','));
+            return consume('}');
+        }
+        if (c == '[') {
+            ++pos;
+            out.kind = JsonValue::Kind::Array;
+            if (consume(']'))
+                return true;
+            do {
+                JsonValue val;
+                if (!parseValue(val))
+                    return false;
+                out.arr.push_back(std::move(val));
+            } while (consume(','));
+            return consume(']');
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+        }
+        // Number token.
+        out.kind = JsonValue::Kind::Number;
+        const size_t start = pos;
+        while (pos < text.size() &&
+               (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                text[pos] == '-' || text[pos] == '+' || text[pos] == '.' ||
+                text[pos] == 'e' || text[pos] == 'E'))
+            ++pos;
+        if (pos == start)
+            return false;
+        out.str = text.substr(start, pos - start);
+        return true;
+    }
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    for (const auto &[k, v] : obj) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+double
+JsonValue::number() const
+{
+    return std::strtod(str.c_str(), nullptr);
+}
+
+uint64_t
+JsonValue::number64() const
+{
+    return std::strtoull(str.c_str(), nullptr, 10);
+}
+
+std::optional<JsonValue>
+parseJson(const std::string &text)
+{
+    JsonScanner scanner{text};
+    JsonValue root;
+    if (!scanner.parseValue(root))
+        return std::nullopt;
+    return root;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (const char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNum(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+} // namespace pes

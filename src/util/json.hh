@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal JSON reading/writing helpers.
+ *
+ * Understands the subset our own sinks emit: objects, arrays, strings
+ * with \" \\ \uXXXX escapes, and plain numbers. Numbers keep their raw
+ * token so 64-bit seeds survive the trip. Shared by the fleet reporters
+ * and the corpus manifest — not a general-purpose JSON library.
+ */
+
+#ifndef PES_UTIL_JSON_HH
+#define PES_UTIL_JSON_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pes {
+
+/** One parsed JSON value (tree-owning). */
+struct JsonValue
+{
+    enum class Kind { Null, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    std::string str;  // String payload or raw Number token.
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    /** Object member lookup; nullptr when absent. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Number token as double (0.0 for non-numbers). */
+    double number() const;
+
+    /** Number token as uint64 (full 64-bit precision). */
+    uint64_t number64() const;
+};
+
+/** Parse a complete JSON document; nullopt on malformed input. */
+std::optional<JsonValue> parseJson(const std::string &text);
+
+/** Escape a string for embedding between JSON quotes. */
+std::string jsonEscape(const std::string &s);
+
+/** Shortest round-trippable-enough float formatting (deterministic). */
+std::string jsonNum(double v);
+
+} // namespace pes
+
+#endif // PES_UTIL_JSON_HH

@@ -31,6 +31,18 @@ hashString(const char *s)
     return h;
 }
 
+uint64_t
+hashBytes(const void *data, size_t len)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < len; ++i) {
+        h ^= static_cast<uint64_t>(p[i]);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
 namespace {
 
 inline uint64_t

@@ -11,6 +11,7 @@
 #ifndef PES_UTIL_RNG_HH
 #define PES_UTIL_RNG_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -84,6 +85,9 @@ uint64_t hashCombine(uint64_t a, uint64_t b);
 
 /** Stable 64-bit hash of a string (FNV-1a). */
 uint64_t hashString(const char *s);
+
+/** Stable 64-bit hash of a byte buffer (FNV-1a; embedded NULs allowed). */
+uint64_t hashBytes(const void *data, size_t len);
 
 } // namespace pes
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
 
 namespace pes {
 
@@ -58,6 +61,49 @@ toLower(std::string_view s)
     std::transform(out.begin(), out.end(), out.begin(),
                    [](unsigned char c) { return std::tolower(c); });
     return out;
+}
+
+bool
+parseInt64(const std::string &s, long long &out, int base)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(s.c_str(), &end, base);
+    if (end == s.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseUint64(const std::string &s, uint64_t &out, int base)
+{
+    if (s.empty() || s.find('-') != std::string::npos)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, base);
+    if (end == s.c_str() || *end != '\0' || errno == ERANGE)
+        return false;
+    out = static_cast<uint64_t>(v);
+    return true;
+}
+
+bool
+parseDouble(const std::string &s, double &out)
+{
+    if (s.empty())
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0' || errno == ERANGE ||
+        !std::isfinite(v))
+        return false;
+    out = v;
+    return true;
 }
 
 } // namespace pes

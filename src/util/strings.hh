@@ -6,6 +6,7 @@
 #ifndef PES_UTIL_STRINGS_HH
 #define PES_UTIL_STRINGS_HH
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -27,6 +28,27 @@ bool startsWith(std::string_view s, std::string_view prefix);
 
 /** ASCII-lowercased copy of @p s. */
 std::string toLower(std::string_view s);
+
+// --------------------- strict numeric parsing (shared by the CLIs) ----
+//
+// All three parse the ENTIRE string or fail: leading/trailing garbage,
+// empty input, and out-of-range values (ERANGE) are rejected, so
+// "12abc", "", "1e999", and "--3" never silently truncate to a number.
+
+/**
+ * Parse a signed integer (strtoll semantics). @p base follows strtoll:
+ * 0 auto-detects "0x"/"0" prefixes.
+ */
+bool parseInt64(const std::string &s, long long &out, int base = 0);
+
+/**
+ * Parse an unsigned 64-bit integer. Rejects any '-' anywhere in the
+ * input (strtoull would silently wrap negatives).
+ */
+bool parseUint64(const std::string &s, uint64_t &out, int base = 0);
+
+/** Parse a finite double (strtod semantics, full-string). */
+bool parseDouble(const std::string &s, double &out);
 
 } // namespace pes
 

@@ -1,0 +1,540 @@
+/**
+ * @file
+ * pes_corpus — trace-corpus management: record sessions to disk, replay
+ * fleet sweeps straight off a corpus, and derive mutated scenario
+ * variants. The on-disk format is the versioned, checksummed .ptrc
+ * layout (src/corpus/trace_format.hh) indexed by a JSON manifest.
+ *
+ *   pes_corpus record   --dir=corpus --apps=cnn,social_feed --users=100
+ *   pes_corpus inspect  --dir=corpus [--app=cnn] [--device=NAME] [--user=S]
+ *   pes_corpus validate --dir=corpus
+ *   pes_corpus replay   --dir=corpus --schedulers=pes,ebs --out=rep.json
+ *   pes_corpus mutate   --dir=corpus --into=stress --op=burst --rate=0.3
+ *
+ * record derives user seeds exactly like pes_fleet (same --seed /
+ * --eval-population semantics), so `pes_fleet --corpus=DIR` with the
+ * same axes replays byte-identically to live synthesis.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+#include "corpus/corpus_store.hh"
+#include "corpus/trace_mutator.hh"
+#include "runner/fleet_runner.hh"
+#include "runner/reporters.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace pes;
+
+namespace {
+
+int
+usage()
+{
+    std::cerr <<
+        "pes_corpus - record / replay / mutate persisted trace corpora\n"
+        "\n"
+        "usage:\n"
+        "  pes_corpus record   --dir=DIR [--apps=LIST] [--devices=LIST]\n"
+        "                      [--users=N] [--seed=S] [--eval-population]\n"
+        "                      [--quiet]\n"
+        "  pes_corpus inspect  --dir=DIR [--app=NAME] [--device=NAME]\n"
+        "                      [--user=SEED]\n"
+        "  pes_corpus validate --dir=DIR\n"
+        "  pes_corpus replay   --dir=DIR [--schedulers=LIST] [--threads=N]\n"
+        "                      [--warm] [--out=FILE] [--csv=FILE] [--quiet]\n"
+        "  pes_corpus mutate   --dir=DIR --into=DIR --op=OP [--seed=S]\n"
+        "                      ops: time-scale --factor=F\n"
+        "                           event-drop --drop=P\n"
+        "                           burst      --rate=R --burst=N\n"
+        "                           concat     --gap=MS\n";
+    return 2;
+}
+
+long
+requireLong(const std::string &value, const char *flag, long lo, long hi)
+{
+    long long v;
+    fatal_if(!parseInt64(value, v) || v < lo || v > hi,
+             "bad value '%s' for --%s (expected integer in [%ld, %ld])",
+             value.c_str(), flag, lo, hi);
+    return static_cast<long>(v);
+}
+
+uint64_t
+requireSeed(const std::string &value, const char *flag)
+{
+    uint64_t v;
+    fatal_if(!parseUint64(value, v), "bad value '%s' for --%s",
+             value.c_str(), flag);
+    return v;
+}
+
+double
+requireDouble(const std::string &value, const char *flag, double lo,
+              double hi)
+{
+    double v;
+    fatal_if(!parseDouble(value, v) || v < lo || v > hi,
+             "bad value '%s' for --%s (expected number in [%g, %g])",
+             value.c_str(), flag, lo, hi);
+    return v;
+}
+
+CorpusStore
+openOrDie(const std::string &dir)
+{
+    fatal_if(dir.empty(), "--dir is required");
+    std::string error;
+    auto store = CorpusStore::open(dir, &error);
+    fatal_if(!store, "cannot open corpus: %s", error.c_str());
+    return std::move(*store);
+}
+
+// ------------------------------------------------------------- record
+
+int
+cmdRecord(const std::vector<std::pair<std::string, std::string>> &flags)
+{
+    std::string dir;
+    std::vector<AppProfile> apps = parseAppList("cnn,amazon,social_feed");
+    std::vector<AcmpPlatform> devices{AcmpPlatform::exynos5410()};
+    FleetConfig seeds;  // only the user-seed derivation is used
+    int users = 100;
+    bool quiet = false;
+
+    for (const auto &[name, value] : flags) {
+        if (name == "dir") {
+            dir = value;
+        } else if (name == "apps") {
+            apps = parseAppList(value);
+        } else if (name == "devices") {
+            devices = parseDeviceList(value);
+        } else if (name == "users") {
+            users = static_cast<int>(
+                requireLong(value, "users", 1, 100000000));
+        } else if (name == "seed") {
+            seeds.baseSeed = requireSeed(value, "seed");
+        } else if (name == "eval-population") {
+            seeds.seedMode = SeedMode::Evaluation;
+        } else if (name == "quiet") {
+            quiet = true;
+        } else {
+            fatal("record: unknown option '--%s'", name.c_str());
+        }
+    }
+    fatal_if(dir.empty(), "--dir is required");
+
+    std::string error;
+    auto store = CorpusStore::create(dir, &error);
+    fatal_if(!store, "cannot create corpus: %s", error.c_str());
+
+    uint64_t events = 0;
+    int recorded = 0;
+    for (const AcmpPlatform &platform : devices) {
+        TraceGenerator generator(platform);
+        TraceProvenance provenance;
+        provenance.device = platform.name();
+        provenance.params = {{"source", "synthetic"},
+                             {"seed_mode",
+                              seeds.seedMode == SeedMode::Fleet
+                                  ? "fleet"
+                                  : "evaluation"}};
+        for (const AppProfile &profile : apps) {
+            for (int u = 0; u < users; ++u) {
+                const InteractionTrace trace = generator.generate(
+                    profile, fleetUserSeed(seeds, u));
+                fatal_if(!store->add(trace, provenance, &error),
+                         "record failed: %s", error.c_str());
+                events += trace.events.size();
+                ++recorded;
+            }
+        }
+    }
+    fatal_if(!store->save(&error), "cannot save manifest: %s",
+             error.c_str());
+    if (!quiet) {
+        std::cout << "recorded " << recorded << " traces ("
+                  << events << " events) into " << dir << " ("
+                  << store->entries().size() << " total)\n";
+    }
+    return 0;
+}
+
+// ------------------------------------------------------------ inspect
+
+int
+cmdInspect(const std::vector<std::pair<std::string, std::string>> &flags)
+{
+    std::string dir, app_filter, device_filter;
+    bool have_user_filter = false;
+    uint64_t user_filter = 0;
+    for (const auto &[name, value] : flags) {
+        if (name == "dir") {
+            dir = value;
+        } else if (name == "app") {
+            app_filter = value;
+        } else if (name == "device") {
+            device_filter = value;
+        } else if (name == "user") {
+            user_filter = requireSeed(value, "user");
+            have_user_filter = true;
+        } else {
+            fatal("inspect: unknown option '--%s'", name.c_str());
+        }
+    }
+    const CorpusStore store = openOrDie(dir);
+
+    Table table({"app", "device", "user_seed", "events", "checksum",
+                 "file"});
+    uint64_t events = 0;
+    int shown = 0;
+    for (const CorpusEntry &e : store.entries()) {
+        if (!app_filter.empty() && e.app != app_filter)
+            continue;
+        if (!device_filter.empty() && e.device != device_filter)
+            continue;
+        if (have_user_filter && e.userSeed != user_filter)
+            continue;
+        char checksum[32];
+        std::snprintf(checksum, sizeof(checksum), "%016llx",
+                      static_cast<unsigned long long>(e.checksum));
+        table.beginRow()
+            .cell(e.app)
+            .cell(e.device)
+            .cell(std::to_string(e.userSeed))
+            .cell(static_cast<long>(e.eventCount))
+            .cell(std::string(checksum))
+            .cell(e.file);
+        events += e.eventCount;
+        ++shown;
+    }
+    table.print(std::cout);
+    std::cout << shown << " of " << store.entries().size()
+              << " traces, " << events << " events\n";
+    return 0;
+}
+
+// ----------------------------------------------------------- validate
+
+int
+cmdValidate(const std::vector<std::pair<std::string, std::string>> &flags)
+{
+    std::string dir;
+    for (const auto &[name, value] : flags) {
+        if (name == "dir")
+            dir = value;
+        else
+            fatal("validate: unknown option '--%s'", name.c_str());
+    }
+    const CorpusStore store = openOrDie(dir);
+    std::vector<std::string> problems;
+    if (!store.validate(problems)) {
+        for (const std::string &p : problems)
+            std::cerr << "FAIL " << p << "\n";
+        std::cerr << problems.size() << " problem(s) in " << dir << "\n";
+        return 1;
+    }
+    std::cout << "OK: " << store.entries().size()
+              << " traces verified in " << dir << "\n";
+    return 0;
+}
+
+// ------------------------------------------------------------- replay
+
+int
+cmdReplay(const std::vector<std::pair<std::string, std::string>> &flags)
+{
+    std::string dir, out_path, csv_path;
+    FleetConfig config;
+    config.schedulers = {SchedulerKind::Pes, SchedulerKind::Ebs};
+    config.threads = Experiment::defaultSweepThreads();
+    bool quiet = false;
+
+    for (const auto &[name, value] : flags) {
+        if (name == "dir") {
+            dir = value;
+        } else if (name == "schedulers") {
+            config.schedulers = parseSchedulerList(value);
+        } else if (name == "threads") {
+            config.threads = static_cast<int>(
+                requireLong(value, "threads", 1, 4096));
+        } else if (name == "warm") {
+            config.warmDrivers = true;
+        } else if (name == "out") {
+            out_path = value;
+        } else if (name == "csv") {
+            csv_path = value;
+        } else if (name == "quiet") {
+            quiet = true;
+        } else {
+            fatal("replay: unknown option '--%s'", name.c_str());
+        }
+    }
+    const CorpusStore store = openOrDie(dir);
+    fatal_if(store.entries().empty(), "corpus '%s' is empty",
+             dir.c_str());
+
+    // The sweep axes come from the manifest: every distinct app, device
+    // and user seed the corpus holds (the runner validates that the
+    // full cross-product is recorded).
+    std::map<std::string, bool> apps;
+    std::map<std::string, bool> devices;
+    std::vector<uint64_t> seeds;
+    for (const CorpusEntry &e : store.entries()) {
+        apps.emplace(e.app, true);
+        devices.emplace(e.device, true);
+        seeds.push_back(e.userSeed);
+    }
+    std::sort(seeds.begin(), seeds.end());
+    seeds.erase(std::unique(seeds.begin(), seeds.end()), seeds.end());
+    for (const auto &[app, unused] : apps) {
+        (void)unused;
+        config.apps.push_back(appByName(app));
+    }
+    for (const auto &[device, unused] : devices) {
+        (void)unused;
+        const auto platform = deviceByPlatformName(device);
+        fatal_if(!platform,
+                 "corpus device '%s' matches no known platform",
+                 device.c_str());
+        config.devices.push_back(*platform);
+    }
+    config.userSeeds = std::move(seeds);
+    config.corpus = &store;
+
+    setQuiet(true);
+    FleetRunner runner(std::move(config));
+    const FleetConfig &cfg = runner.config();
+    if (!quiet) {
+        std::cout << "replaying " << runner.jobs().size()
+                  << " sessions off " << dir << " ("
+                  << cfg.apps.size() << " apps x "
+                  << cfg.schedulers.size() << " schedulers x "
+                  << cfg.devices.size() << " devices x "
+                  << cfg.effectiveUsers() << " users, " << cfg.threads
+                  << " threads)\n";
+        std::cout.flush();
+    }
+    FleetOutcome outcome = runner.run();
+    const FleetReport report = makeFleetReport(cfg, outcome.metrics);
+
+    Table table({"device", "app", "scheduler", "sessions", "viol%",
+                 "energy(mJ)", "lat(ms)", "p95(ms)"});
+    for (const CellSummary &c : report.cells) {
+        table.beginRow()
+            .cell(c.device)
+            .cell(c.app)
+            .cell(c.scheduler)
+            .cell(static_cast<long>(c.sessions))
+            .cell(c.violationRate * 100.0, 2)
+            .cell(c.meanEnergyMj, 1)
+            .cell(c.meanLatencyMs, 2)
+            .cell(c.p95SessionLatencyMs, 2);
+    }
+    table.print(std::cout);
+
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        fatal_if(!os, "cannot open '%s'", out_path.c_str());
+        JsonReporter::write(report, os);
+        std::cout << "[json: " << out_path << "]\n";
+    }
+    if (!csv_path.empty()) {
+        std::ofstream os(csv_path);
+        fatal_if(!os, "cannot open '%s'", csv_path.c_str());
+        CsvReporter::write(report, os);
+        std::cout << "[csv: " << csv_path << "]\n";
+    }
+    if (!quiet) {
+        std::cout << outcome.jobCount << " sessions replayed from "
+                  << outcome.tracesFromCorpus << " recorded traces in "
+                  << formatDouble(outcome.wallMs / 1000.0, 2) << " s\n";
+    }
+    return 0;
+}
+
+// ------------------------------------------------------------- mutate
+
+int
+cmdMutate(const std::vector<std::pair<std::string, std::string>> &flags)
+{
+    std::string dir, into, op;
+    double factor = 1.5;
+    double drop = 0.2;
+    double rate = 0.25;
+    int burst = 4;
+    double gap_ms = 4000.0;
+    uint64_t seed = 0x5eedc0de;
+    bool quiet = false;
+    std::vector<std::string> param_flags;  // validated against --op below
+
+    for (const auto &[name, value] : flags) {
+        if (name == "dir") {
+            dir = value;
+        } else if (name == "into") {
+            into = value;
+        } else if (name == "op") {
+            op = value;
+        } else if (name == "factor") {
+            factor = requireDouble(value, "factor", 1e-3, 1e3);
+            param_flags.push_back(name);
+        } else if (name == "drop") {
+            drop = requireDouble(value, "drop", 0.0, 1.0);
+            param_flags.push_back(name);
+        } else if (name == "rate") {
+            rate = requireDouble(value, "rate", 0.0, 1.0);
+            param_flags.push_back(name);
+        } else if (name == "burst") {
+            burst = static_cast<int>(requireLong(value, "burst", 1, 1000));
+            param_flags.push_back(name);
+        } else if (name == "gap") {
+            gap_ms = requireDouble(value, "gap", 0.0, 1e9);
+            param_flags.push_back(name);
+        } else if (name == "seed") {
+            seed = requireSeed(value, "seed");
+        } else if (name == "quiet") {
+            quiet = true;
+        } else {
+            fatal("mutate: unknown option '--%s'", name.c_str());
+        }
+    }
+    fatal_if(into.empty(), "--into (destination corpus) is required");
+    fatal_if(op != "time-scale" && op != "event-drop" && op != "burst" &&
+             op != "concat",
+             "unknown --op '%s' (time-scale, event-drop, burst, concat)",
+             op.c_str());
+    // Reject parameters the chosen operator ignores: silently falling
+    // back to a default would record a wrong-but-plausible corpus.
+    for (const std::string &flag : param_flags) {
+        const bool applies =
+            (op == "time-scale" && flag == "factor") ||
+            (op == "event-drop" && flag == "drop") ||
+            (op == "burst" && (flag == "rate" || flag == "burst")) ||
+            (op == "concat" && flag == "gap");
+        fatal_if(!applies, "--%s does not apply to --op=%s", flag.c_str(),
+                 op.c_str());
+    }
+
+    const CorpusStore source = openOrDie(dir);
+    std::string error;
+    auto dest = CorpusStore::create(into, &error);
+    fatal_if(!dest, "cannot create corpus: %s", error.c_str());
+
+    const TraceMutator mutator(seed);
+    char desc[96];
+    if (op == "time-scale") {
+        std::snprintf(desc, sizeof(desc), "time-scale:%g", factor);
+    } else if (op == "event-drop") {
+        std::snprintf(desc, sizeof(desc), "event-drop:%g", drop);
+    } else if (op == "burst") {
+        std::snprintf(desc, sizeof(desc), "burst:%g:x%d", rate, burst);
+    } else {
+        std::snprintf(desc, sizeof(desc), "concat:gap=%g", gap_ms);
+    }
+
+    int written = 0;
+    const auto emit = [&](const CorpusEntry &entry,
+                          const InteractionTrace &mutant) {
+        TraceProvenance provenance;
+        provenance.device = entry.device;
+        provenance.params = {{"mutation", desc},
+                             {"source", entry.file},
+                             {"mutation_seed", std::to_string(seed)}};
+        fatal_if(!dest->add(mutant, provenance, &error),
+                 "mutate failed: %s", error.c_str());
+        ++written;
+    };
+
+    if (op == "concat") {
+        // Pair consecutive sessions of the same (app, device) group —
+        // entries() is already in canonical (app, device, seed) order.
+        const auto &entries = source.entries();
+        size_t i = 0;
+        while (i + 1 < entries.size()) {
+            const CorpusEntry &a = entries[i];
+            const CorpusEntry &b = entries[i + 1];
+            if (a.app != b.app || a.device != b.device) {
+                ++i;  // groups misaligned: slide to the next group
+                continue;
+            }
+            const auto ta = source.load(a, &error);
+            fatal_if(!ta, "mutate: %s", error.c_str());
+            const auto tb = source.load(b, &error);
+            fatal_if(!tb, "mutate: %s", error.c_str());
+            emit(a, mutator.concatenate(*ta, *tb, gap_ms));
+            i += 2;
+        }
+    } else {
+        const bool ok = source.forEach(
+            [&](const CorpusEntry &entry, const InteractionTrace &trace) {
+                if (op == "time-scale")
+                    emit(entry, mutator.timeScale(trace, factor));
+                else if (op == "event-drop")
+                    emit(entry, mutator.dropEvents(trace, drop));
+                else
+                    emit(entry, mutator.injectBursts(trace, rate, burst));
+                return true;
+            },
+            &error);
+        fatal_if(!ok, "mutate: %s", error.c_str());
+    }
+    fatal_if(!dest->save(&error), "cannot save manifest: %s",
+             error.c_str());
+    if (!quiet) {
+        std::cout << "wrote " << written << " " << desc
+                  << " variants into " << into << "\n";
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "--help" || cmd == "-h")
+        return usage();
+
+    // Uniform "--name=value" / "--switch" flag collection.
+    std::vector<std::pair<std::string, std::string>> flags;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            return usage();
+        if (!startsWith(arg, "--")) {
+            std::cerr << "unexpected argument '" << arg << "'\n";
+            return usage();
+        }
+        const size_t eq = arg.find('=');
+        if (eq == std::string::npos)
+            flags.emplace_back(arg.substr(2), "");
+        else
+            flags.emplace_back(arg.substr(2, eq - 2), arg.substr(eq + 1));
+    }
+
+    if (cmd == "record")
+        return cmdRecord(flags);
+    if (cmd == "inspect")
+        return cmdInspect(flags);
+    if (cmd == "validate")
+        return cmdValidate(flags);
+    if (cmd == "replay")
+        return cmdReplay(flags);
+    if (cmd == "mutate")
+        return cmdMutate(flags);
+    std::cerr << "unknown command '" << cmd << "'\n";
+    return usage();
+}

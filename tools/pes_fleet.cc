@@ -11,13 +11,13 @@
  * for any --threads value (wall-clock and throughput go to stdout only).
  */
 
-#include <cerrno>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "core/experiment.hh"
+#include "corpus/corpus_store.hh"
 #include "runner/fleet_runner.hh"
 #include "runner/reporters.hh"
 #include "util/logging.hh"
@@ -48,8 +48,19 @@ usage()
         "evaluation seeds\n"
         "  --warm             one warmed driver per cell (sessions of a "
         "cell run in order)\n"
+        "  --corpus=DIR       replay traces from a recorded corpus "
+        "(see pes_corpus) instead\n"
+        "                     of synthesizing; reports stay "
+        "byte-identical to live synthesis\n"
+        "  --no-trace-share   synthesize per job instead of sharing each "
+        "(device, app, user)\n"
+        "                     trace across schedulers (slower; identical "
+        "reports)\n"
         "  --out=FILE         write the JSON report\n"
         "  --csv=FILE         write the CSV report\n"
+        "  --list-apps        print every known application profile and "
+        "exit\n"
+        "  --list-devices     print every known device model and exit\n"
         "  --quiet            suppress progress chatter\n"
         "  --help             this text\n";
 }
@@ -68,24 +79,62 @@ flagValue(const std::string &arg, const std::string &name,
 long
 parseLong(const std::string &value, const std::string &flag)
 {
-    errno = 0;
-    char *end = nullptr;
-    const long v = std::strtol(value.c_str(), &end, 0);
-    fatal_if(end == value.c_str() || *end != '\0' || errno == ERANGE,
-             "bad value '%s' for --%s", value.c_str(), flag.c_str());
-    return v;
+    long long v;
+    fatal_if(!parseInt64(value, v), "bad value '%s' for --%s",
+             value.c_str(), flag.c_str());
+    return static_cast<long>(v);
 }
 
 uint64_t
 parseSeed(const std::string &value)
 {
-    errno = 0;
-    char *end = nullptr;
-    const unsigned long long v = std::strtoull(value.c_str(), &end, 0);
-    fatal_if(end == value.c_str() || *end != '\0' || errno == ERANGE ||
-             value.find('-') != std::string::npos,
-             "bad value '%s' for --seed", value.c_str());
-    return static_cast<uint64_t>(v);
+    uint64_t v;
+    fatal_if(!parseUint64(value, v), "bad value '%s' for --seed",
+             value.c_str());
+    return v;
+}
+
+/** --list-apps: the discovery view of the app registry (incl. extras). */
+int
+listApps()
+{
+    Table table({"app", "set", "pages", "temp", "think(s)",
+                 "load_scale", "render_scale"});
+    const auto row = [&](const AppProfile &p, const char *set) {
+        table.beginRow()
+            .cell(p.name)
+            .cell(std::string(set))
+            .cell(static_cast<long>(p.numPages))
+            .cell(p.behaviorTemp, 2)
+            .cell(p.thinkMedianMs / 1000.0, 1)
+            .cell(p.loadWorkScale, 2)
+            .cell(p.renderScale, 2);
+    };
+    for (const AppProfile &p : appRegistry())
+        row(p, p.seen ? "seen" : "unseen");
+    for (const AppProfile &p : extraApps())
+        row(p, "extra");
+    table.print(std::cout);
+    std::cout << "groups: seen (" << seenApps().size() << "), unseen ("
+              << unseenApps().size() << "), all ("
+              << appRegistry().size() << "), extra ("
+              << extraApps().size() << ")\n";
+    return 0;
+}
+
+/** --list-devices: every platform parseDeviceList accepts. */
+int
+listDevices()
+{
+    Table table({"device", "aliases", "platform"});
+    for (const DeviceInfo &info : deviceRegistry()) {
+        table.beginRow()
+            .cell(info.cliName)
+            .cell(join(info.aliases, ", "))
+            .cell(info.platform.name());
+    }
+    table.print(std::cout);
+    return 0;
 }
 
 } // namespace
@@ -101,6 +150,7 @@ main(int argc, char **argv)
 
     std::string out_path;
     std::string csv_path;
+    std::string corpus_dir;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -109,12 +159,20 @@ main(int argc, char **argv)
         if (arg == "--help" || arg == "-h") {
             usage();
             return 0;
+        } else if (arg == "--list-apps") {
+            return listApps();
+        } else if (arg == "--list-devices") {
+            return listDevices();
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (arg == "--warm") {
             config.warmDrivers = true;
+        } else if (arg == "--no-trace-share") {
+            config.shareTraces = false;
         } else if (arg == "--eval-population") {
             config.seedMode = SeedMode::Evaluation;
+        } else if (flagValue(arg, "corpus", value)) {
+            corpus_dir = value;
         } else if (flagValue(arg, "schedulers", value)) {
             config.schedulers = parseSchedulerList(value);
         } else if (flagValue(arg, "apps", value)) {
@@ -148,6 +206,15 @@ main(int argc, char **argv)
     fatal_if(config.threads < 1 || config.threads > 4096,
              "--threads must be in [1, 4096]");
     setQuiet(true);
+
+    // Corpus replay: same axes and seeds, traces read from disk.
+    std::optional<CorpusStore> corpus;
+    if (!corpus_dir.empty()) {
+        std::string error;
+        corpus = CorpusStore::open(corpus_dir, &error);
+        fatal_if(!corpus, "cannot open corpus: %s", error.c_str());
+        config.corpus = &*corpus;
+    }
 
     FleetRunner runner(std::move(config));
     const FleetConfig &cfg = runner.config();
@@ -203,6 +270,10 @@ main(int argc, char **argv)
         std::cout << "[csv: " << csv_path << "]\n";
     }
 
+    if (!quiet && outcome.tracesFromCorpus > 0) {
+        std::cout << "[corpus: " << outcome.tracesFromCorpus
+                  << " traces replayed from disk]\n";
+    }
     const double secs = outcome.wallMs / 1000.0;
     std::cout << outcome.jobCount << " sessions, "
               << outcome.metrics.events() << " events in "

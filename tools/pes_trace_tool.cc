@@ -12,12 +12,12 @@
  * Schedulers: interactive | ondemand | ebs | pes | oracle.
  */
 
-#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
 #include "core/experiment.hh"
 #include "util/logging.hh"
+#include "util/strings.hh"
 #include "util/table.hh"
 
 using namespace pes;
@@ -174,9 +174,12 @@ main(int argc, char **argv)
     const std::string cmd = argv[1];
     if (cmd == "apps")
         return cmdApps();
-    if (cmd == "gen" && argc == 5)
-        return cmdGen(argv[2], std::strtoull(argv[3], nullptr, 10),
-                      argv[4]);
+    if (cmd == "gen" && argc == 5) {
+        uint64_t seed;
+        fatal_if(!parseUint64(argv[3], seed),
+                 "bad seed '%s' (expected an unsigned integer)", argv[3]);
+        return cmdGen(argv[2], seed, argv[4]);
+    }
     if (cmd == "info" && argc == 3)
         return cmdInfo(argv[2]);
     if (cmd == "replay" && argc == 4)
