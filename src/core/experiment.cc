@@ -95,7 +95,14 @@ Experiment::runFleetSweep(const std::vector<AppProfile> &profiles,
             break;
         }
     }
-    return FleetRunner(std::move(config)).run();
+    FleetOutcome outcome = FleetRunner(std::move(config)).run();
+    // The pool downgrades worker exceptions to diagnostics so batch
+    // tools can report partial sweeps; the experiment harness (and the
+    // paper-figure benches on top of it) has no partial mode — numbers
+    // from an incomplete sweep must never look like results.
+    panic_if(!outcome.diagnostics.empty(), "fleet sweep failed: %s",
+             outcome.diagnostics.front().c_str());
+    return outcome;
 }
 
 void

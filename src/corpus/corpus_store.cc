@@ -6,6 +6,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/binary_io.hh"
 #include "util/json.hh"
 
 namespace fs = std::filesystem;
@@ -54,11 +55,28 @@ manifestText(const std::vector<CorpusEntry> &entries)
     return os.str();
 }
 
-bool
-entryLess(const CorpusEntry &a, const CorpusEntry &b)
+/**
+ * The single source of the header-vs-manifest-row checks (and their
+ * diagnostics) shared by load(), verifyHeader() and validate(): a
+ * mismatch one path detects must be the mismatch every path detects.
+ */
+std::optional<CorpusProblem>
+headerProblem(const PtrcHeader &h, const CorpusEntry &entry)
 {
-    return std::tie(a.app, a.device, a.userSeed) <
-        std::tie(b.app, b.device, b.userSeed);
+    if (h.app != entry.app || h.userSeed != entry.userSeed ||
+        h.provenance.device != entry.device) {
+        return CorpusProblem{CorpusProblem::Kind::Mismatch,
+                             entry.file +
+                                 ": header does not match the manifest "
+                                 "row (app/device/seed)"};
+    }
+    if (h.eventsChecksum != entry.checksum) {
+        return CorpusProblem{CorpusProblem::Kind::Mismatch,
+                             entry.file +
+                                 ": checksum differs from the manifest "
+                                 "(stale or swapped file)"};
+    }
+    return std::nullopt;
 }
 
 } // namespace
@@ -130,6 +148,7 @@ CorpusStore::loadManifest(std::string *error)
     }
 
     entries_.clear();
+    fileToKey_.clear();
     for (const JsonValue &tv : traces->arr) {
         if (tv.kind != JsonValue::Kind::Object) {
             setError(error, "manifest '" + path + "': bad trace row");
@@ -153,21 +172,11 @@ CorpusStore::loadManifest(std::string *error)
             e.eventCount = v->number64();
         if (const JsonValue *v = tv.find("checksum"))
             e.checksum = v->number64();
-        entries_.push_back(std::move(e));
+        Key key{e.app, e.device, e.userSeed};
+        fileToKey_[e.file] = key;
+        entries_[std::move(key)] = std::move(e);
     }
-    std::sort(entries_.begin(), entries_.end(), entryLess);
-    reindex();
     return true;
-}
-
-void
-CorpusStore::reindex()
-{
-    index_.clear();
-    for (size_t i = 0; i < entries_.size(); ++i) {
-        const CorpusEntry &e = entries_[i];
-        index_[Key{e.app, e.device, e.userSeed}] = i;
-    }
 }
 
 std::string
@@ -176,12 +185,25 @@ CorpusStore::pathOf(const CorpusEntry &entry) const
     return (fs::path(dir_) / entry.file).string();
 }
 
+std::vector<CorpusEntry>
+CorpusStore::entries() const
+{
+    std::vector<CorpusEntry> out;
+    out.reserve(entries_.size());
+    for (const auto &[key, entry] : entries_) {
+        (void)key;
+        out.push_back(entry);
+    }
+    return out;
+}
+
 const CorpusEntry *
 CorpusStore::find(const std::string &app, const std::string &device,
                   uint64_t user_seed) const
 {
-    const auto it = index_.find(Key{app, device, user_seed});
-    return it == index_.end() ? nullptr : &entries_[it->second];
+    // Map nodes are stable: the pointer survives later adds.
+    const auto it = entries_.find(Key{app, device, user_seed});
+    return it == entries_.end() ? nullptr : &it->second;
 }
 
 bool
@@ -197,48 +219,33 @@ CorpusStore::add(const InteractionTrace &trace,
     entry.file = slugOf(trace.appName) + "-" + slugOf(provenance.device) +
         "-u" + std::to_string(trace.userSeed) + ".ptrc";
 
+    // Slugs are lossy ("social_feed" and "social-feed" share one):
+    // refuse to let a different key overwrite this file, BEFORE the
+    // write — the caller renames, nothing is clobbered.
+    Key key{entry.app, entry.device, entry.userSeed};
+    const auto fit = fileToKey_.find(entry.file);
+    if (fit != fileToKey_.end() && fit->second != key) {
+        const auto &[app, device, seed] = fit->second;
+        setError(error, "'" + entry.file +
+                 "': file name collision with the recording of (" + app +
+                 ", " + device + ", seed " + std::to_string(seed) +
+                 ") — app/device names must have distinct slugs");
+        return false;
+    }
+
     if (!TraceWriter::writeFile(trace, provenance, pathOf(entry), error))
         return false;
 
-    const Key key{entry.app, entry.device, entry.userSeed};
-    const auto it = index_.find(key);
-    if (it != index_.end()) {
-        entries_[it->second] = std::move(entry);
-    } else {
-        entries_.push_back(std::move(entry));
-        std::sort(entries_.begin(), entries_.end(), entryLess);
-        reindex();
-    }
+    fileToKey_[entry.file] = key;
+    entries_[std::move(key)] = std::move(entry);
     return true;
 }
 
 bool
 CorpusStore::save(std::string *error) const
 {
-    const fs::path final_path = fs::path(dir_) / kManifestName;
-    const fs::path tmp_path = fs::path(dir_) / (std::string(kManifestName) +
-                                                ".tmp");
-    {
-        std::ofstream os(tmp_path, std::ios::binary | std::ios::trunc);
-        if (!os) {
-            setError(error,
-                     "cannot write '" + tmp_path.string() + "'");
-            return false;
-        }
-        os << manifestText(entries_);
-        os.flush();
-        if (!os) {
-            setError(error, "short write to '" + tmp_path.string() + "'");
-            return false;
-        }
-    }
-    std::error_code ec;
-    fs::rename(tmp_path, final_path, ec);
-    if (ec) {
-        setError(error, "cannot replace manifest: " + ec.message());
-        return false;
-    }
-    return true;
+    const std::string path = (fs::path(dir_) / kManifestName).string();
+    return writeFileAtomic(path, manifestText(entries()), error);
 }
 
 std::optional<InteractionTrace>
@@ -249,18 +256,8 @@ CorpusStore::load(const CorpusEntry &entry, std::string *error) const
         setError(error, entry.file + ": " + reader.error());
         return std::nullopt;
     }
-    const PtrcHeader &h = reader.header();
-    if (h.app != entry.app || h.userSeed != entry.userSeed ||
-        h.provenance.device != entry.device) {
-        setError(error, entry.file +
-                 ": header does not match the manifest row (app/device/"
-                 "seed)");
-        return std::nullopt;
-    }
-    if (h.eventsChecksum != entry.checksum) {
-        setError(error, entry.file +
-                 ": checksum differs from the manifest (stale or "
-                 "swapped file)");
+    if (const auto problem = headerProblem(reader.header(), entry)) {
+        setError(error, problem->message);
         return std::nullopt;
     }
     auto trace = reader.readTrace();
@@ -272,12 +269,29 @@ CorpusStore::load(const CorpusEntry &entry, std::string *error) const
 }
 
 bool
+CorpusStore::verifyHeader(const CorpusEntry &entry,
+                          std::string *error) const
+{
+    TraceReader reader;
+    if (!reader.open(pathOf(entry))) {
+        setError(error, entry.file + ": " + reader.error());
+        return false;
+    }
+    if (const auto problem = headerProblem(reader.header(), entry)) {
+        setError(error, problem->message);
+        return false;
+    }
+    return true;
+}
+
+bool
 CorpusStore::forEach(
     const std::function<bool(const CorpusEntry &,
                              const InteractionTrace &)> &fn,
     std::string *error) const
 {
-    for (const CorpusEntry &entry : entries_) {
+    for (const auto &[key, entry] : entries_) {
+        (void)key;
         const auto trace = load(entry, error);
         if (!trace)
             return false;
@@ -288,31 +302,55 @@ CorpusStore::forEach(
 }
 
 bool
-CorpusStore::validate(std::vector<std::string> &problems) const
+CorpusStore::validate(std::vector<CorpusProblem> &problems) const
 {
     const size_t before = problems.size();
-    for (const CorpusEntry &entry : entries_) {
+    for (const auto &[key, entry] : entries_) {
+        (void)key;
         std::error_code ec;
         if (!fs::exists(pathOf(entry), ec)) {
-            problems.push_back(entry.file +
-                               ": referenced by the manifest but missing "
-                               "on disk");
+            problems.push_back(
+                {CorpusProblem::Kind::MissingFile,
+                 entry.file + ": referenced by the manifest but missing "
+                              "on disk"});
             continue;
         }
-        std::string error;
-        const auto trace = load(entry, &error);
+        TraceReader reader;
+        if (!reader.open(pathOf(entry))) {
+            problems.push_back({CorpusProblem::Kind::Corrupt,
+                                entry.file + ": " + reader.error()});
+            continue;
+        }
+        if (auto problem = headerProblem(reader.header(), entry)) {
+            problems.push_back(std::move(*problem));
+            continue;
+        }
+        const auto trace = reader.readTrace();
         if (!trace) {
-            problems.push_back(error);
+            problems.push_back({CorpusProblem::Kind::Corrupt,
+                                entry.file + ": " + reader.error()});
             continue;
         }
         if (trace->events.size() != entry.eventCount) {
-            problems.push_back(entry.file + ": manifest says " +
-                               std::to_string(entry.eventCount) +
-                               " events, file holds " +
-                               std::to_string(trace->events.size()));
+            problems.push_back(
+                {CorpusProblem::Kind::Mismatch,
+                 entry.file + ": manifest says " +
+                     std::to_string(entry.eventCount) +
+                     " events, file holds " +
+                     std::to_string(trace->events.size())});
         }
     }
     return problems.size() == before;
+}
+
+bool
+CorpusStore::validate(std::vector<std::string> &problems) const
+{
+    std::vector<CorpusProblem> classified;
+    const bool clean = validate(classified);
+    for (CorpusProblem &p : classified)
+        problems.push_back(std::move(p.message));
+    return clean;
 }
 
 } // namespace pes

@@ -26,8 +26,13 @@
 #include <vector>
 
 #include "corpus/trace_format.hh"
+#include "util/integrity.hh"
 
 namespace pes {
+
+/** Corpus validation finding (shared classification, see
+ *  util/integrity.hh). */
+using CorpusProblem = IntegrityProblem;
 
 /** One manifest row: where a recorded trace lives and what it holds. */
 struct CorpusEntry
@@ -71,8 +76,9 @@ class CorpusStore
     /** The corpus directory. */
     const std::string &dir() const { return dir_; }
 
-    /** Manifest rows in canonical (app, device, seed) order. */
-    const std::vector<CorpusEntry> &entries() const { return entries_; }
+    /** Manifest rows, materialized in canonical (app, device, seed)
+     *  order. By value: adds never invalidate a snapshot. */
+    std::vector<CorpusEntry> entries() const;
 
     /** Entry lookup; nullptr when the corpus has no such trace. */
     const CorpusEntry *find(const std::string &app,
@@ -95,6 +101,14 @@ class CorpusStore
                                          std::string *error) const;
 
     /**
+     * Cheap integrity check of one entry: the file must open and its
+     * header must match the manifest row — the events payload is never
+     * decoded or checksummed. What capped-cache corpus replay uses to
+     * fail early on every planned trace without thrashing the cache.
+     */
+    bool verifyHeader(const CorpusEntry &entry, std::string *error) const;
+
+    /**
      * Streaming iteration in canonical order: @p fn gets each entry with
      * its freshly-loaded trace; return false from @p fn to stop early.
      * Returns false (with @p error) on the first unreadable entry.
@@ -107,23 +121,32 @@ class CorpusStore
     /**
      * Full integrity pass: every manifest row's file must exist, parse,
      * match the row (app/device/seed/count/checksum), and decode with a
-     * valid checksum. Appends one diagnostic per problem; returns true
-     * when the corpus is clean.
+     * valid checksum. Appends one classified problem per finding —
+     * missing files, corrupt content, and manifest mismatches are told
+     * apart so CI can gate on distinct exit codes. Returns true when
+     * the corpus is clean.
      */
+    bool validate(std::vector<CorpusProblem> &problems) const;
+
+    /** Message-only convenience overload of validate(). */
     bool validate(std::vector<std::string> &problems) const;
 
   private:
+    /** (app, device, seed): tuple order IS the canonical entry order,
+     *  so the map keeps entries sorted with O(log N) adds and find()
+     *  pointers that stay valid across later adds (node stability). */
     using Key = std::tuple<std::string, std::string, uint64_t>;
 
     CorpusStore() = default;
 
     bool loadManifest(std::string *error);
-    void reindex();
     std::string pathOf(const CorpusEntry &entry) const;
 
     std::string dir_;
-    std::vector<CorpusEntry> entries_;
-    std::map<Key, size_t> index_;
+    std::map<Key, CorpusEntry> entries_;
+    /** File name -> owning key: detects slug collisions between
+     *  distinct keys before one overwrites the other's recording. */
+    std::map<std::string, Key> fileToKey_;
 };
 
 } // namespace pes

@@ -2,49 +2,124 @@
 
 namespace pes {
 
-const InteractionTrace *
+size_t
+traceFootprintBytes(const InteractionTrace &trace)
+{
+    return sizeof(InteractionTrace) + trace.appName.capacity() +
+        trace.events.capacity() * sizeof(TraceEvent);
+}
+
+void
+TraceCache::setCapacity(size_t max_entries, size_t max_bytes)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    maxEntries_ = max_entries;
+    maxBytes_ = max_bytes;
+    enforceCapacity(lru_.empty() ? Key{} : lru_.front());
+}
+
+void
+TraceCache::touch(std::map<Key, Entry>::iterator it) const
+{
+    lru_.splice(lru_.begin(), lru_, it->second.lruPos);
+}
+
+void
+TraceCache::enforceCapacity(const Key &keep)
+{
+    const auto over = [this] {
+        return (maxEntries_ > 0 && traces_.size() > maxEntries_) ||
+            (maxBytes_ > 0 && residentBytes_ > maxBytes_);
+    };
+    while (over() && !lru_.empty()) {
+        const Key victim = lru_.back();
+        if (victim == keep)
+            break;  // never evict the entry being handed out
+        const auto it = traces_.find(victim);
+        residentBytes_ -= it->second.bytes;
+        traces_.erase(it);
+        lru_.pop_back();
+        ++evictions_;
+    }
+}
+
+TraceHandle
+TraceCache::adopt(Key key, TraceHandle trace)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = traces_.find(key);
+    if (it != traces_.end()) {
+        // Another worker won the race; its copy is identical
+        // (deterministic loader) — adopt it.
+        touch(it);
+        return it->second.trace;
+    }
+    Entry entry;
+    entry.trace = std::move(trace);
+    entry.bytes = traceFootprintBytes(*entry.trace);
+    lru_.push_front(key);
+    entry.lruPos = lru_.begin();
+    residentBytes_ += entry.bytes;
+    const auto inserted =
+        traces_.emplace(std::move(key), std::move(entry)).first;
+    enforceCapacity(inserted->first);
+    return inserted->second.trace;
+}
+
+TraceHandle
 TraceCache::lookup(const std::string &device, const std::string &app,
                    uint64_t user_seed) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = traces_.find(Key{device, app, user_seed});
-    return it == traces_.end() ? nullptr : it->second.get();
+    if (it == traces_.end())
+        return nullptr;
+    touch(it);
+    return it->second.trace;
 }
 
-const InteractionTrace &
-TraceCache::getOrGenerate(const std::string &device,
-                          const AppProfile &profile, uint64_t user_seed,
-                          TraceGenerator &generator)
+TraceHandle
+TraceCache::getOrLoad(const std::string &device, const std::string &app,
+                      uint64_t user_seed,
+                      const std::function<InteractionTrace()> &loader)
 {
-    const Key key{device, profile.name, user_seed};
+    Key key{device, app, user_seed};
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const auto it = traces_.find(key);
         if (it != traces_.end()) {
             ++hits_;
-            return *it->second;
+            touch(it);
+            return it->second.trace;
         }
+        ++misses_;
     }
-    // Synthesize outside the lock: workers racing on the same key each
-    // produce an identical trace (deterministic generator); the first
-    // insert wins and the rest adopt it.
-    auto trace = std::make_unique<InteractionTrace>(
-        generator.generate(profile, user_seed));
-    std::lock_guard<std::mutex> lock(mutex_);
-    const auto it = traces_.emplace(key, std::move(trace)).first;
-    ++misses_;
-    return *it->second;
+    // Materialize outside the lock: workers racing on the same key each
+    // produce an identical trace; the first adopt wins.
+    auto trace = std::make_shared<const InteractionTrace>(loader());
+    return adopt(std::move(key), std::move(trace));
+}
+
+TraceHandle
+TraceCache::getOrGenerate(const std::string &device,
+                          const AppProfile &profile, uint64_t user_seed,
+                          TraceGenerator &generator)
+{
+    return getOrLoad(device, profile.name, user_seed, [&] {
+        return generator.generate(profile, user_seed);
+    });
 }
 
 bool
 TraceCache::insert(const std::string &device, InteractionTrace trace)
 {
     Key key{device, trace.appName, trace.userSeed};
-    auto owned = std::make_unique<InteractionTrace>(std::move(trace));
-    std::lock_guard<std::mutex> lock(mutex_);
-    // First insert wins, like getOrGenerate: replacing would destroy a
-    // trace another thread may already hold a reference to.
-    return traces_.emplace(std::move(key), std::move(owned)).second;
+    // First insert wins, like getOrLoad: replacing would let one key
+    // alias two different payloads within a single run. adopt() hands
+    // back whichever trace the key resolves to, so pointer identity
+    // tells whether this call's copy was the one inserted.
+    auto owned = std::make_shared<const InteractionTrace>(std::move(trace));
+    return adopt(std::move(key), owned) == owned;
 }
 
 size_t
@@ -52,6 +127,13 @@ TraceCache::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return traces_.size();
+}
+
+size_t
+TraceCache::residentBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return residentBytes_;
 }
 
 uint64_t
@@ -68,13 +150,23 @@ TraceCache::misses() const
     return misses_;
 }
 
+uint64_t
+TraceCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
 void
 TraceCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     traces_.clear();
+    lru_.clear();
+    residentBytes_ = 0;
     hits_ = 0;
     misses_ = 0;
+    evictions_ = 0;
 }
 
 } // namespace pes

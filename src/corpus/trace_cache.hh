@@ -1,26 +1,35 @@
 /**
  * @file
- * In-process trace cache: synthesize once, replay many.
+ * In-process trace cache: synthesize once, replay many — now bounded.
  *
  * A fleet sweep replays the same (device, app, user) trace under every
  * scheduler, yet historically each job re-synthesized it. The cache
  * keys traces on (device, app, userSeed) — device included because the
- * generator's oracle-feasibility repair pass consults the platform — and
- * hands out stable read-only pointers, so one synthesis (or one corpus
+ * generator's oracle-feasibility repair pass consults the platform —
+ * and hands out shared_ptr handles, so one synthesis (or one corpus
  * load) serves the whole scheduler axis.
  *
- * Thread model: lookups and inserts take a mutex; generation runs
- * OUTSIDE the lock, so concurrent workers may race to synthesize the
- * same trace — the first insert wins and losers adopt it. Synthesis is
- * deterministic, both copies are identical, and results stay bit-exact
- * for any thread count. Entries are unique_ptr-owned, so pointers stay
- * valid across rehashes for the cache's lifetime.
+ * Capacity: setCapacity() arms an LRU bound on entries and/or resident
+ * bytes, so a million-user fresh fleet is no longer memory-bounded by
+ * the cache (ROADMAP follow-on). Eviction never invalidates a handle a
+ * worker already holds — entries are shared_ptr-owned and die with
+ * their last reference — and never changes results: an evicted key
+ * simply re-materializes through its deterministic loader on the next
+ * miss, producing byte-identical traces.
+ *
+ * Thread model: lookups, inserts and recency updates take a mutex;
+ * generation/loading runs OUTSIDE the lock, so concurrent workers may
+ * race to materialize the same trace — the first insert wins and losers
+ * adopt it. Materialization is deterministic, both copies are
+ * identical, and results stay bit-exact for any thread count.
  */
 
 #ifndef PES_CORPUS_TRACE_CACHE_HH
 #define PES_CORPUS_TRACE_CACHE_HH
 
 #include <cstdint>
+#include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -30,6 +39,12 @@
 #include "trace/generator.hh"
 
 namespace pes {
+
+/** Shared read-only handle to a cached trace. */
+using TraceHandle = std::shared_ptr<const InteractionTrace>;
+
+/** Resident-set estimate of one trace (events + strings + bookkeeping). */
+size_t traceFootprintBytes(const InteractionTrace &trace);
 
 /**
  * Shared read-only trace storage for fleet runs.
@@ -42,49 +57,91 @@ class TraceCache
     TraceCache &operator=(const TraceCache &) = delete;
 
     /**
-     * The cached trace, or nullptr. Never counts toward hit/miss stats
-     * (those track getOrGenerate traffic only).
+     * Bound the cache: at most @p max_entries traces and @p max_bytes
+     * estimated resident bytes (0 = unlimited for either). The newest
+     * entry is never evicted, so a single oversized trace still
+     * materializes. Shrinking an armed cache evicts immediately.
      */
-    const InteractionTrace *lookup(const std::string &device,
-                                   const std::string &app,
-                                   uint64_t user_seed) const;
+    void setCapacity(size_t max_entries, size_t max_bytes);
 
     /**
-     * The cached trace for (device, profile.name, user_seed),
-     * synthesizing through @p generator on first use. The returned
-     * reference lives as long as the cache.
+     * The cached trace, or nullptr. Refreshes recency but never counts
+     * toward hit/miss stats (those track getOrLoad traffic only).
      */
-    const InteractionTrace &getOrGenerate(const std::string &device,
-                                          const AppProfile &profile,
-                                          uint64_t user_seed,
-                                          TraceGenerator &generator);
+    TraceHandle lookup(const std::string &device, const std::string &app,
+                       uint64_t user_seed) const;
 
     /**
-     * Insert a trace (e.g. loaded from a corpus) unless the key is
-     * already present — first insert wins, so references handed out
-     * earlier are never invalidated. Returns whether it was inserted.
+     * The cached trace for (device, app, user_seed), materializing it
+     * through @p loader on first use (or after eviction). The loader
+     * MUST be deterministic — re-materialized entries must be
+     * byte-identical, or capped and uncapped runs would diverge.
+     */
+    TraceHandle getOrLoad(const std::string &device,
+                          const std::string &app, uint64_t user_seed,
+                          const std::function<InteractionTrace()> &loader);
+
+    /** getOrLoad with synthesis through @p generator as the loader. */
+    TraceHandle getOrGenerate(const std::string &device,
+                              const AppProfile &profile,
+                              uint64_t user_seed,
+                              TraceGenerator &generator);
+
+    /**
+     * Insert a trace (e.g. preloaded from a corpus) unless the key is
+     * already present — first insert wins, so handles given out earlier
+     * always match later lookups. Returns whether it was inserted.
      */
     bool insert(const std::string &device, InteractionTrace trace);
 
     /** Number of cached traces. */
     size_t size() const;
 
-    /** getOrGenerate calls served from the cache. */
+    /** Estimated resident bytes of all cached traces. */
+    size_t residentBytes() const;
+
+    /** getOrLoad calls served from the cache. */
     uint64_t hits() const;
 
-    /** getOrGenerate calls that synthesized. */
+    /** getOrLoad calls that materialized. */
     uint64_t misses() const;
 
-    /** Drop all entries and reset the counters. */
+    /** Entries evicted by the LRU bound. */
+    uint64_t evictions() const;
+
+    /** Drop all entries and reset the counters (keeps the capacity). */
     void clear();
 
   private:
     using Key = std::tuple<std::string, std::string, uint64_t>;
 
+    struct Entry
+    {
+        TraceHandle trace;
+        size_t bytes = 0;
+        /** Position in lru_ (front = most recently used). */
+        std::list<Key>::iterator lruPos;
+    };
+
+    /** Move @p it to the recency front. Caller holds mutex_. */
+    void touch(std::map<Key, Entry>::iterator it) const;
+
+    /** Insert under the lock; evicts past-capacity LRU entries. */
+    TraceHandle adopt(Key key, TraceHandle trace);
+
+    /** Evict LRU entries until within capacity, sparing @p keep. */
+    void enforceCapacity(const Key &keep);
+
     mutable std::mutex mutex_;
-    std::map<Key, std::unique_ptr<InteractionTrace>> traces_;
+    mutable std::map<Key, Entry> traces_;
+    /** Recency order, front = most recent. */
+    mutable std::list<Key> lru_;
+    size_t maxEntries_ = 0;
+    size_t maxBytes_ = 0;
+    size_t residentBytes_ = 0;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
 };
 
 } // namespace pes

@@ -1,8 +1,6 @@
 #include "corpus/trace_format.hh"
 
-#include <cstring>
-#include <fstream>
-
+#include "util/binary_io.hh"
 #include "util/rng.hh"
 
 namespace pes {
@@ -10,124 +8,10 @@ namespace pes {
 namespace {
 
 constexpr char kMagic[4] = {'P', 'T', 'R', 'C'};
-constexpr size_t kMaxStringLen = 1u << 20;       // 1 MiB per string
 constexpr uint64_t kMaxEventCount = 1ull << 32;  // sanity bound
 /** Fixed width of one v1 event record (see the header layout doc). */
 constexpr uint64_t kEventRecordBytes =
     8 + 1 + 4 + 4 + 8 + 8 + 2 * 8 + 4 * 2 * 8 + 1 + 8;
-
-// ------------------------------------------------------------- encoding
-
-void
-putU8(std::string &out, uint8_t v)
-{
-    out.push_back(static_cast<char>(v));
-}
-
-void
-putU32(std::string &out, uint32_t v)
-{
-    for (int i = 0; i < 4; ++i)
-        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-
-void
-putU64(std::string &out, uint64_t v)
-{
-    for (int i = 0; i < 8; ++i)
-        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-}
-
-void
-putI32(std::string &out, int32_t v)
-{
-    putU32(out, static_cast<uint32_t>(v));
-}
-
-void
-putF64(std::string &out, double v)
-{
-    uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
-    std::memcpy(&bits, &v, sizeof(bits));
-    putU64(out, bits);
-}
-
-void
-putStr(std::string &out, const std::string &s)
-{
-    putU32(out, static_cast<uint32_t>(s.size()));
-    out += s;
-}
-
-// ------------------------------------------------------------- decoding
-
-bool
-getU8(const std::string &in, size_t &pos, size_t end, uint8_t &v)
-{
-    if (pos + 1 > end)
-        return false;
-    v = static_cast<uint8_t>(in[pos++]);
-    return true;
-}
-
-bool
-getU32(const std::string &in, size_t &pos, size_t end, uint32_t &v)
-{
-    if (pos + 4 > end)
-        return false;
-    v = 0;
-    for (int i = 0; i < 4; ++i)
-        v |= static_cast<uint32_t>(static_cast<uint8_t>(in[pos + i]))
-            << (8 * i);
-    pos += 4;
-    return true;
-}
-
-bool
-getU64(const std::string &in, size_t &pos, size_t end, uint64_t &v)
-{
-    if (pos + 8 > end)
-        return false;
-    v = 0;
-    for (int i = 0; i < 8; ++i)
-        v |= static_cast<uint64_t>(static_cast<uint8_t>(in[pos + i]))
-            << (8 * i);
-    pos += 8;
-    return true;
-}
-
-bool
-getI32(const std::string &in, size_t &pos, size_t end, int32_t &v)
-{
-    uint32_t u;
-    if (!getU32(in, pos, end, u))
-        return false;
-    v = static_cast<int32_t>(u);
-    return true;
-}
-
-bool
-getF64(const std::string &in, size_t &pos, size_t end, double &v)
-{
-    uint64_t bits;
-    if (!getU64(in, pos, end, bits))
-        return false;
-    std::memcpy(&v, &bits, sizeof(v));
-    return true;
-}
-
-bool
-getStr(const std::string &in, size_t &pos, size_t end, std::string &s)
-{
-    uint32_t len;
-    if (!getU32(in, pos, end, len) || len > kMaxStringLen ||
-        pos + len > end)
-        return false;
-    s.assign(in, pos, len);
-    pos += len;
-    return true;
-}
 
 std::string
 provenancePayload(const InteractionTrace &trace,
@@ -183,14 +67,9 @@ TraceWriter::toBytes(const InteractionTrace &trace,
 
     std::string out;
     out.reserve(4 + 4 + 4 + prov.size() + 8 + 8 + events.size() + 8);
-    out.append(kMagic, sizeof(kMagic));
-    putU32(out, kPtrcVersion);
-    putU32(out, static_cast<uint32_t>(prov.size()));
-    out += prov;
-    putU64(out, hashBytes(prov.data(), prov.size()));
-    putU64(out, events.size());
-    out += events;
-    putU64(out, hashBytes(events.data(), events.size()));
+    putMagicHeader(out, kMagic, kPtrcVersion);
+    putSection32(out, prov);
+    putSection64(out, events);
     return out;
 }
 
@@ -199,21 +78,7 @@ TraceWriter::writeFile(const InteractionTrace &trace,
                        const TraceProvenance &provenance,
                        const std::string &path, std::string *error)
 {
-    std::ofstream os(path, std::ios::binary | std::ios::trunc);
-    if (!os) {
-        if (error)
-            *error = "cannot open '" + path + "' for writing";
-        return false;
-    }
-    const std::string bytes = toBytes(trace, provenance);
-    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-    os.flush();
-    if (!os) {
-        if (error)
-            *error = "short write to '" + path + "'";
-        return false;
-    }
-    return true;
+    return writeFileBytes(path, toBytes(trace, provenance), error);
 }
 
 // ------------------------------------------------------------ TraceReader
@@ -229,13 +94,10 @@ TraceReader::fail(const std::string &why)
 bool
 TraceReader::open(const std::string &path)
 {
-    std::ifstream is(path, std::ios::binary);
-    if (!is)
-        return fail("cannot open '" + path + "'");
-    std::string bytes((std::istreambuf_iterator<char>(is)),
-                      std::istreambuf_iterator<char>());
-    if (is.bad())
-        return fail("read error on '" + path + "'");
+    std::string bytes;
+    std::string error;
+    if (!readFileBytes(path, bytes, &error))
+        return fail(error);
     return openBytes(std::move(bytes));
 }
 
@@ -252,90 +114,58 @@ TraceReader::openBytes(std::string bytes)
 bool
 TraceReader::parseHeader()
 {
-    size_t pos = 0;
-    const size_t end = bytes_.size();
-    if (end < sizeof(kMagic) + 4)
-        return fail("truncated file: no header");
-    if (std::memcmp(bytes_.data(), kMagic, sizeof(kMagic)) != 0)
-        return fail("bad magic (not a .ptrc trace)");
-    pos = sizeof(kMagic);
-
-    uint32_t version;
-    if (!getU32(bytes_, pos, end, version))
-        return fail("truncated file: no version");
-    if (version != kPtrcVersion) {
-        return fail("unsupported .ptrc version " +
-                    std::to_string(version) + " (this build reads " +
-                    std::to_string(kPtrcVersion) + ")");
+    ByteReader r(bytes_);
+    std::string error;
+    if (!readMagicHeader(r, kMagic, kPtrcVersion, "a .ptrc trace",
+                         ".ptrc", &error)) {
+        return fail(error);
     }
-    header_.version = version;
+    header_.version = kPtrcVersion;
 
-    uint32_t prov_len;
-    if (!getU32(bytes_, pos, end, prov_len))
-        return fail("truncated file: no provenance length");
-    if (pos + prov_len + 8 > end)
+    BinarySection prov;
+    if (!readSection32(r, prov))
         return fail("truncated file: provenance section cut short");
-    const size_t prov_start = pos;
-    const size_t prov_end = pos + prov_len;
-
-    if (!getStr(bytes_, pos, prov_end, header_.app) ||
-        !getU64(bytes_, pos, prov_end, header_.userSeed) ||
-        !getStr(bytes_, pos, prov_end, header_.provenance.device)) {
+    ByteReader p = sectionReader(bytes_, prov);
+    if (!p.getStr(header_.app) || !p.getU64(header_.userSeed) ||
+        !p.getStr(header_.provenance.device)) {
         return fail("malformed provenance block");
     }
     uint32_t nparams;
-    if (!getU32(bytes_, pos, prov_end, nparams))
+    if (!p.getU32(nparams))
         return fail("malformed provenance block");
     for (uint32_t i = 0; i < nparams; ++i) {
         std::string key, value;
-        if (!getStr(bytes_, pos, prov_end, key) ||
-            !getStr(bytes_, pos, prov_end, value)) {
+        if (!p.getStr(key) || !p.getStr(value))
             return fail("malformed provenance parameter list");
-        }
         header_.provenance.params.emplace_back(std::move(key),
                                                std::move(value));
     }
-    if (pos != prov_end)
+    if (!p.atEnd())
         return fail("provenance section has trailing bytes");
-
-    uint64_t prov_checksum;
-    if (!getU64(bytes_, pos, end, prov_checksum))
-        return fail("truncated file: no provenance checksum");
-    if (prov_checksum !=
-        hashBytes(bytes_.data() + prov_start, prov_len)) {
+    if (!sectionChecksumOk(bytes_, prov))
         return fail("provenance checksum mismatch (corrupt file)");
-    }
 
-    if (!getU64(bytes_, pos, end, eventsPayloadLen_))
-        return fail("truncated file: no events length");
-    if (pos + eventsPayloadLen_ + 8 > end ||
-        pos + eventsPayloadLen_ + 8 < pos) {
+    BinarySection events;
+    if (!readSection64(r, events))
         return fail("truncated file: events section cut short");
-    }
-    eventsPayloadPos_ = pos;
+    events_ = events;
+    header_.eventsChecksum = events.storedChecksum;
+    if (!r.atEnd())
+        return fail("trailing bytes after events checksum");
 
     // Peek the event count so header-only consumers (manifest listing)
     // never decode the payload. v1 records are fixed-width, so the
     // count must account for the payload exactly — this also stops a
     // corrupt count from driving a huge allocation in readTrace().
-    {
-        size_t p = pos;
-        if (!getU64(bytes_, p, pos + eventsPayloadLen_,
-                    header_.eventCount) ||
-            header_.eventCount > kMaxEventCount) {
-            return fail("malformed events section: bad event count");
-        }
-        if (eventsPayloadLen_ !=
-            8 + header_.eventCount * kEventRecordBytes) {
-            return fail("malformed events section: length does not "
-                        "match the event count");
-        }
+    ByteReader e = sectionReader(bytes_, events);
+    if (!e.getU64(header_.eventCount) ||
+        header_.eventCount > kMaxEventCount) {
+        return fail("malformed events section: bad event count");
     }
-    size_t cpos = pos + eventsPayloadLen_;
-    if (!getU64(bytes_, cpos, end, header_.eventsChecksum))
-        return fail("truncated file: no events checksum");
-    if (cpos != end)
-        return fail("trailing bytes after events checksum");
+    if (events.payloadLen != 8 + header_.eventCount * kEventRecordBytes) {
+        return fail("malformed events section: length does not "
+                    "match the event count");
+    }
     return true;
 }
 
@@ -347,11 +177,7 @@ TraceReader::readTrace()
             error_ = "readTrace() before a successful open()";
         return std::nullopt;
     }
-    const size_t payload_end = eventsPayloadPos_ +
-        static_cast<size_t>(eventsPayloadLen_);
-    if (header_.eventsChecksum !=
-        hashBytes(bytes_.data() + eventsPayloadPos_,
-                  static_cast<size_t>(eventsPayloadLen_))) {
+    if (!sectionChecksumOk(bytes_, events_)) {
         fail("events checksum mismatch (corrupt file)");
         return std::nullopt;
     }
@@ -360,9 +186,9 @@ TraceReader::readTrace()
     trace.appName = header_.app;
     trace.userSeed = header_.userSeed;
 
-    size_t pos = eventsPayloadPos_;
+    ByteReader r = sectionReader(bytes_, events_);
     uint64_t count;
-    if (!getU64(bytes_, pos, payload_end, count)) {
+    if (!r.getU64(count)) {
         fail("malformed events section: bad event count");
         return std::nullopt;
     }
@@ -370,14 +196,10 @@ TraceReader::readTrace()
     for (uint64_t i = 0; i < count; ++i) {
         TraceEvent e;
         uint8_t type, network;
-        if (!getF64(bytes_, pos, payload_end, e.arrival) ||
-            !getU8(bytes_, pos, payload_end, type) ||
-            !getI32(bytes_, pos, payload_end, e.node) ||
-            !getI32(bytes_, pos, payload_end, e.pageId) ||
-            !getF64(bytes_, pos, payload_end, e.x) ||
-            !getF64(bytes_, pos, payload_end, e.y) ||
-            !getF64(bytes_, pos, payload_end, e.callbackWork.tmemMs) ||
-            !getF64(bytes_, pos, payload_end, e.callbackWork.ndep)) {
+        if (!r.getF64(e.arrival) || !r.getU8(type) || !r.getI32(e.node) ||
+            !r.getI32(e.pageId) || !r.getF64(e.x) || !r.getF64(e.y) ||
+            !r.getF64(e.callbackWork.tmemMs) ||
+            !r.getF64(e.callbackWork.ndep)) {
             fail("truncated event record " + std::to_string(i));
             return std::nullopt;
         }
@@ -388,21 +210,19 @@ TraceReader::readTrace()
         }
         e.type = static_cast<DomEventType>(type);
         for (Workload &stage : e.renderWork.stages) {
-            if (!getF64(bytes_, pos, payload_end, stage.tmemMs) ||
-                !getF64(bytes_, pos, payload_end, stage.ndep)) {
+            if (!r.getF64(stage.tmemMs) || !r.getF64(stage.ndep)) {
                 fail("truncated event record " + std::to_string(i));
                 return std::nullopt;
             }
         }
-        if (!getU8(bytes_, pos, payload_end, network) ||
-            !getU64(bytes_, pos, payload_end, e.classKey)) {
+        if (!r.getU8(network) || !r.getU64(e.classKey)) {
             fail("truncated event record " + std::to_string(i));
             return std::nullopt;
         }
         e.issuesNetwork = network != 0;
         trace.events.push_back(e);
     }
-    if (pos != payload_end) {
+    if (!r.atEnd()) {
         fail("events section has trailing bytes");
         return std::nullopt;
     }

@@ -16,7 +16,10 @@
  *        events payload:       u64 count, count x event record
  *   u64  eventsChecksum        FNV-1a over the events payload
  *
- * Strings are u32 length + raw bytes. An event record is: f64 arrival,
+ * The encoding primitives and the length+checksum section framing are
+ * the shared machinery of util/binary_io (also used by .psum result
+ * summaries). Strings are u32 length + raw bytes. An event record is:
+ * f64 arrival,
  * u8 type, i32 node, i32 pageId, f64 x, f64 y, f64x2 callback workload,
  * 4 x f64x2 render-stage workloads, u8 issuesNetwork, u64 classKey.
  *
@@ -37,6 +40,7 @@
 #include <vector>
 
 #include "trace/trace.hh"
+#include "util/binary_io.hh"
 
 namespace pes {
 
@@ -109,8 +113,8 @@ class TraceReader
     bool parseHeader();
 
     std::string bytes_;
-    size_t eventsPayloadPos_ = 0;
-    uint64_t eventsPayloadLen_ = 0;
+    /** Events-section frame (decoded lazily by readTrace). */
+    BinarySection events_;
     PtrcHeader header_;
     std::string error_;
     bool opened_ = false;

@@ -1,0 +1,290 @@
+#include "results/result_format.hh"
+
+#include "util/rng.hh"
+
+namespace pes {
+
+namespace {
+
+constexpr char kMagic[4] = {'P', 'S', 'U', 'M'};
+
+/** Fixed-width tail of one record: everything after the three strings.
+ *  u32 userIndex + u64 userSeed + the SessionStats scalars. */
+constexpr uint64_t kRecordScalarBytes =
+    4 + 8 +                  // userIndex, userSeed
+    4 + 4 +                  // events, violations
+    5 * 8 +                  // total/busy/idle/overhead/waste energy
+    8 +                      // durationMs
+    3 * 8 +                  // mean/p95/max latency
+    3 * 4 +                  // predictions made/correct, mispredictions
+    8 + 8 +                  // mispredictWasteMs, avgQueueLength
+    1;                       // fellBackToReactive
+/** Smallest possible record (three empty strings): allocation bound. */
+constexpr uint64_t kMinRecordBytes = 3 * 4 + kRecordScalarBytes;
+
+std::string
+headPayload(const PsumParams &params)
+{
+    std::string out;
+    putU32(out, static_cast<uint32_t>(params.size()));
+    for (const auto &[key, value] : params) {
+        putStr(out, key);
+        putStr(out, value);
+    }
+    return out;
+}
+
+void
+putStats(std::string &out, const SessionStats &s)
+{
+    putI32(out, s.events);
+    putI32(out, s.violations);
+    putF64(out, s.totalEnergyMj);
+    putF64(out, s.busyEnergyMj);
+    putF64(out, s.idleEnergyMj);
+    putF64(out, s.overheadEnergyMj);
+    putF64(out, s.wasteEnergyMj);
+    putF64(out, s.durationMs);
+    putF64(out, s.meanLatencyMs);
+    putF64(out, s.p95LatencyMs);
+    putF64(out, s.maxLatencyMs);
+    putI32(out, s.predictionsMade);
+    putI32(out, s.predictionsCorrect);
+    putI32(out, s.mispredictions);
+    putF64(out, s.mispredictWasteMs);
+    putF64(out, s.avgQueueLength);
+    putU8(out, s.fellBackToReactive ? 1 : 0);
+}
+
+bool
+getStats(ByteReader &r, SessionStats &s)
+{
+    uint8_t fell;
+    if (!r.getI32(s.events) || !r.getI32(s.violations) ||
+        !r.getF64(s.totalEnergyMj) || !r.getF64(s.busyEnergyMj) ||
+        !r.getF64(s.idleEnergyMj) || !r.getF64(s.overheadEnergyMj) ||
+        !r.getF64(s.wasteEnergyMj) || !r.getF64(s.durationMs) ||
+        !r.getF64(s.meanLatencyMs) || !r.getF64(s.p95LatencyMs) ||
+        !r.getF64(s.maxLatencyMs) || !r.getI32(s.predictionsMade) ||
+        !r.getI32(s.predictionsCorrect) || !r.getI32(s.mispredictions) ||
+        !r.getF64(s.mispredictWasteMs) || !r.getF64(s.avgQueueLength) ||
+        !r.getU8(fell)) {
+        return false;
+    }
+    s.fellBackToReactive = fell != 0;
+    return true;
+}
+
+std::string
+recordsPayload(const std::vector<SessionRecord> &records)
+{
+    std::string out;
+    out.reserve(8 + records.size() * (kMinRecordBytes + 32));
+    putU64(out, records.size());
+    for (const SessionRecord &rec : records) {
+        putStr(out, rec.device);
+        putStr(out, rec.app);
+        putStr(out, rec.scheduler);
+        putU32(out, rec.userIndex);
+        putU64(out, rec.userSeed);
+        putStats(out, rec.stats);
+    }
+    return out;
+}
+
+} // namespace
+
+bool
+sessionStatsEqual(const SessionStats &a, const SessionStats &b)
+{
+    return a.events == b.events && a.violations == b.violations &&
+        a.totalEnergyMj == b.totalEnergyMj &&
+        a.busyEnergyMj == b.busyEnergyMj &&
+        a.idleEnergyMj == b.idleEnergyMj &&
+        a.overheadEnergyMj == b.overheadEnergyMj &&
+        a.wasteEnergyMj == b.wasteEnergyMj &&
+        a.durationMs == b.durationMs &&
+        a.meanLatencyMs == b.meanLatencyMs &&
+        a.p95LatencyMs == b.p95LatencyMs &&
+        a.maxLatencyMs == b.maxLatencyMs &&
+        a.predictionsMade == b.predictionsMade &&
+        a.predictionsCorrect == b.predictionsCorrect &&
+        a.mispredictions == b.mispredictions &&
+        a.mispredictWasteMs == b.mispredictWasteMs &&
+        a.avgQueueLength == b.avgQueueLength &&
+        a.fellBackToReactive == b.fellBackToReactive;
+}
+
+bool
+operator==(const SessionRecord &a, const SessionRecord &b)
+{
+    return a.device == b.device && a.app == b.app &&
+        a.scheduler == b.scheduler && a.userIndex == b.userIndex &&
+        a.userSeed == b.userSeed && sessionStatsEqual(a.stats, b.stats);
+}
+
+bool
+operator!=(const SessionRecord &a, const SessionRecord &b)
+{
+    return !(a == b);
+}
+
+// ------------------------------------------------------------- PsumWriter
+
+std::string
+PsumWriter::toBytes(const std::vector<SessionRecord> &records,
+                    const PsumParams &params)
+{
+    const std::string head = headPayload(params);
+    const std::string payload = recordsPayload(records);
+
+    std::string out;
+    out.reserve(4 + 4 + 4 + head.size() + 8 + 8 + payload.size() + 8);
+    putMagicHeader(out, kMagic, kPsumVersion);
+    putSection32(out, head);
+    putSection64(out, payload);
+    return out;
+}
+
+bool
+PsumWriter::writeFile(const std::vector<SessionRecord> &records,
+                      const PsumParams &params, const std::string &path,
+                      std::string *error)
+{
+    return writeFileBytes(path, toBytes(records, params), error);
+}
+
+// ------------------------------------------------------------- PsumReader
+
+bool
+PsumReader::fail(const std::string &why)
+{
+    error_ = why;
+    opened_ = false;
+    return false;
+}
+
+bool
+PsumReader::open(const std::string &path)
+{
+    std::string bytes;
+    std::string error;
+    if (!readFileBytes(path, bytes, &error))
+        return fail(error);
+    return openBytes(std::move(bytes));
+}
+
+bool
+PsumReader::openBytes(std::string bytes)
+{
+    bytes_ = std::move(bytes);
+    error_.clear();
+    header_ = PsumHeader{};
+    opened_ = parseHeader();
+    return opened_;
+}
+
+bool
+PsumReader::parseHeader()
+{
+    ByteReader r(bytes_);
+    std::string error;
+    if (!readMagicHeader(r, kMagic, kPsumVersion, "a .psum result summary",
+                         ".psum", &error)) {
+        return fail(error);
+    }
+    header_.version = kPsumVersion;
+
+    BinarySection head;
+    if (!readSection32(r, head))
+        return fail("truncated file: head section cut short");
+    ByteReader h = sectionReader(bytes_, head);
+    uint32_t nparams;
+    if (!h.getU32(nparams))
+        return fail("malformed head block");
+    for (uint32_t i = 0; i < nparams; ++i) {
+        std::string key, value;
+        if (!h.getStr(key) || !h.getStr(value))
+            return fail("malformed head parameter list");
+        header_.params.emplace_back(std::move(key), std::move(value));
+    }
+    if (!h.atEnd())
+        return fail("head section has trailing bytes");
+    if (!sectionChecksumOk(bytes_, head))
+        return fail("head checksum mismatch (corrupt file)");
+
+    BinarySection records;
+    if (!readSection64(r, records))
+        return fail("truncated file: records section cut short");
+    records_ = records;
+    header_.recordsChecksum = records.storedChecksum;
+    if (!r.atEnd())
+        return fail("trailing bytes after records checksum");
+
+    // Peek the record count so header-only consumers (manifest
+    // validation) never decode the payload. Records are variable-width
+    // (three strings), so only a lower bound pins the count — still
+    // enough to stop a corrupt count from driving a huge allocation.
+    ByteReader p = sectionReader(bytes_, records);
+    if (!p.getU64(header_.recordCount))
+        return fail("malformed records section: bad record count");
+    if (records.payloadLen < 8 ||
+        header_.recordCount > (records.payloadLen - 8) / kMinRecordBytes) {
+        return fail("malformed records section: count does not fit "
+                    "the payload");
+    }
+    return true;
+}
+
+bool
+PsumReader::recordsSectionOk() const
+{
+    return opened_ && sectionChecksumOk(bytes_, records_);
+}
+
+std::optional<std::vector<SessionRecord>>
+PsumReader::readRecords()
+{
+    if (!opened_) {
+        if (error_.empty())
+            error_ = "readRecords() before a successful open()";
+        return std::nullopt;
+    }
+    if (!sectionChecksumOk(bytes_, records_)) {
+        fail("records checksum mismatch (corrupt file)");
+        return std::nullopt;
+    }
+
+    ByteReader r = sectionReader(bytes_, records_);
+    uint64_t count;
+    if (!r.getU64(count)) {
+        fail("malformed records section: bad record count");
+        return std::nullopt;
+    }
+    std::vector<SessionRecord> records;
+    records.reserve(static_cast<size_t>(count));
+    for (uint64_t i = 0; i < count; ++i) {
+        SessionRecord rec;
+        if (!r.getStr(rec.device) || !r.getStr(rec.app) ||
+            !r.getStr(rec.scheduler) || !r.getU32(rec.userIndex) ||
+            !r.getU64(rec.userSeed) || !getStats(r, rec.stats)) {
+            fail("truncated session record " + std::to_string(i));
+            return std::nullopt;
+        }
+        records.push_back(std::move(rec));
+    }
+    if (!r.atEnd()) {
+        fail("records section has trailing bytes");
+        return std::nullopt;
+    }
+    return records;
+}
+
+uint64_t
+recordsChecksum(const std::vector<SessionRecord> &records)
+{
+    const std::string payload = recordsPayload(records);
+    return hashBytes(payload.data(), payload.size());
+}
+
+} // namespace pes

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * The .psum on-disk result-summary format (versioned, checksummed).
+ *
+ * A .psum file persists a batch of per-session SessionStats reductions
+ * keyed by their JobSpec provenance, so sweep outputs survive the
+ * process the way .ptrc made traces survive it: a killed million-user
+ * sweep resumes from its last checkpoint instead of restarting, and a
+ * sweep split across machines merges back into one auditable artifact.
+ * Layout (shared util/binary_io discipline — little-endian integers,
+ * doubles as IEEE-754 bit patterns, FNV-1a section checksums):
+ *
+ *   "PSUM"                     4-byte magic
+ *   u32  version               format version (kPsumVersion)
+ *   u32  headLen               head payload byte length
+ *        head payload:         u32 n, n x (str key, str value)
+ *   u64  headChecksum          FNV-1a over the head payload
+ *   u64  recordsLen            records payload byte length
+ *        records payload:      u64 count, count x session record
+ *   u64  recordsChecksum       FNV-1a over the records payload
+ *
+ * A session record is: str device, str app, str scheduler,
+ * u32 userIndex, u64 userSeed, then the SessionStats scalars in
+ * declaration order (i32 events, i32 violations, f64 energies x5,
+ * f64 duration, f64 latency mean/p95/max, i32 predictions made/correct/
+ * mispredictions, f64 mispredictWasteMs, f64 avgQueueLength,
+ * u8 fellBackToReactive). Doubles round-trip bit-exactly, so a report
+ * reduced from a store is byte-identical to one reduced in memory.
+ *
+ * PsumReader is two-phase like TraceReader: open() validates magic,
+ * version and the head section only; readRecords() decodes and
+ * checksums the records payload. All failures produce a diagnostic via
+ * error(), never a crash.
+ */
+
+#ifndef PES_RESULTS_RESULT_FORMAT_HH
+#define PES_RESULTS_RESULT_FORMAT_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runner/metrics_aggregator.hh"
+#include "util/binary_io.hh"
+
+namespace pes {
+
+/** The .psum version this build writes (readers reject anything else). */
+constexpr uint32_t kPsumVersion = 1;
+
+/** One persisted session: JobSpec provenance plus its reduction. */
+struct SessionRecord
+{
+    /** Platform name the session ran on. */
+    std::string device;
+    std::string app;
+    std::string scheduler;
+    /** User shard within the cell — the canonical within-cell order. */
+    uint32_t userIndex = 0;
+    /** Trace-generation seed of the session. */
+    uint64_t userSeed = 0;
+    SessionStats stats;
+};
+
+bool operator==(const SessionRecord &a, const SessionRecord &b);
+bool operator!=(const SessionRecord &a, const SessionRecord &b);
+
+/** Bit-exact SessionStats comparison (deterministic re-runs reproduce
+ *  every double exactly; serialization stores bit patterns). */
+bool sessionStatsEqual(const SessionStats &a, const SessionStats &b);
+
+/** Free-form key/value pairs stored in the head section (writer tool,
+ *  shard id, ...). Never affects reduction — provenance only. */
+using PsumParams = std::vector<std::pair<std::string, std::string>>;
+
+/** Decoded .psum header: everything except the records payload. */
+struct PsumHeader
+{
+    uint32_t version = kPsumVersion;
+    PsumParams params;
+    uint64_t recordCount = 0;
+    /** Records-section checksum as stored in the file. */
+    uint64_t recordsChecksum = 0;
+};
+
+/**
+ * Serializer: session records -> .psum bytes.
+ */
+class PsumWriter
+{
+  public:
+    /** Encode to a byte string. */
+    static std::string toBytes(const std::vector<SessionRecord> &records,
+                               const PsumParams &params);
+
+    /** Write to @p path; on failure returns false and sets @p error. */
+    static bool writeFile(const std::vector<SessionRecord> &records,
+                          const PsumParams &params,
+                          const std::string &path, std::string *error);
+};
+
+/**
+ * Deserializer with section validation and diagnostics.
+ */
+class PsumReader
+{
+  public:
+    /** Open @p path and validate magic/version/head. */
+    bool open(const std::string &path);
+
+    /** Same, from an in-memory byte string (takes ownership). */
+    bool openBytes(std::string bytes);
+
+    /** Header of the opened file (valid after a successful open). */
+    const PsumHeader &header() const { return header_; }
+
+    /** Raw bytes of the opened file (valid after a successful open);
+     *  what ResultStore::mergeFrom copies verbatim. */
+    const std::string &bytes() const { return bytes_; }
+
+    /**
+     * Verify the records-section checksum WITHOUT decoding the records
+     * — hashing is linear in bytes where decoding also allocates every
+     * string; enough integrity for a verbatim part copy.
+     */
+    bool recordsSectionOk() const;
+
+    /**
+     * Decode the records section and verify its checksum; nullopt (with
+     * error() set) on truncation or corruption.
+     */
+    std::optional<std::vector<SessionRecord>> readRecords();
+
+    /** Human-readable reason of the last failure. */
+    const std::string &error() const { return error_; }
+
+  private:
+    bool fail(const std::string &why);
+    bool parseHeader();
+
+    std::string bytes_;
+    /** Records-section frame (decoded lazily by readRecords). */
+    BinarySection records_;
+    PsumHeader header_;
+    std::string error_;
+    bool opened_ = false;
+};
+
+/**
+ * Records-section checksum of a batch: the store-manifest fingerprint.
+ * Matches the recordsChecksum a PsumWriter would store.
+ */
+uint64_t recordsChecksum(const std::vector<SessionRecord> &records);
+
+} // namespace pes
+
+#endif // PES_RESULTS_RESULT_FORMAT_HH

@@ -1,0 +1,207 @@
+#include "results/result_reduce.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "runner/fleet_config.hh"
+
+namespace pes {
+
+namespace {
+
+/** Cell ordinal of a record inside the sweep's cross-product, or -1.
+ *  Matches the CompletedSessions ordinal formula (see the header). */
+long
+cellIdOf(const SweepSpec &sweep, const SessionRecord &rec)
+{
+    const auto indexOf = [](const std::vector<std::string> &xs,
+                            const std::string &x) -> long {
+        for (size_t i = 0; i < xs.size(); ++i)
+            if (xs[i] == x)
+                return static_cast<long>(i);
+        return -1;
+    };
+    const long d = indexOf(sweep.devices, rec.device);
+    const long a = indexOf(sweep.apps, rec.app);
+    const long s = indexOf(sweep.schedulers, rec.scheduler);
+    if (d < 0 || a < 0 || s < 0)
+        return -1;
+    return (d * static_cast<long>(sweep.apps.size()) + a) *
+        static_cast<long>(sweep.schedulers.size()) + s;
+}
+
+/** Seed-derivation view of a sweep spec (reuses fleetUserSeed). */
+FleetConfig
+seedConfigOf(const SweepSpec &sweep)
+{
+    FleetConfig config;
+    config.baseSeed = sweep.baseSeed;
+    config.seedMode = sweep.seedMode == "evaluation"
+        ? SeedMode::Evaluation
+        : SeedMode::Fleet;
+    config.userSeeds = sweep.userSeeds;
+    config.users = sweep.users;
+    return config;
+}
+
+/** "(device, app, scheduler" prefix of a cell's diagnostics. */
+std::string
+cellLabel(const SweepSpec &sweep, long cell)
+{
+    const long scheds = static_cast<long>(sweep.schedulers.size());
+    const long apps = static_cast<long>(sweep.apps.size());
+    const long s = cell % scheds;
+    const long a = (cell / scheds) % apps;
+    const long d = cell / (scheds * apps);
+    return "(" + sweep.devices[static_cast<size_t>(d)] + ", " +
+        sweep.apps[static_cast<size_t>(a)] + ", " +
+        sweep.schedulers[static_cast<size_t>(s)];
+}
+
+/**
+ * Classify one record against the sweep: its cell ordinal on success,
+ * a problem string otherwise. Shared by reduction and the resume
+ * skip-set so "counts as completed" and "counts toward the report"
+ * can never disagree.
+ */
+long
+classifyRecord(const SweepSpec &sweep, const FleetConfig &seed_config,
+               const SessionRecord &rec, std::string *problem)
+{
+    const long cell = cellIdOf(sweep, rec);
+    if (cell < 0) {
+        *problem = "record (" + rec.device + ", " + rec.app + ", " +
+            rec.scheduler + ", user " + std::to_string(rec.userIndex) +
+            ") is outside the sweep's cross-product";
+        return -1;
+    }
+    if (rec.userIndex >= static_cast<uint32_t>(std::max(sweep.users, 0))) {
+        *problem = "record " + cellLabel(sweep, cell) + "): user index " +
+            std::to_string(rec.userIndex) + " exceeds the " +
+            std::to_string(sweep.users) + "-user axis";
+        return -1;
+    }
+    if (rec.userSeed !=
+        fleetUserSeed(seed_config, static_cast<int>(rec.userIndex))) {
+        *problem = "record " + cellLabel(sweep, cell) + ", user " +
+            std::to_string(rec.userIndex) +
+            "): seed does not match the sweep population";
+        return -1;
+    }
+    return cell;
+}
+
+} // namespace
+
+bool
+loadCompletedSessions(const ResultStore &store, CompletedSessions &done,
+                      std::string *error)
+{
+    const SweepSpec &sweep = store.sweep();
+    const FleetConfig seed_config = seedConfigOf(sweep);
+    return store.forEachRecord(
+        [&](const SessionRecord &rec) {
+            std::string problem;
+            const long cell =
+                classifyRecord(sweep, seed_config, rec, &problem);
+            if (cell >= 0)
+                done.insert({cell, rec.userIndex});
+            return true;
+        },
+        error);
+}
+
+bool
+reduceStore(const ResultStore &store, StoreReduction &out,
+            std::string *error)
+{
+    const SweepSpec &sweep = store.sweep();
+    const FleetConfig seed_config = seedConfigOf(sweep);
+
+    // Bucket (userIndex, stats) per cell — no strings per record; the
+    // stable sort keeps duplicates adjacent for a linear first-wins
+    // dedup pass.
+    std::map<long, std::vector<std::pair<uint32_t, SessionStats>>> cells;
+    const bool ok = store.forEachRecord(
+        [&](const SessionRecord &rec) {
+            std::string problem;
+            const long cell =
+                classifyRecord(sweep, seed_config, rec, &problem);
+            if (cell < 0) {
+                out.problems.push_back(std::move(problem));
+                return true;
+            }
+            cells[cell].emplace_back(rec.userIndex, rec.stats);
+            return true;
+        },
+        error);
+    if (!ok)
+        return false;
+
+    // Replay each cell in ascending userIndex — the canonical order the
+    // runner aggregates in — deduplicating identical re-runs.
+    for (auto &[cell, sessions] : cells) {
+        std::stable_sort(sessions.begin(), sessions.end(),
+                         [](const auto &a, const auto &b) {
+                             return a.first < b.first;
+                         });
+        const long scheds = static_cast<long>(sweep.schedulers.size());
+        const long apps = static_cast<long>(sweep.apps.size());
+        const std::string &device =
+            sweep.devices[static_cast<size_t>(cell / (scheds * apps))];
+        const std::string &app =
+            sweep.apps[static_cast<size_t>((cell / scheds) % apps)];
+        const std::string &scheduler =
+            sweep.schedulers[static_cast<size_t>(cell % scheds)];
+
+        uint32_t seen = 0;
+        const std::pair<uint32_t, SessionStats> *prev = nullptr;
+        for (const auto &session : sessions) {
+            if (prev && session.first == prev->first) {
+                ++out.duplicates;
+                if (!sessionStatsEqual(session.second, prev->second)) {
+                    out.problems.push_back(
+                        "conflicting duplicates for " +
+                        cellLabel(sweep, cell) + ", user " +
+                        std::to_string(session.first) +
+                        "): re-runs of a deterministic sweep must be "
+                        "identical");
+                }
+                continue;
+            }
+            out.metrics.add(device, app, scheduler, session.second);
+            ++out.sessions;
+            ++seen;
+            prev = &session;
+        }
+        if (seen < static_cast<uint32_t>(std::max(sweep.users, 0))) {
+            out.missing += static_cast<uint64_t>(sweep.users) - seen;
+        }
+    }
+    // Cells with no records at all are entirely missing.
+    const uint64_t expected_cells = static_cast<uint64_t>(
+        sweep.devices.size() * sweep.apps.size() *
+        sweep.schedulers.size());
+    out.missing += (expected_cells - cells.size()) *
+        static_cast<uint64_t>(std::max(sweep.users, 0));
+    return true;
+}
+
+FleetReport
+makeStoreReport(const ResultStore &store, const MetricsAggregator &metrics)
+{
+    const SweepSpec &sweep = store.sweep();
+    FleetReport report;
+    report.baseSeed = sweep.baseSeed;
+    report.seedMode = sweep.seedMode;
+    report.users = sweep.users;
+    report.sessions = metrics.sessions();
+    report.events = metrics.events();
+    report.devices = sweep.devices;
+    report.apps = sweep.apps;
+    report.schedulers = sweep.schedulers;
+    report.cells = metrics.cells();
+    return report;
+}
+
+} // namespace pes

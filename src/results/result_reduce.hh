@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic reduction of a ResultStore into per-cell summaries.
+ *
+ * The whole point of persisting SessionStats is that a report built
+ * from the store is byte-identical to one built in memory by a single
+ * whole run. Aggregation order matters (RunningStats is a streaming
+ * Welford accumulator), so reduction reconstructs the canonical order:
+ * records are bucketed per (device, app, scheduler) cell and replayed
+ * in ascending userIndex — exactly the order FleetRunner feeds its
+ * in-memory aggregator. Duplicate sessions (a killed run re-executed
+ * after a partial checkpoint, or an un-resumed re-run into the same
+ * store) deduplicate first-wins; a duplicate whose stats differ is
+ * reported as a conflict, because deterministic re-runs can never
+ * produce one.
+ *
+ * Memory: buckets hold (userIndex, SessionStats) pairs only — cell
+ * names resolve through the SweepSpec axes once per cell, so reducing
+ * a million-session store costs ~0.1 KB per session, not three heap
+ * strings each.
+ */
+
+#ifndef PES_RESULTS_RESULT_REDUCE_HH
+#define PES_RESULTS_RESULT_REDUCE_HH
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "results/result_store.hh"
+#include "runner/reporters.hh"
+
+namespace pes {
+
+/**
+ * Compact identity of a completed session inside a sweep: the cell
+ * ordinal plus the user index. The ordinal is
+ *
+ *   (deviceIndex * apps + appIndex) * schedulers + schedulerIndex
+ *
+ * over the SweepSpec axis order — which equals the same arithmetic
+ * over FleetConfig indices, because SweepSpec::fromConfig preserves
+ * axis order. Records outside the sweep's cross-product (or with
+ * population-mismatched seeds) have no ordinal and are ignored.
+ */
+using CompletedSessions = std::set<std::pair<long, uint32_t>>;
+
+/**
+ * Collect the completed sessions of @p store — the resume skip-set.
+ * Only records that belong to the sweep (cell found, user index in
+ * range, seed matching the population) count as completed.
+ */
+bool loadCompletedSessions(const ResultStore &store,
+                           CompletedSessions &done, std::string *error);
+
+/** Outcome of reducing one store. */
+struct StoreReduction
+{
+    /** Per-cell aggregation in canonical order. */
+    MetricsAggregator metrics;
+    /** Distinct sessions reduced. */
+    uint64_t sessions = 0;
+    /** Identical duplicate records ignored (first occurrence wins). */
+    uint64_t duplicates = 0;
+    /** Expected sessions absent from the store (partial sweep). */
+    uint64_t missing = 0;
+    /** Content anomalies: records outside the sweep's cross-product,
+     *  seed mismatches, conflicting duplicates. Empty on a clean store. */
+    std::vector<std::string> problems;
+};
+
+/**
+ * Reduce every record of @p store into @p out. Returns false (with
+ * @p error) only on an unreadable part; content anomalies land in
+ * @c out.problems instead. A complete, clean store yields
+ * sessions == sweep().expectedSessions(), missing == 0, no problems.
+ */
+bool reduceStore(const ResultStore &store, StoreReduction &out,
+                 std::string *error);
+
+/**
+ * Assemble the serializable report for a reduced store. Byte-compatible
+ * with makeFleetReport for the run that produced the store: the sweep
+ * meta comes from the stored SweepSpec, the cells from @p metrics.
+ */
+FleetReport makeStoreReport(const ResultStore &store,
+                            const MetricsAggregator &metrics);
+
+} // namespace pes
+
+#endif // PES_RESULTS_RESULT_REDUCE_HH

@@ -1,0 +1,437 @@
+#include "results/result_store.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+
+#include "hw/acmp.hh"
+#include "runner/fleet_config.hh"
+#include "util/binary_io.hh"
+#include "util/json.hh"
+
+namespace fs = std::filesystem;
+
+namespace pes {
+
+namespace {
+
+void
+setError(std::string *error, const std::string &why)
+{
+    if (error)
+        *error = why;
+}
+
+std::string
+manifestText(const SweepSpec &sweep,
+             const std::vector<ResultPart> &parts)
+{
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"version\": " << ResultStore::kManifestVersion << ",\n";
+    os << "  \"sweep\": {\n";
+    os << "    \"base_seed\": " << sweep.baseSeed << ",\n";
+    os << "    \"seed_mode\": \"" << jsonEscape(sweep.seedMode) << "\",\n";
+    os << "    \"users\": " << sweep.users << ",\n";
+    os << "    \"warm\": " << (sweep.warmDrivers ? 1 : 0) << ",\n";
+    if (!sweep.userSeeds.empty()) {
+        os << "    \"user_seeds\": [";
+        for (size_t i = 0; i < sweep.userSeeds.size(); ++i)
+            os << (i ? ", " : "") << sweep.userSeeds[i];
+        os << "],\n";
+    }
+    os << "    \"devices\": ";
+    writeJsonStringArray(os, sweep.devices);
+    os << ",\n    \"apps\": ";
+    writeJsonStringArray(os, sweep.apps);
+    os << ",\n    \"schedulers\": ";
+    writeJsonStringArray(os, sweep.schedulers);
+    os << "\n  },\n";
+    os << "  \"parts\": [";
+    for (size_t i = 0; i < parts.size(); ++i) {
+        const ResultPart &p = parts[i];
+        os << (i ? ",\n" : "\n");
+        os << "    {\"file\": \"" << jsonEscape(p.file)
+           << "\", \"records\": " << p.records
+           << ", \"checksum\": " << p.checksum << "}";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+} // namespace
+
+// --------------------------------------------------------------- SweepSpec
+
+SweepSpec
+SweepSpec::fromConfig(const FleetConfig &config)
+{
+    SweepSpec spec;
+    spec.baseSeed = config.baseSeed;
+    spec.seedMode =
+        config.seedMode == SeedMode::Fleet ? "fleet" : "evaluation";
+    spec.users = config.effectiveUsers();
+    spec.userSeeds = config.userSeeds;
+    spec.warmDrivers = config.warmDrivers;
+    if (config.devices.empty()) {
+        spec.devices.push_back(AcmpPlatform::exynos5410().name());
+    } else {
+        for (const AcmpPlatform &d : config.devices)
+            spec.devices.push_back(d.name());
+    }
+    for (const AppProfile &p : config.apps)
+        spec.apps.push_back(p.name);
+    for (const SchedulerKind k : config.schedulers)
+        spec.schedulers.push_back(schedulerKindName(k));
+    return spec;
+}
+
+uint64_t
+SweepSpec::expectedSessions() const
+{
+    return static_cast<uint64_t>(devices.size()) * apps.size() *
+        schedulers.size() * static_cast<uint64_t>(users > 0 ? users : 0);
+}
+
+bool
+operator==(const SweepSpec &a, const SweepSpec &b)
+{
+    return a.baseSeed == b.baseSeed && a.seedMode == b.seedMode &&
+        a.users == b.users && a.userSeeds == b.userSeeds &&
+        a.warmDrivers == b.warmDrivers && a.devices == b.devices &&
+        a.apps == b.apps && a.schedulers == b.schedulers;
+}
+
+bool
+operator!=(const SweepSpec &a, const SweepSpec &b)
+{
+    return !(a == b);
+}
+
+// ------------------------------------------------------------- ResultStore
+
+std::optional<ResultStore>
+ResultStore::open(const std::string &dir, std::string *error)
+{
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) {
+        setError(error, "'" + dir + "' is not a directory");
+        return std::nullopt;
+    }
+    ResultStore store;
+    store.dir_ = dir;
+    if (!store.loadManifest(error))
+        return std::nullopt;
+    return store;
+}
+
+std::optional<ResultStore>
+ResultStore::create(const std::string &dir, const SweepSpec &sweep,
+                    std::string *error)
+{
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    if (ec) {
+        setError(error, "cannot create '" + dir + "': " + ec.message());
+        return std::nullopt;
+    }
+    if (fs::exists(fs::path(dir) / kManifestName, ec)) {
+        auto store = open(dir, error);
+        if (!store)
+            return std::nullopt;
+        if (store->sweep_ != sweep) {
+            setError(error, "'" + dir + "' already holds a different "
+                     "sweep (axes, seeds or mode differ); use a fresh "
+                     "results directory");
+            return std::nullopt;
+        }
+        return store;
+    }
+    ResultStore store;
+    store.dir_ = dir;
+    store.sweep_ = sweep;
+    if (!store.saveManifest(error))
+        return std::nullopt;
+    return store;
+}
+
+bool
+ResultStore::loadManifest(std::string *error)
+{
+    const std::string path = (fs::path(dir_) / kManifestName).string();
+    std::string text;
+    if (!readFileBytes(path, text, error)) {
+        setError(error, "no manifest: cannot open '" + path + "'");
+        return false;
+    }
+
+    const auto root = parseJson(text);
+    if (!root || root->kind != JsonValue::Kind::Object) {
+        setError(error, "malformed manifest '" + path + "'");
+        return false;
+    }
+    const JsonValue *version = root->find("version");
+    if (!version ||
+        static_cast<int>(version->number()) != kManifestVersion) {
+        setError(error, "manifest '" + path + "': unsupported version " +
+                 (version ? version->str : std::string("<missing>")) +
+                 " (this build reads " + std::to_string(kManifestVersion) +
+                 ")");
+        return false;
+    }
+
+    const JsonValue *sweep = root->find("sweep");
+    if (!sweep || sweep->kind != JsonValue::Kind::Object) {
+        setError(error, "manifest '" + path + "': no sweep block");
+        return false;
+    }
+    sweep_ = SweepSpec{};
+    if (const JsonValue *v = sweep->find("base_seed"))
+        sweep_.baseSeed = v->number64();
+    if (const JsonValue *v = sweep->find("seed_mode"))
+        sweep_.seedMode = v->str;
+    if (const JsonValue *v = sweep->find("users"))
+        sweep_.users = static_cast<int>(v->number());
+    if (const JsonValue *v = sweep->find("warm"))
+        sweep_.warmDrivers = v->number() != 0.0;
+    if (const JsonValue *v = sweep->find("user_seeds")) {
+        for (const JsonValue &s : v->arr)
+            sweep_.userSeeds.push_back(s.number64());
+    }
+    const JsonValue *devices = sweep->find("devices");
+    const JsonValue *apps = sweep->find("apps");
+    const JsonValue *schedulers = sweep->find("schedulers");
+    if (!devices || devices->kind != JsonValue::Kind::Array || !apps ||
+        apps->kind != JsonValue::Kind::Array || !schedulers ||
+        schedulers->kind != JsonValue::Kind::Array) {
+        setError(error, "manifest '" + path +
+                 "': sweep block missing devices/apps/schedulers");
+        return false;
+    }
+    sweep_.devices = jsonStringArray(*devices);
+    sweep_.apps = jsonStringArray(*apps);
+    sweep_.schedulers = jsonStringArray(*schedulers);
+
+    const JsonValue *parts = root->find("parts");
+    if (!parts || parts->kind != JsonValue::Kind::Array) {
+        setError(error, "manifest '" + path + "': no parts array");
+        return false;
+    }
+    parts_.clear();
+    nextSeq_.clear();
+    for (const JsonValue &pv : parts->arr) {
+        if (pv.kind != JsonValue::Kind::Object) {
+            setError(error, "manifest '" + path + "': bad part row");
+            return false;
+        }
+        ResultPart part;
+        const JsonValue *file = pv.find("file");
+        if (!file || file->str.empty()) {
+            setError(error,
+                     "manifest '" + path + "': part row missing file");
+            return false;
+        }
+        part.file = file->str;
+        if (const JsonValue *v = pv.find("records"))
+            part.records = v->number64();
+        if (const JsonValue *v = pv.find("checksum"))
+            part.checksum = v->number64();
+        notePartName(part.file);
+        parts_.push_back(std::move(part));
+    }
+    return true;
+}
+
+bool
+ResultStore::saveManifest(std::string *error) const
+{
+    const std::string path = (fs::path(dir_) / kManifestName).string();
+    return writeFileAtomic(path, manifestText(sweep_, parts_), error);
+}
+
+std::string
+ResultStore::pathOf(const ResultPart &part) const
+{
+    return (fs::path(dir_) / part.file).string();
+}
+
+void
+ResultStore::notePartName(const std::string &file)
+{
+    // Parse "part-<label>-<seq>.psum" and bump the label's next free
+    // sequence number past it; foreign names are simply ignored.
+    const std::string prefix = "part-";
+    const std::string suffix = ".psum";
+    if (file.size() <= prefix.size() + suffix.size() ||
+        file.compare(0, prefix.size(), prefix) != 0 ||
+        file.compare(file.size() - suffix.size(), suffix.size(),
+                     suffix) != 0) {
+        return;
+    }
+    const std::string stem = file.substr(
+        prefix.size(), file.size() - prefix.size() - suffix.size());
+    const size_t dash = stem.rfind('-');
+    if (dash == std::string::npos || dash + 1 >= stem.size())
+        return;
+    const std::string digits = stem.substr(dash + 1);
+    uint64_t seq = 0;
+    for (const char c : digits) {
+        if (c < '0' || c > '9')
+            return;
+        seq = seq * 10 + static_cast<uint64_t>(c - '0');
+    }
+    uint64_t &next = nextSeq_[stem.substr(0, dash)];
+    next = std::max(next, seq + 1);
+}
+
+std::string
+ResultStore::nextPartName(const std::string &label)
+{
+    // First unused sequence number for this label (tracked, not
+    // re-scanned): resume runs and merges keep appending without ever
+    // clobbering an existing part.
+    const uint64_t seq = nextSeq_[label]++;
+    return "part-" + label + "-" + std::to_string(seq) + ".psum";
+}
+
+uint64_t
+ResultStore::recordCount() const
+{
+    uint64_t total = 0;
+    for (const ResultPart &p : parts_)
+        total += p.records;
+    return total;
+}
+
+bool
+ResultStore::appendPart(const std::vector<SessionRecord> &records,
+                        const std::string &label, const PsumParams &params,
+                        std::string *error)
+{
+    if (records.empty())
+        return true;
+    // Serialize once: the records-section checksum is the file's
+    // trailing u64 (see the .psum layout), so the manifest row reads
+    // it out of the encoded bytes instead of re-encoding the payload.
+    const std::string bytes = PsumWriter::toBytes(records, params);
+    ResultPart part;
+    part.file = nextPartName(label);
+    part.records = records.size();
+    ByteReader tail(bytes, bytes.size() - 8, bytes.size());
+    tail.getU64(part.checksum);
+    if (!writeFileBytes(pathOf(part), bytes, error))
+        return false;
+    parts_.push_back(std::move(part));
+    if (!saveManifest(error)) {
+        parts_.pop_back();
+        return false;
+    }
+    return true;
+}
+
+bool
+ResultStore::forEachRecord(
+    const std::function<bool(const SessionRecord &)> &fn,
+    std::string *error) const
+{
+    for (const ResultPart &part : parts_) {
+        PsumReader reader;
+        if (!reader.open(pathOf(part))) {
+            setError(error, part.file + ": " + reader.error());
+            return false;
+        }
+        auto records = reader.readRecords();
+        if (!records) {
+            setError(error, part.file + ": " + reader.error());
+            return false;
+        }
+        for (const SessionRecord &rec : *records) {
+            if (!fn(rec))
+                return true;
+        }
+    }
+    return true;
+}
+
+bool
+ResultStore::mergeFrom(const ResultStore &src, std::string *error)
+{
+    if (src.sweep_ != sweep_) {
+        setError(error, "'" + src.dir_ + "' holds a different sweep "
+                 "than '" + dir_ + "' (axes, seeds or mode differ)");
+        return false;
+    }
+    for (const ResultPart &part : src.parts_) {
+        // Copy the part's bytes verbatim under a fresh name: the head
+        // validates at open and the records section checksums without
+        // decoding, so merging is file copies plus manifest appends —
+        // and the source's provenance params survive untouched.
+        PsumReader reader;
+        if (!reader.open(src.pathOf(part))) {
+            setError(error, part.file + ": " + reader.error());
+            return false;
+        }
+        if (!reader.recordsSectionOk()) {
+            setError(error, part.file +
+                     ": records checksum mismatch (corrupt file)");
+            return false;
+        }
+        ResultPart copy;
+        copy.file = nextPartName("merged");
+        copy.records = reader.header().recordCount;
+        copy.checksum = reader.header().recordsChecksum;
+        if (!writeFileBytes(pathOf(copy), reader.bytes(), error))
+            return false;
+        parts_.push_back(std::move(copy));
+        if (!saveManifest(error)) {
+            parts_.pop_back();
+            return false;
+        }
+    }
+    return true;
+}
+
+bool
+ResultStore::validate(std::vector<StoreProblem> &problems) const
+{
+    const size_t before = problems.size();
+    for (const ResultPart &part : parts_) {
+        std::error_code ec;
+        if (!fs::exists(pathOf(part), ec)) {
+            problems.push_back(
+                {StoreProblem::Kind::MissingFile,
+                 part.file + ": referenced by the manifest but missing "
+                             "on disk"});
+            continue;
+        }
+        PsumReader reader;
+        if (!reader.open(pathOf(part))) {
+            problems.push_back({StoreProblem::Kind::Corrupt,
+                                part.file + ": " + reader.error()});
+            continue;
+        }
+        if (reader.header().recordsChecksum != part.checksum) {
+            problems.push_back(
+                {StoreProblem::Kind::Mismatch,
+                 part.file + ": checksum differs from the manifest "
+                             "(stale or swapped file)"});
+            continue;
+        }
+        const auto records = reader.readRecords();
+        if (!records) {
+            problems.push_back({StoreProblem::Kind::Corrupt,
+                                part.file + ": " + reader.error()});
+            continue;
+        }
+        if (records->size() != part.records) {
+            problems.push_back(
+                {StoreProblem::Kind::Mismatch,
+                 part.file + ": manifest says " +
+                     std::to_string(part.records) + " records, file "
+                     "holds " + std::to_string(records->size())});
+        }
+    }
+    return problems.size() == before;
+}
+
+} // namespace pes

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * On-disk result store: a directory of .psum part files plus a JSON
+ * manifest carrying the sweep identity.
+ *
+ * A ResultStore is the persistent output of one fleet sweep. The
+ * manifest records (a) the SweepSpec — every axis value, seed and mode
+ * that defines the sweep, so partial stores from different machines can
+ * be verified to belong together before merging — and (b) one row per
+ * .psum part file with its record count and records-section checksum,
+ * so a store can be validated without trusting file names.
+ *
+ * Parts are append-only checkpoints: a running sweep flushes completed
+ * sessions as new parts and re-saves the manifest atomically, so a
+ * killed run leaves a valid store holding everything flushed so far.
+ * Iteration is streaming — one part resident at a time — and all
+ * failure paths return diagnostics instead of crashing.
+ */
+
+#ifndef PES_RESULTS_RESULT_STORE_HH
+#define PES_RESULTS_RESULT_STORE_HH
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "results/result_format.hh"
+#include "util/integrity.hh"
+
+namespace pes {
+
+struct FleetConfig;
+
+/**
+ * The identity of one sweep: everything that determines its job
+ * cross-product. Two stores merge only when their specs are equal.
+ */
+struct SweepSpec
+{
+    uint64_t baseSeed = 0;
+    /** "fleet" or "evaluation" (see SeedMode). */
+    std::string seedMode = "fleet";
+    /** Users per cell (the effective user-axis length). */
+    int users = 0;
+    /** Explicit per-user seed list, when the sweep used one. */
+    std::vector<uint64_t> userSeeds;
+    /** Warm per-cell drivers (sessions of a cell depend on order). */
+    bool warmDrivers = false;
+    /** Axis values in sweep order (platform names / app names /
+     *  scheduler names) — also the report-meta order. */
+    std::vector<std::string> devices;
+    std::vector<std::string> apps;
+    std::vector<std::string> schedulers;
+
+    /** The spec of a fleet configuration (resolving default devices). */
+    static SweepSpec fromConfig(const FleetConfig &config);
+
+    /** Expected session count of the full sweep. */
+    uint64_t expectedSessions() const;
+};
+
+bool operator==(const SweepSpec &a, const SweepSpec &b);
+bool operator!=(const SweepSpec &a, const SweepSpec &b);
+
+/** One manifest row: a .psum part file and what it holds. */
+struct ResultPart
+{
+    /** File name relative to the store directory. */
+    std::string file;
+    uint64_t records = 0;
+    /** Records-section checksum (see recordsChecksum). */
+    uint64_t checksum = 0;
+};
+
+/** Result-store validation finding (shared classification, see
+ *  util/integrity.hh). */
+using StoreProblem = IntegrityProblem;
+
+/**
+ * A directory of .psum parts with a manifest index.
+ */
+class ResultStore
+{
+  public:
+    /** Manifest schema version. */
+    static constexpr int kManifestVersion = 1;
+    /** Manifest file name inside the store directory. */
+    static constexpr const char *kManifestName = "manifest.json";
+
+    /**
+     * Open an existing store (reads + parses the manifest); nullopt
+     * with @p error set when the directory or manifest is unusable.
+     */
+    static std::optional<ResultStore> open(const std::string &dir,
+                                          std::string *error);
+
+    /**
+     * Create a store for @p sweep (directory and parents included).
+     * Opening an existing store this way keeps its parts but fails when
+     * the stored spec differs from @p sweep — a results directory never
+     * silently mixes two different sweeps.
+     */
+    static std::optional<ResultStore> create(const std::string &dir,
+                                             const SweepSpec &sweep,
+                                             std::string *error);
+
+    /** The store directory. */
+    const std::string &dir() const { return dir_; }
+
+    /** The sweep this store belongs to. */
+    const SweepSpec &sweep() const { return sweep_; }
+
+    /** Manifest rows in append order. */
+    const std::vector<ResultPart> &parts() const { return parts_; }
+
+    /** Total records across all parts (manifest counts). */
+    uint64_t recordCount() const;
+
+    /**
+     * Append @p records as a new part file and persist the manifest
+     * atomically — the checkpoint primitive. @p label tags the part
+     * file name (e.g. "s0" for shard 0); @p params go into the .psum
+     * head section. Empty batches are ignored (returns true).
+     */
+    bool appendPart(const std::vector<SessionRecord> &records,
+                    const std::string &label, const PsumParams &params,
+                    std::string *error);
+
+    /**
+     * Streaming iteration in manifest order: @p fn gets every record of
+     * every part, one part resident at a time; return false from @p fn
+     * to stop early. Returns false (with @p error) on the first
+     * unreadable part.
+     */
+    bool forEachRecord(
+        const std::function<bool(const SessionRecord &)> &fn,
+        std::string *error) const;
+
+    /**
+     * Merge @p src into this store: verifies the sweep specs match,
+     * then copies every source part verbatim under a fresh name
+     * (checksum-verified, never decoded — merging is file copies plus
+     * manifest appends, and source provenance params survive).
+     * Duplicate sessions are allowed — reduction deduplicates
+     * deterministically.
+     */
+    bool mergeFrom(const ResultStore &src, std::string *error);
+
+    /**
+     * Full integrity pass: every manifest row's file must exist, parse,
+     * and match the row (record count + checksum). Appends one
+     * classified problem per finding; returns true when clean.
+     */
+    bool validate(std::vector<StoreProblem> &problems) const;
+
+  private:
+    ResultStore() = default;
+
+    bool loadManifest(std::string *error);
+    bool saveManifest(std::string *error) const;
+    std::string pathOf(const ResultPart &part) const;
+    std::string nextPartName(const std::string &label);
+    void notePartName(const std::string &file);
+
+    std::string dir_;
+    SweepSpec sweep_;
+    std::vector<ResultPart> parts_;
+    /** Next unused sequence number per part label — keeps appendPart
+     *  O(1) in the part count (a checkpoint-heavy sweep writes many). */
+    std::map<std::string, uint64_t> nextSeq_;
+};
+
+} // namespace pes
+
+#endif // PES_RESULTS_RESULT_STORE_HH

@@ -16,6 +16,7 @@
 #ifndef PES_RUNNER_FLEET_CONFIG_HH
 #define PES_RUNNER_FLEET_CONFIG_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -29,6 +30,7 @@ namespace pes {
 
 class CorpusStore;
 class LogisticModel;
+class ResultStore;
 class TraceCache;
 
 /** One simulated user session of a fleet sweep. */
@@ -152,6 +154,51 @@ struct FleetConfig
      * runs. Implies trace sharing.
      */
     const CorpusStore *corpus = nullptr;
+    /**
+     * Hard LRU bound on the trace cache the runner owns: at most this
+     * many resident traces (0 = unbounded). Unlike maxSharedTraces —
+     * which switches auto-sharing off entirely past the bound — a cap
+     * keeps sharing on and evicts least-recently-replayed traces, so
+     * giant fresh fleets get bounded memory AND cache hits. Eviction
+     * never changes report bytes: an evicted trace re-materializes
+     * deterministically on the next miss. Ignored for caller-provided
+     * caches (the caller owns their policy).
+     */
+    size_t traceCacheCap = 0;
+    /**
+     * Shard selector: execute only the jobs of shard shardIndex out of
+     * shardCount (0-based; 1 = the whole sweep). Fresh fleets shard per
+     * job, warm fleets per (device, app, scheduler) cell so a warmed
+     * driver's session order never splits. Launch the same config with
+     * --shard k/N on N machines, each writing its own result store,
+     * then `pes_fleet merge` — the merged reports are byte-identical to
+     * a single whole run.
+     */
+    int shardIndex = 0;
+    int shardCount = 1;
+    /**
+     * Optional persistent result store (borrowed, not owned). When set,
+     * every completed session's SessionStats is checkpointed into the
+     * store as the run progresses, and the final reduction is performed
+     * FROM the store — so whole runs, sharded runs and resumed runs all
+     * reduce through one code path with byte-identical reports.
+     */
+    ResultStore *resultStore = nullptr;
+    /**
+     * Skip jobs whose records already sit in resultStore (requires it).
+     * Warm cells resume all-or-nothing: a partially persisted cell
+     * re-runs from its first session so the driver's cross-session
+     * state replays identically; its duplicate records deduplicate at
+     * reduction (deterministic re-runs are bit-identical).
+     */
+    bool resume = false;
+    /**
+     * Sessions buffered between checkpoint flushes to resultStore
+     * (<= 0 means flush only at the end of the run). Each flush appends
+     * one .psum part and atomically re-saves the manifest, bounding how
+     * much work a kill can lose.
+     */
+    int checkpointEvery = 1024;
 
     /** The user-axis length (userSeeds list or @c users). */
     int effectiveUsers() const;

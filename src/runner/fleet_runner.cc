@@ -1,7 +1,12 @@
 #include "runner/fleet_runner.hh"
 
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <tuple>
 #include <utility>
 
 #include "core/ebs_scheduler.hh"
@@ -11,6 +16,8 @@
 #include "core/oracle_scheduler.hh"
 #include "core/pes_scheduler.hh"
 #include "core/predictor_training.hh"
+#include "results/result_reduce.hh"
+#include "results/result_store.hh"
 #include "runner/thread_pool.hh"
 #include "sim/runtime_simulator.hh"
 #include "trace/generator.hh"
@@ -66,11 +73,67 @@ makeFleetScheduler(SchedulerKind kind, const DeviceContext &device)
     panic("makeFleetScheduler: invalid kind");
 }
 
-/** A contiguous run of jobs executed in order by one worker. */
-struct Shard
+/**
+ * Checkpointing sink of the persist stage: workers push completed
+ * sessions, flushes append .psum parts and atomically re-save the
+ * store manifest so a kill at any instant leaves a valid store.
+ */
+struct PersistSink
 {
-    int first = 0;
-    int count = 0;
+    ResultStore *store = nullptr;
+    std::string label;
+    PsumParams params;
+    int checkpointEvery = 0;
+
+    /** Guards pending only: pushes stay cheap while a flush writes. */
+    std::mutex pendingMutex;
+    std::vector<SessionRecord> pending;
+    /** Serializes store writes and the counters/errors they update. */
+    std::mutex flushMutex;
+    uint64_t flushes = 0;
+    uint64_t persisted = 0;
+    std::vector<std::string> errors;
+
+    void push(SessionRecord record)
+    {
+        std::vector<SessionRecord> batch;
+        {
+            std::lock_guard<std::mutex> lock(pendingMutex);
+            pending.push_back(std::move(record));
+            if (checkpointEvery <= 0 ||
+                pending.size() < static_cast<size_t>(checkpointEvery))
+                return;
+            batch.swap(pending);
+        }
+        // File I/O happens outside pendingMutex, so workers completing
+        // sessions during a checkpoint never block on the disk; batches
+        // may land out of order, which reduction re-sorts anyway.
+        flush(std::move(batch));
+    }
+
+    void finish()
+    {
+        std::vector<SessionRecord> batch;
+        {
+            std::lock_guard<std::mutex> lock(pendingMutex);
+            batch.swap(pending);
+        }
+        if (!batch.empty())
+            flush(std::move(batch));
+    }
+
+  private:
+    void flush(std::vector<SessionRecord> batch)
+    {
+        std::lock_guard<std::mutex> lock(flushMutex);
+        std::string error;
+        if (store->appendPart(batch, label, params, &error)) {
+            persisted += batch.size();
+            ++flushes;
+        } else {
+            errors.push_back("persist: " + error);
+        }
+    }
 };
 
 } // namespace
@@ -81,16 +144,113 @@ FleetRunner::FleetRunner(FleetConfig config) : config_(std::move(config))
         config_.devices.push_back(AcmpPlatform::exynos5410());
     if (config_.threads < 1)
         config_.threads = 1;
+    fatal_if(config_.shardCount < 1, "fleet: shard count must be >= 1");
+    fatal_if(config_.shardIndex < 0 ||
+                 config_.shardIndex >= config_.shardCount,
+             "fleet: shard index %d outside [0, %d)", config_.shardIndex,
+             config_.shardCount);
+    fatal_if(config_.resume && !config_.resultStore,
+             "fleet: resume requires a result store");
     jobs_ = enumerateJobs(config_);
 }
+
+// ------------------------------------------------------------ stage: plan
+
+FleetPlan
+FleetRunner::plan() const
+{
+    // The shard unit mirrors the execution unit: whole cells when
+    // drivers are warm (their cross-session state must replay in
+    // order), single jobs otherwise.
+    const int users_per_cell = config_.effectiveUsers();
+    std::vector<JobRange> units;
+    if (config_.warmDrivers) {
+        for (int first = 0; first < static_cast<int>(jobs_.size());
+             first += users_per_cell)
+            units.push_back(JobRange{first, users_per_cell});
+    } else {
+        units.reserve(jobs_.size());
+        for (int i = 0; i < static_cast<int>(jobs_.size()); ++i)
+            units.push_back(JobRange{i, 1});
+    }
+
+    // Resume: collect the store's completed sessions once, as compact
+    // (cell ordinal, user index) pairs.
+    CompletedSessions done;
+    if (config_.resume) {
+        fatal_if(config_.resultStore->sweep() !=
+                     SweepSpec::fromConfig(config_),
+                 "fleet: result store '%s' holds a different sweep",
+                 config_.resultStore->dir().c_str());
+        std::string error;
+        fatal_if(!loadCompletedSessions(*config_.resultStore, done,
+                                        &error),
+                 "fleet: cannot read result store: %s", error.c_str());
+    }
+    const auto jobDone = [&](const JobSpec &job) {
+        // Job indices follow config axis order, which fromConfig
+        // preserves — so this arithmetic equals the CompletedSessions
+        // cell-ordinal formula over the store's SweepSpec.
+        const long cell =
+            (static_cast<long>(job.deviceIndex) *
+                 static_cast<long>(config_.apps.size()) +
+             job.appIndex) *
+                static_cast<long>(config_.schedulers.size()) +
+            job.schedulerIndex;
+        return done.count({cell,
+                           static_cast<uint32_t>(job.userIndex)}) > 0;
+    };
+
+    FleetPlan plan;
+    plan.totalJobs = static_cast<int>(jobs_.size());
+    for (size_t unit = 0; unit < units.size(); ++unit) {
+        const JobRange &range = units[unit];
+        if (static_cast<int>(unit % static_cast<size_t>(
+                config_.shardCount)) != config_.shardIndex) {
+            plan.shardSkipped += range.count;
+            continue;
+        }
+        if (config_.resume) {
+            // Warm cells resume all-or-nothing: re-running a partial
+            // cell from its first session reproduces the driver's
+            // cross-session state exactly; the duplicate records
+            // deduplicate at reduction.
+            bool all_done = true;
+            for (int i = 0; i < range.count; ++i)
+                all_done &= jobDone(
+                    jobs_[static_cast<size_t>(range.first + i)]);
+            if (all_done) {
+                plan.resumeSkipped += range.count;
+                continue;
+            }
+        }
+        plan.ranges.push_back(range);
+        plan.plannedJobs += range.count;
+    }
+    return plan;
+}
+
+// ------------------------------------------------------- stages 2 to 4
 
 FleetOutcome
 FleetRunner::run()
 {
+    FleetOutcome outcome;
+    outcome.plan = plan();
+    outcome.jobCount = outcome.plan.plannedJobs;
+
+    ResultStore *store = config_.resultStore;
+    if (store) {
+        fatal_if(store->sweep() != SweepSpec::fromConfig(config_),
+                 "fleet: result store '%s' holds a different sweep",
+                 store->dir().c_str());
+    }
+
     // ---- Shared immutable state (built before any worker starts). ----
     bool needs_model = false;
     for (const SchedulerKind kind : config_.schedulers)
         needs_model |= kind == SchedulerKind::Pes;
+    needs_model &= outcome.plan.plannedJobs > 0;
 
     std::vector<std::unique_ptr<DeviceContext>> devices;
     devices.reserve(config_.devices.size());
@@ -110,21 +270,9 @@ FleetRunner::run()
         devices.push_back(std::move(ctx));
     }
 
-    // ---- Shards: per cell when drivers are warm, per job otherwise. ----
-    const int users_per_cell = config_.effectiveUsers();
-    std::vector<Shard> shards;
-    if (config_.warmDrivers) {
-        for (int first = 0; first < static_cast<int>(jobs_.size());
-             first += users_per_cell)
-            shards.push_back(Shard{first, users_per_cell});
-    } else {
-        shards.reserve(jobs_.size());
-        for (int i = 0; i < static_cast<int>(jobs_.size()); ++i)
-            shards.push_back(Shard{i, 1});
-    }
-
     // ---- Parallel phase: job-indexed slots, no cross-worker sharing. ----
     std::vector<SessionStats> stats(jobs_.size());
+    std::vector<char> executed(jobs_.size(), 0);
     std::vector<SimResult> full;
     if (config_.collectResults)
         full.resize(jobs_.size());
@@ -136,19 +284,21 @@ FleetRunner::run()
         slots.resize(devices.size());
 
     // Shared trace storage: each (device, app, user) trace materializes
-    // once — synthesized on first use, or preloaded from the corpus —
-    // and replays read-only across the scheduler axis. Warm sweeps,
-    // corpus replay, and caller-provided caches always share; the
-    // automatic case additionally requires the cache to pay (a lone
-    // scheduler never reuses a trace) and the resident set to stay
-    // bounded (a huge fresh fleet must not hold every trace at once).
+    // once — synthesized on first use, or loaded from the corpus — and
+    // replays read-only across the scheduler axis. Warm sweeps, corpus
+    // replay, and caller-provided caches always share; the automatic
+    // case additionally requires the cache to pay (a lone scheduler
+    // never reuses a trace) and the resident set to stay bounded —
+    // either under the auto-share ceiling, or under an explicit LRU cap
+    // (traceCacheCap), which keeps sharing on for giant fleets while
+    // evicting least-recently-replayed traces.
     const long long distinct_traces =
         static_cast<long long>(devices.size()) *
         static_cast<long long>(config_.apps.size()) *
         config_.effectiveUsers();
     const bool auto_share = config_.shareTraces &&
         config_.schedulers.size() > 1 &&
-        (config_.maxSharedTraces <= 0 ||
+        (config_.traceCacheCap > 0 || config_.maxSharedTraces <= 0 ||
          distinct_traces <= config_.maxSharedTraces);
     const bool share_traces = auto_share || config_.warmDrivers ||
         config_.corpus != nullptr || config_.traceCache != nullptr;
@@ -158,43 +308,85 @@ FleetRunner::run()
         cache = config_.traceCache;
         if (!cache) {
             owned_cache = std::make_unique<TraceCache>();
+            owned_cache->setCapacity(config_.traceCacheCap, 0);
             cache = owned_cache.get();
         }
     }
 
-    // ---- Corpus preload: replay-from-disk fleets resolve every trace
-    // up front so a missing or corrupt recording fails before any
-    // session runs, with a per-entry diagnostic. ----
+    // ---- Corpus preload: replay-from-disk fleets resolve every
+    // planned trace up front so a missing or corrupt recording fails
+    // before any session runs, with a per-entry diagnostic. With an
+    // LRU-capped cache, loading everything would only evict it again —
+    // so the capped path verifies each recording's header once (no
+    // event decode) and lets sessions load on demand. ----
     uint64_t traces_from_corpus = 0;
     if (config_.corpus) {
-        for (const JobSpec &job : jobs_) {
-            const AppProfile &profile =
-                config_.apps[static_cast<size_t>(job.appIndex)];
-            const std::string &device_name =
-                devices[static_cast<size_t>(job.deviceIndex)]
-                    ->platform.name();
-            // Every job's trace must exist in the corpus even when a
-            // caller-provided warm cache already holds the key — a
-            // stale cache must not mask a missing recording.
-            const CorpusEntry *entry = config_.corpus->find(
-                profile.name, device_name, job.userSeed);
-            fatal_if(!entry,
-                     "corpus '%s' has no trace for app '%s' on '%s' with "
-                     "user seed %llu (re-record, or drop --corpus to "
-                     "synthesize live)",
-                     config_.corpus->dir().c_str(), profile.name.c_str(),
-                     device_name.c_str(),
-                     static_cast<unsigned long long>(job.userSeed));
-            if (cache->lookup(device_name, profile.name, job.userSeed))
-                continue;  // already resident (earlier job or warm cache)
-            std::string error;
-            auto trace = config_.corpus->load(*entry, &error);
-            fatal_if(!trace, "corpus '%s': %s",
-                     config_.corpus->dir().c_str(), error.c_str());
-            cache->insert(device_name, std::move(*trace));
-            ++traces_from_corpus;
+        const bool capped = owned_cache && config_.traceCacheCap > 0;
+        std::set<std::tuple<std::string, std::string, uint64_t>> checked;
+        for (const JobRange &range : outcome.plan.ranges) {
+            for (int i = 0; i < range.count; ++i) {
+                const JobSpec &job =
+                    jobs_[static_cast<size_t>(range.first + i)];
+                const AppProfile &profile =
+                    config_.apps[static_cast<size_t>(job.appIndex)];
+                const std::string &device_name =
+                    devices[static_cast<size_t>(job.deviceIndex)]
+                        ->platform.name();
+                // Every job's trace must exist in the corpus even when
+                // a caller-provided warm cache already holds the key —
+                // a stale cache must not mask a missing recording.
+                const CorpusEntry *entry = config_.corpus->find(
+                    profile.name, device_name, job.userSeed);
+                fatal_if(!entry,
+                         "corpus '%s' has no trace for app '%s' on '%s' "
+                         "with user seed %llu (re-record, or drop "
+                         "--corpus to synthesize live)",
+                         config_.corpus->dir().c_str(),
+                         profile.name.c_str(), device_name.c_str(),
+                         static_cast<unsigned long long>(job.userSeed));
+                std::string error;
+                if (capped) {
+                    if (!checked
+                             .insert({device_name, profile.name,
+                                      job.userSeed})
+                             .second)
+                        continue;  // scheduler axis revisits the key
+                    fatal_if(!config_.corpus->verifyHeader(*entry,
+                                                           &error),
+                             "corpus '%s': %s",
+                             config_.corpus->dir().c_str(),
+                             error.c_str());
+                    continue;
+                }
+                if (cache->lookup(device_name, profile.name,
+                                  job.userSeed))
+                    continue;  // already resident
+                auto trace = config_.corpus->load(*entry, &error);
+                fatal_if(!trace, "corpus '%s': %s",
+                         config_.corpus->dir().c_str(), error.c_str());
+                cache->insert(device_name, std::move(*trace));
+                ++traces_from_corpus;
+            }
         }
     }
+
+    // ---- Persist sink (stage 3): checkpoints flow during execution. ----
+    PersistSink sink;
+    if (store) {
+        sink.store = store;
+        sink.label = "s" + std::to_string(config_.shardIndex);
+        sink.params = {
+            {"writer", "fleet_runner"},
+            {"shard", std::to_string(config_.shardIndex) + "/" +
+                          std::to_string(config_.shardCount)},
+        };
+        sink.checkpointEvery = config_.checkpointEvery;
+    }
+
+    // On-demand corpus loads by workers (capped-cache misses/reloads);
+    // folded into tracesFromCorpus so replay traffic is visible even
+    // when the preload stage only verified headers.
+    std::atomic<uint64_t> corpus_loads{0};
 
     const auto runJob = [&](const JobSpec &job, int worker,
                             SchedulerDriver &driver) {
@@ -209,10 +401,40 @@ FleetRunner::run()
         const AppProfile &profile =
             config_.apps[static_cast<size_t>(job.appIndex)];
         InteractionTrace fresh;
+        TraceHandle handle;  // keeps an evicted trace alive while used
         const InteractionTrace *trace = nullptr;
         if (cache) {
-            trace = &cache->getOrGenerate(device.platform.name(), profile,
-                                          job.userSeed, *gen_slot);
+            // Misses materialize deterministically: from the corpus
+            // when replaying (an evicted preload must reload the
+            // recording, never re-synthesize), live synthesis otherwise.
+            handle = cache->getOrLoad(
+                device.platform.name(), profile.name, job.userSeed,
+                [&]() -> InteractionTrace {
+                    if (config_.corpus) {
+                        // Throw (not fatal): this runs on a worker, and
+                        // the pool turns the exception into a run-level
+                        // diagnostic while other workers keep going and
+                        // the final checkpoint still flushes.
+                        const CorpusEntry *entry = config_.corpus->find(
+                            profile.name, device.platform.name(),
+                            job.userSeed);
+                        std::string error;
+                        auto loaded = entry
+                            ? config_.corpus->load(*entry, &error)
+                            : std::nullopt;
+                        if (!loaded) {
+                            throw std::runtime_error(
+                                "corpus '" + config_.corpus->dir() +
+                                "': " +
+                                (entry ? error
+                                       : "preloaded entry disappeared"));
+                        }
+                        corpus_loads.fetch_add(1);
+                        return std::move(*loaded);
+                    }
+                    return gen_slot->generate(profile, job.userSeed);
+                });
+            trace = handle.get();
         } else {
             fresh = gen_slot->generate(profile, job.userSeed);
             trace = &fresh;
@@ -232,56 +454,100 @@ FleetRunner::run()
         SimResult result = simulator.run(*trace, driver);
         stats[static_cast<size_t>(job.index)] =
             SessionStats::reduce(result);
+        executed[static_cast<size_t>(job.index)] = 1;
         if (config_.collectResults)
             full[static_cast<size_t>(job.index)] = std::move(result);
+        if (sink.store) {
+            SessionRecord record;
+            record.device = device.platform.name();
+            record.app = profile.name;
+            record.scheduler = schedulerKindName(
+                config_.schedulers[static_cast<size_t>(
+                    job.schedulerIndex)]);
+            record.userIndex = static_cast<uint32_t>(job.userIndex);
+            record.userSeed = job.userSeed;
+            record.stats = stats[static_cast<size_t>(job.index)];
+            sink.push(std::move(record));
+        }
     };
 
+    // ---- Stage 2: execute the planned ranges. ----
     const auto start = std::chrono::steady_clock::now();
     {
         ThreadPool pool(config_.threads);
-        for (const Shard &shard : shards) {
-            pool.submit([&, shard](int worker) {
-                // One driver per shard: a per-cell "warmed device" for
-                // warm shards, a fresh driver for singleton shards.
+        for (const JobRange &range : outcome.plan.ranges) {
+            pool.submit([&, range](int worker) {
+                // One driver per range: a per-cell "warmed device" for
+                // warm ranges, a fresh driver for singleton ranges.
                 const JobSpec &head =
-                    jobs_[static_cast<size_t>(shard.first)];
+                    jobs_[static_cast<size_t>(range.first)];
                 DeviceContext &device = *devices[static_cast<size_t>(
                     head.deviceIndex)];
                 const auto driver = makeFleetScheduler(
                     config_.schedulers[static_cast<size_t>(
                         head.schedulerIndex)],
                     device);
-                for (int i = 0; i < shard.count; ++i)
-                    runJob(jobs_[static_cast<size_t>(shard.first + i)],
+                for (int i = 0; i < range.count; ++i)
+                    runJob(jobs_[static_cast<size_t>(range.first + i)],
                            worker, *driver);
             });
         }
         pool.wait();
+        for (const std::string &error : pool.errors())
+            outcome.diagnostics.push_back(error);
     }
     const auto stop = std::chrono::steady_clock::now();
 
-    // ---- Deterministic reduction in canonical job order. ----
-    FleetOutcome outcome;
-    outcome.jobCount = static_cast<int>(jobs_.size());
+    // ---- Stage 3: final checkpoint flush. ----
+    if (store)
+        sink.finish();
+    for (const std::string &error : sink.errors)
+        outcome.diagnostics.push_back(error);
+    outcome.persistedRecords = sink.persisted;
+    outcome.checkpointFlushes = sink.flushes;
+
     outcome.wallMs =
         std::chrono::duration<double, std::milli>(stop - start).count();
     if (cache) {
         outcome.traceCacheHits = cache->hits();
         outcome.traceCacheMisses = cache->misses();
+        outcome.traceCacheEvictions = cache->evictions();
     }
-    outcome.tracesFromCorpus = traces_from_corpus;
-    for (const JobSpec &job : jobs_) {
-        const DeviceContext &device =
-            *devices[static_cast<size_t>(job.deviceIndex)];
-        outcome.metrics.add(
-            device.platform.name(),
-            config_.apps[static_cast<size_t>(job.appIndex)].name,
-            schedulerKindName(config_.schedulers[static_cast<size_t>(
-                job.schedulerIndex)]),
-            stats[static_cast<size_t>(job.index)]);
-        if (config_.collectResults)
-            outcome.results.add(
-                std::move(full[static_cast<size_t>(job.index)]));
+    outcome.tracesFromCorpus = traces_from_corpus + corpus_loads.load();
+
+    // ---- Stage 4: deterministic reduction. ----
+    if (store) {
+        // Reduce FROM the store: one code path for whole, sharded and
+        // resumed runs — the reports cover everything persisted.
+        StoreReduction reduction;
+        std::string error;
+        if (!reduceStore(*store, reduction, &error)) {
+            outcome.diagnostics.push_back("reduce: " + error);
+        } else {
+            outcome.metrics = std::move(reduction.metrics);
+            for (const std::string &problem : reduction.problems)
+                outcome.diagnostics.push_back("reduce: " + problem);
+        }
+    } else {
+        for (const JobSpec &job : jobs_) {
+            if (!executed[static_cast<size_t>(job.index)])
+                continue;
+            const DeviceContext &device =
+                *devices[static_cast<size_t>(job.deviceIndex)];
+            outcome.metrics.add(
+                device.platform.name(),
+                config_.apps[static_cast<size_t>(job.appIndex)].name,
+                schedulerKindName(config_.schedulers[static_cast<size_t>(
+                    job.schedulerIndex)]),
+                stats[static_cast<size_t>(job.index)]);
+        }
+    }
+    if (config_.collectResults) {
+        for (const JobSpec &job : jobs_) {
+            if (executed[static_cast<size_t>(job.index)])
+                outcome.results.add(
+                    std::move(full[static_cast<size_t>(job.index)]));
+        }
     }
     return outcome;
 }

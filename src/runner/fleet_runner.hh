@@ -1,28 +1,46 @@
 /**
  * @file
- * The fleet runner: batch execution of many simulated user sessions.
+ * The fleet runner: staged batch execution of many simulated sessions.
  *
- * Executes the job cross-product of a FleetConfig on a ThreadPool, one
- * session per job, and aggregates the per-session reductions into
- * per-cell summaries. Three properties make it the substrate for
- * large-scale sweeps:
+ * run() is an explicit four-stage pipeline, each stage a building block
+ * that tools can reason about independently:
+ *
+ *  1. plan    — enumerate the job cross-product, select this machine's
+ *               shard (--shard k/N), and drop jobs already persisted in
+ *               the result store (--resume).
+ *  2. execute — run the planned shards on a ThreadPool; workers write
+ *               SessionStats into job-indexed slots. Worker exceptions
+ *               become run-level diagnostics, never process death.
+ *  3. persist — checkpoint completed sessions into the attached
+ *               ResultStore as .psum parts (every checkpointEvery
+ *               sessions and at the end), so a killed sweep loses at
+ *               most one checkpoint of work.
+ *  4. reduce  — aggregate per-cell summaries. With a store attached the
+ *               reduction reads back FROM the store, so whole, sharded,
+ *               and killed-and-resumed runs all reduce through one path
+ *               and their reports are byte-identical.
+ *
+ * Three properties make it the substrate for large-scale sweeps:
  *
  *  - Determinism: every session derives all randomness from its
- *    JobSpec::userSeed; workers write reductions into job-indexed slots
- *    and aggregation replays the slots in canonical job order, so the
- *    outcome is bit-identical for any thread count.
- *  - Sharding: sessions are dispatched in shards. Fresh-driver fleets
- *    shard per job (maximum parallelism); warm-driver runs shard per
- *    (device, app, scheduler) cell so a driver's cross-session state
- *    (EBS/PES measurement history) replays sequentially, reproducing
- *    the classic Experiment::runSweep protocol.
+ *    JobSpec::userSeed; aggregation replays sessions in canonical job
+ *    order, so the outcome is bit-identical for any thread count, shard
+ *    split, or resume boundary.
+ *  - Sharding: fresh-driver fleets shard per job (maximum parallelism);
+ *    warm-driver runs shard per (device, app, scheduler) cell so a
+ *    driver's cross-session state (EBS/PES measurement history) replays
+ *    sequentially, reproducing the classic Experiment::runSweep
+ *    protocol. --shard k/N distributes the same units across machines.
  *  - Isolation: each worker keeps its own trace-generator caches;
- *    shared state (platform, power table, trained event model) is
- *    immutable during the run.
+ *    shared state (platform, power table, trained event model, the
+ *    LRU-bounded trace cache) is immutable or internally synchronized.
  */
 
 #ifndef PES_RUNNER_FLEET_RUNNER_HH
 #define PES_RUNNER_FLEET_RUNNER_HH
+
+#include <string>
+#include <vector>
 
 #include "runner/fleet_config.hh"
 #include "runner/metrics_aggregator.hh"
@@ -30,22 +48,61 @@
 
 namespace pes {
 
+/** A contiguous range of jobs executed in order by one worker. */
+struct JobRange
+{
+    int first = 0;
+    int count = 0;
+};
+
+/** Output of the planning stage: what this run will actually execute. */
+struct FleetPlan
+{
+    /** Job ranges this run executes, in canonical order. */
+    std::vector<JobRange> ranges;
+    /** Sessions in the whole sweep (all shards). */
+    int totalJobs = 0;
+    /** Sessions this run will execute. */
+    int plannedJobs = 0;
+    /** Sessions excluded by the shard selector. */
+    int shardSkipped = 0;
+    /** Sessions skipped because the store already holds them. */
+    int resumeSkipped = 0;
+};
+
 /** Everything a finished fleet run produced. */
 struct FleetOutcome
 {
-    /** Per-cell aggregation over all sessions. */
+    /** Per-cell aggregation — from the result store when one is
+     *  attached, from memory otherwise. */
     MetricsAggregator metrics;
-    /** Full per-session results in job order (FleetConfig::collectResults). */
+    /** Full per-session results in job order (FleetConfig::collectResults).
+     *  Covers only sessions executed by THIS run (not resumed ones). */
     ResultSet results;
-    /** Number of sessions executed. */
+    /** Number of sessions executed by this run. */
     int jobCount = 0;
+    /** The plan this run executed. */
+    FleetPlan plan;
     /** Wall-clock of the parallel phase (ms). Never serialized. */
     double wallMs = 0.0;
+    /**
+     * Run-level problems: worker exceptions, persistence failures,
+     * store anomalies found at reduction. Empty on a clean run — tools
+     * treat non-empty as a failed run (non-zero exit) while still
+     * reporting whatever completed.
+     */
+    std::vector<std::string> diagnostics;
+    /** Sessions persisted to the store by this run. */
+    uint64_t persistedRecords = 0;
+    /** Checkpoint flushes performed (parts written). */
+    uint64_t checkpointFlushes = 0;
     /** Trace-cache traffic of the run (0/0 when sharing was off).
      *  Diagnostics only — never serialized into reports. */
     uint64_t traceCacheHits = 0;
     uint64_t traceCacheMisses = 0;
-    /** Traces preloaded from the corpus (corpus replay only). */
+    uint64_t traceCacheEvictions = 0;
+    /** Corpus loads performed (preload, plus on-demand reloads when
+     *  the trace cache is capped). Corpus replay only. */
     uint64_t tracesFromCorpus = 0;
 };
 
@@ -60,13 +117,21 @@ class FleetRunner
     /** The (validated) configuration. */
     const FleetConfig &config() const { return config_; }
 
-    /** The enumerated jobs, in canonical order. */
+    /** The enumerated jobs of the WHOLE sweep, in canonical order. */
     const std::vector<JobSpec> &jobs() const { return jobs_; }
 
     /**
-     * Run every job and aggregate. Trains the PES event model per
-     * device first when needed (or borrows config.pretrainedModel).
-     * Reentrant: each call re-executes the fleet.
+     * Stage 1 alone: what would this run execute? Consults the result
+     * store when resuming (reads its manifest and parts). Also the
+     * dry-run entry point for tools that report shard membership.
+     */
+    FleetPlan plan() const;
+
+    /**
+     * Run the full pipeline (plan -> execute -> persist -> reduce).
+     * Trains the PES event model per device first when needed (or
+     * borrows config.pretrainedModel). Reentrant: each call re-plans
+     * and re-executes.
      */
     FleetOutcome run();
 

@@ -18,24 +18,6 @@ num(double v)
     return jsonNum(v);
 }
 
-void
-writeStringArray(std::ostream &os, const std::vector<std::string> &xs)
-{
-    os << "[";
-    for (size_t i = 0; i < xs.size(); ++i)
-        os << (i ? ", " : "") << '"' << jsonEscape(xs[i]) << '"';
-    os << "]";
-}
-
-std::vector<std::string>
-stringArray(const JsonValue &v)
-{
-    std::vector<std::string> out;
-    for (const JsonValue &e : v.arr)
-        out.push_back(e.str);
-    return out;
-}
-
 double
 fieldNum(const JsonValue &obj, const char *key)
 {
@@ -149,11 +131,11 @@ JsonReporter::write(const FleetReport &report, std::ostream &os)
     os << "    \"sessions\": " << report.sessions << ",\n";
     os << "    \"events\": " << report.events << ",\n";
     os << "    \"devices\": ";
-    writeStringArray(os, report.devices);
+    writeJsonStringArray(os, report.devices);
     os << ",\n    \"apps\": ";
-    writeStringArray(os, report.apps);
+    writeJsonStringArray(os, report.apps);
     os << ",\n    \"schedulers\": ";
-    writeStringArray(os, report.schedulers);
+    writeJsonStringArray(os, report.schedulers);
     os << "\n  },\n";
     os << "  \"cells\": [";
     for (size_t i = 0; i < report.cells.size(); ++i) {
@@ -202,11 +184,11 @@ JsonReporter::parse(const std::string &text)
     report.sessions = static_cast<int>(fieldNum(*meta, "sessions"));
     report.events = static_cast<long>(fieldNum(*meta, "events"));
     if (const JsonValue *v = meta->find("devices"))
-        report.devices = stringArray(*v);
+        report.devices = jsonStringArray(*v);
     if (const JsonValue *v = meta->find("apps"))
-        report.apps = stringArray(*v);
+        report.apps = jsonStringArray(*v);
     if (const JsonValue *v = meta->find("schedulers"))
-        report.schedulers = stringArray(*v);
+        report.schedulers = jsonStringArray(*v);
 
     for (const JsonValue &cv : cells->arr) {
         if (cv.kind != JsonValue::Kind::Object)

@@ -1,6 +1,7 @@
 #include "runner/thread_pool.hh"
 
 #include <algorithm>
+#include <exception>
 
 namespace pes {
 
@@ -40,6 +41,13 @@ ThreadPool::wait()
     drained_.wait(lock, [this] { return queue_.empty() && inFlight_ == 0; });
 }
 
+std::vector<std::string>
+ThreadPool::errors() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return errors_;
+}
+
 void
 ThreadPool::workerLoop(int worker)
 {
@@ -57,9 +65,23 @@ ThreadPool::workerLoop(int worker)
             queue_.pop_front();
             ++inFlight_;
         }
-        task(worker);
+        // A worker thread must never let an exception escape (that
+        // would std::terminate the whole process); capture it as a
+        // run-level diagnostic instead and keep draining.
+        std::string error;
+        try {
+            task(worker);
+        } catch (const std::exception &e) {
+            error = e.what();
+        } catch (...) {
+            error = "unknown exception";
+        }
         {
             std::unique_lock<std::mutex> lock(mutex_);
+            if (!error.empty()) {
+                errors_.push_back("worker " + std::to_string(worker) +
+                                  ": " + error);
+            }
             --inFlight_;
             if (queue_.empty() && inFlight_ == 0)
                 drained_.notify_all();

@@ -8,6 +8,12 @@
  * caches) without locking. The pool makes no ordering promises — fleet
  * determinism comes from writing results into job-indexed slots and
  * aggregating in job order, never from scheduling.
+ *
+ * A task that throws does NOT terminate the process (the default fate
+ * of an exception escaping a std::thread): the pool catches it, records
+ * a diagnostic, and keeps draining the queue. Callers collect the
+ * diagnostics after wait() via errors() — the fleet runner surfaces
+ * them as run-level diagnostics on FleetOutcome.
  */
 
 #ifndef PES_RUNNER_THREAD_POOL_HH
@@ -49,14 +55,22 @@ class ThreadPool
     /** Block until every submitted task has finished. */
     void wait();
 
+    /**
+     * Diagnostics of tasks that threw, in completion order ("worker N:
+     * what()"). Empty when every task finished cleanly. Call after
+     * wait() for a complete picture.
+     */
+    std::vector<std::string> errors() const;
+
   private:
     void workerLoop(int worker);
 
     std::vector<std::thread> workers_;
     std::deque<Task> queue_;
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable wake_;
     std::condition_variable drained_;
+    std::vector<std::string> errors_;
     int inFlight_ = 0;
     bool stopping_ = false;
 };

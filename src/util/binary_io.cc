@@ -1,0 +1,292 @@
+#include "util/binary_io.hh"
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "util/rng.hh"
+
+namespace pes {
+
+// -------------------------------------------------------------- encoding
+
+void
+putU8(std::string &out, uint8_t v)
+{
+    out.push_back(static_cast<char>(v));
+}
+
+void
+putU32(std::string &out, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putU64(std::string &out, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void
+putI32(std::string &out, int32_t v)
+{
+    putU32(out, static_cast<uint32_t>(v));
+}
+
+void
+putF64(std::string &out, double v)
+{
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v), "IEEE-754 double expected");
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+void
+putStr(std::string &out, const std::string &s)
+{
+    putU32(out, static_cast<uint32_t>(s.size()));
+    out += s;
+}
+
+// -------------------------------------------------------------- decoding
+
+bool
+ByteReader::getU8(uint8_t &v)
+{
+    if (pos + 1 > end)
+        return false;
+    v = static_cast<uint8_t>((*in)[pos++]);
+    return true;
+}
+
+bool
+ByteReader::getU32(uint32_t &v)
+{
+    if (pos + 4 > end)
+        return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<uint32_t>(static_cast<uint8_t>((*in)[pos + i]))
+            << (8 * i);
+    pos += 4;
+    return true;
+}
+
+bool
+ByteReader::getU64(uint64_t &v)
+{
+    if (pos + 8 > end)
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<uint64_t>(static_cast<uint8_t>((*in)[pos + i]))
+            << (8 * i);
+    pos += 8;
+    return true;
+}
+
+bool
+ByteReader::getI32(int32_t &v)
+{
+    uint32_t u;
+    if (!getU32(u))
+        return false;
+    v = static_cast<int32_t>(u);
+    return true;
+}
+
+bool
+ByteReader::getF64(double &v)
+{
+    uint64_t bits;
+    if (!getU64(bits))
+        return false;
+    std::memcpy(&v, &bits, sizeof(v));
+    return true;
+}
+
+bool
+ByteReader::getStr(std::string &s)
+{
+    uint32_t len;
+    const size_t start = pos;
+    if (!getU32(len) || len > kMaxBinaryStringLen || pos + len > end) {
+        pos = start;
+        return false;
+    }
+    s.assign(*in, pos, len);
+    pos += len;
+    return true;
+}
+
+// ----------------------------------------------- magic/version headers
+
+void
+putMagicHeader(std::string &out, const char magic[4], uint32_t version)
+{
+    out.append(magic, 4);
+    putU32(out, version);
+}
+
+bool
+readMagicHeader(ByteReader &r, const char magic[4],
+                uint32_t expected_version, const char *format,
+                const char *format_short, std::string *error)
+{
+    const auto fail = [error](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    if (r.remaining() < 4 + 4)
+        return fail("truncated file: no header");
+    if (std::memcmp(r.in->data() + r.pos, magic, 4) != 0)
+        return fail(std::string("bad magic (not ") + format + ")");
+    r.pos += 4;
+
+    uint32_t version;
+    if (!r.getU32(version))
+        return fail("truncated file: no version");
+    if (version != expected_version) {
+        return fail(std::string("unsupported ") + format_short +
+                    " version " + std::to_string(version) +
+                    " (this build reads " +
+                    std::to_string(expected_version) + ")");
+    }
+    return true;
+}
+
+// ------------------------------------------------ checksummed sections
+
+void
+putSection32(std::string &out, const std::string &payload)
+{
+    putU32(out, static_cast<uint32_t>(payload.size()));
+    out += payload;
+    putU64(out, hashBytes(payload.data(), payload.size()));
+}
+
+void
+putSection64(std::string &out, const std::string &payload)
+{
+    putU64(out, payload.size());
+    out += payload;
+    putU64(out, hashBytes(payload.data(), payload.size()));
+}
+
+namespace {
+
+bool
+finishSection(ByteReader &r, BinarySection &section)
+{
+    // Payload plus trailing checksum must fit before the limit; the
+    // overflow check guards a corrupt length wrapping the arithmetic.
+    if (r.pos + section.payloadLen + 8 > r.end ||
+        r.pos + section.payloadLen + 8 < r.pos) {
+        return false;
+    }
+    section.payloadPos = r.pos;
+    r.pos += static_cast<size_t>(section.payloadLen);
+    return r.getU64(section.storedChecksum);
+}
+
+} // namespace
+
+bool
+readSection32(ByteReader &r, BinarySection &section)
+{
+    uint32_t len;
+    if (!r.getU32(len))
+        return false;
+    section.payloadLen = len;
+    return finishSection(r, section);
+}
+
+bool
+readSection64(ByteReader &r, BinarySection &section)
+{
+    if (!r.getU64(section.payloadLen))
+        return false;
+    return finishSection(r, section);
+}
+
+bool
+sectionChecksumOk(const std::string &bytes, const BinarySection &section)
+{
+    return section.storedChecksum ==
+        hashBytes(bytes.data() + section.payloadPos,
+                  static_cast<size_t>(section.payloadLen));
+}
+
+ByteReader
+sectionReader(const std::string &bytes, const BinarySection &section)
+{
+    return ByteReader(bytes, section.payloadPos,
+                      section.payloadPos +
+                          static_cast<size_t>(section.payloadLen));
+}
+
+// ------------------------------------------------------------ file I/O
+
+bool
+readFileBytes(const std::string &path, std::string &bytes,
+              std::string *error)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        if (error)
+            *error = "cannot open '" + path + "'";
+        return false;
+    }
+    bytes.assign((std::istreambuf_iterator<char>(is)),
+                 std::istreambuf_iterator<char>());
+    if (is.bad()) {
+        if (error)
+            *error = "read error on '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+writeFileBytes(const std::string &path, const std::string &bytes,
+               std::string *error)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        if (error)
+            *error = "cannot open '" + path + "' for writing";
+        return false;
+    }
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    if (!os) {
+        if (error)
+            *error = "short write to '" + path + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &bytes,
+                std::string *error)
+{
+    const std::string tmp = path + ".tmp";
+    if (!writeFileBytes(tmp, bytes, error))
+        return false;
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        if (error)
+            *error = "cannot replace '" + path + "': " + ec.message();
+        return false;
+    }
+    return true;
+}
+
+} // namespace pes

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Checksummed-section binary encoding shared by the on-disk formats.
+ *
+ * The `.ptrc` trace format (src/corpus/) and the `.psum` result format
+ * (src/results/) share one wire discipline, factored out here:
+ *
+ *  - little-endian fixed-width integers, strings as u32 length + bytes,
+ *    doubles stored as their IEEE-754 bit pattern (bit-exact round
+ *    trips — record -> replay never loses a ulp);
+ *  - a 4-byte magic + u32 version header validated up front with a
+ *    format-specific diagnostic;
+ *  - length-prefixed payload sections followed by an FNV-1a checksum of
+ *    the payload bytes, so truncation and corruption are told apart;
+ *  - diagnostic-not-crash readers: every decode primitive bounds-checks
+ *    against an explicit limit and reports failure through its return
+ *    value, never UB.
+ *
+ * File helpers (slurp, write, atomic replace) live here too so every
+ * format handles short writes and temp-file renames the same way.
+ */
+
+#ifndef PES_UTIL_BINARY_IO_HH
+#define PES_UTIL_BINARY_IO_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pes {
+
+// -------------------------------------------------------------- encoding
+
+/** Append one byte. */
+void putU8(std::string &out, uint8_t v);
+
+/** Append a little-endian u32. */
+void putU32(std::string &out, uint32_t v);
+
+/** Append a little-endian u64. */
+void putU64(std::string &out, uint64_t v);
+
+/** Append an i32 (two's-complement bit pattern). */
+void putI32(std::string &out, int32_t v);
+
+/** Append a double as its IEEE-754 bit pattern (bit-exact). */
+void putF64(std::string &out, double v);
+
+/** Append a string as u32 length + raw bytes. */
+void putStr(std::string &out, const std::string &s);
+
+// -------------------------------------------------------------- decoding
+
+/** Longest string any format accepts (1 MiB): a corrupt length must not
+ *  drive a giant allocation. */
+constexpr size_t kMaxBinaryStringLen = 1u << 20;
+
+/**
+ * Bounds-checked read cursor over a byte string. All getters advance
+ * @c pos on success and leave it untouched on failure; @c end caps how
+ * far this cursor may read (sub-cursors narrow it to one section).
+ */
+struct ByteReader
+{
+    const std::string *in = nullptr;
+    size_t pos = 0;
+    size_t end = 0;
+
+    ByteReader() = default;
+    explicit ByteReader(const std::string &bytes)
+        : in(&bytes), pos(0), end(bytes.size())
+    {
+    }
+    ByteReader(const std::string &bytes, size_t pos_, size_t end_)
+        : in(&bytes), pos(pos_), end(end_)
+    {
+    }
+
+    /** Bytes left before the limit. */
+    size_t remaining() const { return end > pos ? end - pos : 0; }
+
+    /** True when the cursor sits exactly on its limit. */
+    bool atEnd() const { return pos == end; }
+
+    bool getU8(uint8_t &v);
+    bool getU32(uint32_t &v);
+    bool getU64(uint64_t &v);
+    bool getI32(int32_t &v);
+    bool getF64(double &v);
+    /** u32 length + bytes; rejects lengths over kMaxBinaryStringLen. */
+    bool getStr(std::string &s);
+};
+
+// ----------------------------------------------- magic/version headers
+
+/** Append a 4-byte magic plus a u32 format version. */
+void putMagicHeader(std::string &out, const char magic[4],
+                    uint32_t version);
+
+/**
+ * Validate a 4-byte magic + u32 version at the cursor. On failure sets
+ * @p error to a diagnostic naming @p format ("a .ptrc trace") and
+ * @p format_short (".ptrc") and returns false. Matches the historical
+ * trace-format wording exactly.
+ */
+bool readMagicHeader(ByteReader &r, const char magic[4],
+                     uint32_t expected_version, const char *format,
+                     const char *format_short, std::string *error);
+
+// ------------------------------------------------ checksummed sections
+
+/** Append a u32 length, the payload, and its FNV-1a checksum (u64). */
+void putSection32(std::string &out, const std::string &payload);
+
+/** Append a u64 length, the payload, and its FNV-1a checksum (u64). */
+void putSection64(std::string &out, const std::string &payload);
+
+/** Where a length-prefixed checksummed section sits in the file. */
+struct BinarySection
+{
+    /** First payload byte. */
+    size_t payloadPos = 0;
+    /** Payload byte length. */
+    uint64_t payloadLen = 0;
+    /** Checksum as stored after the payload. */
+    uint64_t storedChecksum = 0;
+};
+
+/**
+ * Read a u32-length section frame at the cursor: length, payload
+ * bounds, and the trailing checksum, leaving the cursor after the
+ * checksum. Verification is separate (sectionChecksumOk) so readers can
+ * defer payload hashing — the two-phase open()/read() split. Returns
+ * false on truncation (cursor unspecified).
+ */
+bool readSection32(ByteReader &r, BinarySection &section);
+
+/** Same framing with a u64 length prefix. */
+bool readSection64(ByteReader &r, BinarySection &section);
+
+/** True when the stored checksum matches the payload bytes. */
+bool sectionChecksumOk(const std::string &bytes,
+                       const BinarySection &section);
+
+/** Cursor narrowed to exactly one section's payload. */
+ByteReader sectionReader(const std::string &bytes,
+                         const BinarySection &section);
+
+// ------------------------------------------------------------ file I/O
+
+/** Slurp a file into @p bytes; false (with @p error) when unreadable. */
+bool readFileBytes(const std::string &path, std::string &bytes,
+                   std::string *error);
+
+/** Write @p bytes to @p path, detecting short writes. */
+bool writeFileBytes(const std::string &path, const std::string &bytes,
+                    std::string *error);
+
+/**
+ * Atomically replace @p path: write to "<path>.tmp" then rename, so a
+ * concurrent reader (or a kill) sees either the old or the new file,
+ * never a torn one.
+ */
+bool writeFileAtomic(const std::string &path, const std::string &bytes,
+                     std::string *error);
+
+} // namespace pes
+
+#endif // PES_UTIL_BINARY_IO_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Shared integrity-check vocabulary for the on-disk stores.
+ *
+ * CorpusStore (.ptrc traces) and ResultStore (.psum result summaries)
+ * classify validation findings identically, and the CLI tools
+ * (`pes_corpus validate`, `pes_fleet merge`) gate CI on one exit-code
+ * contract: 0 = clean, kExitMissing = files referenced by a manifest
+ * are absent (needs re-sync), kExitCorrupt = content fails to parse,
+ * checksum, or match its manifest row (needs re-record/re-run);
+ * corrupt wins when both occur. Defining the problem type and the
+ * classification here once keeps the stores and tools from drifting.
+ */
+
+#ifndef PES_UTIL_INTEGRITY_HH
+#define PES_UTIL_INTEGRITY_HH
+
+#include <string>
+#include <vector>
+
+namespace pes {
+
+/** One validation finding, classified for distinct exit codes. */
+struct IntegrityProblem
+{
+    enum class Kind
+    {
+        /** Manifest references a file that is not on disk. */
+        MissingFile,
+        /** File exists but fails to parse or checksum. */
+        Corrupt,
+        /** File parses but disagrees with its manifest row. */
+        Mismatch,
+    };
+
+    Kind kind = Kind::Corrupt;
+    std::string message;
+};
+
+/** Exit code for missing-files-only findings. */
+constexpr int kExitMissing = 3;
+/** Exit code when any corrupt or mismatching content was found. */
+constexpr int kExitCorrupt = 4;
+
+/** The CI-gateable exit code for a validation pass (0 when clean). */
+inline int
+integrityExitCode(const std::vector<IntegrityProblem> &problems)
+{
+    if (problems.empty())
+        return 0;
+    for (const IntegrityProblem &p : problems) {
+        if (p.kind != IntegrityProblem::Kind::MissingFile)
+            return kExitCorrupt;
+    }
+    return kExitMissing;
+}
+
+} // namespace pes
+
+#endif // PES_UTIL_INTEGRITY_HH

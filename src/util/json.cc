@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <ostream>
 
 namespace pes {
 
@@ -146,7 +147,31 @@ parseJson(const std::string &text)
     JsonValue root;
     if (!scanner.parseValue(root))
         return std::nullopt;
+    // A complete document, not a prefix: trailing garbage after the
+    // first value (e.g. a torn manifest overwrite gluing two documents
+    // together) must fail, not silently parse as the leading value.
+    scanner.ws();
+    if (scanner.pos != text.size())
+        return std::nullopt;
     return root;
+}
+
+std::vector<std::string>
+jsonStringArray(const JsonValue &v)
+{
+    std::vector<std::string> out;
+    for (const JsonValue &e : v.arr)
+        out.push_back(e.str);
+    return out;
+}
+
+void
+writeJsonStringArray(std::ostream &os, const std::vector<std::string> &xs)
+{
+    os << "[";
+    for (size_t i = 0; i < xs.size(); ++i)
+        os << (i ? ", " : "") << '"' << jsonEscape(xs[i]) << '"';
+    os << "]";
 }
 
 std::string

@@ -12,6 +12,7 @@
 #define PES_UTIL_JSON_HH
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <utility>
@@ -39,8 +40,16 @@ struct JsonValue
     uint64_t number64() const;
 };
 
-/** Parse a complete JSON document; nullopt on malformed input. */
+/** Parse a complete JSON document (trailing garbage rejected); nullopt
+ *  on malformed input. */
 std::optional<JsonValue> parseJson(const std::string &text);
+
+/** String payloads of an array value (shared by reporters/manifests). */
+std::vector<std::string> jsonStringArray(const JsonValue &v);
+
+/** Write a JSON array of escaped strings. */
+void writeJsonStringArray(std::ostream &os,
+                          const std::vector<std::string> &xs);
 
 /** Escape a string for embedding between JSON quotes. */
 std::string jsonEscape(const std::string &s);

@@ -254,6 +254,32 @@ TEST(CorpusStore, AddFindLoadAcrossReopen)
     EXPECT_EQ(seen, (std::vector<std::string>{"cnn", "social_feed"}));
 }
 
+TEST(CorpusStore, RejectsSlugCollisionsBetweenDistinctKeys)
+{
+    const TempDir dir("slug_collision");
+    std::string error;
+    auto store = CorpusStore::create(dir.str(), &error);
+    ASSERT_TRUE(store.has_value()) << error;
+
+    const InteractionTrace original = makeTrace("cnn", 42);
+    ASSERT_TRUE(store->add(original, exynosProvenance(), &error))
+        << error;
+
+    // Same lossy file slug, different key: the add must fail instead
+    // of silently overwriting the first recording's file.
+    InteractionTrace imposter = makeTrace("cnn", 42);
+    imposter.appName = "CNN";
+    EXPECT_FALSE(store->add(imposter, exynosProvenance(), &error));
+    EXPECT_NE(error.find("collision"), std::string::npos) << error;
+
+    // The original recording is intact.
+    const CorpusEntry *entry = store->find("cnn", exynos().name(), 42);
+    ASSERT_NE(entry, nullptr);
+    const auto loaded = store->load(*entry, &error);
+    ASSERT_TRUE(loaded.has_value()) << error;
+    EXPECT_TRUE(*loaded == original);
+}
+
 TEST(CorpusStore, ManifestReferencingMissingFileFailsCleanly)
 {
     const TempDir dir("missing");
@@ -340,11 +366,11 @@ TEST(TraceCache, SynthesizesOncePerKeyAndSharesPointers)
     const std::string device = exynos().name();
     const AppProfile &profile = appByName("cnn");
 
-    const InteractionTrace &a =
-        cache.getOrGenerate(device, profile, 42, generator);
-    const InteractionTrace &b =
-        cache.getOrGenerate(device, profile, 42, generator);
-    EXPECT_EQ(&a, &b);
+    const TraceHandle a = cache.getOrGenerate(device, profile, 42,
+                                              generator);
+    const TraceHandle b = cache.getOrGenerate(device, profile, 42,
+                                              generator);
+    EXPECT_EQ(a.get(), b.get());
     EXPECT_EQ(cache.misses(), 1u);
     EXPECT_EQ(cache.hits(), 1u);
     EXPECT_EQ(cache.size(), 1u);
@@ -357,12 +383,13 @@ TEST(TraceCache, SynthesizesOncePerKeyAndSharesPointers)
     EXPECT_EQ(cache.lookup(device, "cnn", 999), nullptr);
 
     // insert() is first-insert-wins: an existing key keeps its trace
-    // (references stay valid), a fresh key is adopted and serves later
+    // (handles stay valid), a fresh key is adopted and serves later
     // getOrGenerate calls as hits.
     InteractionTrace would_replace = makeTrace("cnn", 42);
     would_replace.events.clear();
     EXPECT_FALSE(cache.insert(device, std::move(would_replace)));
-    EXPECT_EQ(&cache.getOrGenerate(device, profile, 42, generator), &a);
+    EXPECT_EQ(cache.getOrGenerate(device, profile, 42, generator).get(),
+              a.get());
 
     InteractionTrace fresh = makeTrace("cnn", 42);
     fresh.userSeed = 4242;
@@ -372,6 +399,45 @@ TEST(TraceCache, SynthesizesOncePerKeyAndSharesPointers)
     cache.clear();
     EXPECT_EQ(cache.size(), 0u);
     EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(TraceCache, LruCapEvictsColdEntriesAndHandlesStayValid)
+{
+    TraceCache cache;
+    cache.setCapacity(2, 0);
+    TraceGenerator generator(exynos());
+    const std::string device = exynos().name();
+    const AppProfile &profile = appByName("cnn");
+
+    const TraceHandle a = cache.getOrGenerate(device, profile, 1,
+                                              generator);
+    cache.getOrGenerate(device, profile, 2, generator);
+    // Touch user 1 so user 2 is the LRU victim when 3 arrives.
+    cache.getOrGenerate(device, profile, 1, generator);
+    cache.getOrGenerate(device, profile, 3, generator);
+
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_NE(cache.lookup(device, "cnn", 1), nullptr);
+    EXPECT_EQ(cache.lookup(device, "cnn", 2), nullptr);
+    EXPECT_NE(cache.lookup(device, "cnn", 3), nullptr);
+
+    // An evicted key re-materializes deterministically on re-miss.
+    const TraceHandle again = cache.getOrGenerate(device, profile, 2,
+                                                  generator);
+    EXPECT_TRUE(*again == *cache.lookup(device, "cnn", 2));
+
+    // The held handle survives eviction of its entry: evict user 1 by
+    // loading two more users, then verify the trace is still readable.
+    cache.getOrGenerate(device, profile, 4, generator);
+    cache.getOrGenerate(device, profile, 5, generator);
+    EXPECT_EQ(cache.lookup(device, "cnn", 1), nullptr);
+    EXPECT_GT(a->events.size(), 0u);
+    EXPECT_EQ(a->userSeed, 1u);
+
+    // A byte cap evicts too (every trace is far bigger than 1 byte).
+    cache.setCapacity(0, 1);
+    EXPECT_EQ(cache.size(), 1u);  // newest entry is never evicted
 }
 
 // ------------------------------------------------------- TraceMutator
@@ -514,6 +580,57 @@ TEST(FleetCorpus, RecordedReplayIsByteIdenticalToLiveSynthesis)
     const FleetOutcome outcome = replay_runner.run();
     EXPECT_EQ(outcome.tracesFromCorpus, 4u);  // 2 apps x 2 users
     EXPECT_EQ(reportBytes(replay_runner, outcome), live_bytes);
+}
+
+TEST(FleetCorpus, CappedCacheReplayReloadsFromCorpusNotSynthesis)
+{
+    // Record the population, then swap one recording for a mutated
+    // variant under the same key: the corpus now differs from live
+    // synthesis, so a post-eviction miss that wrongly re-synthesized
+    // (instead of reloading the recording) would change report bytes.
+    const TempDir dir("capped_replay");
+    std::string error;
+    auto store = CorpusStore::create(dir.str(), &error);
+    ASSERT_TRUE(store.has_value()) << error;
+    const FleetConfig seeds = fidelityFleet();
+    {
+        TraceGenerator generator(exynos());
+        TraceProvenance provenance;
+        provenance.device = exynos().name();
+        for (const AppProfile &profile : seeds.apps) {
+            for (int u = 0; u < seeds.users; ++u) {
+                ASSERT_TRUE(store->add(
+                    generator.generate(profile, fleetUserSeed(seeds, u)),
+                    provenance, &error))
+                    << error;
+            }
+        }
+        const CorpusEntry *entry = store->find(
+            seeds.apps[0].name, exynos().name(), fleetUserSeed(seeds, 0));
+        ASSERT_NE(entry, nullptr);
+        auto original = store->load(*entry, &error);
+        ASSERT_TRUE(original.has_value()) << error;
+        InteractionTrace mutant =
+            TraceMutator(7).timeScale(*original, 1.3);
+        mutant.userSeed = original->userSeed;  // keep the corpus key
+        ASSERT_TRUE(store->add(mutant, provenance, &error)) << error;
+        ASSERT_TRUE(store->save(&error)) << error;
+    }
+
+    FleetConfig uncapped = fidelityFleet();
+    uncapped.corpus = &*store;
+    FleetRunner uncapped_runner(uncapped);
+    const std::string uncapped_bytes =
+        reportBytes(uncapped_runner, uncapped_runner.run());
+
+    FleetConfig capped = fidelityFleet();
+    capped.corpus = &*store;
+    capped.traceCacheCap = 1;  // 4 distinct traces: every job re-misses
+    FleetRunner capped_runner(capped);
+    const FleetOutcome outcome = capped_runner.run();
+    EXPECT_TRUE(outcome.diagnostics.empty());
+    EXPECT_GT(outcome.traceCacheEvictions, 0u);
+    EXPECT_EQ(reportBytes(capped_runner, outcome), uncapped_bytes);
 }
 
 TEST(FleetCorpus, SharedTraceSweepMatchesPerJobSynthesis)

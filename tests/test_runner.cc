@@ -9,6 +9,7 @@
 
 #include <atomic>
 #include <set>
+#include <stdexcept>
 
 #include "core/experiment.hh"
 #include "runner/fleet_config.hh"
@@ -125,6 +126,33 @@ TEST(ThreadPool, RunsEveryTaskExactlyOnce)
     }
     for (auto &h : hits)
         EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, CapturesWorkerExceptionsInsteadOfTerminating)
+{
+    std::atomic<int> completed{0};
+    ThreadPool pool(3);
+    for (int i = 0; i < 20; ++i) {
+        pool.submit([&, i](int) {
+            if (i % 5 == 0)
+                throw std::runtime_error("task " + std::to_string(i) +
+                                         " failed");
+            completed += 1;
+        });
+    }
+    pool.wait();
+    // Throwing tasks become diagnostics; the rest still ran.
+    EXPECT_EQ(completed.load(), 16);
+    const std::vector<std::string> errors = pool.errors();
+    ASSERT_EQ(errors.size(), 4u);
+    for (const std::string &e : errors) {
+        EXPECT_NE(e.find("worker"), std::string::npos) << e;
+        EXPECT_NE(e.find("failed"), std::string::npos) << e;
+    }
+    // The pool survives and keeps serving tasks after failures.
+    pool.submit([&](int) { completed += 1; });
+    pool.wait();
+    EXPECT_EQ(completed.load(), 17);
 }
 
 TEST(ThreadPool, WaitIsReusable)

@@ -27,6 +27,7 @@
 #include "core/experiment.hh"
 #include "corpus/corpus_store.hh"
 #include "corpus/trace_mutator.hh"
+#include "util/integrity.hh"
 #include "runner/fleet_runner.hh"
 #include "runner/reporters.hh"
 #include "util/logging.hh"
@@ -49,7 +50,8 @@ usage()
         "                      [--quiet]\n"
         "  pes_corpus inspect  --dir=DIR [--app=NAME] [--device=NAME]\n"
         "                      [--user=SEED]\n"
-        "  pes_corpus validate --dir=DIR\n"
+        "  pes_corpus validate --dir=DIR [--quiet]\n"
+        "                      exit: 0 clean, 3 missing files, 4 corrupt\n"
         "  pes_corpus replay   --dir=DIR [--schedulers=LIST] [--threads=N]\n"
         "                      [--warm] [--out=FILE] [--csv=FILE] [--quiet]\n"
         "  pes_corpus mutate   --dir=DIR --into=DIR --op=OP [--seed=S]\n"
@@ -230,22 +232,30 @@ int
 cmdValidate(const std::vector<std::pair<std::string, std::string>> &flags)
 {
     std::string dir;
+    bool quiet = false;
     for (const auto &[name, value] : flags) {
         if (name == "dir")
             dir = value;
+        else if (name == "quiet")
+            quiet = true;
         else
             fatal("validate: unknown option '--%s'", name.c_str());
     }
     const CorpusStore store = openOrDie(dir);
-    std::vector<std::string> problems;
+    std::vector<CorpusProblem> problems;
     if (!store.validate(problems)) {
-        for (const std::string &p : problems)
-            std::cerr << "FAIL " << p << "\n";
-        std::cerr << problems.size() << " problem(s) in " << dir << "\n";
-        return 1;
+        if (!quiet) {
+            for (const CorpusProblem &p : problems)
+                std::cerr << "FAIL " << p.message << "\n";
+            std::cerr << problems.size() << " problem(s) in " << dir
+                      << "\n";
+        }
+        return integrityExitCode(problems);
     }
-    std::cout << "OK: " << store.entries().size()
-              << " traces verified in " << dir << "\n";
+    if (!quiet) {
+        std::cout << "OK: " << store.entries().size()
+                  << " traces verified in " << dir << "\n";
+    }
     return 0;
 }
 
@@ -359,6 +369,14 @@ cmdReplay(const std::vector<std::pair<std::string, std::string>> &flags)
         std::cout << outcome.jobCount << " sessions replayed from "
                   << outcome.tracesFromCorpus << " recorded traces in "
                   << formatDouble(outcome.wallMs / 1000.0, 2) << " s\n";
+    }
+    if (!outcome.diagnostics.empty()) {
+        for (const std::string &d : outcome.diagnostics)
+            std::cerr << "FAIL " << d << "\n";
+        std::cerr << outcome.diagnostics.size()
+                  << " run-level problem(s); the report covers "
+                     "completed sessions only\n";
+        return 1;
     }
     return 0;
 }

@@ -1,14 +1,23 @@
 /**
  * @file
  * pes_fleet: batch fleet simulation over the scheduler x app x device x
- * user cross-product.
+ * user cross-product, with persistent, resumable, shardable sweeps.
  *
  *   pes_fleet --schedulers=pes,ebs --apps=cnn,amazon,social_feed \
  *             --users=1000 --threads=8 --out=fleet.json --csv=fleet.csv
  *
+ *   # One sweep split across two machines, then merged:
+ *   pes_fleet ... --shard=0/2 --results-dir=shard0   # machine A
+ *   pes_fleet ... --shard=1/2 --results-dir=shard1   # machine B
+ *   pes_fleet merge --into=all --from=shard0,shard1 --out=fleet.json
+ *
+ *   # Killed at 90%? Finish the remaining 10%:
+ *   pes_fleet ... --results-dir=sweep --resume
+ *
  * Runs users x apps x schedulers x devices sessions on a worker pool and
  * writes deterministic JSON/CSV reports: the report bytes are identical
- * for any --threads value (wall-clock and throughput go to stdout only).
+ * for any --threads value, any shard split, and any kill/resume
+ * boundary (wall-clock and throughput go to stdout only).
  */
 
 #include <fstream>
@@ -18,6 +27,8 @@
 
 #include "core/experiment.hh"
 #include "corpus/corpus_store.hh"
+#include "results/result_reduce.hh"
+#include "results/result_store.hh"
 #include "runner/fleet_runner.hh"
 #include "runner/reporters.hh"
 #include "util/logging.hh"
@@ -56,13 +67,38 @@ usage()
         "(device, app, user)\n"
         "                     trace across schedulers (slower; identical "
         "reports)\n"
+        "  --trace-cache-cap=N  LRU-bound the shared trace cache to N "
+        "resident traces\n"
+        "                     (0 = unbounded; eviction never changes "
+        "report bytes)\n"
+        "  --results-dir=DIR  persist per-session results into a .psum "
+        "result store,\n"
+        "                     checkpointing as the sweep runs; reports "
+        "reduce from the store\n"
+        "  --resume           skip sessions already persisted in "
+        "--results-dir\n"
+        "  --shard=K/N        execute only shard K of N (0-based); run "
+        "all N shards\n"
+        "                     (any machines), then `pes_fleet merge`\n"
+        "  --checkpoint-every=N  sessions buffered per checkpoint flush "
+        "[1024]\n"
         "  --out=FILE         write the JSON report\n"
         "  --csv=FILE         write the CSV report\n"
         "  --list-apps        print every known application profile and "
         "exit\n"
         "  --list-devices     print every known device model and exit\n"
         "  --quiet            suppress progress chatter\n"
-        "  --help             this text\n";
+        "  --help             this text\n"
+        "\n"
+        "Verbs:\n"
+        "  pes_fleet merge --into=DIR --from=DIR1,DIR2,... "
+        "[--out=FILE] [--csv=FILE] [--quiet]\n"
+        "                     merge shard result stores (same sweep) "
+        "into one store and\n"
+        "                     write its reports — byte-identical to a "
+        "single whole run.\n"
+        "                     exit: 0 clean, 3 missing part files, 4 "
+        "corrupt stores\n";
 }
 
 bool
@@ -137,11 +173,139 @@ listDevices()
     return 0;
 }
 
+/** Validate @p store; prints problems and returns the exit code (0 ok). */
+int
+validateStore(const ResultStore &store, bool quiet)
+{
+    std::vector<StoreProblem> problems;
+    if (store.validate(problems))
+        return 0;
+    if (!quiet) {
+        for (const StoreProblem &p : problems)
+            std::cerr << "FAIL " << store.dir() << ": " << p.message
+                      << "\n";
+    }
+    return integrityExitCode(problems);
+}
+
+/** Write the JSON/CSV reports of @p report (shared by sweep and merge). */
+void
+writeReports(const FleetReport &report, const std::string &out_path,
+             const std::string &csv_path)
+{
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        fatal_if(!os, "cannot open '%s'", out_path.c_str());
+        JsonReporter::write(report, os);
+        std::cout << "[json: " << out_path << "]\n";
+    }
+    if (!csv_path.empty()) {
+        std::ofstream os(csv_path);
+        fatal_if(!os, "cannot open '%s'", csv_path.c_str());
+        CsvReporter::write(report, os);
+        std::cout << "[csv: " << csv_path << "]\n";
+    }
+}
+
+// -------------------------------------------------------------- merge
+
+int
+cmdMerge(int argc, char **argv)
+{
+    std::string into, out_path, csv_path;
+    std::vector<std::string> from;
+    bool quiet = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (flagValue(arg, "into", value)) {
+            into = value;
+        } else if (flagValue(arg, "from", value)) {
+            for (const std::string &raw : split(value, ',')) {
+                const std::string dir = trim(raw);
+                if (!dir.empty())
+                    from.push_back(dir);
+            }
+        } else if (flagValue(arg, "out", value)) {
+            out_path = value;
+        } else if (flagValue(arg, "csv", value)) {
+            csv_path = value;
+        } else {
+            std::cerr << "merge: unknown option '" << arg << "'\n\n";
+            usage();
+            return 2;
+        }
+    }
+    fatal_if(into.empty(), "merge: --into (destination store) is "
+                           "required");
+    fatal_if(from.empty(), "merge: --from (source stores) is required");
+
+    // Open and validate every source before touching the destination:
+    // a corrupt shard must fail the merge, not poison the merged store.
+    std::vector<ResultStore> sources;
+    int worst = 0;
+    for (const std::string &dir : from) {
+        std::string error;
+        auto store = ResultStore::open(dir, &error);
+        fatal_if(!store, "merge: cannot open '%s': %s", dir.c_str(),
+                 error.c_str());
+        worst = std::max(worst, validateStore(*store, quiet));
+        sources.push_back(std::move(*store));
+    }
+    if (worst != 0)
+        return worst;
+
+    std::string error;
+    auto merged = ResultStore::create(into, sources.front().sweep(),
+                                      &error);
+    fatal_if(!merged, "merge: cannot create '%s': %s", into.c_str(),
+             error.c_str());
+    for (const ResultStore &src : sources) {
+        fatal_if(!merged->mergeFrom(src, &error), "merge: %s",
+                 error.c_str());
+    }
+
+    StoreReduction reduction;
+    fatal_if(!reduceStore(*merged, reduction, &error), "merge: %s",
+             error.c_str());
+    if (!reduction.problems.empty()) {
+        for (const std::string &p : reduction.problems)
+            std::cerr << "FAIL " << p << "\n";
+        return kExitCorrupt;
+    }
+    if (!quiet) {
+        std::cout << "merged " << sources.size() << " stores into "
+                  << into << ": " << reduction.sessions << " sessions";
+        if (reduction.duplicates > 0)
+            std::cout << " (" << reduction.duplicates
+                      << " duplicate re-runs deduplicated)";
+        std::cout << "\n";
+        if (reduction.missing > 0) {
+            std::cout << "note: " << reduction.missing << " of "
+                      << merged->sweep().expectedSessions()
+                      << " expected sessions are not in the merged "
+                         "store (partial sweep)\n";
+        }
+    }
+    writeReports(makeStoreReport(*merged, reduction.metrics), out_path,
+                 csv_path);
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && argv[1] == std::string("merge"))
+        return cmdMerge(argc, argv);
+
     FleetConfig config;
     config.schedulers = {SchedulerKind::Pes, SchedulerKind::Ebs};
     config.apps = parseAppList("cnn,amazon,social_feed");
@@ -151,6 +315,7 @@ main(int argc, char **argv)
     std::string out_path;
     std::string csv_path;
     std::string corpus_dir;
+    std::string results_dir;
     bool quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -169,6 +334,31 @@ main(int argc, char **argv)
             config.warmDrivers = true;
         } else if (arg == "--no-trace-share") {
             config.shareTraces = false;
+        } else if (arg == "--resume") {
+            config.resume = true;
+        } else if (flagValue(arg, "results-dir", value)) {
+            results_dir = value;
+        } else if (flagValue(arg, "shard", value)) {
+            const size_t slash = value.find('/');
+            fatal_if(slash == std::string::npos,
+                     "--shard expects K/N (e.g. 0/4), got '%s'",
+                     value.c_str());
+            const long k = parseLong(value.substr(0, slash), "shard");
+            const long n = parseLong(value.substr(slash + 1), "shard");
+            fatal_if(n < 1 || n > 1000000 || k < 0 || k >= n,
+                     "--shard=K/N needs 0 <= K < N, got '%s'",
+                     value.c_str());
+            config.shardIndex = static_cast<int>(k);
+            config.shardCount = static_cast<int>(n);
+        } else if (flagValue(arg, "checkpoint-every", value)) {
+            const long every = parseLong(value, "checkpoint-every");
+            fatal_if(every < 0 || every > 100000000,
+                     "--checkpoint-every must be in [0, 1e8]");
+            config.checkpointEvery = static_cast<int>(every);
+        } else if (flagValue(arg, "trace-cache-cap", value)) {
+            const long cap = parseLong(value, "trace-cache-cap");
+            fatal_if(cap < 0, "--trace-cache-cap must be >= 0");
+            config.traceCacheCap = static_cast<size_t>(cap);
         } else if (arg == "--eval-population") {
             config.seedMode = SeedMode::Evaluation;
         } else if (flagValue(arg, "corpus", value)) {
@@ -207,6 +397,9 @@ main(int argc, char **argv)
              "--threads must be in [1, 4096]");
     setQuiet(true);
 
+    fatal_if(config.resume && results_dir.empty(),
+             "--resume requires --results-dir");
+
     // Corpus replay: same axes and seeds, traces read from disk.
     std::optional<CorpusStore> corpus;
     if (!corpus_dir.empty()) {
@@ -214,6 +407,18 @@ main(int argc, char **argv)
         corpus = CorpusStore::open(corpus_dir, &error);
         fatal_if(!corpus, "cannot open corpus: %s", error.c_str());
         config.corpus = &*corpus;
+    }
+
+    // Result store: created (or re-opened for resume) with the sweep's
+    // identity — a directory never silently mixes two sweeps.
+    std::optional<ResultStore> store;
+    if (!results_dir.empty()) {
+        std::string error;
+        store = ResultStore::create(results_dir,
+                                    SweepSpec::fromConfig(config),
+                                    &error);
+        fatal_if(!store, "cannot open results dir: %s", error.c_str());
+        config.resultStore = &*store;
     }
 
     FleetRunner runner(std::move(config));
@@ -224,6 +429,10 @@ main(int argc, char **argv)
                   << cfg.devices.size() << " devices x " << cfg.users
                   << " users = " << runner.jobs().size()
                   << " sessions on " << cfg.threads << " threads\n";
+        if (cfg.shardCount > 1) {
+            std::cout << "shard " << cfg.shardIndex << "/"
+                      << cfg.shardCount << "\n";
+        }
         const bool needs_pes = [&] {
             for (const SchedulerKind k : cfg.schedulers)
                 if (k == SchedulerKind::Pes)
@@ -257,22 +466,21 @@ main(int argc, char **argv)
     }
     table.print(std::cout);
 
-    if (!out_path.empty()) {
-        std::ofstream os(out_path);
-        fatal_if(!os, "cannot open '%s'", out_path.c_str());
-        JsonReporter::write(report, os);
-        std::cout << "[json: " << out_path << "]\n";
-    }
-    if (!csv_path.empty()) {
-        std::ofstream os(csv_path);
-        fatal_if(!os, "cannot open '%s'", csv_path.c_str());
-        CsvReporter::write(report, os);
-        std::cout << "[csv: " << csv_path << "]\n";
-    }
+    writeReports(report, out_path, csv_path);
 
     if (!quiet && outcome.tracesFromCorpus > 0) {
         std::cout << "[corpus: " << outcome.tracesFromCorpus
                   << " traces replayed from disk]\n";
+    }
+    if (!quiet && cfg.resultStore) {
+        std::cout << "[results: " << outcome.persistedRecords
+                  << " sessions persisted in " << outcome.checkpointFlushes
+                  << " checkpoint(s); store holds "
+                  << cfg.resultStore->recordCount() << " records]\n";
+        if (outcome.plan.resumeSkipped > 0) {
+            std::cout << "[resume: skipped " << outcome.plan.resumeSkipped
+                      << " already-completed sessions]\n";
+        }
     }
     const double secs = outcome.wallMs / 1000.0;
     std::cout << outcome.jobCount << " sessions, "
@@ -280,5 +488,13 @@ main(int argc, char **argv)
               << formatDouble(secs, 2) << " s ("
               << formatDouble(secs > 0 ? outcome.jobCount / secs : 0.0, 1)
               << " sessions/s, " << cfg.threads << " threads)\n";
+    if (!outcome.diagnostics.empty()) {
+        for (const std::string &d : outcome.diagnostics)
+            std::cerr << "FAIL " << d << "\n";
+        std::cerr << outcome.diagnostics.size()
+                  << " run-level problem(s); reports cover completed "
+                     "sessions only\n";
+        return 1;
+    }
     return 0;
 }
