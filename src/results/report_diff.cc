@@ -1,0 +1,482 @@
+#include "results/report_diff.hh"
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <map>
+#include <ostream>
+#include <set>
+
+#include "results/result_reduce.hh"
+#include "results/result_store.hh"
+#include "util/binary_io.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+#include "util/json.hh"
+
+namespace pes {
+
+namespace {
+
+/** Bit-pattern equality, with every NaN equal to every NaN: payload
+ *  bits are formatting noise, not drift. */
+bool
+bitIdentical(double a, double b)
+{
+    if (std::isnan(a) && std::isnan(b))
+        return true;
+    uint64_t ba, bb;
+    std::memcpy(&ba, &a, sizeof(ba));
+    std::memcpy(&bb, &b, sizeof(bb));
+    return ba == bb;
+}
+
+/** Severity order for folding metric outcomes into a cell outcome. */
+int
+severity(DiffOutcome outcome)
+{
+    switch (outcome) {
+      case DiffOutcome::Identical:
+        return 0;
+      case DiffOutcome::WithinTolerance:
+        return 1;
+      case DiffOutcome::Improved:
+        return 2;
+      default:
+        return 3;
+    }
+}
+
+/** Classify one metric value pair under @p options. */
+MetricDelta
+compareMetric(const std::string &metric, double base, double test,
+              const DiffOptions &options)
+{
+    MetricDelta d;
+    d.metric = metric;
+    d.base = base;
+    d.test = test;
+    const bool finite = std::isfinite(base) && std::isfinite(test);
+    d.absDelta = finite ? std::fabs(test - base)
+                        : std::numeric_limits<double>::quiet_NaN();
+    d.relDelta = finite && base != 0.0
+        ? d.absDelta / std::fabs(base)
+        : std::numeric_limits<double>::quiet_NaN();
+
+    if (bitIdentical(base, test)) {
+        d.outcome = DiffOutcome::Identical;
+        return d;
+    }
+    if (options.exact || !finite) {
+        // Exact mode: any non-identical value is a determinism failure.
+        // Mixed finiteness (NaN vs number, inf vs -inf) has no
+        // meaningful delta and can never be "within tolerance".
+        d.outcome = DiffOutcome::Regressed;
+        return d;
+    }
+    const bool within = d.absDelta <= options.absTolerance ||
+        (base != 0.0 && d.relDelta <= options.relTolerance);
+    if (within) {
+        d.outcome = DiffOutcome::WithinTolerance;
+        return d;
+    }
+    switch (metricDirection(metric)) {
+      case MetricDirection::LowerIsBetter:
+        d.outcome = test < base ? DiffOutcome::Improved
+                                : DiffOutcome::Regressed;
+        break;
+      case MetricDirection::HigherIsBetter:
+        d.outcome = test > base ? DiffOutcome::Improved
+                                : DiffOutcome::Regressed;
+        break;
+      case MetricDirection::Structural:
+        d.outcome = DiffOutcome::Regressed;
+        break;
+    }
+    return d;
+}
+
+void
+countOutcome(DiffSummary &summary, DiffOutcome outcome)
+{
+    switch (outcome) {
+      case DiffOutcome::Identical:
+        ++summary.identical;
+        break;
+      case DiffOutcome::WithinTolerance:
+        ++summary.withinTolerance;
+        break;
+      case DiffOutcome::Improved:
+        ++summary.improved;
+        break;
+      case DiffOutcome::Regressed:
+        ++summary.regressed;
+        break;
+      case DiffOutcome::Missing:
+        ++summary.missing;
+        break;
+      case DiffOutcome::Extra:
+        ++summary.extra;
+        break;
+    }
+}
+
+} // namespace
+
+const char *
+diffOutcomeName(DiffOutcome outcome)
+{
+    switch (outcome) {
+      case DiffOutcome::Identical:
+        return "identical";
+      case DiffOutcome::WithinTolerance:
+        return "within_tolerance";
+      case DiffOutcome::Improved:
+        return "improved";
+      case DiffOutcome::Regressed:
+        return "regressed";
+      case DiffOutcome::Missing:
+        return "missing";
+      case DiffOutcome::Extra:
+        return "extra";
+    }
+    return "unknown";
+}
+
+MetricDirection
+metricDirection(const std::string &metric)
+{
+    // Everything the reports serialize is a cost (energy, latency,
+    // violations, waste, queueing, fallbacks) except prediction
+    // accuracy; sessions/events define the sweep shape — a change
+    // there is structural, never an improvement.
+    if (metric == "prediction_accuracy")
+        return MetricDirection::HigherIsBetter;
+    if (metric == "sessions" || metric == "events")
+        return MetricDirection::Structural;
+    return MetricDirection::LowerIsBetter;
+}
+
+DiffSummary
+diffReports(const FleetReport &base, const FleetReport &test,
+            const DiffOptions &options)
+{
+    DiffSummary summary;
+    const auto mismatch = [&](const std::string &message) {
+        summary.comparable = false;
+        summary.problems.push_back(
+            {IntegrityProblem::Kind::Mismatch, message});
+    };
+
+    // The two sides must describe the same sweep; deltas between
+    // different populations/axes are meaningless.
+    if (base.baseSeed != test.baseSeed) {
+        mismatch("base seeds differ: " + std::to_string(base.baseSeed) +
+                 " vs " + std::to_string(test.baseSeed));
+    }
+    if (base.seedMode != test.seedMode) {
+        mismatch("seed modes differ: " + base.seedMode + " vs " +
+                 test.seedMode);
+    }
+    if (base.warmDrivers != test.warmDrivers) {
+        mismatch(std::string("driver modes differ: ") +
+                 (base.warmDrivers ? "warm" : "fresh") + " vs " +
+                 (test.warmDrivers ? "warm" : "fresh"));
+    }
+    if (base.users != test.users) {
+        mismatch("user axes differ: " + std::to_string(base.users) +
+                 " vs " + std::to_string(test.users));
+    }
+    const auto checkAxis = [&](const char *name,
+                               const std::vector<std::string> &a,
+                               const std::vector<std::string> &b) {
+        if (a != b) {
+            mismatch(std::string(name) + " axes differ: [" +
+                     join(a, ", ") + "] vs [" + join(b, ", ") + "]");
+        }
+    };
+    checkAxis("device", base.devices, test.devices);
+    checkAxis("app", base.apps, test.apps);
+    checkAxis("scheduler", base.schedulers, test.schedulers);
+
+    // Resolve the metric filter against the serialized schema.
+    std::vector<std::string> metrics = options.metrics;
+    if (metrics.empty())
+        metrics = cellMetricNames();
+    const std::vector<std::string> &known = cellMetricNames();
+    std::vector<size_t> indices;
+    for (const std::string &m : metrics) {
+        bool found = false;
+        for (size_t i = 0; i < known.size(); ++i) {
+            if (known[i] == m) {
+                indices.push_back(i);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            mismatch("unknown metric '" + m + "'");
+    }
+    if (!summary.comparable)
+        return summary;
+
+    // Align cells by (device, app, scheduler). A repeated key on
+    // either side means the report is malformed (deterministic runs
+    // emit each cell once) — refuse rather than silently compare one
+    // duplicate and drop the rest, which would let a conflicting
+    // duplicate pass an --exact gate clean.
+    using Key = std::array<std::string, 3>;
+    std::map<Key, const CellSummary *> testCells;
+    for (const CellSummary &c : test.cells) {
+        if (!testCells.emplace(Key{c.device, c.app, c.scheduler}, &c)
+                 .second) {
+            mismatch("test report repeats cell (" + c.device + ", " +
+                     c.app + ", " + c.scheduler + ")");
+        }
+    }
+    std::set<Key> baseKeys;
+    for (const CellSummary &c : base.cells) {
+        if (!baseKeys.insert(Key{c.device, c.app, c.scheduler})
+                 .second) {
+            mismatch("base report repeats cell (" + c.device + ", " +
+                     c.app + ", " + c.scheduler + ")");
+        }
+    }
+    if (!summary.comparable)
+        return summary;
+
+    std::set<Key> matched;
+    for (const CellSummary &b : base.cells) {
+        const Key key{b.device, b.app, b.scheduler};
+        CellDiff cell;
+        cell.device = b.device;
+        cell.app = b.app;
+        cell.scheduler = b.scheduler;
+
+        const auto it = testCells.find(key);
+        if (it == testCells.end()) {
+            cell.outcome = DiffOutcome::Missing;
+        } else {
+            matched.insert(key);
+            const std::vector<double> bx = cellMetricValues(b);
+            const std::vector<double> tx = cellMetricValues(*it->second);
+            cell.outcome = DiffOutcome::Identical;
+            for (const size_t i : indices) {
+                MetricDelta d =
+                    compareMetric(known[i], bx[i], tx[i], options);
+                if (severity(d.outcome) > severity(cell.outcome))
+                    cell.outcome = d.outcome;
+                if (d.outcome != DiffOutcome::Identical)
+                    cell.metrics.push_back(std::move(d));
+            }
+        }
+        countOutcome(summary, cell.outcome);
+        summary.cells.push_back(std::move(cell));
+    }
+    for (const CellSummary &t : test.cells) {
+        if (matched.count(Key{t.device, t.app, t.scheduler}))
+            continue;
+        CellDiff cell;
+        cell.device = t.device;
+        cell.app = t.app;
+        cell.scheduler = t.scheduler;
+        cell.outcome = DiffOutcome::Extra;
+        countOutcome(summary, cell.outcome);
+        summary.cells.push_back(std::move(cell));
+    }
+    return summary;
+}
+
+int
+diffExitCode(const DiffSummary &summary)
+{
+    if (!summary.comparable)
+        return integrityExitCode(summary.problems);
+    return summary.clean() ? 0 : kExitDrift;
+}
+
+DiffInput
+loadDiffInput(const std::string &path)
+{
+    namespace fs = std::filesystem;
+    DiffInput input;
+    const auto fail = [&](IntegrityProblem::Kind kind,
+                          const std::string &message) {
+        input.problems.push_back({kind, path + ": " + message});
+    };
+
+    std::error_code ec;
+    if (!fs::exists(path, ec)) {
+        fail(IntegrityProblem::Kind::MissingFile,
+             "no such file or directory");
+        return input;
+    }
+
+    if (fs::is_directory(path, ec)) {
+        // A result store: open, validate, reduce, report.
+        std::string error;
+        auto store = ResultStore::open(path, &error);
+        if (!store) {
+            fail(IntegrityProblem::Kind::Corrupt, error);
+            return input;
+        }
+        std::vector<StoreProblem> problems;
+        if (!store->validate(problems)) {
+            for (StoreProblem &p : problems) {
+                input.problems.push_back(
+                    {p.kind, path + ": " + p.message});
+            }
+            return input;
+        }
+        StoreReduction reduction;
+        if (!reduceStore(*store, reduction, &error)) {
+            fail(IntegrityProblem::Kind::Corrupt, error);
+            return input;
+        }
+        // Content anomalies (foreign records, conflicting duplicates)
+        // mean the store does not cleanly describe its sweep — refuse
+        // to diff it rather than diff a fabricated report.
+        if (!reduction.problems.empty()) {
+            for (const std::string &p : reduction.problems)
+                fail(IntegrityProblem::Kind::Corrupt, p);
+            return input;
+        }
+        input.report = makeStoreReport(*store, reduction.metrics);
+        return input;
+    }
+
+    std::string bytes, error;
+    if (!readFileBytes(path, bytes, &error)) {
+        fail(IntegrityProblem::Kind::Corrupt, error);
+        return input;
+    }
+    const std::string head = trim(bytes.substr(0, 64));
+    std::optional<FleetReport> report;
+    if (!head.empty() && head[0] == '#')
+        report = CsvReporter::parseReport(bytes);
+    else
+        report = JsonReporter::parse(bytes);
+    if (!report) {
+        fail(IntegrityProblem::Kind::Corrupt,
+             "not a parseable pes_fleet report (JSON or CSV)");
+        return input;
+    }
+    input.report = std::move(*report);
+    return input;
+}
+
+void
+printDiffSummary(const DiffSummary &summary, std::ostream &os)
+{
+    if (!summary.comparable) {
+        os << "not comparable:\n";
+        for (const IntegrityProblem &p : summary.problems)
+            os << "  " << p.message << "\n";
+        return;
+    }
+    // One row per drifted metric; Missing/Extra cells get one row.
+    Table table({"device", "app", "scheduler", "outcome", "metric",
+                 "base", "test", "delta", "rel"});
+    int rows = 0;
+    for (const CellDiff &cell : summary.cells) {
+        if (cell.outcome == DiffOutcome::Identical ||
+            cell.outcome == DiffOutcome::WithinTolerance)
+            continue;
+        if (cell.metrics.empty()) {
+            table.beginRow()
+                .cell(cell.device)
+                .cell(cell.app)
+                .cell(cell.scheduler)
+                .cell(std::string(diffOutcomeName(cell.outcome)))
+                .cell(std::string("-"))
+                .cell(std::string("-"))
+                .cell(std::string("-"))
+                .cell(std::string("-"))
+                .cell(std::string("-"));
+            ++rows;
+            continue;
+        }
+        for (const MetricDelta &d : cell.metrics) {
+            if (d.outcome == DiffOutcome::WithinTolerance)
+                continue;
+            table.beginRow()
+                .cell(cell.device)
+                .cell(cell.app)
+                .cell(cell.scheduler)
+                .cell(std::string(diffOutcomeName(d.outcome)))
+                .cell(d.metric)
+                .cell(csvNum(d.base))
+                .cell(csvNum(d.test))
+                .cell(std::isnan(d.absDelta) ? std::string("-")
+                                             : csvNum(d.test - d.base))
+                .cell(std::isnan(d.relDelta)
+                          ? std::string("-")
+                          : formatPercent(d.relDelta));
+            ++rows;
+        }
+    }
+    if (rows > 0)
+        table.print(os);
+    os << summary.cells.size() << " cells: " << summary.identical
+       << " identical, " << summary.withinTolerance
+       << " within tolerance, " << summary.improved << " improved, "
+       << summary.regressed << " regressed, " << summary.missing
+       << " missing, " << summary.extra << " extra\n";
+}
+
+void
+writeDiffJson(const DiffSummary &summary, const DiffOptions &options,
+              std::ostream &os)
+{
+    os << "{\n";
+    os << "  \"diff_version\": 1,\n";
+    os << "  \"mode\": \"" << (options.exact ? "exact" : "tolerance")
+       << "\",\n";
+    os << "  \"rel_tolerance\": " << jsonNum(options.relTolerance)
+       << ",\n";
+    os << "  \"abs_tolerance\": " << jsonNum(options.absTolerance)
+       << ",\n";
+    os << "  \"comparable\": " << (summary.comparable ? 1 : 0) << ",\n";
+    os << "  \"exit_code\": " << diffExitCode(summary) << ",\n";
+    os << "  \"summary\": {\"identical\": " << summary.identical
+       << ", \"within_tolerance\": " << summary.withinTolerance
+       << ", \"improved\": " << summary.improved
+       << ", \"regressed\": " << summary.regressed
+       << ", \"missing\": " << summary.missing
+       << ", \"extra\": " << summary.extra << "},\n";
+    os << "  \"problems\": ";
+    std::vector<std::string> problems;
+    for (const IntegrityProblem &p : summary.problems)
+        problems.push_back(p.message);
+    writeJsonStringArray(os, problems);
+    os << ",\n";
+    os << "  \"cells\": [";
+    bool first_cell = true;
+    for (const CellDiff &cell : summary.cells) {
+        if (cell.outcome == DiffOutcome::Identical)
+            continue;
+        os << (first_cell ? "\n" : ",\n");
+        first_cell = false;
+        os << "    {\"device\": \"" << jsonEscape(cell.device)
+           << "\", \"app\": \"" << jsonEscape(cell.app)
+           << "\", \"scheduler\": \"" << jsonEscape(cell.scheduler)
+           << "\", \"outcome\": \"" << diffOutcomeName(cell.outcome)
+           << "\", \"metrics\": [";
+        for (size_t i = 0; i < cell.metrics.size(); ++i) {
+            const MetricDelta &d = cell.metrics[i];
+            os << (i ? ",\n      " : "\n      ");
+            os << "{\"metric\": \"" << d.metric << "\", \"outcome\": \""
+               << diffOutcomeName(d.outcome)
+               << "\", \"base\": " << jsonNum(d.base)
+               << ", \"test\": " << jsonNum(d.test)
+               << ", \"abs_delta\": " << jsonNum(d.absDelta)
+               << ", \"rel_delta\": " << jsonNum(d.relDelta) << "}";
+        }
+        os << "]}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+} // namespace pes

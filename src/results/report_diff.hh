@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Noise-aware diffing of fleet reports and result stores.
+ *
+ * PES's claims are quantitative — energy savings at a QoS-violation
+ * budget — so a scheduler change that silently shifts a cell's energy
+ * or p95 latency is a correctness bug, not noise. This module turns
+ * "did anything drift?" from a hand-rolled `cmp` into a first-class,
+ * explainable comparison: two FleetReports (from report JSON/CSV files
+ * or reduced ResultStores) are aligned cell-by-cell on
+ * (device, app, scheduler), every serialized metric is compared under
+ * per-metric absolute/relative thresholds (or bit-exactly in exact
+ * mode, the determinism gate), and each cell is classified as
+ * Identical / WithinTolerance / Improved / Regressed / Missing / Extra.
+ *
+ * Two reports are only comparable when they describe the same sweep:
+ * base seed, seed mode, warm flag, user count and all three axis lists
+ * must match, otherwise the diff refuses with a classified Mismatch
+ * problem (comparing different populations yields meaningless deltas).
+ * Missing/Extra capture partial sweeps WITHIN a matching sweep — a
+ * cell present on one side only.
+ *
+ * Exit-code contract (pes_fleet diff, CI-gateable):
+ *   0            identical or within tolerance
+ *   kExitDrift   (2) any Regressed/Improved/Missing/Extra cell — the
+ *                baseline no longer describes this build
+ *   kExitMissing (3) an input file/store part is absent
+ *   kExitCorrupt (4) an input fails to parse/checksum, or the two
+ *                sides are not comparable (axis/population mismatch)
+ */
+
+#ifndef PES_RESULTS_REPORT_DIFF_HH
+#define PES_RESULTS_REPORT_DIFF_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runner/reporters.hh"
+#include "util/integrity.hh"
+
+namespace pes {
+
+/** Exit code when cells drifted beyond tolerance. */
+constexpr int kExitDrift = 2;
+
+/** Classified outcome of one metric, one cell, or a whole diff. */
+enum class DiffOutcome
+{
+    /** Bit-identical (NaN counts as equal to NaN). */
+    Identical,
+    /** Differs, but inside the absolute/relative noise band. */
+    WithinTolerance,
+    /** Beyond tolerance in the metric's "better" direction. Still
+     *  drift: the baseline is stale and must be re-recorded. */
+    Improved,
+    /** Beyond tolerance in the "worse" direction (or any beyond-
+     *  tolerance change of a direction-less metric, or any non-
+     *  identical value in exact mode). */
+    Regressed,
+    /** Cell present in the baseline only. */
+    Missing,
+    /** Cell present in the candidate only. */
+    Extra,
+};
+
+/** Stable lower-case name ("identical", "regressed", ...). */
+const char *diffOutcomeName(DiffOutcome outcome);
+
+/** What a "better" change of a metric looks like. */
+enum class MetricDirection
+{
+    /** Energy, latency, violations, ... */
+    LowerIsBetter,
+    /** Prediction accuracy. */
+    HigherIsBetter,
+    /** Counts that define the sweep shape (sessions, events): any
+     *  beyond-tolerance change is a regression, never an improvement. */
+    Structural,
+};
+
+/** Direction of a serialized cell metric (see cellMetricNames()). */
+MetricDirection metricDirection(const std::string &metric);
+
+/** Comparison knobs. */
+struct DiffOptions
+{
+    /** Relative noise band: |test - base| / |base| <= relTolerance
+     *  passes (checked when base != 0). */
+    double relTolerance = 0.01;
+    /** Absolute floor for near-zero metrics: |test - base| <=
+     *  absTolerance always passes. */
+    double absTolerance = 1e-9;
+    /** Bit-exact mode: any non-identical double is Regressed. The
+     *  determinism gate — catches 1-ulp drift. */
+    bool exact = false;
+    /** Compare only these metrics (empty = every serialized metric).
+     *  Unknown names make the diff refuse as not comparable. */
+    std::vector<std::string> metrics;
+};
+
+/** One metric's comparison within a cell (non-Identical only). */
+struct MetricDelta
+{
+    std::string metric;
+    double base = 0.0;
+    double test = 0.0;
+    /** |test - base|; NaN when either side is non-finite. */
+    double absDelta = 0.0;
+    /** absDelta / |base|; NaN when base == 0 or non-finite. */
+    double relDelta = 0.0;
+    DiffOutcome outcome = DiffOutcome::Identical;
+};
+
+/** One aligned cell's classification. */
+struct CellDiff
+{
+    std::string device;
+    std::string app;
+    std::string scheduler;
+    /** Worst metric outcome (Regressed > Improved > WithinTolerance >
+     *  Identical), or Missing/Extra for unaligned cells. */
+    DiffOutcome outcome = DiffOutcome::Identical;
+    /** Every non-Identical metric, in schema order. Empty for
+     *  Identical/Missing/Extra cells. */
+    std::vector<MetricDelta> metrics;
+};
+
+/** Outcome of diffing two reports. */
+struct DiffSummary
+{
+    /** False when the sweeps don't align (see problems). */
+    bool comparable = true;
+    /** Mismatch findings when not comparable. */
+    std::vector<IntegrityProblem> problems;
+
+    /** Per-outcome cell counts. */
+    int identical = 0;
+    int withinTolerance = 0;
+    int improved = 0;
+    int regressed = 0;
+    int missing = 0;
+    int extra = 0;
+
+    /** Every compared cell in baseline order (Extra cells last), with
+     *  Identical cells included so the summary is auditable. */
+    std::vector<CellDiff> cells;
+
+    /** True when nothing drifted: comparable and every cell Identical
+     *  or WithinTolerance. */
+    bool clean() const
+    {
+        return comparable && regressed == 0 && improved == 0 &&
+            missing == 0 && extra == 0;
+    }
+};
+
+/**
+ * Compare @p test against the @p base baseline. Never fails — an
+ * incomparable pair returns comparable == false with Mismatch
+ * problems.
+ */
+DiffSummary diffReports(const FleetReport &base, const FleetReport &test,
+                        const DiffOptions &options);
+
+/** The CI-gateable exit code of a finished diff (see file header). */
+int diffExitCode(const DiffSummary &summary);
+
+/**
+ * One side of a diff, loaded and classified. Exactly one of report /
+ * problems is non-empty: any load problem (missing file, corrupt
+ * store part, unparseable report, store content anomaly) leaves
+ * report unset.
+ */
+struct DiffInput
+{
+    std::optional<FleetReport> report;
+    std::vector<IntegrityProblem> problems;
+};
+
+/**
+ * Load a diff input from @p path, which may be a result-store
+ * directory (validated, then reduced via makeStoreReport), a report
+ * JSON file, or a report CSV file (detected by content). All failure
+ * paths produce classified problems, never a crash.
+ */
+DiffInput loadDiffInput(const std::string &path);
+
+/**
+ * Human summary: one table row per non-Identical cell (or a "no
+ * drift" line), plus outcome totals. Reuses util/table alignment.
+ */
+void printDiffSummary(const DiffSummary &summary, std::ostream &os);
+
+/**
+ * Machine-readable JSON rendering of a diff: options, outcome counts,
+ * exit code, and every non-Identical cell with its metric deltas.
+ */
+void writeDiffJson(const DiffSummary &summary, const DiffOptions &options,
+                   std::ostream &os);
+
+} // namespace pes
+
+#endif // PES_RESULTS_REPORT_DIFF_HH

@@ -194,6 +194,7 @@ makeStoreReport(const ResultStore &store, const MetricsAggregator &metrics)
     FleetReport report;
     report.baseSeed = sweep.baseSeed;
     report.seedMode = sweep.seedMode;
+    report.warmDrivers = sweep.warmDrivers;
     report.users = sweep.users;
     report.sessions = metrics.sessions();
     report.events = metrics.events();

@@ -1,5 +1,6 @@
 #include "runner/reporters.hh"
 
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
@@ -32,38 +33,10 @@ fieldStr(const JsonValue &obj, const char *key)
     return v ? v->str : std::string();
 }
 
-/** The cell column order shared by the JSON and CSV schemas. */
-constexpr const char *kCellColumns[] = {
-    "sessions", "events", "violations", "violation_rate",
-    "mean_energy_mj", "stddev_energy_mj", "min_energy_mj", "max_energy_mj",
-    "mean_busy_energy_mj", "mean_idle_energy_mj",
-    "mean_overhead_energy_mj", "mean_waste_energy_mj",
-    "mean_duration_ms", "mean_latency_ms", "p50_session_latency_ms",
-    "p95_session_latency_ms", "max_latency_ms", "avg_queue_length",
-    "prediction_accuracy", "mispredicts_per_session",
-    "mispredict_waste_ms_per_session", "fallback_rate",
-};
-
-std::vector<double>
-cellNumbers(const CellSummary &c)
-{
-    return {static_cast<double>(c.sessions), static_cast<double>(c.events),
-            static_cast<double>(c.violations), c.violationRate,
-            c.meanEnergyMj, c.stddevEnergyMj, c.minEnergyMj, c.maxEnergyMj,
-            c.meanBusyEnergyMj, c.meanIdleEnergyMj, c.meanOverheadEnergyMj,
-            c.meanWasteEnergyMj, c.meanDurationMs, c.meanLatencyMs,
-            c.p50SessionLatencyMs, c.p95SessionLatencyMs, c.maxLatencyMs,
-            c.avgQueueLength, c.predictionAccuracy,
-            c.mispredictsPerSession, c.mispredictWasteMsPerSession,
-            c.fallbackRate};
-}
-
 bool
 fillCellNumbers(CellSummary &c, const std::vector<double> &xs)
 {
-    constexpr size_t kCount =
-        sizeof(kCellColumns) / sizeof(kCellColumns[0]);
-    if (xs.size() != kCount)
+    if (xs.size() != cellMetricNames().size())
         return false;
     size_t i = 0;
     c.sessions = static_cast<int>(xs[i++]);
@@ -93,6 +66,47 @@ fillCellNumbers(CellSummary &c, const std::vector<double> &xs)
 
 } // namespace
 
+std::string
+csvNum(double v)
+{
+    if (std::isnan(v))
+        return "NaN";
+    if (std::isinf(v))
+        return v > 0 ? "Infinity" : "-Infinity";
+    return jsonNum(v);
+}
+
+const std::vector<std::string> &
+cellMetricNames()
+{
+    /** The cell column order shared by the JSON and CSV schemas. */
+    static const std::vector<std::string> kColumns = {
+        "sessions", "events", "violations", "violation_rate",
+        "mean_energy_mj", "stddev_energy_mj", "min_energy_mj",
+        "max_energy_mj", "mean_busy_energy_mj", "mean_idle_energy_mj",
+        "mean_overhead_energy_mj", "mean_waste_energy_mj",
+        "mean_duration_ms", "mean_latency_ms", "p50_session_latency_ms",
+        "p95_session_latency_ms", "max_latency_ms", "avg_queue_length",
+        "prediction_accuracy", "mispredicts_per_session",
+        "mispredict_waste_ms_per_session", "fallback_rate",
+    };
+    return kColumns;
+}
+
+std::vector<double>
+cellMetricValues(const CellSummary &c)
+{
+    return {static_cast<double>(c.sessions), static_cast<double>(c.events),
+            static_cast<double>(c.violations), c.violationRate,
+            c.meanEnergyMj, c.stddevEnergyMj, c.minEnergyMj, c.maxEnergyMj,
+            c.meanBusyEnergyMj, c.meanIdleEnergyMj, c.meanOverheadEnergyMj,
+            c.meanWasteEnergyMj, c.meanDurationMs, c.meanLatencyMs,
+            c.p50SessionLatencyMs, c.p95SessionLatencyMs, c.maxLatencyMs,
+            c.avgQueueLength, c.predictionAccuracy,
+            c.mispredictsPerSession, c.mispredictWasteMsPerSession,
+            c.fallbackRate};
+}
+
 FleetReport
 makeFleetReport(const FleetConfig &config, const MetricsAggregator &metrics)
 {
@@ -100,6 +114,7 @@ makeFleetReport(const FleetConfig &config, const MetricsAggregator &metrics)
     report.baseSeed = config.baseSeed;
     report.seedMode =
         config.seedMode == SeedMode::Fleet ? "fleet" : "evaluation";
+    report.warmDrivers = config.warmDrivers;
     report.users = config.effectiveUsers();
     report.sessions = metrics.sessions();
     report.events = metrics.events();
@@ -127,6 +142,7 @@ JsonReporter::write(const FleetReport &report, std::ostream &os)
     os << "  \"meta\": {\n";
     os << "    \"base_seed\": " << report.baseSeed << ",\n";
     os << "    \"seed_mode\": \"" << jsonEscape(report.seedMode) << "\",\n";
+    os << "    \"warm\": " << (report.warmDrivers ? 1 : 0) << ",\n";
     os << "    \"users\": " << report.users << ",\n";
     os << "    \"sessions\": " << report.sessions << ",\n";
     os << "    \"events\": " << report.events << ",\n";
@@ -144,10 +160,11 @@ JsonReporter::write(const FleetReport &report, std::ostream &os)
         os << "    {\"device\": \"" << jsonEscape(c.device)
            << "\", \"app\": \"" << jsonEscape(c.app)
            << "\", \"scheduler\": \"" << jsonEscape(c.scheduler) << "\",\n";
-        const std::vector<double> xs = cellNumbers(c);
+        const std::vector<double> xs = cellMetricValues(c);
+        const std::vector<std::string> &cols = cellMetricNames();
         os << "     ";
         for (size_t k = 0; k < xs.size(); ++k) {
-            os << (k ? ", " : "") << '"' << kCellColumns[k]
+            os << (k ? ", " : "") << '"' << cols[k]
                << "\": " << num(xs[k]);
         }
         os << "}";
@@ -180,6 +197,7 @@ JsonReporter::parse(const std::string &text)
     if (const JsonValue *v = meta->find("base_seed"))
         report.baseSeed = v->number64();
     report.seedMode = fieldStr(*meta, "seed_mode");
+    report.warmDrivers = fieldNum(*meta, "warm") != 0.0;
     report.users = static_cast<int>(fieldNum(*meta, "users"));
     report.sessions = static_cast<int>(fieldNum(*meta, "sessions"));
     report.events = static_cast<long>(fieldNum(*meta, "events"));
@@ -198,8 +216,8 @@ JsonReporter::parse(const std::string &text)
         c.app = fieldStr(cv, "app");
         c.scheduler = fieldStr(cv, "scheduler");
         std::vector<double> xs;
-        for (const char *col : kCellColumns)
-            xs.push_back(fieldNum(cv, col));
+        for (const std::string &col : cellMetricNames())
+            xs.push_back(fieldNum(cv, col.c_str()));
         if (!fillCellNumbers(c, xs))
             return std::nullopt;
         report.cells.push_back(std::move(c));
@@ -214,17 +232,19 @@ CsvReporter::write(const FleetReport &report, std::ostream &os)
 {
     os << "# pes_fleet report v" << FleetReport::kVersion << "\n";
     os << "# base_seed=" << report.baseSeed
-       << " seed_mode=" << report.seedMode << " users=" << report.users
+       << " seed_mode=" << report.seedMode
+       << " warm=" << (report.warmDrivers ? 1 : 0)
+       << " users=" << report.users
        << " sessions=" << report.sessions << " events=" << report.events
        << "\n";
     os << "device,app,scheduler";
-    for (const char *col : kCellColumns)
+    for (const std::string &col : cellMetricNames())
         os << ',' << col;
     os << "\n";
     for (const CellSummary &c : report.cells) {
         os << c.device << ',' << c.app << ',' << c.scheduler;
-        for (const double x : cellNumbers(c))
-            os << ',' << num(x);
+        for (const double x : cellMetricValues(c))
+            os << ',' << csvNum(x);
         os << "\n";
     }
 }
@@ -270,6 +290,68 @@ CsvReporter::parse(const std::string &text)
     if (!seen_header)
         return std::nullopt;
     return cells;
+}
+
+std::optional<FleetReport>
+CsvReporter::parseReport(const std::string &text)
+{
+    auto cells = parse(text);
+    if (!cells)
+        return std::nullopt;
+
+    FleetReport report;
+    bool seen_meta = false;
+    for (const std::string &line : split(text, '\n')) {
+        const std::string row = trim(line);
+        if (row.empty() || row[0] != '#')
+            continue;
+        // The meta comment is the '#' line carrying key=value tokens.
+        for (const std::string &token : split(row.substr(1), ' ')) {
+            const size_t eq = token.find('=');
+            if (eq == std::string::npos)
+                continue;
+            const std::string key = token.substr(0, eq);
+            const std::string value = token.substr(eq + 1);
+            long long n = 0;
+            if (key == "base_seed") {
+                uint64_t seed = 0;
+                if (!parseUint64(value, seed))
+                    return std::nullopt;
+                report.baseSeed = seed;
+                seen_meta = true;
+            } else if (key == "seed_mode") {
+                report.seedMode = value;
+            } else if (key == "warm" && parseInt64(value, n)) {
+                report.warmDrivers = n != 0;
+            } else if (key == "users" && parseInt64(value, n)) {
+                report.users = static_cast<int>(n);
+            } else if (key == "sessions" && parseInt64(value, n)) {
+                report.sessions = static_cast<int>(n);
+            } else if (key == "events" && parseInt64(value, n)) {
+                report.events = static_cast<long>(n);
+            }
+        }
+    }
+    if (!seen_meta)
+        return std::nullopt;
+
+    // CSV rows carry no axis lists; reconstruct them in first-seen
+    // order (write() emits cells sorted by key, so identical sweeps
+    // reconstruct identical axes).
+    const auto note = [](std::vector<std::string> &axis,
+                         const std::string &value) {
+        for (const std::string &x : axis)
+            if (x == value)
+                return;
+        axis.push_back(value);
+    };
+    for (const CellSummary &c : *cells) {
+        note(report.devices, c.device);
+        note(report.apps, c.app);
+        note(report.schedulers, c.scheduler);
+    }
+    report.cells = std::move(*cells);
+    return report;
 }
 
 } // namespace pes

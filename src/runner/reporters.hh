@@ -28,12 +28,17 @@ struct FleetConfig;
 /** Serializable view of one fleet run. */
 struct FleetReport
 {
-    /** Report-format version (bumped on schema changes). */
-    static constexpr int kVersion = 1;
+    /** Report-format version (bumped on schema changes).
+     *  v2: added the "warm" meta flag (driver mode is part of a run's
+     *  identity — diffing a warm sweep against a fresh one is
+     *  meaningless, so reports must carry it for alignment). */
+    static constexpr int kVersion = 2;
 
     uint64_t baseSeed = 0;
     /** "fleet" or "evaluation" (see SeedMode). */
     std::string seedMode = "fleet";
+    /** Warm per-cell drivers (FleetConfig::warmDrivers). */
+    bool warmDrivers = false;
     int users = 0;
     int sessions = 0;
     long events = 0;
@@ -42,6 +47,25 @@ struct FleetReport
     std::vector<std::string> schedulers;
     std::vector<CellSummary> cells;
 };
+
+/**
+ * The per-cell metric schema shared by the JSON and CSV sinks: JSON key
+ * == CSV column == diffable metric name. Exposed so tooling that walks
+ * cell metrics generically (report diffing, post-processors) can never
+ * drift from the serialized schema.
+ */
+const std::vector<std::string> &cellMetricNames();
+
+/** The metric values of @p c, in cellMetricNames() order. */
+std::vector<double> cellMetricValues(const CellSummary &c);
+
+/**
+ * CSV/plain-text spelling of a metric value: finite values share the
+ * JSON formatting, non-finite values are the bare strtod-parseable
+ * tokens NaN / Infinity / -Infinity (no JSON quoting). Use for any
+ * human-readable or CSV sink.
+ */
+std::string csvNum(double v);
 
 /** Assemble a report from a finished aggregation. */
 FleetReport makeFleetReport(const FleetConfig &config,
@@ -82,6 +106,16 @@ class CsvReporter
     /** Parse the cell rows of a CSV produced by write(). */
     static std::optional<std::vector<CellSummary>>
     parse(const std::string &text);
+
+    /**
+     * Parse a full report from a CSV produced by write(): the meta
+     * comment line plus the cell rows. CSV carries no explicit axis
+     * lists, so devices/apps/schedulers are reconstructed in first-seen
+     * cell order (cells are written sorted by key, so two CSVs of the
+     * same sweep reconstruct identical axes). nullopt on malformed
+     * input.
+     */
+    static std::optional<FleetReport> parseReport(const std::string &text);
 };
 
 } // namespace pes

@@ -1,6 +1,7 @@
 #include "util/json.hh"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <ostream>
@@ -198,6 +199,15 @@ jsonEscape(const std::string &s)
 std::string
 jsonNum(double v)
 {
+    // JSON has no non-finite number tokens ("nan"/"inf" from printf
+    // would make the document unparseable), so non-finite values encode
+    // as the canonical quoted strings. JsonValue::number() strtod's the
+    // string payload, which accepts exactly these spellings — the round
+    // trip is NaN -> "NaN" -> NaN, not a misclassified 0.0.
+    if (std::isnan(v))
+        return "\"NaN\"";
+    if (std::isinf(v))
+        return v > 0 ? "\"Infinity\"" : "\"-Infinity\"";
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.10g", v);
     return buf;

@@ -54,7 +54,12 @@ void writeJsonStringArray(std::ostream &os,
 /** Escape a string for embedding between JSON quotes. */
 std::string jsonEscape(const std::string &s);
 
-/** Shortest round-trippable-enough float formatting (deterministic). */
+/**
+ * Shortest round-trippable-enough float formatting (deterministic).
+ * Non-finite values encode as the quoted strings "NaN", "Infinity" and
+ * "-Infinity" so the document stays valid JSON; JsonValue::number()
+ * decodes them back to the non-finite double.
+ */
 std::string jsonNum(double v);
 
 } // namespace pes

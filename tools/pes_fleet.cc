@@ -27,6 +27,7 @@
 
 #include "core/experiment.hh"
 #include "corpus/corpus_store.hh"
+#include "results/report_diff.hh"
 #include "results/result_reduce.hh"
 #include "results/result_store.hh"
 #include "runner/fleet_runner.hh"
@@ -98,7 +99,26 @@ usage()
         "                     write its reports — byte-identical to a "
         "single whole run.\n"
         "                     exit: 0 clean, 3 missing part files, 4 "
-        "corrupt stores\n";
+        "corrupt stores\n"
+        "  pes_fleet diff BASE TEST [--exact] [--tolerance=REL] "
+        "[--abs-tolerance=ABS]\n"
+        "                     [--metric=LIST] [--out=FILE] [--quiet]\n"
+        "                     compare two runs cell-by-cell. BASE/TEST "
+        "are result-store\n"
+        "                     directories or report JSON/CSV files, in "
+        "any combination.\n"
+        "                     --exact gates bit-identical determinism; "
+        "otherwise metrics\n"
+        "                     pass within --tolerance (relative, "
+        "default 0.01) or\n"
+        "                     --abs-tolerance (default 1e-9). --out "
+        "writes a machine-\n"
+        "                     readable diff JSON.\n"
+        "                     exit: 0 within tolerance, 2 drift "
+        "(regressed/improved/\n"
+        "                     missing/extra cells), 3 missing inputs, "
+        "4 corrupt or\n"
+        "                     incomparable inputs\n";
 }
 
 bool
@@ -298,6 +318,103 @@ cmdMerge(int argc, char **argv)
     return 0;
 }
 
+// --------------------------------------------------------------- diff
+
+int
+cmdDiff(int argc, char **argv)
+{
+    DiffOptions options;
+    std::vector<std::string> paths;
+    std::string out_path;
+    bool quiet = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--exact") {
+            options.exact = true;
+        } else if (flagValue(arg, "tolerance", value)) {
+            fatal_if(!parseDouble(value, options.relTolerance) ||
+                         options.relTolerance < 0.0,
+                     "bad value '%s' for --tolerance", value.c_str());
+        } else if (flagValue(arg, "abs-tolerance", value)) {
+            fatal_if(!parseDouble(value, options.absTolerance) ||
+                         options.absTolerance < 0.0,
+                     "bad value '%s' for --abs-tolerance",
+                     value.c_str());
+        } else if (flagValue(arg, "metric", value)) {
+            for (const std::string &raw : split(value, ',')) {
+                const std::string metric = trim(raw);
+                if (!metric.empty())
+                    options.metrics.push_back(metric);
+            }
+        } else if (flagValue(arg, "out", value)) {
+            out_path = value;
+        } else if (startsWith(arg, "--")) {
+            std::cerr << "diff: unknown option '" << arg << "'\n\n";
+            usage();
+            return 1;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    fatal_if(paths.size() != 2,
+             "diff: expected exactly two inputs (BASE TEST), got %d",
+             static_cast<int>(paths.size()));
+
+    // Load both sides; any load problem gates before comparison.
+    const DiffInput base = loadDiffInput(paths[0]);
+    const DiffInput test = loadDiffInput(paths[1]);
+    if (!base.report || !test.report) {
+        std::vector<IntegrityProblem> problems = base.problems;
+        problems.insert(problems.end(), test.problems.begin(),
+                        test.problems.end());
+        for (const IntegrityProblem &p : problems)
+            std::cerr << "FAIL " << p.message << "\n";
+        return integrityExitCode(problems);
+    }
+
+    const DiffSummary summary =
+        diffReports(*base.report, *test.report, options);
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        fatal_if(!os, "cannot open '%s'", out_path.c_str());
+        writeDiffJson(summary, options, os);
+    }
+    if (!quiet)
+        printDiffSummary(summary, std::cout);
+    // Name every drifted cell/metric on stderr even under --quiet:
+    // a failing CI gate must say WHAT drifted in its log.
+    for (const CellDiff &cell : summary.cells) {
+        if (cell.outcome == DiffOutcome::Identical ||
+            cell.outcome == DiffOutcome::WithinTolerance)
+            continue;
+        const std::string where = "(" + cell.device + ", " + cell.app +
+            ", " + cell.scheduler + ")";
+        if (cell.metrics.empty()) {
+            std::cerr << "DRIFT " << where << ": cell "
+                      << diffOutcomeName(cell.outcome) << "\n";
+            continue;
+        }
+        for (const MetricDelta &d : cell.metrics) {
+            if (d.outcome == DiffOutcome::WithinTolerance)
+                continue;
+            std::cerr << "DRIFT " << where << " " << d.metric << ": "
+                      << diffOutcomeName(d.outcome) << " "
+                      << csvNum(d.base) << " -> " << csvNum(d.test)
+                      << "\n";
+        }
+    }
+    for (const IntegrityProblem &p : summary.problems)
+        std::cerr << "FAIL " << p.message << "\n";
+    return diffExitCode(summary);
+}
+
 } // namespace
 
 int
@@ -305,6 +422,8 @@ main(int argc, char **argv)
 {
     if (argc > 1 && argv[1] == std::string("merge"))
         return cmdMerge(argc, argv);
+    if (argc > 1 && argv[1] == std::string("diff"))
+        return cmdDiff(argc, argv);
 
     FleetConfig config;
     config.schedulers = {SchedulerKind::Pes, SchedulerKind::Ebs};

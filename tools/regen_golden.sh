@@ -1,0 +1,32 @@
+#!/bin/sh
+# Regenerate (or reproduce) the golden mini-sweep baseline.
+#
+# The golden baseline is the committed report of a small, fully
+# deterministic sweep; tests/test_diff.cc and the CI regression gate
+# compare freshly produced reports against it with `pes_fleet diff
+# --exact`. This script is the single CLI definition of that sweep —
+# tests/test_diff.cc (GoldenBaseline.*) replicates the same parameters
+# in-process, so keep the two in sync.
+#
+# Usage: tools/regen_golden.sh [OUT_JSON [OUT_CSV]]
+#   PES_FLEET=path/to/pes_fleet   binary to use [build/pes_fleet]
+#
+# Run with no arguments (e.g. `cmake --build build --target
+# regen-golden`) to overwrite the committed baseline after an
+# INTENTIONAL result change; commit the new files with the change that
+# caused them.
+set -eu
+
+out_json="${1:-tests/data/golden/mini_sweep.json}"
+out_csv="${2:-tests/data/golden/mini_sweep.csv}"
+fleet="${PES_FLEET:-build/pes_fleet}"
+
+"$fleet" \
+    --schedulers=ebs,interactive \
+    --apps=cnn,social_feed \
+    --users=3 \
+    --threads=4 \
+    --seed=0xf1ee7 \
+    --out="$out_json" \
+    --csv="$out_csv" \
+    --quiet >/dev/null
