@@ -1,6 +1,7 @@
 #include "corpus/trace_mutator.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 
 #include "util/logging.hh"
@@ -17,7 +18,15 @@ enum : uint64_t
     kTagEventDrop = 0x7502,
     kTagBurst = 0x7503,
     kTagConcat = 0x7504,
+    kTagJitter = 0x7505,
 };
+
+/** Log-space spread of jitterWorkloads at magnitude 1. Calibrated so a
+ *  full-magnitude jitter spans roughly 0.5x-2x of the recorded work —
+ *  the same order as the per-instance noise the generator synthesizes,
+ *  but decorrelated from the event-class structure the estimators key
+ *  on. */
+constexpr double kJitterSigmaAtFull = 0.35;
 
 uint64_t
 doubleBits(double v)
@@ -151,6 +160,31 @@ TraceMutator::concatenate(const InteractionTrace &first,
     for (TraceEvent e : second.events) {
         e.arrival += shift;
         out.events.push_back(e);
+    }
+    return out;
+}
+
+InteractionTrace
+TraceMutator::jitterWorkloads(const InteractionTrace &trace,
+                              double magnitude) const
+{
+    panic_if(magnitude < 0.0 || magnitude > 1.0,
+             "jitterWorkloads: magnitude must be in [0, 1]");
+    Rng rng = mutationRng(seed_, trace, kTagJitter,
+                          doubleBits(magnitude));
+    InteractionTrace out = trace;
+    out.userSeed = derivedUserSeed(seed_, trace.userSeed, kTagJitter,
+                                   doubleBits(magnitude));
+    const double sigma = magnitude * kJitterSigmaAtFull;
+    for (TraceEvent &e : out.events) {
+        // Two independent draws per event — callback and render noise
+        // are decorrelated in real pages (handler work vs paint size).
+        // At magnitude 0 both factors are exactly exp(0) == 1.0, so the
+        // scaled workloads stay bit-identical to the input.
+        const double callback_scale = std::exp(rng.normal() * sigma);
+        const double render_scale = std::exp(rng.normal() * sigma);
+        e.callbackWork = e.callbackWork.scaled(callback_scale);
+        e.renderWork = e.renderWork.scaled(render_scale);
     }
     return out;
 }

@@ -5,8 +5,9 @@
  * The 18 paper profiles bound what synthesis can express; mutation opens
  * workloads beyond them by deriving new sessions from recorded ones:
  * compressed/stretched think time (time-scale), flaky-input sessions
- * (event-drop), rage-tap storms (burst-injection), and marathon
- * sessions (concatenation). Every operator is a pure function of
+ * (event-drop), rage-tap storms (burst-injection), marathon sessions
+ * (concatenation), and estimator-hostile workload noise
+ * (workload-jitter). Every operator is a pure function of
  * (input trace, parameters, mutator seed): the derived randomness is
  * hashed from the mutator seed and the input's user seed, so the same
  * call always yields byte-identical output — mutated corpora are as
@@ -69,6 +70,17 @@ class TraceMutator
     InteractionTrace concatenate(const InteractionTrace &first,
                                  const InteractionTrace &second,
                                  TimeMs gap_ms) const;
+
+    /**
+     * Multiply every event's workload terms (callback and each render
+     * stage) by deterministic log-normal noise. @p magnitude in [0, 1]
+     * sets the log-space spread (0 leaves every workload bit-exact);
+     * arrivals, ordering, event types and network flags are untouched,
+     * so this stresses exactly what the Eqn.-1 estimators measure —
+     * per-class workload stability — without moving the input timeline.
+     */
+    InteractionTrace jitterWorkloads(const InteractionTrace &trace,
+                                     double magnitude) const;
 
   private:
     uint64_t seed_;

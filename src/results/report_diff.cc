@@ -185,6 +185,16 @@ diffReports(const FleetReport &base, const FleetReport &test,
                  (base.warmDrivers ? "warm" : "fresh") + " vs " +
                  (test.warmDrivers ? "warm" : "fresh"));
     }
+    if (base.scenario != test.scenario) {
+        // Different stress families — or different severities of one
+        // family — are different user populations; their deltas are the
+        // robustness curve's job, not the regression gate's.
+        const auto spell = [](const std::string &s) {
+            return s.empty() ? std::string("(baseline)") : "'" + s + "'";
+        };
+        mismatch("scenarios differ: " + spell(base.scenario) + " vs " +
+                 spell(test.scenario));
+    }
     if (base.users != test.users) {
         mismatch("user axes differ: " + std::to_string(base.users) +
                  " vs " + std::to_string(test.users));

@@ -14,8 +14,9 @@
  * Identical / WithinTolerance / Improved / Regressed / Missing / Extra.
  *
  * Two reports are only comparable when they describe the same sweep:
- * base seed, seed mode, warm flag, user count and all three axis lists
- * must match, otherwise the diff refuses with a classified Mismatch
+ * base seed, seed mode, warm flag, scenario identity, user count and
+ * all three axis lists must match, otherwise the diff refuses with a
+ * classified Mismatch
  * problem (comparing different populations yields meaningless deltas).
  * Missing/Extra capture partial sweeps WITHIN a matching sweep — a
  * cell present on one side only.

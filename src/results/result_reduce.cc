@@ -195,6 +195,7 @@ makeStoreReport(const ResultStore &store, const MetricsAggregator &metrics)
     report.baseSeed = sweep.baseSeed;
     report.seedMode = sweep.seedMode;
     report.warmDrivers = sweep.warmDrivers;
+    report.scenario = sweep.scenario;
     report.users = sweep.users;
     report.sessions = metrics.sessions();
     report.events = metrics.events();

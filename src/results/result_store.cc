@@ -34,6 +34,8 @@ manifestText(const SweepSpec &sweep,
     os << "    \"seed_mode\": \"" << jsonEscape(sweep.seedMode) << "\",\n";
     os << "    \"users\": " << sweep.users << ",\n";
     os << "    \"warm\": " << (sweep.warmDrivers ? 1 : 0) << ",\n";
+    os << "    \"scenario\": \"" << jsonEscape(sweep.scenario)
+       << "\",\n";
     if (!sweep.userSeeds.empty()) {
         os << "    \"user_seeds\": [";
         for (size_t i = 0; i < sweep.userSeeds.size(); ++i)
@@ -73,6 +75,7 @@ SweepSpec::fromConfig(const FleetConfig &config)
     spec.users = config.effectiveUsers();
     spec.userSeeds = config.userSeeds;
     spec.warmDrivers = config.warmDrivers;
+    spec.scenario = config.scenario;
     if (config.devices.empty()) {
         spec.devices.push_back(AcmpPlatform::exynos5410().name());
     } else {
@@ -99,7 +102,8 @@ operator==(const SweepSpec &a, const SweepSpec &b)
     return a.baseSeed == b.baseSeed && a.seedMode == b.seedMode &&
         a.users == b.users && a.userSeeds == b.userSeeds &&
         a.warmDrivers == b.warmDrivers && a.devices == b.devices &&
-        a.apps == b.apps && a.schedulers == b.schedulers;
+        a.apps == b.apps && a.schedulers == b.schedulers &&
+        a.scenario == b.scenario;
 }
 
 bool
@@ -141,8 +145,8 @@ ResultStore::create(const std::string &dir, const SweepSpec &sweep,
             return std::nullopt;
         if (store->sweep_ != sweep) {
             setError(error, "'" + dir + "' already holds a different "
-                     "sweep (axes, seeds or mode differ); use a fresh "
-                     "results directory");
+                     "sweep (axes, seeds, mode or scenario differ); "
+                     "use a fresh results directory");
             return std::nullopt;
         }
         return store;
@@ -194,6 +198,8 @@ ResultStore::loadManifest(std::string *error)
         sweep_.users = static_cast<int>(v->number());
     if (const JsonValue *v = sweep->find("warm"))
         sweep_.warmDrivers = v->number() != 0.0;
+    if (const JsonValue *v = sweep->find("scenario"))
+        sweep_.scenario = v->str;
     if (const JsonValue *v = sweep->find("user_seeds")) {
         for (const JsonValue &s : v->arr)
             sweep_.userSeeds.push_back(s.number64());
@@ -358,7 +364,7 @@ ResultStore::mergeFrom(const ResultStore &src, std::string *error)
 {
     if (src.sweep_ != sweep_) {
         setError(error, "'" + src.dir_ + "' holds a different sweep "
-                 "than '" + dir_ + "' (axes, seeds or mode differ)");
+                 "than '" + dir_ + "' (axes, seeds, mode or scenario differ)");
         return false;
     }
     for (const ResultPart &part : src.parts_) {

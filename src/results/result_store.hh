@@ -53,6 +53,10 @@ struct SweepSpec
     std::vector<std::string> devices;
     std::vector<std::string> apps;
     std::vector<std::string> schedulers;
+    /** Scenario identity ("<family>@<severity>"; empty = baseline).
+     *  Part of the sweep identity: a store never mixes scenario and
+     *  baseline sessions, or two severities of one family. */
+    std::string scenario;
 
     /** The spec of a fleet configuration (resolving default devices). */
     static SweepSpec fromConfig(const FleetConfig &config);

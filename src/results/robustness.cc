@@ -1,0 +1,332 @@
+#include "results/robustness.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <ostream>
+
+#include "results/report_diff.hh"
+#include "scenario/scenario_family.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace pes {
+
+namespace {
+
+/** Direction-adjusted relative worsening of @p v vs anchor @p b,
+ *  clamped at 0. Zero anchors fall back to absolute deltas. */
+double
+degradationOf(MetricDirection direction, double b, double v)
+{
+    const double denom = std::fabs(b) > 0.0 ? std::fabs(b) : 1.0;
+    double raw = 0.0;
+    switch (direction) {
+      case MetricDirection::LowerIsBetter:
+        raw = (v - b) / denom;
+        break;
+      case MetricDirection::HigherIsBetter:
+        raw = (b - v) / denom;
+        break;
+      case MetricDirection::Structural:
+        // Structural counts are excluded from the metric set; treat
+        // any change as degradation if one ever lands here.
+        raw = std::fabs(v - b) / denom;
+        break;
+    }
+    return std::fmax(0.0, raw);
+}
+
+/** Least-squares slope of value over severity (0 for < 2 points). */
+double
+slopeOf(const std::vector<CurvePoint> &points)
+{
+    if (points.size() < 2)
+        return 0.0;
+    double mean_s = 0.0, mean_v = 0.0;
+    for (const CurvePoint &p : points) {
+        mean_s += p.severity;
+        mean_v += p.value;
+    }
+    mean_s /= static_cast<double>(points.size());
+    mean_v /= static_cast<double>(points.size());
+    double num = 0.0, den = 0.0;
+    for (const CurvePoint &p : points) {
+        num += (p.severity - mean_s) * (p.value - mean_v);
+        den += (p.severity - mean_s) * (p.severity - mean_s);
+    }
+    return den > 0.0 ? num / den : 0.0;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+robustnessMetricNames()
+{
+    /** The headline claims: QoS violations, energy (total + waste),
+     *  responsiveness (mean + tail), and predictor health. Structural
+     *  counts (sessions/events) are deliberately absent — stress
+     *  families legitimately change them. */
+    static const std::vector<std::string> kMetrics = {
+        "violation_rate",          "mean_energy_mj",
+        "mean_waste_energy_mj",    "mean_latency_ms",
+        "p95_session_latency_ms",  "prediction_accuracy",
+    };
+    return kMetrics;
+}
+
+std::optional<RobustnessReport>
+makeRobustnessReport(const std::string &family,
+                     std::vector<std::pair<double, FleetReport>> cells,
+                     std::vector<IntegrityProblem> &problems)
+{
+    const size_t before = problems.size();
+    const auto bad = [&](const std::string &message) {
+        problems.push_back({IntegrityProblem::Kind::Mismatch,
+                            "robustness: " + message});
+    };
+    if (cells.empty()) {
+        bad("no severity cells");
+        return std::nullopt;
+    }
+    std::sort(cells.begin(), cells.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    for (size_t i = 1; i < cells.size(); ++i) {
+        if (cells[i].first == cells[i - 1].first)
+            bad("duplicate severity " + jsonNum(cells[i].first));
+    }
+
+    // Every cell must describe the same sweep, and carry the scenario
+    // tag of ITS severity — a report from the wrong family or severity
+    // would silently bend the curve.
+    const FleetReport &head = cells.front().second;
+    for (const auto &[severity, report] : cells) {
+        const std::string expected = scenarioTag(family, severity);
+        if (report.scenario != expected) {
+            bad("severity " + jsonNum(severity) +
+                ": report carries scenario '" + report.scenario +
+                "', expected '" + expected + "'");
+        }
+        if (report.baseSeed != head.baseSeed ||
+            report.seedMode != head.seedMode ||
+            report.warmDrivers != head.warmDrivers ||
+            report.users != head.users ||
+            report.devices != head.devices ||
+            report.apps != head.apps ||
+            report.schedulers != head.schedulers) {
+            bad("severity " + jsonNum(severity) +
+                ": sweep identity (seeds, mode, users or axes) differs "
+                "from the rest of the grid");
+        }
+    }
+    if (problems.size() != before)
+        return std::nullopt;
+
+    // Index every cell's summaries; a hole in any severity's
+    // cross-product makes its curves unanchored.
+    using Key = std::array<std::string, 3>;
+    std::vector<std::map<Key, const CellSummary *>> by_severity;
+    for (const auto &[severity, report] : cells) {
+        by_severity.emplace_back();
+        for (const CellSummary &c : report.cells) {
+            by_severity.back().emplace(Key{c.device, c.app, c.scheduler},
+                                       &c);
+        }
+        for (const std::string &device : head.devices) {
+            for (const std::string &app : head.apps) {
+                for (const std::string &scheduler : head.schedulers) {
+                    if (!by_severity.back().count(
+                            Key{device, app, scheduler})) {
+                        bad("severity " + jsonNum(severity) +
+                            ": cell (" + device + ", " + app + ", " +
+                            scheduler + ") is missing (partial sweep?)");
+                    }
+                }
+            }
+        }
+    }
+    if (problems.size() != before)
+        return std::nullopt;
+
+    RobustnessReport out;
+    out.family = family;
+    out.baseSeed = head.baseSeed;
+    out.seedMode = head.seedMode;
+    out.warmDrivers = head.warmDrivers;
+    out.users = head.users;
+    out.devices = head.devices;
+    out.apps = head.apps;
+    out.schedulers = head.schedulers;
+    for (const auto &[severity, report] : cells) {
+        (void)report;
+        out.severities.push_back(severity);
+        out.severityTags.push_back(jsonNum(severity));
+    }
+
+    // Resolve the robustness metrics against the serialized schema
+    // once, up front; a name that ever drifts out of cellMetricNames()
+    // must fail loudly, not silently curve the wrong column.
+    const std::vector<std::string> &metric_names = cellMetricNames();
+    std::map<std::string, size_t> metric_index;
+    for (const std::string &metric : robustnessMetricNames()) {
+        for (size_t i = 0; i < metric_names.size(); ++i) {
+            if (metric_names[i] == metric)
+                metric_index[metric] = i;
+        }
+        panic_if(!metric_index.count(metric),
+                 "robustness metric '%s' is not a serialized cell "
+                 "metric",
+                 metric.c_str());
+    }
+
+    // Canonical curve order: cell-major over the axis lists, metric-
+    // minor — matches the reports' own cell order, so curve bytes are
+    // reproducible from any execution layout.
+    for (const std::string &device : out.devices) {
+        for (const std::string &app : out.apps) {
+            for (const std::string &scheduler : out.schedulers) {
+                const Key key{device, app, scheduler};
+                for (const std::string &metric :
+                     robustnessMetricNames()) {
+                    RobustnessCurve curve;
+                    curve.device = device;
+                    curve.app = app;
+                    curve.scheduler = scheduler;
+                    curve.metric = metric;
+                    for (size_t s = 0; s < cells.size(); ++s) {
+                        const CellSummary &c =
+                            *by_severity[s].at(key);
+                        curve.points.push_back(
+                            {cells[s].first,
+                             cellMetricValues(
+                                 c)[metric_index.at(metric)]});
+                    }
+                    curve.baseline = curve.points.front().value;
+                    curve.slope = slopeOf(curve.points);
+                    const MetricDirection direction =
+                        metricDirection(metric);
+                    double sum = 0.0;
+                    int counted = 0;
+                    for (size_t s = 1; s < curve.points.size(); ++s) {
+                        const double d = degradationOf(
+                            direction, curve.baseline,
+                            curve.points[s].value);
+                        curve.worstDegradation =
+                            std::fmax(curve.worstDegradation, d);
+                        sum += d;
+                        ++counted;
+                    }
+                    curve.robustness = counted > 0
+                        ? 1.0 / (1.0 + sum / counted)
+                        : 1.0;
+                    out.curves.push_back(std::move(curve));
+                }
+            }
+        }
+    }
+
+    for (const std::string &scheduler : out.schedulers) {
+        SchedulerRobustness score;
+        score.scheduler = scheduler;
+        double sum = 0.0;
+        int counted = 0;
+        for (const RobustnessCurve &curve : out.curves) {
+            if (curve.scheduler != scheduler)
+                continue;
+            sum += curve.robustness;
+            score.worstDegradation = std::fmax(score.worstDegradation,
+                                               curve.worstDegradation);
+            ++counted;
+        }
+        score.score = counted > 0 ? sum / counted : 1.0;
+        out.schedulers_summary.push_back(std::move(score));
+    }
+    return out;
+}
+
+void
+writeRobustnessJson(const RobustnessReport &report, std::ostream &os)
+{
+    os << "{\n";
+    os << "  \"curve_version\": " << RobustnessReport::kVersion << ",\n";
+    os << "  \"meta\": {\n";
+    os << "    \"family\": \"" << jsonEscape(report.family) << "\",\n";
+    os << "    \"base_seed\": " << report.baseSeed << ",\n";
+    os << "    \"seed_mode\": \"" << jsonEscape(report.seedMode)
+       << "\",\n";
+    os << "    \"warm\": " << (report.warmDrivers ? 1 : 0) << ",\n";
+    os << "    \"users\": " << report.users << ",\n";
+    os << "    \"severities\": [";
+    for (size_t i = 0; i < report.severities.size(); ++i)
+        os << (i ? ", " : "") << jsonNum(report.severities[i]);
+    os << "],\n";
+    os << "    \"devices\": ";
+    writeJsonStringArray(os, report.devices);
+    os << ",\n    \"apps\": ";
+    writeJsonStringArray(os, report.apps);
+    os << ",\n    \"schedulers\": ";
+    writeJsonStringArray(os, report.schedulers);
+    os << ",\n    \"metrics\": ";
+    writeJsonStringArray(os, robustnessMetricNames());
+    os << "\n  },\n";
+    os << "  \"schedulers\": [";
+    for (size_t i = 0; i < report.schedulers_summary.size(); ++i) {
+        const SchedulerRobustness &s = report.schedulers_summary[i];
+        os << (i ? ",\n" : "\n");
+        os << "    {\"scheduler\": \"" << jsonEscape(s.scheduler)
+           << "\", \"robustness_score\": " << jsonNum(s.score)
+           << ", \"worst_degradation\": " << jsonNum(s.worstDegradation)
+           << "}";
+    }
+    os << "\n  ],\n";
+    os << "  \"curves\": [";
+    for (size_t i = 0; i < report.curves.size(); ++i) {
+        const RobustnessCurve &c = report.curves[i];
+        os << (i ? ",\n" : "\n");
+        os << "    {\"device\": \"" << jsonEscape(c.device)
+           << "\", \"app\": \"" << jsonEscape(c.app)
+           << "\", \"scheduler\": \"" << jsonEscape(c.scheduler)
+           << "\", \"metric\": \"" << jsonEscape(c.metric) << "\",\n";
+        os << "     \"baseline\": " << jsonNum(c.baseline)
+           << ", \"slope\": " << jsonNum(c.slope)
+           << ", \"worst_degradation\": " << jsonNum(c.worstDegradation)
+           << ", \"robustness\": " << jsonNum(c.robustness) << ",\n";
+        os << "     \"points\": [";
+        for (size_t k = 0; k < c.points.size(); ++k) {
+            os << (k ? ", " : "")
+               << "{\"severity\": " << jsonNum(c.points[k].severity)
+               << ", \"value\": " << jsonNum(c.points[k].value) << "}";
+        }
+        os << "]}";
+    }
+    os << "\n  ]\n}\n";
+}
+
+void
+writeRobustnessCsv(const RobustnessReport &report, std::ostream &os)
+{
+    os << "# pes_fleet stress curves v" << RobustnessReport::kVersion
+       << "\n";
+    os << "# family=" << report.family << " base_seed=" << report.baseSeed
+       << " seed_mode=" << report.seedMode
+       << " warm=" << (report.warmDrivers ? 1 : 0)
+       << " users=" << report.users << "\n";
+    os << "device,app,scheduler,metric";
+    for (const std::string &tag : report.severityTags)
+        os << ",sev_" << tag;
+    os << ",baseline,slope,worst_degradation,robustness\n";
+    for (const RobustnessCurve &c : report.curves) {
+        os << c.device << ',' << c.app << ',' << c.scheduler << ','
+           << c.metric;
+        for (const CurvePoint &p : c.points)
+            os << ',' << csvNum(p.value);
+        os << ',' << csvNum(c.baseline) << ',' << csvNum(c.slope) << ','
+           << csvNum(c.worstDegradation) << ',' << csvNum(c.robustness)
+           << "\n";
+    }
+}
+
+} // namespace pes

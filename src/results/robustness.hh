@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Robustness reduction: per-severity fleet reports -> scheduler
+ * degradation curves.
+ *
+ * A scenario sweep produces one FleetReport per severity cell. This
+ * module folds them into per-(device, app, scheduler, metric) curves —
+ * metric value vs severity — plus two scalar summaries per curve and a
+ * normalized robustness score per scheduler:
+ *
+ *  - slope: the least-squares slope of value over severity, in metric
+ *    units per unit severity. Sign follows the raw value (an energy
+ *    slope of +800 means ~800 mJ more per full severity).
+ *  - degradation d(s): the direction-adjusted relative worsening vs
+ *    the curve's lowest-severity anchor b — (v-b)/|b| for lower-better
+ *    metrics, (b-v)/|b| for higher-better — clamped at 0 (a metric
+ *    that improves under stress does not earn robustness credit).
+ *    Anchors at exactly 0 fall back to absolute deltas (|b| -> 1).
+ *  - robustness: 1 / (1 + mean of d(s) over the non-anchor grid
+ *    points), in (0, 1]: 1.0 = the metric never degrades, 0.5 = it
+ *    doubles on average across the grid.
+ *
+ * A scheduler's score is the mean robustness over every (device, app,
+ * metric) curve it owns — the headline "who survives hostile users"
+ * number. All arithmetic replays in canonical cell/metric order over
+ * reports that are themselves byte-deterministic, so the JSON and CSV
+ * curve reports are byte-identical for any thread count, shard split,
+ * or resume boundary of the underlying sweeps.
+ */
+
+#ifndef PES_RESULTS_ROBUSTNESS_HH
+#define PES_RESULTS_ROBUSTNESS_HH
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runner/reporters.hh"
+#include "util/integrity.hh"
+
+namespace pes {
+
+/** The metrics robustness curves track: the paper's headline QoS /
+ *  energy / prediction claims (a subset of cellMetricNames()). */
+const std::vector<std::string> &robustnessMetricNames();
+
+/** One (severity, value) sample of a curve. */
+struct CurvePoint
+{
+    double severity = 0.0;
+    double value = 0.0;
+};
+
+/** One metric's trajectory across the severity grid for one cell. */
+struct RobustnessCurve
+{
+    std::string device;
+    std::string app;
+    std::string scheduler;
+    std::string metric;
+    /** Samples in ascending-severity order (one per grid point). */
+    std::vector<CurvePoint> points;
+    /** Value at the lowest severity (the degradation anchor). */
+    double baseline = 0.0;
+    /** Least-squares slope of value over severity. */
+    double slope = 0.0;
+    /** Max direction-adjusted relative degradation vs baseline. */
+    double worstDegradation = 0.0;
+    /** 1 / (1 + mean degradation) in (0, 1]. */
+    double robustness = 1.0;
+};
+
+/** A scheduler's aggregate across all its curves. */
+struct SchedulerRobustness
+{
+    std::string scheduler;
+    /** Mean robustness over every (device, app, metric) curve. */
+    double score = 1.0;
+    /** Worst single-curve degradation this scheduler exhibited. */
+    double worstDegradation = 0.0;
+};
+
+/** The serializable outcome of one scenario sweep. */
+struct RobustnessReport
+{
+    /** Curve-report schema version. */
+    static constexpr int kVersion = 1;
+
+    /** Stress family name. */
+    std::string family;
+    /** Sweep identity (shared by every severity cell). */
+    uint64_t baseSeed = 0;
+    std::string seedMode = "fleet";
+    bool warmDrivers = false;
+    int users = 0;
+    std::vector<std::string> devices;
+    std::vector<std::string> apps;
+    std::vector<std::string> schedulers;
+    /** The severity grid, ascending, with canonical spellings. */
+    std::vector<double> severities;
+    std::vector<std::string> severityTags;
+    /** Curves in canonical order: cell-major (device, app, scheduler),
+     *  metric-minor (robustnessMetricNames() order). */
+    std::vector<RobustnessCurve> curves;
+    /** Per-scheduler aggregates, in scheduler-axis order. */
+    std::vector<SchedulerRobustness> schedulers_summary;
+};
+
+/**
+ * Fold per-severity reports into a RobustnessReport. @p cells pairs
+ * each severity with its (store-reduced or in-memory) FleetReport, in
+ * any order; they are validated to (a) share one sweep identity, (b)
+ * carry the scenario tag "<family>@<severity>" matching their severity,
+ * and (c) form a duplicate-free grid with every cell's cross-product
+ * complete. Violations append classified Mismatch problems and yield
+ * nullopt — curves over mismatched sweeps would be fiction.
+ */
+std::optional<RobustnessReport>
+makeRobustnessReport(const std::string &family,
+                     std::vector<std::pair<double, FleetReport>> cells,
+                     std::vector<IntegrityProblem> &problems);
+
+/** JSON curve sink (deterministic bytes; meta + curves + scores). */
+void writeRobustnessJson(const RobustnessReport &report,
+                         std::ostream &os);
+
+/** CSV curve sink: one row per (cell, metric) with per-severity value
+ *  columns, slope, degradation and robustness. */
+void writeRobustnessCsv(const RobustnessReport &report, std::ostream &os);
+
+} // namespace pes
+
+#endif // PES_RESULTS_ROBUSTNESS_HH

@@ -18,6 +18,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,6 +26,7 @@
 #include "core/scheduler_kind.hh"
 #include "hw/acmp.hh"
 #include "trace/app_profile.hh"
+#include "trace/trace.hh"
 
 namespace pes {
 
@@ -199,6 +201,26 @@ struct FleetConfig
      * much work a kill can lose.
      */
     int checkpointEvery = 1024;
+    /**
+     * Scenario identity of this sweep ("<family>@<severity>" for
+     * stress sweeps, empty for the baseline). Carried into the sweep
+     * spec, store manifest and report meta, so stores never mix and
+     * `pes_fleet diff` never compares runs of different scenarios —
+     * the derived traces describe a different user population.
+     */
+    std::string scenario;
+    /**
+     * Optional deterministic trace transform (scenario derivation):
+     * applied to every trace after synthesis or corpus load, INSIDE
+     * the trace cache's loader, so evicted entries re-materialize the
+     * transformed trace byte-identically. MUST be a pure function of
+     * the input trace — any hidden state would break the bit-exact
+     * reports guarantee across thread counts, shards, and resume.
+     * The cross-product keys (device, app, job userSeed) are
+     * untouched; only the replayed events change.
+     */
+    std::function<InteractionTrace(const InteractionTrace &)>
+        traceTransform;
 
     /** The user-axis length (userSeeds list or @c users). */
     int effectiveUsers() const;

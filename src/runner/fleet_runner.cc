@@ -321,7 +321,12 @@ FleetRunner::run()
     // event decode) and lets sessions load on demand. ----
     uint64_t traces_from_corpus = 0;
     if (config_.corpus) {
-        const bool capped = owned_cache && config_.traceCacheCap > 0;
+        // A scenario transform also demotes the preload to header
+        // verification: inserting the raw recording would poison the
+        // cache with untransformed traces, so sessions load+derive on
+        // demand through the cache's deterministic loader instead.
+        const bool capped = (owned_cache && config_.traceCacheCap > 0) ||
+            static_cast<bool>(config_.traceTransform);
         std::set<std::tuple<std::string, std::string, uint64_t>> checked;
         for (const JobRange &range : outcome.plan.ranges) {
             for (int i = 0; i < range.count; ++i) {
@@ -410,6 +415,7 @@ FleetRunner::run()
             handle = cache->getOrLoad(
                 device.platform.name(), profile.name, job.userSeed,
                 [&]() -> InteractionTrace {
+                    InteractionTrace materialized;
                     if (config_.corpus) {
                         // Throw (not fatal): this runs on a worker, and
                         // the pool turns the exception into a run-level
@@ -430,13 +436,25 @@ FleetRunner::run()
                                        : "preloaded entry disappeared"));
                         }
                         corpus_loads.fetch_add(1);
-                        return std::move(*loaded);
+                        materialized = std::move(*loaded);
+                    } else {
+                        materialized =
+                            gen_slot->generate(profile, job.userSeed);
                     }
-                    return gen_slot->generate(profile, job.userSeed);
+                    // Scenario derivation happens INSIDE the loader:
+                    // re-materializing an evicted key reproduces the
+                    // transformed trace byte-identically (the transform
+                    // is pure by contract).
+                    if (config_.traceTransform)
+                        materialized =
+                            config_.traceTransform(materialized);
+                    return materialized;
                 });
             trace = handle.get();
         } else {
             fresh = gen_slot->generate(profile, job.userSeed);
+            if (config_.traceTransform)
+                fresh = config_.traceTransform(fresh);
             trace = &fresh;
         }
 

@@ -115,6 +115,7 @@ makeFleetReport(const FleetConfig &config, const MetricsAggregator &metrics)
     report.seedMode =
         config.seedMode == SeedMode::Fleet ? "fleet" : "evaluation";
     report.warmDrivers = config.warmDrivers;
+    report.scenario = config.scenario;
     report.users = config.effectiveUsers();
     report.sessions = metrics.sessions();
     report.events = metrics.events();
@@ -143,6 +144,8 @@ JsonReporter::write(const FleetReport &report, std::ostream &os)
     os << "    \"base_seed\": " << report.baseSeed << ",\n";
     os << "    \"seed_mode\": \"" << jsonEscape(report.seedMode) << "\",\n";
     os << "    \"warm\": " << (report.warmDrivers ? 1 : 0) << ",\n";
+    os << "    \"scenario\": \"" << jsonEscape(report.scenario)
+       << "\",\n";
     os << "    \"users\": " << report.users << ",\n";
     os << "    \"sessions\": " << report.sessions << ",\n";
     os << "    \"events\": " << report.events << ",\n";
@@ -198,6 +201,7 @@ JsonReporter::parse(const std::string &text)
         report.baseSeed = v->number64();
     report.seedMode = fieldStr(*meta, "seed_mode");
     report.warmDrivers = fieldNum(*meta, "warm") != 0.0;
+    report.scenario = fieldStr(*meta, "scenario");
     report.users = static_cast<int>(fieldNum(*meta, "users"));
     report.sessions = static_cast<int>(fieldNum(*meta, "sessions"));
     report.events = static_cast<long>(fieldNum(*meta, "events"));
@@ -234,6 +238,7 @@ CsvReporter::write(const FleetReport &report, std::ostream &os)
     os << "# base_seed=" << report.baseSeed
        << " seed_mode=" << report.seedMode
        << " warm=" << (report.warmDrivers ? 1 : 0)
+       << " scenario=" << report.scenario
        << " users=" << report.users
        << " sessions=" << report.sessions << " events=" << report.events
        << "\n";
@@ -323,6 +328,8 @@ CsvReporter::parseReport(const std::string &text)
                 report.seedMode = value;
             } else if (key == "warm" && parseInt64(value, n)) {
                 report.warmDrivers = n != 0;
+            } else if (key == "scenario") {
+                report.scenario = value;
             } else if (key == "users" && parseInt64(value, n)) {
                 report.users = static_cast<int>(n);
             } else if (key == "sessions" && parseInt64(value, n)) {

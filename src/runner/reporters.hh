@@ -31,14 +31,20 @@ struct FleetReport
     /** Report-format version (bumped on schema changes).
      *  v2: added the "warm" meta flag (driver mode is part of a run's
      *  identity — diffing a warm sweep against a fresh one is
-     *  meaningless, so reports must carry it for alignment). */
-    static constexpr int kVersion = 2;
+     *  meaningless, so reports must carry it for alignment).
+     *  v3: added the "scenario" meta string (stress-family identity,
+     *  "<family>@<severity>"; empty for baseline sweeps) — severity
+     *  cells of a scenario sweep are different user populations and
+     *  must never silently diff against each other or the baseline. */
+    static constexpr int kVersion = 3;
 
     uint64_t baseSeed = 0;
     /** "fleet" or "evaluation" (see SeedMode). */
     std::string seedMode = "fleet";
     /** Warm per-cell drivers (FleetConfig::warmDrivers). */
     bool warmDrivers = false;
+    /** Scenario identity (FleetConfig::scenario; empty = baseline). */
+    std::string scenario;
     int users = 0;
     int sessions = 0;
     long events = 0;

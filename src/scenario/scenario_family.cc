@@ -1,0 +1,512 @@
+#include "scenario/scenario_family.hh"
+
+#include <cmath>
+#include <filesystem>
+#include <functional>
+
+#include "corpus/trace_mutator.hh"
+#include "util/binary_io.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace pes {
+
+namespace {
+
+/** Integer parameters round to the nearest step of their ramp. */
+int
+roundedParam(double v)
+{
+    return static_cast<int>(std::llround(v));
+}
+
+/** The spec parameter names each operator accepts. */
+const std::vector<std::string> &
+paramNamesOf(ScenarioOpKind kind)
+{
+    static const std::vector<std::string> kTimeScale = {"factor"};
+    static const std::vector<std::string> kEventDrop = {"probability"};
+    static const std::vector<std::string> kBurst = {"rate", "length"};
+    static const std::vector<std::string> kRepeat = {"copies", "gap_ms"};
+    static const std::vector<std::string> kJitter = {"magnitude"};
+    switch (kind) {
+      case ScenarioOpKind::TimeScale:
+        return kTimeScale;
+      case ScenarioOpKind::EventDrop:
+        return kEventDrop;
+      case ScenarioOpKind::Burst:
+        return kBurst;
+      case ScenarioOpKind::Repeat:
+        return kRepeat;
+      case ScenarioOpKind::Jitter:
+        return kJitter;
+    }
+    static const std::vector<std::string> kNone;
+    return kNone;
+}
+
+SeverityParam *
+paramSlot(ScenarioOp &op, const std::string &name)
+{
+    if (name == "factor")
+        return &op.factor;
+    if (name == "probability")
+        return &op.probability;
+    if (name == "rate")
+        return &op.rate;
+    if (name == "length")
+        return &op.length;
+    if (name == "copies")
+        return &op.copies;
+    if (name == "gap_ms")
+        return &op.gapMs;
+    if (name == "magnitude")
+        return &op.magnitude;
+    return nullptr;
+}
+
+std::optional<ScenarioOpKind>
+opKindByName(const std::string &name)
+{
+    for (const ScenarioOpKind kind :
+         {ScenarioOpKind::TimeScale, ScenarioOpKind::EventDrop,
+          ScenarioOpKind::Burst, ScenarioOpKind::Repeat,
+          ScenarioOpKind::Jitter}) {
+        if (name == scenarioOpName(kind))
+            return kind;
+    }
+    return std::nullopt;
+}
+
+/** Range check of one linear parameter over the whole severity
+ *  interval: both endpoints must satisfy @p ok (the value at any
+ *  severity in [0, 1] lies between them). */
+bool
+endpointsOk(const SeverityParam &p, const std::function<bool(double)> &ok)
+{
+    return std::isfinite(p.at0) && std::isfinite(p.at1) && ok(p.at0) &&
+        ok(p.at1);
+}
+
+} // namespace
+
+const char *
+scenarioOpName(ScenarioOpKind kind)
+{
+    switch (kind) {
+      case ScenarioOpKind::TimeScale:
+        return "time_scale";
+      case ScenarioOpKind::EventDrop:
+        return "event_drop";
+      case ScenarioOpKind::Burst:
+        return "burst";
+      case ScenarioOpKind::Repeat:
+        return "repeat";
+      case ScenarioOpKind::Jitter:
+        return "jitter";
+    }
+    return "unknown";
+}
+
+bool
+validScenarioName(const std::string &name)
+{
+    if (name.empty() || name.size() > 64)
+        return false;
+    for (const char c : name) {
+        const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+            c == '_';
+        if (!ok)
+            return false;
+    }
+    return true;
+}
+
+std::string
+scenarioTag(const std::string &family, double severity)
+{
+    return family + "@" + jsonNum(severity);
+}
+
+InteractionTrace
+ScenarioFamily::derive(const InteractionTrace &base, double severity,
+                       uint64_t mutator_seed) const
+{
+    panic_if(severity < 0.0 || severity > 1.0,
+             "scenario '%s': severity %g outside [0, 1]", name.c_str(),
+             severity);
+    InteractionTrace out = base;
+    // Stage seeds are salted by the family name and the stage index, so
+    // two identical stages in one pipeline (or the same operator in two
+    // families) never share a mutation stream.
+    const uint64_t family_seed =
+        hashCombine(mutator_seed, hashString(name.c_str()));
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const ScenarioOp &op = ops[i];
+        const TraceMutator mutator(
+            hashCombine(family_seed, static_cast<uint64_t>(i)));
+        switch (op.kind) {
+          case ScenarioOpKind::TimeScale: {
+            const double factor = op.factor.at(severity);
+            if (factor != 1.0)
+                out = mutator.timeScale(out, factor);
+            break;
+          }
+          case ScenarioOpKind::EventDrop: {
+            const double probability = op.probability.at(severity);
+            if (probability > 0.0)
+                out = mutator.dropEvents(out, probability);
+            break;
+          }
+          case ScenarioOpKind::Burst: {
+            const double rate = op.rate.at(severity);
+            const int length = roundedParam(op.length.at(severity));
+            if (rate > 0.0 && length >= 1)
+                out = mutator.injectBursts(out, rate, length);
+            break;
+          }
+          case ScenarioOpKind::Repeat: {
+            const int copies = roundedParam(op.copies.at(severity));
+            if (copies > 0) {
+                const double gap = op.gapMs.at(severity);
+                // Splice `copies` extra replays of the current state
+                // (linear growth, not doubling).
+                const InteractionTrace unit = out;
+                for (int k = 0; k < copies; ++k)
+                    out = mutator.concatenate(out, unit, gap);
+            }
+            break;
+          }
+          case ScenarioOpKind::Jitter: {
+            const double magnitude = op.magnitude.at(severity);
+            if (magnitude > 0.0)
+                out = mutator.jitterWorkloads(out, magnitude);
+            break;
+          }
+        }
+    }
+    return out;
+}
+
+const std::vector<ScenarioFamily> &
+scenarioRegistry()
+{
+    static const std::vector<ScenarioFamily> kFamilies = [] {
+        std::vector<ScenarioFamily> families;
+
+        // Frustrated users hammer unresponsive elements: bursts of
+        // warm-cache echoes after taps/scrolls, plus mild workload
+        // noise (repeated handlers are not perfectly identical).
+        ScenarioFamily rage;
+        rage.name = "rage_tap_storm";
+        rage.description = "frantic repeated taps/scrolls after every "
+                           "interaction, warm-cache echo workloads";
+        {
+            ScenarioOp burst;
+            burst.kind = ScenarioOpKind::Burst;
+            burst.rate = rampParam(0.0, 0.6);
+            burst.length = rampParam(2.0, 6.0);
+            rage.ops.push_back(burst);
+            ScenarioOp jitter;
+            jitter.kind = ScenarioOpKind::Jitter;
+            jitter.magnitude = rampParam(0.0, 0.2);
+            rage.ops.push_back(jitter);
+        }
+        families.push_back(std::move(rage));
+
+        // A distracted commuter on flaky input: events vanish, think
+        // time stretches, and the workloads that do arrive are noisy.
+        ScenarioFamily flaky;
+        flaky.name = "flaky_input_commuter";
+        flaky.description = "dropped input events, stretched think "
+                            "time, noisy per-event workloads";
+        {
+            ScenarioOp drop;
+            drop.kind = ScenarioOpKind::EventDrop;
+            drop.probability = rampParam(0.0, 0.35);
+            flaky.ops.push_back(drop);
+            ScenarioOp stretch;
+            stretch.kind = ScenarioOpKind::TimeScale;
+            stretch.factor = rampParam(1.0, 1.25);
+            flaky.ops.push_back(stretch);
+            ScenarioOp jitter;
+            jitter.kind = ScenarioOpKind::Jitter;
+            jitter.magnitude = rampParam(0.0, 0.3);
+            flaky.ops.push_back(jitter);
+        }
+        families.push_back(std::move(flaky));
+
+        // A hurried user compresses think time toward back-to-back
+        // interactions and double-taps impatiently — the proactive
+        // window PES schedules into shrinks toward zero.
+        ScenarioFamily hurried;
+        hurried.name = "hurried_user";
+        hurried.description = "compressed think time with impatient "
+                              "double-taps";
+        {
+            ScenarioOp compress;
+            compress.kind = ScenarioOpKind::TimeScale;
+            compress.factor = rampParam(1.0, 0.35);
+            hurried.ops.push_back(compress);
+            ScenarioOp burst;
+            burst.kind = ScenarioOpKind::Burst;
+            burst.rate = rampParam(0.0, 0.25);
+            burst.length = rampParam(1.0, 3.0);
+            hurried.ops.push_back(burst);
+        }
+        families.push_back(std::move(hurried));
+
+        // A marathon binge splices the session onto itself with
+        // shrinking breaks — cross-session history length and energy
+        // accumulation, with a little input flakiness late in the
+        // binge.
+        ScenarioFamily marathon;
+        marathon.name = "marathon_binge";
+        marathon.description = "session spliced onto itself with "
+                               "shrinking idle gaps";
+        {
+            ScenarioOp repeat;
+            repeat.kind = ScenarioOpKind::Repeat;
+            repeat.copies = rampParam(0.0, 3.0);
+            repeat.gapMs = rampParam(5000.0, 1500.0);
+            marathon.ops.push_back(repeat);
+            ScenarioOp drop;
+            drop.kind = ScenarioOpKind::EventDrop;
+            drop.probability = rampParam(0.0, 0.1);
+            marathon.ops.push_back(drop);
+        }
+        families.push_back(std::move(marathon));
+
+        // Pure Eqn.-1 estimator stress: the timeline is untouched but
+        // every workload term is noisy, so measurement history stops
+        // predicting the next instance.
+        ScenarioFamily chaos;
+        chaos.name = "estimator_chaos";
+        chaos.description = "unchanged timeline, log-normal workload "
+                            "noise on every event";
+        {
+            ScenarioOp jitter;
+            jitter.kind = ScenarioOpKind::Jitter;
+            jitter.magnitude = rampParam(0.0, 1.0);
+            chaos.ops.push_back(jitter);
+        }
+        families.push_back(std::move(chaos));
+
+        // The registry must satisfy its own spec rules.
+        for (const ScenarioFamily &family : families) {
+            std::vector<IntegrityProblem> problems;
+            panic_if(!validateScenarioFamily(family, problems),
+                     "built-in scenario family '%s' fails validation",
+                     family.name.c_str());
+        }
+        return families;
+    }();
+    return kFamilies;
+}
+
+const ScenarioFamily *
+findScenarioFamily(const std::string &name)
+{
+    for (const ScenarioFamily &family : scenarioRegistry()) {
+        if (family.name == name)
+            return &family;
+    }
+    return nullptr;
+}
+
+bool
+validateScenarioFamily(const ScenarioFamily &family,
+                       std::vector<IntegrityProblem> &problems)
+{
+    const size_t before = problems.size();
+    const auto bad = [&](const std::string &message) {
+        problems.push_back({IntegrityProblem::Kind::Mismatch,
+                            "scenario '" + family.name + "': " + message});
+    };
+    if (!validScenarioName(family.name)) {
+        problems.push_back(
+            {IntegrityProblem::Kind::Mismatch,
+             "scenario name '" + family.name +
+                 "' is not a valid identifier ([a-z0-9_]+, max 64)"});
+    }
+    if (family.ops.empty())
+        bad("a family needs at least one op");
+    for (size_t i = 0; i < family.ops.size(); ++i) {
+        const ScenarioOp &op = family.ops[i];
+        const std::string where =
+            "op " + std::to_string(i) + " (" + scenarioOpName(op.kind) +
+            ")";
+        switch (op.kind) {
+          case ScenarioOpKind::TimeScale:
+            if (!endpointsOk(op.factor,
+                             [](double v) { return v > 0.0; }))
+                bad(where + ": factor must stay > 0 across severities");
+            break;
+          case ScenarioOpKind::EventDrop:
+            if (!endpointsOk(op.probability, [](double v) {
+                    return v >= 0.0 && v <= 1.0;
+                }))
+                bad(where + ": probability must stay in [0, 1] across "
+                            "severities");
+            break;
+          case ScenarioOpKind::Burst:
+            if (!endpointsOk(op.rate, [](double v) {
+                    return v >= 0.0 && v <= 1.0;
+                }))
+                bad(where +
+                    ": rate must stay in [0, 1] across severities");
+            if (!endpointsOk(op.length, [](double v) {
+                    const int n = roundedParam(v);
+                    return n >= 1 && n <= 1000;
+                }))
+                bad(where + ": length must round into [1, 1000] across "
+                            "severities");
+            break;
+          case ScenarioOpKind::Repeat:
+            if (!endpointsOk(op.copies, [](double v) {
+                    const int n = roundedParam(v);
+                    return n >= 0 && n <= 100;
+                }))
+                bad(where + ": copies must round into [0, 100] across "
+                            "severities");
+            if (!endpointsOk(op.gapMs, [](double v) {
+                    return v >= 0.0 && v <= 1e9;
+                }))
+                bad(where + ": gap_ms must stay in [0, 1e9] across "
+                            "severities");
+            break;
+          case ScenarioOpKind::Jitter:
+            if (!endpointsOk(op.magnitude, [](double v) {
+                    return v >= 0.0 && v <= 1.0;
+                }))
+                bad(where + ": magnitude must stay in [0, 1] across "
+                            "severities");
+            break;
+        }
+    }
+    return problems.size() == before;
+}
+
+std::optional<ScenarioFamily>
+loadScenarioSpec(const std::string &path,
+                 std::vector<IntegrityProblem> &problems)
+{
+    const size_t before = problems.size();
+    const auto fail = [&](IntegrityProblem::Kind kind,
+                          const std::string &message) {
+        problems.push_back({kind, path + ": " + message});
+    };
+
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+        fail(IntegrityProblem::Kind::MissingFile,
+             "no such scenario spec file");
+        return std::nullopt;
+    }
+    std::string text, error;
+    if (!readFileBytes(path, text, &error)) {
+        fail(IntegrityProblem::Kind::Corrupt, error);
+        return std::nullopt;
+    }
+    const auto root = parseJson(text);
+    if (!root || root->kind != JsonValue::Kind::Object) {
+        fail(IntegrityProblem::Kind::Corrupt,
+             "not a JSON object (malformed scenario spec)");
+        return std::nullopt;
+    }
+
+    const JsonValue *version = root->find("version");
+    if (!version || static_cast<int>(version->number()) != 1) {
+        fail(IntegrityProblem::Kind::Mismatch,
+             "unsupported spec version " +
+                 (version ? version->str : std::string("<missing>")) +
+                 " (this build reads 1)");
+    }
+
+    ScenarioFamily family;
+    const JsonValue *name = root->find("name");
+    if (!name || name->kind != JsonValue::Kind::String) {
+        fail(IntegrityProblem::Kind::Mismatch, "missing \"name\"");
+    } else {
+        family.name = name->str;
+    }
+    if (const JsonValue *desc = root->find("description"))
+        family.description = desc->str;
+
+    /** A spec parameter: a bare number (constant) or [at0, at1]. */
+    const auto parseParam = [&](const JsonValue &v, SeverityParam &out,
+                                const std::string &where) {
+        if (v.kind == JsonValue::Kind::Number) {
+            out = constantParam(v.number());
+            return true;
+        }
+        if (v.kind == JsonValue::Kind::Array && v.arr.size() == 2 &&
+            v.arr[0].kind == JsonValue::Kind::Number &&
+            v.arr[1].kind == JsonValue::Kind::Number) {
+            out = rampParam(v.arr[0].number(), v.arr[1].number());
+            return true;
+        }
+        fail(IntegrityProblem::Kind::Mismatch,
+             where + ": parameter must be a number or a two-element "
+                     "[at0, at1] ramp");
+        return false;
+    };
+
+    const JsonValue *ops = root->find("ops");
+    if (!ops || ops->kind != JsonValue::Kind::Array) {
+        fail(IntegrityProblem::Kind::Mismatch, "missing \"ops\" array");
+    } else {
+        for (size_t i = 0; i < ops->arr.size(); ++i) {
+            const JsonValue &row = ops->arr[i];
+            const std::string where = "op " + std::to_string(i);
+            if (row.kind != JsonValue::Kind::Object) {
+                fail(IntegrityProblem::Kind::Mismatch,
+                     where + ": not a JSON object");
+                continue;
+            }
+            const JsonValue *op_name = row.find("op");
+            if (!op_name || op_name->kind != JsonValue::Kind::String) {
+                fail(IntegrityProblem::Kind::Mismatch,
+                     where + ": missing \"op\" name");
+                continue;
+            }
+            const auto kind = opKindByName(op_name->str);
+            if (!kind) {
+                fail(IntegrityProblem::Kind::Mismatch,
+                     where + ": unknown op '" + op_name->str +
+                         "' (time_scale, event_drop, burst, repeat, "
+                         "jitter)");
+                continue;
+            }
+            ScenarioOp op;
+            op.kind = *kind;
+            const std::vector<std::string> &allowed = paramNamesOf(*kind);
+            for (const auto &[key, value] : row.obj) {
+                if (key == "op")
+                    continue;
+                bool known = false;
+                for (const std::string &param : allowed)
+                    known |= param == key;
+                if (!known) {
+                    fail(IntegrityProblem::Kind::Mismatch,
+                         where + ": parameter '" + key +
+                             "' does not apply to op '" + op_name->str +
+                             "'");
+                    continue;
+                }
+                parseParam(value, *paramSlot(op, key),
+                           where + " '" + key + "'");
+            }
+            family.ops.push_back(op);
+        }
+    }
+
+    if (problems.size() == before)
+        validateScenarioFamily(family, problems);
+    if (problems.size() != before)
+        return std::nullopt;
+    return family;
+}
+
+} // namespace pes

@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Scenario families: named, severity-parameterized stress pipelines.
+ *
+ * PES's evaluation scores schedulers at single operating points; its
+ * QoS/energy claims only matter if they survive hostile interaction
+ * patterns. A ScenarioFamily composes the TraceMutator operators into a
+ * deterministic pipeline whose parameters are pure functions of one
+ * severity knob in [0, 1]: severity 0 is the unmutated baseline, 1 the
+ * family's worst case, and everything between interpolates linearly.
+ * Sweeping a family over a severity grid turns "does scheduler X beat
+ * scheduler Y?" into a robustness curve instead of a single point.
+ *
+ * Determinism contract: derive() is a pure function of (input trace,
+ * family, severity, mutator seed). All randomness flows through
+ * TraceMutator's hashed streams, so the same (family, severity, seed)
+ * always yields byte-identical derived traces — scenario sweeps are as
+ * reproducible as recorded corpora, at any thread count or shard split.
+ *
+ * Families come from a built-in registry (rage_tap_storm,
+ * flaky_input_commuter, hurried_user, marathon_binge, estimator_chaos)
+ * or from JSON spec files (user-defined pipelines over the same
+ * operator vocabulary). Spec loading never crashes: every failure is a
+ * classified IntegrityProblem (missing file / malformed JSON /
+ * unknown op / out-of-range parameter).
+ */
+
+#ifndef PES_SCENARIO_SCENARIO_FAMILY_HH
+#define PES_SCENARIO_SCENARIO_FAMILY_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "util/integrity.hh"
+
+namespace pes {
+
+/** Mutation operators a scenario stage may apply (TraceMutator verbs;
+ *  Repeat is self-concatenation). */
+enum class ScenarioOpKind
+{
+    /** TraceMutator::timeScale — compress/stretch think time. */
+    TimeScale,
+    /** TraceMutator::dropEvents — flaky input. */
+    EventDrop,
+    /** TraceMutator::injectBursts — rage taps / frantic scrolls. */
+    Burst,
+    /** TraceMutator::concatenate of the trace with itself — marathon
+     *  sessions. */
+    Repeat,
+    /** TraceMutator::jitterWorkloads — Eqn.-1 estimator stress. */
+    Jitter,
+};
+
+/** Stable spec spelling ("time_scale", "event_drop", ...). */
+const char *scenarioOpName(ScenarioOpKind kind);
+
+/**
+ * One scalar operator parameter as a function of severity: the value
+ * interpolates linearly from at0 (severity 0) to at1 (severity 1).
+ * A constant parameter has at0 == at1.
+ */
+struct SeverityParam
+{
+    double at0 = 0.0;
+    double at1 = 0.0;
+
+    /** The value at @p severity (severity in [0, 1]). */
+    double at(double severity) const
+    {
+        return at0 + (at1 - at0) * severity;
+    }
+};
+
+/** A constant-across-severity parameter. */
+inline SeverityParam constantParam(double v) { return {v, v}; }
+
+/** A parameter ramping from @p at0 to @p at1. */
+inline SeverityParam rampParam(double at0, double at1)
+{
+    return {at0, at1};
+}
+
+/**
+ * One stage of a scenario pipeline. Only the fields its kind reads are
+ * meaningful; the rest keep their identity defaults. Stages that are
+ * identity at the evaluated severity (factor 1, probability/rate/
+ * magnitude 0, zero copies) are skipped entirely, so severity 0 of a
+ * well-formed family reproduces the input trace byte-for-byte.
+ */
+struct ScenarioOp
+{
+    ScenarioOpKind kind = ScenarioOpKind::TimeScale;
+    /** TimeScale: arrival-time factor (> 0). */
+    SeverityParam factor = constantParam(1.0);
+    /** EventDrop: per-event drop probability in [0, 1]. */
+    SeverityParam probability = constantParam(0.0);
+    /** Burst: per-anchor injection rate in [0, 1]. */
+    SeverityParam rate = constantParam(0.0);
+    /** Burst: echoes per triggered anchor (>= 1, rounded). */
+    SeverityParam length = constantParam(1.0);
+    /** Repeat: extra spliced copies of the session (>= 0, rounded). */
+    SeverityParam copies = constantParam(0.0);
+    /** Repeat: idle gap between spliced copies (ms, >= 0). */
+    SeverityParam gapMs = constantParam(4000.0);
+    /** Jitter: workload-noise magnitude in [0, 1]. */
+    SeverityParam magnitude = constantParam(0.0);
+};
+
+/**
+ * A named stress family: a deterministic pipeline of mutation stages.
+ */
+struct ScenarioFamily
+{
+    /** Identifier ([a-z0-9_]+): carried into sweep specs, store
+     *  manifests and report meta as "<name>@<severity>". */
+    std::string name;
+    /** One-line human description (--list-families). */
+    std::string description;
+    /** Pipeline stages, applied in order. */
+    std::vector<ScenarioOp> ops;
+
+    /**
+     * Derive the stressed variant of @p base at @p severity (in [0, 1];
+     * panics outside). Pure and deterministic in (base, *this,
+     * severity, mutator_seed); severity 0 returns @p base unchanged.
+     */
+    InteractionTrace derive(const InteractionTrace &base, double severity,
+                            uint64_t mutator_seed) const;
+};
+
+/** Default mutation-stream seed of scenario sweeps. */
+constexpr uint64_t kDefaultScenarioSeed = 0x5ce9a110u;
+
+/** Is @p name a legal family identifier ([a-z0-9_]+, <= 64 chars)? */
+bool validScenarioName(const std::string &name);
+
+/** The canonical scenario tag of (family, severity): "<name>@<sev>"
+ *  with the severity spelled via the deterministic float formatter. */
+std::string scenarioTag(const std::string &family, double severity);
+
+/**
+ * The built-in stress families. Each is a plausible hostile user shape
+ * the paper's fixed synthesis never produces.
+ */
+const std::vector<ScenarioFamily> &scenarioRegistry();
+
+/** Registry lookup by name; nullptr when unknown. */
+const ScenarioFamily *findScenarioFamily(const std::string &name);
+
+/**
+ * Validate @p family structurally: legal name, at least one stage, and
+ * every stage's parameters inside their operator's legal range over the
+ * WHOLE severity interval (linear parameters: both endpoints checked).
+ * Appends one classified Mismatch per finding; true when clean. Both
+ * the spec loader and the registry self-check run through this.
+ */
+bool validateScenarioFamily(const ScenarioFamily &family,
+                            std::vector<IntegrityProblem> &problems);
+
+/**
+ * Load a user-defined family from a JSON spec file:
+ *
+ *   {
+ *     "version": 1,
+ *     "name": "angry_commuter",
+ *     "description": "optional free text",
+ *     "ops": [
+ *       {"op": "event_drop", "probability": [0, 0.4]},
+ *       {"op": "burst", "rate": [0, 0.5], "length": [1, 5]},
+ *       {"op": "jitter", "magnitude": 0.3}
+ *     ]
+ *   }
+ *
+ * Parameters are a number (constant) or a two-element [at0, at1] ramp.
+ * All failures are classified into @p problems (MissingFile / Corrupt
+ * for unreadable or malformed JSON / Mismatch for unknown ops, unknown
+ * or out-of-range parameters) and yield nullopt — never a crash.
+ */
+std::optional<ScenarioFamily>
+loadScenarioSpec(const std::string &path,
+                 std::vector<IntegrityProblem> &problems);
+
+} // namespace pes
+
+#endif // PES_SCENARIO_SCENARIO_FAMILY_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Scenario plans: (family x severity grid) -> runnable fleet sweeps.
+ *
+ * A ScenarioPlan expands one stress family over a canonical severity
+ * grid into per-severity ScenarioCells. Each cell is a complete
+ * FleetConfig — the base sweep's axes with (a) the scenario identity
+ * string ("<family>@<severity>") stamped into the config, so the
+ * sweep's ResultStore manifest and reports refuse cross-scenario
+ * mixing, and (b) a traceTransform hook that derives the family's
+ * stressed variant of every synthesized (or corpus-loaded) trace.
+ *
+ * Derived traces ride the existing FleetRunner/TraceCache path
+ * unchanged: the transform runs inside the cache's deterministic
+ * loader, so eviction re-materializes byte-identical stressed traces
+ * and reports stay bit-exact for any thread count, shard split, or
+ * kill/resume boundary.
+ */
+
+#ifndef PES_SCENARIO_SCENARIO_PLAN_HH
+#define PES_SCENARIO_SCENARIO_PLAN_HH
+
+#include <string>
+#include <vector>
+
+#include "runner/fleet_config.hh"
+#include "scenario/scenario_family.hh"
+
+namespace pes {
+
+/** One severity point of a scenario sweep, ready to run. */
+struct ScenarioCell
+{
+    /** Severity in [0, 1]. */
+    double severity = 0.0;
+    /** Canonical severity spelling (deterministic float format) —
+     *  also the store-subdirectory suffix ("sev-<tag>"). */
+    std::string severityTag;
+    /** Full scenario identity: "<family>@<severityTag>". */
+    std::string scenario;
+    /** The base sweep with scenario + traceTransform armed. */
+    FleetConfig config;
+};
+
+/**
+ * A validated (family, severity grid, mutation seed) triple.
+ */
+struct ScenarioPlan
+{
+    ScenarioFamily family;
+    /** Ascending, deduplicated severities in [0, 1]. */
+    std::vector<double> severities;
+    /** Mutation-stream seed shared by every cell. */
+    uint64_t mutatorSeed = kDefaultScenarioSeed;
+
+    /**
+     * Expand against @p base (axes, users, seeds, threads, cache and
+     * persistence knobs are inherited). Per-run pointers that must not
+     * be shared across cells (resultStore) are cleared — the caller
+     * attaches one store per cell.
+     */
+    std::vector<ScenarioCell> expand(const FleetConfig &base) const;
+};
+
+/**
+ * Validate and canonicalize a scenario plan: the family must pass
+ * validateScenarioFamily, severities must be non-empty, each in
+ * [0, 1], and (after ascending sort) free of duplicates. All failures
+ * append classified Mismatch problems and yield nullopt.
+ */
+std::optional<ScenarioPlan>
+makeScenarioPlan(const ScenarioFamily &family,
+                 const std::vector<double> &severities,
+                 uint64_t mutator_seed,
+                 std::vector<IntegrityProblem> &problems);
+
+/**
+ * Parse a comma-separated severity list ("0,0.25,0.5,1"). Appends
+ * classified Mismatch problems for unparseable or out-of-range values.
+ */
+std::vector<double>
+parseSeverityList(const std::string &spec,
+                  std::vector<IntegrityProblem> &problems);
+
+} // namespace pes
+
+#endif // PES_SCENARIO_SCENARIO_PLAN_HH

@@ -462,6 +462,11 @@ TEST(TraceMutator, OperatorsAreDeterministicPerSeed)
     EXPECT_EQ(
         TraceWriter::toBytes(m1.concatenate(trace, other, 1000.0), prov),
         TraceWriter::toBytes(m2.concatenate(trace, other, 1000.0), prov));
+    EXPECT_EQ(
+        TraceWriter::toBytes(m1.jitterWorkloads(trace, 0.4), prov),
+        TraceWriter::toBytes(m2.jitterWorkloads(trace, 0.4), prov));
+    EXPECT_NE(m1.jitterWorkloads(trace, 0.4).userSeed,
+              m3.jitterWorkloads(trace, 0.4).userSeed);
 
     // Different mutator seed => a different variant (distinct user seed
     // at minimum, so mutants never collide in a store).
@@ -503,6 +508,38 @@ TEST(TraceMutator, OperatorInvariants)
                          trace.events[0].arrival);
 }
 
+TEST(TraceMutator, JitterPerturbsWorkloadsOnly)
+{
+    const InteractionTrace trace = makeTrace("bbc", 13);
+    ASSERT_GT(trace.events.size(), 2u);
+    const TraceMutator mutator(21);
+
+    const InteractionTrace jittered =
+        mutator.jitterWorkloads(trace, 0.5);
+    ASSERT_EQ(jittered.events.size(), trace.events.size());
+    EXPECT_NE(jittered.userSeed, trace.userSeed);
+    bool any_changed = false;
+    for (size_t i = 0; i < trace.events.size(); ++i) {
+        const TraceEvent &before = trace.events[i];
+        const TraceEvent &after = jittered.events[i];
+        // The timeline and event identity never move — only the
+        // Eqn.-1 workload terms.
+        EXPECT_EQ(after.arrival, before.arrival);
+        EXPECT_EQ(after.type, before.type);
+        EXPECT_EQ(after.node, before.node);
+        EXPECT_EQ(after.classKey, before.classKey);
+        EXPECT_EQ(after.issuesNetwork, before.issuesNetwork);
+        any_changed |= after.callbackWork != before.callbackWork;
+    }
+    EXPECT_TRUE(any_changed);
+
+    // Magnitude 0 is the identity on every workload bit.
+    const InteractionTrace zero = mutator.jitterWorkloads(trace, 0.0);
+    ASSERT_EQ(zero.events.size(), trace.events.size());
+    for (size_t i = 0; i < trace.events.size(); ++i)
+        EXPECT_TRUE(zero.events[i] == trace.events[i]);
+}
+
 TEST(TraceMutator, MutantsRoundTripThroughPtrc)
 {
     const InteractionTrace trace = makeTrace("amazon", 91);
@@ -512,7 +549,8 @@ TEST(TraceMutator, MutantsRoundTripThroughPtrc)
     for (const InteractionTrace &mutant :
          {mutator.timeScale(trace, 1.7), mutator.dropEvents(trace, 0.25),
           mutator.injectBursts(trace, 0.5, 3),
-          mutator.concatenate(trace, trace, 100.0)}) {
+          mutator.concatenate(trace, trace, 100.0),
+          mutator.jitterWorkloads(trace, 0.6)}) {
         TraceReader reader;
         ASSERT_TRUE(reader.openBytes(TraceWriter::toBytes(mutant, prov)))
             << reader.error();

@@ -240,6 +240,12 @@ TEST(ReportDiff, SweepMismatchesRefuseToCompare)
     test = base;
     test.schedulers = {"Interactive", "EBS"};  // order matters
     expectRefused(test, "scheduler order");
+
+    // Scenario identity: a stress cell never diffs against the
+    // baseline or another family/severity.
+    test = base;
+    test.scenario = "rage_tap_storm@0.5";
+    expectRefused(test, "scenario vs baseline");
 }
 
 TEST(ReportDiff, DuplicateCellsRefuseToCompare)

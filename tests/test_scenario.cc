@@ -1,0 +1,598 @@
+/**
+ * @file
+ * Tests for the scenario-family subsystem: registry validity, severity
+ * mapping semantics (identity at 0, monotone stress knobs), derivation
+ * determinism, spec-file loading with classified diagnostics, the
+ * scenario-carrying sweep identity (reports, stores, diff refusal),
+ * fleet-level byte determinism of scenario sweeps across thread
+ * counts, and the robustness reduction with its curve reporters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "results/report_diff.hh"
+#include "results/result_store.hh"
+#include "results/robustness.hh"
+#include "runner/fleet_runner.hh"
+#include "runner/reporters.hh"
+#include "scenario/scenario_family.hh"
+#include "scenario/scenario_plan.hh"
+#include "trace/generator.hh"
+
+namespace fs = std::filesystem;
+
+namespace pes {
+namespace {
+
+/** Unique scratch directory, removed on scope exit. */
+struct TempDir
+{
+    explicit TempDir(const std::string &name)
+        : path(fs::temp_directory_path() / ("pes_scenario_test_" + name))
+    {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+
+    std::string str() const { return path.string(); }
+
+    fs::path path;
+};
+
+const AcmpPlatform &
+exynos()
+{
+    static const AcmpPlatform platform = AcmpPlatform::exynos5410();
+    return platform;
+}
+
+InteractionTrace
+makeTrace(const std::string &app = "cnn", uint64_t seed = 42)
+{
+    TraceGenerator generator(exynos());
+    return generator.generate(appByName(app), seed);
+}
+
+std::string
+writeSpec(const TempDir &dir, const std::string &name,
+          const std::string &text)
+{
+    const std::string path = (dir.path / name).string();
+    std::ofstream os(path);
+    os << text;
+    return path;
+}
+
+// ----------------------------------------------------------- registry
+
+TEST(ScenarioFamily, RegistryFamiliesAreValidAndDistinct)
+{
+    const auto &families = scenarioRegistry();
+    ASSERT_GE(families.size(), 4u);
+    for (const ScenarioFamily &family : families) {
+        EXPECT_TRUE(validScenarioName(family.name)) << family.name;
+        std::vector<IntegrityProblem> problems;
+        EXPECT_TRUE(validateScenarioFamily(family, problems))
+            << family.name;
+        EXPECT_EQ(findScenarioFamily(family.name), &family);
+    }
+    EXPECT_EQ(findScenarioFamily("no_such_family"), nullptr);
+}
+
+TEST(ScenarioFamily, SeverityZeroIsIdentity)
+{
+    const InteractionTrace base = makeTrace("bbc", 7);
+    for (const ScenarioFamily &family : scenarioRegistry()) {
+        const InteractionTrace derived =
+            family.derive(base, 0.0, kDefaultScenarioSeed);
+        EXPECT_TRUE(derived == base)
+            << family.name << " is not identity at severity 0";
+    }
+}
+
+TEST(ScenarioFamily, FullSeverityActuallyStresses)
+{
+    const InteractionTrace base = makeTrace("youtube", 11);
+    for (const ScenarioFamily &family : scenarioRegistry()) {
+        const InteractionTrace derived =
+            family.derive(base, 1.0, kDefaultScenarioSeed);
+        EXPECT_FALSE(derived == base)
+            << family.name << " does nothing at severity 1";
+    }
+}
+
+TEST(ScenarioFamily, DeriveIsDeterministicInAllInputs)
+{
+    const InteractionTrace base = makeTrace("amazon", 3);
+    const ScenarioFamily &family = *findScenarioFamily("rage_tap_storm");
+
+    const InteractionTrace a = family.derive(base, 0.5, 99);
+    const InteractionTrace b = family.derive(base, 0.5, 99);
+    EXPECT_TRUE(a == b);
+
+    // Severity and mutator seed both select different variants.
+    EXPECT_FALSE(family.derive(base, 0.75, 99) == a);
+    EXPECT_FALSE(family.derive(base, 0.5, 100) == a);
+}
+
+TEST(ScenarioFamily, SeverityParamInterpolatesLinearly)
+{
+    const SeverityParam ramp = rampParam(1.0, 3.0);
+    EXPECT_DOUBLE_EQ(ramp.at(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(ramp.at(0.5), 2.0);
+    EXPECT_DOUBLE_EQ(ramp.at(1.0), 3.0);
+    EXPECT_DOUBLE_EQ(constantParam(0.4).at(0.7), 0.4);
+}
+
+TEST(ScenarioFamily, DeriveRejectsOutOfRangeSeverity)
+{
+    const InteractionTrace base = makeTrace();
+    const ScenarioFamily &family = *findScenarioFamily("hurried_user");
+    EXPECT_DEATH(family.derive(base, -0.1, 1), "severity");
+    EXPECT_DEATH(family.derive(base, 1.5, 1), "severity");
+}
+
+// ---------------------------------------------------------- spec files
+
+TEST(ScenarioSpec, LoadsAWellFormedSpec)
+{
+    const TempDir dir("spec_ok");
+    const std::string path = writeSpec(dir, "family.json", R"({
+      "version": 1,
+      "name": "angry_commuter",
+      "description": "drops and bursts",
+      "ops": [
+        {"op": "event_drop", "probability": [0, 0.4]},
+        {"op": "burst", "rate": [0, 0.5], "length": [1, 5]},
+        {"op": "jitter", "magnitude": 0.25}
+      ]
+    })");
+    std::vector<IntegrityProblem> problems;
+    const auto family = loadScenarioSpec(path, problems);
+    ASSERT_TRUE(family.has_value());
+    EXPECT_TRUE(problems.empty());
+    EXPECT_EQ(family->name, "angry_commuter");
+    ASSERT_EQ(family->ops.size(), 3u);
+    EXPECT_EQ(family->ops[0].kind, ScenarioOpKind::EventDrop);
+    EXPECT_DOUBLE_EQ(family->ops[0].probability.at1, 0.4);
+    EXPECT_EQ(family->ops[1].kind, ScenarioOpKind::Burst);
+    EXPECT_DOUBLE_EQ(family->ops[1].length.at(1.0), 5.0);
+    // Constant parameter: same value across the whole interval.
+    EXPECT_DOUBLE_EQ(family->ops[2].magnitude.at(0.0), 0.25);
+    EXPECT_DOUBLE_EQ(family->ops[2].magnitude.at(1.0), 0.25);
+
+    // A spec-loaded family derives deterministically like a built-in.
+    const InteractionTrace base = makeTrace("cnn", 5);
+    EXPECT_TRUE(family->derive(base, 0.5, 7) ==
+                family->derive(base, 0.5, 7));
+}
+
+TEST(ScenarioSpec, MissingFileIsClassifiedMissing)
+{
+    std::vector<IntegrityProblem> problems;
+    EXPECT_FALSE(
+        loadScenarioSpec("/no/such/spec.json", problems).has_value());
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_EQ(problems[0].kind, IntegrityProblem::Kind::MissingFile);
+    EXPECT_EQ(integrityExitCode(problems), kExitMissing);
+}
+
+TEST(ScenarioSpec, MalformedJsonIsClassifiedCorrupt)
+{
+    const TempDir dir("spec_bad");
+    const std::string path =
+        writeSpec(dir, "bad.json", "{\"name\": \"x\",,,");
+    std::vector<IntegrityProblem> problems;
+    EXPECT_FALSE(loadScenarioSpec(path, problems).has_value());
+    ASSERT_FALSE(problems.empty());
+    EXPECT_EQ(problems[0].kind, IntegrityProblem::Kind::Corrupt);
+    EXPECT_EQ(integrityExitCode(problems), kExitCorrupt);
+}
+
+TEST(ScenarioSpec, UnknownOpAndParamAreClassifiedMismatch)
+{
+    const TempDir dir("spec_unknown");
+    std::vector<IntegrityProblem> problems;
+    EXPECT_FALSE(loadScenarioSpec(
+                     writeSpec(dir, "op.json",
+                               R"({"version": 1, "name": "x",
+                                   "ops": [{"op": "warp"}]})"),
+                     problems)
+                     .has_value());
+    ASSERT_FALSE(problems.empty());
+    EXPECT_EQ(problems[0].kind, IntegrityProblem::Kind::Mismatch);
+    EXPECT_NE(problems[0].message.find("unknown op 'warp'"),
+              std::string::npos);
+
+    problems.clear();
+    EXPECT_FALSE(loadScenarioSpec(
+                     writeSpec(dir, "param.json",
+                               R"({"version": 1, "name": "x",
+                                   "ops": [{"op": "jitter",
+                                            "factor": 2}]})"),
+                     problems)
+                     .has_value());
+    ASSERT_FALSE(problems.empty());
+    EXPECT_EQ(problems[0].kind, IntegrityProblem::Kind::Mismatch);
+    EXPECT_EQ(integrityExitCode(problems), kExitCorrupt);
+}
+
+TEST(ScenarioSpec, OutOfRangeParametersAreClassifiedMismatch)
+{
+    const TempDir dir("spec_range");
+    const char *bad_specs[] = {
+        // Drop probability leaves [0, 1] at full severity.
+        R"({"version": 1, "name": "x",
+            "ops": [{"op": "event_drop", "probability": [0, 1.5]}]})",
+        // Time scale hits zero.
+        R"({"version": 1, "name": "x",
+            "ops": [{"op": "time_scale", "factor": [1, 0]}]})",
+        // Burst length rounds below 1.
+        R"({"version": 1, "name": "x",
+            "ops": [{"op": "burst", "rate": [0, 1],
+                     "length": [0, 3]}]})",
+        // Jitter magnitude above 1.
+        R"({"version": 1, "name": "x",
+            "ops": [{"op": "jitter", "magnitude": 2}]})",
+    };
+    int index = 0;
+    for (const char *spec : bad_specs) {
+        std::vector<IntegrityProblem> problems;
+        const std::string path = writeSpec(
+            dir, "range" + std::to_string(index++) + ".json", spec);
+        EXPECT_FALSE(loadScenarioSpec(path, problems).has_value())
+            << spec;
+        ASSERT_FALSE(problems.empty()) << spec;
+        EXPECT_EQ(problems[0].kind, IntegrityProblem::Kind::Mismatch)
+            << spec;
+        EXPECT_EQ(integrityExitCode(problems), kExitCorrupt);
+    }
+}
+
+TEST(ScenarioSpec, BadNameAndMissingOpsAreRejected)
+{
+    const TempDir dir("spec_name");
+    std::vector<IntegrityProblem> problems;
+    EXPECT_FALSE(loadScenarioSpec(
+                     writeSpec(dir, "name.json",
+                               R"({"version": 1, "name": "Bad Name!",
+                                   "ops": [{"op": "jitter",
+                                            "magnitude": 1}]})"),
+                     problems)
+                     .has_value());
+    EXPECT_FALSE(problems.empty());
+
+    problems.clear();
+    EXPECT_FALSE(loadScenarioSpec(writeSpec(dir, "noops.json",
+                                            R"({"version": 1,
+                                                "name": "ok_name"})"),
+                                  problems)
+                     .has_value());
+    EXPECT_FALSE(problems.empty());
+}
+
+// ---------------------------------------------------------------- plan
+
+TEST(ScenarioPlan, CanonicalizesAndValidatesTheGrid)
+{
+    const ScenarioFamily &family = *findScenarioFamily("estimator_chaos");
+    std::vector<IntegrityProblem> problems;
+
+    const auto plan =
+        makeScenarioPlan(family, {1.0, 0.0, 0.5}, 1, problems);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->severities, (std::vector<double>{0.0, 0.5, 1.0}));
+
+    EXPECT_FALSE(
+        makeScenarioPlan(family, {0.0, 0.0}, 1, problems).has_value());
+    EXPECT_FALSE(
+        makeScenarioPlan(family, {-0.5}, 1, problems).has_value());
+    EXPECT_FALSE(makeScenarioPlan(family, {}, 1, problems).has_value());
+    EXPECT_FALSE(problems.empty());
+}
+
+TEST(ScenarioPlan, ExpandStampsScenarioAndTransform)
+{
+    const ScenarioFamily &family = *findScenarioFamily("hurried_user");
+    std::vector<IntegrityProblem> problems;
+    const auto plan = makeScenarioPlan(family, {0.0, 0.5}, 17, problems);
+    ASSERT_TRUE(plan.has_value());
+
+    FleetConfig base;
+    base.apps = {appByName("cnn")};
+    base.schedulers = {SchedulerKind::Ebs};
+    base.users = 2;
+    const auto cells = plan->expand(base);
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_EQ(cells[0].scenario, "hurried_user@0");
+    EXPECT_EQ(cells[1].scenario, "hurried_user@0.5");
+    EXPECT_EQ(cells[1].severityTag, "0.5");
+    ASSERT_TRUE(static_cast<bool>(cells[1].config.traceTransform));
+
+    // The armed transform equals a direct derive call.
+    const InteractionTrace base_trace = makeTrace("cnn", 9);
+    EXPECT_TRUE(cells[1].config.traceTransform(base_trace) ==
+                family.derive(base_trace, 0.5, 17));
+}
+
+// ----------------------------------------- fleet-level byte fidelity
+
+FleetConfig
+smallFleet(int threads)
+{
+    FleetConfig config;
+    config.apps = {appByName("cnn"), appByName("social_feed")};
+    config.schedulers = {SchedulerKind::Interactive, SchedulerKind::Ebs};
+    config.users = 2;
+    config.threads = threads;
+    return config;
+}
+
+std::string
+runScenarioSweep(int threads, double severity)
+{
+    const ScenarioFamily &family = *findScenarioFamily("rage_tap_storm");
+    std::vector<IntegrityProblem> problems;
+    const auto plan = makeScenarioPlan(family, {severity},
+                                       kDefaultScenarioSeed, problems);
+    EXPECT_TRUE(plan.has_value());
+    auto cells = plan->expand(smallFleet(threads));
+    FleetRunner runner(std::move(cells.at(0).config));
+    const FleetOutcome outcome = runner.run();
+    EXPECT_TRUE(outcome.diagnostics.empty());
+    const FleetReport report =
+        makeFleetReport(runner.config(), outcome.metrics);
+    return JsonReporter::toString(report) + CsvReporter::toString(report);
+}
+
+TEST(ScenarioFleet, ReportsAreByteIdenticalAcrossThreadCounts)
+{
+    // The acceptance gate in unit form: same (family, severity, seed)
+    // at t1 vs t8 must serialize identically, bytes included.
+    const std::string t1 = runScenarioSweep(1, 0.5);
+    const std::string t8 = runScenarioSweep(8, 0.5);
+    EXPECT_EQ(t1, t8);
+    // And a different severity is genuinely a different population.
+    EXPECT_NE(t1, runScenarioSweep(1, 1.0));
+}
+
+TEST(ScenarioFleet, ScenarioRidesReportsAndRefusesCrossScenarioDiff)
+{
+    const ScenarioFamily &family =
+        *findScenarioFamily("flaky_input_commuter");
+    std::vector<IntegrityProblem> problems;
+    const auto plan = makeScenarioPlan(family, {0.0, 1.0},
+                                       kDefaultScenarioSeed, problems);
+    ASSERT_TRUE(plan.has_value());
+    auto cells = plan->expand(smallFleet(4));
+
+    std::vector<FleetReport> reports;
+    for (ScenarioCell &cell : cells) {
+        FleetRunner runner(std::move(cell.config));
+        reports.push_back(
+            makeFleetReport(runner.config(), runner.run().metrics));
+    }
+    EXPECT_EQ(reports[0].scenario, "flaky_input_commuter@0");
+    EXPECT_EQ(reports[1].scenario, "flaky_input_commuter@1");
+
+    // Meta round-trips through both serializers.
+    const auto from_json =
+        JsonReporter::parse(JsonReporter::toString(reports[1]));
+    ASSERT_TRUE(from_json.has_value());
+    EXPECT_EQ(from_json->scenario, "flaky_input_commuter@1");
+    const auto from_csv =
+        CsvReporter::parseReport(CsvReporter::toString(reports[1]));
+    ASSERT_TRUE(from_csv.has_value());
+    EXPECT_EQ(from_csv->scenario, "flaky_input_commuter@1");
+
+    // Cross-severity (and scenario-vs-baseline) diffs refuse with a
+    // classified Mismatch -> exit 4.
+    const DiffSummary cross =
+        diffReports(reports[0], reports[1], DiffOptions{});
+    EXPECT_FALSE(cross.comparable);
+    EXPECT_EQ(diffExitCode(cross), kExitCorrupt);
+    ASSERT_FALSE(cross.problems.empty());
+    EXPECT_EQ(cross.problems[0].kind, IntegrityProblem::Kind::Mismatch);
+    EXPECT_NE(cross.problems[0].message.find("scenarios differ"),
+              std::string::npos);
+
+    FleetReport baseline = reports[0];
+    baseline.scenario.clear();
+    const DiffSummary vs_baseline =
+        diffReports(baseline, reports[0], DiffOptions{});
+    EXPECT_FALSE(vs_baseline.comparable);
+
+    // Same severity diffs itself clean.
+    EXPECT_TRUE(
+        diffReports(reports[1], reports[1], DiffOptions{}).clean());
+}
+
+TEST(ScenarioFleet, StoresRefuseToMixScenarios)
+{
+    const TempDir dir("scenario_store");
+    FleetConfig config = smallFleet(1);
+    config.scenario = "rage_tap_storm@0.5";
+    const SweepSpec spec = SweepSpec::fromConfig(config);
+    EXPECT_EQ(spec.scenario, "rage_tap_storm@0.5");
+
+    std::string error;
+    ASSERT_TRUE(
+        ResultStore::create(dir.str(), spec, &error).has_value())
+        << error;
+
+    // Re-creating with the same scenario re-opens; any other scenario
+    // (or the baseline) refuses.
+    EXPECT_TRUE(
+        ResultStore::create(dir.str(), spec, &error).has_value());
+    SweepSpec other = spec;
+    other.scenario = "rage_tap_storm@1";
+    EXPECT_FALSE(
+        ResultStore::create(dir.str(), other, &error).has_value());
+    other.scenario.clear();
+    EXPECT_FALSE(
+        ResultStore::create(dir.str(), other, &error).has_value());
+
+    // The scenario survives the manifest round trip.
+    const auto reopened = ResultStore::open(dir.str(), &error);
+    ASSERT_TRUE(reopened.has_value()) << error;
+    EXPECT_EQ(reopened->sweep().scenario, "rage_tap_storm@0.5");
+}
+
+// ---------------------------------------------------------- robustness
+
+/** A hand-built single-cell report for severity @p severity. */
+FleetReport
+syntheticReport(const std::string &family, double severity,
+                double violation_rate, double energy, double accuracy)
+{
+    FleetReport report;
+    report.baseSeed = 1;
+    report.users = 1;
+    report.scenario = scenarioTag(family, severity);
+    report.devices = {"Dev"};
+    report.apps = {"app"};
+    report.schedulers = {"S"};
+    CellSummary cell;
+    cell.device = "Dev";
+    cell.app = "app";
+    cell.scheduler = "S";
+    cell.sessions = 1;
+    cell.violationRate = violation_rate;
+    cell.meanEnergyMj = energy;
+    cell.predictionAccuracy = accuracy;
+    report.cells.push_back(cell);
+    report.sessions = 1;
+    return report;
+}
+
+TEST(Robustness, CurveMathMatchesHandComputation)
+{
+    std::vector<IntegrityProblem> problems;
+    std::vector<std::pair<double, FleetReport>> cells;
+    // violation_rate 0.1 -> 0.2 -> 0.4 (lower-better, degrades);
+    // energy constant; accuracy 0.8 -> 0.6 -> 0.4 (higher-better,
+    // degrades).
+    cells.emplace_back(0.0, syntheticReport("fam", 0.0, 0.1, 50.0, 0.8));
+    cells.emplace_back(1.0, syntheticReport("fam", 1.0, 0.4, 50.0, 0.4));
+    cells.emplace_back(0.5, syntheticReport("fam", 0.5, 0.2, 50.0, 0.6));
+
+    const auto report =
+        makeRobustnessReport("fam", std::move(cells), problems);
+    ASSERT_TRUE(report.has_value())
+        << (problems.empty() ? "" : problems[0].message);
+    EXPECT_TRUE(problems.empty());
+    EXPECT_EQ(report->severities, (std::vector<double>{0.0, 0.5, 1.0}));
+
+    const auto find_curve = [&](const std::string &metric)
+        -> const RobustnessCurve & {
+        for (const RobustnessCurve &c : report->curves)
+            if (c.metric == metric)
+                return c;
+        static RobustnessCurve none;
+        return none;
+    };
+
+    const RobustnessCurve &viol = find_curve("violation_rate");
+    ASSERT_EQ(viol.points.size(), 3u);
+    EXPECT_DOUBLE_EQ(viol.baseline, 0.1);
+    // Least squares over (0, .1), (.5, .2), (1, .4): slope = 0.3.
+    EXPECT_NEAR(viol.slope, 0.3, 1e-12);
+    // Degradations vs 0.1: 1.0 at s=0.5, 3.0 at s=1.
+    EXPECT_NEAR(viol.worstDegradation, 3.0, 1e-12);
+    EXPECT_NEAR(viol.robustness, 1.0 / (1.0 + 2.0), 1e-12);
+
+    const RobustnessCurve &energy = find_curve("mean_energy_mj");
+    EXPECT_DOUBLE_EQ(energy.slope, 0.0);
+    EXPECT_DOUBLE_EQ(energy.worstDegradation, 0.0);
+    EXPECT_DOUBLE_EQ(energy.robustness, 1.0);
+
+    // Higher-is-better: accuracy halves -> degradations .25 and .5.
+    const RobustnessCurve &accuracy = find_curve("prediction_accuracy");
+    EXPECT_NEAR(accuracy.worstDegradation, 0.5, 1e-12);
+    EXPECT_NEAR(accuracy.robustness, 1.0 / (1.0 + 0.375), 1e-12);
+
+    ASSERT_EQ(report->schedulers_summary.size(), 1u);
+    const SchedulerRobustness &score = report->schedulers_summary[0];
+    EXPECT_NEAR(score.worstDegradation, 3.0, 1e-12);
+    EXPECT_GT(score.score, 0.0);
+    EXPECT_LE(score.score, 1.0);
+}
+
+TEST(Robustness, RefusesMismatchedOrIncompleteGrids)
+{
+    std::vector<IntegrityProblem> problems;
+
+    // Wrong scenario tag for the claimed severity.
+    std::vector<std::pair<double, FleetReport>> wrong_tag;
+    wrong_tag.emplace_back(0.0,
+                           syntheticReport("fam", 0.0, 0.1, 1.0, 1.0));
+    wrong_tag.emplace_back(1.0,
+                           syntheticReport("fam", 0.5, 0.1, 1.0, 1.0));
+    EXPECT_FALSE(makeRobustnessReport("fam", std::move(wrong_tag),
+                                      problems)
+                     .has_value());
+    EXPECT_FALSE(problems.empty());
+
+    // Mismatched axes across severities.
+    problems.clear();
+    std::vector<std::pair<double, FleetReport>> axes;
+    axes.emplace_back(0.0, syntheticReport("fam", 0.0, 0.1, 1.0, 1.0));
+    axes.emplace_back(1.0, syntheticReport("fam", 1.0, 0.1, 1.0, 1.0));
+    axes.back().second.apps = {"other_app"};
+    EXPECT_FALSE(
+        makeRobustnessReport("fam", std::move(axes), problems)
+            .has_value());
+    EXPECT_FALSE(problems.empty());
+
+    // A missing cell (partial sweep) refuses too.
+    problems.clear();
+    std::vector<std::pair<double, FleetReport>> holes;
+    holes.emplace_back(0.0, syntheticReport("fam", 0.0, 0.1, 1.0, 1.0));
+    holes.emplace_back(1.0, syntheticReport("fam", 1.0, 0.1, 1.0, 1.0));
+    holes.back().second.cells.clear();
+    EXPECT_FALSE(
+        makeRobustnessReport("fam", std::move(holes), problems)
+            .has_value());
+    ASSERT_FALSE(problems.empty());
+    EXPECT_EQ(problems[0].kind, IntegrityProblem::Kind::Mismatch);
+}
+
+TEST(Robustness, CurveReportersAreDeterministic)
+{
+    std::vector<IntegrityProblem> problems;
+    std::vector<std::pair<double, FleetReport>> cells;
+    cells.emplace_back(0.0, syntheticReport("fam", 0.0, 0.1, 40.0, 0.9));
+    cells.emplace_back(1.0, syntheticReport("fam", 1.0, 0.3, 55.0, 0.7));
+    const auto report =
+        makeRobustnessReport("fam", std::move(cells), problems);
+    ASSERT_TRUE(report.has_value());
+
+    std::ostringstream json_a, json_b, csv_a, csv_b;
+    writeRobustnessJson(*report, json_a);
+    writeRobustnessJson(*report, json_b);
+    writeRobustnessCsv(*report, csv_a);
+    writeRobustnessCsv(*report, csv_b);
+    EXPECT_EQ(json_a.str(), json_b.str());
+    EXPECT_EQ(csv_a.str(), csv_b.str());
+
+    // The CSV carries one row per (cell, metric) plus two comment
+    // lines and the header.
+    size_t rows = 0;
+    std::istringstream csv(csv_a.str());
+    std::string line;
+    while (std::getline(csv, line))
+        ++rows;
+    EXPECT_EQ(rows, 3 + robustnessMetricNames().size());
+    // The JSON parses back as JSON (via the report parser's scanner).
+    EXPECT_NE(json_a.str().find("\"curve_version\": 1"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace pes

@@ -58,7 +58,8 @@ usage()
         "                      ops: time-scale --factor=F\n"
         "                           event-drop --drop=P\n"
         "                           burst      --rate=R --burst=N\n"
-        "                           concat     --gap=MS\n";
+        "                           concat     --gap=MS\n"
+        "                           jitter     --magnitude=M\n";
     return 2;
 }
 
@@ -392,6 +393,7 @@ cmdMutate(const std::vector<std::pair<std::string, std::string>> &flags)
     double rate = 0.25;
     int burst = 4;
     double gap_ms = 4000.0;
+    double magnitude = 0.3;
     uint64_t seed = 0x5eedc0de;
     bool quiet = false;
     std::vector<std::string> param_flags;  // validated against --op below
@@ -418,6 +420,9 @@ cmdMutate(const std::vector<std::pair<std::string, std::string>> &flags)
         } else if (name == "gap") {
             gap_ms = requireDouble(value, "gap", 0.0, 1e9);
             param_flags.push_back(name);
+        } else if (name == "magnitude") {
+            magnitude = requireDouble(value, "magnitude", 0.0, 1.0);
+            param_flags.push_back(name);
         } else if (name == "seed") {
             seed = requireSeed(value, "seed");
         } else if (name == "quiet") {
@@ -428,8 +433,9 @@ cmdMutate(const std::vector<std::pair<std::string, std::string>> &flags)
     }
     fatal_if(into.empty(), "--into (destination corpus) is required");
     fatal_if(op != "time-scale" && op != "event-drop" && op != "burst" &&
-             op != "concat",
-             "unknown --op '%s' (time-scale, event-drop, burst, concat)",
+             op != "concat" && op != "jitter",
+             "unknown --op '%s' (time-scale, event-drop, burst, concat, "
+             "jitter)",
              op.c_str());
     // Reject parameters the chosen operator ignores: silently falling
     // back to a default would record a wrong-but-plausible corpus.
@@ -438,7 +444,8 @@ cmdMutate(const std::vector<std::pair<std::string, std::string>> &flags)
             (op == "time-scale" && flag == "factor") ||
             (op == "event-drop" && flag == "drop") ||
             (op == "burst" && (flag == "rate" || flag == "burst")) ||
-            (op == "concat" && flag == "gap");
+            (op == "concat" && flag == "gap") ||
+            (op == "jitter" && flag == "magnitude");
         fatal_if(!applies, "--%s does not apply to --op=%s", flag.c_str(),
                  op.c_str());
     }
@@ -456,6 +463,8 @@ cmdMutate(const std::vector<std::pair<std::string, std::string>> &flags)
         std::snprintf(desc, sizeof(desc), "event-drop:%g", drop);
     } else if (op == "burst") {
         std::snprintf(desc, sizeof(desc), "burst:%g:x%d", rate, burst);
+    } else if (op == "jitter") {
+        std::snprintf(desc, sizeof(desc), "jitter:%g", magnitude);
     } else {
         std::snprintf(desc, sizeof(desc), "concat:gap=%g", gap_ms);
     }
@@ -499,6 +508,9 @@ cmdMutate(const std::vector<std::pair<std::string, std::string>> &flags)
                     emit(entry, mutator.timeScale(trace, factor));
                 else if (op == "event-drop")
                     emit(entry, mutator.dropEvents(trace, drop));
+                else if (op == "jitter")
+                    emit(entry,
+                         mutator.jitterWorkloads(trace, magnitude));
                 else
                     emit(entry, mutator.injectBursts(trace, rate, burst));
                 return true;

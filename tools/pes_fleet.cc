@@ -20,18 +20,22 @@
  * boundary (wall-clock and throughput go to stdout only).
  */
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "core/experiment.hh"
 #include "corpus/corpus_store.hh"
 #include "results/report_diff.hh"
 #include "results/result_reduce.hh"
 #include "results/result_store.hh"
+#include "results/robustness.hh"
 #include "runner/fleet_runner.hh"
 #include "runner/reporters.hh"
+#include "scenario/scenario_plan.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
@@ -100,6 +104,34 @@ usage()
         "single whole run.\n"
         "                     exit: 0 clean, 3 missing part files, 4 "
         "corrupt stores\n"
+        "  pes_fleet stress --family=NAME | --scenario-spec=FILE\n"
+        "                     [--severities=LIST] [--scenario-seed=S] "
+        "[--out=FILE]\n"
+        "                     [--csv=FILE] [--reports-dir=DIR] "
+        "[--results-dir=DIR]\n"
+        "                     [--resume] [--shard=K/N] "
+        "[--list-families] [sweep flags]\n"
+        "                     sweep one stress family over a severity "
+        "grid (default\n"
+        "                     0,0.25,0.5,0.75,1) and reduce the per-"
+        "severity sweeps into\n"
+        "                     per-scheduler robustness curves "
+        "(JSON/CSV, byte-identical\n"
+        "                     for any --threads and across shard/"
+        "resume). --results-dir\n"
+        "                     persists one result store per severity "
+        "(sev-<s> subdirs);\n"
+        "                     --reports-dir writes one fleet report "
+        "JSON per severity.\n"
+        "                     sweep flags: --schedulers --apps "
+        "--devices --users --seed\n"
+        "                     --eval-population --warm --threads "
+        "--corpus and the\n"
+        "                     persistence knobs above.\n"
+        "                     exit: 0 clean, 1 run problems, 3 missing "
+        "spec file,\n"
+        "                     4 malformed/invalid spec or severity "
+        "grid\n"
         "  pes_fleet diff BASE TEST [--exact] [--tolerance=REL] "
         "[--abs-tolerance=ABS]\n"
         "                     [--metric=LIST] [--out=FILE] [--quiet]\n"
@@ -415,6 +447,291 @@ cmdDiff(int argc, char **argv)
     return diffExitCode(summary);
 }
 
+// ------------------------------------------------------------- stress
+
+/** --list-families: the discovery view of the scenario registry. */
+int
+listFamilies()
+{
+    Table table({"family", "ops", "description"});
+    for (const ScenarioFamily &family : scenarioRegistry()) {
+        std::vector<std::string> ops;
+        for (const ScenarioOp &op : family.ops)
+            ops.push_back(scenarioOpName(op.kind));
+        table.beginRow()
+            .cell(family.name)
+            .cell(join(ops, "+"))
+            .cell(family.description);
+    }
+    table.print(std::cout);
+    std::cout << "or bring your own: --scenario-spec=FILE (JSON "
+                 "pipeline over the same ops)\n";
+    return 0;
+}
+
+/** Print classified problems and return their gateable exit code. */
+int
+failProblems(const std::vector<IntegrityProblem> &problems)
+{
+    for (const IntegrityProblem &p : problems)
+        std::cerr << "FAIL " << p.message << "\n";
+    return integrityExitCode(problems);
+}
+
+int
+cmdStress(int argc, char **argv)
+{
+    FleetConfig base;
+    base.schedulers = {SchedulerKind::Pes, SchedulerKind::Ebs};
+    base.apps = parseAppList("cnn,amazon,social_feed");
+    base.users = 100;
+    base.threads = Experiment::defaultSweepThreads();
+
+    std::string family_name, spec_path, severities_spec =
+        "0,0.25,0.5,0.75,1";
+    uint64_t scenario_seed = kDefaultScenarioSeed;
+    std::string out_path, csv_path, reports_dir, results_dir, corpus_dir;
+    bool resume = false;
+    bool quiet = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--list-families") {
+            return listFamilies();
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--warm") {
+            base.warmDrivers = true;
+        } else if (arg == "--eval-population") {
+            base.seedMode = SeedMode::Evaluation;
+        } else if (arg == "--resume") {
+            resume = true;
+        } else if (arg == "--no-trace-share") {
+            base.shareTraces = false;
+        } else if (flagValue(arg, "family", value)) {
+            family_name = value;
+        } else if (flagValue(arg, "scenario-spec", value)) {
+            spec_path = value;
+        } else if (flagValue(arg, "severities", value)) {
+            severities_spec = value;
+        } else if (flagValue(arg, "scenario-seed", value)) {
+            scenario_seed = parseSeed(value);
+        } else if (flagValue(arg, "schedulers", value)) {
+            base.schedulers = parseSchedulerList(value);
+        } else if (flagValue(arg, "apps", value)) {
+            base.apps = parseAppList(value);
+        } else if (flagValue(arg, "devices", value)) {
+            base.devices = parseDeviceList(value);
+        } else if (flagValue(arg, "users", value)) {
+            const long users = parseLong(value, "users");
+            fatal_if(users < 1 || users > 100000000,
+                     "--users must be in [1, 1e8]");
+            base.users = static_cast<int>(users);
+        } else if (flagValue(arg, "threads", value)) {
+            const long threads = parseLong(value, "threads");
+            fatal_if(threads < 1 || threads > 4096,
+                     "--threads must be in [1, 4096]");
+            base.threads = static_cast<int>(threads);
+        } else if (flagValue(arg, "seed", value)) {
+            base.baseSeed = parseSeed(value);
+        } else if (flagValue(arg, "corpus", value)) {
+            corpus_dir = value;
+        } else if (flagValue(arg, "results-dir", value)) {
+            results_dir = value;
+        } else if (flagValue(arg, "shard", value)) {
+            const size_t slash = value.find('/');
+            fatal_if(slash == std::string::npos,
+                     "--shard expects K/N (e.g. 0/4), got '%s'",
+                     value.c_str());
+            const long k = parseLong(value.substr(0, slash), "shard");
+            const long n = parseLong(value.substr(slash + 1), "shard");
+            fatal_if(n < 1 || n > 1000000 || k < 0 || k >= n,
+                     "--shard=K/N needs 0 <= K < N, got '%s'",
+                     value.c_str());
+            base.shardIndex = static_cast<int>(k);
+            base.shardCount = static_cast<int>(n);
+        } else if (flagValue(arg, "checkpoint-every", value)) {
+            const long every = parseLong(value, "checkpoint-every");
+            fatal_if(every < 0 || every > 100000000,
+                     "--checkpoint-every must be in [0, 1e8]");
+            base.checkpointEvery = static_cast<int>(every);
+        } else if (flagValue(arg, "trace-cache-cap", value)) {
+            const long cap = parseLong(value, "trace-cache-cap");
+            fatal_if(cap < 0, "--trace-cache-cap must be >= 0");
+            base.traceCacheCap = static_cast<size_t>(cap);
+        } else if (flagValue(arg, "reports-dir", value)) {
+            reports_dir = value;
+        } else if (flagValue(arg, "out", value)) {
+            out_path = value;
+        } else if (flagValue(arg, "csv", value)) {
+            csv_path = value;
+        } else {
+            std::cerr << "stress: unknown option '" << arg << "'\n\n";
+            usage();
+            return 1;
+        }
+    }
+    fatal_if(family_name.empty() == spec_path.empty(),
+             "stress: exactly one of --family / --scenario-spec is "
+             "required (--list-families shows the registry)");
+    fatal_if(resume && results_dir.empty(),
+             "stress: --resume requires --results-dir");
+    const bool sharded = base.shardCount > 1;
+    fatal_if(sharded && results_dir.empty(),
+             "stress: --shard requires --results-dir (shards meet "
+             "again via `pes_fleet merge` per severity)");
+    fatal_if(sharded && (!out_path.empty() || !csv_path.empty()),
+             "stress: a single shard cannot emit curves; merge the "
+             "severity stores (`pes_fleet merge`) and re-run stress "
+             "with --results-dir + --resume to reduce them");
+
+    // Resolve the family: registry name or user spec. Every spec
+    // failure is classified (3 missing file, 4 malformed/invalid) so
+    // CI can gate on the contract.
+    ScenarioFamily family;
+    std::vector<IntegrityProblem> problems;
+    if (!spec_path.empty()) {
+        const auto loaded = loadScenarioSpec(spec_path, problems);
+        if (!loaded)
+            return failProblems(problems);
+        family = *loaded;
+    } else {
+        const ScenarioFamily *found = findScenarioFamily(family_name);
+        if (!found) {
+            std::vector<std::string> known;
+            for (const ScenarioFamily &f : scenarioRegistry())
+                known.push_back(f.name);
+            problems.push_back(
+                {IntegrityProblem::Kind::Mismatch,
+                 "unknown scenario family '" + family_name + "' (" +
+                     join(known, ", ") + ")"});
+            return failProblems(problems);
+        }
+        family = *found;
+    }
+
+    const std::vector<double> severities =
+        parseSeverityList(severities_spec, problems);
+    // An unparseable severity token must gate, not silently shrink the
+    // grid: makeScenarioPlan only inspects problems it appends itself.
+    if (!problems.empty())
+        return failProblems(problems);
+    const auto plan =
+        makeScenarioPlan(family, severities, scenario_seed, problems);
+    if (!plan)
+        return failProblems(problems);
+
+    setQuiet(true);
+    std::optional<CorpusStore> corpus;
+    if (!corpus_dir.empty()) {
+        std::string error;
+        corpus = CorpusStore::open(corpus_dir, &error);
+        fatal_if(!corpus, "cannot open corpus: %s", error.c_str());
+        base.corpus = &*corpus;
+    }
+
+    std::vector<ScenarioCell> grid = plan->expand(base);
+    if (!quiet) {
+        std::cout << "stress: family " << family.name << " x "
+                  << grid.size() << " severities over "
+                  << base.apps.size() << " apps x "
+                  << base.schedulers.size() << " schedulers x "
+                  << std::max<size_t>(base.devices.size(), 1)
+                  << " devices x " << base.users << " users ("
+                  << base.threads << " threads)\n";
+        std::cout.flush();
+    }
+
+    std::vector<std::pair<double, FleetReport>> reports;
+    int run_problems = 0;
+    for (ScenarioCell &cell : grid) {
+        std::optional<ResultStore> store;
+        if (!results_dir.empty()) {
+            const std::string dir =
+                (std::filesystem::path(results_dir) /
+                 ("sev-" + cell.severityTag))
+                    .string();
+            std::string error;
+            store = ResultStore::create(
+                dir, SweepSpec::fromConfig(cell.config), &error);
+            fatal_if(!store, "cannot open results dir: %s",
+                     error.c_str());
+            cell.config.resultStore = &*store;
+            cell.config.resume = resume;
+        }
+        FleetRunner runner(std::move(cell.config));
+        const FleetOutcome outcome = runner.run();
+        for (const std::string &d : outcome.diagnostics) {
+            std::cerr << "FAIL " << cell.scenario << ": " << d << "\n";
+            ++run_problems;
+        }
+        FleetReport report =
+            makeFleetReport(runner.config(), outcome.metrics);
+        if (!reports_dir.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(reports_dir, ec);
+            const std::string path =
+                (std::filesystem::path(reports_dir) /
+                 ("sev-" + cell.severityTag + ".json"))
+                    .string();
+            std::ofstream os(path);
+            fatal_if(!os, "cannot open '%s'", path.c_str());
+            JsonReporter::write(report, os);
+        }
+        if (!quiet) {
+            std::cout << "  " << cell.scenario << ": "
+                      << outcome.jobCount << " sessions in "
+                      << formatDouble(outcome.wallMs / 1000.0, 2)
+                      << " s\n";
+            std::cout.flush();
+        }
+        reports.emplace_back(cell.severity, std::move(report));
+    }
+    if (sharded) {
+        if (!quiet) {
+            std::cout << "shard " << base.shardIndex << "/"
+                      << base.shardCount << " persisted under "
+                      << results_dir << "; merge each sev-* store, "
+                      "then `pes_fleet stress ... --results-dir="
+                      "MERGED --resume` emits the curves\n";
+        }
+        return run_problems > 0 ? 1 : 0;
+    }
+
+    const auto robustness =
+        makeRobustnessReport(family.name, std::move(reports), problems);
+    if (!robustness)
+        return failProblems(problems);
+
+    // Human summary: the headline per-scheduler scores.
+    Table table({"scheduler", "robustness", "worst_degradation"});
+    for (const SchedulerRobustness &s : robustness->schedulers_summary) {
+        table.beginRow()
+            .cell(s.scheduler)
+            .cell(s.score, 4)
+            .cell(s.worstDegradation, 4);
+    }
+    table.print(std::cout);
+
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        fatal_if(!os, "cannot open '%s'", out_path.c_str());
+        writeRobustnessJson(*robustness, os);
+        std::cout << "[curves json: " << out_path << "]\n";
+    }
+    if (!csv_path.empty()) {
+        std::ofstream os(csv_path);
+        fatal_if(!os, "cannot open '%s'", csv_path.c_str());
+        writeRobustnessCsv(*robustness, os);
+        std::cout << "[curves csv: " << csv_path << "]\n";
+    }
+    return run_problems > 0 ? 1 : 0;
+}
+
 } // namespace
 
 int
@@ -424,6 +741,8 @@ main(int argc, char **argv)
         return cmdMerge(argc, argv);
     if (argc > 1 && argv[1] == std::string("diff"))
         return cmdDiff(argc, argv);
+    if (argc > 1 && argv[1] == std::string("stress"))
+        return cmdStress(argc, argv);
 
     FleetConfig config;
     config.schedulers = {SchedulerKind::Pes, SchedulerKind::Ebs};
