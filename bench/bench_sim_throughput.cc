@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Simulator throughput bench: sessions/sec and events/sec measured
+ * through the telemetry subsystem.
+ *
+ * Runs one fleet sweep at several thread counts with an armed
+ * TelemetryRegistry, takes the best-of-N execute-stage time, and
+ * reports the rates straight from the RunTelemetry summary — the same
+ * numbers `pes_fleet run --telemetry-out` emits, so the bench also
+ * exercises that pipeline end to end. It asserts the telemetry-armed
+ * report is byte-identical to an uninstrumented run (the no-feedback
+ * contract), then writes BENCH_sim.json. The JSON carries wall-clock
+ * rates, so its bytes vary machine to machine; it is committed as the
+ * recorded throughput baseline of ROADMAP item 3 (raw simulator
+ * speed), not as a regression golden.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "runner/fleet_runner.hh"
+#include "runner/reporters.hh"
+#include "telemetry/run_telemetry.hh"
+#include "telemetry/telemetry.hh"
+#include "util/json.hh"
+
+using namespace pes;
+
+namespace {
+
+constexpr int kRepetitions = 3;
+
+FleetConfig
+sweepConfig()
+{
+    FleetConfig config;
+    config.apps = parseAppList("cnn,amazon,social_feed");
+    // Model-free schedulers: this bench tracks raw simulator event-loop
+    // speed, not training or solver time.
+    config.schedulers = {SchedulerKind::Interactive,
+                         SchedulerKind::Ondemand, SchedulerKind::Ebs};
+    config.users = 32;
+    return config;
+}
+
+/** One measured point: the best-of-N RunTelemetry at @p threads. */
+RunTelemetry
+measure(const FleetConfig &base, int threads)
+{
+    RunTelemetry best;
+    for (int rep = 0; rep < kRepetitions; ++rep) {
+        FleetConfig config = base;
+        config.threads = threads;
+        TelemetryRegistry telemetry;
+        config.telemetry = &telemetry;
+        FleetRunner runner(std::move(config));
+        const FleetOutcome outcome = runner.run();
+        fatal_if(!outcome.diagnostics.empty(),
+                 "bench: run reported problems");
+        RunTelemetry t = makeRunTelemetry(runner.config(), outcome);
+        t.tool = "bench";
+        if (rep == 0 || t.executeMs < best.executeMs)
+            best = t;
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    benchHeader("Simulator throughput bench",
+                "fleet platform scaling (sessions/sec, events/sec)");
+
+    const FleetConfig base = sweepConfig();
+    std::cout << base.jobCount() << " sessions per sweep ("
+              << base.apps.size() << " apps x " << base.schedulers.size()
+              << " schedulers x " << base.users
+              << " users), best of " << kRepetitions << "\n\n";
+
+    // No-feedback check: the telemetry-armed report must match an
+    // uninstrumented run byte for byte.
+    std::string armed_bytes, plain_bytes;
+    {
+        FleetConfig config = base;
+        config.threads = 2;
+        TelemetryRegistry telemetry;
+        config.telemetry = &telemetry;
+        FleetRunner runner(std::move(config));
+        const FleetOutcome outcome = runner.run();
+        armed_bytes = JsonReporter::toString(
+            makeFleetReport(runner.config(), outcome.metrics));
+    }
+    {
+        FleetConfig config = base;
+        config.threads = 2;
+        FleetRunner runner(std::move(config));
+        const FleetOutcome outcome = runner.run();
+        plain_bytes = JsonReporter::toString(
+            makeFleetReport(runner.config(), outcome.metrics));
+    }
+    fatal_if(armed_bytes != plain_bytes,
+             "telemetry-armed report diverged from uninstrumented run");
+
+    const std::vector<int> thread_counts = {1, 2, 4};
+    std::vector<RunTelemetry> points;
+    for (const int threads : thread_counts)
+        points.push_back(measure(base, threads));
+
+    Table table({"threads", "execute(ms)", "sessions/s", "events/s",
+                 "cache hit%"});
+    for (const RunTelemetry &t : points) {
+        const uint64_t lookups = t.cacheHits + t.cacheMisses;
+        table.beginRow()
+            .cell(static_cast<long>(t.threads))
+            .cell(t.executeMs, 1)
+            .cell(t.sessionsPerSec, 1)
+            .cell(t.eventsPerSec, 1)
+            .cell(lookups ? 100.0 * t.cacheHits / lookups : 0.0, 1);
+    }
+    table.print(std::cout);
+    std::cout << "\ntelemetry-armed report byte-identical to "
+                 "uninstrumented run\n";
+
+    std::ofstream os("BENCH_sim.json");
+    fatal_if(!os, "cannot write BENCH_sim.json");
+    os << "{\n"
+       << "  \"sessions\": " << base.jobCount() << ",\n"
+       << "  \"events\": " << points.front().events << ",\n"
+       << "  \"repetitions\": " << kRepetitions << ",\n"
+       << "  \"reports_identical\": true,\n"
+       << "  \"points\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+        const RunTelemetry &t = points[i];
+        os << "    {\"threads\": " << t.threads
+           << ", \"execute_ms\": " << jsonNum(t.executeMs)
+           << ", \"sessions_per_sec\": " << jsonNum(t.sessionsPerSec)
+           << ", \"events_per_sec\": " << jsonNum(t.eventsPerSec)
+           << ", \"cache_hits\": " << t.cacheHits
+           << ", \"cache_misses\": " << t.cacheMisses << "}"
+           << (i + 1 < points.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n"
+       << "}\n";
+    std::cout << "[json: BENCH_sim.json]\n";
+    return 0;
+}

@@ -40,7 +40,16 @@ TraceCache::enforceCapacity(const Key &keep)
         traces_.erase(it);
         lru_.pop_back();
         ++evictions_;
+        if (evictionHook_)
+            evictionHook_();
     }
+}
+
+void
+TraceCache::setEvictionHook(std::function<void()> hook)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    evictionHook_ = std::move(hook);
 }
 
 TraceHandle

@@ -109,6 +109,13 @@ class TraceCache
     /** Entries evicted by the LRU bound. */
     uint64_t evictions() const;
 
+    /**
+     * Observe evictions (telemetry): @p hook runs once per evicted
+     * entry, while the cache mutex is held — it must be cheap and must
+     * never call back into this cache. An empty function detaches.
+     */
+    void setEvictionHook(std::function<void()> hook);
+
     /** Drop all entries and reset the counters (keeps the capacity). */
     void clear();
 
@@ -136,6 +143,7 @@ class TraceCache
     mutable std::map<Key, Entry> traces_;
     /** Recency order, front = most recent. */
     mutable std::list<Key> lru_;
+    std::function<void()> evictionHook_;
     size_t maxEntries_ = 0;
     size_t maxBytes_ = 0;
     size_t residentBytes_ = 0;

@@ -312,7 +312,7 @@ ResultStore::recordCount() const
 bool
 ResultStore::appendPart(const std::vector<SessionRecord> &records,
                         const std::string &label, const PsumParams &params,
-                        std::string *error)
+                        std::string *error, uint64_t *bytes_written)
 {
     if (records.empty())
         return true;
@@ -327,6 +327,8 @@ ResultStore::appendPart(const std::vector<SessionRecord> &records,
     tail.getU64(part.checksum);
     if (!writeFileBytes(pathOf(part), bytes, error))
         return false;
+    if (bytes_written)
+        *bytes_written = bytes.size();
     parts_.push_back(std::move(part));
     if (!saveManifest(error)) {
         parts_.pop_back();

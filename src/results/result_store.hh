@@ -126,11 +126,14 @@ class ResultStore
      * Append @p records as a new part file and persist the manifest
      * atomically — the checkpoint primitive. @p label tags the part
      * file name (e.g. "s0" for shard 0); @p params go into the .psum
-     * head section. Empty batches are ignored (returns true).
+     * head section. Empty batches are ignored (returns true). When
+     * @p bytes_written is non-null it receives the encoded part size
+     * (telemetry: checkpoint cost in bytes).
      */
     bool appendPart(const std::vector<SessionRecord> &records,
                     const std::string &label, const PsumParams &params,
-                    std::string *error);
+                    std::string *error,
+                    uint64_t *bytes_written = nullptr);
 
     /**
      * Streaming iteration in manifest order: @p fn gets every record of

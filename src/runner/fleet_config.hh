@@ -33,7 +33,9 @@ namespace pes {
 class CorpusStore;
 class LogisticModel;
 class ResultStore;
+class TelemetryRegistry;
 class TraceCache;
+class TraceEventSink;
 
 /** One simulated user session of a fleet sweep. */
 struct JobSpec
@@ -221,6 +223,30 @@ struct FleetConfig
      */
     std::function<InteractionTrace(const InteractionTrace &)>
         traceTransform;
+    /**
+     * Optional telemetry registry (borrowed, not owned). When armed,
+     * the runner records structured counters — sessions/events,
+     * per-job durations, cache/pool/checkpoint traffic — into
+     * per-worker shards merged canonically. Telemetry NEVER feeds back
+     * into simulation or reduction: reports stay byte-identical with
+     * it on or off, at any thread count (locked by tests and CI).
+     */
+    TelemetryRegistry *telemetry = nullptr;
+    /**
+     * Optional Chrome trace-event sink (borrowed, not owned): the
+     * runner emits spans for its plan/execute/persist/reduce stages,
+     * per-job execute spans on per-worker lanes, and instant events
+     * for checkpoint flushes and trace-cache evictions. Same
+     * no-feedback contract as telemetry.
+     */
+    TraceEventSink *traceSink = nullptr;
+    /**
+     * Emit a throttled progress line to stderr as jobs complete
+     * (completed/planned sessions and a running sessions/sec).
+     * Deliberately independent of the log level: --progress is an
+     * explicit operator request, not chatter.
+     */
+    bool progress = false;
 
     /** The user-axis length (userSeeds list or @c users). */
     int effectiveUsers() const;

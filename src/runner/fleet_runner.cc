@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <stdexcept>
 #include <tuple>
@@ -20,6 +22,7 @@
 #include "results/result_store.hh"
 #include "runner/thread_pool.hh"
 #include "sim/runtime_simulator.hh"
+#include "telemetry/trace_sink.hh"
 #include "trace/generator.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -30,6 +33,74 @@ namespace {
 
 /** Salt for deriving per-session speculation-noise seeds (fleet mode). */
 constexpr uint64_t kSpecNoiseSalt = 0x5eedu;
+
+/** Milliseconds elapsed since @p t0 (steady clock). */
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * Throttled stderr progress line (--progress). Workers bump an atomic
+ * completion counter; whichever bump grabs the try_lock and finds the
+ * half-second throttle expired prints. Contending workers skip instead
+ * of queueing, so the hot path never blocks on console I/O.
+ */
+class ProgressMeter
+{
+  public:
+    explicit ProgressMeter(int total)
+        : total_(total), start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    void bump()
+    {
+        const int done = done_.fetch_add(1) + 1;
+        std::unique_lock<std::mutex> lock(mutex_, std::try_to_lock);
+        if (!lock.owns_lock())
+            return;
+        const auto now = std::chrono::steady_clock::now();
+        if (now - lastPrint_ < std::chrono::milliseconds(500))
+            return;
+        lastPrint_ = now;
+        print(done);
+    }
+
+    /** Always prints the final tally (unless a bump just did). */
+    void finish()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (lastPrinted_ != done_.load())
+            print(done_.load());
+    }
+
+  private:
+    void print(int done)
+    {
+        const double secs =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+        std::fprintf(stderr,
+                     "progress: %d/%d sessions (%d%%), %.1f sessions/s\n",
+                     done, total_,
+                     total_ > 0 ? done * 100 / total_ : 100,
+                     secs > 0.0 ? done / secs : 0.0);
+        std::fflush(stderr);
+        lastPrinted_ = done;
+    }
+
+    const int total_;
+    const std::chrono::steady_clock::time_point start_;
+    std::atomic<int> done_{0};
+    std::mutex mutex_;
+    std::chrono::steady_clock::time_point lastPrint_{};
+    int lastPrinted_ = -1;
+};
 
 /**
  * Immutable per-device state shared by every worker: the platform, its
@@ -92,7 +163,11 @@ struct PersistSink
     std::mutex flushMutex;
     uint64_t flushes = 0;
     uint64_t persisted = 0;
+    uint64_t flushedBytes = 0;
     std::vector<std::string> errors;
+    /** Optional trace sink: each flush stamps an instant event. */
+    TraceEventSink *traceSink = nullptr;
+    int instantLane = 0;
 
     void push(SessionRecord record)
     {
@@ -127,9 +202,15 @@ struct PersistSink
     {
         std::lock_guard<std::mutex> lock(flushMutex);
         std::string error;
-        if (store->appendPart(batch, label, params, &error)) {
+        uint64_t part_bytes = 0;
+        if (store->appendPart(batch, label, params, &error,
+                              &part_bytes)) {
             persisted += batch.size();
             ++flushes;
+            flushedBytes += part_bytes;
+            if (traceSink)
+                traceSink->instant(instantLane, "checkpoint flush",
+                                   "store");
         } else {
             errors.push_back("persist: " + error);
         }
@@ -235,8 +316,40 @@ FleetRunner::plan() const
 FleetOutcome
 FleetRunner::run()
 {
+    // ---- Instrumentation (both optional, both no-feedback): armed
+    // telemetry records counters, an attached sink records spans.
+    // Everything below branches on these pointers; report bytes are
+    // identical either way (locked by tests and CI). ----
+    TelemetryRegistry *telemetry =
+        (config_.telemetry && config_.telemetry->enabled())
+            ? config_.telemetry
+            : nullptr;
+    TraceEventSink *tsink = config_.traceSink;
+    const bool logical = tsink && tsink->logicalClock();
+    // Lane map: 0 = pipeline stages, 1..threads = workers, last =
+    // store/cache instants.
+    const int store_lane = config_.threads + 1;
+    if (tsink) {
+        tsink->nameLane(0, "runner");
+        for (int w = 0; w < config_.threads; ++w)
+            tsink->nameLane(w + 1, "worker " + std::to_string(w));
+        tsink->nameLane(store_lane, "store");
+    }
+    // Stress grids share one sink across severities, so stage spans
+    // carry the scenario to stay tellable apart in the viewer.
+    const auto stage_name = [this](const char *stage) {
+        return config_.scenario.empty()
+            ? std::string(stage)
+            : std::string(stage) + " [" + config_.scenario + "]";
+    };
+
     FleetOutcome outcome;
-    outcome.plan = plan();
+    {
+        TraceSpan plan_span(tsink, 0, stage_name("plan"), "stage");
+        const auto plan_start = std::chrono::steady_clock::now();
+        outcome.plan = plan();
+        outcome.planMs = msSince(plan_start);
+    }
     outcome.jobCount = outcome.plan.plannedJobs;
 
     ResultStore *store = config_.resultStore;
@@ -309,6 +422,13 @@ FleetRunner::run()
         if (!cache) {
             owned_cache = std::make_unique<TraceCache>();
             owned_cache->setCapacity(config_.traceCacheCap, 0);
+            if (tsink) {
+                // Only the run-owned cache: a caller-provided cache
+                // outlives this run and keeps its own hook policy.
+                owned_cache->setEvictionHook([tsink, store_lane] {
+                    tsink->instant(store_lane, "cache evict", "cache");
+                });
+            }
             cache = owned_cache.get();
         }
     }
@@ -386,12 +506,27 @@ FleetRunner::run()
                           std::to_string(config_.shardCount)},
         };
         sink.checkpointEvery = config_.checkpointEvery;
+        sink.traceSink = tsink;
+        sink.instantLane = store_lane;
     }
 
     // On-demand corpus loads by workers (capped-cache misses/reloads);
     // folded into tracesFromCorpus so replay traffic is visible even
     // when the preload stage only verified headers.
     std::atomic<uint64_t> corpus_loads{0};
+
+    // Per-worker telemetry shards, created up front in worker-index
+    // order so the snapshot's merge order is deterministic.
+    std::vector<TelemetryShard *> shards;
+    if (telemetry) {
+        shards.reserve(static_cast<size_t>(config_.threads));
+        for (int w = 0; w < config_.threads; ++w)
+            shards.push_back(telemetry->makeShard());
+    }
+
+    std::optional<ProgressMeter> progress;
+    if (config_.progress)
+        progress.emplace(outcome.plan.plannedJobs);
 
     const auto runJob = [&](const JobSpec &job, int worker,
                             SchedulerDriver &driver) {
@@ -405,6 +540,22 @@ FleetRunner::run()
 
         const AppProfile &profile =
             config_.apps[static_cast<size_t>(job.appIndex)];
+
+        TelemetryShard *shard =
+            telemetry ? shards[static_cast<size_t>(worker)] : nullptr;
+        const auto job_start = std::chrono::steady_clock::now();
+        // Per-job execute span on this worker's lane, covering trace
+        // materialization plus the simulated session.
+        TraceSpan job_span(
+            tsink, worker + 1,
+            tsink ? profile.name + "/" +
+                    schedulerKindName(
+                        config_.schedulers[static_cast<size_t>(
+                            job.schedulerIndex)]) +
+                    " u" + std::to_string(job.userIndex)
+                  : std::string(),
+            "job");
+
         InteractionTrace fresh;
         TraceHandle handle;  // keeps an evicted trace alive while used
         const InteractionTrace *trace = nullptr;
@@ -487,12 +638,34 @@ FleetRunner::run()
             record.stats = stats[static_cast<size_t>(job.index)];
             sink.push(std::move(record));
         }
+        if (shard) {
+            // Event/session counters come from the already-reduced
+            // SessionStats — the simulator's hot loop stays untouched
+            // (no per-event timer or counter calls).
+            const SessionStats &s =
+                stats[static_cast<size_t>(job.index)];
+            shard->count("sim.sessions");
+            shard->count("sim.events", static_cast<uint64_t>(s.events));
+            shard->count("sim.violations",
+                         static_cast<uint64_t>(s.violations));
+            // Wall-clock job durations vary run to run, so the
+            // logical-clock (golden-locked) mode records none.
+            if (!logical)
+                shard->duration("runner.job_ms", msSince(job_start));
+        }
+        if (progress)
+            progress->bump();
     };
 
     // ---- Stage 2: execute the planned ranges. ----
     const auto start = std::chrono::steady_clock::now();
     {
-        ThreadPool pool(config_.threads);
+        // Span opens before the pool spins up and closes after it
+        // drains, so at threads=1 the logical-clock tick order is fully
+        // determined (the main thread blocks in wait() while the lone
+        // worker takes its ticks in job order).
+        TraceSpan execute_span(tsink, 0, stage_name("execute"), "stage");
+        ThreadPool pool(config_.threads, telemetry != nullptr);
         for (const JobRange &range : outcome.plan.ranges) {
             pool.submit([&, range](int worker) {
                 // One driver per range: a per-cell "warmed device" for
@@ -513,16 +686,25 @@ FleetRunner::run()
         pool.wait();
         for (const std::string &error : pool.errors())
             outcome.diagnostics.push_back(error);
+        outcome.poolStats = pool.stats();
     }
     const auto stop = std::chrono::steady_clock::now();
+    if (progress)
+        progress->finish();
 
     // ---- Stage 3: final checkpoint flush. ----
-    if (store)
-        sink.finish();
+    {
+        TraceSpan persist_span(tsink, 0, stage_name("persist"), "stage");
+        const auto persist_start = std::chrono::steady_clock::now();
+        if (store)
+            sink.finish();
+        outcome.persistMs = msSince(persist_start);
+    }
     for (const std::string &error : sink.errors)
         outcome.diagnostics.push_back(error);
     outcome.persistedRecords = sink.persisted;
     outcome.checkpointFlushes = sink.flushes;
+    outcome.checkpointBytes = sink.flushedBytes;
 
     outcome.wallMs =
         std::chrono::duration<double, std::milli>(stop - start).count();
@@ -533,7 +715,24 @@ FleetRunner::run()
     }
     outcome.tracesFromCorpus = traces_from_corpus + corpus_loads.load();
 
+    // Fold run-level traffic into the registry's root shard so the
+    // snapshot in the telemetry artifact is self-contained.
+    if (telemetry) {
+        telemetry->count("cache.hits", outcome.traceCacheHits);
+        telemetry->count("cache.misses", outcome.traceCacheMisses);
+        telemetry->count("cache.evictions",
+                         outcome.traceCacheEvictions);
+        telemetry->count("corpus.loads", outcome.tracesFromCorpus);
+        telemetry->count("store.checkpoint_flushes",
+                         outcome.checkpointFlushes);
+        telemetry->count("store.checkpoint_bytes",
+                         outcome.checkpointBytes);
+        telemetry->count("pool.tasks", outcome.poolStats.tasks);
+    }
+
     // ---- Stage 4: deterministic reduction. ----
+    TraceSpan reduce_span(tsink, 0, stage_name("reduce"), "stage");
+    const auto reduce_start = std::chrono::steady_clock::now();
     if (store) {
         // Reduce FROM the store: one code path for whole, sharded and
         // resumed runs — the reports cover everything persisted.
@@ -567,7 +766,55 @@ FleetRunner::run()
                     std::move(full[static_cast<size_t>(job.index)]));
         }
     }
+    outcome.reduceMs = msSince(reduce_start);
     return outcome;
+}
+
+RunTelemetry
+makeRunTelemetry(const FleetConfig &config, const FleetOutcome &outcome)
+{
+    RunTelemetry t;
+    t.tool = "run";
+    t.scenario = config.scenario;
+    t.logicalClock =
+        config.traceSink && config.traceSink->logicalClock();
+    t.threads = config.threads;
+    if (config.telemetry)
+        t.counters = config.telemetry->snapshot();
+
+    // Sessions/events prefer the registry's counters (they cover
+    // exactly what THIS run executed); an un-armed registry falls back
+    // to the outcome's plan and reduction totals.
+    t.sessions = t.counters.counter("sim.sessions");
+    if (t.sessions == 0)
+        t.sessions = static_cast<uint64_t>(outcome.jobCount);
+    t.events = t.counters.counter("sim.events");
+    if (t.events == 0)
+        t.events = static_cast<uint64_t>(outcome.metrics.events());
+
+    t.cacheHits = outcome.traceCacheHits;
+    t.cacheMisses = outcome.traceCacheMisses;
+    t.cacheEvictions = outcome.traceCacheEvictions;
+    t.checkpointFlushes = outcome.checkpointFlushes;
+    t.checkpointBytes = outcome.checkpointBytes;
+    t.poolTasks = outcome.poolStats.tasks;
+
+    // Wall-derived and scheduling-dependent fields stay zero under the
+    // logical clock — that is what makes the artifact byte-reproducible
+    // (the RunTelemetry determinism contract).
+    if (!t.logicalClock) {
+        t.planMs = outcome.planMs;
+        t.executeMs = outcome.wallMs;
+        t.persistMs = outcome.persistMs;
+        t.reduceMs = outcome.reduceMs;
+        t.totalMs = outcome.planMs + outcome.wallMs +
+            outcome.persistMs + outcome.reduceMs;
+        t.poolMaxQueueDepth = outcome.poolStats.maxQueueDepth;
+        t.poolBusyMs = outcome.poolStats.busyMs;
+        t.poolIdleMs = outcome.poolStats.idleMs;
+        t.recomputeRates();
+    }
+    return t;
 }
 
 } // namespace pes

@@ -44,7 +44,9 @@
 
 #include "runner/fleet_config.hh"
 #include "runner/metrics_aggregator.hh"
+#include "runner/thread_pool.hh"
 #include "sim/metrics.hh"
+#include "telemetry/run_telemetry.hh"
 
 namespace pes {
 
@@ -85,6 +87,16 @@ struct FleetOutcome
     FleetPlan plan;
     /** Wall-clock of the parallel phase (ms). Never serialized. */
     double wallMs = 0.0;
+    /** Per-stage wall-clock (ms); wallMs is the execute stage.
+     *  Telemetry only — never serialized into reports. */
+    double planMs = 0.0;
+    double persistMs = 0.0;
+    double reduceMs = 0.0;
+    /** Worker-pool saturation of the execute stage (busy/idle wall
+     *  time only when telemetry was armed). */
+    ThreadPoolStats poolStats;
+    /** Bytes written by checkpoint flushes (telemetry only). */
+    uint64_t checkpointBytes = 0;
     /**
      * Run-level problems: worker exceptions, persistence failures,
      * store anomalies found at reduction. Empty on a clean run — tools
@@ -139,6 +151,15 @@ class FleetRunner
     FleetConfig config_;
     std::vector<JobSpec> jobs_;
 };
+
+/**
+ * Build the RunTelemetry summary of one finished run (tool = "run"):
+ * counters snapshot from the armed registry, stage times and traffic
+ * from the outcome. Under a logical-clock trace sink all wall-derived
+ * fields are zeroed (see telemetry/run_telemetry.hh).
+ */
+RunTelemetry makeRunTelemetry(const FleetConfig &config,
+                              const FleetOutcome &outcome);
 
 } // namespace pes
 

@@ -1,11 +1,13 @@
 #include "runner/thread_pool.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 namespace pes {
 
-ThreadPool::ThreadPool(int threads)
+ThreadPool::ThreadPool(int threads, bool instrument)
+    : instrument_(instrument)
 {
     const int count = std::max(1, threads);
     workers_.reserve(static_cast<size_t>(count));
@@ -30,6 +32,9 @@ ThreadPool::submit(Task task)
     {
         std::unique_lock<std::mutex> lock(mutex_);
         queue_.push_back(std::move(task));
+        stats_.maxQueueDepth =
+            std::max(stats_.maxQueueDepth,
+                     static_cast<uint64_t>(queue_.size()));
     }
     wake_.notify_one();
 }
@@ -48,17 +53,43 @@ ThreadPool::errors() const
     return errors_;
 }
 
+ThreadPoolStats
+ThreadPool::stats() const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    return stats_;
+}
+
 void
 ThreadPool::workerLoop(int worker)
 {
+    using clock = std::chrono::steady_clock;
+    const auto elapsedMs = [](clock::time_point since) {
+        return std::chrono::duration<double, std::milli>(clock::now() -
+                                                         since)
+            .count();
+    };
     for (;;) {
         Task task;
+        double idle_ms = 0.0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock,
-                       [this] { return stopping_ || !queue_.empty(); });
+            if (instrument_ && (stopping_ || !queue_.empty())) {
+                // Work (or shutdown) is already here: no idle wait.
+            } else if (instrument_) {
+                const auto wait_start = clock::now();
+                wake_.wait(lock, [this] {
+                    return stopping_ || !queue_.empty();
+                });
+                idle_ms = elapsedMs(wait_start);
+            } else {
+                wake_.wait(lock, [this] {
+                    return stopping_ || !queue_.empty();
+                });
+            }
             if (queue_.empty()) {
                 // stopping_ set and nothing left to do.
+                stats_.idleMs += idle_ms;
                 return;
             }
             task = std::move(queue_.front());
@@ -68,6 +99,7 @@ ThreadPool::workerLoop(int worker)
         // A worker thread must never let an exception escape (that
         // would std::terminate the whole process); capture it as a
         // run-level diagnostic instead and keep draining.
+        const auto task_start = clock::now();
         std::string error;
         try {
             task(worker);
@@ -76,12 +108,16 @@ ThreadPool::workerLoop(int worker)
         } catch (...) {
             error = "unknown exception";
         }
+        const double busy_ms = instrument_ ? elapsedMs(task_start) : 0.0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             if (!error.empty()) {
                 errors_.push_back("worker " + std::to_string(worker) +
                                   ": " + error);
             }
+            ++stats_.tasks;
+            stats_.busyMs += busy_ms;
+            stats_.idleMs += idle_ms;
             --inFlight_;
             if (queue_.empty() && inFlight_ == 0)
                 drained_.notify_all();

@@ -29,6 +29,24 @@
 namespace pes {
 
 /**
+ * Saturation telemetry of one pool's lifetime (see ThreadPool::stats).
+ * Queue depth is tracked unconditionally (one compare under the queue
+ * lock); busy/idle wall times only when the pool is instrumented —
+ * they cost two clock reads per task and one per wait.
+ */
+struct ThreadPoolStats
+{
+    /** Tasks executed (including ones that threw). */
+    uint64_t tasks = 0;
+    /** Deepest the task queue ever got. */
+    uint64_t maxQueueDepth = 0;
+    /** Summed wall time workers spent running tasks (ms). */
+    double busyMs = 0.0;
+    /** Summed wall time workers spent waiting for work (ms). */
+    double idleMs = 0.0;
+};
+
+/**
  * Fixed-size worker pool over a FIFO task queue.
  */
 class ThreadPool
@@ -37,8 +55,11 @@ class ThreadPool
     /** Task signature: receives the executing worker's id [0, threads). */
     using Task = std::function<void(int worker)>;
 
-    /** Spawn @p threads workers (clamped to >= 1). */
-    explicit ThreadPool(int threads);
+    /**
+     * Spawn @p threads workers (clamped to >= 1). @p instrument arms
+     * busy/idle wall-time collection for stats().
+     */
+    explicit ThreadPool(int threads, bool instrument = false);
 
     /** Drains the queue, then joins all workers. */
     ~ThreadPool();
@@ -62,6 +83,13 @@ class ThreadPool
      */
     std::vector<std::string> errors() const;
 
+    /**
+     * Lifetime saturation counters so far. Call after wait() for a
+     * consistent picture; busy/idle stay 0 unless the pool was
+     * constructed with instrument = true.
+     */
+    ThreadPoolStats stats() const;
+
   private:
     void workerLoop(int worker);
 
@@ -73,6 +101,8 @@ class ThreadPool
     std::vector<std::string> errors_;
     int inFlight_ = 0;
     bool stopping_ = false;
+    bool instrument_ = false;
+    ThreadPoolStats stats_;
 };
 
 /**

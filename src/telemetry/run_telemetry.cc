@@ -1,0 +1,250 @@
+#include "telemetry/run_telemetry.hh"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "util/json.hh"
+
+namespace pes {
+
+namespace {
+
+/** Trailing-zero-trimmed bucket list (keeps documents compact). */
+size_t
+usedBuckets(const DurationStats &d)
+{
+    size_t used = DurationStats::kBuckets;
+    while (used > 0 && d.buckets[used - 1] == 0)
+        --used;
+    return used;
+}
+
+double
+fieldNum(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.find(key);
+    return v ? v->number() : 0.0;
+}
+
+uint64_t
+fieldU64(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.find(key);
+    return v ? v->number64() : 0;
+}
+
+std::string
+fieldStr(const JsonValue &obj, const char *key)
+{
+    const JsonValue *v = obj.find(key);
+    return v && v->kind == JsonValue::Kind::String ? v->str
+                                                   : std::string();
+}
+
+} // namespace
+
+void
+RunTelemetry::recomputeRates()
+{
+    const double secs = executeMs / 1000.0;
+    sessionsPerSec = secs > 0.0 ? static_cast<double>(sessions) / secs
+                                : 0.0;
+    eventsPerSec = secs > 0.0 ? static_cast<double>(events) / secs : 0.0;
+}
+
+void
+writeRunTelemetryJson(const RunTelemetry &t, std::ostream &os)
+{
+    os << "{\n"
+       << "  \"telemetry_version\": " << RunTelemetry::kVersion << ",\n"
+       << "  \"tool\": \"" << jsonEscape(t.tool) << "\",\n"
+       << "  \"scenario\": \"" << jsonEscape(t.scenario) << "\",\n"
+       << "  \"logical_clock\": " << (t.logicalClock ? 1 : 0) << ",\n"
+       << "  \"threads\": " << t.threads << ",\n"
+       << "  \"sessions\": " << t.sessions << ",\n"
+       << "  \"events\": " << t.events << ",\n"
+       << "  \"sessions_per_sec\": " << jsonNum(t.sessionsPerSec)
+       << ",\n"
+       << "  \"events_per_sec\": " << jsonNum(t.eventsPerSec) << ",\n"
+       << "  \"stage_ms\": {\"plan\": " << jsonNum(t.planMs)
+       << ", \"execute\": " << jsonNum(t.executeMs)
+       << ", \"persist\": " << jsonNum(t.persistMs)
+       << ", \"reduce\": " << jsonNum(t.reduceMs)
+       << ", \"total\": " << jsonNum(t.totalMs) << "},\n"
+       << "  \"trace_cache\": {\"hits\": " << t.cacheHits
+       << ", \"misses\": " << t.cacheMisses
+       << ", \"evictions\": " << t.cacheEvictions << "},\n"
+       << "  \"checkpoint\": {\"flushes\": " << t.checkpointFlushes
+       << ", \"bytes\": " << t.checkpointBytes << "},\n"
+       << "  \"thread_pool\": {\"tasks\": " << t.poolTasks
+       << ", \"max_queue_depth\": " << t.poolMaxQueueDepth
+       << ", \"busy_ms\": " << jsonNum(t.poolBusyMs)
+       << ", \"idle_ms\": " << jsonNum(t.poolIdleMs) << "},\n";
+
+    os << "  \"counters\": [";
+    for (size_t i = 0; i < t.counters.counters.size(); ++i) {
+        os << (i ? "," : "") << "\n    {\"name\": \""
+           << jsonEscape(t.counters.counters[i].first)
+           << "\", \"value\": " << t.counters.counters[i].second << "}";
+    }
+    os << (t.counters.counters.empty() ? "" : "\n  ") << "],\n";
+
+    os << "  \"gauges\": [";
+    for (size_t i = 0; i < t.counters.gauges.size(); ++i) {
+        os << (i ? "," : "") << "\n    {\"name\": \""
+           << jsonEscape(t.counters.gauges[i].first)
+           << "\", \"value\": " << jsonNum(t.counters.gauges[i].second)
+           << "}";
+    }
+    os << (t.counters.gauges.empty() ? "" : "\n  ") << "],\n";
+
+    os << "  \"durations\": [";
+    for (size_t i = 0; i < t.counters.durations.size(); ++i) {
+        const DurationStats &d = t.counters.durations[i].second;
+        os << (i ? "," : "") << "\n    {\"name\": \""
+           << jsonEscape(t.counters.durations[i].first)
+           << "\", \"count\": " << d.count << ", \"sum_ms\": "
+           << jsonNum(d.sumMs) << ", \"min_ms\": " << jsonNum(d.minMs)
+           << ", \"max_ms\": " << jsonNum(d.maxMs) << ", \"buckets\": [";
+        const size_t used = usedBuckets(d);
+        for (size_t b = 0; b < used; ++b)
+            os << (b ? ", " : "") << d.buckets[b];
+        os << "]}";
+    }
+    os << (t.counters.durations.empty() ? "" : "\n  ") << "]\n"
+       << "}\n";
+}
+
+std::string
+runTelemetryToString(const RunTelemetry &t)
+{
+    std::ostringstream os;
+    writeRunTelemetryJson(t, os);
+    return os.str();
+}
+
+std::optional<RunTelemetry>
+parseRunTelemetry(const std::string &text)
+{
+    const auto doc = parseJson(text);
+    if (!doc || doc->kind != JsonValue::Kind::Object)
+        return std::nullopt;
+    if (fieldNum(*doc, "telemetry_version") != RunTelemetry::kVersion)
+        return std::nullopt;
+
+    RunTelemetry t;
+    t.tool = fieldStr(*doc, "tool");
+    t.scenario = fieldStr(*doc, "scenario");
+    t.logicalClock = fieldNum(*doc, "logical_clock") != 0.0;
+    t.threads = static_cast<int>(fieldNum(*doc, "threads"));
+    t.sessions = fieldU64(*doc, "sessions");
+    t.events = fieldU64(*doc, "events");
+    t.sessionsPerSec = fieldNum(*doc, "sessions_per_sec");
+    t.eventsPerSec = fieldNum(*doc, "events_per_sec");
+
+    if (const JsonValue *stage = doc->find("stage_ms")) {
+        t.planMs = fieldNum(*stage, "plan");
+        t.executeMs = fieldNum(*stage, "execute");
+        t.persistMs = fieldNum(*stage, "persist");
+        t.reduceMs = fieldNum(*stage, "reduce");
+        t.totalMs = fieldNum(*stage, "total");
+    }
+    if (const JsonValue *cache = doc->find("trace_cache")) {
+        t.cacheHits = fieldU64(*cache, "hits");
+        t.cacheMisses = fieldU64(*cache, "misses");
+        t.cacheEvictions = fieldU64(*cache, "evictions");
+    }
+    if (const JsonValue *ckpt = doc->find("checkpoint")) {
+        t.checkpointFlushes = fieldU64(*ckpt, "flushes");
+        t.checkpointBytes = fieldU64(*ckpt, "bytes");
+    }
+    if (const JsonValue *pool = doc->find("thread_pool")) {
+        t.poolTasks = fieldU64(*pool, "tasks");
+        t.poolMaxQueueDepth = fieldU64(*pool, "max_queue_depth");
+        t.poolBusyMs = fieldNum(*pool, "busy_ms");
+        t.poolIdleMs = fieldNum(*pool, "idle_ms");
+    }
+
+    if (const JsonValue *counters = doc->find("counters")) {
+        for (const JsonValue &row : counters->arr)
+            t.counters.counters.emplace_back(fieldStr(row, "name"),
+                                             fieldU64(row, "value"));
+    }
+    if (const JsonValue *gauges = doc->find("gauges")) {
+        for (const JsonValue &row : gauges->arr)
+            t.counters.gauges.emplace_back(fieldStr(row, "name"),
+                                           fieldNum(row, "value"));
+    }
+    if (const JsonValue *durations = doc->find("durations")) {
+        for (const JsonValue &row : durations->arr) {
+            DurationStats d;
+            d.count = fieldU64(row, "count");
+            d.sumMs = fieldNum(row, "sum_ms");
+            d.minMs = fieldNum(row, "min_ms");
+            d.maxMs = fieldNum(row, "max_ms");
+            if (const JsonValue *buckets = row.find("buckets")) {
+                const size_t n =
+                    std::min(buckets->arr.size(),
+                             static_cast<size_t>(DurationStats::kBuckets));
+                for (size_t b = 0; b < n; ++b)
+                    d.buckets[b] = buckets->arr[b].number64();
+            }
+            t.counters.durations.emplace_back(fieldStr(row, "name"), d);
+        }
+    }
+    return t;
+}
+
+void
+foldRunTelemetry(RunTelemetry &into, const RunTelemetry &part)
+{
+    if (into.sessions == 0 && into.events == 0) {
+        into.tool = part.tool;
+        into.threads = part.threads;
+        into.logicalClock = part.logicalClock;
+    }
+    into.sessions += part.sessions;
+    into.events += part.events;
+    into.planMs += part.planMs;
+    into.executeMs += part.executeMs;
+    into.persistMs += part.persistMs;
+    into.reduceMs += part.reduceMs;
+    into.totalMs += part.totalMs;
+    into.cacheHits += part.cacheHits;
+    into.cacheMisses += part.cacheMisses;
+    into.cacheEvictions += part.cacheEvictions;
+    into.checkpointFlushes += part.checkpointFlushes;
+    into.checkpointBytes += part.checkpointBytes;
+    into.poolTasks += part.poolTasks;
+    into.poolMaxQueueDepth =
+        std::max(into.poolMaxQueueDepth, part.poolMaxQueueDepth);
+    into.poolBusyMs += part.poolBusyMs;
+    into.poolIdleMs += part.poolIdleMs;
+
+    // Canonical counter merge, mirroring TelemetryRegistry::snapshot().
+    std::map<std::string, uint64_t> counters(
+        into.counters.counters.begin(), into.counters.counters.end());
+    for (const auto &entry : part.counters.counters)
+        counters[entry.first] += entry.second;
+    std::map<std::string, double> gauges(into.counters.gauges.begin(),
+                                         into.counters.gauges.end());
+    for (const auto &entry : part.counters.gauges) {
+        auto it = gauges.find(entry.first);
+        if (it == gauges.end())
+            gauges.emplace(entry.first, entry.second);
+        else
+            it->second = std::max(it->second, entry.second);
+    }
+    std::map<std::string, DurationStats> durations(
+        into.counters.durations.begin(), into.counters.durations.end());
+    for (const auto &entry : part.counters.durations)
+        durations[entry.first].merge(entry.second);
+
+    into.counters.counters.assign(counters.begin(), counters.end());
+    into.counters.gauges.assign(gauges.begin(), gauges.end());
+    into.counters.durations.assign(durations.begin(), durations.end());
+    into.recomputeRates();
+}
+
+} // namespace pes

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * RunTelemetry: the versioned JSON summary of one instrumented run.
+ *
+ * Where a FleetReport is the deterministic WHAT of a sweep (metric
+ * values, byte-identical for any thread count), RunTelemetry is the
+ * HOW FAST: sessions/sec and events/sec, per-stage wall time through
+ * the runner's plan→execute→persist→reduce pipeline, trace-cache
+ * traffic, thread-pool saturation, checkpoint cost, and the full
+ * counter snapshot of the armed TelemetryRegistry.
+ *
+ * Determinism contract: telemetry artifacts are explicitly EXEMPT from
+ * the byte-identity guarantee — they carry wall-clock values — EXCEPT
+ * under the logical clock, where every wall-derived or scheduling-
+ * dependent field (rates, stage times, pool busy/idle, queue depth) is
+ * zeroed so a single-threaded logical-clock run is byte-reproducible.
+ * The flag is recorded in the artifact ("logical_clock") so consumers
+ * can tell structural summaries from timed ones.
+ *
+ * The schema is versioned ("telemetry_version"); parseRunTelemetry
+ * rejects documents of a different version rather than guessing.
+ */
+
+#ifndef PES_TELEMETRY_RUN_TELEMETRY_HH
+#define PES_TELEMETRY_RUN_TELEMETRY_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "telemetry/telemetry.hh"
+
+namespace pes {
+
+/** Serializable performance summary of one run. */
+struct RunTelemetry
+{
+    /** Schema version (bumped on layout changes). */
+    static constexpr int kVersion = 1;
+
+    /** Producing verb: "run", "stress", "merge", "bench". */
+    std::string tool = "run";
+    /** Scenario identity ("<family>@<severity>"; empty = baseline). */
+    std::string scenario;
+    /** Logical-clock run: wall-derived fields are zeroed (see above). */
+    bool logicalClock = false;
+    int threads = 0;
+
+    uint64_t sessions = 0;
+    uint64_t events = 0;
+    double sessionsPerSec = 0.0;
+    double eventsPerSec = 0.0;
+
+    /** Per-stage wall time of the runner pipeline (ms). */
+    double planMs = 0.0;
+    double executeMs = 0.0;
+    double persistMs = 0.0;
+    double reduceMs = 0.0;
+    /** Whole-pipeline wall time (ms). */
+    double totalMs = 0.0;
+
+    /** TraceCache traffic (0 when sharing was off). */
+    uint64_t cacheHits = 0;
+    uint64_t cacheMisses = 0;
+    uint64_t cacheEvictions = 0;
+
+    /** Persist-stage checkpoint cost. */
+    uint64_t checkpointFlushes = 0;
+    uint64_t checkpointBytes = 0;
+
+    /** ThreadPool saturation over the execute stage. */
+    uint64_t poolTasks = 0;
+    uint64_t poolMaxQueueDepth = 0;
+    double poolBusyMs = 0.0;
+    double poolIdleMs = 0.0;
+
+    /** Full registry snapshot (name-sorted; may be empty). */
+    TelemetrySnapshot counters;
+
+    /** Recompute sessionsPerSec/eventsPerSec from totals (0 guard). */
+    void recomputeRates();
+};
+
+/** Write @p t as a deterministic-key-order JSON object. */
+void writeRunTelemetryJson(const RunTelemetry &t, std::ostream &os);
+
+/** Serialize to a string. */
+std::string runTelemetryToString(const RunTelemetry &t);
+
+/**
+ * Parse a document produced by writeRunTelemetryJson; nullopt on
+ * malformed input or a telemetry_version mismatch.
+ */
+std::optional<RunTelemetry> parseRunTelemetry(const std::string &text);
+
+/**
+ * Fold @p part into @p into (the stress grid rollup): sessions,
+ * events, stage times, cache/checkpoint/pool totals sum; queue depth
+ * takes the max; counters merge canonically; rates recompute from the
+ * folded totals. tool/threads/logicalClock are taken from @p part when
+ * @p into is empty (zero sessions and events).
+ */
+void foldRunTelemetry(RunTelemetry &into, const RunTelemetry &part);
+
+} // namespace pes
+
+#endif // PES_TELEMETRY_RUN_TELEMETRY_HH

@@ -1,0 +1,136 @@
+#include "telemetry/telemetry.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pes {
+
+void
+DurationStats::record(double ms)
+{
+    if (count == 0) {
+        minMs = ms;
+        maxMs = ms;
+    } else {
+        minMs = std::min(minMs, ms);
+        maxMs = std::max(maxMs, ms);
+    }
+    ++count;
+    sumMs += ms;
+    // Bucket on whole microseconds: bucket i covers [2^i, 2^(i+1)) us,
+    // with sub-microsecond samples landing in bucket 0.
+    const double us = ms * 1000.0;
+    int bucket = 0;
+    if (us >= 1.0) {
+        const auto whole = static_cast<uint64_t>(us);
+        while ((uint64_t{1} << (bucket + 1)) <= whole &&
+               bucket + 1 < kBuckets - 1)
+            ++bucket;
+    }
+    ++buckets[static_cast<size_t>(bucket)];
+}
+
+void
+DurationStats::merge(const DurationStats &other)
+{
+    if (other.count == 0)
+        return;
+    if (count == 0) {
+        minMs = other.minMs;
+        maxMs = other.maxMs;
+    } else {
+        minMs = std::min(minMs, other.minMs);
+        maxMs = std::max(maxMs, other.maxMs);
+    }
+    count += other.count;
+    sumMs += other.sumMs;
+    for (int i = 0; i < kBuckets; ++i)
+        buckets[static_cast<size_t>(i)] +=
+            other.buckets[static_cast<size_t>(i)];
+}
+
+uint64_t
+TelemetrySnapshot::counter(const std::string &name) const
+{
+    for (const auto &entry : counters) {
+        if (entry.first == name)
+            return entry.second;
+    }
+    return 0;
+}
+
+double
+TelemetrySnapshot::gaugeValue(const std::string &name) const
+{
+    for (const auto &entry : gauges) {
+        if (entry.first == name)
+            return entry.second;
+    }
+    return 0.0;
+}
+
+TelemetryShard *
+TelemetryRegistry::makeShard()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    shards_.push_back(std::make_unique<TelemetryShard>());
+    return shards_.back().get();
+}
+
+void
+TelemetryRegistry::count(const std::string &name, uint64_t delta)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    root_.count(name, delta);
+}
+
+void
+TelemetryRegistry::gauge(const std::string &name, double value)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    root_.gauge(name, value);
+}
+
+void
+TelemetryRegistry::duration(const std::string &name, double ms)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    root_.duration(name, ms);
+}
+
+TelemetrySnapshot
+TelemetryRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Canonical merge: root first, then shards in creation order, into
+    // name-keyed maps (sorted, so the emitted series are name-ordered).
+    std::map<std::string, uint64_t> counters = root_.counters_;
+    std::map<std::string, double> gauges = root_.gauges_;
+    std::map<std::string, DurationStats> durations = root_.durations_;
+    for (const auto &shard : shards_) {
+        for (const auto &entry : shard->counters_)
+            counters[entry.first] += entry.second;
+        for (const auto &entry : shard->gauges_) {
+            auto it = gauges.find(entry.first);
+            if (it == gauges.end())
+                gauges.emplace(entry.first, entry.second);
+            else
+                it->second = std::max(it->second, entry.second);
+        }
+        for (const auto &entry : shard->durations_)
+            durations[entry.first].merge(entry.second);
+    }
+    TelemetrySnapshot snap;
+    snap.counters.assign(counters.begin(), counters.end());
+    snap.gauges.assign(gauges.begin(), gauges.end());
+    snap.durations.assign(durations.begin(), durations.end());
+    return snap;
+}
+
+} // namespace pes

@@ -1,0 +1,124 @@
+#include "telemetry/trace_sink.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/json.hh"
+
+namespace pes {
+
+TraceEventSink::TraceEventSink(Clock clock)
+    : clock_(clock), epoch_(std::chrono::steady_clock::now())
+{
+}
+
+uint64_t
+TraceEventSink::nowUs()
+{
+    if (clock_ == Clock::Logical)
+        return tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - epoch_)
+            .count());
+}
+
+void
+TraceEventSink::span(int lane, const std::string &name,
+                     const std::string &cat, uint64_t start_us,
+                     uint64_t end_us)
+{
+    Event event;
+    event.phase = 'X';
+    event.lane = lane;
+    event.ts = start_us;
+    event.dur = end_us >= start_us ? end_us - start_us : 0;
+    event.name = name;
+    event.cat = cat;
+    std::lock_guard<std::mutex> lock(mutex_);
+    event.seq = nextSeq_++;
+    events_.push_back(std::move(event));
+}
+
+void
+TraceEventSink::instant(int lane, const std::string &name,
+                        const std::string &cat)
+{
+    Event event;
+    event.phase = 'i';
+    event.lane = lane;
+    event.ts = nowUs();
+    event.name = name;
+    event.cat = cat;
+    std::lock_guard<std::mutex> lock(mutex_);
+    event.seq = nextSeq_++;
+    events_.push_back(std::move(event));
+}
+
+void
+TraceEventSink::nameLane(int lane, const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    laneNames_[lane] = name;
+}
+
+size_t
+TraceEventSink::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+void
+TraceEventSink::write(std::ostream &os) const
+{
+    std::vector<Event> events;
+    std::map<int, std::string> lanes;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        events = events_;
+        lanes = laneNames_;
+    }
+    // Canonical serialization order: equal-content buffers produced by
+    // different worker interleavings write identical bytes.
+    std::sort(events.begin(), events.end(),
+              [](const Event &a, const Event &b) {
+                  if (a.ts != b.ts)
+                      return a.ts < b.ts;
+                  if (a.lane != b.lane)
+                      return a.lane < b.lane;
+                  return a.seq < b.seq;
+              });
+
+    os << "{\"traceEvents\": [";
+    bool first = true;
+    const auto comma = [&] {
+        if (!first)
+            os << ",";
+        first = false;
+        os << "\n  ";
+    };
+    for (const auto &entry : lanes) {
+        comma();
+        os << "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+              "\"tid\": "
+           << entry.first << ", \"args\": {\"name\": \""
+           << jsonEscape(entry.second) << "\"}}";
+    }
+    for (const Event &event : events) {
+        comma();
+        os << "{\"name\": \"" << jsonEscape(event.name)
+           << "\", \"cat\": \"" << jsonEscape(event.cat)
+           << "\", \"ph\": \"" << event.phase << "\", \"ts\": "
+           << event.ts;
+        if (event.phase == 'X')
+            os << ", \"dur\": " << event.dur;
+        os << ", \"pid\": 1, \"tid\": " << event.lane;
+        if (event.phase == 'i')
+            os << ", \"s\": \"t\"";
+        os << "}";
+    }
+    os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+} // namespace pes

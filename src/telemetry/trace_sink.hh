@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Chrome trace-event sink: runner spans viewable in Perfetto.
+ *
+ * A TraceEventSink buffers complete spans ("ph":"X"), instant events
+ * ("ph":"i") and lane names, then writes the Chrome trace-event JSON
+ * object format ({"traceEvents": [...]}) that chrome://tracing and
+ * https://ui.perfetto.dev load directly. Lanes map to trace "tid"s:
+ * the fleet runner uses lane 0 for its pipeline stages, lanes 1..N for
+ * the N workers' per-job spans, and one extra lane for store/cache
+ * instants (checkpoint flushes, trace-cache evictions).
+ *
+ * Clocks: Wall mode timestamps events in microseconds from the sink's
+ * construction (steady clock) — real durations, different bytes every
+ * run. Logical mode draws every timestamp from a shared monotone
+ * counter instead, so the trace carries structure (ordering, nesting,
+ * lane layout) with virtual time; a single-threaded run produces
+ * byte-identical trace files, which is what the committed logical
+ * trace golden locks. write() orders events by (ts, lane, seq) so
+ * equal-content buffers serialize identically regardless of the
+ * interleaving that produced them.
+ *
+ * Thread model: event appends take one mutex; nowUs() is lock-free.
+ * The sink never calls back into any instrumented component, so it can
+ * be invoked from under other locks (the trace cache's eviction hook).
+ */
+
+#ifndef PES_TELEMETRY_TRACE_SINK_HH
+#define PES_TELEMETRY_TRACE_SINK_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pes {
+
+/**
+ * Buffering Chrome trace-event sink.
+ */
+class TraceEventSink
+{
+  public:
+    enum class Clock
+    {
+        /** Microseconds since sink construction (steady clock). */
+        Wall = 0,
+        /** Virtual time: every nowUs() call is one monotone tick. */
+        Logical,
+    };
+
+    explicit TraceEventSink(Clock clock = Clock::Wall);
+    TraceEventSink(const TraceEventSink &) = delete;
+    TraceEventSink &operator=(const TraceEventSink &) = delete;
+
+    /** Whether this sink runs on the logical clock. */
+    bool logicalClock() const { return clock_ == Clock::Logical; }
+
+    /** Current timestamp in trace time units (see Clock). */
+    uint64_t nowUs();
+
+    /** Append a complete span on @p lane covering [start, end]. */
+    void span(int lane, const std::string &name, const std::string &cat,
+              uint64_t start_us, uint64_t end_us);
+
+    /** Append a thread-scoped instant event on @p lane, stamped now. */
+    void instant(int lane, const std::string &name,
+                 const std::string &cat);
+
+    /** Name @p lane (emitted as a thread_name metadata event). */
+    void nameLane(int lane, const std::string &name);
+
+    /** Buffered span + instant events so far. */
+    size_t eventCount() const;
+
+    /**
+     * Write the Chrome trace-event JSON object. Events are ordered by
+     * (timestamp, lane, append sequence); metadata lane names come
+     * first. The buffer is left intact (write is repeatable).
+     */
+    void write(std::ostream &os) const;
+
+  private:
+    struct Event
+    {
+        char phase = 'X';
+        int lane = 0;
+        uint64_t ts = 0;
+        uint64_t dur = 0;
+        uint64_t seq = 0;
+        std::string name;
+        std::string cat;
+    };
+
+    const Clock clock_;
+    const std::chrono::steady_clock::time_point epoch_;
+    std::atomic<uint64_t> tick_{0};
+    mutable std::mutex mutex_;
+    std::vector<Event> events_;
+    std::map<int, std::string> laneNames_;
+    uint64_t nextSeq_ = 0;
+};
+
+/**
+ * RAII span: stamps the start at construction and appends the span at
+ * destruction. A null sink makes both ends no-ops, so call sites stay
+ * unconditional.
+ */
+class TraceSpan
+{
+  public:
+    TraceSpan(TraceEventSink *sink, int lane, std::string name,
+              std::string cat)
+        : sink_(sink), lane_(lane), name_(std::move(name)),
+          cat_(std::move(cat)), start_(sink ? sink->nowUs() : 0)
+    {
+    }
+
+    ~TraceSpan()
+    {
+        if (sink_)
+            sink_->span(lane_, name_, cat_, start_, sink_->nowUs());
+    }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    TraceEventSink *sink_;
+    int lane_;
+    std::string name_;
+    std::string cat_;
+    uint64_t start_;
+};
+
+} // namespace pes
+
+#endif // PES_TELEMETRY_TRACE_SINK_HH

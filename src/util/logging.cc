@@ -6,7 +6,23 @@
 namespace pes {
 
 namespace {
+
 bool quiet = false;
+bool levelSet = false;
+LogLevel level = LogLevel::Info;
+
+/** PES_LOG, resolved once (unknown values fall back to Info). */
+LogLevel
+envLevel()
+{
+    static const LogLevel cached = [] {
+        LogLevel parsed = LogLevel::Info;
+        if (const char *env = std::getenv("PES_LOG"))
+            parseLogLevel(env, parsed);
+        return parsed;
+    }();
+    return cached;
+}
 
 void
 vreport(const char *tag, const char *fmt, va_list args)
@@ -15,7 +31,55 @@ vreport(const char *tag, const char *fmt, va_list args)
     std::vfprintf(stderr, fmt, args);
     std::fprintf(stderr, "\n");
 }
+
 } // namespace
+
+LogLevel
+currentLogLevel()
+{
+    if (quiet)
+        return LogLevel::Error;
+    return levelSet ? level : envLevel();
+}
+
+void
+setLogLevel(LogLevel l)
+{
+    levelSet = true;
+    level = l;
+}
+
+bool
+parseLogLevel(const std::string &name, LogLevel &out)
+{
+    if (name == "debug")
+        out = LogLevel::Debug;
+    else if (name == "info")
+        out = LogLevel::Info;
+    else if (name == "warn")
+        out = LogLevel::Warn;
+    else if (name == "error")
+        out = LogLevel::Error;
+    else
+        return false;
+    return true;
+}
+
+const char *
+logLevelName(LogLevel l)
+{
+    switch (l) {
+      case LogLevel::Debug:
+        return "debug";
+      case LogLevel::Info:
+        return "info";
+      case LogLevel::Warn:
+        return "warn";
+      case LogLevel::Error:
+        return "error";
+    }
+    return "info";
+}
 
 void
 setQuiet(bool q)
@@ -46,7 +110,7 @@ fatal(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (quiet)
+    if (currentLogLevel() > LogLevel::Warn)
         return;
     va_list args;
     va_start(args, fmt);
@@ -57,11 +121,22 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (quiet)
+    if (currentLogLevel() > LogLevel::Info)
         return;
     va_list args;
     va_start(args, fmt);
     vreport("info", fmt, args);
+    va_end(args);
+}
+
+void
+debug(const char *fmt, ...)
+{
+    if (currentLogLevel() > LogLevel::Debug)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("debug", fmt, args);
     va_end(args);
 }
 

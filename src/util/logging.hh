@@ -1,18 +1,35 @@
 /**
  * @file
- * gem5-style status and error reporting.
+ * gem5-style status and error reporting, with severity levels.
  *
  * panic() aborts on internal invariant violations (library bugs);
  * fatal() exits on unusable user input (bad configuration / arguments);
- * warn()/inform() report conditions without stopping.
+ * warn()/inform()/debug() report conditions without stopping, gated by
+ * a global log level so telemetry, diagnostics and progress chatter
+ * share one stderr discipline.
+ *
+ * The level comes from (highest precedence first): setQuiet(true)
+ * (tests/benches force Error), setLogLevel(), the PES_LOG environment
+ * variable (debug|info|warn|error), and the Info default. panic/fatal
+ * always print.
  */
 
 #ifndef PES_UTIL_LOGGING_HH
 #define PES_UTIL_LOGGING_HH
 
 #include <cstdarg>
+#include <string>
 
 namespace pes {
+
+/** Message severities, most verbose first. */
+enum class LogLevel
+{
+    Debug = 0,
+    Info,
+    Warn,
+    Error,
+};
 
 /** Print an error for an internal bug and abort(). printf-style format. */
 [[noreturn]] void panic(const char *fmt, ...)
@@ -22,13 +39,35 @@ namespace pes {
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));
 
-/** Print a warning and continue. */
+/** Print a warning and continue (LogLevel::Warn and below). */
 void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Print a status message and continue. */
+/** Print a status message and continue (LogLevel::Info and below). */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
-/** Globally silence warn()/inform() (used by tests and benches). */
+/** Print a debug message and continue (LogLevel::Debug only). */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Set the global log level (overrides PES_LOG). */
+void setLogLevel(LogLevel level);
+
+/** The effective log level (setQuiet > setLogLevel > PES_LOG > Info). */
+LogLevel currentLogLevel();
+
+/**
+ * Parse a level name ("debug", "info", "warn", "error"); returns false
+ * (leaving @p out untouched) on anything else.
+ */
+bool parseLogLevel(const std::string &name, LogLevel &out);
+
+/** The level's canonical name. */
+const char *logLevelName(LogLevel level);
+
+/**
+ * Globally silence warn()/inform()/debug() (used by tests and
+ * benches): setQuiet(true) pins the level to Error; setQuiet(false)
+ * returns to the configured level.
+ */
 void setQuiet(bool quiet);
 
 /** panic() when @p cond holds. */

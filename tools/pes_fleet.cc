@@ -20,6 +20,8 @@
  * boundary (wall-clock and throughput go to stdout only).
  */
 
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -36,6 +38,9 @@
 #include "runner/fleet_runner.hh"
 #include "runner/reporters.hh"
 #include "scenario/scenario_plan.hh"
+#include "telemetry/run_telemetry.hh"
+#include "telemetry/telemetry.hh"
+#include "telemetry/trace_sink.hh"
 #include "util/logging.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
@@ -94,6 +99,34 @@ usage()
         "  --list-devices     print every known device model and exit\n"
         "  --quiet            suppress progress chatter\n"
         "  --help             this text\n"
+        "\n"
+        "Observability (accepted by the default sweep — also spellable "
+        "`pes_fleet run` —\n"
+        "and by the stress and merge verbs; reports stay byte-identical "
+        "with these on\n"
+        "or off):\n"
+        "  --telemetry-out=FILE  write a versioned RunTelemetry JSON "
+        "summary\n"
+        "                     (sessions/sec, events/sec, per-stage wall "
+        "time, cache/\n"
+        "                     pool/checkpoint traffic). stress writes "
+        "one per severity\n"
+        "                     (FILE.sev-<tag>.json) plus the grid "
+        "rollup at FILE\n"
+        "  --trace-out=FILE   write Chrome trace-event JSON of the "
+        "runner pipeline\n"
+        "                     (open in chrome://tracing or "
+        "https://ui.perfetto.dev)\n"
+        "  --logical-clock    stamp trace events with virtual time "
+        "(monotone counter):\n"
+        "                     deterministic trace structure; wall-"
+        "derived telemetry\n"
+        "                     fields are zeroed\n"
+        "  --progress         throttled completed/planned sessions "
+        "line on stderr\n"
+        "  --log-level=LVL    stderr verbosity: debug, info, warn, "
+        "error (default:\n"
+        "                     PES_LOG, else quiet)\n"
         "\n"
         "Verbs:\n"
         "  pes_fleet merge --into=DIR --from=DIR1,DIR2,... "
@@ -259,6 +292,116 @@ writeReports(const FleetReport &report, const std::string &out_path,
     }
 }
 
+// ------------------------------------------------------- observability
+
+/**
+ * Telemetry/trace/logging flags shared by the run, stress and merge
+ * verbs. Arming any of them never changes report bytes — telemetry is
+ * strictly read-only on the runner (locked by tests and CI).
+ */
+struct ObsOptions
+{
+    std::string telemetryOut;
+    std::string traceOut;
+    bool logicalClock = false;
+    bool progress = false;
+    std::string logLevel;
+
+    /** Consume @p arg; true when it was an observability flag. */
+    bool consume(const std::string &arg)
+    {
+        std::string value;
+        if (flagValue(arg, "telemetry-out", value)) {
+            telemetryOut = value;
+        } else if (flagValue(arg, "trace-out", value)) {
+            traceOut = value;
+        } else if (arg == "--logical-clock") {
+            logicalClock = true;
+        } else if (arg == "--progress") {
+            progress = true;
+        } else if (flagValue(arg, "log-level", value)) {
+            logLevel = value;
+        } else {
+            return false;
+        }
+        return true;
+    }
+
+    /** Whether any telemetry artifact was requested. */
+    bool wantsTelemetry() const
+    {
+        return !telemetryOut.empty() || !traceOut.empty();
+    }
+
+    /**
+     * Resolve the stderr discipline: --log-level wins, then the
+     * PES_LOG environment, then the verb's historical default
+     * (@p default_quiet: sweeps silence library chatter).
+     */
+    void applyLogging(bool default_quiet) const
+    {
+        if (!logLevel.empty()) {
+            LogLevel level;
+            fatal_if(!parseLogLevel(logLevel, level),
+                     "bad value '%s' for --log-level "
+                     "(debug|info|warn|error)",
+                     logLevel.c_str());
+            setLogLevel(level);
+        } else if (default_quiet && !std::getenv("PES_LOG")) {
+            setQuiet(true);
+        }
+    }
+
+    /**
+     * Build the trace sink when asked. --logical-clock alone (no
+     * --trace-out) still builds one: the runner consults the sink's
+     * clock to zero wall-derived telemetry fields, making
+     * --telemetry-out byte-reproducible too.
+     */
+    std::optional<TraceEventSink> makeTraceSink() const
+    {
+        if (traceOut.empty() && !logicalClock)
+            return std::nullopt;
+        return std::optional<TraceEventSink>(
+            std::in_place, logicalClock ? TraceEventSink::Clock::Logical
+                                        : TraceEventSink::Clock::Wall);
+    }
+};
+
+/** Write the buffered trace-event JSON (fatal on I/O failure). */
+void
+writeTraceFile(const TraceEventSink &sink, const std::string &path)
+{
+    std::ofstream os(path);
+    fatal_if(!os, "cannot open '%s'", path.c_str());
+    sink.write(os);
+    std::cout << "[trace: " << path << "]\n";
+}
+
+/** Write one RunTelemetry summary (fatal on I/O failure). */
+void
+writeTelemetryFile(const RunTelemetry &t, const std::string &path)
+{
+    std::ofstream os(path);
+    fatal_if(!os, "cannot open '%s'", path.c_str());
+    writeRunTelemetryJson(t, os);
+    std::cout << "[telemetry: " << path << "]\n";
+}
+
+/** Per-severity sibling of @p base: stem + ".sev-<tag>" + extension. */
+std::string
+severityPath(const std::string &base, const std::string &tag)
+{
+    const size_t dot = base.rfind('.');
+    const size_t slash = base.find_last_of("/\\");
+    const bool has_ext =
+        dot != std::string::npos &&
+        (slash == std::string::npos || dot > slash);
+    const std::string stem = has_ext ? base.substr(0, dot) : base;
+    const std::string ext = has_ext ? base.substr(dot) : ".json";
+    return stem + ".sev-" + tag + ext;
+}
+
 // -------------------------------------------------------------- merge
 
 int
@@ -267,6 +410,7 @@ cmdMerge(int argc, char **argv)
     std::string into, out_path, csv_path;
     std::vector<std::string> from;
     bool quiet = false;
+    ObsOptions obs;
 
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -276,6 +420,8 @@ cmdMerge(int argc, char **argv)
             return 0;
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (obs.consume(arg)) {
+            // observability flags (shared across verbs)
         } else if (flagValue(arg, "into", value)) {
             into = value;
         } else if (flagValue(arg, "from", value)) {
@@ -297,35 +443,99 @@ cmdMerge(int argc, char **argv)
     fatal_if(into.empty(), "merge: --into (destination store) is "
                            "required");
     fatal_if(from.empty(), "merge: --from (source stores) is required");
+    obs.applyLogging(false);
+
+    std::optional<TraceEventSink> trace_sink = obs.makeTraceSink();
+    TraceEventSink *tsink = trace_sink ? &*trace_sink : nullptr;
+    if (tsink)
+        tsink->nameLane(0, "merge");
+    TelemetryRegistry telemetry;
+    telemetry.setEnabled(obs.wantsTelemetry());
+    RunTelemetry mt;
+    mt.tool = "merge";
+    mt.threads = 1;
+    mt.logicalClock = obs.logicalClock;
 
     // Open and validate every source before touching the destination:
     // a corrupt shard must fail the merge, not poison the merged store.
+    const auto validate_start = std::chrono::steady_clock::now();
     std::vector<ResultStore> sources;
     int worst = 0;
-    for (const std::string &dir : from) {
-        std::string error;
-        auto store = ResultStore::open(dir, &error);
-        fatal_if(!store, "merge: cannot open '%s': %s", dir.c_str(),
-                 error.c_str());
-        worst = std::max(worst, validateStore(*store, quiet));
-        sources.push_back(std::move(*store));
+    {
+        TraceSpan span(tsink, 0, "validate", "stage");
+        for (const std::string &dir : from) {
+            std::string error;
+            auto store = ResultStore::open(dir, &error);
+            fatal_if(!store, "merge: cannot open '%s': %s", dir.c_str(),
+                     error.c_str());
+            worst = std::max(worst, validateStore(*store, quiet));
+            sources.push_back(std::move(*store));
+        }
     }
+    const double validate_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - validate_start)
+            .count();
     if (worst != 0)
         return worst;
 
     std::string error;
-    auto merged = ResultStore::create(into, sources.front().sweep(),
-                                      &error);
-    fatal_if(!merged, "merge: cannot create '%s': %s", into.c_str(),
-             error.c_str());
-    for (const ResultStore &src : sources) {
-        fatal_if(!merged->mergeFrom(src, &error), "merge: %s",
+    const auto merge_start = std::chrono::steady_clock::now();
+    std::optional<ResultStore> merged;
+    {
+        TraceSpan span(tsink, 0, "merge", "stage");
+        merged = ResultStore::create(into, sources.front().sweep(),
+                                     &error);
+        fatal_if(!merged, "merge: cannot create '%s': %s", into.c_str(),
+                 error.c_str());
+        for (const ResultStore &src : sources) {
+            fatal_if(!merged->mergeFrom(src, &error), "merge: %s",
+                     error.c_str());
+        }
+    }
+    const double merge_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - merge_start)
+            .count();
+
+    const auto reduce_start = std::chrono::steady_clock::now();
+    StoreReduction reduction;
+    {
+        TraceSpan span(tsink, 0, "reduce", "stage");
+        fatal_if(!reduceStore(*merged, reduction, &error), "merge: %s",
                  error.c_str());
     }
+    const double reduce_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - reduce_start)
+            .count();
 
-    StoreReduction reduction;
-    fatal_if(!reduceStore(*merged, reduction, &error), "merge: %s",
-             error.c_str());
+    // The merge verb's telemetry summary: validate maps to the plan
+    // slot, part copying to execute, reduction to reduce.
+    if (telemetry.enabled()) {
+        telemetry.count("merge.sources",
+                        static_cast<uint64_t>(sources.size()));
+        telemetry.count("merge.parts",
+                        static_cast<uint64_t>(merged->parts().size()));
+        telemetry.count("merge.records", merged->recordCount());
+        telemetry.count("merge.duplicates", reduction.duplicates);
+        mt.counters = telemetry.snapshot();
+        mt.sessions = reduction.sessions;
+        mt.events = static_cast<uint64_t>(reduction.metrics.events());
+        mt.scenario = merged->sweep().scenario;
+        if (!mt.logicalClock) {
+            mt.planMs = validate_ms;
+            mt.executeMs = merge_ms;
+            mt.reduceMs = reduce_ms;
+            mt.totalMs = validate_ms + merge_ms + reduce_ms;
+            mt.recomputeRates();
+        }
+        if (!obs.telemetryOut.empty())
+            writeTelemetryFile(mt, obs.telemetryOut);
+    }
+    if (tsink && !obs.traceOut.empty())
+        writeTraceFile(*tsink, obs.traceOut);
+
     if (!reduction.problems.empty()) {
         for (const std::string &p : reduction.problems)
             std::cerr << "FAIL " << p << "\n";
@@ -493,6 +703,7 @@ cmdStress(int argc, char **argv)
     std::string out_path, csv_path, reports_dir, results_dir, corpus_dir;
     bool resume = false;
     bool quiet = false;
+    ObsOptions obs;
 
     for (int i = 2; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -504,6 +715,8 @@ cmdStress(int argc, char **argv)
             return listFamilies();
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (obs.consume(arg)) {
+            // observability flags (shared across verbs)
         } else if (arg == "--warm") {
             base.warmDrivers = true;
         } else if (arg == "--eval-population") {
@@ -625,7 +838,7 @@ cmdStress(int argc, char **argv)
     if (!plan)
         return failProblems(problems);
 
-    setQuiet(true);
+    obs.applyLogging(true);
     std::optional<CorpusStore> corpus;
     if (!corpus_dir.empty()) {
         std::string error;
@@ -633,6 +846,12 @@ cmdStress(int argc, char **argv)
         fatal_if(!corpus, "cannot open corpus: %s", error.c_str());
         base.corpus = &*corpus;
     }
+
+    // One trace sink spans the whole grid (stage spans carry the
+    // scenario tag); each severity gets its own registry so its
+    // summary covers that severity alone, then folds into the rollup.
+    std::optional<TraceEventSink> trace_sink = obs.makeTraceSink();
+    RunTelemetry rollup;
 
     std::vector<ScenarioCell> grid = plan->expand(base);
     if (!quiet) {
@@ -663,11 +882,28 @@ cmdStress(int argc, char **argv)
             cell.config.resultStore = &*store;
             cell.config.resume = resume;
         }
+        TelemetryRegistry telemetry;
+        telemetry.setEnabled(obs.wantsTelemetry());
+        if (obs.wantsTelemetry())
+            cell.config.telemetry = &telemetry;
+        if (trace_sink)
+            cell.config.traceSink = &*trace_sink;
+        cell.config.progress = obs.progress;
         FleetRunner runner(std::move(cell.config));
         const FleetOutcome outcome = runner.run();
         for (const std::string &d : outcome.diagnostics) {
             std::cerr << "FAIL " << cell.scenario << ": " << d << "\n";
             ++run_problems;
+        }
+        if (obs.wantsTelemetry()) {
+            RunTelemetry part = makeRunTelemetry(runner.config(),
+                                                 outcome);
+            part.tool = "stress";
+            if (!obs.telemetryOut.empty())
+                writeTelemetryFile(part,
+                                   severityPath(obs.telemetryOut,
+                                                cell.severityTag));
+            foldRunTelemetry(rollup, part);
         }
         FleetReport report =
             makeFleetReport(runner.config(), outcome.metrics);
@@ -691,6 +927,16 @@ cmdStress(int argc, char **argv)
         }
         reports.emplace_back(cell.severity, std::move(report));
     }
+    // Grid-level artifacts: the folded rollup at the requested path
+    // (per-severity summaries sit beside it) and one trace covering
+    // every severity's pipeline.
+    if (obs.wantsTelemetry() && !obs.telemetryOut.empty()) {
+        rollup.tool = "stress";
+        rollup.scenario = family.name;
+        writeTelemetryFile(rollup, obs.telemetryOut);
+    }
+    if (trace_sink && !obs.traceOut.empty())
+        writeTraceFile(*trace_sink, obs.traceOut);
     if (sharded) {
         if (!quiet) {
             std::cout << "shard " << base.shardIndex << "/"
@@ -743,6 +989,10 @@ main(int argc, char **argv)
         return cmdDiff(argc, argv);
     if (argc > 1 && argv[1] == std::string("stress"))
         return cmdStress(argc, argv);
+    // "run" is the default verb; accept it spelled out for symmetry
+    // with merge/diff/stress.
+    const int arg_start =
+        (argc > 1 && argv[1] == std::string("run")) ? 2 : 1;
 
     FleetConfig config;
     config.schedulers = {SchedulerKind::Pes, SchedulerKind::Ebs};
@@ -755,8 +1005,9 @@ main(int argc, char **argv)
     std::string corpus_dir;
     std::string results_dir;
     bool quiet = false;
+    ObsOptions obs;
 
-    for (int i = 1; i < argc; ++i) {
+    for (int i = arg_start; i < argc; ++i) {
         const std::string arg = argv[i];
         std::string value;
         if (arg == "--help" || arg == "-h") {
@@ -768,6 +1019,8 @@ main(int argc, char **argv)
             return listDevices();
         } else if (arg == "--quiet") {
             quiet = true;
+        } else if (obs.consume(arg)) {
+            // observability flags (shared across verbs)
         } else if (arg == "--warm") {
             config.warmDrivers = true;
         } else if (arg == "--no-trace-share") {
@@ -833,7 +1086,7 @@ main(int argc, char **argv)
              "--users must be in [1, 1e8]");
     fatal_if(config.threads < 1 || config.threads > 4096,
              "--threads must be in [1, 4096]");
-    setQuiet(true);
+    obs.applyLogging(true);
 
     fatal_if(config.resume && results_dir.empty(),
              "--resume requires --results-dir");
@@ -858,6 +1111,17 @@ main(int argc, char **argv)
         fatal_if(!store, "cannot open results dir: %s", error.c_str());
         config.resultStore = &*store;
     }
+
+    // Observability: armed only when an artifact was requested, so the
+    // default run pays nothing but null-pointer branches.
+    std::optional<TraceEventSink> trace_sink = obs.makeTraceSink();
+    TelemetryRegistry telemetry;
+    telemetry.setEnabled(obs.wantsTelemetry());
+    if (obs.wantsTelemetry())
+        config.telemetry = &telemetry;
+    if (trace_sink)
+        config.traceSink = &*trace_sink;
+    config.progress = obs.progress;
 
     FleetRunner runner(std::move(config));
     const FleetConfig &cfg = runner.config();
@@ -905,6 +1169,11 @@ main(int argc, char **argv)
     table.print(std::cout);
 
     writeReports(report, out_path, csv_path);
+    if (obs.wantsTelemetry() && !obs.telemetryOut.empty())
+        writeTelemetryFile(makeRunTelemetry(cfg, outcome),
+                           obs.telemetryOut);
+    if (trace_sink && !obs.traceOut.empty())
+        writeTraceFile(*trace_sink, obs.traceOut);
 
     if (!quiet && outcome.tracesFromCorpus > 0) {
         std::cout << "[corpus: " << outcome.tracesFromCorpus

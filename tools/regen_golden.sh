@@ -8,7 +8,7 @@
 # tests/test_diff.cc (GoldenBaseline.*) replicates the same parameters
 # in-process, so keep the two in sync.
 #
-# Usage: tools/regen_golden.sh [OUT_JSON [OUT_CSV]]
+# Usage: tools/regen_golden.sh [OUT_JSON [OUT_CSV [OUT_TRACE]]]
 #   PES_FLEET=path/to/pes_fleet   binary to use [build/pes_fleet]
 #
 # Run with no arguments (e.g. `cmake --build build --target
@@ -19,6 +19,7 @@ set -eu
 
 out_json="${1:-tests/data/golden/mini_sweep.json}"
 out_csv="${2:-tests/data/golden/mini_sweep.csv}"
+out_trace="${3:-tests/data/golden/mini_sweep.trace.json}"
 fleet="${PES_FLEET:-build/pes_fleet}"
 
 "$fleet" \
@@ -29,4 +30,19 @@ fleet="${PES_FLEET:-build/pes_fleet}"
     --seed=0xf1ee7 \
     --out="$out_json" \
     --csv="$out_csv" \
+    --quiet >/dev/null
+
+# The logical-clock trace golden: same mini sweep at --threads=1 (one
+# worker drains the queue in canonical order, so every virtual tick is
+# fully determined). tests/test_telemetry.cc
+# (TraceSink.LogicalClockMatchesCommittedGolden) replicates this
+# in-process — keep the two in sync.
+"$fleet" run \
+    --schedulers=ebs,interactive \
+    --apps=cnn,social_feed \
+    --users=3 \
+    --threads=1 \
+    --seed=0xf1ee7 \
+    --logical-clock \
+    --trace-out="$out_trace" \
     --quiet >/dev/null
