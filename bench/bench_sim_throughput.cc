@@ -1,31 +1,37 @@
 /**
  * @file
  * Simulator throughput bench: sessions/sec and events/sec measured
- * through the telemetry subsystem.
+ * through the telemetry subsystem, recorded as a perf-history sample.
  *
  * Runs one fleet sweep at several thread counts with an armed
- * TelemetryRegistry, takes the best-of-N execute-stage time, and
- * reports the rates straight from the RunTelemetry summary — the same
- * numbers `pes_fleet run --telemetry-out` emits, so the bench also
- * exercises that pipeline end to end. It asserts the telemetry-armed
- * report is byte-identical to an uninstrumented run (the no-feedback
- * contract), then writes BENCH_sim.json. The JSON carries wall-clock
- * rates, so its bytes vary machine to machine; it is committed as the
- * recorded throughput baseline of ROADMAP item 3 (raw simulator
- * speed), not as a regression golden.
+ * TelemetryRegistry, keeping EVERY replicate (the replicate spread is
+ * what the perf-history gate estimates noise from), and reports the
+ * rates straight from the RunTelemetry summary — the same numbers
+ * `pes_fleet run --telemetry-out` emits, so the bench also exercises
+ * that pipeline end to end. It asserts the telemetry-armed report is
+ * byte-identical to an uninstrumented run (the no-feedback contract),
+ * then APPENDS one PerfSample line (label "bench_sim") to
+ * BENCH_sim.json in the perf-history JSONL schema — the committed file
+ * is the throughput ledger of ROADMAP item 3, replayable with
+ * `pes_perf report --history=BENCH_sim.json` and gateable with
+ * `pes_perf gate`. Its numbers vary machine to machine (the sample
+ * carries a machine fingerprint so foreign samples never gate against
+ * each other).
  */
 
-#include <chrono>
-#include <fstream>
+#include <algorithm>
+#include <cstdlib>
 #include <iostream>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "bench/bench_common.hh"
 #include "runner/fleet_runner.hh"
 #include "runner/reporters.hh"
+#include "telemetry/perf_history.hh"
 #include "telemetry/run_telemetry.hh"
 #include "telemetry/telemetry.hh"
-#include "util/json.hh"
 
 using namespace pes;
 
@@ -46,11 +52,11 @@ sweepConfig()
     return config;
 }
 
-/** One measured point: the best-of-N RunTelemetry at @p threads. */
-RunTelemetry
+/** All kRepetitions RunTelemetry replicates at @p threads. */
+std::vector<RunTelemetry>
 measure(const FleetConfig &base, int threads)
 {
-    RunTelemetry best;
+    std::vector<RunTelemetry> replicates;
     for (int rep = 0; rep < kRepetitions; ++rep) {
         FleetConfig config = base;
         config.threads = threads;
@@ -62,10 +68,9 @@ measure(const FleetConfig &base, int threads)
                  "bench: run reported problems");
         RunTelemetry t = makeRunTelemetry(runner.config(), outcome);
         t.tool = "bench";
-        if (rep == 0 || t.executeMs < best.executeMs)
-            best = t;
+        replicates.push_back(std::move(t));
     }
-    return best;
+    return replicates;
 }
 
 } // namespace
@@ -80,8 +85,8 @@ main()
     const FleetConfig base = sweepConfig();
     std::cout << base.jobCount() << " sessions per sweep ("
               << base.apps.size() << " apps x " << base.schedulers.size()
-              << " schedulers x " << base.users
-              << " users), best of " << kRepetitions << "\n\n";
+              << " schedulers x " << base.users << " users), "
+              << kRepetitions << " replicates per thread count\n\n";
 
     // No-feedback check: the telemetry-armed report must match an
     // uninstrumented run byte for byte.
@@ -108,45 +113,69 @@ main()
              "telemetry-armed report diverged from uninstrumented run");
 
     const std::vector<int> thread_counts = {1, 2, 4};
-    std::vector<RunTelemetry> points;
+    std::map<int, std::vector<RunTelemetry>> by_threads;
     for (const int threads : thread_counts)
-        points.push_back(measure(base, threads));
+        by_threads[threads] = measure(base, threads);
 
+    // Assemble the perf-history sample: replicate metric vectors per
+    // thread point, plus derived parallel efficiency from the t1 mean.
+    PerfSample sample;
+    sample.label = "bench_sim";
+    if (const char *env = std::getenv("PES_GIT_REV"))
+        sample.rev = env;
+    sample.machine = machineFingerprint();
+    std::string scenario;
+    for (const auto &group : by_threads) {
+        PerfPoint point;
+        point.threads = group.first;
+        std::map<std::string, std::vector<double>> series;
+        for (const RunTelemetry &t : group.second) {
+            sample.sessions = std::max(sample.sessions, t.sessions);
+            sample.events = std::max(sample.events, t.events);
+            scenario = t.scenario;
+            for (const auto &metric : perfPointMetrics(t))
+                series[metric.first].push_back(metric.second);
+        }
+        for (auto &metric : series)
+            point.set(metric.first, std::move(metric.second));
+        sample.points.push_back(std::move(point));
+    }
+    derivePerfParallelEfficiency(sample);
+    sample.config = perfConfigIdentity(sample.label, sample.sessions,
+                                       sample.events, thread_counts,
+                                       scenario);
+
+    // Table: replicate means, with the scaling-attribution columns the
+    // ledger gates or charts (efficiency, lock waits, dup synthesis).
     Table table({"threads", "execute(ms)", "sessions/s", "events/s",
-                 "cache hit%"});
-    for (const RunTelemetry &t : points) {
-        const uint64_t lookups = t.cacheHits + t.cacheMisses;
+                 "efficiency", "lock waits", "dup synth", "cache hit%"});
+    for (const PerfPoint &point : sample.points) {
+        const auto meanOf = [&point](const char *name) {
+            const std::vector<double> *values = point.find(name);
+            return values ? perfNoise(*values).mean : 0.0;
+        };
+        const double hits = meanOf("cache_hits");
+        const double lookups = hits + meanOf("cache_misses");
         table.beginRow()
-            .cell(static_cast<long>(t.threads))
-            .cell(t.executeMs, 1)
-            .cell(t.sessionsPerSec, 1)
-            .cell(t.eventsPerSec, 1)
-            .cell(lookups ? 100.0 * t.cacheHits / lookups : 0.0, 1);
+            .cell(static_cast<long>(point.threads))
+            .cell(meanOf("execute_ms"), 1)
+            .cell(meanOf("sessions_per_sec"), 1)
+            .cell(meanOf("events_per_sec"), 1)
+            .cell(meanOf("parallel_efficiency"), 3)
+            .cell(meanOf("cache_lock_waits") +
+                      meanOf("persist_lock_waits"),
+                  1)
+            .cell(meanOf("duplicate_synthesis"), 1)
+            .cell(lookups > 0.0 ? 100.0 * hits / lookups : 0.0, 1);
     }
     table.print(std::cout);
     std::cout << "\ntelemetry-armed report byte-identical to "
                  "uninstrumented run\n";
 
-    std::ofstream os("BENCH_sim.json");
-    fatal_if(!os, "cannot write BENCH_sim.json");
-    os << "{\n"
-       << "  \"sessions\": " << base.jobCount() << ",\n"
-       << "  \"events\": " << points.front().events << ",\n"
-       << "  \"repetitions\": " << kRepetitions << ",\n"
-       << "  \"reports_identical\": true,\n"
-       << "  \"points\": [\n";
-    for (size_t i = 0; i < points.size(); ++i) {
-        const RunTelemetry &t = points[i];
-        os << "    {\"threads\": " << t.threads
-           << ", \"execute_ms\": " << jsonNum(t.executeMs)
-           << ", \"sessions_per_sec\": " << jsonNum(t.sessionsPerSec)
-           << ", \"events_per_sec\": " << jsonNum(t.eventsPerSec)
-           << ", \"cache_hits\": " << t.cacheHits
-           << ", \"cache_misses\": " << t.cacheMisses << "}"
-           << (i + 1 < points.size() ? "," : "") << "\n";
-    }
-    os << "  ]\n"
-       << "}\n";
-    std::cout << "[json: BENCH_sim.json]\n";
+    std::string error;
+    fatal_if(!appendPerfSample("BENCH_sim.json", sample, &error), "%s",
+             error.c_str());
+    std::cout << "[perf-history sample appended: BENCH_sim.json (rev "
+              << sample.rev << ", machine " << sample.machine << ")]\n";
     return 0;
 }

@@ -55,11 +55,13 @@ TraceCache::setEvictionHook(std::function<void()> hook)
 TraceHandle
 TraceCache::adopt(Key key, TraceHandle trace)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ContentionGuard lock(mutex_, contention_);
     const auto it = traces_.find(key);
     if (it != traces_.end()) {
         // Another worker won the race; its copy is identical
-        // (deterministic loader) — adopt it.
+        // (deterministic loader) — adopt it. The materialization this
+        // caller just paid for is discarded: wasted duplicate work.
+        ++duplicateSynthesis_;
         touch(it);
         return it->second.trace;
     }
@@ -79,7 +81,7 @@ TraceHandle
 TraceCache::lookup(const std::string &device, const std::string &app,
                    uint64_t user_seed) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    ContentionGuard lock(mutex_, contention_);
     const auto it = traces_.find(Key{device, app, user_seed});
     if (it == traces_.end())
         return nullptr;
@@ -94,7 +96,7 @@ TraceCache::getOrLoad(const std::string &device, const std::string &app,
 {
     Key key{device, app, user_seed};
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        ContentionGuard lock(mutex_, contention_);
         const auto it = traces_.find(key);
         if (it != traces_.end()) {
             ++hits_;
@@ -166,6 +168,20 @@ TraceCache::evictions() const
     return evictions_;
 }
 
+uint64_t
+TraceCache::duplicateSynthesis() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return duplicateSynthesis_;
+}
+
+LockContention
+TraceCache::lockContention() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return contention_;
+}
+
 void
 TraceCache::clear()
 {
@@ -176,6 +192,8 @@ TraceCache::clear()
     hits_ = 0;
     misses_ = 0;
     evictions_ = 0;
+    duplicateSynthesis_ = 0;
+    contention_.reset();
 }
 
 } // namespace pes

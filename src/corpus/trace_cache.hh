@@ -37,6 +37,7 @@
 #include <tuple>
 
 #include "trace/generator.hh"
+#include "util/contention.hh"
 
 namespace pes {
 
@@ -110,6 +111,20 @@ class TraceCache
     uint64_t evictions() const;
 
     /**
+     * Materializations thrown away because another worker inserted the
+     * same key first (the getOrLoad race documented above, and insert()
+     * calls that found the key present). Each one is a whole synthesis
+     * or corpus load whose result was discarded — wasted work that only
+     * exists under contention, so it is deterministically 0 at one
+     * thread. This is also why a t4 bench run can show one more cache
+     * miss than t1: the miss was real, the work was duplicated.
+     */
+    uint64_t duplicateSynthesis() const;
+
+    /** Contended acquisitions of the cache mutex (scaling telemetry). */
+    LockContention lockContention() const;
+
+    /**
      * Observe evictions (telemetry): @p hook runs once per evicted
      * entry, while the cache mutex is held — it must be cheap and must
      * never call back into this cache. An empty function detaches.
@@ -150,6 +165,9 @@ class TraceCache
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
     uint64_t evictions_ = 0;
+    uint64_t duplicateSynthesis_ = 0;
+    /** Contended mutex_ acquisitions; guarded by mutex_ itself. */
+    mutable LockContention contention_;
 };
 
 } // namespace pes

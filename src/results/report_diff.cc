@@ -76,8 +76,19 @@ compareMetric(const std::string &metric, double base, double test,
         d.outcome = DiffOutcome::Regressed;
         return d;
     }
-    const bool within = d.absDelta <= options.absTolerance ||
-        (base != 0.0 && d.relDelta <= options.relTolerance);
+    double rel_band = options.relTolerance;
+    double abs_band = options.absTolerance;
+    if (options.tolerance) {
+        if (const MetricTolerance *t = options.tolerance->find(metric)) {
+            // A calibrated band replaces the global knobs (the abs
+            // floor survives: it covers float noise, not measurement
+            // noise).
+            rel_band = t->rel;
+            abs_band = std::max(t->abs, options.absTolerance);
+        }
+    }
+    const bool within = d.absDelta <= abs_band ||
+        (base != 0.0 && d.relDelta <= rel_band);
     if (within) {
         d.outcome = DiffOutcome::WithinTolerance;
         return d;

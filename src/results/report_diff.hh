@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "results/tolerance.hh"
 #include "runner/reporters.hh"
 #include "util/integrity.hh"
 
@@ -99,6 +100,10 @@ struct DiffOptions
     /** Compare only these metrics (empty = every serialized metric).
      *  Unknown names make the diff refuse as not comparable. */
     std::vector<std::string> metrics;
+    /** Calibrated per-metric bands (pes_fleet diff --calibrate output);
+     *  a listed metric's band replaces relTolerance/absTolerance.
+     *  Ignored in exact mode. Not owned. */
+    const ToleranceSpec *tolerance = nullptr;
 };
 
 /** One metric's comparison within a cell (non-Identical only). */

@@ -1,0 +1,180 @@
+#include "results/tolerance.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/json.hh"
+#include "util/stats.hh"
+
+namespace pes {
+
+namespace {
+
+/** Below this magnitude a mean is "zero" and rel bands are undefined. */
+constexpr double kZeroMean = 1e-12;
+
+} // namespace
+
+const MetricTolerance *
+ToleranceSpec::find(const std::string &name) const
+{
+    const auto it = std::lower_bound(
+        metrics.begin(), metrics.end(), name,
+        [](const MetricTolerance &t, const std::string &n) {
+            return t.name < n;
+        });
+    if (it == metrics.end() || it->name != name)
+        return nullptr;
+    return &*it;
+}
+
+void
+ToleranceSpec::widen(const std::string &name, double rel, double abs)
+{
+    const auto it = std::lower_bound(
+        metrics.begin(), metrics.end(), name,
+        [](const MetricTolerance &t, const std::string &n) {
+            return t.name < n;
+        });
+    if (it != metrics.end() && it->name == name) {
+        it->rel = std::max(it->rel, rel);
+        it->abs = std::max(it->abs, abs);
+        return;
+    }
+    MetricTolerance t;
+    t.name = name;
+    t.rel = rel;
+    t.abs = abs;
+    metrics.insert(it, std::move(t));
+}
+
+std::string
+toleranceSpecToJson(const ToleranceSpec &spec)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"tolerance_version\": " << ToleranceSpec::kVersion << ",\n"
+       << "  \"sigmas\": " << jsonNum(spec.sigmas) << ",\n"
+       << "  \"replicates\": " << spec.replicates << ",\n"
+       << "  \"metrics\": [";
+    for (size_t i = 0; i < spec.metrics.size(); ++i) {
+        const MetricTolerance &t = spec.metrics[i];
+        os << (i ? "," : "") << "\n    {\"name\": \""
+           << jsonEscape(t.name) << "\", \"rel\": " << jsonNum(t.rel)
+           << ", \"abs\": " << jsonNum(t.abs) << "}";
+    }
+    os << (spec.metrics.empty() ? "" : "\n  ") << "]\n}\n";
+    return os.str();
+}
+
+std::optional<ToleranceSpec>
+parseToleranceSpec(const std::string &text)
+{
+    const auto doc = parseJson(text);
+    if (!doc || doc->kind != JsonValue::Kind::Object)
+        return std::nullopt;
+    const JsonValue *version = doc->find("tolerance_version");
+    if (!version ||
+        version->number() !=
+            static_cast<double>(ToleranceSpec::kVersion))
+        return std::nullopt;
+
+    ToleranceSpec spec;
+    if (const JsonValue *sigmas = doc->find("sigmas"))
+        spec.sigmas = sigmas->number();
+    if (const JsonValue *replicates = doc->find("replicates"))
+        spec.replicates = static_cast<int>(replicates->number());
+    if (const JsonValue *metrics = doc->find("metrics")) {
+        for (const JsonValue &row : metrics->arr) {
+            MetricTolerance t;
+            if (const JsonValue *name = row.find("name"))
+                t.name = name->str;
+            if (const JsonValue *rel = row.find("rel"))
+                t.rel = rel->number();
+            if (const JsonValue *abs = row.find("abs"))
+                t.abs = abs->number();
+            if (!t.name.empty())
+                spec.metrics.push_back(std::move(t));
+        }
+    }
+    std::sort(spec.metrics.begin(), spec.metrics.end(),
+              [](const MetricTolerance &a, const MetricTolerance &b) {
+                  return a.name < b.name;
+              });
+    return spec;
+}
+
+std::optional<ToleranceSpec>
+loadToleranceSpec(const std::string &path, std::string *error)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (error)
+            *error = "cannot open tolerance file: " + path;
+        return std::nullopt;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    auto spec = parseToleranceSpec(buf.str());
+    if (!spec && error)
+        *error = "unparseable tolerance file (or version skew): " + path;
+    return spec;
+}
+
+ToleranceSpec
+calibrateTolerances(const std::vector<FleetReport> &replicates,
+                    double sigmas, std::vector<std::string> *notes)
+{
+    ToleranceSpec spec;
+    spec.sigmas = sigmas;
+    spec.replicates = static_cast<int>(replicates.size());
+
+    const std::vector<std::string> &names = cellMetricNames();
+
+    // Align cells on (device, app, scheduler) across every replicate.
+    using CellKey = std::tuple<std::string, std::string, std::string>;
+    std::map<CellKey, std::vector<const CellSummary *>> aligned;
+    for (const FleetReport &report : replicates) {
+        for (const CellSummary &cell : report.cells)
+            aligned[CellKey{cell.device, cell.app, cell.scheduler}]
+                .push_back(&cell);
+    }
+
+    for (const auto &entry : aligned) {
+        if (entry.second.size() != replicates.size()) {
+            if (notes) {
+                notes->push_back(
+                    "calibrate: cell (" + std::get<0>(entry.first) +
+                    ", " + std::get<1>(entry.first) + ", " +
+                    std::get<2>(entry.first) + ") present in " +
+                    std::to_string(entry.second.size()) + "/" +
+                    std::to_string(replicates.size()) +
+                    " replicates; skipped");
+            }
+            continue;
+        }
+        std::vector<std::vector<double>> values;
+        values.reserve(entry.second.size());
+        for (const CellSummary *cell : entry.second)
+            values.push_back(cellMetricValues(*cell));
+        for (size_t m = 0; m < names.size(); ++m) {
+            RunningStats stats;
+            for (const std::vector<double> &row : values)
+                stats.add(row[m]);
+            const double stddev = stats.stddev();
+            if (!(std::isfinite(stddev)) || stddev == 0.0)
+                continue;
+            const double mean = std::fabs(stats.mean());
+            if (mean > kZeroMean)
+                spec.widen(names[m], sigmas * stddev / mean, 0.0);
+            else
+                spec.widen(names[m], 0.0, sigmas * stddev);
+        }
+    }
+    return spec;
+}
+
+} // namespace pes

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Calibrated per-metric diff tolerances.
+ *
+ * PR 4's diff gate uses one global rel/abs tolerance pair, which forces
+ * a trade-off: tight enough to catch drift in stable metrics, loose
+ * enough not to false-alarm on noisy ones. A ToleranceSpec replaces the
+ * global knobs with a per-metric band DERIVED from observed variation:
+ * give `pes_fleet diff --calibrate=N` N replicate reports (same sweep
+ * shape, different replication axis — seeds, severities, machines) and
+ * it emits tolerance = sigmas x the worst per-cell variation seen for
+ * each metric. Both consumers honor it: `pes_fleet diff
+ * --tolerance-file` for report cells, `pes_perf gate` for history
+ * metrics (which strips its "quality.<scheduler>." qualifier before
+ * lookup, so one calibration file serves both gates).
+ *
+ * The JSON document is versioned and self-describing; parse rejects
+ * version skew rather than guessing.
+ */
+
+#ifndef PES_RESULTS_TOLERANCE_HH
+#define PES_RESULTS_TOLERANCE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runner/reporters.hh"
+
+namespace pes {
+
+/** Calibrated noise band of one metric. */
+struct MetricTolerance
+{
+    std::string name;
+    /** Relative band: |test - base| / |base| <= rel passes. */
+    double rel = 0.0;
+    /** Absolute floor (covers near-zero means, where rel is undefined). */
+    double abs = 0.0;
+};
+
+/** A calibrated tolerance table (name-sorted). */
+struct ToleranceSpec
+{
+    /** Schema version (bumped on layout changes). */
+    static constexpr int kVersion = 1;
+
+    /** Band width in standard deviations used at calibration time. */
+    double sigmas = 3.0;
+    /** Replicate count the bands were derived from. */
+    int replicates = 0;
+    std::vector<MetricTolerance> metrics;
+
+    /** Exact-name lookup; nullptr when the metric was not calibrated. */
+    const MetricTolerance *find(const std::string &name) const;
+
+    /** Insert or widen (never narrow) the band for @p name. */
+    void widen(const std::string &name, double rel, double abs);
+};
+
+/** Serialize as a deterministic-key-order JSON document. */
+std::string toleranceSpecToJson(const ToleranceSpec &spec);
+
+/** Parse a toleranceSpecToJson document; nullopt on malformed input or
+ *  a tolerance_version mismatch. */
+std::optional<ToleranceSpec> parseToleranceSpec(const std::string &text);
+
+/** Load from @p path; nullopt with a classified @p error on failure. */
+std::optional<ToleranceSpec> loadToleranceSpec(const std::string &path,
+                                               std::string *error);
+
+/**
+ * Derive per-metric tolerances from @p replicates (>= 2 reports of the
+ * same sweep shape): for every serialized cell metric, the band is
+ * @p sigmas x the worst observed variation across aligned cells —
+ * relative (stddev/|mean|) where the mean is meaningfully non-zero,
+ * absolute (stddev) where it is not. Cells present in only some
+ * replicates are skipped with a note in @p notes (nullable).
+ */
+ToleranceSpec calibrateTolerances(const std::vector<FleetReport> &replicates,
+                                  double sigmas,
+                                  std::vector<std::string> *notes);
+
+} // namespace pes
+
+#endif // PES_RESULTS_TOLERANCE_HH

@@ -159,6 +159,8 @@ struct PersistSink
     /** Guards pending only: pushes stay cheap while a flush writes. */
     std::mutex pendingMutex;
     std::vector<SessionRecord> pending;
+    /** Contended pendingMutex acquisitions; guarded by pendingMutex. */
+    LockContention pushContention;
     /** Serializes store writes and the counters/errors they update. */
     std::mutex flushMutex;
     uint64_t flushes = 0;
@@ -173,7 +175,7 @@ struct PersistSink
     {
         std::vector<SessionRecord> batch;
         {
-            std::lock_guard<std::mutex> lock(pendingMutex);
+            ContentionGuard lock(pendingMutex, pushContention);
             pending.push_back(std::move(record));
             if (checkpointEvery <= 0 ||
                 pending.size() < static_cast<size_t>(checkpointEvery))
@@ -712,7 +714,10 @@ FleetRunner::run()
         outcome.traceCacheHits = cache->hits();
         outcome.traceCacheMisses = cache->misses();
         outcome.traceCacheEvictions = cache->evictions();
+        outcome.traceCacheDuplicateSynthesis = cache->duplicateSynthesis();
+        outcome.traceCacheContention = cache->lockContention();
     }
+    outcome.persistContention = sink.pushContention;
     outcome.tracesFromCorpus = traces_from_corpus + corpus_loads.load();
 
     // Fold run-level traffic into the registry's root shard so the
@@ -722,6 +727,12 @@ FleetRunner::run()
         telemetry->count("cache.misses", outcome.traceCacheMisses);
         telemetry->count("cache.evictions",
                          outcome.traceCacheEvictions);
+        telemetry->count("cache.duplicate_synthesis",
+                         outcome.traceCacheDuplicateSynthesis);
+        telemetry->count("cache.lock_waits",
+                         outcome.traceCacheContention.waits);
+        telemetry->count("store.push_lock_waits",
+                         outcome.persistContention.waits);
         telemetry->count("corpus.loads", outcome.tracesFromCorpus);
         telemetry->count("store.checkpoint_flushes",
                          outcome.checkpointFlushes);
@@ -795,6 +806,7 @@ makeRunTelemetry(const FleetConfig &config, const FleetOutcome &outcome)
     t.cacheHits = outcome.traceCacheHits;
     t.cacheMisses = outcome.traceCacheMisses;
     t.cacheEvictions = outcome.traceCacheEvictions;
+    t.cacheDuplicateSynthesis = outcome.traceCacheDuplicateSynthesis;
     t.checkpointFlushes = outcome.checkpointFlushes;
     t.checkpointBytes = outcome.checkpointBytes;
     t.poolTasks = outcome.poolStats.tasks;
@@ -812,6 +824,21 @@ makeRunTelemetry(const FleetConfig &config, const FleetOutcome &outcome)
         t.poolMaxQueueDepth = outcome.poolStats.maxQueueDepth;
         t.poolBusyMs = outcome.poolStats.busyMs;
         t.poolIdleMs = outcome.poolStats.idleMs;
+        // Scaling attribution is contention, i.e. scheduling: the whole
+        // section stays zero under the logical clock.
+        t.cacheLockWaits = outcome.traceCacheContention.waits;
+        t.cacheLockWaitMs = outcome.traceCacheContention.waitMs;
+        t.persistLockWaits = outcome.persistContention.waits;
+        t.persistLockWaitMs = outcome.persistContention.waitMs;
+        t.workers.reserve(outcome.poolStats.workers.size());
+        for (const ThreadPoolWorkerStats &w : outcome.poolStats.workers) {
+            WorkerScaling ws;
+            ws.tasks = w.tasks;
+            ws.busyMs = w.busyMs;
+            ws.idleMs = w.idleMs;
+            ws.queueWaitMs = w.queueWaitMs;
+            t.workers.push_back(ws);
+        }
         t.recomputeRates();
     }
     return t;

@@ -47,6 +47,7 @@
 #include "runner/thread_pool.hh"
 #include "sim/metrics.hh"
 #include "telemetry/run_telemetry.hh"
+#include "util/contention.hh"
 
 namespace pes {
 
@@ -113,6 +114,13 @@ struct FleetOutcome
     uint64_t traceCacheHits = 0;
     uint64_t traceCacheMisses = 0;
     uint64_t traceCacheEvictions = 0;
+    /** Materializations discarded to the first-insert-wins race (the
+     *  "97th miss": wasted synthesis that only exists under contention). */
+    uint64_t traceCacheDuplicateSynthesis = 0;
+    /** Contended acquisitions of the TraceCache mutex. */
+    LockContention traceCacheContention;
+    /** Contended acquisitions of the PersistSink push lock. */
+    LockContention persistContention;
     /** Corpus loads performed (preload, plus on-demand reloads when
      *  the trace cache is capped). Corpus replay only. */
     uint64_t tracesFromCorpus = 0;

@@ -10,6 +10,8 @@ ThreadPool::ThreadPool(int threads, bool instrument)
     : instrument_(instrument)
 {
     const int count = std::max(1, threads);
+    if (instrument_)
+        stats_.workers.resize(static_cast<size_t>(count));
     workers_.reserve(static_cast<size_t>(count));
     for (int i = 0; i < count; ++i)
         workers_.emplace_back([this, i] { workerLoop(i); });
@@ -29,9 +31,13 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::submit(Task task)
 {
+    Queued queued;
+    queued.fn = std::move(task);
+    if (instrument_)
+        queued.enqueued = std::chrono::steady_clock::now();
     {
         std::unique_lock<std::mutex> lock(mutex_);
-        queue_.push_back(std::move(task));
+        queue_.push_back(std::move(queued));
         stats_.maxQueueDepth =
             std::max(stats_.maxQueueDepth,
                      static_cast<uint64_t>(queue_.size()));
@@ -69,9 +75,11 @@ ThreadPool::workerLoop(int worker)
                                                          since)
             .count();
     };
+    const size_t self = static_cast<size_t>(worker);
     for (;;) {
         Task task;
         double idle_ms = 0.0;
+        double queue_wait_ms = 0.0;
         {
             std::unique_lock<std::mutex> lock(mutex_);
             if (instrument_ && (stopping_ || !queue_.empty())) {
@@ -90,9 +98,13 @@ ThreadPool::workerLoop(int worker)
             if (queue_.empty()) {
                 // stopping_ set and nothing left to do.
                 stats_.idleMs += idle_ms;
+                if (instrument_)
+                    stats_.workers[self].idleMs += idle_ms;
                 return;
             }
-            task = std::move(queue_.front());
+            if (instrument_)
+                queue_wait_ms = elapsedMs(queue_.front().enqueued);
+            task = std::move(queue_.front().fn);
             queue_.pop_front();
             ++inFlight_;
         }
@@ -118,6 +130,14 @@ ThreadPool::workerLoop(int worker)
             ++stats_.tasks;
             stats_.busyMs += busy_ms;
             stats_.idleMs += idle_ms;
+            stats_.queueWaitMs += queue_wait_ms;
+            if (instrument_) {
+                ThreadPoolWorkerStats &w = stats_.workers[self];
+                ++w.tasks;
+                w.busyMs += busy_ms;
+                w.idleMs += idle_ms;
+                w.queueWaitMs += queue_wait_ms;
+            }
             --inFlight_;
             if (queue_.empty() && inFlight_ == 0)
                 drained_.notify_all();

@@ -74,13 +74,31 @@ writeRunTelemetryJson(const RunTelemetry &t, std::ostream &os)
        << ", \"total\": " << jsonNum(t.totalMs) << "},\n"
        << "  \"trace_cache\": {\"hits\": " << t.cacheHits
        << ", \"misses\": " << t.cacheMisses
-       << ", \"evictions\": " << t.cacheEvictions << "},\n"
+       << ", \"evictions\": " << t.cacheEvictions
+       << ", \"duplicate_synthesis\": " << t.cacheDuplicateSynthesis
+       << "},\n"
        << "  \"checkpoint\": {\"flushes\": " << t.checkpointFlushes
        << ", \"bytes\": " << t.checkpointBytes << "},\n"
        << "  \"thread_pool\": {\"tasks\": " << t.poolTasks
        << ", \"max_queue_depth\": " << t.poolMaxQueueDepth
        << ", \"busy_ms\": " << jsonNum(t.poolBusyMs)
        << ", \"idle_ms\": " << jsonNum(t.poolIdleMs) << "},\n";
+
+    os << "  \"scaling\": {\"parallel_efficiency\": "
+       << jsonNum(t.parallelEfficiency)
+       << ", \"cache_lock_waits\": " << t.cacheLockWaits
+       << ", \"cache_lock_wait_ms\": " << jsonNum(t.cacheLockWaitMs)
+       << ", \"persist_lock_waits\": " << t.persistLockWaits
+       << ", \"persist_lock_wait_ms\": " << jsonNum(t.persistLockWaitMs)
+       << ", \"workers\": [";
+    for (size_t i = 0; i < t.workers.size(); ++i) {
+        const WorkerScaling &w = t.workers[i];
+        os << (i ? ", " : "") << "{\"tasks\": " << w.tasks
+           << ", \"busy_ms\": " << jsonNum(w.busyMs)
+           << ", \"idle_ms\": " << jsonNum(w.idleMs)
+           << ", \"queue_wait_ms\": " << jsonNum(w.queueWaitMs) << "}";
+    }
+    os << "]},\n";
 
     os << "  \"counters\": [";
     for (size_t i = 0; i < t.counters.counters.size(); ++i) {
@@ -154,6 +172,8 @@ parseRunTelemetry(const std::string &text)
         t.cacheHits = fieldU64(*cache, "hits");
         t.cacheMisses = fieldU64(*cache, "misses");
         t.cacheEvictions = fieldU64(*cache, "evictions");
+        t.cacheDuplicateSynthesis =
+            fieldU64(*cache, "duplicate_synthesis");
     }
     if (const JsonValue *ckpt = doc->find("checkpoint")) {
         t.checkpointFlushes = fieldU64(*ckpt, "flushes");
@@ -164,6 +184,23 @@ parseRunTelemetry(const std::string &text)
         t.poolMaxQueueDepth = fieldU64(*pool, "max_queue_depth");
         t.poolBusyMs = fieldNum(*pool, "busy_ms");
         t.poolIdleMs = fieldNum(*pool, "idle_ms");
+    }
+    if (const JsonValue *scaling = doc->find("scaling")) {
+        t.parallelEfficiency = fieldNum(*scaling, "parallel_efficiency");
+        t.cacheLockWaits = fieldU64(*scaling, "cache_lock_waits");
+        t.cacheLockWaitMs = fieldNum(*scaling, "cache_lock_wait_ms");
+        t.persistLockWaits = fieldU64(*scaling, "persist_lock_waits");
+        t.persistLockWaitMs = fieldNum(*scaling, "persist_lock_wait_ms");
+        if (const JsonValue *workers = scaling->find("workers")) {
+            for (const JsonValue &row : workers->arr) {
+                WorkerScaling w;
+                w.tasks = fieldU64(row, "tasks");
+                w.busyMs = fieldNum(row, "busy_ms");
+                w.idleMs = fieldNum(row, "idle_ms");
+                w.queueWaitMs = fieldNum(row, "queue_wait_ms");
+                t.workers.push_back(w);
+            }
+        }
     }
 
     if (const JsonValue *counters = doc->find("counters")) {
@@ -214,6 +251,7 @@ foldRunTelemetry(RunTelemetry &into, const RunTelemetry &part)
     into.cacheHits += part.cacheHits;
     into.cacheMisses += part.cacheMisses;
     into.cacheEvictions += part.cacheEvictions;
+    into.cacheDuplicateSynthesis += part.cacheDuplicateSynthesis;
     into.checkpointFlushes += part.checkpointFlushes;
     into.checkpointBytes += part.checkpointBytes;
     into.poolTasks += part.poolTasks;
@@ -221,6 +259,23 @@ foldRunTelemetry(RunTelemetry &into, const RunTelemetry &part)
         std::max(into.poolMaxQueueDepth, part.poolMaxQueueDepth);
     into.poolBusyMs += part.poolBusyMs;
     into.poolIdleMs += part.poolIdleMs;
+
+    // Scaling: lock waits sum; workers merge index-wise (the stress
+    // rollup reuses the same pool shape across cells); parallel
+    // efficiency needs a t1 anchor, so a fold leaves it unset.
+    into.cacheLockWaits += part.cacheLockWaits;
+    into.cacheLockWaitMs += part.cacheLockWaitMs;
+    into.persistLockWaits += part.persistLockWaits;
+    into.persistLockWaitMs += part.persistLockWaitMs;
+    into.parallelEfficiency = 0.0;
+    if (into.workers.size() < part.workers.size())
+        into.workers.resize(part.workers.size());
+    for (size_t i = 0; i < part.workers.size(); ++i) {
+        into.workers[i].tasks += part.workers[i].tasks;
+        into.workers[i].busyMs += part.workers[i].busyMs;
+        into.workers[i].idleMs += part.workers[i].idleMs;
+        into.workers[i].queueWaitMs += part.workers[i].queueWaitMs;
+    }
 
     // Canonical counter merge, mirroring TelemetryRegistry::snapshot().
     std::map<std::string, uint64_t> counters(

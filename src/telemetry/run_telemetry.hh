@@ -28,16 +28,30 @@
 #include <iosfwd>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "telemetry/telemetry.hh"
 
 namespace pes {
 
+/**
+ * One worker's slice of the execute stage, promoted from
+ * ThreadPoolWorkerStats into the telemetry artifact (scaling section).
+ */
+struct WorkerScaling
+{
+    uint64_t tasks = 0;
+    double busyMs = 0.0;
+    double idleMs = 0.0;
+    double queueWaitMs = 0.0;
+};
+
 /** Serializable performance summary of one run. */
 struct RunTelemetry
 {
-    /** Schema version (bumped on layout changes). */
-    static constexpr int kVersion = 1;
+    /** Schema version (bumped on layout changes). v2 adds the scaling
+     *  section and trace_cache duplicate_synthesis. */
+    static constexpr int kVersion = 2;
 
     /** Producing verb: "run", "stress", "merge", "bench". */
     std::string tool = "run";
@@ -64,6 +78,8 @@ struct RunTelemetry
     uint64_t cacheHits = 0;
     uint64_t cacheMisses = 0;
     uint64_t cacheEvictions = 0;
+    /** Materializations discarded to a first-insert-wins race. */
+    uint64_t cacheDuplicateSynthesis = 0;
 
     /** Persist-stage checkpoint cost. */
     uint64_t checkpointFlushes = 0;
@@ -74,6 +90,22 @@ struct RunTelemetry
     uint64_t poolMaxQueueDepth = 0;
     double poolBusyMs = 0.0;
     double poolIdleMs = 0.0;
+
+    /**
+     * Scaling attribution: where parallel speedup goes to die. Lock
+     * waits name the contended mutexes (TraceCache, PersistSink push);
+     * workers break execute-stage time down per worker; parallel
+     * efficiency = rate_tN / (N · rate_t1) needs a t1 anchor, so it is
+     * filled by consumers that have one (bench, pes_perf) and stays 0
+     * in a single run. All of it is scheduling-dependent and zeroed
+     * under the logical clock.
+     */
+    double parallelEfficiency = 0.0;
+    uint64_t cacheLockWaits = 0;
+    double cacheLockWaitMs = 0.0;
+    uint64_t persistLockWaits = 0;
+    double persistLockWaitMs = 0.0;
+    std::vector<WorkerScaling> workers;
 
     /** Full registry snapshot (name-sorted; may be empty). */
     TelemetrySnapshot counters;

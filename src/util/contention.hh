@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Lock-contention accounting for scaling attribution.
+ *
+ * The anti-scaling question ("why is t4 slower than t1?") needs the
+ * contended acquisitions named, not guessed. ContentionGuard wraps a
+ * mutex acquisition: it try_locks first (the uncontended fast path costs
+ * one atomic, no clock read), and only when that fails does it time the
+ * blocking lock() and charge the wait to a LockContention ledger. The
+ * ledger is updated AFTER the mutex is held, so it may be (and in every
+ * current use is) a plain member guarded by that same mutex — no atomics.
+ *
+ * Determinism: with one worker there is no contention, so both counters
+ * are exactly 0 at threads=1; at higher thread counts they are
+ * scheduling-dependent and belong to the telemetry (not report) side of
+ * the determinism contract.
+ */
+
+#ifndef PES_UTIL_CONTENTION_HH
+#define PES_UTIL_CONTENTION_HH
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+namespace pes {
+
+/** Contended-acquisition ledger for one mutex (guarded by that mutex). */
+struct LockContention
+{
+    /** Acquisitions that found the mutex held. */
+    uint64_t waits = 0;
+    /** Summed wall time spent blocked on those acquisitions (ms). */
+    double waitMs = 0.0;
+
+    void reset() { waits = 0; waitMs = 0.0; }
+};
+
+/**
+ * RAII lock that records contended acquisitions of @p m into @p ledger.
+ * @p ledger must be protected by @p m itself (it is written only after
+ * the lock is held).
+ */
+class ContentionGuard
+{
+  public:
+    ContentionGuard(std::mutex &m, LockContention &ledger)
+        : lock_(m, std::try_to_lock)
+    {
+        if (lock_.owns_lock())
+            return;
+        const auto start = std::chrono::steady_clock::now();
+        lock_.lock();
+        ++ledger.waits;
+        ledger.waitMs += std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    }
+
+    ContentionGuard(const ContentionGuard &) = delete;
+    ContentionGuard &operator=(const ContentionGuard &) = delete;
+
+  private:
+    std::unique_lock<std::mutex> lock_;
+};
+
+} // namespace pes
+
+#endif // PES_UTIL_CONTENTION_HH

@@ -198,6 +198,7 @@ TEST(RunTelemetry, JsonRoundTripPreservesEveryField)
     t.cacheHits = 900;
     t.cacheMisses = 300;
     t.cacheEvictions = 7;
+    t.cacheDuplicateSynthesis = 2;
     t.checkpointFlushes = 3;
     t.checkpointBytes = 4096;
     t.poolTasks = 1200;
@@ -207,6 +208,12 @@ TEST(RunTelemetry, JsonRoundTripPreservesEveryField)
     // Exact binary fractions: %.10g must round-trip them exactly.
     t.sessionsPerSec = 4800.0;
     t.eventsPerSec = 262144.5;
+    t.parallelEfficiency = 0.75;
+    t.cacheLockWaits = 11;
+    t.cacheLockWaitMs = 1.25;
+    t.persistLockWaits = 5;
+    t.persistLockWaitMs = 0.5;
+    t.workers = {{600, 900.25, 0.25, 3.5}, {600, 899.5, 1.0, 2.5}};
     t.counters.counters = {{"sim.events", 65536},
                            {"sim.sessions", 1200}};
     t.counters.gauges = {{"pool.depth", 64.0}};
@@ -233,12 +240,24 @@ TEST(RunTelemetry, JsonRoundTripPreservesEveryField)
     EXPECT_EQ(parsed->cacheHits, t.cacheHits);
     EXPECT_EQ(parsed->cacheMisses, t.cacheMisses);
     EXPECT_EQ(parsed->cacheEvictions, t.cacheEvictions);
+    EXPECT_EQ(parsed->cacheDuplicateSynthesis, t.cacheDuplicateSynthesis);
     EXPECT_EQ(parsed->checkpointFlushes, t.checkpointFlushes);
     EXPECT_EQ(parsed->checkpointBytes, t.checkpointBytes);
     EXPECT_EQ(parsed->poolTasks, t.poolTasks);
     EXPECT_EQ(parsed->poolMaxQueueDepth, t.poolMaxQueueDepth);
     EXPECT_DOUBLE_EQ(parsed->poolBusyMs, t.poolBusyMs);
     EXPECT_DOUBLE_EQ(parsed->poolIdleMs, t.poolIdleMs);
+    EXPECT_DOUBLE_EQ(parsed->parallelEfficiency, t.parallelEfficiency);
+    EXPECT_EQ(parsed->cacheLockWaits, t.cacheLockWaits);
+    EXPECT_DOUBLE_EQ(parsed->cacheLockWaitMs, t.cacheLockWaitMs);
+    EXPECT_EQ(parsed->persistLockWaits, t.persistLockWaits);
+    EXPECT_DOUBLE_EQ(parsed->persistLockWaitMs, t.persistLockWaitMs);
+    ASSERT_EQ(parsed->workers.size(), 2u);
+    EXPECT_EQ(parsed->workers[0].tasks, 600u);
+    EXPECT_DOUBLE_EQ(parsed->workers[0].busyMs, 900.25);
+    EXPECT_DOUBLE_EQ(parsed->workers[0].idleMs, 0.25);
+    EXPECT_DOUBLE_EQ(parsed->workers[0].queueWaitMs, 3.5);
+    EXPECT_DOUBLE_EQ(parsed->workers[1].queueWaitMs, 2.5);
     ASSERT_EQ(parsed->counters.counters.size(), 2u);
     EXPECT_EQ(parsed->counters.counters[0].first, "sim.events");
     EXPECT_EQ(parsed->counters.counters[1].second, 1200u);
@@ -262,7 +281,7 @@ TEST(RunTelemetry, RejectsMalformedAndWrongVersion)
     EXPECT_FALSE(parseRunTelemetry("{}").has_value());
     RunTelemetry t;
     std::string text = runTelemetryToString(t);
-    const std::string needle = "\"telemetry_version\": 1";
+    const std::string needle = "\"telemetry_version\": 2";
     const size_t at = text.find(needle);
     ASSERT_NE(at, std::string::npos);
     text.replace(at, needle.size(), "\"telemetry_version\": 999");
@@ -279,6 +298,10 @@ TEST(RunTelemetry, FoldSumsAndMaxesIntoRollup)
     a.executeMs = 50.0;
     a.poolMaxQueueDepth = 8;
     a.cacheHits = 5;
+    a.cacheDuplicateSynthesis = 1;
+    a.cacheLockWaits = 3;
+    a.cacheLockWaitMs = 0.5;
+    a.workers = {{10, 40.0, 10.0, 1.0}};
     a.counters.counters = {{"sim.sessions", 10}};
 
     RunTelemetry b = a;
@@ -286,6 +309,8 @@ TEST(RunTelemetry, FoldSumsAndMaxesIntoRollup)
     b.events = 300;
     b.executeMs = 150.0;
     b.poolMaxQueueDepth = 2;
+    // One more worker lane than a: fold must widen, not truncate.
+    b.workers = {{30, 120.0, 30.0, 2.0}, {5, 20.0, 5.0, 0.5}};
     b.counters.counters = {{"sim.sessions", 30}};
 
     RunTelemetry rollup;
@@ -298,6 +323,14 @@ TEST(RunTelemetry, FoldSumsAndMaxesIntoRollup)
     EXPECT_DOUBLE_EQ(rollup.executeMs, 200.0);
     EXPECT_EQ(rollup.poolMaxQueueDepth, 8u);
     EXPECT_EQ(rollup.cacheHits, 10u);
+    EXPECT_EQ(rollup.cacheDuplicateSynthesis, 2u);
+    EXPECT_EQ(rollup.cacheLockWaits, 6u);
+    EXPECT_DOUBLE_EQ(rollup.cacheLockWaitMs, 1.0);
+    ASSERT_EQ(rollup.workers.size(), 2u);  // widened to the max
+    EXPECT_EQ(rollup.workers[0].tasks, 40u);
+    EXPECT_DOUBLE_EQ(rollup.workers[0].busyMs, 160.0);
+    EXPECT_DOUBLE_EQ(rollup.workers[0].queueWaitMs, 3.0);
+    EXPECT_EQ(rollup.workers[1].tasks, 5u);
     ASSERT_EQ(rollup.counters.counters.size(), 1u);
     EXPECT_EQ(rollup.counters.counters[0].second, 40u);
     EXPECT_DOUBLE_EQ(rollup.sessionsPerSec, 40.0 / 0.2);
@@ -320,6 +353,12 @@ TEST(RunTelemetry, LogicalClockZeroesWallDerivedFields)
     EXPECT_DOUBLE_EQ(t.sessionsPerSec, 0.0);
     EXPECT_DOUBLE_EQ(t.poolBusyMs, 0.0);
     EXPECT_EQ(t.poolMaxQueueDepth, 0u);
+    // The scaling section is wall/scheduling-derived: zeroed too.
+    EXPECT_EQ(t.cacheLockWaits, 0u);
+    EXPECT_DOUBLE_EQ(t.cacheLockWaitMs, 0.0);
+    EXPECT_EQ(t.persistLockWaits, 0u);
+    EXPECT_DOUBLE_EQ(t.persistLockWaitMs, 0.0);
+    EXPECT_TRUE(t.workers.empty());
     // No wall durations may leak into the snapshot either.
     EXPECT_TRUE(t.counters.durations.empty());
 

@@ -33,6 +33,7 @@
 #include "corpus/corpus_store.hh"
 #include "results/report_diff.hh"
 #include "results/result_reduce.hh"
+#include "results/tolerance.hh"
 #include "results/result_store.hh"
 #include "results/robustness.hh"
 #include "runner/fleet_runner.hh"
@@ -167,7 +168,8 @@ usage()
         "grid\n"
         "  pes_fleet diff BASE TEST [--exact] [--tolerance=REL] "
         "[--abs-tolerance=ABS]\n"
-        "                     [--metric=LIST] [--out=FILE] [--quiet]\n"
+        "                     [--metric=LIST] [--tolerance-file=FILE] "
+        "[--out=FILE] [--quiet]\n"
         "                     compare two runs cell-by-cell. BASE/TEST "
         "are result-store\n"
         "                     directories or report JSON/CSV files, in "
@@ -183,7 +185,23 @@ usage()
         "(regressed/improved/\n"
         "                     missing/extra cells), 3 missing inputs, "
         "4 corrupt or\n"
-        "                     incomparable inputs\n";
+        "                     incomparable inputs.\n"
+        "                     --tolerance-file=FILE applies calibrated "
+        "per-metric bands\n"
+        "                     (see --calibrate) instead of the global "
+        "knobs\n"
+        "  pes_fleet diff --calibrate=N REP1 ... REPN [--sigmas=K]\n"
+        "                     [--tolerance-out=FILE]\n"
+        "                     derive per-metric tolerances from N "
+        "replicate runs of the\n"
+        "                     same sweep: each metric's band is K "
+        "(default 3) standard\n"
+        "                     deviations of its worst per-cell spread. "
+        "The emitted JSON\n"
+        "                     is consumed by `diff --tolerance-file` "
+        "and `pes_perf gate\n"
+        "                     --tolerance-file` (one calibration, both "
+        "gates)\n";
 }
 
 bool
@@ -568,6 +586,10 @@ cmdDiff(int argc, char **argv)
     DiffOptions options;
     std::vector<std::string> paths;
     std::string out_path;
+    std::string tolerance_file;
+    std::string tolerance_out;
+    int calibrate = 0;
+    double sigmas = 3.0;
     bool quiet = false;
 
     for (int i = 2; i < argc; ++i) {
@@ -580,6 +602,17 @@ cmdDiff(int argc, char **argv)
             quiet = true;
         } else if (arg == "--exact") {
             options.exact = true;
+        } else if (flagValue(arg, "calibrate", value)) {
+            calibrate = static_cast<int>(parseLong(value, "calibrate"));
+            fatal_if(calibrate < 2,
+                     "diff: --calibrate needs at least 2 replicates");
+        } else if (flagValue(arg, "sigmas", value)) {
+            fatal_if(!parseDouble(value, sigmas) || sigmas <= 0.0,
+                     "bad value '%s' for --sigmas", value.c_str());
+        } else if (flagValue(arg, "tolerance-file", value)) {
+            tolerance_file = value;
+        } else if (flagValue(arg, "tolerance-out", value)) {
+            tolerance_out = value;
         } else if (flagValue(arg, "tolerance", value)) {
             fatal_if(!parseDouble(value, options.relTolerance) ||
                          options.relTolerance < 0.0,
@@ -605,6 +638,57 @@ cmdDiff(int argc, char **argv)
             paths.push_back(arg);
         }
     }
+    // Calibration mode: N replicate inputs -> a tolerance JSON that
+    // both this verb (--tolerance-file) and `pes_perf gate` consume.
+    if (calibrate > 0) {
+        fatal_if(static_cast<int>(paths.size()) != calibrate,
+                 "diff: --calibrate=%d expects exactly %d inputs, "
+                 "got %d",
+                 calibrate, calibrate, static_cast<int>(paths.size()));
+        std::vector<FleetReport> replicates;
+        std::vector<IntegrityProblem> problems;
+        for (const std::string &path : paths) {
+            DiffInput input = loadDiffInput(path);
+            if (input.report)
+                replicates.push_back(std::move(*input.report));
+            problems.insert(problems.end(), input.problems.begin(),
+                            input.problems.end());
+        }
+        if (!problems.empty()) {
+            for (const IntegrityProblem &p : problems)
+                std::cerr << "FAIL " << p.message << "\n";
+            return integrityExitCode(problems);
+        }
+        std::vector<std::string> notes;
+        const ToleranceSpec spec =
+            calibrateTolerances(replicates, sigmas, &notes);
+        for (const std::string &note : notes)
+            std::cerr << note << "\n";
+        const std::string json = toleranceSpecToJson(spec);
+        if (!tolerance_out.empty()) {
+            std::ofstream os(tolerance_out);
+            fatal_if(!os, "cannot open '%s'", tolerance_out.c_str());
+            os << json;
+        } else {
+            std::cout << json;
+        }
+        if (!quiet) {
+            std::cerr << "calibrated " << spec.metrics.size()
+                      << " metric band(s) from " << calibrate
+                      << " replicates at " << sigmas << " sigma\n";
+        }
+        return 0;
+    }
+
+    ToleranceSpec calibrated;
+    if (!tolerance_file.empty()) {
+        std::string error;
+        auto spec = loadToleranceSpec(tolerance_file, &error);
+        fatal_if(!spec, "diff: %s", error.c_str());
+        calibrated = std::move(*spec);
+        options.tolerance = &calibrated;
+    }
+
     fatal_if(paths.size() != 2,
              "diff: expected exactly two inputs (BASE TEST), got %d",
              static_cast<int>(paths.size()));

@@ -1,0 +1,600 @@
+/**
+ * @file
+ * pes_perf: the perf-history ledger CLI — record, gate, chart.
+ *
+ *   # Measure (replicates!), summarize, remember:
+ *   pes_fleet ... --telemetry-out=r1.json   # x N replicates
+ *   pes_perf record --history=PERF.jsonl --label=sweep \
+ *            --telemetry=r1.json,r2.json,r3.json --report=fleet.json
+ *
+ *   # Gate HEAD against the committed baseline (CI):
+ *   pes_perf record --history=head.jsonl ...      # fresh sample
+ *   pes_perf gate --history=PERF.jsonl --sample=head.jsonl
+ *
+ *   # Chart speed and quality trajectories:
+ *   pes_perf report --history=PERF.jsonl --csv=trajectory.csv
+ *
+ * The ledger is append-only JSONL (telemetry/perf_history.hh); the gate
+ * classifies every metric with the diff vocabulary under noise-
+ * calibrated bands (sigmas x replicate CV, or a `pes_fleet diff
+ * --calibrate` tolerance file) and exits 0 within noise / 2 regressed /
+ * 3 missing history / 4 corrupt history or fingerprint-config mismatch.
+ * Regressions are named on stderr ("REGRESSED t4.sessions_per_sec ...")
+ * so a failing CI log says what slowed down.
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "results/report_diff.hh"
+#include "results/tolerance.hh"
+#include "telemetry/perf_history.hh"
+#include "telemetry/run_telemetry.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+#include "util/strings.hh"
+
+using namespace pes;
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "pes_perf - perf-history ledger: record, gate and chart "
+        "simulator speed\n\n"
+        "Verbs:\n"
+        "  pes_perf record --history=FILE --telemetry=F1,F2,...\n"
+        "                  [--label=NAME] [--rev=REV] [--machine=FP]\n"
+        "                  [--report=FILE] [--quiet]\n"
+        "      Append one PerfSample: the RunTelemetry JSON summaries "
+        "are replicates,\n"
+        "      grouped by their thread count into per-metric replicate "
+        "vectors\n"
+        "      (parallel efficiency is derived when a t1 point exists); "
+        "--report folds\n"
+        "      the fleet report's per-scheduler headline metrics "
+        "(violation rate,\n"
+        "      energy, p95 latency, accuracy) in as the quality series.\n"
+        "      --rev defaults to $PES_GIT_REV, else \"unknown\"; "
+        "--machine defaults to\n"
+        "      the host fingerprint.\n"
+        "      exit: 0 appended, 3 missing inputs, 4 unparseable "
+        "inputs\n"
+        "  pes_perf compare --history=FILE [--sample=FILE] "
+        "[--label=NAME]\n"
+        "                  [--sigmas=K] [--min-rel=R] [--metric=LIST]\n"
+        "                  [--tolerance-file=FILE] [--quiet]\n"
+        "      Classify candidate vs baseline without enforcing: the "
+        "candidate is the\n"
+        "      latest sample of --sample (or of --history itself), the "
+        "baseline the\n"
+        "      latest earlier --history sample. Always exits 0 unless "
+        "inputs are\n"
+        "      missing (3) or corrupt/incomparable (4).\n"
+        "  pes_perf gate [same flags as compare]\n"
+        "      The enforcing form: exit 0 within noise (improvements "
+        "pass with a\n"
+        "      stale-baseline note), 2 any gated metric regressed, 3 "
+        "missing history,\n"
+        "      4 corrupt history or machine/config mismatch. Gated by "
+        "default:\n"
+        "      *_per_sec, parallel_efficiency and quality.*; "
+        "attribution counters\n"
+        "      (lock waits, stage times, cache traffic) are advisory "
+        "unless named\n"
+        "      via --metric. Band per metric: max(min-rel, sigmas x "
+        "replicate CV),\n"
+        "      or the calibrated --tolerance-file entry.\n"
+        "  pes_perf report --history=FILE [--label=NAME] "
+        "[--metric=LIST]\n"
+        "                  [--csv=FILE] [--quiet]\n"
+        "      Deterministic trajectory series across the ledger: CSV "
+        "(one row per\n"
+        "      sample x metric: mean, stddev, cv) and an ASCII chart "
+        "on stdout.\n"
+        "      exit: 0, 3 missing history, 4 corrupt history\n";
+}
+
+bool
+flagValue(const std::string &arg, const std::string &name,
+          std::string &out)
+{
+    const std::string prefix = "--" + name + "=";
+    if (!startsWith(arg, prefix))
+        return false;
+    out = arg.substr(prefix.size());
+    return true;
+}
+
+std::string
+readFileOr(const std::string &path, bool &ok)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        ok = false;
+        return std::string();
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    ok = true;
+    return buf.str();
+}
+
+/** Report history load problems and return the gateable exit code. */
+int
+failHistory(const PerfHistory &history)
+{
+    for (const IntegrityProblem &p : history.problems)
+        std::cerr << "FAIL " << p.message << "\n";
+    return integrityExitCode(history.problems);
+}
+
+// ------------------------------------------------------------- record
+
+/** Scheduler-mean headline metrics of a report (the quality series). */
+std::vector<std::pair<std::string, double>>
+reportQualityMetrics(const FleetReport &report)
+{
+    static const std::vector<std::string> kHeadlines = {
+        "violation_rate", "mean_energy_mj", "p95_session_latency_ms",
+        "prediction_accuracy"};
+    const std::vector<std::string> &names = cellMetricNames();
+    std::vector<std::pair<std::string, double>> quality;
+    for (const std::string &scheduler : report.schedulers) {
+        std::map<std::string, RunningStats> stats;
+        for (const CellSummary &cell : report.cells) {
+            if (cell.scheduler != scheduler)
+                continue;
+            const std::vector<double> values = cellMetricValues(cell);
+            for (size_t m = 0; m < names.size(); ++m)
+                stats[names[m]].add(values[m]);
+        }
+        for (const std::string &headline : kHeadlines) {
+            const auto it = stats.find(headline);
+            if (it != stats.end())
+                quality.emplace_back(scheduler + "." + headline,
+                                     it->second.mean());
+        }
+    }
+    std::sort(quality.begin(), quality.end());
+    return quality;
+}
+
+int
+cmdRecord(int argc, char **argv)
+{
+    std::string history_path;
+    std::string label = "sweep";
+    std::string rev;
+    std::string machine;
+    std::string report_path;
+    std::vector<std::string> telemetry_paths;
+    bool quiet = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (flagValue(arg, "history", value)) {
+            history_path = value;
+        } else if (flagValue(arg, "label", value)) {
+            label = value;
+        } else if (flagValue(arg, "rev", value)) {
+            rev = value;
+        } else if (flagValue(arg, "machine", value)) {
+            machine = value;
+        } else if (flagValue(arg, "report", value)) {
+            report_path = value;
+        } else if (flagValue(arg, "telemetry", value)) {
+            for (const std::string &raw : split(value, ',')) {
+                const std::string path = trim(raw);
+                if (!path.empty())
+                    telemetry_paths.push_back(path);
+            }
+        } else {
+            std::cerr << "record: unknown option '" << arg << "'\n\n";
+            usage();
+            return 1;
+        }
+    }
+    fatal_if(history_path.empty(), "record: --history is required");
+    fatal_if(telemetry_paths.empty(),
+             "record: at least one --telemetry input is required");
+
+    // Parse every replicate, grouped by thread count.
+    std::vector<IntegrityProblem> problems;
+    std::map<int, std::vector<RunTelemetry>> by_threads;
+    std::string scenario;
+    for (const std::string &path : telemetry_paths) {
+        bool ok = false;
+        const std::string text = readFileOr(path, ok);
+        if (!ok) {
+            IntegrityProblem p;
+            p.kind = IntegrityProblem::Kind::MissingFile;
+            p.message = "telemetry input not found: " + path;
+            problems.push_back(std::move(p));
+            continue;
+        }
+        auto t = parseRunTelemetry(text);
+        if (!t) {
+            IntegrityProblem p;
+            p.kind = IntegrityProblem::Kind::Corrupt;
+            p.message = "unparseable RunTelemetry (or version skew): " +
+                path;
+            problems.push_back(std::move(p));
+            continue;
+        }
+        scenario = t->scenario;
+        by_threads[std::max(1, t->threads)].push_back(std::move(*t));
+    }
+    if (!problems.empty()) {
+        for (const IntegrityProblem &p : problems)
+            std::cerr << "FAIL " << p.message << "\n";
+        return integrityExitCode(problems);
+    }
+
+    PerfSample sample;
+    sample.label = label;
+    if (!rev.empty()) {
+        sample.rev = rev;
+    } else if (const char *env = std::getenv("PES_GIT_REV")) {
+        sample.rev = env;
+    }
+    sample.machine = machine.empty() ? machineFingerprint() : machine;
+
+    const std::vector<std::pair<std::string, double>> schema =
+        perfPointMetrics(by_threads.begin()->second.front());
+    for (const auto &group : by_threads) {
+        PerfPoint point;
+        point.threads = group.first;
+        std::map<std::string, std::vector<double>> series;
+        for (const RunTelemetry &t : group.second) {
+            sample.sessions = std::max(sample.sessions, t.sessions);
+            sample.events = std::max(sample.events, t.events);
+            for (const auto &metric : perfPointMetrics(t))
+                series[metric.first].push_back(metric.second);
+        }
+        for (const auto &metric : schema) {
+            const auto it = series.find(metric.first);
+            if (it != series.end())
+                point.set(metric.first, it->second);
+        }
+        sample.points.push_back(std::move(point));
+    }
+
+    // Parallel efficiency: rate_tN / (N x mean t1 rate), one value per
+    // replicate so it gets the same CV-based noise band as raw rates.
+    derivePerfParallelEfficiency(sample);
+
+    if (!report_path.empty()) {
+        const DiffInput input = loadDiffInput(report_path);
+        if (!input.report) {
+            for (const IntegrityProblem &p : input.problems)
+                std::cerr << "FAIL " << p.message << "\n";
+            return integrityExitCode(input.problems);
+        }
+        sample.quality = reportQualityMetrics(*input.report);
+    }
+
+    // Workload identity: label + population size + the measured thread
+    // counts + scenario. Changing any of these is a different
+    // experiment — the gate refuses rather than "regressing".
+    std::vector<int> threads;
+    for (const PerfPoint &point : sample.points)
+        threads.push_back(point.threads);
+    sample.config = perfConfigIdentity(label, sample.sessions,
+                                       sample.events, threads, scenario);
+
+    std::string error;
+    fatal_if(!appendPerfSample(history_path, sample, &error), "%s",
+             error.c_str());
+    if (!quiet) {
+        std::cerr << "recorded " << sample.label << " sample (rev "
+                  << sample.rev << ", " << sample.replicates()
+                  << " replicate(s), " << sample.points.size()
+                  << " thread point(s)) -> " << history_path << "\n";
+    }
+    return 0;
+}
+
+// ----------------------------------------------------- compare / gate
+
+int
+cmdCompare(int argc, char **argv, bool enforce)
+{
+    std::string history_path;
+    std::string sample_path;
+    std::string label;
+    std::string tolerance_file;
+    PerfCompareOptions options;
+    bool quiet = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (flagValue(arg, "history", value)) {
+            history_path = value;
+        } else if (flagValue(arg, "sample", value)) {
+            sample_path = value;
+        } else if (flagValue(arg, "label", value)) {
+            label = value;
+        } else if (flagValue(arg, "sigmas", value)) {
+            fatal_if(!parseDouble(value, options.sigmas) ||
+                         options.sigmas <= 0.0,
+                     "bad value '%s' for --sigmas", value.c_str());
+        } else if (flagValue(arg, "min-rel", value)) {
+            fatal_if(!parseDouble(value, options.minRel) ||
+                         options.minRel < 0.0,
+                     "bad value '%s' for --min-rel", value.c_str());
+        } else if (flagValue(arg, "metric", value)) {
+            for (const std::string &raw : split(value, ',')) {
+                const std::string metric = trim(raw);
+                if (!metric.empty())
+                    options.metrics.push_back(metric);
+            }
+        } else if (flagValue(arg, "tolerance-file", value)) {
+            tolerance_file = value;
+        } else {
+            std::cerr << (enforce ? "gate" : "compare")
+                      << ": unknown option '" << arg << "'\n\n";
+            usage();
+            return 1;
+        }
+    }
+    fatal_if(history_path.empty(), "%s: --history is required",
+             enforce ? "gate" : "compare");
+
+    ToleranceSpec calibrated;
+    if (!tolerance_file.empty()) {
+        std::string error;
+        auto spec = loadToleranceSpec(tolerance_file, &error);
+        fatal_if(!spec, "%s", error.c_str());
+        calibrated = std::move(*spec);
+        options.tolerance = &calibrated;
+    }
+
+    const PerfHistory history = loadPerfHistory(history_path);
+    if (!history.problems.empty())
+        return failHistory(history);
+
+    const PerfSample *base = nullptr;
+    const PerfSample *test = nullptr;
+    PerfHistory candidate;
+    if (!sample_path.empty()) {
+        candidate = loadPerfHistory(sample_path);
+        if (!candidate.problems.empty())
+            return failHistory(candidate);
+        test = candidate.latest(label);
+        base = history.latest(label);
+    } else {
+        // Self-gate within one ledger: latest vs the sample before it.
+        test = history.latest(label);
+        for (auto it = history.samples.rbegin();
+             it != history.samples.rend(); ++it) {
+            if (&*it == test)
+                continue;
+            if (label.empty() || it->label == label) {
+                base = &*it;
+                break;
+            }
+        }
+    }
+    if (!test || !base) {
+        IntegrityProblem p;
+        p.kind = IntegrityProblem::Kind::MissingFile;
+        p.message = !test
+            ? "no candidate sample" +
+                (label.empty() ? std::string()
+                               : " with label \"" + label + "\"")
+            : "history has no baseline sample to compare against" +
+                (label.empty() ? std::string()
+                               : " (label \"" + label + "\")");
+        std::cerr << "FAIL " << p.message << "\n";
+        return kExitMissing;
+    }
+
+    const PerfComparison comparison =
+        comparePerfSamples(*base, *test, options);
+    if (!quiet) {
+        std::cout << "baseline: rev " << base->rev << " ("
+                  << base->replicates() << " replicates)  candidate: rev "
+                  << test->rev << " (" << test->replicates()
+                  << " replicates)\n";
+        printPerfComparison(comparison, std::cout);
+    }
+    // Name every gated regression (and every incomparability) on
+    // stderr even under --quiet: a failing CI gate must say WHY.
+    for (const IntegrityProblem &p : comparison.problems)
+        std::cerr << "FAIL " << p.message << "\n";
+    for (const PerfMetricDelta &d : comparison.deltas) {
+        if (d.gated && d.outcome == DiffOutcome::Regressed) {
+            std::cerr << "REGRESSED " << d.name << ": " << d.base
+                      << " -> " << d.test << " (delta "
+                      << d.relDelta * 100.0 << "%, band "
+                      << d.tolerance * 100.0 << "%)\n";
+        }
+    }
+    const int exit_code = perfGateExitCode(comparison);
+    if (!enforce)
+        return exit_code == kExitDrift ? 0 : exit_code;
+    return exit_code;
+}
+
+// ------------------------------------------------------------- report
+
+int
+cmdReport(int argc, char **argv)
+{
+    std::string history_path;
+    std::string label;
+    std::string csv_path;
+    std::vector<std::string> selected;
+    bool quiet = false;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (flagValue(arg, "history", value)) {
+            history_path = value;
+        } else if (flagValue(arg, "label", value)) {
+            label = value;
+        } else if (flagValue(arg, "csv", value)) {
+            csv_path = value;
+        } else if (flagValue(arg, "metric", value)) {
+            for (const std::string &raw : split(value, ',')) {
+                const std::string metric = trim(raw);
+                if (!metric.empty())
+                    selected.push_back(metric);
+            }
+        } else {
+            std::cerr << "report: unknown option '" << arg << "'\n\n";
+            usage();
+            return 1;
+        }
+    }
+    fatal_if(history_path.empty(), "report: --history is required");
+
+    const PerfHistory history = loadPerfHistory(history_path);
+    if (!history.problems.empty())
+        return failHistory(history);
+
+    std::vector<const PerfSample *> samples;
+    for (const PerfSample &sample : history.samples)
+        if (label.empty() || sample.label == label)
+            samples.push_back(&sample);
+    if (samples.empty()) {
+        std::cerr << "FAIL history has no samples"
+                  << (label.empty() ? std::string()
+                                    : " with label \"" + label + "\"")
+                  << "\n";
+        return kExitMissing;
+    }
+
+    // Series selection: --metric list, else every default-gated metric
+    // seen anywhere in the ledger, in first-seen flatten order.
+    std::vector<std::string> names;
+    if (!selected.empty()) {
+        names = selected;
+    } else {
+        for (const PerfSample *sample : samples) {
+            for (const auto &entry : flattenPerfSample(*sample)) {
+                if (perfMetricGatedByDefault(entry.first) &&
+                    std::find(names.begin(), names.end(), entry.first) ==
+                        names.end())
+                    names.push_back(entry.first);
+            }
+        }
+    }
+
+    // The trajectory table: per metric x sample, replicate mean/spread.
+    std::ostringstream csv;
+    csv << "index,rev,machine,replicates,metric,mean,stddev,cv\n";
+    for (const std::string &name : names) {
+        for (size_t i = 0; i < samples.size(); ++i) {
+            const PerfSample &sample = *samples[i];
+            const auto flat = flattenPerfSample(sample);
+            const std::vector<double> *values = nullptr;
+            for (const auto &entry : flat)
+                if (entry.first == name)
+                    values = &entry.second;
+            if (!values)
+                continue;
+            const PerfNoise noise = perfNoise(*values);
+            csv << i << "," << sample.rev << ","
+                << sample.machine << "," << values->size()
+                << "," << name << "," << csvNum(noise.mean)
+                << "," << csvNum(noise.stddev) << ","
+                << csvNum(noise.cv) << "\n";
+        }
+    }
+    if (!csv_path.empty()) {
+        std::ofstream os(csv_path, std::ios::binary);
+        fatal_if(!os, "cannot open '%s'", csv_path.c_str());
+        os << csv.str();
+    }
+
+    if (!quiet) {
+        // ASCII trajectory: one bar row per sample, scaled to the
+        // series max so trends read at a glance.
+        constexpr int kBarWidth = 40;
+        for (const std::string &name : names) {
+            std::vector<std::pair<const PerfSample *, PerfNoise>> series;
+            double peak = 0.0;
+            for (const PerfSample *sample : samples) {
+                const auto flat = flattenPerfSample(*sample);
+                for (const auto &entry : flat) {
+                    if (entry.first != name)
+                        continue;
+                    const PerfNoise noise = perfNoise(entry.second);
+                    peak = std::max(peak, std::fabs(noise.mean));
+                    series.emplace_back(sample, noise);
+                }
+            }
+            if (series.empty())
+                continue;
+            std::cout << name << "\n";
+            for (size_t i = 0; i < series.size(); ++i) {
+                const int width = peak > 0.0
+                    ? static_cast<int>(kBarWidth *
+                                       std::fabs(series[i].second.mean) /
+                                       peak + 0.5)
+                    : 0;
+                std::cout << "  [" << i << "] "
+                          << std::string(static_cast<size_t>(width), '#')
+                          << " " << csvNum(series[i].second.mean)
+                          << " (cv " << csvNum(series[i].second.cv)
+                          << ", rev " << series[i].first->rev << ")\n";
+            }
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 1;
+    }
+    const std::string verb = argv[1];
+    if (verb == "--help" || verb == "-h" || verb == "help") {
+        usage();
+        return 0;
+    }
+    if (verb == "record")
+        return cmdRecord(argc, argv);
+    if (verb == "compare")
+        return cmdCompare(argc, argv, /*enforce=*/false);
+    if (verb == "gate")
+        return cmdCompare(argc, argv, /*enforce=*/true);
+    if (verb == "report")
+        return cmdReport(argc, argv);
+    std::cerr << "pes_perf: unknown verb '" << verb << "'\n\n";
+    usage();
+    return 1;
+}
