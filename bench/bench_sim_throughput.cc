@@ -24,6 +24,7 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.hh"
@@ -112,10 +113,27 @@ main()
     fatal_if(armed_bytes != plain_bytes,
              "telemetry-armed report diverged from uninstrumented run");
 
+    // Thread counts above the machine's core count measure scheduler
+    // thrash, not simulator speed: the "t4" numbers a 2-core box
+    // produces would look like regressions next to a 4-core box's.
+    // Skip them (noted in the sample), but keep the REQUESTED list in
+    // the config identity so samples from differently-sized machines
+    // of the same fingerprint still compare.
+    const int hw_threads = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
     const std::vector<int> thread_counts = {1, 2, 4};
+    std::vector<int> skipped;
     std::map<int, std::vector<RunTelemetry>> by_threads;
-    for (const int threads : thread_counts)
+    for (const int threads : thread_counts) {
+        if (threads > hw_threads) {
+            skipped.push_back(threads);
+            std::cout << "t" << threads
+                      << ": skipped (hardware_concurrency = "
+                      << hw_threads << ")\n";
+            continue;
+        }
         by_threads[threads] = measure(base, threads);
+    }
 
     // Assemble the perf-history sample: replicate metric vectors per
     // thread point, plus derived parallel efficiency from the t1 mean.
@@ -144,6 +162,13 @@ main()
     sample.config = perfConfigIdentity(sample.label, sample.sessions,
                                        sample.events, thread_counts,
                                        scenario);
+    // Ledger note: how many requested thread counts this machine could
+    // not measure. Deterministic per machine, so same-fingerprint
+    // comparisons see identical values; a point missing entirely is a
+    // note, never a gate failure.
+    if (!skipped.empty())
+        sample.quality.emplace_back("bench.skipped_thread_counts",
+                                    static_cast<double>(skipped.size()));
 
     // Table: replicate means, with the scaling-attribution columns the
     // ledger gates or charts (efficiency, lock waits, dup synthesis).

@@ -25,6 +25,12 @@ class EbsScheduler : public SchedulerDriver
   public:
     std::string name() const override { return "EBS"; }
 
+    bool resetFresh() override
+    {
+        policy_.reset();
+        return true;
+    }
+
     void begin(SimulatorApi &api) override;
     std::optional<WorkItem> nextWork(SimulatorApi &api) override;
     void onWorkFinished(SimulatorApi &api,

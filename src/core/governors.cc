@@ -27,20 +27,28 @@ AcmpConfig
 SamplingGovernor::configForCapacity(SimulatorApi &api, double desired)
 {
     const AcmpPlatform &platform = api.platform();
-    int best = -1;
-    double best_capacity = 0.0;
-    for (int j = 0; j < platform.numConfigs(); ++j) {
-        const double cap = capacityOf(api, platform.configAt(j));
-        if (cap + 1e-9 < desired)
-            continue;
-        if (best == -1 || cap < best_capacity) {
-            best = j;
-            best_capacity = cap;
+    if (capacityPlatform_ != &platform) {
+        sortedCapacities_.clear();
+        sortedCapacities_.reserve(
+            static_cast<size_t>(platform.numConfigs()));
+        for (int j = 0; j < platform.numConfigs(); ++j) {
+            sortedCapacities_.emplace_back(
+                capacityOf(api, platform.configAt(j)), j);
         }
+        std::sort(sortedCapacities_.begin(), sortedCapacities_.end());
+        capacityPlatform_ = &platform;
     }
-    if (best == -1)
+    // A config qualifies when cap + 1e-9 >= desired; that predicate is
+    // monotone in capacity, so the first qualifying entry of the sorted
+    // table is the scan's winner (minimum capacity, then minimum index).
+    const auto it = std::lower_bound(
+        sortedCapacities_.begin(), sortedCapacities_.end(), desired,
+        [](const std::pair<double, int> &entry, double want) {
+            return entry.first + 1e-9 < want;
+        });
+    if (it == sortedCapacities_.end())
         return platform.maxConfig();
-    return platform.configAt(best);
+    return platform.configAt(it->second);
 }
 
 InteractiveGovernor::InteractiveGovernor()

@@ -18,6 +18,9 @@
 #ifndef PES_CORE_GOVERNORS_HH
 #define PES_CORE_GOVERNORS_HH
 
+#include <utility>
+#include <vector>
+
 #include "sim/scheduler_driver.hh"
 #include "sim/simulator_api.hh"
 
@@ -41,9 +44,22 @@ class SamplingGovernor : public SchedulerDriver
 
     /**
      * Cheapest configuration with capacity >= @p desired (falls back to
-     * the fastest configuration when none suffices).
+     * the fastest configuration when none suffices). Capacities are fixed
+     * per platform, so they are computed once and memoized rather than
+     * re-derived from the latency model every sampling tick.
      */
-    static AcmpConfig configForCapacity(SimulatorApi &api, double desired);
+    AcmpConfig configForCapacity(SimulatorApi &api, double desired);
+
+  private:
+    /** Platform the memoized capacity table belongs to. */
+    const void *capacityPlatform_ = nullptr;
+    /**
+     * (capacity, config index) sorted ascending, so configForCapacity
+     * binary-searches instead of scanning every tick. Ties sort by
+     * index, making the first qualifying entry the same config the
+     * min-capacity/min-index linear scan used to pick.
+     */
+    std::vector<std::pair<double, int>> sortedCapacities_;
 };
 
 /**
@@ -65,6 +81,13 @@ class InteractiveGovernor : public SamplingGovernor
     explicit InteractiveGovernor(Params params);
 
     std::string name() const override { return "Interactive"; }
+
+    bool resetFresh() override
+    {
+        lastHighLoad_ = -1e9;
+        return true;
+    }
+
     TimeMs sampleIntervalMs() const override { return params_.timerRateMs; }
     std::optional<AcmpConfig>
     onSampleTick(SimulatorApi &api, const ExecutionStatus &status) override;
@@ -91,6 +114,9 @@ class OndemandGovernor : public SamplingGovernor
     explicit OndemandGovernor(Params params);
 
     std::string name() const override { return "Ondemand"; }
+
+    bool resetFresh() override { return true; }
+
     TimeMs sampleIntervalMs() const override
     {
         return params_.samplingRateMs;

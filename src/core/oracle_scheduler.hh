@@ -31,6 +31,10 @@ class OracleScheduler : public SchedulerDriver
   public:
     std::string name() const override { return "Oracle"; }
 
+    // begin() rebuilds every member from the trace, so a pooled oracle
+    // needs no explicit scrubbing between sessions.
+    bool resetFresh() override { return true; }
+
     void begin(SimulatorApi &api) override;
     void onArrival(SimulatorApi &api, int trace_index) override;
     std::optional<WorkItem> nextWork(SimulatorApi &api) override;

@@ -87,6 +87,16 @@ class PesScheduler : public SchedulerDriver
     PesScheduler(const LogisticModel &model, Config config);
 
     std::string name() const override;
+
+    bool resetFresh() override
+    {
+        // begin() re-creates everything except the warm state: the EBS
+        // policy (Eqn.-1 measurements) and the inter-arrival EWMA model.
+        ebs_.reset();
+        ewmaGap_.fill(0.0);
+        return true;
+    }
+
     void begin(SimulatorApi &api) override;
     void onArrival(SimulatorApi &api, int trace_index) override;
     std::optional<WorkItem> nextWork(SimulatorApi &api) override;

@@ -55,11 +55,100 @@ EventPredictor::pickTarget(const DomAnalyzer &analyzer,
     return best;
 }
 
+std::optional<CandidateEvent>
+EventPredictor::pickTarget(const DomAnalysis &analysis,
+                           const FeatureWindow &window,
+                           DomEventType type) const
+{
+    const Rect view = analysis.viewport.rect();
+
+    double last_x = view.cx();
+    double last_y = view.cy();
+    window.lastTapPosition(last_x, last_y);
+
+    std::optional<CandidateEvent> best;
+    double best_score = -1.0;
+    for (const AnalyzedCandidate &cand : analysis.candidates) {
+        if (cand.event.type != type)
+            continue;
+        const Rect &rect = cand.rect;
+        double score = std::sqrt(
+            std::max(1.0, rect.intersectionArea(view)));
+        const double dx = rect.cx() - last_x;
+        const double dy = rect.cy() - last_y;
+        const double dist = std::sqrt(dx * dx + dy * dy);
+        score *= 1.0 + 2.0 / (1.0 + dist / 200.0);
+        if (cand.role == NodeRole::MenuItem)
+            score *= 6.0;
+        if (cand.event.node == 0 &&
+            interactionOf(type) == Interaction::Load)
+            score *= 0.08;  // direct reloads are rare
+        if (best_score < score) {
+            best_score = score;
+            best = cand.event;
+        }
+    }
+    return best;
+}
+
+std::optional<PredictedEvent>
+EventPredictor::predictFromAnalysis(const DomAnalysis &analysis,
+                                    const DomOverlay &state,
+                                    const FeatureWindow &window) const
+{
+    if (analysis.candidates.empty())
+        return std::nullopt;
+
+    const FeatureVector f = window.extract(analysis.stats);
+    const auto probs = model_->probabilities(f);
+
+    std::array<bool, kNumDomEventTypes> possible{};
+    for (const AnalyzedCandidate &cand : analysis.candidates)
+        possible[static_cast<size_t>(cand.event.type)] = true;
+
+    int best_cls = -1;
+    double mass = 0.0;
+    for (int c = 0; c < kNumDomEventTypes; ++c) {
+        if (!possible[static_cast<size_t>(c)])
+            continue;
+        mass += probs[static_cast<size_t>(c)];
+        if (best_cls == -1 ||
+            probs[static_cast<size_t>(c)] >
+                probs[static_cast<size_t>(best_cls)]) {
+            best_cls = c;
+        }
+    }
+    if (best_cls == -1)
+        return std::nullopt;
+    const auto type = static_cast<DomEventType>(best_cls);
+
+    const auto target = pickTarget(analysis, window, type);
+    if (!target)
+        return std::nullopt;
+
+    PredictedEvent prediction;
+    prediction.type = type;
+    prediction.node = target->node;
+    prediction.pageId = state.pageId;
+    prediction.confidence = mass > 0.0
+        ? probs[static_cast<size_t>(best_cls)] / mass
+        : probs[static_cast<size_t>(best_cls)];
+    return prediction;
+}
+
 std::optional<PredictedEvent>
 EventPredictor::predictNext(const DomAnalyzer &analyzer,
                             const DomOverlay &state,
                             const FeatureWindow &window) const
 {
+    // Batched hot path: DOM analysis on and no hint table means one
+    // analyze() traversal supplies the LNES, the viewport features and
+    // every candidate's geometry. The hint path below keeps the lazy
+    // per-method calls — a hint hit returns before features are needed.
+    if (config_.useDomAnalysis && !config_.hints)
+        return predictFromAnalysis(analyzer.analyze(state), state,
+                                   window);
+
     // Without DOM analysis (Sec. 6.5 ablation) the learner predicts over
     // the full class space: nothing narrows the prediction to the events
     // the application logic can actually trigger.

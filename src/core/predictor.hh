@@ -96,6 +96,21 @@ class EventPredictor
                const std::vector<CandidateEvent> &candidates,
                DomEventType type) const;
 
+    /**
+     * pickTarget over an analyze() result: identical scoring, but the
+     * per-candidate rect and role come precomputed from the single
+     * batched DOM pass instead of one analyzer call each.
+     */
+    std::optional<CandidateEvent>
+    pickTarget(const DomAnalysis &analysis, const FeatureWindow &window,
+               DomEventType type) const;
+
+    /** predictNext body over a batched analyze() result. */
+    std::optional<PredictedEvent>
+    predictFromAnalysis(const DomAnalysis &analysis,
+                        const DomOverlay &state,
+                        const FeatureWindow &window) const;
+
     const LogisticModel *model_;
     Config config_;
 };

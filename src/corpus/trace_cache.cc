@@ -56,6 +56,12 @@ TraceHandle
 TraceCache::adopt(Key key, TraceHandle trace)
 {
     ContentionGuard lock(mutex_, contention_);
+    return adoptLocked(std::move(key), std::move(trace));
+}
+
+TraceHandle
+TraceCache::adoptLocked(Key key, TraceHandle trace)
+{
     const auto it = traces_.find(key);
     if (it != traces_.end()) {
         // Another worker won the race; its copy is identical
@@ -95,6 +101,8 @@ TraceCache::getOrLoad(const std::string &device, const std::string &app,
                       const std::function<InteractionTrace()> &loader)
 {
     Key key{device, app, user_seed};
+    std::shared_ptr<InFlightLoad> flight;
+    bool winner = false;
     {
         ContentionGuard lock(mutex_, contention_);
         const auto it = traces_.find(key);
@@ -103,12 +111,56 @@ TraceCache::getOrLoad(const std::string &device, const std::string &app,
             touch(it);
             return it->second.trace;
         }
-        ++misses_;
+        const auto in_flight = inFlight_.find(key);
+        if (in_flight != inFlight_.end()) {
+            flight = in_flight->second;
+        } else {
+            ++misses_;
+            flight = std::make_shared<InFlightLoad>();
+            inFlight_.emplace(key, flight);
+            winner = true;
+        }
     }
-    // Materialize outside the lock: workers racing on the same key each
-    // produce an identical trace; the first adopt wins.
-    auto trace = std::make_shared<const InteractionTrace>(loader());
-    return adopt(std::move(key), std::move(trace));
+
+    if (!winner) {
+        // Single-flight: another worker is materializing this key right
+        // now. Wait for its latch instead of duplicating the synthesis.
+        std::unique_lock<std::mutex> lock(mutex_);
+        inFlightCv_.wait(lock, [&] { return flight->done; });
+        if (flight->error)
+            std::rethrow_exception(flight->error);
+        ++hits_;
+        // The winner's entry may already have been evicted; the handle
+        // in the latch stays valid regardless (shared ownership).
+        const auto it = traces_.find(key);
+        if (it != traces_.end())
+            touch(it);
+        return flight->trace;
+    }
+
+    // Materialize outside the lock, then publish through the latch.
+    try {
+        auto trace = std::make_shared<const InteractionTrace>(loader());
+        TraceHandle out;
+        {
+            ContentionGuard lock(mutex_, contention_);
+            out = adoptLocked(key, std::move(trace));
+            flight->trace = out;
+            flight->done = true;
+            inFlight_.erase(key);
+        }
+        inFlightCv_.notify_all();
+        return out;
+    } catch (...) {
+        {
+            ContentionGuard lock(mutex_, contention_);
+            flight->error = std::current_exception();
+            flight->done = true;
+            inFlight_.erase(key);
+        }
+        inFlightCv_.notify_all();
+        throw;
+    }
 }
 
 TraceHandle

@@ -18,16 +18,21 @@
  * miss, producing byte-identical traces.
  *
  * Thread model: lookups, inserts and recency updates take a mutex;
- * generation/loading runs OUTSIDE the lock, so concurrent workers may
- * race to materialize the same trace — the first insert wins and losers
- * adopt it. Materialization is deterministic, both copies are
- * identical, and results stay bit-exact for any thread count.
+ * generation/loading runs OUTSIDE the lock. getOrLoad is single-flight:
+ * the first worker to miss a key registers an in-progress latch and
+ * materializes; workers arriving meanwhile wait on the latch and adopt
+ * the winner's trace instead of re-synthesizing it, so concurrent
+ * getOrLoad traffic never duplicates a synthesis (duplicate_synthesis
+ * stays 0 by construction for that path — only insert() races can
+ * still discard a materialization).
  */
 
 #ifndef PES_CORPUS_TRACE_CACHE_HH
 #define PES_CORPUS_TRACE_CACHE_HH
 
+#include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <list>
 #include <map>
@@ -145,16 +150,31 @@ class TraceCache
         std::list<Key>::iterator lruPos;
     };
 
+    /** One in-progress materialization other workers can wait on. */
+    struct InFlightLoad
+    {
+        TraceHandle trace;
+        std::exception_ptr error;
+        bool done = false;
+    };
+
     /** Move @p it to the recency front. Caller holds mutex_. */
     void touch(std::map<Key, Entry>::iterator it) const;
 
     /** Insert under the lock; evicts past-capacity LRU entries. */
     TraceHandle adopt(Key key, TraceHandle trace);
 
+    /** adopt() body; caller holds mutex_. */
+    TraceHandle adoptLocked(Key key, TraceHandle trace);
+
     /** Evict LRU entries until within capacity, sparing @p keep. */
     void enforceCapacity(const Key &keep);
 
     mutable std::mutex mutex_;
+    /** Keys being materialized right now; guarded by mutex_. */
+    std::map<Key, std::shared_ptr<InFlightLoad>> inFlight_;
+    /** Signaled when an in-flight materialization completes. */
+    std::condition_variable inFlightCv_;
     mutable std::map<Key, Entry> traces_;
     /** Recency order, front = most recent. */
     mutable std::list<Key> lru_;

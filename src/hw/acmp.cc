@@ -112,12 +112,6 @@ AcmpPlatform::tegraParker()
     return AcmpPlatform("NVIDIA Parker (TX2)", a57, denver, 0.1, 0.02);
 }
 
-const ClusterSpec &
-AcmpPlatform::cluster(CoreType type) const
-{
-    return type == CoreType::Big ? big_ : little_;
-}
-
 int
 AcmpPlatform::configIndex(const AcmpConfig &cfg) const
 {
@@ -129,26 +123,6 @@ AcmpPlatform::configIndex(const AcmpConfig &cfg) const
     }
     panic("configIndex: <%s, %.0f MHz> is not a valid configuration",
           coreTypeName(cfg.core), cfg.freq);
-}
-
-const AcmpConfig &
-AcmpPlatform::configAt(int idx) const
-{
-    panic_if(idx < 0 || idx >= numConfigs(),
-             "configAt: index %d out of range [0, %d)", idx, numConfigs());
-    return configs_[static_cast<size_t>(idx)];
-}
-
-AcmpConfig
-AcmpPlatform::maxConfig() const
-{
-    return {CoreType::Big, big_.fmax};
-}
-
-AcmpConfig
-AcmpPlatform::minConfig() const
-{
-    return {CoreType::Little, little_.fmin};
 }
 
 TimeMs

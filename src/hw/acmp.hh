@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "util/logging.hh"
 #include "util/types.hh"
 
 namespace pes {
@@ -114,7 +115,10 @@ class AcmpPlatform
     const std::string &name() const { return name_; }
 
     /** Cluster description for @p type. */
-    const ClusterSpec &cluster(CoreType type) const;
+    const ClusterSpec &cluster(CoreType type) const
+    {
+        return type == CoreType::Big ? big_ : little_;
+    }
 
     /** All <core, frequency> configurations (little ascending, then big). */
     const std::vector<AcmpConfig> &configs() const { return configs_; }
@@ -126,13 +130,22 @@ class AcmpPlatform
     int configIndex(const AcmpConfig &cfg) const;
 
     /** Configuration at dense index @p idx. */
-    const AcmpConfig &configAt(int idx) const;
+    const AcmpConfig &configAt(int idx) const
+    {
+        panic_if(idx < 0 || idx >= numConfigs(),
+                 "configAt: index %d out of range [0, %d)", idx,
+                 numConfigs());
+        return configs_[static_cast<size_t>(idx)];
+    }
 
     /** Highest-performance configuration (big @ fmax). */
-    AcmpConfig maxConfig() const;
+    AcmpConfig maxConfig() const { return {CoreType::Big, big_.fmax}; }
 
     /** Lowest-power configuration (little @ fmin). */
-    AcmpConfig minConfig() const;
+    AcmpConfig minConfig() const
+    {
+        return {CoreType::Little, little_.fmin};
+    }
 
     /**
      * Time cost of switching from @p from to @p to: cluster migration plus a

@@ -12,26 +12,6 @@ DvfsLatencyModel::DvfsLatencyModel(const AcmpPlatform &platform)
 {
 }
 
-double
-DvfsLatencyModel::cycleCoeff(const AcmpConfig &cfg) const
-{
-    const ClusterSpec &spec = platform_->cluster(cfg.core);
-    // ms per mega-cycle: 1000 * cpi / f[MHz].
-    return 1000.0 * spec.cpiFactor / cfg.freq;
-}
-
-TimeMs
-DvfsLatencyModel::latency(const Workload &work, const AcmpConfig &cfg) const
-{
-    return work.tmemMs + cycleCoeff(cfg) * work.ndep;
-}
-
-TimeMs
-DvfsLatencyModel::latencyAt(const Workload &work, int config_index) const
-{
-    return latency(work, platform_->configAt(config_index));
-}
-
 Workload
 DvfsLatencyModel::solveTwoPoint(const AcmpConfig &cfg1, TimeMs t1,
                                 const AcmpConfig &cfg2, TimeMs t2) const

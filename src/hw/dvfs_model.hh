@@ -58,16 +58,27 @@ class DvfsLatencyModel
     explicit DvfsLatencyModel(const AcmpPlatform &platform);
 
     /** Latency of @p work on configuration @p cfg (Eqn. 1). */
-    TimeMs latency(const Workload &work, const AcmpConfig &cfg) const;
+    TimeMs latency(const Workload &work, const AcmpConfig &cfg) const
+    {
+        return work.tmemMs + cycleCoeff(cfg) * work.ndep;
+    }
 
     /** Latency by dense configuration index. */
-    TimeMs latencyAt(const Workload &work, int config_index) const;
+    TimeMs latencyAt(const Workload &work, int config_index) const
+    {
+        return latency(work, platform_->configAt(config_index));
+    }
 
     /**
      * The "cycle time" coefficient k such that latency = tmem + k * ndep
      * for configuration @p cfg (ms per mega-cycle).
      */
-    double cycleCoeff(const AcmpConfig &cfg) const;
+    double cycleCoeff(const AcmpConfig &cfg) const
+    {
+        // ms per mega-cycle: 1000 * cpi / f[MHz].
+        return 1000.0 * platform_->cluster(cfg.core).cpiFactor /
+               cfg.freq;
+    }
 
     /**
      * Recover (Tmem, Ndep) from two latency measurements on distinct

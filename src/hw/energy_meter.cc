@@ -7,23 +7,6 @@
 
 namespace pes {
 
-uint64_t
-EnergyMeter::addSegment(TimeMs t0, TimeMs t1, PowerMw power, EnergyTag tag)
-{
-    panic_if(t1 < t0 - 1e-9, "EnergyMeter: segment ends before it starts "
-             "(t0=%.6f, t1=%.6f)", t0, t1);
-    segments_.push_back({t0, std::max(t0, t1), power, tag});
-    duration_ = std::max(duration_, t1);
-    return segments_.size() - 1;
-}
-
-void
-EnergyMeter::retag(uint64_t id, EnergyTag tag)
-{
-    panic_if(id >= segments_.size(), "EnergyMeter: retag of unknown id");
-    segments_[id].tag = tag;
-}
-
 EnergyMj
 EnergyMeter::totalEnergy() const
 {
@@ -42,6 +25,18 @@ EnergyMeter::energyOfTag(EnergyTag tag) const
             total += energyOf(s.power, s.t1 - s.t0);
     }
     return total;
+}
+
+EnergyTotals
+EnergyMeter::tagTotals() const
+{
+    EnergyTotals totals;
+    for (const Segment &s : segments_) {
+        const EnergyMj e = energyOf(s.power, s.t1 - s.t0);
+        totals.total += e;
+        totals.byTag[static_cast<int>(s.tag)] += e;
+    }
+    return totals;
 }
 
 EnergyMj

@@ -15,10 +15,12 @@
 #ifndef PES_HW_ENERGY_METER_HH
 #define PES_HW_ENERGY_METER_HH
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "util/logging.hh"
 #include "util/types.hh"
 
 namespace pes {
@@ -36,6 +38,23 @@ enum class EnergyTag
 constexpr int kNumEnergyTags = 4;
 
 /**
+ * One-pass totals over a meter's segments: the whole-waveform energy
+ * plus the per-tag attribution, each accumulated in segment-id order —
+ * bit-identical to calling totalEnergy() and energyOfTag() separately,
+ * but with a single traversal.
+ */
+struct EnergyTotals
+{
+    EnergyMj total = 0.0;
+    EnergyMj byTag[kNumEnergyTags] = {0.0, 0.0, 0.0, 0.0};
+
+    EnergyMj of(EnergyTag tag) const
+    {
+        return byTag[static_cast<int>(tag)];
+    }
+};
+
+/**
  * Integrates a piecewise-constant power waveform.
  */
 class EnergyMeter
@@ -46,16 +65,32 @@ class EnergyMeter
      * Returns a segment id usable with retag(). Zero-length segments are
      * accepted and return an id but contribute no energy.
      */
-    uint64_t addSegment(TimeMs t0, TimeMs t1, PowerMw power, EnergyTag tag);
+    uint64_t addSegment(TimeMs t0, TimeMs t1, PowerMw power, EnergyTag tag)
+    {
+        panic_if(t1 < t0 - 1e-9,
+                 "EnergyMeter: segment ends before it starts "
+                 "(t0=%.6f, t1=%.6f)", t0, t1);
+        segments_.push_back({t0, std::max(t0, t1), power, tag});
+        duration_ = std::max(duration_, t1);
+        return segments_.size() - 1;
+    }
 
     /** Change the tag of segment @p id (e.g. Busy -> SpeculativeWaste). */
-    void retag(uint64_t id, EnergyTag tag);
+    void retag(uint64_t id, EnergyTag tag)
+    {
+        panic_if(id >= segments_.size(),
+                 "EnergyMeter: retag of unknown id");
+        segments_[id].tag = tag;
+    }
 
     /** Total integrated energy. */
     EnergyMj totalEnergy() const;
 
     /** Energy attributed to @p tag. */
     EnergyMj energyOfTag(EnergyTag tag) const;
+
+    /** Total and per-tag energy in one traversal (see EnergyTotals). */
+    EnergyTotals tagTotals() const;
 
     /** Energy of one segment by id. */
     EnergyMj energyOfSegment(uint64_t id) const;
@@ -75,6 +110,16 @@ class EnergyMeter
 
     /** Number of recorded segments. */
     size_t segmentCount() const { return segments_.size(); }
+
+    /**
+     * Forget every segment, keeping the allocated storage so a reused
+     * meter does not re-grow its segment vector run after run.
+     */
+    void reset()
+    {
+        segments_.clear();
+        duration_ = 0.0;
+    }
 
   private:
     struct Segment

@@ -59,18 +59,6 @@ PowerModel::busyPowerAt(int config_index) const
     return busy_[static_cast<size_t>(config_index)];
 }
 
-PowerMw
-PowerModel::idlePower(CoreType type) const
-{
-    return type == CoreType::Big ? idleBig_ : idleLittle_;
-}
-
-PowerMw
-PowerModel::platformIdlePower() const
-{
-    return idleLittle_ + idleBig_;
-}
-
 EnergyMj
 PowerModel::busyEnergy(const AcmpConfig &cfg, TimeMs duration) const
 {

@@ -44,10 +44,13 @@ class PowerModel
      * Idle (clock-gated) power of the @p type cluster. Idle clusters retain
      * leakage at their floor voltage plus a small always-on component.
      */
-    PowerMw idlePower(CoreType type) const;
+    PowerMw idlePower(CoreType type) const
+    {
+        return type == CoreType::Big ? idleBig_ : idleLittle_;
+    }
 
     /** Total platform idle power (both clusters idle). */
-    PowerMw platformIdlePower() const;
+    PowerMw platformIdlePower() const { return idleLittle_ + idleBig_; }
 
     /**
      * Energy of running for @p duration on @p cfg

@@ -111,6 +111,16 @@ struct FleetConfig
     /** Also retain every full SimResult (ResultSet) next to the
      *  aggregated metrics. Costs memory on big fleets. */
     bool collectResults = false;
+    /**
+     * Reuse one RuntimeSimulator engine per (worker, device, app) slot
+     * across sessions — the engine resets (keeping its allocations:
+     * session DOM copies, meter segments, event records) instead of
+     * being rebuilt per job, and pooled scheduler drivers reset between
+     * ranges instead of being re-constructed. Reports are byte-identical
+     * either way (locked by tests); off is the historical
+     * construct-per-job behaviour, kept as the comparison baseline.
+     */
+    bool reuseEngines = true;
     /** Training sessions per seen app for the PES event model. */
     int trainingTracesPerApp = 9;
     /**

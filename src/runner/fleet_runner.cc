@@ -398,6 +398,23 @@ FleetRunner::run()
     for (auto &slots : generators)
         slots.resize(devices.size());
 
+    // Reusable per-(worker, device, app) simulator engines and pooled
+    // per-(worker, scheduler, device) drivers: a session resets the slot
+    // instead of rebuilding it, keeping the engine's allocations (DOM
+    // copies, meter segments, record vectors) warm across jobs. Slots
+    // are worker-private, so no locking and no cross-worker sharing.
+    const size_t num_apps = config_.apps.size();
+    std::vector<std::vector<std::unique_ptr<RuntimeSimulator>>> engines(
+        static_cast<size_t>(config_.threads));
+    std::vector<std::vector<std::unique_ptr<SchedulerDriver>>> driver_pool(
+        static_cast<size_t>(config_.threads));
+    if (config_.reuseEngines) {
+        for (auto &slots : engines)
+            slots.resize(devices.size() * num_apps);
+        for (auto &slots : driver_pool)
+            slots.resize(config_.schedulers.size() * devices.size());
+    }
+
     // Shared trace storage: each (device, app, user) trace materializes
     // once — synthesized on first use, or loaded from the corpus — and
     // replays read-only across the scheduler axis. Warm sweeps, corpus
@@ -620,14 +637,44 @@ FleetRunner::run()
             sim_config.specNoiseSeed =
                 hashCombine(job.userSeed, kSpecNoiseSalt);
         }
-        RuntimeSimulator simulator(device.platform, device.power,
-                                   gen_slot->appFor(profile), sim_config);
-        SimResult result = simulator.run(*trace, driver);
-        stats[static_cast<size_t>(job.index)] =
-            SessionStats::reduce(result);
-        executed[static_cast<size_t>(job.index)] = 1;
-        if (config_.collectResults)
+
+        RuntimeSimulator *simulator = nullptr;
+        std::optional<RuntimeSimulator> local_simulator;
+        if (config_.reuseEngines) {
+            auto &slot = engines[static_cast<size_t>(worker)]
+                [static_cast<size_t>(job.deviceIndex) * num_apps +
+                 static_cast<size_t>(job.appIndex)];
+            if (!slot) {
+                slot = std::make_unique<RuntimeSimulator>(
+                    device.platform, device.power,
+                    gen_slot->appFor(profile), sim_config);
+            }
+            // The engine's app/platform/renderScale are fixed per slot;
+            // only the per-session noise seed varies job to job.
+            slot->setSpecNoiseSeed(sim_config.specNoiseSeed);
+            simulator = slot.get();
+        } else {
+            local_simulator.emplace(device.platform, device.power,
+                                    gen_slot->appFor(profile), sim_config);
+            simulator = &*local_simulator;
+        }
+
+        if (config_.collectResults) {
+            SimResult result = simulator->run(*trace, driver);
+            stats[static_cast<size_t>(job.index)] =
+                SessionStats::reduce(result);
             full[static_cast<size_t>(job.index)] = std::move(result);
+        } else if (config_.reuseEngines) {
+            // Stats-only fast path: reduce the session in-flight, never
+            // materializing per-event records (bit-identical reduction,
+            // locked by tests).
+            stats[static_cast<size_t>(job.index)] =
+                simulator->runStats(*trace, driver);
+        } else {
+            stats[static_cast<size_t>(job.index)] =
+                SessionStats::reduce(simulator->run(*trace, driver));
+        }
+        executed[static_cast<size_t>(job.index)] = 1;
         if (sink.store) {
             SessionRecord record;
             record.device = device.platform.name();
@@ -668,21 +715,55 @@ FleetRunner::run()
         // worker takes its ticks in job order).
         TraceSpan execute_span(tsink, 0, stage_name("execute"), "stage");
         ThreadPool pool(config_.threads, telemetry != nullptr);
-        for (const JobRange &range : outcome.plan.ranges) {
-            pool.submit([&, range](int worker) {
-                // One driver per range: a per-cell "warmed device" for
-                // warm ranges, a fresh driver for singleton ranges.
-                const JobSpec &head =
-                    jobs_[static_cast<size_t>(range.first)];
-                DeviceContext &device = *devices[static_cast<size_t>(
-                    head.deviceIndex)];
-                const auto driver = makeFleetScheduler(
-                    config_.schedulers[static_cast<size_t>(
-                        head.schedulerIndex)],
-                    device);
-                for (int i = 0; i < range.count; ++i)
-                    runJob(jobs_[static_cast<size_t>(range.first + i)],
-                           worker, *driver);
+
+        // One driver per range: a per-cell "warmed device" for warm
+        // ranges, a fresh-state driver for singleton ranges. With
+        // engine reuse the driver comes from the worker's pool and is
+        // reset to as-constructed state instead of rebuilt.
+        const auto runRange = [&](const JobRange &range, int worker) {
+            const JobSpec &head =
+                jobs_[static_cast<size_t>(range.first)];
+            DeviceContext &device = *devices[static_cast<size_t>(
+                head.deviceIndex)];
+            const SchedulerKind kind =
+                config_.schedulers[static_cast<size_t>(
+                    head.schedulerIndex)];
+            SchedulerDriver *driver = nullptr;
+            std::unique_ptr<SchedulerDriver> fresh;
+            if (config_.reuseEngines) {
+                auto &slot = driver_pool[static_cast<size_t>(worker)]
+                    [static_cast<size_t>(head.schedulerIndex) *
+                         devices.size() +
+                     static_cast<size_t>(head.deviceIndex)];
+                if (!slot || !slot->resetFresh())
+                    slot = makeFleetScheduler(kind, device);
+                driver = slot.get();
+            } else {
+                fresh = makeFleetScheduler(kind, device);
+                driver = fresh.get();
+            }
+            for (int i = 0; i < range.count; ++i)
+                runJob(jobs_[static_cast<size_t>(range.first + i)],
+                       worker, *driver);
+        };
+
+        // Fresh fleets plan one singleton range per session; submitting
+        // each as its own pool task costs a queue round-trip per
+        // session. Batch contiguous ranges so the pool sees O(workers)
+        // tasks instead of O(sessions) — job-indexed result slots and
+        // canonical reduction keep reports byte-identical regardless of
+        // how ranges are grouped onto tasks.
+        const std::vector<JobRange> &ranges = outcome.plan.ranges;
+        const size_t target_tasks =
+            static_cast<size_t>(config_.threads) * 4;
+        const size_t chunk = ranges.size() > target_tasks
+            ? (ranges.size() + target_tasks - 1) / target_tasks
+            : 1;
+        for (size_t first = 0; first < ranges.size(); first += chunk) {
+            const size_t count = std::min(chunk, ranges.size() - first);
+            pool.submit([&, first, count](int worker) {
+                for (size_t r = first; r < first + count; ++r)
+                    runRange(ranges[r], worker);
             });
         }
         pool.wait();
@@ -830,6 +911,12 @@ makeRunTelemetry(const FleetConfig &config, const FleetOutcome &outcome)
         t.cacheLockWaitMs = outcome.traceCacheContention.waitMs;
         t.persistLockWaits = outcome.persistContention.waits;
         t.persistLockWaitMs = outcome.persistContention.waitMs;
+        t.poolQueueTasks = outcome.poolStats.tasks;
+        t.poolQueueWaitMs = outcome.poolStats.queueWaitMs;
+        t.poolQueueWaitMeanMs = outcome.poolStats.tasks > 0
+            ? outcome.poolStats.queueWaitMs /
+                static_cast<double>(outcome.poolStats.tasks)
+            : 0.0;
         t.workers.reserve(outcome.poolStats.workers.size());
         for (const ThreadPoolWorkerStats &w : outcome.poolStats.workers) {
             WorkerScaling ws;

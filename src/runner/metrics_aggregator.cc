@@ -5,39 +5,6 @@
 
 namespace pes {
 
-SessionStats
-SessionStats::reduce(const SimResult &result)
-{
-    SessionStats s;
-    s.events = static_cast<int>(result.events.size());
-    SampleSet latencies;
-    double latency_sum = 0.0;
-    for (const EventRecord &e : result.events) {
-        s.violations += e.violated() ? 1 : 0;
-        const double lat = e.latency();
-        latency_sum += lat;
-        latencies.add(lat);
-        s.maxLatencyMs = std::max(s.maxLatencyMs, lat);
-    }
-    if (s.events > 0) {
-        s.meanLatencyMs = latency_sum / s.events;
-        s.p95LatencyMs = latencies.percentile(95.0);
-    }
-    s.totalEnergyMj = result.totalEnergy;
-    s.busyEnergyMj = result.busyEnergy;
-    s.idleEnergyMj = result.idleEnergy;
-    s.overheadEnergyMj = result.overheadEnergy;
-    s.wasteEnergyMj = result.wasteEnergy;
-    s.durationMs = result.duration;
-    s.predictionsMade = result.predictionsMade;
-    s.predictionsCorrect = result.predictionsCorrect;
-    s.mispredictions = result.mispredictions;
-    s.mispredictWasteMs = result.mispredictWasteMs;
-    s.avgQueueLength = result.avgQueueLength;
-    s.fellBackToReactive = result.fellBackToReactive;
-    return s;
-}
-
 void
 MetricsAggregator::add(const std::string &device, const std::string &app,
                        const std::string &scheduler,

@@ -22,36 +22,11 @@
 #include <string>
 #include <vector>
 
+#include "sim/session_stats.hh"
 #include "sim/sim_types.hh"
 #include "util/stats.hh"
 
 namespace pes {
-
-/** Compact per-session reduction of one SimResult. */
-struct SessionStats
-{
-    int events = 0;
-    int violations = 0;
-    double totalEnergyMj = 0.0;
-    double busyEnergyMj = 0.0;
-    double idleEnergyMj = 0.0;
-    double overheadEnergyMj = 0.0;
-    double wasteEnergyMj = 0.0;
-    double durationMs = 0.0;
-    /** Event-weighted mean latency within the session. */
-    double meanLatencyMs = 0.0;
-    double p95LatencyMs = 0.0;
-    double maxLatencyMs = 0.0;
-    int predictionsMade = 0;
-    int predictionsCorrect = 0;
-    int mispredictions = 0;
-    double mispredictWasteMs = 0.0;
-    double avgQueueLength = 0.0;
-    bool fellBackToReactive = false;
-
-    /** Reduce a full simulation result. */
-    static SessionStats reduce(const SimResult &result);
-};
 
 /** Aggregated summary of one (device, app, scheduler) cell. */
 struct CellSummary

@@ -6,6 +6,7 @@
 
 #include "util/logging.hh"
 #include "util/rng.hh"
+#include "util/stats.hh"
 
 namespace pes {
 
@@ -118,9 +119,13 @@ RuntimeSimulator::reset(const InteractionTrace &trace,
 {
     trace_ = &trace;
     driver_ = &driver;
-    session_.emplace(*app_);
-    queue_ = EventLoop{};
-    meter_ = EnergyMeter{};
+    // Reuse the session's DOM copies instead of re-copying every page.
+    if (session_)
+        session_->reset();
+    else
+        session_.emplace(*app_);
+    queue_.clear();
+    meter_.reset();
     now_ = 0.0;
     arrivedCount_ = 0;
     servedCount_ = 0;
@@ -128,10 +133,29 @@ RuntimeSimulator::reset(const InteractionTrace &trace,
     exec_.reset();
     nextWorkId_ = 1;
     specFrames_.clear();
+    segmentArena_.clear();
     busyIntervals_.clear();
     lastDisplay_ = 0.0;
 
+    statsViolations_ = 0;
+    statsLatencySum_ = 0.0;
+    statsMaxLatency_ = 0.0;
+    statsLatencies_.clear();
+
+    // Rebuild result_ keeping the vectors' allocated storage.
+    std::vector<EventRecord> events = std::move(result_.events);
+    std::vector<PfbSample> pfb = std::move(result_.pfbTrace);
+    std::vector<int> degrees = std::move(result_.predictionDegrees);
+    events.clear();
+    pfb.clear();
+    degrees.clear();
     result_ = SimResult{};
+    result_.events = std::move(events);
+    result_.pfbTrace = std::move(pfb);
+    result_.predictionDegrees = std::move(degrees);
+    if (statsOnly_)
+        return;
+
     result_.schedulerName = driver.name();
     result_.appName = trace.appName;
     result_.events.assign(trace.events.size(), EventRecord{});
@@ -149,10 +173,31 @@ RuntimeSimulator::run(const InteractionTrace &trace,
                       SchedulerDriver &driver)
 {
     panic_if(trace.events.empty(), "RuntimeSimulator: empty trace");
+    statsOnly_ = false;
     reset(trace, driver);
+    replay();
+    return finalize();
+}
+
+SessionStats
+RuntimeSimulator::runStats(const InteractionTrace &trace,
+                           SchedulerDriver &driver)
+{
+    panic_if(trace.events.empty(), "RuntimeSimulator: empty trace");
+    statsOnly_ = true;
+    reset(trace, driver);
+    replay();
+    return finalizeStats();
+}
+
+void
+RuntimeSimulator::replay()
+{
+    SchedulerDriver &driver = *driver_;
     SimulatorApi api(*this);
     driver.begin(api);
 
+    const InteractionTrace &trace = *trace_;
     const int total = static_cast<int>(trace.events.size());
     while (servedCount_ < total) {
         // 1. Deliver any due arrival (one per iteration).
@@ -192,8 +237,6 @@ RuntimeSimulator::run(const InteractionTrace &trace,
                 fireTick();
         }
     }
-
-    return finalize();
 }
 
 void
@@ -297,6 +340,7 @@ RuntimeSimulator::startExec(const WorkItem &item)
     ExecState exec;
     exec.item = item;
     exec.workId = nextWorkId_++;
+    exec.segFirst = static_cast<uint32_t>(segmentArena_.size());
     exec.truth = resolveTruth(item, exec.truthMatched);
     exec.switchRemaining = platform_->switchCost(currentConfig_,
                                                  item.config);
@@ -342,7 +386,8 @@ RuntimeSimulator::advanceBusy(TimeMs until)
         const uint64_t seg =
             meter_.addSegment(t, t + dt, busy, EnergyTag::Busy);
         meter_.addSegment(t, t + dt, other_idle, EnergyTag::Idle);
-        exec_->busySegments.push_back(seg);
+        segmentArena_.push_back(seg);
+        ++exec_->segCount;
         exec_->busyEnergy += energyOf(busy, dt);
         exec_->execMs += dt;
         busyIntervals_.emplace_back(t, t + dt);
@@ -377,14 +422,33 @@ RuntimeSimulator::serveEvent(int trace_index, TimeMs frame_ready,
     queue_.pop();
 
     const TraceEvent &e = trace_->events[static_cast<size_t>(trace_index)];
-    EventRecord &rec = result_.events[static_cast<size_t>(trace_index)];
-    rec.frameReady = frame_ready;
-    rec.displayed = vsync_.nextVsyncAt(std::max(e.arrival, frame_ready));
-    rec.configIndex = config_index;
-    rec.busyEnergy = busy_energy;
-    rec.execMs = exec_ms;
-    rec.servedSpeculatively = speculative;
-    lastDisplay_ = std::max(lastDisplay_, rec.displayed);
+    if (statsOnly_) {
+        // Events are served strictly in trace order, so accumulating the
+        // latency reduction here reproduces SessionStats::reduce() term
+        // for term (same values, same accumulation order).
+        EventRecord rec;
+        rec.arrival = e.arrival;
+        rec.qosTarget = e.qosTarget();
+        rec.frameReady = frame_ready;
+        rec.displayed =
+            vsync_.nextVsyncAt(std::max(e.arrival, frame_ready));
+        const double lat = rec.latency();
+        statsViolations_ += rec.violated() ? 1 : 0;
+        statsLatencySum_ += lat;
+        statsLatencies_.push_back(lat);
+        statsMaxLatency_ = std::max(statsMaxLatency_, lat);
+        lastDisplay_ = std::max(lastDisplay_, rec.displayed);
+    } else {
+        EventRecord &rec = result_.events[static_cast<size_t>(trace_index)];
+        rec.frameReady = frame_ready;
+        rec.displayed =
+            vsync_.nextVsyncAt(std::max(e.arrival, frame_ready));
+        rec.configIndex = config_index;
+        rec.busyEnergy = busy_energy;
+        rec.execMs = exec_ms;
+        rec.servedSpeculatively = speculative;
+        lastDisplay_ = std::max(lastDisplay_, rec.displayed);
+    }
 
     // Commit the event's application-state effects.
     session_->commitEvent(e.node, e.type);
@@ -398,7 +462,7 @@ RuntimeSimulator::completeExec()
     ExecState exec = std::move(*exec_);
     exec_.reset();
 
-    const int cfg_index = platform_->configIndex(currentConfig_);
+    const int cfg_index = configIndexOfCurrent();
     CompletedWork report;
     report.workId = exec.workId;
     report.item = exec.item;
@@ -419,10 +483,11 @@ RuntimeSimulator::completeExec()
         frame.ready = now_;
         frame.execMs = exec.execMs;
         frame.busyEnergy = exec.busyEnergy;
-        frame.busySegments = exec.busySegments;
+        frame.segFirst = exec.segFirst;
+        frame.segCount = exec.segCount;
         frame.configIndex = cfg_index;
         frame.truthMatched = exec.truthMatched;
-        specFrames_.emplace(exec.workId, std::move(frame));
+        specFrames_.emplace_back(exec.workId, frame);
     }
 
     SimulatorApi api(*this);
@@ -484,7 +549,9 @@ RuntimeSimulator::fireTick()
 void
 RuntimeSimulator::apiServeFromSpeculation(int trace_index, uint64_t work_id)
 {
-    const auto it = specFrames_.find(work_id);
+    auto it = specFrames_.begin();
+    while (it != specFrames_.end() && it->first != work_id)
+        ++it;
     panic_if(it == specFrames_.end(),
              "serveFromSpeculation: unknown work id %llu",
              static_cast<unsigned long long>(work_id));
@@ -511,8 +578,9 @@ RuntimeSimulator::apiAbortInFlight()
     panic_if(!exec_, "abortInFlight with no executing item");
     panic_if(exec_->item.kind != WorkItem::Kind::Speculative,
              "abortInFlight: current item is not speculative");
-    for (uint64_t seg : exec_->busySegments)
-        meter_.retag(seg, EnergyTag::SpeculativeWaste);
+    for (uint32_t i = 0; i < exec_->segCount; ++i)
+        meter_.retag(segmentArena_[exec_->segFirst + i],
+                     EnergyTag::SpeculativeWaste);
     result_.mispredictWasteMs += exec_->execMs;
     exec_.reset();
 }
@@ -556,13 +624,17 @@ RuntimeSimulator::apiBoostInFlightToMeet(TimeMs deadline)
 void
 RuntimeSimulator::apiDiscardSpeculativeWork(uint64_t work_id)
 {
-    const auto it = specFrames_.find(work_id);
+    auto it = specFrames_.begin();
+    while (it != specFrames_.end() && it->first != work_id)
+        ++it;
     panic_if(it == specFrames_.end(),
              "discardSpeculativeWork: unknown work id %llu",
              static_cast<unsigned long long>(work_id));
-    for (uint64_t seg : it->second.busySegments)
-        meter_.retag(seg, EnergyTag::SpeculativeWaste);
-    result_.mispredictWasteMs += it->second.execMs;
+    const SpecFrame &frame = it->second;
+    for (uint32_t i = 0; i < frame.segCount; ++i)
+        meter_.retag(segmentArena_[frame.segFirst + i],
+                     EnergyTag::SpeculativeWaste);
+    result_.mispredictWasteMs += frame.execMs;
     specFrames_.erase(it);
 }
 
@@ -583,7 +655,7 @@ RuntimeSimulator::apiChargeSchedulerOverhead(TimeMs duration)
 void
 RuntimeSimulator::apiRecordPfbSample(int pfb_size, bool after_squash)
 {
-    if (!config_.recordPfb)
+    if (!config_.recordPfb || statsOnly_)
         return;
     result_.pfbTrace.push_back(
         {now_, servedCount_, pfb_size, after_squash});
@@ -603,6 +675,8 @@ RuntimeSimulator::apiNotePrediction(bool correct)
 void
 RuntimeSimulator::apiNotePredictionRound(int degree)
 {
+    if (statsOnly_)
+        return;
     result_.predictionDegrees.push_back(degree);
 }
 
@@ -612,8 +686,21 @@ RuntimeSimulator::apiNoteFallback()
     result_.fellBackToReactive = true;
 }
 
-SimResult
-RuntimeSimulator::finalize()
+int
+RuntimeSimulator::configIndexOfCurrent()
+{
+    // completeExec asks for the same configuration run after run; a
+    // one-entry memo removes the platform's linear config scan from the
+    // hot path.
+    if (cachedConfigIndex_ < 0 || !(cachedConfig_ == currentConfig_)) {
+        cachedConfigIndex_ = platform_->configIndex(currentConfig_);
+        cachedConfig_ = currentConfig_;
+    }
+    return cachedConfigIndex_;
+}
+
+void
+RuntimeSimulator::retagEndOfRunWaste()
 {
     // A speculative item still in flight when the session ends (a
     // prediction past the last real event) is wasted work, as are any
@@ -621,32 +708,72 @@ RuntimeSimulator::finalize()
     // separate from mispredict waste.
     if (exec_ && exec_->item.kind == WorkItem::Kind::Speculative &&
         !exec_->adopted) {
-        for (uint64_t seg : exec_->busySegments) {
-            result_.endOfRunWasteMj +=
-                meter_.energyOfSegment(seg);
+        for (uint32_t i = 0; i < exec_->segCount; ++i) {
+            const uint64_t seg = segmentArena_[exec_->segFirst + i];
+            result_.endOfRunWasteMj += meter_.energyOfSegment(seg);
             meter_.retag(seg, EnergyTag::SpeculativeWaste);
         }
         result_.endOfRunWasteMs += exec_->execMs;
         exec_.reset();
     }
     for (auto &[id, frame] : specFrames_) {
-        for (uint64_t seg : frame.busySegments) {
+        for (uint32_t i = 0; i < frame.segCount; ++i) {
+            const uint64_t seg = segmentArena_[frame.segFirst + i];
             result_.endOfRunWasteMj += meter_.energyOfSegment(seg);
             meter_.retag(seg, EnergyTag::SpeculativeWaste);
         }
         result_.endOfRunWasteMs += frame.execMs;
     }
     specFrames_.clear();
+}
+
+SimResult
+RuntimeSimulator::finalize()
+{
+    retagEndOfRunWaste();
 
     result_.duration = std::max(now_, lastDisplay_);
     // Close the idle gap between the last activity and the duration end.
-    result_.totalEnergy = meter_.totalEnergy();
-    result_.busyEnergy = meter_.energyOfTag(EnergyTag::Busy);
-    result_.idleEnergy = meter_.energyOfTag(EnergyTag::Idle);
-    result_.overheadEnergy = meter_.energyOfTag(EnergyTag::Overhead);
-    result_.wasteEnergy = meter_.energyOfTag(EnergyTag::SpeculativeWaste);
+    const EnergyTotals totals = meter_.tagTotals();
+    result_.totalEnergy = totals.total;
+    result_.busyEnergy = totals.of(EnergyTag::Busy);
+    result_.idleEnergy = totals.of(EnergyTag::Idle);
+    result_.overheadEnergy = totals.of(EnergyTag::Overhead);
+    result_.wasteEnergy = totals.of(EnergyTag::SpeculativeWaste);
     result_.avgQueueLength = queue_.lengthStats().mean();
-    return result_;
+    return std::move(result_);
+}
+
+SessionStats
+RuntimeSimulator::finalizeStats()
+{
+    retagEndOfRunWaste();
+
+    SessionStats s;
+    s.events = static_cast<int>(trace_->events.size());
+    s.violations = statsViolations_;
+    s.maxLatencyMs = statsMaxLatency_;
+    if (s.events > 0) {
+        s.meanLatencyMs = statsLatencySum_ / s.events;
+        SampleSet latencies;
+        for (double lat : statsLatencies_)
+            latencies.add(lat);
+        s.p95LatencyMs = latencies.percentile(95.0);
+    }
+    const EnergyTotals totals = meter_.tagTotals();
+    s.totalEnergyMj = totals.total;
+    s.busyEnergyMj = totals.of(EnergyTag::Busy);
+    s.idleEnergyMj = totals.of(EnergyTag::Idle);
+    s.overheadEnergyMj = totals.of(EnergyTag::Overhead);
+    s.wasteEnergyMj = totals.of(EnergyTag::SpeculativeWaste);
+    s.durationMs = std::max(now_, lastDisplay_);
+    s.predictionsMade = result_.predictionsMade;
+    s.predictionsCorrect = result_.predictionsCorrect;
+    s.mispredictions = result_.mispredictions;
+    s.mispredictWasteMs = result_.mispredictWasteMs;
+    s.avgQueueLength = queue_.lengthStats().mean();
+    s.fellBackToReactive = result_.fellBackToReactive;
+    return s;
 }
 
 } // namespace pes

@@ -14,17 +14,30 @@
  * clusters idle otherwise; DVFS/migration transitions and scheduler
  * compute are tagged Overhead, squashed speculative work is re-tagged as
  * mispredict waste.
+ *
+ * Hot-path design: one engine instance is meant to replay many sessions.
+ * reset() restores pristine state while keeping every allocation (session
+ * DOMs, meter segments, the segment arena, event records), so a warmed
+ * engine replays a session with near-zero allocator traffic. Per-exec
+ * busy-segment lists live as (first, count) slices of a shared append-only
+ * arena instead of per-item vectors, and runStats() offers a stats-only
+ * fast path that reduces the session straight to SessionStats — the exact
+ * same numbers SessionStats::reduce() would produce from the full
+ * SimResult — without materializing per-event records.
  */
 
 #ifndef PES_SIM_RUNTIME_SIMULATOR_HH
 #define PES_SIM_RUNTIME_SIMULATOR_HH
 
+#include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "hw/energy_meter.hh"
 #include "hw/estimator.hh"
 #include "sim/scheduler_driver.hh"
+#include "sim/session_stats.hh"
 #include "sim/simulator_api.hh"
 #include "web/render_pipeline.hh"
 
@@ -62,6 +75,18 @@ class RuntimeSimulator
     /** Replay @p trace under @p driver and return the result. */
     SimResult run(const InteractionTrace &trace, SchedulerDriver &driver);
 
+    /**
+     * Replay @p trace under @p driver and return only the per-session
+     * reduction — bit-identical to SessionStats::reduce(run(...)) but
+     * without materializing per-event records, PFB samples, or name
+     * strings. The fast path for fleet runs that do not retain results.
+     */
+    SessionStats runStats(const InteractionTrace &trace,
+                          SchedulerDriver &driver);
+
+    /** Re-seed mispredicted-workload sampling (per-session fleet seed). */
+    void setSpecNoiseSeed(uint64_t seed) { config_.specNoiseSeed = seed; }
+
   private:
     friend class SimulatorApi;
 
@@ -75,7 +100,9 @@ class RuntimeSimulator
         TimeMs startTime = 0.0;
         TimeMs execMs = 0.0;
         EnergyMj busyEnergy = 0.0;
-        std::vector<uint64_t> busySegments;
+        /** Busy meter segments: a slice of segmentArena_. */
+        uint32_t segFirst = 0;
+        uint32_t segCount = 0;
         bool adopted = false;
         int adoptedIndex = -1;
         bool truthMatched = false;
@@ -87,13 +114,16 @@ class RuntimeSimulator
         TimeMs ready = 0.0;
         TimeMs execMs = 0.0;
         EnergyMj busyEnergy = 0.0;
-        std::vector<uint64_t> busySegments;
+        /** Busy meter segments: a slice of segmentArena_. */
+        uint32_t segFirst = 0;
+        uint32_t segCount = 0;
         int configIndex = -1;
         bool truthMatched = false;
     };
 
     // ---- main loop pieces ----
     void reset(const InteractionTrace &trace, SchedulerDriver &driver);
+    void replay();
     void deliverArrival();
     void startExec(const WorkItem &item);
     void advanceBusy(TimeMs until);
@@ -106,7 +136,10 @@ class RuntimeSimulator
     void serveEvent(int trace_index, TimeMs frame_ready, int config_index,
                     EnergyMj busy_energy, TimeMs exec_ms, bool speculative);
     Workload resolveTruth(const WorkItem &item, bool &matched) const;
+    int configIndexOfCurrent();
+    void retagEndOfRunWaste();
     SimResult finalize();
+    SessionStats finalizeStats();
 
     // ---- SimulatorApi backend (see simulator_api.hh) ----
     void apiServeFromSpeculation(int trace_index, uint64_t work_id);
@@ -140,10 +173,25 @@ class RuntimeSimulator
     AcmpConfig currentConfig_;
     std::optional<ExecState> exec_;
     uint64_t nextWorkId_ = 1;
-    std::unordered_map<uint64_t, SpecFrame> specFrames_;
+    /** Finished speculative frames in creation order (small: PFB-sized). */
+    std::vector<std::pair<uint64_t, SpecFrame>> specFrames_;
+    /** Arena of busy-segment ids referenced by ExecState/SpecFrame. */
+    std::vector<uint64_t> segmentArena_;
     std::vector<std::pair<TimeMs, TimeMs>> busyIntervals_;
     SimResult result_;
     TimeMs lastDisplay_ = 0.0;
+
+    /** Memoized platform_->configIndex(currentConfig_). */
+    int cachedConfigIndex_ = -1;
+    AcmpConfig cachedConfig_;
+
+    // ---- stats-only fast path ----
+    bool statsOnly_ = false;
+    int statsViolations_ = 0;
+    double statsLatencySum_ = 0.0;
+    double statsMaxLatency_ = 0.0;
+    /** Per-event latencies in trace order (percentile input). */
+    std::vector<double> statsLatencies_;
 };
 
 } // namespace pes

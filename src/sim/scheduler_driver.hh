@@ -73,6 +73,16 @@ class SchedulerDriver
     }
 
     /**
+     * Restore the driver to as-constructed state so a pooled instance can
+     * be reused for the next session exactly as if freshly built. Return
+     * true when the driver supports this; the default (false) makes the
+     * runner construct a fresh driver instead. Drivers that deliberately
+     * carry state across sessions (warm-driver mode) are reset by NOT
+     * calling this between sessions of the same cell.
+     */
+    virtual bool resetFresh() { return false; }
+
+    /**
      * Sampling period for onSampleTick; 0 disables ticks.
      */
     virtual TimeMs sampleIntervalMs() const { return 0.0; }

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Compact per-session reduction of one simulated session.
+ *
+ * SessionStats is the unit of record for fleet aggregation: a few dozen
+ * scalars reduced from a session, cheap enough to retain for fleets far
+ * beyond what keeping raw SimResults allows. It lives in the sim layer so
+ * the simulator can produce it directly on the stats-only fast path (no
+ * materialized SimResult at all); the classic reduce(SimResult) entry
+ * point remains for callers that do hold full results.
+ */
+
+#ifndef PES_SIM_SESSION_STATS_HH
+#define PES_SIM_SESSION_STATS_HH
+
+#include "sim/sim_types.hh"
+
+namespace pes {
+
+/** Compact per-session reduction of one simulated session. */
+struct SessionStats
+{
+    int events = 0;
+    int violations = 0;
+    double totalEnergyMj = 0.0;
+    double busyEnergyMj = 0.0;
+    double idleEnergyMj = 0.0;
+    double overheadEnergyMj = 0.0;
+    double wasteEnergyMj = 0.0;
+    double durationMs = 0.0;
+    /** Event-weighted mean latency within the session. */
+    double meanLatencyMs = 0.0;
+    double p95LatencyMs = 0.0;
+    double maxLatencyMs = 0.0;
+    int predictionsMade = 0;
+    int predictionsCorrect = 0;
+    int mispredictions = 0;
+    double mispredictWasteMs = 0.0;
+    double avgQueueLength = 0.0;
+    bool fellBackToReactive = false;
+
+    /** Reduce a full simulation result. */
+    static SessionStats reduce(const SimResult &result);
+};
+
+} // namespace pes
+
+#endif // PES_SIM_SESSION_STATS_HH

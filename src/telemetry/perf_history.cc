@@ -134,9 +134,12 @@ perfDigest(const std::string &text)
 std::vector<std::pair<std::string, double>>
 perfPointMetrics(const RunTelemetry &t)
 {
-    double queue_wait_ms = 0.0;
-    for (const WorkerScaling &w : t.workers)
-        queue_wait_ms += w.queueWaitMs;
+    // Prefer the pool's own aggregate (present since telemetry v3);
+    // fall back to summing the per-worker rows for older documents.
+    double queue_wait_ms = t.poolQueueWaitMs;
+    if (queue_wait_ms == 0.0)
+        for (const WorkerScaling &w : t.workers)
+            queue_wait_ms += w.queueWaitMs;
     return {
         {"sessions_per_sec", t.sessionsPerSec},
         {"events_per_sec", t.eventsPerSec},
@@ -157,6 +160,7 @@ perfPointMetrics(const RunTelemetry &t)
         {"pool_busy_ms", t.poolBusyMs},
         {"pool_idle_ms", t.poolIdleMs},
         {"pool_queue_wait_ms", queue_wait_ms},
+        {"pool_queue_wait_mean_ms", t.poolQueueWaitMeanMs},
     };
 }
 

@@ -90,6 +90,9 @@ writeRunTelemetryJson(const RunTelemetry &t, std::ostream &os)
        << ", \"cache_lock_wait_ms\": " << jsonNum(t.cacheLockWaitMs)
        << ", \"persist_lock_waits\": " << t.persistLockWaits
        << ", \"persist_lock_wait_ms\": " << jsonNum(t.persistLockWaitMs)
+       << ", \"queue_tasks\": " << t.poolQueueTasks
+       << ", \"queue_wait_ms\": " << jsonNum(t.poolQueueWaitMs)
+       << ", \"queue_wait_mean_ms\": " << jsonNum(t.poolQueueWaitMeanMs)
        << ", \"workers\": [";
     for (size_t i = 0; i < t.workers.size(); ++i) {
         const WorkerScaling &w = t.workers[i];
@@ -191,6 +194,9 @@ parseRunTelemetry(const std::string &text)
         t.cacheLockWaitMs = fieldNum(*scaling, "cache_lock_wait_ms");
         t.persistLockWaits = fieldU64(*scaling, "persist_lock_waits");
         t.persistLockWaitMs = fieldNum(*scaling, "persist_lock_wait_ms");
+        t.poolQueueTasks = fieldU64(*scaling, "queue_tasks");
+        t.poolQueueWaitMs = fieldNum(*scaling, "queue_wait_ms");
+        t.poolQueueWaitMeanMs = fieldNum(*scaling, "queue_wait_mean_ms");
         if (const JsonValue *workers = scaling->find("workers")) {
             for (const JsonValue &row : workers->arr) {
                 WorkerScaling w;
@@ -267,6 +273,11 @@ foldRunTelemetry(RunTelemetry &into, const RunTelemetry &part)
     into.cacheLockWaitMs += part.cacheLockWaitMs;
     into.persistLockWaits += part.persistLockWaits;
     into.persistLockWaitMs += part.persistLockWaitMs;
+    into.poolQueueTasks += part.poolQueueTasks;
+    into.poolQueueWaitMs += part.poolQueueWaitMs;
+    into.poolQueueWaitMeanMs = into.poolQueueTasks > 0
+        ? into.poolQueueWaitMs / static_cast<double>(into.poolQueueTasks)
+        : 0.0;
     into.parallelEfficiency = 0.0;
     if (into.workers.size() < part.workers.size())
         into.workers.resize(part.workers.size());

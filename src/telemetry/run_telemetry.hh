@@ -50,8 +50,9 @@ struct WorkerScaling
 struct RunTelemetry
 {
     /** Schema version (bumped on layout changes). v2 adds the scaling
-     *  section and trace_cache duplicate_synthesis. */
-    static constexpr int kVersion = 2;
+     *  section and trace_cache duplicate_synthesis; v3 adds pool
+     *  queue-wait attribution (tasks, total and mean wait) to scaling. */
+    static constexpr int kVersion = 3;
 
     /** Producing verb: "run", "stress", "merge", "bench". */
     std::string tool = "run";
@@ -105,6 +106,16 @@ struct RunTelemetry
     double cacheLockWaitMs = 0.0;
     uint64_t persistLockWaits = 0;
     double persistLockWaitMs = 0.0;
+    /**
+     * Queue-wait attribution: how long submitted tasks sat queued
+     * before a worker picked them up — the task count behind the
+     * number, the raw sum, and the mean wait per task (the readable
+     * figure: a raw sum grows with task count even when each task
+     * barely waited).
+     */
+    uint64_t poolQueueTasks = 0;
+    double poolQueueWaitMs = 0.0;
+    double poolQueueWaitMeanMs = 0.0;
     std::vector<WorkerScaling> workers;
 
     /** Full registry snapshot (name-sorted; may be empty). */

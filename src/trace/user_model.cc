@@ -166,17 +166,19 @@ UserModel::generateSession() const
             break;
 
         // ---- observe state, compute features ----
+        // One batched DOM pass: LNES, viewport features and the
+        // per-candidate geometry the target pick below scores with.
         const DomOverlay state = session.snapshotState();
-        const auto lnes = analyzer.likelyNextEvents(state);
+        const DomAnalysis analysis = analyzer.analyze(state);
+        const auto &lnes = analysis.candidates;
         if (lnes.empty())
             break;  // defensive; the root always carries handlers
-        const ViewportStats stats = analyzer.viewportStats(state);
-        const FeatureVector f = window.extract(stats);
+        const FeatureVector f = window.extract(analysis.stats);
 
         // ---- class scores: linear in the Table-1 feature family ----
         std::array<bool, kNumChoices> available{};
-        for (const CandidateEvent &c : lnes)
-            available[static_cast<size_t>(choiceOf(c.type))] = true;
+        for (const AnalyzedCandidate &c : lnes)
+            available[static_cast<size_t>(choiceOf(c.event.type))] = true;
 
         // How much page remains below the fold (discourages scrolling at
         // the bottom).
@@ -222,23 +224,22 @@ UserModel::generateSession() const
         const Rect view = session.viewport().rect();
         const double last_x = trace.events.back().x;
         const double last_y = trace.events.back().y;
-        for (const CandidateEvent &c : lnes) {
-            if (choiceOf(c.type) != choice)
+        for (const AnalyzedCandidate &c : lnes) {
+            if (choiceOf(c.event.type) != choice)
                 continue;
-            const DomNode &node = dom.node(c.node);
             double w = std::sqrt(
-                std::max(1.0, node.rect.intersectionArea(view)));
-            const double dx = node.rect.cx() - last_x;
-            const double dy = node.rect.cy() - last_y;
+                std::max(1.0, c.rect.intersectionArea(view)));
+            const double dx = c.rect.cx() - last_x;
+            const double dy = c.rect.cy() - last_y;
             const double dist = std::sqrt(dx * dx + dy * dy);
             w *= 1.0 + 2.0 / (1.0 + dist / 200.0);
-            if (node.role == NodeRole::MenuItem)
+            if (c.role == NodeRole::MenuItem)
                 w *= 6.0;  // open menus capture attention
-            if (c.node == dom.root() &&
-                interactionOf(c.type) == Interaction::Load) {
+            if (c.event.node == dom.root() &&
+                interactionOf(c.event.type) == Interaction::Load) {
                 w *= 0.08;  // direct reloads are rare
             }
-            candidates.push_back({c, w});
+            candidates.push_back({c.event, w});
         }
         if (candidates.empty())
             continue;  // class sampled but no concrete target; re-think

@@ -82,23 +82,8 @@ DomTree::createNode(NodeId parent, NodeRole role, const Rect &rect)
     node.rect = rect;
     nodes_.push_back(std::move(node));
     nodes_[static_cast<size_t>(parent)].children.push_back(id);
+    cachedPageHeight_.store(-1.0, std::memory_order_relaxed);
     return id;
-}
-
-DomNode &
-DomTree::node(NodeId id)
-{
-    panic_if(id < 0 || id >= static_cast<NodeId>(nodes_.size()),
-             "node: invalid id %d", id);
-    return nodes_[static_cast<size_t>(id)];
-}
-
-const DomNode &
-DomTree::node(NodeId id) const
-{
-    panic_if(id < 0 || id >= static_cast<NodeId>(nodes_.size()),
-             "node: invalid id %d", id);
-    return nodes_[static_cast<size_t>(id)];
 }
 
 void
@@ -156,11 +141,16 @@ DomTree::visibleNodes(const Viewport &viewport) const
 double
 DomTree::pageHeight() const
 {
+    const double cached =
+        cachedPageHeight_.load(std::memory_order_relaxed);
+    if (cached >= 0.0)
+        return cached;
     double bottom = 0.0;
     for (const DomNode &n : nodes_) {
         if (n.displayed)
             bottom = std::max(bottom, n.rect.y + n.rect.h);
     }
+    cachedPageHeight_.store(bottom, std::memory_order_relaxed);
     return bottom;
 }
 
@@ -168,6 +158,7 @@ void
 DomTree::fitRootToContent()
 {
     nodes_[0].rect.h = std::max(nodes_[0].rect.h, pageHeight());
+    cachedPageHeight_.store(-1.0, std::memory_order_relaxed);
 }
 
 } // namespace pes

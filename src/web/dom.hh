@@ -12,10 +12,12 @@
 #ifndef PES_WEB_DOM_HH
 #define PES_WEB_DOM_HH
 
+#include <atomic>
 #include <string>
 #include <vector>
 
 #include "hw/dvfs_model.hh"
+#include "util/logging.hh"
 #include "web/event_types.hh"
 #include "web/geometry.hh"
 
@@ -132,6 +134,38 @@ class DomTree
   public:
     DomTree();
 
+    // The cached page height is an atomic (see pageHeight()), which is
+    // neither copyable nor movable; the tree itself must stay both, so
+    // spell the special members out, transferring the cached value.
+    DomTree(const DomTree &other)
+        : nodes_(other.nodes_),
+          cachedPageHeight_(other.cachedPageHeight_.load(
+              std::memory_order_relaxed))
+    {
+    }
+    DomTree(DomTree &&other) noexcept
+        : nodes_(std::move(other.nodes_)),
+          cachedPageHeight_(other.cachedPageHeight_.load(
+              std::memory_order_relaxed))
+    {
+    }
+    DomTree &operator=(const DomTree &other)
+    {
+        nodes_ = other.nodes_;
+        cachedPageHeight_.store(
+            other.cachedPageHeight_.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        return *this;
+    }
+    DomTree &operator=(DomTree &&other) noexcept
+    {
+        nodes_ = std::move(other.nodes_);
+        cachedPageHeight_.store(
+            other.cachedPageHeight_.load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        return *this;
+    }
+
     /** The root node id (always 0, a displayed full-page container). */
     NodeId root() const { return 0; }
 
@@ -140,10 +174,21 @@ class DomTree
      */
     NodeId createNode(NodeId parent, NodeRole role, const Rect &rect);
 
-    /** Mutable access to node @p id. */
-    DomNode &node(NodeId id);
+    /** Mutable access to node @p id (invalidates cached page geometry). */
+    DomNode &node(NodeId id)
+    {
+        panic_if(id < 0 || id >= static_cast<NodeId>(nodes_.size()),
+                 "node: invalid id %d", id);
+        cachedPageHeight_.store(-1.0, std::memory_order_relaxed);
+        return nodes_[static_cast<size_t>(id)];
+    }
     /** Immutable access to node @p id. */
-    const DomNode &node(NodeId id) const;
+    const DomNode &node(NodeId id) const
+    {
+        panic_if(id < 0 || id >= static_cast<NodeId>(nodes_.size()),
+                 "node: invalid id %d", id);
+        return nodes_[static_cast<size_t>(id)];
+    }
 
     /** Number of nodes. */
     size_t size() const { return nodes_.size(); }
@@ -177,6 +222,13 @@ class DomTree
 
   private:
     std::vector<DomNode> nodes_;
+    /**
+     * Lazily computed pageHeight(), -1 when stale. Atomic because the
+     * app's pristine page trees are shared read-only across worker
+     * threads and the lazy fill may race; every racer stores the same
+     * deterministic value, so relaxed ordering suffices.
+     */
+    mutable std::atomic<double> cachedPageHeight_{-1.0};
 };
 
 } // namespace pes

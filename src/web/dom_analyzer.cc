@@ -130,6 +130,56 @@ DomAnalyzer::viewportStats(const DomOverlay &state) const
     return stats;
 }
 
+DomAnalysis
+DomAnalyzer::analyze(const DomOverlay &state) const
+{
+    const DomTree &dom = domOf(state);
+    const Viewport viewport = viewportOf(state);
+    const Rect view_rect = viewport.rect();
+    const double view_area = view_rect.area();
+
+    DomAnalysis out;
+    out.viewport = viewport;
+    double clickable_area = 0.0;
+    double link_area = 0.0;
+    for (size_t i = 0; i < dom.size(); ++i) {
+        const NodeId id = static_cast<NodeId>(i);
+        const DomNode &node = dom.node(id);
+        if (!state.displayedOf(dom, id))
+            continue;
+        // Viewport features gate on positive overlap area...
+        const double overlap = node.rect.intersectionArea(view_rect);
+        if (overlap > 0.0) {
+            ++out.stats.visibleNodes;
+            if (node.isClickable())
+                clickable_area += overlap;
+            if (node.isLink() ||
+                (node.isClickable() &&
+                 node.handlerFor(DomEventType::Load)))
+                link_area += overlap;
+        }
+        // ...while the LNES gates on intersection (boundary touch
+        // counts) — both evaluated independently, matching the
+        // individual methods.
+        if (!node.handlers.empty() && node.rect.intersects(view_rect)) {
+            for (const HandlerSpec &spec : node.handlers)
+                out.candidates.push_back(
+                    {{spec.type, id}, node.rect, node.role});
+        }
+    }
+    out.stats.clickableFrac = std::min(1.0, clickable_area / view_area);
+    out.stats.visibleLinkFrac = std::min(1.0, link_area / view_area);
+    out.stats.scrollable = dom.pageHeight() > viewport.height + 1.0;
+    std::sort(out.candidates.begin(), out.candidates.end(),
+              [](const AnalyzedCandidate &a, const AnalyzedCandidate &b) {
+                  if (a.event.node != b.event.node)
+                      return a.event.node < b.event.node;
+                  return static_cast<int>(a.event.type) <
+                      static_cast<int>(b.event.type);
+              });
+    return out;
+}
+
 void
 DomAnalyzer::applyHypothetical(const CandidateEvent &event,
                                DomOverlay &state) const

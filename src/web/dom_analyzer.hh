@@ -50,6 +50,28 @@ struct ViewportStats
     bool scrollable = false;
 };
 
+/** One analyze() entry: a LNES candidate with precomputed geometry. */
+struct AnalyzedCandidate
+{
+    CandidateEvent event;
+    /** The candidate node's rect (what nodeRect() would return). */
+    Rect rect;
+    /** The candidate node's accessibility role. */
+    NodeRole role = NodeRole::Container;
+};
+
+/**
+ * Everything one prediction step needs, produced by a single DOM
+ * traversal: the LNES with per-candidate geometry and role, the Table-1
+ * viewport features, and the resolved viewport.
+ */
+struct DomAnalysis
+{
+    std::vector<AnalyzedCandidate> candidates;
+    ViewportStats stats;
+    Viewport viewport;
+};
+
 /**
  * Static analyzer over a WebAppSession's committed state plus an optional
  * hypothetical overlay.
@@ -72,6 +94,17 @@ class DomAnalyzer
      */
     std::vector<CandidateEvent>
     likelyNextEvents(const DomOverlay &state) const;
+
+    /**
+     * Batched equivalent of likelyNextEvents + viewportStats + a
+     * nodeRect/nodeRole call per candidate, in ONE traversal of the
+     * page. Every per-node check matches the individual methods
+     * exactly (LNES gate: rect intersects the viewport; feature gate:
+     * positive overlap area), so consumers switching to analyze()
+     * observe identical candidates, features and geometry — this is
+     * the predictor's hot path, not a semantic change.
+     */
+    DomAnalysis analyze(const DomOverlay &state) const;
 
     /**
      * Every (type, node) pair registered anywhere on the current page of

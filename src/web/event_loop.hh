@@ -58,6 +58,16 @@ class EventLoop
     /** Queue length sampled at each arrival (including the new event). */
     const RunningStats &lengthStats() const { return lengthStats_; }
 
+    /**
+     * Drop all queued events and the occupancy statistics, keeping the
+     * deque's allocated storage (engine-reuse fast path).
+     */
+    void clear()
+    {
+        queue_.clear();
+        lengthStats_ = RunningStats{};
+    }
+
   private:
     std::deque<QueuedEvent> queue_;
     RunningStats lengthStats_;

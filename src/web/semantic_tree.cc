@@ -58,14 +58,27 @@ SemanticTree::entries() const
 bool
 DomOverlay::displayedOf(const DomTree &dom, NodeId id) const
 {
+    // Committed-state snapshots dominate this call, and they carry no
+    // overrides: skip the per-ancestor map lookups entirely then.
+    if (displayOverride.empty()) {
+        NodeId cur = id;
+        while (cur != kInvalidNode) {
+            const DomNode &n = dom.node(cur);
+            if (!n.displayed)
+                return false;
+            cur = n.parent;
+        }
+        return true;
+    }
     NodeId cur = id;
     while (cur != kInvalidNode) {
+        const DomNode &n = dom.node(cur);
         const auto it = displayOverride.find(cur);
-        const bool displayed = it != displayOverride.end()
-            ? it->second : dom.node(cur).displayed;
+        const bool displayed =
+            it != displayOverride.end() ? it->second : n.displayed;
         if (!displayed)
             return false;
-        cur = dom.node(cur).parent;
+        cur = n.parent;
     }
     return true;
 }

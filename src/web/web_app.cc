@@ -44,7 +44,23 @@ WebAppSession::WebAppSession(const WebApp &app)
     liveDoms_.reserve(static_cast<size_t>(app.numPages()));
     for (int p = 0; p < app.numPages(); ++p)
         liveDoms_.push_back(app.dom(p));
+    dirty_.assign(liveDoms_.size(), 0);
     viewport_.scrollY = 0.0;
+}
+
+void
+WebAppSession::reset()
+{
+    for (size_t p = 0; p < liveDoms_.size(); ++p) {
+        if (!dirty_[p])
+            continue;
+        liveDoms_[p] = app_->dom(static_cast<int>(p));
+        dirty_[p] = 0;
+    }
+    pageId_ = 0;
+    viewport_ = app_->viewportTemplate();
+    viewport_.scrollY = 0.0;
+    committedEvents_ = 0;
 }
 
 const DomTree &
@@ -84,6 +100,7 @@ WebAppSession::applyEffect(const HandlerEffect &effect)
             effect.target < static_cast<NodeId>(tree.size())) {
             tree.setDisplayed(effect.target,
                               !tree.node(effect.target).displayed);
+            dirty_[static_cast<size_t>(pageId_)] = 1;
         }
         break;
       case EffectKind::ScrollBy: {
@@ -97,9 +114,14 @@ WebAppSession::applyEffect(const HandlerEffect &effect)
       case EffectKind::Navigate:
         if (effect.pageId >= 0 && effect.pageId < app_->numPages()) {
             // Navigation resets the destination page to its pristine DOM
-            // (a fresh parse), like a real page load.
+            // (a fresh parse), like a real page load. A page that was
+            // never mutated is already pristine — no copy needed.
             pageId_ = effect.pageId;
-            liveDoms_[static_cast<size_t>(pageId_)] = app_->dom(pageId_);
+            if (dirty_[static_cast<size_t>(pageId_)]) {
+                liveDoms_[static_cast<size_t>(pageId_)] =
+                    app_->dom(pageId_);
+                dirty_[static_cast<size_t>(pageId_)] = 0;
+            }
             viewport_.scrollY = 0.0;
         }
         break;

@@ -68,6 +68,14 @@ class WebAppSession
     /** Start a session on page 0 with scroll 0. */
     explicit WebAppSession(const WebApp &app);
 
+    /**
+     * Return to the pristine start-of-session state (page 0, scroll 0,
+     * no committed events) without re-copying every page DOM: only the
+     * pages whose live DOM actually diverged from the app's pristine
+     * copy are restored. Equivalent to constructing a fresh session.
+     */
+    void reset();
+
     /** The application definition. */
     const WebApp &app() const { return *app_; }
 
@@ -105,6 +113,8 @@ class WebAppSession
     const WebApp *app_;
     /** Mutable copies of every page's DOM (committed display states). */
     std::vector<DomTree> liveDoms_;
+    /** Pages whose live DOM may differ from the pristine copy. */
+    std::vector<char> dirty_;
     int pageId_ = 0;
     Viewport viewport_;
     int committedEvents_ = 0;

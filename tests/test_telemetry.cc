@@ -213,6 +213,9 @@ TEST(RunTelemetry, JsonRoundTripPreservesEveryField)
     t.cacheLockWaitMs = 1.25;
     t.persistLockWaits = 5;
     t.persistLockWaitMs = 0.5;
+    t.poolQueueTasks = 1200;
+    t.poolQueueWaitMs = 6.0;
+    t.poolQueueWaitMeanMs = 0.005;
     t.workers = {{600, 900.25, 0.25, 3.5}, {600, 899.5, 1.0, 2.5}};
     t.counters.counters = {{"sim.events", 65536},
                            {"sim.sessions", 1200}};
@@ -252,6 +255,9 @@ TEST(RunTelemetry, JsonRoundTripPreservesEveryField)
     EXPECT_DOUBLE_EQ(parsed->cacheLockWaitMs, t.cacheLockWaitMs);
     EXPECT_EQ(parsed->persistLockWaits, t.persistLockWaits);
     EXPECT_DOUBLE_EQ(parsed->persistLockWaitMs, t.persistLockWaitMs);
+    EXPECT_EQ(parsed->poolQueueTasks, t.poolQueueTasks);
+    EXPECT_DOUBLE_EQ(parsed->poolQueueWaitMs, t.poolQueueWaitMs);
+    EXPECT_DOUBLE_EQ(parsed->poolQueueWaitMeanMs, t.poolQueueWaitMeanMs);
     ASSERT_EQ(parsed->workers.size(), 2u);
     EXPECT_EQ(parsed->workers[0].tasks, 600u);
     EXPECT_DOUBLE_EQ(parsed->workers[0].busyMs, 900.25);
@@ -281,7 +287,7 @@ TEST(RunTelemetry, RejectsMalformedAndWrongVersion)
     EXPECT_FALSE(parseRunTelemetry("{}").has_value());
     RunTelemetry t;
     std::string text = runTelemetryToString(t);
-    const std::string needle = "\"telemetry_version\": 2";
+    const std::string needle = "\"telemetry_version\": 3";
     const size_t at = text.find(needle);
     ASSERT_NE(at, std::string::npos);
     text.replace(at, needle.size(), "\"telemetry_version\": 999");
@@ -301,6 +307,9 @@ TEST(RunTelemetry, FoldSumsAndMaxesIntoRollup)
     a.cacheDuplicateSynthesis = 1;
     a.cacheLockWaits = 3;
     a.cacheLockWaitMs = 0.5;
+    a.poolQueueTasks = 10;
+    a.poolQueueWaitMs = 1.0;
+    a.poolQueueWaitMeanMs = 0.1;
     a.workers = {{10, 40.0, 10.0, 1.0}};
     a.counters.counters = {{"sim.sessions", 10}};
 
@@ -309,6 +318,9 @@ TEST(RunTelemetry, FoldSumsAndMaxesIntoRollup)
     b.events = 300;
     b.executeMs = 150.0;
     b.poolMaxQueueDepth = 2;
+    b.poolQueueTasks = 30;
+    b.poolQueueWaitMs = 5.0;
+    b.poolQueueWaitMeanMs = 5.0 / 30.0;
     // One more worker lane than a: fold must widen, not truncate.
     b.workers = {{30, 120.0, 30.0, 2.0}, {5, 20.0, 5.0, 0.5}};
     b.counters.counters = {{"sim.sessions", 30}};
@@ -326,6 +338,10 @@ TEST(RunTelemetry, FoldSumsAndMaxesIntoRollup)
     EXPECT_EQ(rollup.cacheDuplicateSynthesis, 2u);
     EXPECT_EQ(rollup.cacheLockWaits, 6u);
     EXPECT_DOUBLE_EQ(rollup.cacheLockWaitMs, 1.0);
+    EXPECT_EQ(rollup.poolQueueTasks, 40u);
+    EXPECT_DOUBLE_EQ(rollup.poolQueueWaitMs, 6.0);
+    // The folded mean recomputes from the folded totals, not the means.
+    EXPECT_DOUBLE_EQ(rollup.poolQueueWaitMeanMs, 6.0 / 40.0);
     ASSERT_EQ(rollup.workers.size(), 2u);  // widened to the max
     EXPECT_EQ(rollup.workers[0].tasks, 40u);
     EXPECT_DOUBLE_EQ(rollup.workers[0].busyMs, 160.0);
