@@ -1,0 +1,128 @@
+#include "coordinator/coordinator.hh"
+
+#include <algorithm>
+
+#include "telemetry/telemetry.hh"
+
+namespace pes {
+
+namespace {
+
+/** The straggler rule (see CoordinatorOptions::stealFactor). */
+bool
+shouldSteal(const Lease &lease, int64_t now_ms,
+            const CoordinatorOptions &options,
+            const std::vector<WorkerRate> &rates)
+{
+    double fastest = 0.0;
+    std::string fastest_worker;
+    double own = 0.0;
+    for (const WorkerRate &rate : rates) {
+        if (rate.sessionsPerSec > fastest) {
+            fastest = rate.sessionsPerSec;
+            fastest_worker = rate.worker;
+        }
+        if (rate.worker == lease.owner)
+            own = rate.sessionsPerSec;
+    }
+    // Steal only when a clearly faster peer exists: reopening the only
+    // worker's range (or flapping between near-equal workers) would
+    // just re-run work without finishing sooner.
+    if (fastest <= 0.0 || fastest_worker == lease.owner)
+        return false;
+    if (own >= fastest / 2.0)
+        return false;
+    const double expected_ms =
+        static_cast<double>(lease.count) / fastest * 1000.0;
+    const double held_ms = static_cast<double>(now_ms - lease.sinceMs);
+    return held_ms >
+        std::max(static_cast<double>(options.minStealMs),
+                 options.stealFactor * expected_ms);
+}
+
+} // namespace
+
+bool
+coordinatorPass(LeaseQueue &queue, int64_t now_ms,
+                const CoordinatorOptions &options,
+                CoordinatorStats &stats, TelemetryRegistry *telemetry,
+                std::string *error)
+{
+    std::vector<Lease> leases;
+    if (!queue.loadLeases(&leases, error))
+        return false;
+    const std::vector<WorkerRate> rates = queue.workerRates();
+
+    stats.open = stats.leased = stats.done = 0;
+    for (const Lease &lease : leases) {
+        switch (lease.state) {
+        case LeaseState::Done:
+            ++stats.done;
+            break;
+        case LeaseState::Open: {
+            // A marker without a leased state means the claimant died
+            // between winning the O_EXCL race and writing the lease
+            // file; past a lease period, bump the epoch so the range
+            // becomes claimable again under a fresh marker.
+            int64_t claimed_at = 0;
+            if (queue.claimPending(lease, &claimed_at) &&
+                now_ms - claimed_at > queue.plan().leaseMs) {
+                if (!queue.reopen(lease, error))
+                    return false;
+                ++stats.expired;
+                if (telemetry)
+                    telemetry->count("coord.leases_expired");
+                ++stats.open;
+                break;
+            }
+            ++stats.open;
+            break;
+        }
+        case LeaseState::Leased:
+            if (now_ms >= lease.expiryMs) {
+                if (!queue.reopen(lease, error))
+                    return false;
+                ++stats.expired;
+                if (telemetry)
+                    telemetry->count("coord.leases_expired");
+                ++stats.open;
+            } else if (shouldSteal(lease, now_ms, options, rates)) {
+                if (!queue.reopen(lease, error))
+                    return false;
+                ++stats.stolen;
+                if (telemetry)
+                    telemetry->count("coord.leases_stolen");
+                ++stats.open;
+            } else {
+                ++stats.leased;
+            }
+            break;
+        }
+    }
+    return true;
+}
+
+std::vector<JobRange>
+partitionJobs(int job_count, int grain)
+{
+    std::vector<JobRange> ranges;
+    if (job_count <= 0 || grain <= 0)
+        return ranges;
+    for (int first = 0; first < job_count; first += grain) {
+        ranges.push_back(
+            JobRange{first, std::min(grain, job_count - first)});
+    }
+    return ranges;
+}
+
+int
+alignedGrain(int grain, int users_per_cell)
+{
+    if (users_per_cell <= 1)
+        return std::max(grain, 1);
+    const int cells =
+        (std::max(grain, 1) + users_per_cell - 1) / users_per_cell;
+    return cells * users_per_cell;
+}
+
+} // namespace pes

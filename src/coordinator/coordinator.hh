@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Coordinator supervision over a LeaseQueue: expiry, straggler steal,
+ * and sweep-completion detection.
+ *
+ * The coordinator never executes jobs and never assigns ranges — the
+ * workers self-claim through O_EXCL markers. Its one job is liveness:
+ * a range claimed by a worker that died (or wedged, or turned out to
+ * be far slower than its peers) must return to the queue, with the
+ * epoch bumped so the previous holder is fenced out of publishing.
+ * Everything it does is absorbed by the canonical-order reduction:
+ * reissuing a half-executed range only produces duplicate records,
+ * which deduplicate first-wins (deterministic re-runs are
+ * bit-identical), so the final report matches a whole single-process
+ * run byte-for-byte.
+ *
+ * The supervision pass is a pure function of (queue state, now) so
+ * tests drive it with synthetic clocks; the pes_coordinator daemon
+ * loops it against wall time.
+ */
+
+#ifndef PES_COORDINATOR_COORDINATOR_HH
+#define PES_COORDINATOR_COORDINATOR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "coordinator/lease_queue.hh"
+
+namespace pes {
+
+class TelemetryRegistry;
+
+/** Tunables of the supervision pass. */
+struct CoordinatorOptions
+{
+    /**
+     * Straggler steal: a leased range whose owner is alive (still
+     * heartbeating) is reopened anyway when a peer at least twice as
+     * fast exists and the range has been held longer than
+     * stealFactor x the time the fastest worker would need for it.
+     */
+    double stealFactor = 4.0;
+    /** Never steal before this much hold time (ms) — rate estimates
+     *  from the first ranges are noisy. */
+    int64_t minStealMs = 2000;
+};
+
+/** What one supervision pass saw and did. */
+struct CoordinatorStats
+{
+    /** Leases reopened because their expiry passed (dead worker), or
+     *  because a claim marker was taken but the lease never moved to
+     *  leased within a lease period (claimant died mid-claim). */
+    uint64_t expired = 0;
+    /** Leases reopened by the straggler-steal rule. */
+    uint64_t stolen = 0;
+    /** Range states observed by the last pass. */
+    uint64_t open = 0;
+    uint64_t leased = 0;
+    uint64_t done = 0;
+};
+
+/**
+ * One supervision pass at @p now_ms: expire dead leases, reopen wedged
+ * claims, steal from stragglers. Counts accumulate INTO @p stats
+ * (expired/stolen) or are overwritten (state tallies). When
+ * @p telemetry is armed the same deltas land on coord.* counters.
+ * Returns false only on queue I/O errors.
+ */
+bool coordinatorPass(LeaseQueue &queue, int64_t now_ms,
+                     const CoordinatorOptions &options,
+                     CoordinatorStats &stats,
+                     TelemetryRegistry *telemetry, std::string *error);
+
+/** True when every range of @p stats' last pass was done. */
+inline bool
+sweepDone(const CoordinatorStats &stats)
+{
+    return stats.open == 0 && stats.leased == 0 && stats.done > 0;
+}
+
+/**
+ * Partition the @p job_count jobs of a sweep into ranges of @p grain
+ * jobs (the last range takes the remainder). Warm sweeps must pass a
+ * cell-aligned grain — callers round up via alignedGrain().
+ */
+std::vector<JobRange> partitionJobs(int job_count, int grain);
+
+/** Round @p grain up to a multiple of @p users_per_cell (minimum one
+ *  cell) — the range granularity warm-driver sweeps require. */
+int alignedGrain(int grain, int users_per_cell);
+
+} // namespace pes
+
+#endif // PES_COORDINATOR_COORDINATOR_HH

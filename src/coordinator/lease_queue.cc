@@ -1,0 +1,536 @@
+#include "coordinator/lease_queue.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "util/binary_io.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace fs = std::filesystem;
+
+namespace pes {
+
+int64_t
+wallClockMs()
+{
+    return std::chrono::duration_cast<std::chrono::milliseconds>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+namespace {
+
+void
+setError(std::string *error, const std::string &why)
+{
+    if (error)
+        *error = why;
+}
+
+const char *
+stateName(LeaseState state)
+{
+    switch (state) {
+    case LeaseState::Open:
+        return "open";
+    case LeaseState::Leased:
+        return "leased";
+    case LeaseState::Done:
+        return "done";
+    }
+    return "open";
+}
+
+bool
+parseState(const std::string &name, LeaseState &out)
+{
+    if (name == "open")
+        out = LeaseState::Open;
+    else if (name == "leased")
+        out = LeaseState::Leased;
+    else if (name == "done")
+        out = LeaseState::Done;
+    else
+        return false;
+    return true;
+}
+
+std::string
+leaseText(const Lease &lease)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"seq\": " << lease.seq << ",\n"
+       << "  \"first\": " << lease.first << ",\n"
+       << "  \"count\": " << lease.count << ",\n"
+       << "  \"state\": \"" << stateName(lease.state) << "\",\n"
+       << "  \"epoch\": " << lease.epoch << ",\n"
+       << "  \"owner\": \"" << jsonEscape(lease.owner) << "\",\n"
+       << "  \"since_ms\": " << lease.sinceMs << ",\n"
+       << "  \"expiry_ms\": " << lease.expiryMs << ",\n"
+       << "  \"heartbeat_ms\": " << lease.heartbeatMs << "\n"
+       << "}\n";
+    return os.str();
+}
+
+bool
+parseLease(const std::string &text, Lease &out, std::string *error)
+{
+    const auto root = parseJson(text);
+    if (!root || root->kind != JsonValue::Kind::Object) {
+        setError(error, "malformed lease file");
+        return false;
+    }
+    const JsonValue *state = root->find("state");
+    if (!state || !parseState(state->str, out.state)) {
+        setError(error, "lease file: bad state");
+        return false;
+    }
+    if (const JsonValue *v = root->find("seq"))
+        out.seq = v->number64();
+    if (const JsonValue *v = root->find("first"))
+        out.first = static_cast<int>(v->number());
+    if (const JsonValue *v = root->find("count"))
+        out.count = static_cast<int>(v->number());
+    if (const JsonValue *v = root->find("epoch"))
+        out.epoch = v->number64();
+    if (const JsonValue *v = root->find("owner"))
+        out.owner = v->str;
+    if (const JsonValue *v = root->find("since_ms"))
+        out.sinceMs = static_cast<int64_t>(v->number64());
+    if (const JsonValue *v = root->find("expiry_ms"))
+        out.expiryMs = static_cast<int64_t>(v->number64());
+    if (const JsonValue *v = root->find("heartbeat_ms"))
+        out.heartbeatMs = static_cast<int64_t>(v->number64());
+    return true;
+}
+
+std::string
+planText(const QueuePlan &plan)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"version\": " << QueuePlan::kVersion << ",\n"
+       << "  \"results_dir\": \"" << jsonEscape(plan.resultsDir)
+       << "\",\n"
+       << "  \"lease_ms\": " << plan.leaseMs << ",\n"
+       << "  \"grain\": " << plan.grain << ",\n"
+       << "  \"sweep\": {\n"
+       << "    \"base_seed\": " << plan.baseSeed << ",\n"
+       << "    \"seed_mode\": \"" << jsonEscape(plan.seedMode)
+       << "\",\n"
+       << "    \"users\": " << plan.users << ",\n"
+       << "    \"warm\": " << (plan.warmDrivers ? 1 : 0) << ",\n"
+       << "    \"checkpoint_every\": " << plan.checkpointEvery << ",\n"
+       << "    \"devices\": ";
+    writeJsonStringArray(os, plan.devices);
+    os << ",\n    \"apps\": ";
+    writeJsonStringArray(os, plan.apps);
+    os << ",\n    \"schedulers\": ";
+    writeJsonStringArray(os, plan.schedulers);
+    os << "\n  },\n"
+       << "  \"ranges\": [";
+    for (size_t i = 0; i < plan.ranges.size(); ++i) {
+        os << (i ? ",\n" : "\n");
+        os << "    {\"first\": " << plan.ranges[i].first
+           << ", \"count\": " << plan.ranges[i].count << "}";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+bool
+parsePlan(const std::string &text, QueuePlan &out, std::string *error)
+{
+    const auto root = parseJson(text);
+    if (!root || root->kind != JsonValue::Kind::Object) {
+        setError(error, "malformed queue.json");
+        return false;
+    }
+    const JsonValue *version = root->find("version");
+    if (!version ||
+        static_cast<int>(version->number()) != QueuePlan::kVersion) {
+        setError(error, "queue.json: unsupported version " +
+                 (version ? version->str : std::string("<missing>")));
+        return false;
+    }
+    if (const JsonValue *v = root->find("results_dir"))
+        out.resultsDir = v->str;
+    if (const JsonValue *v = root->find("lease_ms"))
+        out.leaseMs = static_cast<int64_t>(v->number64());
+    if (const JsonValue *v = root->find("grain"))
+        out.grain = static_cast<int>(v->number());
+    const JsonValue *sweep = root->find("sweep");
+    if (!sweep || sweep->kind != JsonValue::Kind::Object) {
+        setError(error, "queue.json: no sweep block");
+        return false;
+    }
+    if (const JsonValue *v = sweep->find("base_seed"))
+        out.baseSeed = v->number64();
+    if (const JsonValue *v = sweep->find("seed_mode"))
+        out.seedMode = v->str;
+    if (const JsonValue *v = sweep->find("users"))
+        out.users = static_cast<int>(v->number());
+    if (const JsonValue *v = sweep->find("warm"))
+        out.warmDrivers = v->number() != 0.0;
+    if (const JsonValue *v = sweep->find("checkpoint_every"))
+        out.checkpointEvery = static_cast<int>(v->number());
+    const JsonValue *devices = sweep->find("devices");
+    const JsonValue *apps = sweep->find("apps");
+    const JsonValue *schedulers = sweep->find("schedulers");
+    if (!devices || !apps || !schedulers) {
+        setError(error,
+                 "queue.json: sweep block missing devices/apps/"
+                 "schedulers");
+        return false;
+    }
+    out.devices = jsonStringArray(*devices);
+    out.apps = jsonStringArray(*apps);
+    out.schedulers = jsonStringArray(*schedulers);
+    const JsonValue *ranges = root->find("ranges");
+    if (!ranges || ranges->kind != JsonValue::Kind::Array ||
+        ranges->arr.empty()) {
+        setError(error, "queue.json: no ranges");
+        return false;
+    }
+    out.ranges.clear();
+    for (const JsonValue &rv : ranges->arr) {
+        JobRange range;
+        if (const JsonValue *v = rv.find("first"))
+            range.first = static_cast<int>(v->number());
+        if (const JsonValue *v = rv.find("count"))
+            range.count = static_cast<int>(v->number());
+        out.ranges.push_back(range);
+    }
+    return true;
+}
+
+} // namespace
+
+FleetConfig
+configOf(const QueuePlan &plan)
+{
+    FleetConfig config;
+    config.baseSeed = plan.baseSeed;
+    config.seedMode = plan.seedMode == "evaluation"
+        ? SeedMode::Evaluation
+        : SeedMode::Fleet;
+    config.users = plan.users;
+    config.warmDrivers = plan.warmDrivers;
+    config.checkpointEvery = plan.checkpointEvery;
+    for (const std::string &name : plan.devices) {
+        const auto device = deviceByPlatformName(name);
+        fatal_if(!device, "queue: unknown device '%s'", name.c_str());
+        config.devices.push_back(*device);
+    }
+    config.apps = parseAppList(join(plan.apps, ","));
+    config.schedulers = parseSchedulerList(join(plan.schedulers, ","));
+    return config;
+}
+
+std::optional<LeaseQueue>
+LeaseQueue::create(const std::string &dir, const QueuePlan &plan,
+                   std::string *error)
+{
+    std::error_code ec;
+    fs::create_directories(fs::path(dir) / "ranges", ec);
+    fs::create_directories(fs::path(dir) / "claims", ec);
+    fs::create_directories(fs::path(dir) / "workers", ec);
+    if (ec) {
+        setError(error, "cannot create '" + dir + "': " + ec.message());
+        return std::nullopt;
+    }
+    const std::string plan_path = (fs::path(dir) / kPlanName).string();
+    if (fs::exists(plan_path, ec)) {
+        setError(error, "'" + dir + "' already holds a queue; use a "
+                 "fresh directory per sweep");
+        return std::nullopt;
+    }
+    LeaseQueue queue;
+    queue.dir_ = dir;
+    queue.plan_ = plan;
+    for (size_t i = 0; i < plan.ranges.size(); ++i) {
+        Lease lease;
+        lease.seq = i;
+        lease.first = plan.ranges[i].first;
+        lease.count = plan.ranges[i].count;
+        lease.state = LeaseState::Open;
+        if (!queue.saveLease(lease, error))
+            return std::nullopt;
+    }
+    // The plan is written LAST: its presence marks a fully initialized
+    // queue, so a worker never races a half-built ranges/ directory.
+    if (!writeFileAtomic(plan_path, planText(plan), error))
+        return std::nullopt;
+    return queue;
+}
+
+std::optional<LeaseQueue>
+LeaseQueue::open(const std::string &dir, std::string *error)
+{
+    const std::string plan_path = (fs::path(dir) / kPlanName).string();
+    std::string text;
+    if (!readFileBytes(plan_path, text, error)) {
+        setError(error, "no queue at '" + dir + "' (missing " +
+                 std::string(kPlanName) + ")");
+        return std::nullopt;
+    }
+    LeaseQueue queue;
+    queue.dir_ = dir;
+    if (!parsePlan(text, queue.plan_, error))
+        return std::nullopt;
+    return queue;
+}
+
+std::string
+LeaseQueue::leasePath(uint64_t seq) const
+{
+    return (fs::path(dir_) / "ranges" /
+            ("range-" + std::to_string(seq) + ".json"))
+        .string();
+}
+
+std::string
+LeaseQueue::markerPath(uint64_t seq, uint64_t epoch) const
+{
+    return (fs::path(dir_) / "claims" /
+            ("range-" + std::to_string(seq) + ".epoch-" +
+             std::to_string(epoch)))
+        .string();
+}
+
+bool
+LeaseQueue::saveLease(const Lease &lease, std::string *error)
+{
+    return writeFileAtomic(leasePath(lease.seq), leaseText(lease),
+                           error);
+}
+
+bool
+LeaseQueue::loadLease(uint64_t seq, Lease *out,
+                      std::string *error) const
+{
+    std::string text;
+    if (!readFileBytes(leasePath(seq), text, error))
+        return false;
+    Lease lease;
+    if (!parseLease(text, lease, error)) {
+        setError(error, "range " + std::to_string(seq) + ": " +
+                 (error ? *error : std::string("bad lease")));
+        return false;
+    }
+    *out = lease;
+    return true;
+}
+
+bool
+LeaseQueue::loadLeases(std::vector<Lease> *out,
+                       std::string *error) const
+{
+    out->clear();
+    out->reserve(plan_.ranges.size());
+    for (uint64_t seq = 0; seq < plan_.ranges.size(); ++seq) {
+        Lease lease;
+        if (!loadLease(seq, &lease, error))
+            return false;
+        out->push_back(std::move(lease));
+    }
+    return true;
+}
+
+bool
+LeaseQueue::tryClaim(const Lease &snapshot, const std::string &owner,
+                     int64_t now_ms, Lease *claimed, std::string *error)
+{
+    if (snapshot.state != LeaseState::Open)
+        return false;
+    // Exclusive marker per (range, epoch): the winner of the O_EXCL
+    // race — and only the winner — may move the lease file to leased.
+    // Markers persist, so a claimant holding a stale open(E) snapshot
+    // after the range already cycled through epoch E finds it taken.
+    const std::string marker =
+        markerPath(snapshot.seq, snapshot.epoch);
+    const int fd =
+        ::open(marker.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0) {
+        if (errno == EEXIST)
+            return false;
+        setError(error, "cannot create claim marker '" + marker +
+                 "': " + std::strerror(errno));
+        return false;
+    }
+    const std::string body =
+        owner + "\n" + std::to_string(now_ms) + "\n";
+    (void)!::write(fd, body.data(), body.size());
+    ::close(fd);
+
+    // Re-verify before publishing the leased state: the coordinator
+    // only ever touches leased ranges, so an Open lease at our epoch
+    // is immutable by anyone but the marker holder — but guard anyway
+    // (a stale snapshot costs us the marker, never correctness).
+    Lease current;
+    if (!loadLease(snapshot.seq, &current, error))
+        return false;
+    if (current.state != LeaseState::Open ||
+        current.epoch != snapshot.epoch)
+        return false;
+    current.state = LeaseState::Leased;
+    current.owner = owner;
+    current.sinceMs = now_ms;
+    current.expiryMs = now_ms + plan_.leaseMs;
+    current.heartbeatMs = now_ms;
+    if (!saveLease(current, error))
+        return false;
+    *claimed = current;
+    return true;
+}
+
+bool
+LeaseQueue::heartbeat(const Lease &mine, int64_t now_ms,
+                      std::string *error)
+{
+    Lease current;
+    if (!loadLease(mine.seq, &current, error))
+        return false;
+    if (current.state != LeaseState::Leased ||
+        current.epoch != mine.epoch || current.owner != mine.owner)
+        return false;
+    current.expiryMs = now_ms + plan_.leaseMs;
+    current.heartbeatMs = now_ms;
+    return saveLease(current, error);
+}
+
+bool
+LeaseQueue::complete(const Lease &mine, std::string *error)
+{
+    Lease current;
+    if (!loadLease(mine.seq, &current, error))
+        return false;
+    if (current.state != LeaseState::Leased ||
+        current.epoch != mine.epoch || current.owner != mine.owner)
+        return false;
+    current.state = LeaseState::Done;
+    return saveLease(current, error);
+}
+
+bool
+LeaseQueue::stillOwned(const Lease &mine) const
+{
+    Lease current;
+    if (!loadLease(mine.seq, &current, nullptr))
+        return false;
+    return current.state == LeaseState::Leased &&
+        current.epoch == mine.epoch && current.owner == mine.owner;
+}
+
+bool
+LeaseQueue::reopen(const Lease &stale, std::string *error)
+{
+    Lease lease = stale;
+    lease.state = LeaseState::Open;
+    lease.epoch = stale.epoch + 1;
+    lease.owner.clear();
+    lease.sinceMs = 0;
+    lease.expiryMs = 0;
+    lease.heartbeatMs = 0;
+    return saveLease(lease, error);
+}
+
+bool
+LeaseQueue::claimPending(const Lease &lease,
+                         int64_t *claimed_at_ms) const
+{
+    if (lease.state != LeaseState::Open)
+        return false;
+    std::string text;
+    if (!readFileBytes(markerPath(lease.seq, lease.epoch), text,
+                       nullptr))
+        return false;
+    const std::vector<std::string> lines = split(text, '\n');
+    int64_t at = 0;
+    if (lines.size() >= 2) {
+        long long parsed;
+        if (parseInt64(trim(lines[1]), parsed))
+            at = parsed;
+    }
+    if (claimed_at_ms)
+        *claimed_at_ms = at;
+    return true;
+}
+
+uint64_t
+LeaseQueue::claimMarkers() const
+{
+    uint64_t count = 0;
+    std::error_code ec;
+    for (const auto &entry :
+         fs::directory_iterator(fs::path(dir_) / "claims", ec)) {
+        if (entry.is_regular_file(ec))
+            ++count;
+    }
+    return count;
+}
+
+bool
+LeaseQueue::writeWorkerRate(const WorkerRate &rate, std::string *error)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"worker\": \"" << jsonEscape(rate.worker) << "\",\n"
+       << "  \"sessions\": " << rate.sessions << ",\n"
+       << "  \"busy_ms\": " << jsonNum(rate.busyMs) << ",\n"
+       << "  \"sessions_per_sec\": " << jsonNum(rate.sessionsPerSec)
+       << ",\n"
+       << "  \"updated_ms\": " << rate.updatedMs << "\n"
+       << "}\n";
+    const std::string path =
+        (fs::path(dir_) / "workers" / (rate.worker + ".json")).string();
+    return writeFileAtomic(path, os.str(), error);
+}
+
+std::vector<WorkerRate>
+LeaseQueue::workerRates() const
+{
+    std::vector<WorkerRate> rates;
+    std::error_code ec;
+    for (const auto &entry :
+         fs::directory_iterator(fs::path(dir_) / "workers", ec)) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        std::string text;
+        if (!readFileBytes(entry.path().string(), text, nullptr))
+            continue;
+        const auto root = parseJson(text);
+        if (!root || root->kind != JsonValue::Kind::Object)
+            continue;
+        WorkerRate rate;
+        if (const JsonValue *v = root->find("worker"))
+            rate.worker = v->str;
+        if (const JsonValue *v = root->find("sessions"))
+            rate.sessions = v->number64();
+        if (const JsonValue *v = root->find("busy_ms"))
+            rate.busyMs = v->number();
+        if (const JsonValue *v = root->find("sessions_per_sec"))
+            rate.sessionsPerSec = v->number();
+        if (const JsonValue *v = root->find("updated_ms"))
+            rate.updatedMs = static_cast<int64_t>(v->number64());
+        if (!rate.worker.empty())
+            rates.push_back(std::move(rate));
+    }
+    std::sort(rates.begin(), rates.end(),
+              [](const WorkerRate &a, const WorkerRate &b) {
+                  return a.worker < b.worker;
+              });
+    return rates;
+}
+
+} // namespace pes

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Filesystem-backed lease queue: the coordinator's work ledger.
+ *
+ * A queue directory sits next to (or anywhere near) a ResultStore and
+ * owns the partition of one sweep's job index space into contiguous
+ * ranges. Each range is one *lease file* under ranges/ recording the
+ * range's state machine:
+ *
+ *     open(E) --claim--> leased(E) --complete--> done(E)
+ *                          |
+ *                          +--expire/steal--> open(E+1)
+ *
+ * E is the *epoch* — the fencing token. Claims are arbitrated with an
+ * O_EXCL marker file per (range, epoch) under claims/: exactly one
+ * worker can create "range-<seq>.epoch-<E>", and markers are never
+ * deleted, so a worker acting on a stale open(E) snapshot after the
+ * epoch moved on simply finds the marker taken. Everything mutable is
+ * written with writeFileAtomic, so readers never see torn state.
+ *
+ * Workers publish their observed throughput (sessions/sec, from
+ * RunTelemetry) under workers/ — the coordinator's straggler-steal
+ * rule reads these to decide when a live-but-slow owner should lose a
+ * range to a faster peer.
+ *
+ * Nothing here affects report bytes: any interleaving of claims,
+ * expiries, steals and duplicated range executions reduces to the same
+ * report, because reduction replays records in canonical order and
+ * deduplicates identical re-runs first-wins (see results/).
+ */
+
+#ifndef PES_COORDINATOR_LEASE_QUEUE_HH
+#define PES_COORDINATOR_LEASE_QUEUE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "runner/fleet_config.hh"
+
+namespace pes {
+
+/** Wall-clock milliseconds since the Unix epoch (cross-process time —
+ *  lease expiries must be comparable between machines). */
+int64_t wallClockMs();
+
+/** Lease life-cycle states (see the file comment's state machine). */
+enum class LeaseState
+{
+    Open,
+    Leased,
+    Done,
+};
+
+/** One range's lease file, decoded. */
+struct Lease
+{
+    uint64_t seq = 0;
+    /** The job range this lease covers (canonical job indices). */
+    int first = 0;
+    int count = 0;
+    LeaseState state = LeaseState::Open;
+    /** Fencing token: bumped on every expiry/steal reopen. A holder of
+     *  epoch E must not publish once the file moved past E. */
+    uint64_t epoch = 0;
+    /** Claiming worker id (leased/done states). */
+    std::string owner;
+    /** When the current holder claimed (wall ms). */
+    int64_t sinceMs = 0;
+    /** Lease deadline (wall ms): past it the coordinator reopens. */
+    int64_t expiryMs = 0;
+    /** Last heartbeat renewal (wall ms). */
+    int64_t heartbeatMs = 0;
+};
+
+/** A worker's published throughput estimate. */
+struct WorkerRate
+{
+    std::string worker;
+    /** Sessions completed across all of this worker's ranges. */
+    uint64_t sessions = 0;
+    /** Execute-stage wall time behind those sessions (ms). */
+    double busyMs = 0.0;
+    /** Observed sessions/sec (from RunTelemetry rates). */
+    double sessionsPerSec = 0.0;
+    int64_t updatedMs = 0;
+};
+
+/**
+ * The immutable half of a queue (queue.json): the sweep's identity —
+ * stored as the same resolved axis names the store manifest uses, so
+ * workers rebuild a FleetConfig whose SweepSpec matches the store's
+ * bit-for-bit — plus the range partition and lease policy.
+ */
+struct QueuePlan
+{
+    static constexpr int kVersion = 1;
+
+    /** Result-store directory (as given to init; workers resolve it
+     *  relative to their own CWD, so prefer absolute paths when
+     *  workers launch elsewhere). */
+    std::string resultsDir;
+    /** Lease duration: a claim must heartbeat within this budget or
+     *  the coordinator reopens the range. */
+    int64_t leaseMs = 30000;
+    /** Requested jobs per range (the last range may be short). */
+    int grain = 0;
+
+    /** Sweep identity (resolved names, manifest-compatible). */
+    uint64_t baseSeed = 0;
+    std::string seedMode = "fleet";
+    int users = 1;
+    bool warmDrivers = false;
+    std::vector<std::string> devices;
+    std::vector<std::string> apps;
+    std::vector<std::string> schedulers;
+    /** Checkpoint cadence workers run with (not identity-bearing). */
+    int checkpointEvery = 1024;
+
+    /** The partition of [0, jobCount) into ranges, in seq order. */
+    std::vector<JobRange> ranges;
+};
+
+/**
+ * Rebuild the FleetConfig a worker executes from the stored sweep
+ * identity. Axes resolve through the same registries the CLI uses, so
+ * SweepSpec::fromConfig(configOf(plan)) equals the spec the queue was
+ * initialized with. Fatal on unknown axis names (a queue written by an
+ * incompatible build).
+ */
+FleetConfig configOf(const QueuePlan &plan);
+
+/**
+ * A lease queue rooted at one directory. All mutation is lock-free
+ * multi-process safe: atomic whole-file replaces plus O_EXCL claim
+ * arbitration (see the file comment).
+ */
+class LeaseQueue
+{
+  public:
+    static constexpr const char *kPlanName = "queue.json";
+
+    /** Initialize @p dir (created if needed; must not already hold a
+     *  queue) with @p plan. */
+    static std::optional<LeaseQueue> create(const std::string &dir,
+                                            const QueuePlan &plan,
+                                            std::string *error);
+
+    /** Open an existing queue. */
+    static std::optional<LeaseQueue> open(const std::string &dir,
+                                          std::string *error);
+
+    const std::string &dir() const { return dir_; }
+    const QueuePlan &plan() const { return plan_; }
+
+    /** Load one range's lease file. */
+    bool loadLease(uint64_t seq, Lease *out, std::string *error) const;
+
+    /** Load every lease, in seq order. */
+    bool loadLeases(std::vector<Lease> *out, std::string *error) const;
+
+    /**
+     * Try to claim @p snapshot (which must be Open) for @p owner:
+     * create the (seq, epoch) marker exclusively, then move the lease
+     * file to leased. Returns false without error when someone else
+     * won (or the snapshot is stale); @p claimed receives the leased
+     * state on success.
+     */
+    bool tryClaim(const Lease &snapshot, const std::string &owner,
+                  int64_t now_ms, Lease *claimed, std::string *error);
+
+    /** Extend @p mine's expiry (owner+epoch must still match). Returns
+     *  false when the lease was lost — the caller is fenced. */
+    bool heartbeat(const Lease &mine, int64_t now_ms,
+                   std::string *error);
+
+    /** Mark @p mine done (owner+epoch must still match). Returns false
+     *  when the lease was lost — the range will re-run elsewhere. */
+    bool complete(const Lease &mine, std::string *error);
+
+    /** Fence query: does @p mine still hold its range? */
+    bool stillOwned(const Lease &mine) const;
+
+    /** Reopen @p stale with epoch+1 (coordinator: expiry or steal). */
+    bool reopen(const Lease &stale, std::string *error);
+
+    /**
+     * Detect a wedged claim: an Open lease whose current epoch's
+     * marker exists (a claimant died between marker and lease write).
+     * Returns true with the marker's creation time when so.
+     */
+    bool claimPending(const Lease &lease, int64_t *claimed_at_ms) const;
+
+    /** Count of claim markers ever created — the queue's total leases
+     *  issued (markers are never deleted, so this survives restarts). */
+    uint64_t claimMarkers() const;
+
+    /** Publish @p rate under workers/<id>.json. */
+    bool writeWorkerRate(const WorkerRate &rate, std::string *error);
+
+    /** Every published worker rate, sorted by worker id. */
+    std::vector<WorkerRate> workerRates() const;
+
+  private:
+    LeaseQueue() = default;
+
+    std::string leasePath(uint64_t seq) const;
+    std::string markerPath(uint64_t seq, uint64_t epoch) const;
+    bool saveLease(const Lease &lease, std::string *error);
+
+    std::string dir_;
+    QueuePlan plan_;
+};
+
+} // namespace pes
+
+#endif // PES_COORDINATOR_LEASE_QUEUE_HH

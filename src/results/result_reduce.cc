@@ -112,6 +112,23 @@ loadCompletedSessions(const ResultStore &store, CompletedSessions &done,
 }
 
 bool
+storeCoversSweep(const ResultStore &store, uint64_t *missing,
+                 std::string *error)
+{
+    // Plan coverage via the completed-sessions set: decode once, no
+    // stat aggregation — the coordinator polls this while workers are
+    // still writing, before paying for the final reduce.
+    CompletedSessions done;
+    if (!loadCompletedSessions(store, done, error))
+        return false;
+    const uint64_t expected = store.sweep().expectedSessions();
+    const uint64_t have = static_cast<uint64_t>(done.size());
+    if (missing)
+        *missing = expected > have ? expected - have : 0;
+    return have >= expected;
+}
+
+bool
 reduceStore(const ResultStore &store, StoreReduction &out,
             std::string *error)
 {

@@ -55,6 +55,18 @@ using CompletedSessions = std::set<std::pair<long, uint32_t>>;
 bool loadCompletedSessions(const ResultStore &store,
                            CompletedSessions &done, std::string *error);
 
+/**
+ * Plan coverage: does @p store hold a record for every session of its
+ * sweep's cross-product? Cheaper than a full reduce (no aggregation,
+ * no duplicate/conflict analysis) — the coordinator polls it to decide
+ * when the sweep is done. @p missing (optional) receives how many
+ * expected sessions are still absent. Returns true only when every
+ * expected session is present; false either for a partial store
+ * (@p error untouched) or an unreadable part (@p error set).
+ */
+bool storeCoversSweep(const ResultStore &store, uint64_t *missing,
+                      std::string *error);
+
 /** Outcome of reducing one store. */
 struct StoreReduction
 {

@@ -1,6 +1,12 @@
 #include "results/result_store.hh"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <sstream>
 
@@ -21,6 +27,53 @@ setError(std::string *error, const std::string &why)
     if (error)
         *error = why;
 }
+
+/**
+ * RAII advisory lock on "<dir>/.store.lock". flock, not fcntl: the
+ * lock belongs to the open file description, so it survives fork-free
+ * threading and releases on process death — a crashed worker never
+ * wedges the store.
+ */
+class StoreLock
+{
+  public:
+    StoreLock(const std::string &dir, std::string *error)
+    {
+        const std::string path =
+            (fs::path(dir) / ResultStore::kLockName).string();
+        fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+        if (fd_ < 0) {
+            setError(error, "cannot open store lock '" + path + "': " +
+                     std::strerror(errno));
+            return;
+        }
+        while (::flock(fd_, LOCK_EX) != 0) {
+            if (errno == EINTR)
+                continue;
+            setError(error, "cannot lock '" + path + "': " +
+                     std::strerror(errno));
+            ::close(fd_);
+            fd_ = -1;
+            return;
+        }
+    }
+
+    ~StoreLock()
+    {
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+        }
+    }
+
+    StoreLock(const StoreLock &) = delete;
+    StoreLock &operator=(const StoreLock &) = delete;
+
+    bool held() const { return fd_ >= 0; }
+
+  private:
+    int fd_ = -1;
+};
 
 std::string
 manifestText(const SweepSpec &sweep,
@@ -124,7 +177,10 @@ ResultStore::open(const std::string &dir, std::string *error)
     }
     ResultStore store;
     store.dir_ = dir;
-    if (!store.loadManifest(error))
+    StoreLock lock(dir, error);
+    if (!lock.held())
+        return std::nullopt;
+    if (!store.openLocked(error))
         return std::nullopt;
     return store;
 }
@@ -139,11 +195,18 @@ ResultStore::create(const std::string &dir, const SweepSpec &sweep,
         setError(error, "cannot create '" + dir + "': " + ec.message());
         return std::nullopt;
     }
+    // Lock before probing for the manifest: two workers create()-ing
+    // one store race to write the first manifest, and the loser must
+    // observe the winner's rather than clobber it.
+    StoreLock lock(dir, error);
+    if (!lock.held())
+        return std::nullopt;
     if (fs::exists(fs::path(dir) / kManifestName, ec)) {
-        auto store = open(dir, error);
-        if (!store)
+        ResultStore store;
+        store.dir_ = dir;
+        if (!store.openLocked(error))
             return std::nullopt;
-        if (store->sweep_ != sweep) {
+        if (store.sweep_ != sweep) {
             setError(error, "'" + dir + "' already holds a different "
                      "sweep (axes, seeds, mode or scenario differ); "
                      "use a fresh results directory");
@@ -157,6 +220,14 @@ ResultStore::create(const std::string &dir, const SweepSpec &sweep,
     if (!store.saveManifest(error))
         return std::nullopt;
     return store;
+}
+
+bool
+ResultStore::openLocked(std::string *error)
+{
+    if (!loadManifest(error))
+        return false;
+    return reconcileOrphans(error);
 }
 
 bool
@@ -300,6 +371,59 @@ ResultStore::nextPartName(const std::string &label)
     return "part-" + label + "-" + std::to_string(seq) + ".psum";
 }
 
+std::vector<std::string>
+ResultStore::orphanFiles() const
+{
+    // Every .psum in the directory that no manifest row indexes,
+    // sorted for deterministic reconcile/validate order.
+    std::vector<std::string> orphans;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir_, ec)) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        const std::string name = entry.path().filename().string();
+        if (name.size() < 5 ||
+            name.compare(name.size() - 5, 5, ".psum") != 0)
+            continue;
+        const bool indexed =
+            std::any_of(parts_.begin(), parts_.end(),
+                        [&](const ResultPart &p) { return p.file == name; });
+        if (!indexed)
+            orphans.push_back(name);
+    }
+    std::sort(orphans.begin(), orphans.end());
+    return orphans;
+}
+
+bool
+ResultStore::reconcileOrphans(std::string *error)
+{
+    // A crash between a part write and the manifest save leaves the
+    // part on disk unindexed. Adopt it when it reads back clean (its
+    // records were fully flushed — dropping them would lose work);
+    // remove it when torn (a re-run will regenerate the range).
+    bool adopted = false;
+    for (const std::string &name : orphanFiles()) {
+        const std::string path = (fs::path(dir_) / name).string();
+        PsumReader reader;
+        std::error_code ec;
+        if (!reader.open(path) || !reader.recordsSectionOk()) {
+            fs::remove(path, ec);
+            continue;
+        }
+        ResultPart part;
+        part.file = name;
+        part.records = reader.header().recordCount;
+        part.checksum = reader.header().recordsChecksum;
+        notePartName(part.file);
+        parts_.push_back(std::move(part));
+        adopted = true;
+    }
+    if (adopted && !saveManifest(error))
+        return false;
+    return true;
+}
+
 uint64_t
 ResultStore::recordCount() const
 {
@@ -320,6 +444,13 @@ ResultStore::appendPart(const std::vector<SessionRecord> &records,
     // trailing u64 (see the .psum layout), so the manifest row reads
     // it out of the encoded bytes instead of re-encoding the payload.
     const std::string bytes = PsumWriter::toBytes(records, params);
+    StoreLock lock(dir_, error);
+    if (!lock.held())
+        return false;
+    // Reload under the lock: concurrent workers append into this
+    // manifest too, and re-saving a stale copy would drop their rows.
+    if (!loadManifest(error))
+        return false;
     ResultPart part;
     part.file = nextPartName(label);
     part.records = records.size();
@@ -327,6 +458,16 @@ ResultStore::appendPart(const std::vector<SessionRecord> &records,
     tail.getU64(part.checksum);
     if (!writeFileBytes(pathOf(part), bytes, error))
         return false;
+    if (fence_) {
+        std::string why;
+        if (!fence_(&why)) {
+            std::error_code ec;
+            fs::remove(pathOf(part), ec);
+            setError(error, "lease fenced: " +
+                     (why.empty() ? std::string("publish refused") : why));
+            return false;
+        }
+    }
     if (bytes_written)
         *bytes_written = bytes.size();
     parts_.push_back(std::move(part));
@@ -369,6 +510,11 @@ ResultStore::mergeFrom(const ResultStore &src, std::string *error)
                  "than '" + dir_ + "' (axes, seeds, mode or scenario differ)");
         return false;
     }
+    StoreLock lock(dir_, error);
+    if (!lock.held())
+        return false;
+    if (!loadManifest(error))
+        return false;
     for (const ResultPart &part : src.parts_) {
         // Copy the part's bytes verbatim under a fresh name: the head
         // validates at open and the records section checksums without
@@ -438,6 +584,13 @@ ResultStore::validate(std::vector<StoreProblem> &problems) const
                      std::to_string(part.records) + " records, file "
                      "holds " + std::to_string(records->size())});
         }
+    }
+    for (const std::string &name : orphanFiles()) {
+        problems.push_back(
+            {StoreProblem::Kind::Orphaned,
+             name + ": on disk but not indexed by the manifest (crash "
+                    "between part write and manifest save?); re-open "
+                    "the store to adopt or remove it"});
     }
     return problems.size() == before;
 }

@@ -15,6 +15,16 @@
  * killed run leaves a valid store holding everything flushed so far.
  * Iteration is streaming — one part resident at a time — and all
  * failure paths return diagnostics instead of crashing.
+ *
+ * Multiple processes may append into one store concurrently (the
+ * coordinator's workers do): every append takes an advisory flock on
+ * ".store.lock" in the store directory, reloads the manifest under the
+ * lock so other writers' rows survive the re-save, and only then
+ * publishes its own row. A part file written but never indexed — a
+ * crash between the part write and the manifest save — is an *orphan*:
+ * validate() classifies it explicitly, and open()/create() reconcile
+ * orphans by adopting the readable ones into the manifest and removing
+ * the torn ones.
  */
 
 #ifndef PES_RESULTS_RESULT_STORE_HH
@@ -92,6 +102,17 @@ class ResultStore
     static constexpr int kManifestVersion = 1;
     /** Manifest file name inside the store directory. */
     static constexpr const char *kManifestName = "manifest.json";
+    /** Advisory lock file serializing multi-process manifest updates. */
+    static constexpr const char *kLockName = ".store.lock";
+
+    /**
+     * Publish fence: called under the store lock after a part's bytes
+     * hit disk but before its manifest row is saved. Returning false
+     * aborts the append (the part file is removed) — the coordinator's
+     * workers use this to stop a zombie whose lease was reissued from
+     * publishing into the store.
+     */
+    using PublishFence = std::function<bool(std::string *why)>;
 
     /**
      * Open an existing store (reads + parses the manifest); nullopt
@@ -121,6 +142,10 @@ class ResultStore
 
     /** Total records across all parts (manifest counts). */
     uint64_t recordCount() const;
+
+    /** Arm (or clear, with an empty function) the publish fence run by
+     *  appendPart before every manifest save. */
+    void setPublishFence(PublishFence fence) { fence_ = std::move(fence); }
 
     /**
      * Append @p records as a new part file and persist the manifest
@@ -157,16 +182,21 @@ class ResultStore
 
     /**
      * Full integrity pass: every manifest row's file must exist, parse,
-     * and match the row (record count + checksum). Appends one
-     * classified problem per finding; returns true when clean.
+     * and match the row (record count + checksum), and every .psum on
+     * disk must be indexed by a row (orphans classify as
+     * Kind::Orphaned). Appends one classified problem per finding;
+     * returns true when clean.
      */
     bool validate(std::vector<StoreProblem> &problems) const;
 
   private:
     ResultStore() = default;
 
+    bool openLocked(std::string *error);
     bool loadManifest(std::string *error);
     bool saveManifest(std::string *error) const;
+    bool reconcileOrphans(std::string *error);
+    std::vector<std::string> orphanFiles() const;
     std::string pathOf(const ResultPart &part) const;
     std::string nextPartName(const std::string &label);
     void notePartName(const std::string &file);
@@ -174,6 +204,7 @@ class ResultStore
     std::string dir_;
     SweepSpec sweep_;
     std::vector<ResultPart> parts_;
+    PublishFence fence_;
     /** Next unused sequence number per part label — keeps appendPart
      *  O(1) in the part count (a checkpoint-heavy sweep writes many). */
     std::map<std::string, uint64_t> nextSeq_;

@@ -37,6 +37,13 @@ class TelemetryRegistry;
 class TraceCache;
 class TraceEventSink;
 
+/** A contiguous range of jobs executed in order by one worker. */
+struct JobRange
+{
+    int first = 0;
+    int count = 0;
+};
+
 /** One simulated user session of a fleet sweep. */
 struct JobSpec
 {
@@ -190,6 +197,23 @@ struct FleetConfig
      */
     int shardIndex = 0;
     int shardCount = 1;
+    /**
+     * External job ranges (coordinator leases): when non-empty the
+     * planner executes exactly these canonical-order ranges instead of
+     * consulting the shard selector — the range boundary comes from a
+     * lease handed out at runtime, not from a static k-of-N split.
+     * Requires the default 1-of-1 shard and no resume; warm-driver
+     * sweeps additionally require cell-aligned ranges so a warmed
+     * driver's session order never splits.
+     */
+    std::vector<JobRange> externalRanges;
+    /**
+     * Part-label override for persisted checkpoints (empty = the
+     * default "s<shardIndex>"). Coordinator workers label parts with
+     * their worker id and lease epoch, so concurrent writers into one
+     * store never contend for a label's sequence numbers.
+     */
+    std::string persistLabel;
     /**
      * Optional persistent result store (borrowed, not owned). When set,
      * every completed session's SessionStats is checkpointed into the

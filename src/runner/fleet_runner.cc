@@ -235,6 +235,29 @@ FleetRunner::FleetRunner(FleetConfig config) : config_(std::move(config))
     fatal_if(config_.resume && !config_.resultStore,
              "fleet: resume requires a result store");
     jobs_ = enumerateJobs(config_);
+    if (!config_.externalRanges.empty()) {
+        // Leased execution replaces the static shard selector; mixing
+        // the two (or resume) would double-apply a job filter.
+        fatal_if(config_.shardCount != 1,
+                 "fleet: external ranges exclude --shard");
+        fatal_if(config_.resume,
+                 "fleet: external ranges exclude --resume (the "
+                 "coordinator tracks completion per lease)");
+        const int total = static_cast<int>(jobs_.size());
+        const int users_per_cell = config_.effectiveUsers();
+        for (const JobRange &range : config_.externalRanges) {
+            fatal_if(range.count <= 0 || range.first < 0 ||
+                         range.first + range.count > total,
+                     "fleet: external range [%d, +%d) outside the "
+                     "%d-job sweep", range.first, range.count, total);
+            fatal_if(config_.warmDrivers &&
+                         (range.first % users_per_cell != 0 ||
+                          range.count % users_per_cell != 0),
+                     "fleet: warm sweeps need cell-aligned external "
+                     "ranges (%d users per cell), got [%d, +%d)",
+                     users_per_cell, range.first, range.count);
+        }
+    }
 }
 
 // ------------------------------------------------------------ stage: plan
@@ -242,6 +265,32 @@ FleetRunner::FleetRunner(FleetConfig config) : config_(std::move(config))
 FleetPlan
 FleetRunner::plan() const
 {
+    // Leased execution: the plan IS the externally supplied ranges
+    // (validated in the constructor), decomposed into the same
+    // execution units as a whole run — whole cells when drivers are
+    // warm, singletons otherwise — because runRange binds one driver
+    // and one cell to each planned range. Everything outside the
+    // leases counts as shard-skipped: other workers' leases cover it.
+    if (!config_.externalRanges.empty()) {
+        FleetPlan plan;
+        plan.totalJobs = static_cast<int>(jobs_.size());
+        const int cell = config_.effectiveUsers();
+        for (const JobRange &range : config_.externalRanges) {
+            if (config_.warmDrivers) {
+                for (int first = range.first;
+                     first < range.first + range.count; first += cell)
+                    plan.ranges.push_back(JobRange{first, cell});
+            } else {
+                for (int i = 0; i < range.count; ++i)
+                    plan.ranges.push_back(
+                        JobRange{range.first + i, 1});
+            }
+            plan.plannedJobs += range.count;
+        }
+        plan.shardSkipped = plan.totalJobs - plan.plannedJobs;
+        return plan;
+    }
+
     // The shard unit mirrors the execution unit: whole cells when
     // drivers are warm (their cross-session state must replay in
     // order), single jobs otherwise.
@@ -518,7 +567,9 @@ FleetRunner::run()
     PersistSink sink;
     if (store) {
         sink.store = store;
-        sink.label = "s" + std::to_string(config_.shardIndex);
+        sink.label = config_.persistLabel.empty()
+            ? "s" + std::to_string(config_.shardIndex)
+            : config_.persistLabel;
         sink.params = {
             {"writer", "fleet_runner"},
             {"shard", std::to_string(config_.shardIndex) + "/" +

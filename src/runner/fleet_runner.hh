@@ -51,13 +51,6 @@
 
 namespace pes {
 
-/** A contiguous range of jobs executed in order by one worker. */
-struct JobRange
-{
-    int first = 0;
-    int count = 0;
-};
-
 /** Output of the planning stage: what this run will actually execute. */
 struct FleetPlan
 {

@@ -1,6 +1,7 @@
 #include "telemetry/run_telemetry.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <ostream>
 #include <sstream>
 
@@ -239,6 +240,21 @@ parseRunTelemetry(const std::string &text)
     return t;
 }
 
+namespace {
+
+// Folds ingest parts parsed from JSON, where a non-finite value
+// round-trips as quoted "NaN"/"Infinity".  One poisoned part must not
+// poison the whole rollup (perf-ledger samples and pes_perf noise
+// bands consume folded means), so sums skip non-finite contributions.
+void
+addFinite(double &into, double part)
+{
+    if (std::isfinite(part))
+        into += part;
+}
+
+} // namespace
+
 void
 foldRunTelemetry(RunTelemetry &into, const RunTelemetry &part)
 {
@@ -249,11 +265,11 @@ foldRunTelemetry(RunTelemetry &into, const RunTelemetry &part)
     }
     into.sessions += part.sessions;
     into.events += part.events;
-    into.planMs += part.planMs;
-    into.executeMs += part.executeMs;
-    into.persistMs += part.persistMs;
-    into.reduceMs += part.reduceMs;
-    into.totalMs += part.totalMs;
+    addFinite(into.planMs, part.planMs);
+    addFinite(into.executeMs, part.executeMs);
+    addFinite(into.persistMs, part.persistMs);
+    addFinite(into.reduceMs, part.reduceMs);
+    addFinite(into.totalMs, part.totalMs);
     into.cacheHits += part.cacheHits;
     into.cacheMisses += part.cacheMisses;
     into.cacheEvictions += part.cacheEvictions;
@@ -263,29 +279,33 @@ foldRunTelemetry(RunTelemetry &into, const RunTelemetry &part)
     into.poolTasks += part.poolTasks;
     into.poolMaxQueueDepth =
         std::max(into.poolMaxQueueDepth, part.poolMaxQueueDepth);
-    into.poolBusyMs += part.poolBusyMs;
-    into.poolIdleMs += part.poolIdleMs;
+    addFinite(into.poolBusyMs, part.poolBusyMs);
+    addFinite(into.poolIdleMs, part.poolIdleMs);
 
     // Scaling: lock waits sum; workers merge index-wise (the stress
     // rollup reuses the same pool shape across cells); parallel
     // efficiency needs a t1 anchor, so a fold leaves it unset.
     into.cacheLockWaits += part.cacheLockWaits;
-    into.cacheLockWaitMs += part.cacheLockWaitMs;
+    addFinite(into.cacheLockWaitMs, part.cacheLockWaitMs);
     into.persistLockWaits += part.persistLockWaits;
-    into.persistLockWaitMs += part.persistLockWaitMs;
+    addFinite(into.persistLockWaitMs, part.persistLockWaitMs);
     into.poolQueueTasks += part.poolQueueTasks;
-    into.poolQueueWaitMs += part.poolQueueWaitMs;
-    into.poolQueueWaitMeanMs = into.poolQueueTasks > 0
-        ? into.poolQueueWaitMs / static_cast<double>(into.poolQueueTasks)
-        : 0.0;
+    addFinite(into.poolQueueWaitMs, part.poolQueueWaitMs);
+    // All-idle rollups (queue_tasks == 0) must emit 0, never NaN: the
+    // folded mean feeds perf-ledger samples as-is.
+    into.poolQueueWaitMeanMs =
+        into.poolQueueTasks > 0 && std::isfinite(into.poolQueueWaitMs)
+            ? into.poolQueueWaitMs /
+                  static_cast<double>(into.poolQueueTasks)
+            : 0.0;
     into.parallelEfficiency = 0.0;
     if (into.workers.size() < part.workers.size())
         into.workers.resize(part.workers.size());
     for (size_t i = 0; i < part.workers.size(); ++i) {
         into.workers[i].tasks += part.workers[i].tasks;
-        into.workers[i].busyMs += part.workers[i].busyMs;
-        into.workers[i].idleMs += part.workers[i].idleMs;
-        into.workers[i].queueWaitMs += part.workers[i].queueWaitMs;
+        addFinite(into.workers[i].busyMs, part.workers[i].busyMs);
+        addFinite(into.workers[i].idleMs, part.workers[i].idleMs);
+        addFinite(into.workers[i].queueWaitMs, part.workers[i].queueWaitMs);
     }
 
     // Canonical counter merge, mirroring TelemetryRegistry::snapshot().

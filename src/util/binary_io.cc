@@ -1,5 +1,10 @@
 #include "util/binary_io.hh"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -276,14 +281,57 @@ bool
 writeFileAtomic(const std::string &path, const std::string &bytes,
                 std::string *error)
 {
-    const std::string tmp = path + ".tmp";
-    if (!writeFileBytes(tmp, bytes, error))
+    // Unique temp name: concurrent writers targeting the same path must
+    // never share a temp file, or one writer can rename the other's
+    // half-written bytes into place.
+    static std::atomic<uint64_t> tmp_counter{0};
+    const std::string tmp = path + ".tmp." +
+                            std::to_string(static_cast<long>(::getpid())) +
+                            "." +
+                            std::to_string(tmp_counter.fetch_add(1) + 1);
+    const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd < 0) {
+        if (error)
+            *error = "cannot open '" + tmp + "' for writing: " +
+                     std::strerror(errno);
         return false;
+    }
+    size_t off = 0;
+    while (off < bytes.size()) {
+        const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (error)
+                *error = "short write to '" + tmp + "': " +
+                         std::strerror(errno);
+            ::close(fd);
+            ::unlink(tmp.c_str());
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    // Flush the temp file to stable storage before publishing it: a
+    // crash after rename must never expose truncated bytes at `path`.
+    if (::fsync(fd) != 0) {
+        if (error)
+            *error = "fsync failed on '" + tmp + "': " + std::strerror(errno);
+        ::close(fd);
+        ::unlink(tmp.c_str());
+        return false;
+    }
+    if (::close(fd) != 0) {
+        if (error)
+            *error = "close failed on '" + tmp + "': " + std::strerror(errno);
+        ::unlink(tmp.c_str());
+        return false;
+    }
     std::error_code ec;
     std::filesystem::rename(tmp, path, ec);
     if (ec) {
         if (error)
             *error = "cannot replace '" + path + "': " + ec.message();
+        ::unlink(tmp.c_str());
         return false;
     }
     return true;

@@ -157,9 +157,12 @@ bool writeFileBytes(const std::string &path, const std::string &bytes,
                     std::string *error);
 
 /**
- * Atomically replace @p path: write to "<path>.tmp" then rename, so a
+ * Atomically replace @p path: write to a per-writer unique temp file
+ * ("<path>.tmp.<pid>.<seq>"), fsync it, then rename over @p path.  A
  * concurrent reader (or a kill) sees either the old or the new file,
- * never a torn one.
+ * never a torn one, and concurrent writers to the same path cannot
+ * clobber each other's temp bytes — last rename wins with a complete
+ * file.
  */
 bool writeFileAtomic(const std::string &path, const std::string &bytes,
                      std::string *error);

@@ -7,7 +7,8 @@
  * (`pes_corpus validate`, `pes_fleet merge`) gate CI on one exit-code
  * contract: 0 = clean, kExitMissing = files referenced by a manifest
  * are absent (needs re-sync), kExitCorrupt = content fails to parse,
- * checksum, or match its manifest row (needs re-record/re-run);
+ * checksum, or match its manifest row — or sits on disk unindexed
+ * (orphaned) — (needs re-record/re-run or a reconciling re-open);
  * corrupt wins when both occur. Defining the problem type and the
  * classification here once keeps the stores and tools from drifting.
  */
@@ -31,6 +32,10 @@ struct IntegrityProblem
         Corrupt,
         /** File parses but disagrees with its manifest row. */
         Mismatch,
+        /** File is on disk but no manifest row indexes it — typically a
+         *  crash between a part write and the manifest save. Stores
+         *  adopt-or-remove orphans on the next open. */
+        Orphaned,
     };
 
     Kind kind = Kind::Corrupt;

@@ -1,0 +1,531 @@
+/**
+ * @file
+ * Tests for the work-queue coordinator: job partitioning, the lease
+ * state machine (claim arbitration, heartbeats, epoch fencing), the
+ * coordinator supervision pass (expiry, wedged claims, straggler
+ * steal), and the headline guarantee — a sweep executed by multiple
+ * workers under chaotic lease scheduling (randomized claim order,
+ * mid-range worker death, a crash between checkpoint and manifest
+ * save, a fenced zombie) reduces to a report byte-identical to the
+ * same sweep run whole in one process.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+#include "coordinator/coordinator.hh"
+#include "coordinator/lease_queue.hh"
+#include "results/result_format.hh"
+#include "results/result_reduce.hh"
+#include "results/result_store.hh"
+#include "runner/fleet_runner.hh"
+#include "runner/reporters.hh"
+#include "trace/app_profile.hh"
+#include "util/binary_io.hh"
+
+namespace fs = std::filesystem;
+
+namespace pes {
+namespace {
+
+/** Unique scratch directory, removed on scope exit. */
+struct TempDir
+{
+    explicit TempDir(const std::string &name)
+        : path(fs::temp_directory_path() / ("pes_coord_test_" + name))
+    {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+    ~TempDir() { fs::remove_all(path); }
+
+    std::string str() const { return path.string(); }
+
+    fs::path path;
+};
+
+/** The chaos sweep: 2 schedulers x 2 apps x 3 users = 12 jobs. */
+FleetConfig
+chaosFleet()
+{
+    FleetConfig config;
+    config.apps = {appByName("cnn"), appByName("social_feed")};
+    config.schedulers = {SchedulerKind::Interactive, SchedulerKind::Ebs};
+    config.users = 3;
+    config.threads = 2;
+    return config;
+}
+
+std::string
+reportBytes(const FleetConfig &config, const MetricsAggregator &metrics)
+{
+    return JsonReporter::toString(makeFleetReport(config, metrics)) +
+        CsvReporter::toString(makeFleetReport(config, metrics));
+}
+
+std::string
+storeReportBytes(const ResultStore &store)
+{
+    StoreReduction reduction;
+    std::string error;
+    EXPECT_TRUE(reduceStore(store, reduction, &error)) << error;
+    EXPECT_TRUE(reduction.problems.empty());
+    return JsonReporter::toString(
+               makeStoreReport(store, reduction.metrics)) +
+        CsvReporter::toString(makeStoreReport(store, reduction.metrics));
+}
+
+/** A queue plan over @p config partitioned at @p grain. */
+QueuePlan
+planOf(const FleetConfig &config, const std::string &results_dir,
+       int grain, int64_t lease_ms = 10000)
+{
+    const SweepSpec spec = SweepSpec::fromConfig(config);
+    QueuePlan plan;
+    plan.resultsDir = results_dir;
+    plan.leaseMs = lease_ms;
+    plan.grain = grain;
+    plan.baseSeed = config.baseSeed;
+    plan.seedMode = spec.seedMode;
+    plan.users = config.effectiveUsers();
+    plan.warmDrivers = config.warmDrivers;
+    plan.checkpointEvery = 1;
+    plan.devices = spec.devices;
+    plan.apps = spec.apps;
+    plan.schedulers = spec.schedulers;
+    plan.ranges = partitionJobs(config.jobCount(), grain);
+    return plan;
+}
+
+/**
+ * Execute @p lease's range into @p store the way `pes_fleet work`
+ * does: external-range config, per-(worker, range, epoch) part label,
+ * publish fence against the queue. Returns the outcome.
+ */
+FleetOutcome
+runLease(LeaseQueue &queue, ResultStore &store, const Lease &lease,
+         const std::string &worker)
+{
+    FleetConfig config = configOf(queue.plan());
+    config.threads = 1;
+    config.checkpointEvery = queue.plan().checkpointEvery;
+    config.externalRanges = {JobRange{lease.first, lease.count}};
+    config.persistLabel = worker + "-r" + std::to_string(lease.seq) +
+        "-e" + std::to_string(lease.epoch);
+    config.resultStore = &store;
+    store.setPublishFence([&queue, lease](std::string *why) {
+        if (queue.stillOwned(lease))
+            return true;
+        if (why)
+            *why = "range " + std::to_string(lease.seq) +
+                " no longer owned";
+        return false;
+    });
+    FleetRunner runner(config);
+    const FleetOutcome outcome = runner.run();
+    store.setPublishFence({});
+    return outcome;
+}
+
+// ----------------------------------------------------- partitioning
+
+TEST(Partition, CoversTheJobSpaceExactly)
+{
+    const auto ranges = partitionJobs(10, 4);
+    ASSERT_EQ(ranges.size(), 3u);
+    EXPECT_EQ(ranges[0].first, 0);
+    EXPECT_EQ(ranges[0].count, 4);
+    EXPECT_EQ(ranges[1].first, 4);
+    EXPECT_EQ(ranges[1].count, 4);
+    EXPECT_EQ(ranges[2].first, 8);
+    EXPECT_EQ(ranges[2].count, 2);  // last range is short
+
+    EXPECT_EQ(partitionJobs(3, 100).size(), 1u);
+    EXPECT_EQ(partitionJobs(0, 4).size(), 0u);
+    EXPECT_EQ(partitionJobs(4, 0).size(), 0u);
+}
+
+TEST(Partition, AlignedGrainRoundsUpToWholeCells)
+{
+    EXPECT_EQ(alignedGrain(1, 3), 3);
+    EXPECT_EQ(alignedGrain(3, 3), 3);
+    EXPECT_EQ(alignedGrain(4, 3), 6);
+    EXPECT_EQ(alignedGrain(7, 1), 7);   // fresh drivers: any grain
+    EXPECT_EQ(alignedGrain(0, 4), 4);
+}
+
+// ------------------------------------------------ lease state machine
+
+TEST(LeaseQueue, CreateOpenRoundTripsThePlan)
+{
+    const TempDir dir("roundtrip");
+    const FleetConfig config = chaosFleet();
+    const QueuePlan plan =
+        planOf(config, (dir.path / "store").string(), 4);
+    std::string error;
+    auto queue = LeaseQueue::create((dir.path / "q").string(), plan,
+                                    &error);
+    ASSERT_TRUE(queue.has_value()) << error;
+
+    auto reopened = LeaseQueue::open((dir.path / "q").string(), &error);
+    ASSERT_TRUE(reopened.has_value()) << error;
+    EXPECT_EQ(reopened->plan().leaseMs, plan.leaseMs);
+    EXPECT_EQ(reopened->plan().schedulers, plan.schedulers);
+    EXPECT_EQ(reopened->plan().apps, plan.apps);
+    EXPECT_EQ(reopened->plan().ranges.size(), plan.ranges.size());
+
+    // The rebuilt config's spec matches the one the plan came from —
+    // workers and the store can never disagree about sweep identity.
+    EXPECT_TRUE(SweepSpec::fromConfig(configOf(reopened->plan())) ==
+                SweepSpec::fromConfig(config));
+
+    // A second create into the same directory must refuse.
+    EXPECT_FALSE(
+        LeaseQueue::create((dir.path / "q").string(), plan, &error)
+            .has_value());
+}
+
+TEST(LeaseQueue, ClaimIsExclusiveAndFencedByEpoch)
+{
+    const TempDir dir("claim");
+    const FleetConfig config = chaosFleet();
+    std::string error;
+    auto queue = LeaseQueue::create(
+        (dir.path / "q").string(),
+        planOf(config, (dir.path / "store").string(), 6), &error);
+    ASSERT_TRUE(queue.has_value()) << error;
+
+    std::vector<Lease> leases;
+    ASSERT_TRUE(queue->loadLeases(&leases, &error)) << error;
+    ASSERT_EQ(leases.size(), 2u);
+
+    // First claim wins; a second claim of the same snapshot loses
+    // without error (the O_EXCL marker arbitration).
+    Lease mine;
+    ASSERT_TRUE(queue->tryClaim(leases[0], "w1", 1000, &mine, &error))
+        << error;
+    EXPECT_EQ(mine.state, LeaseState::Leased);
+    EXPECT_EQ(mine.owner, "w1");
+    Lease theirs;
+    error.clear();
+    EXPECT_FALSE(queue->tryClaim(leases[0], "w2", 1001, &theirs,
+                                 &error));
+    EXPECT_TRUE(error.empty()) << error;
+    EXPECT_EQ(queue->claimMarkers(), 1u);
+
+    // Heartbeat extends while owned...
+    EXPECT_TRUE(queue->stillOwned(mine));
+    ASSERT_TRUE(queue->heartbeat(mine, 2000, &error)) << error;
+
+    // ...but once the coordinator reopens (epoch bump), every verb of
+    // the old holder is fenced: heartbeat, complete, stillOwned.
+    Lease current;
+    ASSERT_TRUE(queue->loadLease(mine.seq, &current, &error)) << error;
+    ASSERT_TRUE(queue->reopen(current, &error)) << error;
+    EXPECT_FALSE(queue->stillOwned(mine));
+    error.clear();
+    EXPECT_FALSE(queue->heartbeat(mine, 3000, &error));
+    error.clear();
+    EXPECT_FALSE(queue->complete(mine, &error));
+
+    // The reopened lease is claimable again under the next epoch.
+    Lease reopened;
+    ASSERT_TRUE(queue->loadLease(mine.seq, &reopened, &error)) << error;
+    EXPECT_EQ(reopened.state, LeaseState::Open);
+    EXPECT_EQ(reopened.epoch, mine.epoch + 1);
+    Lease second;
+    ASSERT_TRUE(queue->tryClaim(reopened, "w2", 4000, &second, &error))
+        << error;
+    ASSERT_TRUE(queue->complete(second, &error)) << error;
+    EXPECT_EQ(queue->claimMarkers(), 2u);
+}
+
+TEST(Coordinator, PassExpiresDeadLeasesAndWedgedClaims)
+{
+    const TempDir dir("expire");
+    const FleetConfig config = chaosFleet();
+    std::string error;
+    auto queue = LeaseQueue::create(
+        (dir.path / "q").string(),
+        planOf(config, (dir.path / "store").string(), 4,
+               /*lease_ms=*/1000),
+        &error);
+    ASSERT_TRUE(queue.has_value()) << error;
+
+    std::vector<Lease> leases;
+    ASSERT_TRUE(queue->loadLeases(&leases, &error)) << error;
+    ASSERT_EQ(leases.size(), 3u);
+
+    // Lease 0: claimed, then the holder "dies" (no heartbeat).
+    Lease dead;
+    ASSERT_TRUE(queue->tryClaim(leases[0], "dead", 1000, &dead,
+                                &error))
+        << error;
+
+    // Lease 1: a wedged claim — the claimant created the marker but
+    // died before writing the lease file (state still Open).
+    {
+        std::ofstream marker(fs::path(queue->dir()) / "claims" /
+                             "range-1.epoch-0");
+        marker << "wedged\n" << 1000 << "\n";
+    }
+    int64_t claimed_at = 0;
+    ASSERT_TRUE(queue->claimPending(leases[1], &claimed_at));
+    EXPECT_EQ(claimed_at, 1000);
+
+    // Within the lease budget nothing expires...
+    CoordinatorStats stats;
+    const CoordinatorOptions options;
+    ASSERT_TRUE(coordinatorPass(*queue, 1500, options, stats, nullptr,
+                                &error))
+        << error;
+    EXPECT_EQ(stats.expired, 0u);
+    EXPECT_EQ(stats.leased, 1u);
+    EXPECT_EQ(stats.open, 2u);
+
+    // ...past it, both the dead lease and the wedged claim reopen with
+    // bumped epochs.
+    ASSERT_TRUE(coordinatorPass(*queue, 2500, options, stats, nullptr,
+                                &error))
+        << error;
+    EXPECT_EQ(stats.expired, 2u);
+    EXPECT_EQ(stats.leased, 0u);
+    EXPECT_EQ(stats.open, 3u);
+    EXPECT_FALSE(queue->stillOwned(dead));
+
+    Lease lease1;
+    ASSERT_TRUE(queue->loadLease(1, &lease1, &error)) << error;
+    EXPECT_EQ(lease1.epoch, 1u);
+    EXPECT_EQ(lease1.state, LeaseState::Open);
+}
+
+TEST(Coordinator, StealsFromStragglersOnlyWithAFasterPeer)
+{
+    const TempDir dir("steal");
+    const FleetConfig config = chaosFleet();
+    std::string error;
+    auto queue = LeaseQueue::create(
+        (dir.path / "q").string(),
+        planOf(config, (dir.path / "store").string(), 6,
+               /*lease_ms=*/60000),
+        &error);
+    ASSERT_TRUE(queue.has_value()) << error;
+
+    std::vector<Lease> leases;
+    ASSERT_TRUE(queue->loadLeases(&leases, &error)) << error;
+    Lease slow_lease;
+    ASSERT_TRUE(queue->tryClaim(leases[0], "slow", 1000, &slow_lease,
+                                &error))
+        << error;
+
+    CoordinatorOptions options;
+    options.minStealMs = 100;
+    options.stealFactor = 2.0;
+    CoordinatorStats stats;
+
+    // No published rates: never steal (nothing is known to be faster).
+    ASSERT_TRUE(coordinatorPass(*queue, 50000, options, stats, nullptr,
+                                &error))
+        << error;
+    EXPECT_EQ(stats.stolen, 0u);
+
+    // A much faster peer exists and the lease has been held far past
+    // factor x expected completion: steal.
+    ASSERT_TRUE(queue->writeWorkerRate(
+        WorkerRate{"slow", 2, 2000.0, 1.0, 1000}, &error))
+        << error;
+    ASSERT_TRUE(queue->writeWorkerRate(
+        WorkerRate{"fast", 100, 2000.0, 50.0, 1000}, &error))
+        << error;
+    ASSERT_TRUE(coordinatorPass(*queue, 50000, options, stats, nullptr,
+                                &error))
+        << error;
+    EXPECT_EQ(stats.stolen, 1u);
+    EXPECT_FALSE(queue->stillOwned(slow_lease));
+
+    // The fastest worker's own leases are never stolen.
+    std::vector<Lease> fresh;
+    ASSERT_TRUE(queue->loadLeases(&fresh, &error)) << error;
+    Lease fast_lease;
+    ASSERT_TRUE(queue->tryClaim(fresh[0], "fast", 51000, &fast_lease,
+                                &error))
+        << error;
+    ASSERT_TRUE(coordinatorPass(*queue, 100000, options, stats,
+                                nullptr, &error))
+        << error;
+    EXPECT_EQ(stats.stolen, 1u);
+    EXPECT_TRUE(queue->stillOwned(fast_lease));
+}
+
+// ------------------------------------------------------- chaos sweep
+
+/**
+ * The satellite chaos test: randomized lease issue order, a lease
+ * expired after its holder already persisted records (duplicate
+ * re-execution), a crash between checkpoint and manifest save (orphan
+ * part adopted on re-open), and a fenced zombie that must not publish
+ * — the reduced report must stay byte-identical to the whole run.
+ */
+TEST(Coordinator, ChaoticMultiWorkerSweepMatchesWholeRunBytes)
+{
+    // The ground truth: the same sweep, whole, in one process.
+    FleetConfig whole = chaosFleet();
+    FleetRunner whole_runner(whole);
+    const std::string whole_bytes =
+        reportBytes(whole_runner.config(), whole_runner.run().metrics);
+
+    for (const uint32_t chaos_seed : {1u, 2u, 3u}) {
+        std::mt19937 rng(chaos_seed);
+        const TempDir dir("chaos_" + std::to_string(chaos_seed));
+        const std::string store_dir = (dir.path / "store").string();
+        FleetConfig config = chaosFleet();
+        std::string error;
+        auto store = ResultStore::create(
+            store_dir, SweepSpec::fromConfig(config), &error);
+        ASSERT_TRUE(store.has_value()) << error;
+        auto queue = LeaseQueue::create(
+            (dir.path / "q").string(),
+            planOf(config, store_dir, /*grain=*/3, /*lease_ms=*/1000),
+            &error);
+        ASSERT_TRUE(queue.has_value()) << error;
+
+        const std::vector<std::string> workers = {"w1", "w2"};
+        int64_t now = 1000;
+        bool injected_death = false;
+        bool injected_orphan = false;
+        uint64_t expired = 0;
+
+        for (;;) {
+            std::vector<Lease> leases;
+            ASSERT_TRUE(queue->loadLeases(&leases, &error)) << error;
+            std::vector<const Lease *> open;
+            for (const Lease &lease : leases)
+                if (lease.state == LeaseState::Open)
+                    open.push_back(&lease);
+            if (open.empty()) {
+                const bool all_done = std::all_of(
+                    leases.begin(), leases.end(), [](const Lease &l) {
+                        return l.state == LeaseState::Done;
+                    });
+                if (all_done)
+                    break;
+                // Something is leased but its holder is gone (the
+                // injected death): let the coordinator expire it.
+                now += 2000;
+                CoordinatorStats stats;
+                ASSERT_TRUE(coordinatorPass(*queue, now,
+                                            CoordinatorOptions{}, stats,
+                                            nullptr, &error))
+                    << error;
+                expired += stats.expired;
+                continue;
+            }
+
+            // Randomized issue order and claimant.
+            const Lease snapshot =
+                *open[rng() % open.size()];
+            const std::string &worker = workers[rng() % workers.size()];
+            Lease mine;
+            if (!queue->tryClaim(snapshot, worker, now, &mine, &error))
+                continue;
+            now += 100;
+
+            if (!injected_death) {
+                // Holder persists its whole range, then dies before
+                // complete(): the range re-runs under the next epoch
+                // and every one of its records becomes a duplicate.
+                injected_death = true;
+                const FleetOutcome outcome =
+                    runLease(*queue, *store, mine, worker);
+                EXPECT_TRUE(outcome.diagnostics.empty());
+                continue;  // never completes
+            }
+
+            if (!injected_orphan) {
+                // Crash between checkpoint and manifest save: the part
+                // bytes are on disk, the manifest row is not. A fresh
+                // open() must adopt it; its records then duplicate the
+                // re-run. (Written directly — SessionRecords borrowed
+                // from a scratch one-range run — because appendPart
+                // would save the manifest row we are pretending died.)
+                injected_orphan = true;
+                const std::string scratch_dir =
+                    (dir.path / "scratch").string();
+                auto scratch = ResultStore::create(
+                    scratch_dir, SweepSpec::fromConfig(config), &error);
+                ASSERT_TRUE(scratch.has_value()) << error;
+                const FleetOutcome outcome =
+                    runLease(*queue, *scratch, mine, worker);
+                EXPECT_TRUE(outcome.diagnostics.empty());
+                std::vector<SessionRecord> records;
+                ASSERT_TRUE(scratch->forEachRecord(
+                    [&](const SessionRecord &rec) {
+                        records.push_back(rec);
+                        return true;
+                    },
+                    &error))
+                    << error;
+                ASSERT_FALSE(records.empty());
+                ASSERT_TRUE(writeFileBytes(
+                    (fs::path(store_dir) / "part-orphan.psum").string(),
+                    PsumWriter::toBytes(records,
+                                        {{"writer", "chaos"}}),
+                    &error))
+                    << error;
+                continue;  // dies before complete() either way
+            }
+
+            // A healthy claim: execute and complete.
+            const FleetOutcome outcome =
+                runLease(*queue, *store, mine, worker);
+            EXPECT_TRUE(outcome.diagnostics.empty());
+            ASSERT_TRUE(queue->complete(mine, &error)) << error;
+        }
+
+        EXPECT_GE(expired, 2u) << "both injected deaths must expire";
+
+        // A zombie whose lease moved on must be fenced out of the
+        // store: its append fails and adds no rows.
+        {
+            std::vector<Lease> leases;
+            ASSERT_TRUE(queue->loadLeases(&leases, &error)) << error;
+            Lease stale = leases[0];
+            stale.epoch = leases[0].epoch + 100;  // never current
+            const size_t rows_before = store->parts().size();
+            const FleetOutcome outcome =
+                runLease(*queue, *store, stale, "zombie");
+            ASSERT_FALSE(outcome.diagnostics.empty());
+            EXPECT_NE(outcome.diagnostics[0].find("lease fenced"),
+                      std::string::npos)
+                << outcome.diagnostics[0];
+            EXPECT_EQ(store->parts().size(), rows_before);
+        }
+
+        // The injected orphan is a finding until a re-open adopts it.
+        {
+            std::vector<StoreProblem> problems;
+            EXPECT_FALSE(store->validate(problems));
+            ASSERT_EQ(problems.size(), 1u);
+            EXPECT_EQ(problems[0].kind,
+                      IntegrityProblem::Kind::Orphaned);
+        }
+        auto adopted = ResultStore::open(store_dir, &error);
+        ASSERT_TRUE(adopted.has_value()) << error;
+        std::vector<StoreProblem> problems;
+        EXPECT_TRUE(adopted->validate(problems))
+            << (problems.empty() ? "" : problems[0].message);
+
+        // The headline guarantee, under every chaos seed.
+        uint64_t missing = 0;
+        EXPECT_TRUE(storeCoversSweep(*adopted, &missing, &error))
+            << error << " missing=" << missing;
+        EXPECT_EQ(storeReportBytes(*adopted), whole_bytes);
+    }
+}
+
+} // namespace
+} // namespace pes

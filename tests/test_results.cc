@@ -273,6 +273,138 @@ TEST(ResultStore, ValidateClassifiesMissingVsCorruptVsMismatch)
     EXPECT_EQ(problems[2].kind, StoreProblem::Kind::Mismatch);
 }
 
+TEST(ResultStore, ValidateClassifiesOrphanedParts)
+{
+    const TempDir dir("orphan");
+    std::string error;
+    auto store = ResultStore::create(dir.str(), testSweep(), &error);
+    ASSERT_TRUE(store.has_value()) << error;
+    ASSERT_TRUE(store->appendPart({makeRecord("ebs", 0)}, "a",
+                                  testParams(), &error));
+
+    // A crash between a part write and the manifest save leaves a
+    // healthy .psum on disk with no row indexing it.
+    ASSERT_TRUE(PsumWriter::writeFile({makeRecord("ebs", 1)},
+                                      testParams(),
+                                      (dir.path / "part-lost.psum")
+                                          .string(),
+                                      &error))
+        << error;
+
+    std::vector<StoreProblem> problems;
+    EXPECT_FALSE(store->validate(problems));
+    ASSERT_EQ(problems.size(), 1u);
+    EXPECT_EQ(problems[0].kind, StoreProblem::Kind::Orphaned);
+    EXPECT_NE(problems[0].message.find("part-lost.psum"),
+              std::string::npos);
+    // Orphans mean content needs reconciling, not re-syncing files.
+    EXPECT_EQ(integrityExitCode(problems), kExitCorrupt);
+}
+
+TEST(ResultStore, OpenAdoptsReadableOrphansAndRemovesTornOnes)
+{
+    const TempDir dir("adopt");
+    std::string error;
+    auto store = ResultStore::create(dir.str(), testSweep(), &error);
+    ASSERT_TRUE(store.has_value()) << error;
+    ASSERT_TRUE(store->appendPart({makeRecord("ebs", 0)}, "a",
+                                  testParams(), &error));
+
+    // One healthy orphan (crash after the write completed) and one
+    // torn orphan (crash mid-write / trailing garbage).
+    ASSERT_TRUE(PsumWriter::writeFile({makeRecord("ebs", 1)},
+                                      testParams(),
+                                      (dir.path / "part-lost.psum")
+                                          .string(),
+                                      &error))
+        << error;
+    {
+        std::ofstream os(dir.path / "part-torn.psum",
+                         std::ios::binary | std::ios::trunc);
+        os << "half a checkpoint";
+    }
+
+    auto reopened = ResultStore::open(dir.str(), &error);
+    ASSERT_TRUE(reopened.has_value()) << error;
+    std::vector<StoreProblem> problems;
+    EXPECT_TRUE(reopened->validate(problems))
+        << (problems.empty() ? "" : problems[0].message);
+    EXPECT_EQ(reopened->recordCount(), 2u);  // orphan adopted
+    EXPECT_FALSE(fs::exists(dir.path / "part-torn.psum"));
+
+    // The adopted record is readable content, not just a row.
+    int seen = 0;
+    ASSERT_TRUE(reopened->forEachRecord(
+        [&](const SessionRecord &) {
+            ++seen;
+            return true;
+        },
+        &error))
+        << error;
+    EXPECT_EQ(seen, 2);
+}
+
+TEST(ResultStore, ConcurrentAppendersAllLandInTheManifest)
+{
+    // Multi-writer crash-safety: appendPart reloads the manifest under
+    // the store lock, so writers that interleave never clobber each
+    // other's rows (the coordinator's workers share one store).
+    const TempDir dir("multiwriter");
+    std::string error;
+    auto a = ResultStore::create(dir.str(), testSweep(), &error);
+    ASSERT_TRUE(a.has_value()) << error;
+    auto b = ResultStore::open(dir.str(), &error);
+    ASSERT_TRUE(b.has_value()) << error;
+
+    ASSERT_TRUE(a->appendPart({makeRecord("ebs", 0)}, "w1",
+                              testParams(), &error))
+        << error;
+    // b's in-memory manifest predates a's append; its own append must
+    // preserve a's row anyway.
+    ASSERT_TRUE(b->appendPart({makeRecord("ebs", 1)}, "w2",
+                              testParams(), &error))
+        << error;
+    ASSERT_TRUE(a->appendPart({makeRecord("interactive", 0)}, "w1",
+                              testParams(), &error))
+        << error;
+
+    auto reopened = ResultStore::open(dir.str(), &error);
+    ASSERT_TRUE(reopened.has_value()) << error;
+    EXPECT_EQ(reopened->parts().size(), 3u);
+    EXPECT_EQ(reopened->recordCount(), 3u);
+    std::vector<StoreProblem> problems;
+    EXPECT_TRUE(reopened->validate(problems))
+        << (problems.empty() ? "" : problems[0].message);
+}
+
+TEST(ResultStore, PublishFenceBlocksZombieAppends)
+{
+    const TempDir dir("fence");
+    std::string error;
+    auto store = ResultStore::create(dir.str(), testSweep(), &error);
+    ASSERT_TRUE(store.has_value()) << error;
+
+    store->setPublishFence([](std::string *why) {
+        *why = "range 3 no longer owned";
+        return false;
+    });
+    EXPECT_FALSE(store->appendPart({makeRecord("ebs", 0)}, "z",
+                                   testParams(), &error));
+    EXPECT_NE(error.find("lease fenced"), std::string::npos) << error;
+    EXPECT_EQ(store->parts().size(), 0u);
+
+    // The refused part file must not linger as an orphan.
+    std::vector<StoreProblem> problems;
+    EXPECT_TRUE(store->validate(problems))
+        << (problems.empty() ? "" : problems[0].message);
+
+    store->setPublishFence({});
+    EXPECT_TRUE(store->appendPart({makeRecord("ebs", 0)}, "z",
+                                  testParams(), &error))
+        << error;
+    EXPECT_EQ(store->parts().size(), 1u);
+}
+
 TEST(ResultStore, CreateAndMergeRejectDifferentSweeps)
 {
     const TempDir dir("sweepguard");

@@ -9,7 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -350,6 +352,45 @@ TEST(RunTelemetry, FoldSumsAndMaxesIntoRollup)
     ASSERT_EQ(rollup.counters.counters.size(), 1u);
     EXPECT_EQ(rollup.counters.counters[0].second, 40u);
     EXPECT_DOUBLE_EQ(rollup.sessionsPerSec, 40.0 / 0.2);
+}
+
+TEST(RunTelemetry, FoldGuardsZeroTasksAndNonFiniteInputs)
+{
+    // Zero queue tasks must fold to a zero mean — never 0/0 = NaN.
+    RunTelemetry idle;
+    idle.sessions = 4;
+    idle.executeMs = 10.0;
+    idle.poolQueueTasks = 0;
+    idle.poolQueueWaitMs = 0.0;
+    RunTelemetry rollup;
+    foldRunTelemetry(rollup, idle);
+    EXPECT_EQ(rollup.poolQueueTasks, 0u);
+    EXPECT_DOUBLE_EQ(rollup.poolQueueWaitMeanMs, 0.0);
+
+    // A non-finite part (NaN survives the JSON round-trip as a quoted
+    // literal, e.g. from a telemetry file written by a crashed or
+    // clock-skewed worker) must not poison the folded sums or mean.
+    RunTelemetry poisoned;
+    poisoned.sessions = 6;
+    poisoned.executeMs = std::numeric_limits<double>::quiet_NaN();
+    poisoned.poolQueueTasks = 3;
+    poisoned.poolQueueWaitMs =
+        std::numeric_limits<double>::quiet_NaN();
+    poisoned.poolQueueWaitMeanMs =
+        std::numeric_limits<double>::infinity();
+    std::ostringstream os;
+    writeRunTelemetryJson(poisoned, os);
+    const auto parsed = parseRunTelemetry(os.str());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(std::isnan(parsed->poolQueueWaitMs));
+
+    foldRunTelemetry(rollup, *parsed);
+    EXPECT_EQ(rollup.sessions, 10u);
+    EXPECT_EQ(rollup.poolQueueTasks, 3u);
+    EXPECT_TRUE(std::isfinite(rollup.executeMs));
+    EXPECT_TRUE(std::isfinite(rollup.poolQueueWaitMs));
+    EXPECT_TRUE(std::isfinite(rollup.poolQueueWaitMeanMs));
+    EXPECT_DOUBLE_EQ(rollup.poolQueueWaitMeanMs, 0.0);
 }
 
 TEST(RunTelemetry, LogicalClockZeroesWallDerivedFields)

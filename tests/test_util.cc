@@ -6,15 +6,22 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <filesystem>
 #include <set>
 #include <sstream>
+#include <thread>
 
+#include "util/binary_io.hh"
 #include "util/rng.hh"
 #include "util/stats.hh"
 #include "util/strings.hh"
 #include "util/table.hh"
 #include "util/types.hh"
+
+namespace fs = std::filesystem;
 
 namespace pes {
 namespace {
@@ -323,6 +330,56 @@ TEST(Types, EnergyFormula)
 {
     // 2000 mW for 500 ms = 1000 mJ.
     EXPECT_NEAR(energyOf(2000.0, 500.0), 1000.0, 1e-12);
+}
+
+// ------------------------------------------------------------ file IO
+
+TEST(BinaryIo, AtomicWritersNeverClobberEachOther)
+{
+    // Regression: writeFileAtomic used one fixed "<path>.tmp" temp
+    // name, so two concurrent writers truncated each other's bytes
+    // mid-write and could rename a torn file into place. The temp is
+    // now unique per writer; every interleaving leaves one complete
+    // payload and no temp litter.
+    const fs::path dir =
+        fs::temp_directory_path() / "pes_util_test_atomic";
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    const std::string target = (dir / "shared.json").string();
+
+    constexpr int kWriters = 8;
+    constexpr int kRounds = 25;
+    std::vector<std::string> payloads;
+    for (int w = 0; w < kWriters; ++w)
+        payloads.push_back(std::string(1 << 14, 'a' + w));
+
+    std::vector<std::thread> writers;
+    std::atomic<int> failures{0};
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([&, w] {
+            for (int i = 0; i < kRounds; ++i) {
+                std::string error;
+                if (!writeFileAtomic(target, payloads[w], &error))
+                    ++failures;
+            }
+        });
+    }
+    for (std::thread &t : writers)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    // The survivor is some writer's COMPLETE payload...
+    std::string bytes, error;
+    ASSERT_TRUE(readFileBytes(target, bytes, &error)) << error;
+    EXPECT_NE(std::find(payloads.begin(), payloads.end(), bytes),
+              payloads.end())
+        << "torn file: " << bytes.size() << " bytes";
+
+    // ...and no ".tmp." litter survives any interleaving.
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        EXPECT_EQ(entry.path().filename().string(), "shared.json");
+    }
+    fs::remove_all(dir);
 }
 
 } // namespace

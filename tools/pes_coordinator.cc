@@ -1,0 +1,533 @@
+/**
+ * @file
+ * pes_coordinator: leased work-queue orchestration of one fleet sweep
+ * across any number of pes_fleet workers sharing one ResultStore.
+ *
+ *   # Partition a sweep into leases and create the shared store:
+ *   pes_coordinator init --queue-dir=Q --results-dir=R \
+ *       --schedulers=pes,ebs --apps=cnn,amazon --users=120
+ *
+ *   # Supervise: expire dead leases, steal from stragglers, reduce
+ *   # when the store covers the plan:
+ *   pes_coordinator run --queue-dir=Q --out=fleet.json &
+ *
+ *   # Any number of workers, on any machines sharing the filesystem:
+ *   pes_fleet work --coordinator=Q &
+ *   pes_fleet work --coordinator=Q &
+ *
+ * Workers self-claim ranges through O_EXCL markers; the coordinator
+ * only restores liveness (expiry/steal reopens with a bumped fencing
+ * epoch). Kill workers freely: re-executed ranges produce duplicate
+ * records that deduplicate at reduction, so the final report is
+ * byte-identical to the same sweep run whole in one process
+ * (`pes_fleet diff --exact` gates it in CI).
+ */
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coordinator/coordinator.hh"
+#include "coordinator/lease_queue.hh"
+#include "results/result_reduce.hh"
+#include "results/result_store.hh"
+#include "runner/fleet_runner.hh"
+#include "runner/reporters.hh"
+#include "telemetry/run_telemetry.hh"
+#include "telemetry/telemetry.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+#include "util/table.hh"
+
+using namespace pes;
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "pes_coordinator - leased work-queue orchestration of one "
+        "fleet sweep\n\n"
+        "Verbs:\n"
+        "  pes_coordinator init --queue-dir=DIR --results-dir=DIR "
+        "[sweep flags]\n"
+        "      [--grain=N] [--lease-ms=MS]\n"
+        "      partition the sweep into job-range leases (grain jobs "
+        "per range,\n"
+        "      cell-aligned under --warm) and create the shared result "
+        "store.\n"
+        "      sweep flags: --schedulers --apps --devices --users "
+        "--seed\n"
+        "      --eval-population --warm --checkpoint-every (pes_fleet "
+        "defaults).\n"
+        "      Scenario (stress) sweeps are not coordinatable yet — "
+        "shard those.\n"
+        "  pes_coordinator run --queue-dir=DIR [--out=FILE] "
+        "[--csv=FILE]\n"
+        "      [--interval-ms=MS] [--steal-factor=F] "
+        "[--min-steal-ms=MS]\n"
+        "      [--max-wall-ms=MS] [--once] [--telemetry-out=FILE] "
+        "[--quiet]\n"
+        "      supervise until every lease is done: reopen expired "
+        "leases\n"
+        "      (epoch+1 fences the dead holder), steal from stragglers "
+        "when a\n"
+        "      2x-faster peer exists, then verify the store covers the "
+        "plan and\n"
+        "      reduce it to the whole-run-identical reports.\n"
+        "      exit: 0 done+reduced, 1 supervision error or wall "
+        "budget\n"
+        "      exceeded, 4 store fails coverage or reduction\n"
+        "  pes_coordinator status --queue-dir=DIR\n"
+        "      one table row per range (state, epoch, owner, age) plus "
+        "worker\n"
+        "      rates\n"
+        "  pes_coordinator reduce --queue-dir=DIR [--out=FILE] "
+        "[--csv=FILE]\n"
+        "      reduce whatever the store holds right now (no "
+        "completion check)\n";
+}
+
+bool
+flagValue(const std::string &arg, const std::string &name,
+          std::string &out)
+{
+    const std::string prefix = "--" + name + "=";
+    if (!startsWith(arg, prefix))
+        return false;
+    out = arg.substr(prefix.size());
+    return true;
+}
+
+long
+parseLong(const std::string &value, const std::string &flag)
+{
+    long long v;
+    fatal_if(!parseInt64(value, v), "bad value '%s' for --%s",
+             value.c_str(), flag.c_str());
+    return static_cast<long>(v);
+}
+
+LeaseQueue
+openQueue(const std::string &queue_dir)
+{
+    fatal_if(queue_dir.empty(), "--queue-dir=DIR is required");
+    std::string error;
+    auto queue = LeaseQueue::open(queue_dir, &error);
+    fatal_if(!queue, "%s", error.c_str());
+    return std::move(*queue);
+}
+
+/** Open the queue's result store (it must exist — init created it). */
+ResultStore
+openStore(const LeaseQueue &queue)
+{
+    std::string error;
+    auto store = ResultStore::open(queue.plan().resultsDir, &error);
+    fatal_if(!store, "cannot open results store: %s", error.c_str());
+    return std::move(*store);
+}
+
+void
+writeReports(const FleetReport &report, const std::string &out_path,
+             const std::string &csv_path)
+{
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        fatal_if(!os, "cannot open '%s'", out_path.c_str());
+        JsonReporter::write(report, os);
+        std::cout << "[json: " << out_path << "]\n";
+    }
+    if (!csv_path.empty()) {
+        std::ofstream os(csv_path);
+        fatal_if(!os, "cannot open '%s'", csv_path.c_str());
+        CsvReporter::write(report, os);
+        std::cout << "[csv: " << csv_path << "]\n";
+    }
+}
+
+/** Reduce @p store and write reports; returns the exit code. */
+int
+reduceAndReport(const ResultStore &store, const std::string &out_path,
+                const std::string &csv_path, bool quiet,
+                uint64_t *sessions_out)
+{
+    std::string error;
+    StoreReduction reduction;
+    fatal_if(!reduceStore(store, reduction, &error), "%s",
+             error.c_str());
+    if (!reduction.problems.empty()) {
+        for (const std::string &p : reduction.problems)
+            std::cerr << "FAIL " << p << "\n";
+        return 4;
+    }
+    if (sessions_out)
+        *sessions_out = reduction.sessions;
+    if (!quiet) {
+        std::cout << "reduced " << reduction.sessions << " sessions";
+        if (reduction.duplicates > 0)
+            std::cout << " (" << reduction.duplicates
+                      << " duplicate re-runs deduplicated)";
+        if (reduction.missing > 0)
+            std::cout << "; " << reduction.missing
+                      << " expected sessions missing (partial sweep)";
+        std::cout << "\n";
+    }
+    writeReports(makeStoreReport(store, reduction.metrics), out_path,
+                 csv_path);
+    return 0;
+}
+
+// ---------------------------------------------------------------- init
+
+int
+cmdInit(int argc, char **argv)
+{
+    std::string queue_dir, results_dir;
+    long grain = 0;
+    long lease_ms = 30000;
+    FleetConfig config;
+    config.schedulers = parseSchedulerList("pes,ebs");
+    config.apps = parseAppList("cnn,amazon,social_feed");
+    config.users = 100;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (flagValue(arg, "queue-dir", value)) {
+            queue_dir = value;
+        } else if (flagValue(arg, "results-dir", value)) {
+            results_dir = value;
+        } else if (flagValue(arg, "grain", value)) {
+            grain = parseLong(value, "grain");
+            fatal_if(grain < 1, "--grain must be >= 1");
+        } else if (flagValue(arg, "lease-ms", value)) {
+            lease_ms = parseLong(value, "lease-ms");
+            fatal_if(lease_ms < 100, "--lease-ms must be >= 100");
+        } else if (arg == "--warm") {
+            config.warmDrivers = true;
+        } else if (arg == "--eval-population") {
+            config.seedMode = SeedMode::Evaluation;
+        } else if (flagValue(arg, "schedulers", value)) {
+            config.schedulers = parseSchedulerList(value);
+        } else if (flagValue(arg, "apps", value)) {
+            config.apps = parseAppList(value);
+        } else if (flagValue(arg, "devices", value)) {
+            config.devices = parseDeviceList(value);
+        } else if (flagValue(arg, "users", value)) {
+            const long users = parseLong(value, "users");
+            fatal_if(users < 1 || users > 100000000,
+                     "--users must be in [1, 1e8]");
+            config.users = static_cast<int>(users);
+        } else if (flagValue(arg, "seed", value)) {
+            uint64_t seed;
+            fatal_if(!parseUint64(value, seed),
+                     "bad value '%s' for --seed", value.c_str());
+            config.baseSeed = seed;
+        } else if (flagValue(arg, "checkpoint-every", value)) {
+            const long every = parseLong(value, "checkpoint-every");
+            fatal_if(every < 0 || every > 100000000,
+                     "--checkpoint-every must be in [0, 1e8]");
+            config.checkpointEvery = static_cast<int>(every);
+        } else {
+            std::cerr << "init: unknown option '" << arg << "'\n\n";
+            usage();
+            return 1;
+        }
+    }
+    fatal_if(queue_dir.empty(), "init: --queue-dir=DIR is required");
+    fatal_if(results_dir.empty(),
+             "init: --results-dir=DIR is required");
+
+    // The store is created first, with the same spec workers re-derive
+    // from queue.json — so the queue's identity and the manifest's can
+    // never drift apart.
+    const SweepSpec spec = SweepSpec::fromConfig(config);
+    std::string error;
+    auto store = ResultStore::create(results_dir, spec, &error);
+    fatal_if(!store, "init: %s", error.c_str());
+
+    const int jobs = config.jobCount();
+    const int users_per_cell = config.effectiveUsers();
+    int effective_grain =
+        grain > 0 ? static_cast<int>(grain) : users_per_cell;
+    if (config.warmDrivers)
+        effective_grain = alignedGrain(effective_grain, users_per_cell);
+
+    QueuePlan plan;
+    plan.resultsDir = results_dir;
+    plan.leaseMs = lease_ms;
+    plan.grain = effective_grain;
+    plan.baseSeed = config.baseSeed;
+    plan.seedMode = spec.seedMode;
+    plan.users = users_per_cell;
+    plan.warmDrivers = config.warmDrivers;
+    plan.checkpointEvery = config.checkpointEvery;
+    plan.devices = spec.devices;
+    plan.apps = spec.apps;
+    plan.schedulers = spec.schedulers;
+    plan.ranges = partitionJobs(jobs, effective_grain);
+
+    auto queue = LeaseQueue::create(queue_dir, plan, &error);
+    fatal_if(!queue, "init: %s", error.c_str());
+
+    std::cout << "queue " << queue_dir << ": " << plan.ranges.size()
+              << " range(s) of <= " << effective_grain << " jobs over "
+              << jobs << " sessions; lease " << lease_ms
+              << " ms; store " << results_dir << "\n"
+              << "start workers with: pes_fleet work --coordinator="
+              << queue_dir << "\n";
+    return 0;
+}
+
+// ----------------------------------------------------------------- run
+
+int
+cmdRun(int argc, char **argv)
+{
+    std::string queue_dir, out_path, csv_path, telemetry_out;
+    long interval_ms = 200;
+    long max_wall_ms = 0;
+    bool once = false;
+    bool quiet = false;
+    CoordinatorOptions options;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--once") {
+            once = true;
+        } else if (flagValue(arg, "queue-dir", value)) {
+            queue_dir = value;
+        } else if (flagValue(arg, "out", value)) {
+            out_path = value;
+        } else if (flagValue(arg, "csv", value)) {
+            csv_path = value;
+        } else if (flagValue(arg, "telemetry-out", value)) {
+            telemetry_out = value;
+        } else if (flagValue(arg, "interval-ms", value)) {
+            interval_ms = parseLong(value, "interval-ms");
+            fatal_if(interval_ms < 10,
+                     "--interval-ms must be >= 10");
+        } else if (flagValue(arg, "max-wall-ms", value)) {
+            max_wall_ms = parseLong(value, "max-wall-ms");
+        } else if (flagValue(arg, "steal-factor", value)) {
+            double f;
+            fatal_if(!parseDouble(value, f) || f < 1.0,
+                     "--steal-factor must be >= 1");
+            options.stealFactor = f;
+        } else if (flagValue(arg, "min-steal-ms", value)) {
+            options.minStealMs = parseLong(value, "min-steal-ms");
+        } else {
+            std::cerr << "run: unknown option '" << arg << "'\n\n";
+            usage();
+            return 1;
+        }
+    }
+    LeaseQueue queue = openQueue(queue_dir);
+
+    TelemetryRegistry telemetry;
+    telemetry.setEnabled(true);
+    CoordinatorStats stats;
+    const int64_t started = wallClockMs();
+    std::string error;
+
+    for (;;) {
+        if (!coordinatorPass(queue, wallClockMs(), options, stats,
+                             &telemetry, &error)) {
+            std::cerr << "FAIL coordinator: " << error << "\n";
+            return 1;
+        }
+        if (sweepDone(stats))
+            break;
+        if (once)
+            break;
+        if (max_wall_ms > 0 && wallClockMs() - started > max_wall_ms) {
+            std::cerr << "FAIL coordinator: sweep not done within "
+                      << max_wall_ms << " ms (open=" << stats.open
+                      << " leased=" << stats.leased << " done="
+                      << stats.done << ")\n";
+            return 1;
+        }
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(interval_ms));
+    }
+
+    const uint64_t issued = queue.claimMarkers();
+    std::cout << "coordinator: " << stats.done << "/"
+              << queue.plan().ranges.size() << " ranges done, leases "
+              << "issued " << issued << ", expired " << stats.expired
+              << ", stolen " << stats.stolen << "\n";
+
+    if (once && !sweepDone(stats))
+        return 0;
+
+    // Every lease is done — but the contract is with the STORE, not
+    // the ledger: verify plan coverage before reducing.
+    ResultStore store = openStore(queue);
+    uint64_t missing = 0;
+    if (!storeCoversSweep(store, &missing, &error)) {
+        if (!error.empty()) {
+            std::cerr << "FAIL coordinator: " << error << "\n";
+            return 4;
+        }
+        std::cerr << "FAIL coordinator: all leases done but the store "
+                  << "is missing " << missing
+                  << " expected session(s)\n";
+        return 4;
+    }
+    uint64_t sessions = 0;
+    const int code =
+        reduceAndReport(store, out_path, csv_path, quiet, &sessions);
+    if (code != 0)
+        return code;
+
+    if (!telemetry_out.empty()) {
+        telemetry.count("coord.leases_issued", issued);
+        telemetry.count("coord.ranges",
+                        static_cast<uint64_t>(
+                            queue.plan().ranges.size()));
+        RunTelemetry rt;
+        rt.tool = "coordinator";
+        rt.threads = 1;
+        rt.sessions = sessions;
+        rt.totalMs = static_cast<double>(wallClockMs() - started);
+        rt.counters = telemetry.snapshot();
+        std::ofstream os(telemetry_out);
+        fatal_if(!os, "cannot open '%s'", telemetry_out.c_str());
+        writeRunTelemetryJson(rt, os);
+        std::cout << "[telemetry: " << telemetry_out << "]\n";
+    }
+    return 0;
+}
+
+// -------------------------------------------------------------- status
+
+int
+cmdStatus(int argc, char **argv)
+{
+    std::string queue_dir;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (flagValue(arg, "queue-dir", value)) {
+            queue_dir = value;
+        } else {
+            std::cerr << "status: unknown option '" << arg << "'\n\n";
+            usage();
+            return 1;
+        }
+    }
+    LeaseQueue queue = openQueue(queue_dir);
+    std::vector<Lease> leases;
+    std::string error;
+    fatal_if(!queue.loadLeases(&leases, &error), "%s", error.c_str());
+
+    const int64_t now = wallClockMs();
+    Table table({"range", "jobs", "state", "epoch", "owner", "age(s)"});
+    for (const Lease &lease : leases) {
+        const char *state = lease.state == LeaseState::Open ? "open"
+            : lease.state == LeaseState::Leased ? "leased"
+                                                : "done";
+        table.beginRow()
+            .cell(static_cast<long>(lease.seq))
+            .cell("[" + std::to_string(lease.first) + ", +" +
+                  std::to_string(lease.count) + ")")
+            .cell(std::string(state))
+            .cell(static_cast<long>(lease.epoch))
+            .cell(lease.owner.empty() ? "-" : lease.owner)
+            .cell(lease.state == LeaseState::Leased
+                      ? static_cast<double>(now - lease.sinceMs) /
+                          1000.0
+                      : 0.0,
+                  1);
+    }
+    table.print(std::cout);
+
+    const auto rates = queue.workerRates();
+    if (!rates.empty()) {
+        Table workers({"worker", "sessions", "sessions/s"});
+        for (const WorkerRate &rate : rates) {
+            workers.beginRow()
+                .cell(rate.worker)
+                .cell(static_cast<long>(rate.sessions))
+                .cell(rate.sessionsPerSec, 1);
+        }
+        workers.print(std::cout);
+    }
+    std::cout << "leases issued so far: " << queue.claimMarkers()
+              << "\n";
+    return 0;
+}
+
+// -------------------------------------------------------------- reduce
+
+int
+cmdReduce(int argc, char **argv)
+{
+    std::string queue_dir, out_path, csv_path;
+    bool quiet = false;
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (flagValue(arg, "queue-dir", value)) {
+            queue_dir = value;
+        } else if (flagValue(arg, "out", value)) {
+            out_path = value;
+        } else if (flagValue(arg, "csv", value)) {
+            csv_path = value;
+        } else {
+            std::cerr << "reduce: unknown option '" << arg << "'\n\n";
+            usage();
+            return 1;
+        }
+    }
+    LeaseQueue queue = openQueue(queue_dir);
+    ResultStore store = openStore(queue);
+    return reduceAndReport(store, out_path, csv_path, quiet, nullptr);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string verb = argc > 1 ? argv[1] : "";
+    if (verb == "init")
+        return cmdInit(argc, argv);
+    if (verb == "run")
+        return cmdRun(argc, argv);
+    if (verb == "status")
+        return cmdStatus(argc, argv);
+    if (verb == "reduce")
+        return cmdReduce(argc, argv);
+    if (verb == "--help" || verb == "-h") {
+        usage();
+        return 0;
+    }
+    std::cerr << "pes_coordinator: unknown verb '" << verb << "'\n\n";
+    usage();
+    return 1;
+}

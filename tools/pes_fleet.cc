@@ -20,6 +20,9 @@
  * boundary (wall-clock and throughput go to stdout only).
  */
 
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <filesystem>
@@ -27,8 +30,10 @@
 #include <iostream>
 #include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 
+#include "coordinator/lease_queue.hh"
 #include "core/experiment.hh"
 #include "corpus/corpus_store.hh"
 #include "results/report_diff.hh"
@@ -166,6 +171,24 @@ usage()
         "spec file,\n"
         "                     4 malformed/invalid spec or severity "
         "grid\n"
+        "  pes_fleet work --coordinator=DIR [--worker=ID] "
+        "[--threads=N]\n"
+        "                     [--max-ranges=N] [--idle-timeout-ms=MS] "
+        "[--quiet]\n"
+        "                     claim job-range leases from a "
+        "pes_coordinator queue and\n"
+        "                     execute them into the sweep's shared "
+        "result store,\n"
+        "                     heartbeating while running. Run any "
+        "number of workers\n"
+        "                     concurrently (and kill them freely): "
+        "expired leases are\n"
+        "                     reissued and the reduced report stays "
+        "byte-identical to a\n"
+        "                     whole single-process run. exit: 0 queue "
+        "drained, 1 run\n"
+        "                     problems, 2 starved with the sweep "
+        "incomplete\n"
         "  pes_fleet diff BASE TEST [--exact] [--tolerance=REL] "
         "[--abs-tolerance=ABS]\n"
         "                     [--metric=LIST] [--tolerance-file=FILE] "
@@ -741,6 +764,250 @@ cmdDiff(int argc, char **argv)
     return diffExitCode(summary);
 }
 
+// --------------------------------------------------------------- work
+
+/**
+ * Coordinator worker: claim ranges from a lease queue, execute each as
+ * an external-range fleet run into the shared result store, heartbeat
+ * while running, and publish an observed sessions/sec estimate for the
+ * coordinator's straggler-steal rule. Exits 0 when the queue drains.
+ */
+int
+cmdWork(int argc, char **argv)
+{
+    std::string queue_dir;
+    std::string worker_id;
+    long threads = 0;
+    long max_ranges = 0;
+    long stall_ms = 0;
+    long idle_timeout_ms = 120000;
+    bool quiet = false;
+    ObsOptions obs;
+
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        std::string value;
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (obs.consume(arg)) {
+            // observability flags (shared across verbs)
+        } else if (flagValue(arg, "coordinator", value)) {
+            queue_dir = value;
+        } else if (flagValue(arg, "worker", value)) {
+            worker_id = value;
+        } else if (flagValue(arg, "threads", value)) {
+            threads = parseLong(value, "threads");
+            fatal_if(threads < 1 || threads > 4096,
+                     "--threads must be in [1, 4096]");
+        } else if (flagValue(arg, "max-ranges", value)) {
+            max_ranges = parseLong(value, "max-ranges");
+        } else if (flagValue(arg, "stall-after-claim-ms", value)) {
+            // Chaos/CI hook: hold the first claimed lease this long
+            // before executing it — a deterministic window to SIGKILL
+            // the worker "mid-lease" and exercise expiry + reissue.
+            stall_ms = parseLong(value, "stall-after-claim-ms");
+        } else if (flagValue(arg, "idle-timeout-ms", value)) {
+            idle_timeout_ms = parseLong(value, "idle-timeout-ms");
+        } else {
+            std::cerr << "work: unknown option '" << arg << "'\n\n";
+            usage();
+            return 1;
+        }
+    }
+    fatal_if(queue_dir.empty(),
+             "work: --coordinator=DIR (the lease queue) is required");
+    obs.applyLogging(true);
+    if (worker_id.empty())
+        worker_id = "w" + std::to_string(static_cast<long>(::getpid()));
+
+    std::string error;
+    auto queue = LeaseQueue::open(queue_dir, &error);
+    fatal_if(!queue, "work: %s", error.c_str());
+
+    // Rebuild the sweep from the queue's stored identity; the store
+    // create() below re-verifies it against the manifest, so a worker
+    // from an incompatible build fails loudly before claiming.
+    FleetConfig base = configOf(queue->plan());
+    base.threads = threads > 0 ? static_cast<int>(threads)
+                               : Experiment::defaultSweepThreads();
+    auto store = ResultStore::create(queue->plan().resultsDir,
+                                     SweepSpec::fromConfig(base),
+                                     &error);
+    fatal_if(!store, "work: cannot open results store: %s",
+             error.c_str());
+
+    std::optional<TraceEventSink> trace_sink = obs.makeTraceSink();
+    RunTelemetry work_rt;
+
+    uint64_t ranges_done = 0;
+    uint64_t ranges_fenced = 0;
+    bool stalled_once = false;
+    int64_t idle_since = wallClockMs();
+
+    for (;;) {
+        std::vector<Lease> leases;
+        fatal_if(!queue->loadLeases(&leases, &error), "work: %s",
+                 error.c_str());
+        uint64_t done = 0;
+        const Lease *claimable = nullptr;
+        for (const Lease &lease : leases) {
+            if (lease.state == LeaseState::Done)
+                ++done;
+            else if (lease.state == LeaseState::Open && !claimable)
+                claimable = &lease;
+        }
+        if (done == leases.size())
+            break;
+        if (!claimable) {
+            // Everything pending is leased to peers; their leases
+            // either complete or the coordinator expires them back to
+            // open. Idle-wait, bounded so a dead coordinator cannot
+            // hang the worker forever.
+            if (wallClockMs() - idle_since > idle_timeout_ms) {
+                std::cerr << "work: no claimable range for "
+                          << idle_timeout_ms
+                          << " ms and the sweep is not done (is "
+                             "pes_coordinator run alive?)\n";
+                return 2;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(40));
+            continue;
+        }
+
+        Lease mine;
+        if (!queue->tryClaim(*claimable, worker_id, wallClockMs(),
+                             &mine, &error)) {
+            fatal_if(!error.empty(), "work: %s", error.c_str());
+            continue; // lost the race; rescan
+        }
+        idle_since = wallClockMs();
+        if (stall_ms > 0 && !stalled_once) {
+            stalled_once = true;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(stall_ms));
+        }
+
+        // Heartbeat while the range executes. The runner has no
+        // cooperative yield points, so renewal rides a side thread;
+        // losing the lease mid-run only matters at publish time, where
+        // the store fence (below) refuses the checkpoint.
+        std::atomic<bool> hb_stop{false};
+        std::thread hb([&] {
+            const int64_t period =
+                std::max<int64_t>(queue->plan().leaseMs / 3, 50);
+            while (!hb_stop.load()) {
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(period));
+                if (hb_stop.load())
+                    break;
+                std::string hb_error;
+                queue->heartbeat(mine, wallClockMs(), &hb_error);
+            }
+        });
+
+        store->setPublishFence([&](std::string *why) {
+            if (queue->stillOwned(mine))
+                return true;
+            if (why)
+                *why = "range " + std::to_string(mine.seq) +
+                       " epoch " + std::to_string(mine.epoch) +
+                       " no longer held by " + worker_id;
+            return false;
+        });
+
+        FleetConfig config = base;
+        config.externalRanges = {JobRange{mine.first, mine.count}};
+        config.persistLabel =
+            worker_id + "-r" + std::to_string(mine.seq) + "-e" +
+            std::to_string(mine.epoch);
+        config.resultStore = &*store;
+        TelemetryRegistry telemetry;
+        telemetry.setEnabled(true);
+        config.telemetry = &telemetry;
+        if (trace_sink)
+            config.traceSink = &*trace_sink;
+
+        FleetRunner runner(std::move(config));
+        FleetOutcome outcome = runner.run();
+
+        hb_stop.store(true);
+        hb.join();
+        store->setPublishFence(nullptr);
+
+        bool fenced = false;
+        for (const std::string &d : outcome.diagnostics)
+            fenced = fenced ||
+                d.find("lease fenced") != std::string::npos;
+        if (fenced) {
+            // The lease was reissued under us: drop the range without
+            // completing it — the new holder re-runs it, and whatever
+            // we already checkpointed deduplicates at reduction.
+            ++ranges_fenced;
+            if (!quiet) {
+                std::cout << "[" << worker_id << ": range "
+                          << mine.seq << " fenced (lease reissued); "
+                          << "abandoning]\n";
+            }
+            continue;
+        }
+        if (!outcome.diagnostics.empty()) {
+            for (const std::string &d : outcome.diagnostics)
+                std::cerr << "FAIL " << d << "\n";
+            return 1;
+        }
+
+        foldRunTelemetry(work_rt, makeRunTelemetry(runner.config(),
+                                                   outcome));
+        if (!queue->complete(mine, &error)) {
+            // Completed the work but lost the lease in the final
+            // window — same as fenced: the re-run's records are
+            // identical duplicates.
+            ++ranges_fenced;
+            continue;
+        }
+        ++ranges_done;
+        if (!quiet) {
+            std::cout << "[" << worker_id << ": range " << mine.seq
+                      << " (" << mine.count << " jobs) done]\n";
+        }
+
+        // Publish the observed rate for the straggler-steal rule.
+        WorkerRate rate;
+        rate.worker = worker_id;
+        rate.sessions = work_rt.sessions;
+        rate.busyMs = work_rt.executeMs;
+        rate.sessionsPerSec = work_rt.sessionsPerSec;
+        rate.updatedMs = wallClockMs();
+        std::string rate_error;
+        if (!queue->writeWorkerRate(rate, &rate_error))
+            warn("work: cannot publish rate: %s", rate_error.c_str());
+
+        if (max_ranges > 0 &&
+            ranges_done >= static_cast<uint64_t>(max_ranges))
+            break;
+    }
+
+    if (!quiet) {
+        std::cout << worker_id << ": " << ranges_done
+                  << " range(s) done, " << work_rt.sessions
+                  << " sessions";
+        if (ranges_fenced > 0)
+            std::cout << ", " << ranges_fenced << " fenced";
+        std::cout << "\n";
+    }
+    if (obs.wantsTelemetry() && !obs.telemetryOut.empty()) {
+        work_rt.tool = "work";
+        writeTelemetryFile(work_rt, obs.telemetryOut);
+    }
+    if (trace_sink && !obs.traceOut.empty())
+        writeTraceFile(*trace_sink, obs.traceOut);
+    return 0;
+}
+
 // ------------------------------------------------------------- stress
 
 /** --list-families: the discovery view of the scenario registry. */
@@ -1073,6 +1340,8 @@ main(int argc, char **argv)
         return cmdDiff(argc, argv);
     if (argc > 1 && argv[1] == std::string("stress"))
         return cmdStress(argc, argv);
+    if (argc > 1 && argv[1] == std::string("work"))
+        return cmdWork(argc, argv);
     // "run" is the default verb; accept it spelled out for symmetry
     // with merge/diff/stress.
     const int arg_start =
