@@ -137,6 +137,14 @@ planText(const QueuePlan &plan)
     writeJsonStringArray(os, plan.apps);
     os << ",\n    \"schedulers\": ";
     writeJsonStringArray(os, plan.schedulers);
+    if (plan.population) {
+        // The canonical spec text round-trips through the spec-file
+        // grammar, so workers re-derive the identical digest.
+        std::string spec = populationSpecText(*plan.population);
+        while (!spec.empty() && spec.back() == '\n')
+            spec.pop_back();
+        os << ",\n    \"population\": " << spec;
+    }
     os << "\n  },\n"
        << "  \"ranges\": [";
     for (size_t i = 0; i < plan.ranges.size(); ++i) {
@@ -184,6 +192,19 @@ parsePlan(const std::string &text, QueuePlan &out, std::string *error)
         out.warmDrivers = v->number() != 0.0;
     if (const JsonValue *v = sweep->find("checkpoint_every"))
         out.checkpointEvery = static_cast<int>(v->number());
+    if (const JsonValue *v = sweep->find("population")) {
+        std::vector<IntegrityProblem> problems;
+        auto spec =
+            parsePopulationSpecJson(*v, "queue.json population",
+                                    problems);
+        if (!spec) {
+            setError(error, problems.empty()
+                                ? "queue.json: bad population spec"
+                                : problems[0].message);
+            return false;
+        }
+        out.population = std::move(*spec);
+    }
     const JsonValue *devices = sweep->find("devices");
     const JsonValue *apps = sweep->find("apps");
     const JsonValue *schedulers = sweep->find("schedulers");
@@ -227,6 +248,11 @@ configOf(const QueuePlan &plan)
     config.users = plan.users;
     config.warmDrivers = plan.warmDrivers;
     config.checkpointEvery = plan.checkpointEvery;
+    if (plan.population) {
+        config.population = &*plan.population;
+        config.populationTag = populationTag(*plan.population);
+        config.populationDigest = populationDigest(*plan.population);
+    }
     for (const std::string &name : plan.devices) {
         const auto device = deviceByPlatformName(name);
         fatal_if(!device, "queue: unknown device '%s'", name.c_str());

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "population/population_spec.hh"
 #include "runner/fleet_config.hh"
 
 namespace pes {
@@ -117,6 +118,13 @@ struct QueuePlan
     std::vector<std::string> schedulers;
     /** Checkpoint cadence workers run with (not identity-bearing). */
     int checkpointEvery = 1024;
+    /**
+     * Optional mixture population of the sweep (identity-bearing).
+     * Embedded in queue.json as the canonical spec JSON, so every
+     * worker reconstructs the exact spec — and therefore the exact
+     * digest, tag and user seeds — from the plan alone.
+     */
+    std::optional<PopulationSpec> population;
 
     /** The partition of [0, jobCount) into ranges, in seq order. */
     std::vector<JobRange> ranges;
@@ -127,7 +135,8 @@ struct QueuePlan
  * identity. Axes resolve through the same registries the CLI uses, so
  * SweepSpec::fromConfig(configOf(plan)) equals the spec the queue was
  * initialized with. Fatal on unknown axis names (a queue written by an
- * incompatible build).
+ * incompatible build). The config borrows the plan's embedded
+ * population spec, so @p plan must outlive the returned config.
  */
 FleetConfig configOf(const QueuePlan &plan);
 

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 
 #include "util/binary_io.hh"
 #include "util/json.hh"
+#include "util/rng.hh"
 
 namespace fs = std::filesystem;
 
@@ -15,11 +17,32 @@ namespace pes {
 
 namespace {
 
+/** Salt decorrelating the segment split from every other consumer of
+ *  the user seed (job hashing, trait sampling, ...). */
+constexpr uint64_t kSegmentSalt = 0x5e60c047'ed5eed5ull;
+
 void
 setError(std::string *error, const std::string &why)
 {
     if (error)
         *error = why;
+}
+
+/** Parse "manifest.seg-<k>-of-<n>.json"; false for any other name. */
+bool
+parseSegmentName(const std::string &name, int *k, int *n)
+{
+    int pk = -1, pn = -1;
+    char tail = '\0';
+    if (std::sscanf(name.c_str(), "manifest.seg-%d-of-%d.jso%c", &pk,
+                    &pn, &tail) != 3 ||
+        tail != 'n' || pk < 0 || pn < 1 || pk >= pn)
+        return false;
+    if (name != CorpusStore::segmentManifestName(pk, pn))
+        return false;  // reject zero-padded / suffixed variants
+    *k = pk;
+    *n = pn;
+    return true;
 }
 
 /** File-name-safe slug: lowercase alnum, everything else '-'. */
@@ -91,9 +114,125 @@ CorpusStore::open(const std::string &dir, std::string *error)
     }
     CorpusStore store;
     store.dir_ = dir;
-    if (!store.loadManifest(error))
+    if (fs::exists(fs::path(dir) / kManifestName, ec)) {
+        if (!store.loadManifest(error))
+            return std::nullopt;
+        return store;
+    }
+
+    // No whole manifest: discover a segment set. All segment files must
+    // agree on one n and cover 0..n-1 — a partial copy must fail here,
+    // not silently replay a fraction of the corpus.
+    std::vector<bool> seen;
+    int seg_count = 0;
+    for (const auto &de : fs::directory_iterator(dir, ec)) {
+        int k = 0, n = 0;
+        if (!parseSegmentName(de.path().filename().string(), &k, &n))
+            continue;
+        if (seg_count == 0) {
+            seg_count = n;
+            seen.assign(static_cast<size_t>(n), false);
+        } else if (n != seg_count) {
+            setError(error, "'" + dir + "' mixes segment sets (" +
+                     std::to_string(seg_count) + "-way and " +
+                     std::to_string(n) + "-way manifests)");
+            return std::nullopt;
+        }
+        seen[static_cast<size_t>(k)] = true;
+    }
+    if (seg_count == 0) {
+        setError(error, "no manifest: '" + dir + "' holds neither " +
+                 kManifestName + " nor a manifest segment set");
         return std::nullopt;
+    }
+    for (int k = 0; k < seg_count; ++k) {
+        if (!seen[static_cast<size_t>(k)]) {
+            setError(error, "'" + dir + "' segment set is incomplete: " +
+                     segmentManifestName(k, seg_count) + " is missing");
+            return std::nullopt;
+        }
+    }
+    for (int k = 0; k < seg_count; ++k) {
+        const std::string path =
+            (fs::path(dir) / segmentManifestName(k, seg_count)).string();
+        if (!store.loadManifestFile(path, k, seg_count, error))
+            return std::nullopt;
+    }
+    store.segCount_ = seg_count;
     return store;
+}
+
+std::optional<CorpusStore>
+CorpusStore::openSegment(const std::string &dir, int k, int n,
+                         std::string *error)
+{
+    if (n < 1 || k < 0 || k >= n) {
+        setError(error, "segment " + std::to_string(k) + "/" +
+                 std::to_string(n) + " is out of range");
+        return std::nullopt;
+    }
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) {
+        setError(error, "'" + dir + "' is not a directory");
+        return std::nullopt;
+    }
+    CorpusStore store;
+    store.dir_ = dir;
+    const std::string path =
+        (fs::path(dir) / segmentManifestName(k, n)).string();
+    if (!store.loadManifestFile(path, -1, 0, error))
+        return std::nullopt;
+    store.segIndex_ = k;
+    store.segCount_ = n;
+    return store;
+}
+
+std::string
+CorpusStore::segmentManifestName(int k, int n)
+{
+    return "manifest.seg-" + std::to_string(k) + "-of-" +
+        std::to_string(n) + ".json";
+}
+
+int
+CorpusStore::segmentOf(uint64_t user_seed, int segments)
+{
+    return static_cast<int>(hashCombine(user_seed, kSegmentSalt) %
+                            static_cast<uint64_t>(segments));
+}
+
+bool
+CorpusStore::shard(int segments, std::string *error)
+{
+    if (segments < 1 || segments > 1000000) {
+        setError(error, "--segments must be in [1, 1e6]");
+        return false;
+    }
+    std::vector<std::vector<CorpusEntry>> buckets(
+        static_cast<size_t>(segments));
+    for (const auto &[key, entry] : entries_) {
+        (void)key;
+        buckets[static_cast<size_t>(segmentOf(entry.userSeed, segments))]
+            .push_back(entry);
+    }
+    for (int k = 0; k < segments; ++k) {
+        const std::string path =
+            (fs::path(dir_) / segmentManifestName(k, segments)).string();
+        if (!writeFileAtomic(path,
+                             manifestText(buckets[static_cast<size_t>(k)]),
+                             error))
+            return false;
+    }
+    // Retire the whole manifest last: open() prefers it, so a crash
+    // before this point leaves the corpus whole and consistent.
+    std::error_code ec;
+    fs::remove(fs::path(dir_) / kManifestName, ec);
+    if (ec) {
+        setError(error, "cannot remove " + std::string(kManifestName) +
+                 ": " + ec.message());
+        return false;
+    }
+    return true;
 }
 
 std::optional<CorpusStore>
@@ -118,7 +257,23 @@ CorpusStore::create(const std::string &dir, std::string *error)
 bool
 CorpusStore::loadManifest(std::string *error)
 {
-    const std::string path = (fs::path(dir_) / kManifestName).string();
+    entries_.clear();
+    fileToKey_.clear();
+    return loadManifestFile((fs::path(dir_) / kManifestName).string(),
+                            -1, 0, error);
+}
+
+/**
+ * Parse one manifest file and append its rows. When @p seg_n > 0 the
+ * file is segment @p seg_k of an @p seg_n-way split, and every row's
+ * seed must hash into that segment — a wrong-segment entry means the
+ * split and this build's hash disagree, so fail loudly instead of
+ * desynchronizing shard-local validation.
+ */
+bool
+CorpusStore::loadManifestFile(const std::string &path, int seg_k,
+                              int seg_n, std::string *error)
+{
     std::ifstream is(path, std::ios::binary);
     if (!is) {
         setError(error, "no manifest: cannot open '" + path + "'");
@@ -147,8 +302,6 @@ CorpusStore::loadManifest(std::string *error)
         return false;
     }
 
-    entries_.clear();
-    fileToKey_.clear();
     for (const JsonValue &tv : traces->arr) {
         if (tv.kind != JsonValue::Kind::Object) {
             setError(error, "manifest '" + path + "': bad trace row");
@@ -172,6 +325,14 @@ CorpusStore::loadManifest(std::string *error)
             e.eventCount = v->number64();
         if (const JsonValue *v = tv.find("checksum"))
             e.checksum = v->number64();
+        if (seg_n > 0 && segmentOf(e.userSeed, seg_n) != seg_k) {
+            setError(error, "manifest '" + path + "': " + e.file +
+                     " (seed " + std::to_string(e.userSeed) +
+                     ") belongs in segment " +
+                     std::to_string(segmentOf(e.userSeed, seg_n)) +
+                     ", not " + std::to_string(seg_k));
+            return false;
+        }
         Key key{e.app, e.device, e.userSeed};
         fileToKey_[e.file] = key;
         entries_[std::move(key)] = std::move(e);
@@ -244,6 +405,13 @@ CorpusStore::add(const InteractionTrace &trace,
 bool
 CorpusStore::save(std::string *error) const
 {
+    if (segIndex_ >= 0) {
+        // A one-segment view must not write manifest.json: open()
+        // prefers the whole manifest, so saving would shadow the other
+        // segments' entries for every future reader.
+        setError(error, "cannot save a single-segment corpus view");
+        return false;
+    }
     const std::string path = (fs::path(dir_) / kManifestName).string();
     return writeFileAtomic(path, manifestText(entries()), error);
 }
@@ -307,6 +475,15 @@ CorpusStore::validate(std::vector<CorpusProblem> &problems) const
     const size_t before = problems.size();
     for (const auto &[key, entry] : entries_) {
         (void)key;
+        if (segIndex_ >= 0 &&
+            segmentOf(entry.userSeed, segCount_) != segIndex_) {
+            problems.push_back(
+                {CorpusProblem::Kind::Mismatch,
+                 entry.file + ": seed " + std::to_string(entry.userSeed) +
+                     " belongs in segment " +
+                     std::to_string(segmentOf(entry.userSeed, segCount_)) +
+                     ", not " + std::to_string(segIndex_)});
+        }
         std::error_code ec;
         if (!fs::exists(pathOf(entry), ec)) {
             problems.push_back(

@@ -50,6 +50,14 @@ struct CorpusEntry
 
 /**
  * A directory of recorded traces with a manifest index.
+ *
+ * A corpus is either *whole* (one manifest.json) or *segmented*: the
+ * manifest split into "manifest.seg-<k>-of-<n>.json" files, each
+ * holding the entries whose hashed user seed lands in segment k (see
+ * segmentOf). Segmentation is pure manifest bookkeeping — the .ptrc
+ * files never move — so shard() is O(manifest), and open() presents a
+ * complete segment set as one logical corpus, byte-identical to the
+ * whole manifest for every reader.
  */
 class CorpusStore
 {
@@ -60,11 +68,45 @@ class CorpusStore
     static constexpr const char *kManifestName = "manifest.json";
 
     /**
-     * Open an existing corpus (reads + parses the manifest); nullopt
-     * with @p error set when the directory or manifest is unusable.
+     * Open an existing corpus. Reads manifest.json when present;
+     * otherwise discovers a complete "manifest.seg-<k>-of-<n>.json"
+     * segment set and merges it into one logical corpus (an incomplete
+     * or mixed set is an error). nullopt with @p error set when the
+     * directory or manifest is unusable.
      */
     static std::optional<CorpusStore> open(const std::string &dir,
                                           std::string *error);
+
+    /**
+     * Open exactly one segment manifest of an @p n-way split —
+     * streaming per-segment validation opens segments one at a time so
+     * memory stays bounded by the largest segment, not the corpus.
+     * Entries in the wrong segment are reported by validate() as
+     * Mismatch problems, not here.
+     */
+    static std::optional<CorpusStore> openSegment(const std::string &dir,
+                                                  int k, int n,
+                                                  std::string *error);
+
+    /** Segment manifest file name: "manifest.seg-<k>-of-<n>.json". */
+    static std::string segmentManifestName(int k, int n);
+
+    /**
+     * The segment of an @p segments-way split that @p user_seed belongs
+     * to. Hashed (not modulo the raw seed) so structured seed sequences
+     * still spread evenly; deterministic, so any machine re-derives the
+     * same split.
+     */
+    static int segmentOf(uint64_t user_seed, int segments);
+
+    /**
+     * Split this corpus's manifest into @p segments hashed-seed segment
+     * manifests and retire manifest.json (each segment written
+     * atomically, the whole-manifest removal last — a crash part-way
+     * leaves manifest.json intact and open() still sees the whole
+     * corpus). The in-memory store keeps serving all entries.
+     */
+    bool shard(int segments, std::string *error);
 
     /**
      * Create a new corpus directory (parents included) with an empty
@@ -131,6 +173,12 @@ class CorpusStore
     /** Message-only convenience overload of validate(). */
     bool validate(std::vector<std::string> &problems) const;
 
+    /** Segment index when opened via openSegment(), -1 otherwise. */
+    int segmentIndex() const { return segIndex_; }
+    /** Segment count when opened from segments (openSegment or a
+     *  discovered set), 0 for a whole-manifest corpus. */
+    int segmentCount() const { return segCount_; }
+
   private:
     /** (app, device, seed): tuple order IS the canonical entry order,
      *  so the map keeps entries sorted with O(log N) adds and find()
@@ -140,6 +188,8 @@ class CorpusStore
     CorpusStore() = default;
 
     bool loadManifest(std::string *error);
+    bool loadManifestFile(const std::string &path, int seg_k, int seg_n,
+                          std::string *error);
     std::string pathOf(const CorpusEntry &entry) const;
 
     std::string dir_;
@@ -147,6 +197,8 @@ class CorpusStore
     /** File name -> owning key: detects slug collisions between
      *  distinct keys before one overwrites the other's recording. */
     std::map<std::string, Key> fileToKey_;
+    int segIndex_ = -1;
+    int segCount_ = 0;
 };
 
 } // namespace pes

@@ -1,0 +1,552 @@
+#include "population/population_spec.hh"
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "util/binary_io.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace pes {
+
+namespace {
+
+/** Domain salt of the per-user trait stream (disjoint from the
+ *  user-model and scenario-mutator streams). */
+constexpr uint64_t kTraitsSalt = 0x9a71c0de5a1full;
+
+/** Domain salt of cohort-scenario mutation streams. */
+constexpr uint64_t kCohortScenarioSalt = 0xc0047a65ce9a110ull;
+
+/** Legal bounds of the trait multiplier ranges: wide enough for any
+ *  plausible behaviour shift, tight enough to keep synthesized
+ *  sessions well-formed (a 0 or negative multiplier would degenerate
+ *  the softmax weights / think times). */
+constexpr double kMinTraitScale = 0.05;
+constexpr double kMaxTraitScale = 8.0;
+
+uint64_t
+doubleBits(double v)
+{
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v), "double is 64-bit");
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+uint64_t
+hashParam(uint64_t h, const SeverityParam &param)
+{
+    h = hashCombine(h, doubleBits(param.at0));
+    return hashCombine(h, doubleBits(param.at1));
+}
+
+/** Lower-case hex spelling of a 64-bit digest, fixed 16 digits. */
+std::string
+digestHex(uint64_t digest)
+{
+    static const char *kDigits = "0123456789abcdef";
+    std::string hex(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        hex[static_cast<size_t>(i)] = kDigits[digest & 0xf];
+        digest >>= 4;
+    }
+    return hex;
+}
+
+void
+writeParamJson(std::ostringstream &os, const char *key,
+               const SeverityParam &param)
+{
+    os << "\"" << key << "\": [" << jsonNum(param.at0) << ", "
+       << jsonNum(param.at1) << "]";
+}
+
+} // namespace
+
+uint64_t
+populationDigest(const PopulationSpec &spec)
+{
+    uint64_t h = hashString(spec.name.c_str());
+    h = hashCombine(h, spec.cohorts.size());
+    for (const CohortSpec &cohort : spec.cohorts) {
+        h = hashCombine(h, hashString(cohort.name.c_str()));
+        h = hashCombine(h, doubleBits(cohort.weight));
+        h = hashParam(h, cohort.thinkScale);
+        h = hashParam(h, cohort.moveAffinity);
+        h = hashParam(h, cohort.tapAffinity);
+        h = hashParam(h, cohort.navAffinity);
+        h = hashCombine(h, hashString(cohort.scenario.c_str()));
+        h = hashParam(h, cohort.severity);
+    }
+    return h;
+}
+
+std::string
+populationTag(const PopulationSpec &spec)
+{
+    return spec.name + "#" + digestHex(populationDigest(spec));
+}
+
+bool
+parsePopulationTag(const std::string &tag, std::string *name,
+                   uint64_t *digest)
+{
+    const size_t hash_at = tag.rfind('#');
+    if (hash_at == std::string::npos || hash_at == 0 ||
+        tag.size() - hash_at - 1 != 16)
+        return false;
+    uint64_t value = 0;
+    for (size_t i = hash_at + 1; i < tag.size(); ++i) {
+        const char c = tag[i];
+        int nibble;
+        if (c >= '0' && c <= '9')
+            nibble = c - '0';
+        else if (c >= 'a' && c <= 'f')
+            nibble = c - 'a' + 10;
+        else
+            return false;
+        value = (value << 4) | static_cast<uint64_t>(nibble);
+    }
+    if (name)
+        *name = tag.substr(0, hash_at);
+    if (digest)
+        *digest = value;
+    return true;
+}
+
+uint64_t
+populationUserSeed(uint64_t digest, uint64_t base_seed, int user_index)
+{
+    return hashCombine(hashCombine(digest, base_seed),
+                       static_cast<uint64_t>(user_index));
+}
+
+UserTraits
+samplePopulationTraits(const PopulationSpec &spec, uint64_t user_seed)
+{
+    panic_if(spec.cohorts.empty(),
+             "population '%s' has no cohorts", spec.name.c_str());
+    Rng rng(hashCombine(user_seed, kTraitsSalt));
+    std::vector<double> weights;
+    weights.reserve(spec.cohorts.size());
+    for (const CohortSpec &cohort : spec.cohorts)
+        weights.push_back(cohort.weight);
+    UserTraits traits;
+    traits.cohort = rng.categorical(weights);
+    const CohortSpec &cohort =
+        spec.cohorts[static_cast<size_t>(traits.cohort)];
+    // Fixed draw order — the trait vector is part of the determinism
+    // contract (same seed, same user, on any worker).
+    traits.scale.thinkScale = cohort.thinkScale.at(rng.uniform());
+    traits.scale.moveAffinity = cohort.moveAffinity.at(rng.uniform());
+    traits.scale.tapAffinity = cohort.tapAffinity.at(rng.uniform());
+    traits.scale.navAffinity = cohort.navAffinity.at(rng.uniform());
+    traits.scenario = cohort.scenario;
+    traits.severity = cohort.severity.at(rng.uniform());
+    return traits;
+}
+
+InteractionTrace
+applyCohortScenario(const UserTraits &traits,
+                    const InteractionTrace &trace, uint64_t user_seed)
+{
+    if (traits.scenario.empty())
+        return trace;
+    const ScenarioFamily *family = findScenarioFamily(traits.scenario);
+    panic_if(!family, "population cohort references unknown scenario "
+             "family '%s'", traits.scenario.c_str());
+    return family->derive(trace, traits.severity,
+                          hashCombine(user_seed, kCohortScenarioSalt));
+}
+
+const std::vector<PopulationSpec> &
+populationRegistry()
+{
+    static const std::vector<PopulationSpec> registry = [] {
+        std::vector<PopulationSpec> specs;
+
+        // Rush-hour mix: mostly on-the-move users with flaky input and
+        // compressed think times, leavened with calm baseline users.
+        PopulationSpec commuters;
+        commuters.name = "commuter_mix";
+        commuters.description =
+            "rush-hour fleet: flaky commuters and hurried users over a "
+            "steady minority";
+        {
+            CohortSpec c;
+            c.name = "commuter";
+            c.weight = 0.5;
+            c.thinkScale = rampParam(0.7, 1.1);
+            c.moveAffinity = rampParam(1.1, 1.6);
+            c.scenario = "flaky_input_commuter";
+            c.severity = rampParam(0.1, 0.5);
+            commuters.cohorts.push_back(c);
+        }
+        {
+            CohortSpec c;
+            c.name = "hurried";
+            c.weight = 0.3;
+            c.thinkScale = rampParam(0.5, 0.9);
+            c.tapAffinity = rampParam(1.1, 1.5);
+            c.scenario = "hurried_user";
+            c.severity = rampParam(0.2, 0.6);
+            commuters.cohorts.push_back(c);
+        }
+        {
+            CohortSpec c;
+            c.name = "steady";
+            c.weight = 0.2;
+            commuters.cohorts.push_back(c);
+        }
+        specs.push_back(std::move(commuters));
+
+        // Evening mix: long-session bingers dominate, with a casual
+        // tail of short, tap-happy sessions.
+        PopulationSpec evening;
+        evening.name = "evening_binge";
+        evening.description =
+            "evening fleet: marathon bingers with a casual tap-happy "
+            "tail";
+        {
+            CohortSpec c;
+            c.name = "binger";
+            c.weight = 0.6;
+            c.thinkScale = rampParam(1.0, 1.5);
+            c.navAffinity = rampParam(0.7, 1.0);
+            c.scenario = "marathon_binge";
+            c.severity = rampParam(0.2, 0.7);
+            evening.cohorts.push_back(c);
+        }
+        {
+            CohortSpec c;
+            c.name = "casual";
+            c.weight = 0.4;
+            c.thinkScale = rampParam(0.8, 1.2);
+            c.tapAffinity = rampParam(1.0, 1.4);
+            evening.cohorts.push_back(c);
+        }
+        specs.push_back(std::move(evening));
+
+        // Broad city blend: every built-in behaviour shape at once —
+        // the default heterogeneous-fleet population.
+        PopulationSpec city;
+        city.name = "city_blend";
+        city.description =
+            "heterogeneous city fleet: commuters, bingers, hurried and "
+            "steady users blended";
+        {
+            CohortSpec c;
+            c.name = "commuter";
+            c.weight = 0.3;
+            c.thinkScale = rampParam(0.7, 1.1);
+            c.moveAffinity = rampParam(1.1, 1.5);
+            c.scenario = "flaky_input_commuter";
+            c.severity = rampParam(0.1, 0.4);
+            city.cohorts.push_back(c);
+        }
+        {
+            CohortSpec c;
+            c.name = "binger";
+            c.weight = 0.25;
+            c.thinkScale = rampParam(1.0, 1.4);
+            c.scenario = "marathon_binge";
+            c.severity = rampParam(0.1, 0.5);
+            city.cohorts.push_back(c);
+        }
+        {
+            CohortSpec c;
+            c.name = "hurried";
+            c.weight = 0.25;
+            c.thinkScale = rampParam(0.5, 0.9);
+            c.tapAffinity = rampParam(1.1, 1.6);
+            c.scenario = "hurried_user";
+            c.severity = rampParam(0.2, 0.5);
+            city.cohorts.push_back(c);
+        }
+        {
+            CohortSpec c;
+            c.name = "steady";
+            c.weight = 0.2;
+            c.thinkScale = rampParam(0.9, 1.1);
+            city.cohorts.push_back(c);
+        }
+        specs.push_back(std::move(city));
+
+        for (const PopulationSpec &spec : specs) {
+            std::vector<IntegrityProblem> problems;
+            panic_if(!validatePopulationSpec(spec, problems),
+                     "built-in population '%s' fails validation: %s",
+                     spec.name.c_str(),
+                     problems.empty() ? "?"
+                                      : problems[0].message.c_str());
+        }
+        return specs;
+    }();
+    return registry;
+}
+
+const PopulationSpec *
+findPopulation(const std::string &name)
+{
+    for (const PopulationSpec &spec : populationRegistry()) {
+        if (spec.name == name)
+            return &spec;
+    }
+    return nullptr;
+}
+
+bool
+validatePopulationSpec(const PopulationSpec &spec,
+                       std::vector<IntegrityProblem> &problems)
+{
+    const size_t before = problems.size();
+    const auto fail = [&](const std::string &message) {
+        problems.push_back({IntegrityProblem::Kind::Mismatch,
+                            "population '" + spec.name + "': " +
+                                message});
+    };
+    if (!validScenarioName(spec.name))
+        fail("illegal name (want [a-z0-9_]+, <= 64 chars)");
+    if (spec.cohorts.empty())
+        fail("no cohorts");
+
+    const auto checkRange = [&](const std::string &where,
+                                const char *param,
+                                const SeverityParam &range, double lo,
+                                double hi) {
+        if (!std::isfinite(range.at0) || !std::isfinite(range.at1) ||
+            range.at0 < lo || range.at0 > hi || range.at1 < lo ||
+            range.at1 > hi || range.at0 > range.at1) {
+            std::ostringstream os;
+            os << where << ": " << param << " range [" << range.at0
+               << ", " << range.at1 << "] outside [" << lo << ", "
+               << hi << "] (or lo > hi)";
+            fail(os.str());
+        }
+    };
+
+    for (size_t i = 0; i < spec.cohorts.size(); ++i) {
+        const CohortSpec &cohort = spec.cohorts[i];
+        const std::string where =
+            "cohort " + std::to_string(i) + " ('" + cohort.name + "')";
+        if (!validScenarioName(cohort.name))
+            fail(where + ": illegal cohort name");
+        if (!std::isfinite(cohort.weight) || cohort.weight <= 0.0)
+            fail(where + ": weight must be finite and > 0");
+        checkRange(where, "think_scale", cohort.thinkScale,
+                   kMinTraitScale, kMaxTraitScale);
+        checkRange(where, "move_affinity", cohort.moveAffinity,
+                   kMinTraitScale, kMaxTraitScale);
+        checkRange(where, "tap_affinity", cohort.tapAffinity,
+                   kMinTraitScale, kMaxTraitScale);
+        checkRange(where, "nav_affinity", cohort.navAffinity,
+                   kMinTraitScale, kMaxTraitScale);
+        checkRange(where, "severity", cohort.severity, 0.0, 1.0);
+        if (!cohort.scenario.empty() &&
+            !findScenarioFamily(cohort.scenario))
+            fail(where + ": unknown scenario family '" +
+                 cohort.scenario + "'");
+    }
+    return problems.size() == before;
+}
+
+std::optional<PopulationSpec>
+parsePopulationSpecJson(const JsonValue &root, const std::string &where,
+                        std::vector<IntegrityProblem> &problems)
+{
+    const size_t before = problems.size();
+    const auto fail = [&](IntegrityProblem::Kind kind,
+                          const std::string &message) {
+        problems.push_back({kind, where + ": " + message});
+    };
+    if (root.kind != JsonValue::Kind::Object) {
+        fail(IntegrityProblem::Kind::Corrupt,
+             "not a JSON object (malformed population spec)");
+        return std::nullopt;
+    }
+    const JsonValue *version = root.find("version");
+    if (!version ||
+        static_cast<int>(version->number()) != PopulationSpec::kVersion) {
+        fail(IntegrityProblem::Kind::Mismatch,
+             "unsupported spec version " +
+                 (version ? version->str : std::string("<missing>")) +
+                 " (this build reads " +
+                 std::to_string(PopulationSpec::kVersion) + ")");
+    }
+
+    PopulationSpec spec;
+    const JsonValue *name = root.find("name");
+    if (!name || name->kind != JsonValue::Kind::String) {
+        fail(IntegrityProblem::Kind::Mismatch, "missing \"name\"");
+    } else {
+        spec.name = name->str;
+    }
+    if (const JsonValue *desc = root.find("description"))
+        spec.description = desc->str;
+
+    /** A trait parameter: a bare number (constant) or [lo, hi]. */
+    const auto parseParam = [&](const JsonValue &v, SeverityParam &out,
+                                const std::string &at) {
+        if (v.kind == JsonValue::Kind::Number) {
+            out = constantParam(v.number());
+            return true;
+        }
+        if (v.kind == JsonValue::Kind::Array && v.arr.size() == 2 &&
+            v.arr[0].kind == JsonValue::Kind::Number &&
+            v.arr[1].kind == JsonValue::Kind::Number) {
+            out = rampParam(v.arr[0].number(), v.arr[1].number());
+            return true;
+        }
+        fail(IntegrityProblem::Kind::Mismatch,
+             at + ": parameter must be a number or a two-element "
+                  "[lo, hi] range");
+        return false;
+    };
+
+    const JsonValue *cohorts = root.find("cohorts");
+    if (!cohorts || cohorts->kind != JsonValue::Kind::Array) {
+        fail(IntegrityProblem::Kind::Mismatch,
+             "missing \"cohorts\" array");
+    } else {
+        for (size_t i = 0; i < cohorts->arr.size(); ++i) {
+            const JsonValue &row = cohorts->arr[i];
+            const std::string at = "cohort " + std::to_string(i);
+            if (row.kind != JsonValue::Kind::Object) {
+                fail(IntegrityProblem::Kind::Mismatch,
+                     at + ": not a JSON object");
+                continue;
+            }
+            CohortSpec cohort;
+            const JsonValue *cname = row.find("name");
+            if (!cname || cname->kind != JsonValue::Kind::String) {
+                fail(IntegrityProblem::Kind::Mismatch,
+                     at + ": missing \"name\"");
+                continue;
+            }
+            cohort.name = cname->str;
+            if (const JsonValue *v = row.find("weight")) {
+                if (v->kind != JsonValue::Kind::Number) {
+                    fail(IntegrityProblem::Kind::Mismatch,
+                         at + ": \"weight\" must be a number");
+                    continue;
+                }
+                cohort.weight = v->number();
+            }
+            if (const JsonValue *v = row.find("think_scale"))
+                parseParam(*v, cohort.thinkScale, at + " think_scale");
+            if (const JsonValue *v = row.find("move_affinity"))
+                parseParam(*v, cohort.moveAffinity,
+                           at + " move_affinity");
+            if (const JsonValue *v = row.find("tap_affinity"))
+                parseParam(*v, cohort.tapAffinity,
+                           at + " tap_affinity");
+            if (const JsonValue *v = row.find("nav_affinity"))
+                parseParam(*v, cohort.navAffinity,
+                           at + " nav_affinity");
+            if (const JsonValue *v = row.find("scenario")) {
+                if (v->kind != JsonValue::Kind::String) {
+                    fail(IntegrityProblem::Kind::Mismatch,
+                         at + ": \"scenario\" must be a string");
+                    continue;
+                }
+                cohort.scenario = v->str;
+            }
+            if (const JsonValue *v = row.find("severity"))
+                parseParam(*v, cohort.severity, at + " severity");
+            spec.cohorts.push_back(std::move(cohort));
+        }
+    }
+    if (problems.size() != before)
+        return std::nullopt;
+
+    std::vector<IntegrityProblem> structural;
+    if (!validatePopulationSpec(spec, structural)) {
+        for (const IntegrityProblem &p : structural)
+            problems.push_back(
+                {IntegrityProblem::Kind::Mismatch,
+                 where + ": " + p.message});
+        return std::nullopt;
+    }
+    return spec;
+}
+
+std::optional<PopulationSpec>
+loadPopulationSpec(const std::string &path,
+                   std::vector<IntegrityProblem> &problems)
+{
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+        problems.push_back({IntegrityProblem::Kind::MissingFile,
+                            path + ": no such population spec file"});
+        return std::nullopt;
+    }
+    std::string text, error;
+    if (!readFileBytes(path, text, &error)) {
+        problems.push_back(
+            {IntegrityProblem::Kind::Corrupt, path + ": " + error});
+        return std::nullopt;
+    }
+    const auto root = parseJson(text);
+    if (!root) {
+        problems.push_back(
+            {IntegrityProblem::Kind::Corrupt,
+             path + ": not a JSON object (malformed population spec)"});
+        return std::nullopt;
+    }
+    return parsePopulationSpecJson(*root, path, problems);
+}
+
+std::string
+populationSpecText(const PopulationSpec &spec)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"version\": " << PopulationSpec::kVersion << ",\n"
+       << "  \"name\": \"" << jsonEscape(spec.name) << "\",\n"
+       << "  \"description\": \"" << jsonEscape(spec.description)
+       << "\",\n"
+       << "  \"cohorts\": [";
+    for (size_t i = 0; i < spec.cohorts.size(); ++i) {
+        const CohortSpec &cohort = spec.cohorts[i];
+        os << (i ? ",\n" : "\n");
+        os << "    {\"name\": \"" << jsonEscape(cohort.name)
+           << "\", \"weight\": " << jsonNum(cohort.weight) << ",\n"
+           << "     ";
+        writeParamJson(os, "think_scale", cohort.thinkScale);
+        os << ", ";
+        writeParamJson(os, "move_affinity", cohort.moveAffinity);
+        os << ",\n     ";
+        writeParamJson(os, "tap_affinity", cohort.tapAffinity);
+        os << ", ";
+        writeParamJson(os, "nav_affinity", cohort.navAffinity);
+        os << ",\n     \"scenario\": \"" << jsonEscape(cohort.scenario)
+           << "\", ";
+        writeParamJson(os, "severity", cohort.severity);
+        os << "}";
+    }
+    os << "\n  ]\n}\n";
+    return os.str();
+}
+
+std::optional<PopulationSpec>
+resolvePopulation(const std::string &ref,
+                  std::vector<IntegrityProblem> &problems)
+{
+    const bool is_path = ref.size() > 5 &&
+        ref.compare(ref.size() - 5, 5, ".json") == 0;
+    if (is_path)
+        return loadPopulationSpec(ref, problems);
+    if (const PopulationSpec *spec = findPopulation(ref))
+        return *spec;
+    problems.push_back(
+        {IntegrityProblem::Kind::Mismatch,
+         "unknown population '" + ref +
+             "' (not a built-in; spec files end in .json)"});
+    return std::nullopt;
+}
+
+} // namespace pes

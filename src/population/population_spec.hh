@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Mixture-model user populations: the million-user axis, generated
+ * rather than stored.
+ *
+ * A PopulationSpec names a heterogeneous user population as a mixture
+ * of cohorts. Each cohort carries a mixture weight, uniform ranges over
+ * the UserModel behavioural multipliers (think-time scale and the
+ * move/tap/nav affinities — the SeverityParam [at0, at1] ramp machinery
+ * reused as distribution bounds), and optionally a scenario family plus
+ * a severity range, so "commuter", "binger" and "hurried" users are
+ * composed from the existing stress vocabulary.
+ *
+ * The sampler is the scaling trick: user @c i of a population is a pure
+ * function of (population digest, base seed, i) — a per-user seed plus
+ * per-user trait draws — so a 10M-user axis costs zero storage and any
+ * worker can materialize any slice independently. Determinism contract:
+ *
+ *  - populationUserSeed() needs only the spec DIGEST, which travels
+ *    inside the population tag ("<name>#<16-hex-digest>") through sweep
+ *    specs, store manifests and report meta — result reduction can
+ *    verify record seeds without the full spec in hand;
+ *  - samplePopulationTraits() derives every draw from the user seed via
+ *    util/rng hashing, so traits are recomputable wherever the trace
+ *    loader runs (cache refills, corpus-less workers, resumed runs);
+ *  - two specs are byte-for-byte interchangeable iff their digests
+ *    match: stores and diffs refuse to mix tags, exactly like
+ *    scenarios.
+ *
+ * Spec files load like scenario specs: versioned JSON, every failure a
+ * classified IntegrityProblem (MissingFile / Corrupt / Mismatch), never
+ * a crash.
+ */
+
+#ifndef PES_POPULATION_POPULATION_SPEC_HH
+#define PES_POPULATION_POPULATION_SPEC_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/scenario_family.hh"
+#include "trace/trace.hh"
+#include "trace/user_model.hh"
+#include "util/integrity.hh"
+
+namespace pes {
+
+/**
+ * One cohort of a mixture population. Trait parameters are uniform
+ * ranges [at0, at1] (a constant when at0 == at1); each user sampled
+ * into the cohort draws once from every range.
+ */
+struct CohortSpec
+{
+    /** Identifier ([a-z0-9_]+, <= 64 chars). */
+    std::string name;
+    /** Mixture weight (> 0; weights need not sum to 1). */
+    double weight = 1.0;
+    /** Think-time multiplier range (UserParams::thinkScale). */
+    SeverityParam thinkScale = constantParam(1.0);
+    /** Move-class affinity multiplier range. */
+    SeverityParam moveAffinity = constantParam(1.0);
+    /** Tap-class affinity multiplier range. */
+    SeverityParam tapAffinity = constantParam(1.0);
+    /** Navigation-class affinity multiplier range. */
+    SeverityParam navAffinity = constantParam(1.0);
+    /** Optional built-in scenario family stressing this cohort's
+     *  traces (empty = unstressed). */
+    std::string scenario;
+    /** Severity range of that family, endpoints in [0, 1]. */
+    SeverityParam severity = constantParam(0.0);
+};
+
+/** A named, versioned mixture population. */
+struct PopulationSpec
+{
+    /** Spec-file format version this build reads. */
+    static constexpr int kVersion = 1;
+
+    /** Identifier ([a-z0-9_]+, <= 64 chars): carried into sweep specs,
+     *  store manifests and report meta as "<name>#<digest>". */
+    std::string name;
+    /** One-line human description (--list-populations). */
+    std::string description;
+    /** Mixture components (at least one). */
+    std::vector<CohortSpec> cohorts;
+};
+
+/** Per-user draw from a population: the cohort, the UserModel
+ *  multipliers, and the cohort's scenario at the drawn severity. */
+struct UserTraits
+{
+    /** Index into PopulationSpec::cohorts. */
+    int cohort = 0;
+    /** Multipliers applied on top of the seed-sampled UserParams. */
+    UserParams scale;
+    /** Scenario family name (empty = none). */
+    std::string scenario;
+    /** Severity of that family for this user. */
+    double severity = 0.0;
+};
+
+/**
+ * Content digest of @p spec: equal iff every identity-relevant field
+ * (name, cohorts, weights, ranges, scenarios) is equal. This is the
+ * population identity that sweep seeds and store manifests key on.
+ */
+uint64_t populationDigest(const PopulationSpec &spec);
+
+/** The canonical identity tag "<name>#<16-hex-digest>". */
+std::string populationTag(const PopulationSpec &spec);
+
+/**
+ * Split a tag back into name and digest. False when @p tag is not of
+ * the canonical "<name>#<16-hex-digest>" form.
+ */
+bool parsePopulationTag(const std::string &tag, std::string *name,
+                        uint64_t *digest);
+
+/**
+ * Trace seed of user @p user_index in a population sweep: a pure
+ * function of (digest, base_seed, user_index), so the user axis of a
+ * million-user sweep is generated, never stored, and record seeds are
+ * verifiable from the tag alone.
+ */
+uint64_t populationUserSeed(uint64_t digest, uint64_t base_seed,
+                            int user_index);
+
+/**
+ * Draw the traits of the user behind @p user_seed: cohort pick by
+ * mixture weight, then one uniform draw per trait range. Pure in
+ * (spec, user_seed) — recomputable wherever the seed is known.
+ */
+UserTraits samplePopulationTraits(const PopulationSpec &spec,
+                                  uint64_t user_seed);
+
+/**
+ * Apply @p traits' cohort scenario to a synthesized trace (identity
+ * when the cohort has none). The mutation stream derives from
+ * @p user_seed, so derived traces are byte-stable across cache refills
+ * and workers.
+ */
+InteractionTrace applyCohortScenario(const UserTraits &traits,
+                                     const InteractionTrace &trace,
+                                     uint64_t user_seed);
+
+/** The built-in mixture populations (commuter/binger/hurried blends
+ *  over the scenario-family registry). */
+const std::vector<PopulationSpec> &populationRegistry();
+
+/** Registry lookup by name; nullptr when unknown. */
+const PopulationSpec *findPopulation(const std::string &name);
+
+/**
+ * Validate @p spec structurally: legal names, at least one cohort,
+ * positive finite weights, trait ranges inside their legal bounds over
+ * the whole interval, severities in [0, 1], and every referenced
+ * scenario present in the built-in registry. Appends one classified
+ * Mismatch per finding; true when clean.
+ */
+bool validatePopulationSpec(const PopulationSpec &spec,
+                            std::vector<IntegrityProblem> &problems);
+
+/**
+ * Load a population from a JSON spec file:
+ *
+ *   {
+ *     "version": 1,
+ *     "name": "city_mix",
+ *     "description": "optional free text",
+ *     "cohorts": [
+ *       {"name": "commuter", "weight": 0.5,
+ *        "think_scale": [0.7, 1.1], "tap_affinity": 1.2,
+ *        "scenario": "flaky_input_commuter", "severity": [0.1, 0.5]},
+ *       {"name": "steady", "weight": 0.5}
+ *     ]
+ *   }
+ *
+ * Trait parameters are a number (constant) or a two-element [lo, hi]
+ * range. All failures are classified into @p problems (MissingFile /
+ * Corrupt / Mismatch) and yield nullopt — never a crash.
+ */
+std::optional<PopulationSpec>
+loadPopulationSpec(const std::string &path,
+                   std::vector<IntegrityProblem> &problems);
+
+/**
+ * Canonical JSON serialization of @p spec (always full fields, ramps
+ * as two-element arrays): embedded verbatim in coordinator queue plans
+ * so `pes_fleet work` reconstructs the exact spec, and round-trips
+ * through loadPopulationSpec's grammar.
+ */
+std::string populationSpecText(const PopulationSpec &spec);
+
+/**
+ * Resolve a CLI `--population=SPEC` value: a path ending in ".json"
+ * loads a spec file (classified MissingFile/Corrupt/Mismatch), any
+ * other value looks up the built-in registry (unknown names classify
+ * as Mismatch). nullopt on failure with @p problems explaining why.
+ */
+std::optional<PopulationSpec>
+resolvePopulation(const std::string &ref,
+                  std::vector<IntegrityProblem> &problems);
+
+/**
+ * Parse a spec from already-parsed JSON (the spec-file grammar without
+ * the file I/O) — the queue-plan embedding reuses this. @p where
+ * prefixes diagnostics.
+ */
+std::optional<PopulationSpec>
+parsePopulationSpecJson(const struct JsonValue &root,
+                        const std::string &where,
+                        std::vector<IntegrityProblem> &problems);
+
+} // namespace pes
+
+#endif // PES_POPULATION_POPULATION_SPEC_HH

@@ -206,6 +206,16 @@ diffReports(const FleetReport &base, const FleetReport &test,
         mismatch("scenarios differ: " + spell(base.scenario) + " vs " +
                  spell(test.scenario));
     }
+    if (base.population != test.population) {
+        // Same rule as scenarios: two mixture populations (or a mixture
+        // vs the homogeneous axis) are different user axes — comparing
+        // their metrics is an experiment, not a regression check.
+        const auto spell = [](const std::string &s) {
+            return s.empty() ? std::string("(homogeneous)") : "'" + s + "'";
+        };
+        mismatch("populations differ: " + spell(base.population) +
+                 " vs " + spell(test.population));
+    }
     if (base.users != test.users) {
         mismatch("user axes differ: " + std::to_string(base.users) +
                  " vs " + std::to_string(test.users));

@@ -19,8 +19,12 @@ constexpr uint64_t kRecordScalarBytes =
     3 * 4 +                  // predictions made/correct, mispredictions
     8 + 8 +                  // mispredictWasteMs, avgQueueLength
     1;                       // fellBackToReactive
+/** Smallest possible latency sketch (empty: version, count, zero,
+ *  min, max, bin count — no bins). */
+constexpr uint64_t kMinSketchBytes = 4 + 8 + 8 + 8 + 8 + 4;
 /** Smallest possible record (three empty strings): allocation bound. */
-constexpr uint64_t kMinRecordBytes = 3 * 4 + kRecordScalarBytes;
+constexpr uint64_t kMinRecordBytes =
+    3 * 4 + kRecordScalarBytes + kMinSketchBytes;
 
 std::string
 headPayload(const PsumParams &params)
@@ -54,6 +58,7 @@ putStats(std::string &out, const SessionStats &s)
     putF64(out, s.mispredictWasteMs);
     putF64(out, s.avgQueueLength);
     putU8(out, s.fellBackToReactive ? 1 : 0);
+    s.latencySketch.appendTo(out);
 }
 
 bool
@@ -72,7 +77,7 @@ getStats(ByteReader &r, SessionStats &s)
         return false;
     }
     s.fellBackToReactive = fell != 0;
-    return true;
+    return PercentileSketch::readFrom(r, s.latencySketch);
 }
 
 std::string
@@ -112,7 +117,8 @@ sessionStatsEqual(const SessionStats &a, const SessionStats &b)
         a.mispredictions == b.mispredictions &&
         a.mispredictWasteMs == b.mispredictWasteMs &&
         a.avgQueueLength == b.avgQueueLength &&
-        a.fellBackToReactive == b.fellBackToReactive;
+        a.fellBackToReactive == b.fellBackToReactive &&
+        a.latencySketch == b.latencySketch;
 }
 
 bool

@@ -24,7 +24,10 @@
  * declaration order (i32 events, i32 violations, f64 energies x5,
  * f64 duration, f64 latency mean/p95/max, i32 predictions made/correct/
  * mispredictions, f64 mispredictWasteMs, f64 avgQueueLength,
- * u8 fellBackToReactive). Doubles round-trip bit-exactly, so a report
+ * u8 fellBackToReactive), then (since version 2) the session's
+ * PercentileSketch in its canonical serialization — the per-event
+ * latency sketch that merges bin-wise at reduction. Doubles round-trip
+ * bit-exactly and the sketch serializes canonically, so a report
  * reduced from a store is byte-identical to one reduced in memory.
  *
  * PsumReader is two-phase like TraceReader: open() validates magic,
@@ -47,8 +50,9 @@
 
 namespace pes {
 
-/** The .psum version this build writes (readers reject anything else). */
-constexpr uint32_t kPsumVersion = 1;
+/** The .psum version this build writes (readers reject anything else).
+ *  v2 appended the per-record latency sketch. */
+constexpr uint32_t kPsumVersion = 2;
 
 /** One persisted session: JobSpec provenance plus its reduction. */
 struct SessionRecord

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "population/population_spec.hh"
 #include "runner/fleet_config.hh"
 
 namespace pes {
@@ -41,6 +42,12 @@ seedConfigOf(const SweepSpec &sweep)
         : SeedMode::Fleet;
     config.userSeeds = sweep.userSeeds;
     config.users = sweep.users;
+    // The digest inside the population tag is all seed derivation
+    // needs — record seeds verify without the full population spec.
+    std::string name;
+    uint64_t digest = 0;
+    if (parsePopulationTag(sweep.population, &name, &digest))
+        config.populationDigest = digest;
     return config;
 }
 
@@ -213,6 +220,7 @@ makeStoreReport(const ResultStore &store, const MetricsAggregator &metrics)
     report.seedMode = sweep.seedMode;
     report.warmDrivers = sweep.warmDrivers;
     report.scenario = sweep.scenario;
+    report.population = sweep.population;
     report.users = sweep.users;
     report.sessions = metrics.sessions();
     report.events = metrics.events();

@@ -89,6 +89,8 @@ manifestText(const SweepSpec &sweep,
     os << "    \"warm\": " << (sweep.warmDrivers ? 1 : 0) << ",\n";
     os << "    \"scenario\": \"" << jsonEscape(sweep.scenario)
        << "\",\n";
+    os << "    \"population\": \"" << jsonEscape(sweep.population)
+       << "\",\n";
     if (!sweep.userSeeds.empty()) {
         os << "    \"user_seeds\": [";
         for (size_t i = 0; i < sweep.userSeeds.size(); ++i)
@@ -129,6 +131,7 @@ SweepSpec::fromConfig(const FleetConfig &config)
     spec.userSeeds = config.userSeeds;
     spec.warmDrivers = config.warmDrivers;
     spec.scenario = config.scenario;
+    spec.population = config.populationTag;
     if (config.devices.empty()) {
         spec.devices.push_back(AcmpPlatform::exynos5410().name());
     } else {
@@ -156,7 +159,7 @@ operator==(const SweepSpec &a, const SweepSpec &b)
         a.users == b.users && a.userSeeds == b.userSeeds &&
         a.warmDrivers == b.warmDrivers && a.devices == b.devices &&
         a.apps == b.apps && a.schedulers == b.schedulers &&
-        a.scenario == b.scenario;
+        a.scenario == b.scenario && a.population == b.population;
 }
 
 bool
@@ -208,8 +211,8 @@ ResultStore::create(const std::string &dir, const SweepSpec &sweep,
             return std::nullopt;
         if (store.sweep_ != sweep) {
             setError(error, "'" + dir + "' already holds a different "
-                     "sweep (axes, seeds, mode or scenario differ); "
-                     "use a fresh results directory");
+                     "sweep (axes, seeds, mode, scenario or population "
+                     "differ); use a fresh results directory");
             return std::nullopt;
         }
         return store;
@@ -271,6 +274,8 @@ ResultStore::loadManifest(std::string *error)
         sweep_.warmDrivers = v->number() != 0.0;
     if (const JsonValue *v = sweep->find("scenario"))
         sweep_.scenario = v->str;
+    if (const JsonValue *v = sweep->find("population"))
+        sweep_.population = v->str;
     if (const JsonValue *v = sweep->find("user_seeds")) {
         for (const JsonValue &s : v->arr)
             sweep_.userSeeds.push_back(s.number64());
@@ -507,7 +512,8 @@ ResultStore::mergeFrom(const ResultStore &src, std::string *error)
 {
     if (src.sweep_ != sweep_) {
         setError(error, "'" + src.dir_ + "' holds a different sweep "
-                 "than '" + dir_ + "' (axes, seeds, mode or scenario differ)");
+                 "than '" + dir_ + "' (axes, seeds, mode, scenario or "
+                 "population differ)");
         return false;
     }
     StoreLock lock(dir_, error);

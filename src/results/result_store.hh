@@ -67,6 +67,12 @@ struct SweepSpec
      *  Part of the sweep identity: a store never mixes scenario and
      *  baseline sessions, or two severities of one family. */
     std::string scenario;
+    /** Population identity ("<name>#<digest>"; empty = homogeneous).
+     *  Part of the sweep identity for the same reason as scenario: two
+     *  populations are different user axes. The digest inside the tag
+     *  also lets reduction re-derive and verify record seeds without
+     *  the full population spec. */
+    std::string population;
 
     /** The spec of a fleet configuration (resolving default devices). */
     static SweepSpec fromConfig(const FleetConfig &config);

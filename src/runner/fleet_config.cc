@@ -2,6 +2,7 @@
 
 #include <climits>
 
+#include "population/population_spec.hh"
 #include "trace/generator.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -45,6 +46,13 @@ fleetUserSeed(const FleetConfig &config, int user_index)
     const uint64_t idx = static_cast<uint64_t>(user_index);
     switch (config.seedMode) {
       case SeedMode::Fleet:
+        // Population sweeps fold the population digest into every user
+        // seed so two populations never share a user, and so reduction
+        // can re-verify record seeds from the manifest tag alone.
+        if (config.populationDigest != 0) {
+            return populationUserSeed(config.populationDigest,
+                                      config.baseSeed, idx);
+        }
         return hashCombine(config.baseSeed, idx);
       case SeedMode::Evaluation:
         return TraceGenerator::kEvaluationSeedBase + idx;

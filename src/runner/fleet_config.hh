@@ -32,6 +32,7 @@ namespace pes {
 
 class CorpusStore;
 class LogisticModel;
+struct PopulationSpec;
 class ResultStore;
 class TelemetryRegistry;
 class TraceCache;
@@ -245,6 +246,24 @@ struct FleetConfig
      * the derived traces describe a different user population.
      */
     std::string scenario;
+    /**
+     * Optional mixture-model population (borrowed, not owned; see
+     * population/population_spec.hh). When set, the fleet's user axis
+     * is drawn from the spec's cohorts instead of the homogeneous
+     * i.i.d. population: user seeds derive from the population digest
+     * (populationUserSeed), per-user trait multipliers scale the
+     * sampled UserParams, and cohort scenarios derive each user's
+     * trace. populationTag/populationDigest MUST be the spec's
+     * populationTag/populationDigest — the tag joins the sweep spec,
+     * store manifest and report meta (stores refuse to mix
+     * populations, exactly like scenarios), and the digest alone
+     * lets reduction re-verify record seeds without the spec.
+     */
+    const PopulationSpec *population = nullptr;
+    /** Population identity ("<name>#<digest>"; empty = homogeneous). */
+    std::string populationTag;
+    /** Population digest (0 = homogeneous population). */
+    uint64_t populationDigest = 0;
     /**
      * Optional deterministic trace transform (scenario derivation):
      * applied to every trace after synthesis or corpus load, INSIDE

@@ -1,8 +1,10 @@
 #include "runner/fleet_runner.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -18,6 +20,7 @@
 #include "core/oracle_scheduler.hh"
 #include "core/pes_scheduler.hh"
 #include "core/predictor_training.hh"
+#include "population/population_spec.hh"
 #include "results/result_reduce.hh"
 #include "results/result_store.hh"
 #include "runner/thread_pool.hh"
@@ -394,6 +397,17 @@ FleetRunner::run()
             : std::string(stage) + " [" + config_.scenario + "]";
     };
 
+    // Memory high-water mark, sampled at every stage boundary. An OS
+    // figure that varies run to run, so the logical-clock (golden-
+    // locked) mode records none — same rule as the wall times.
+    const auto sample_rss = [&] {
+        if (telemetry && !logical) {
+            telemetry->gauge(
+                "mem.peak_rss_kb",
+                static_cast<double>(currentPeakRssKb()));
+        }
+    };
+
     FleetOutcome outcome;
     {
         TraceSpan plan_span(tsink, 0, stage_name("plan"), "stage");
@@ -401,6 +415,7 @@ FleetRunner::run()
         outcome.plan = plan();
         outcome.planMs = msSince(plan_start);
     }
+    sample_rss();
     outcome.jobCount = outcome.plan.plannedJobs;
 
     ResultStore *store = config_.resultStore;
@@ -434,12 +449,82 @@ FleetRunner::run()
         devices.push_back(std::move(ctx));
     }
 
-    // ---- Parallel phase: job-indexed slots, no cross-worker sharing. ----
-    std::vector<SessionStats> stats(jobs_.size());
-    std::vector<char> executed(jobs_.size(), 0);
+    // ---- Parallel phase: full-result runs keep job-indexed slots;
+    // everything else reduces in a stream (below), so the resident set
+    // never scales with the user axis. ----
+    std::vector<SessionStats> stats;
+    std::vector<char> executed;
     std::vector<SimResult> full;
-    if (config_.collectResults)
+    if (config_.collectResults) {
+        stats.resize(jobs_.size());
+        executed.assign(jobs_.size(), 0);
         full.resize(jobs_.size());
+    }
+
+    // Streaming canonical reduction for the stats-only, store-less
+    // path (store-backed runs reduce from the store instead): float
+    // sums must fold in ascending job order to stay bit-stable across
+    // thread counts, so a cursor walks the planned jobs in order and
+    // out-of-order completions wait in a bounded window. Sketch merges
+    // commute bin-wise, so each session's latency sketch folds into
+    // its cell the moment the session finishes and only the few dozen
+    // scalars are stashed — a million-user sweep holds the window's
+    // scalars, not a million sketches.
+    const bool streaming_reduce = !store && !config_.collectResults;
+    std::vector<size_t> planned_jobs;
+    if (streaming_reduce) {
+        for (const JobRange &range : outcome.plan.ranges)
+            for (int i = 0; i < range.count; ++i)
+                planned_jobs.push_back(
+                    static_cast<size_t>(range.first + i));
+        std::sort(planned_jobs.begin(), planned_jobs.end());
+    }
+    std::mutex reduce_mutex;
+    size_t reduce_cursor = 0;
+    std::map<size_t, SessionStats> reduce_window;
+    size_t reduce_window_peak = 0;
+    const auto foldJob = [&](size_t job_index, const SessionStats &s) {
+        const JobSpec &job = jobs_[job_index];
+        outcome.metrics.add(
+            devices[static_cast<size_t>(job.deviceIndex)]
+                ->platform.name(),
+            config_.apps[static_cast<size_t>(job.appIndex)].name,
+            schedulerKindName(
+                config_.schedulers[static_cast<size_t>(
+                    job.schedulerIndex)]),
+            s);
+    };
+    const auto streamStats = [&](size_t job_index, SessionStats &&s) {
+        std::lock_guard<std::mutex> lock(reduce_mutex);
+        if (reduce_cursor < planned_jobs.size() &&
+            planned_jobs[reduce_cursor] == job_index) {
+            foldJob(job_index, s);
+            ++reduce_cursor;
+            while (reduce_cursor < planned_jobs.size()) {
+                const auto it =
+                    reduce_window.find(planned_jobs[reduce_cursor]);
+                if (it == reduce_window.end())
+                    break;
+                foldJob(it->first, it->second);
+                reduce_window.erase(it);
+                ++reduce_cursor;
+            }
+        } else {
+            const JobSpec &job = jobs_[job_index];
+            outcome.metrics.addEventLatencySketch(
+                devices[static_cast<size_t>(job.deviceIndex)]
+                    ->platform.name(),
+                config_.apps[static_cast<size_t>(job.appIndex)].name,
+                schedulerKindName(
+                    config_.schedulers[static_cast<size_t>(
+                        job.schedulerIndex)]),
+                s.latencySketch);
+            s.latencySketch.clear();
+            reduce_window.emplace(job_index, std::move(s));
+            reduce_window_peak =
+                std::max(reduce_window_peak, reduce_window.size());
+        }
+    };
 
     // Per-worker, per-device trace generators (each caches built apps).
     std::vector<std::vector<std::unique_ptr<TraceGenerator>>> generators(
@@ -626,6 +711,17 @@ FleetRunner::run()
                   : std::string(),
             "job");
 
+        // Population traits are a pure function of the job's user seed,
+        // so cache refills on any worker re-derive the same cohort and
+        // multipliers (the trace-cache key stays (device, app, seed)).
+        std::optional<UserTraits> traits;
+        if (config_.population) {
+            traits = samplePopulationTraits(*config_.population,
+                                            job.userSeed);
+        }
+        const UserParams *trait_scale =
+            traits ? &traits->scale : nullptr;
+
         InteractionTrace fresh;
         TraceHandle handle;  // keeps an evicted trace alive while used
         const InteractionTrace *trace = nullptr;
@@ -659,8 +755,15 @@ FleetRunner::run()
                         corpus_loads.fetch_add(1);
                         materialized = std::move(*loaded);
                     } else {
-                        materialized =
-                            gen_slot->generate(profile, job.userSeed);
+                        materialized = gen_slot->generate(
+                            profile, job.userSeed, trait_scale);
+                        // Cohort stress stacks on synthesis only —
+                        // corpus recordings already captured their
+                        // population's behaviour at record time.
+                        if (traits) {
+                            materialized = applyCohortScenario(
+                                *traits, materialized, job.userSeed);
+                        }
                     }
                     // Scenario derivation happens INSIDE the loader:
                     // re-materializing an evicted key reproduces the
@@ -673,7 +776,9 @@ FleetRunner::run()
                 });
             trace = handle.get();
         } else {
-            fresh = gen_slot->generate(profile, job.userSeed);
+            fresh = gen_slot->generate(profile, job.userSeed, trait_scale);
+            if (traits)
+                fresh = applyCohortScenario(*traits, fresh, job.userSeed);
             if (config_.traceTransform)
                 fresh = config_.traceTransform(fresh);
             trace = &fresh;
@@ -710,22 +815,22 @@ FleetRunner::run()
             simulator = &*local_simulator;
         }
 
+        SessionStats session_stats;
         if (config_.collectResults) {
             SimResult result = simulator->run(*trace, driver);
-            stats[static_cast<size_t>(job.index)] =
-                SessionStats::reduce(result);
+            session_stats = SessionStats::reduce(result);
+            stats[static_cast<size_t>(job.index)] = session_stats;
             full[static_cast<size_t>(job.index)] = std::move(result);
+            executed[static_cast<size_t>(job.index)] = 1;
         } else if (config_.reuseEngines) {
             // Stats-only fast path: reduce the session in-flight, never
             // materializing per-event records (bit-identical reduction,
             // locked by tests).
-            stats[static_cast<size_t>(job.index)] =
-                simulator->runStats(*trace, driver);
+            session_stats = simulator->runStats(*trace, driver);
         } else {
-            stats[static_cast<size_t>(job.index)] =
+            session_stats =
                 SessionStats::reduce(simulator->run(*trace, driver));
         }
-        executed[static_cast<size_t>(job.index)] = 1;
         if (sink.store) {
             SessionRecord record;
             record.device = device.platform.name();
@@ -735,15 +840,14 @@ FleetRunner::run()
                     job.schedulerIndex)]);
             record.userIndex = static_cast<uint32_t>(job.userIndex);
             record.userSeed = job.userSeed;
-            record.stats = stats[static_cast<size_t>(job.index)];
+            record.stats = session_stats;
             sink.push(std::move(record));
         }
         if (shard) {
             // Event/session counters come from the already-reduced
             // SessionStats — the simulator's hot loop stays untouched
             // (no per-event timer or counter calls).
-            const SessionStats &s =
-                stats[static_cast<size_t>(job.index)];
+            const SessionStats &s = session_stats;
             shard->count("sim.sessions");
             shard->count("sim.events", static_cast<uint64_t>(s.events));
             shard->count("sim.violations",
@@ -753,6 +857,9 @@ FleetRunner::run()
             if (!logical)
                 shard->duration("runner.job_ms", msSince(job_start));
         }
+        if (streaming_reduce)
+            streamStats(static_cast<size_t>(job.index),
+                        std::move(session_stats));
         if (progress)
             progress->bump();
     };
@@ -800,16 +907,24 @@ FleetRunner::run()
 
         // Fresh fleets plan one singleton range per session; submitting
         // each as its own pool task costs a queue round-trip per
-        // session. Batch contiguous ranges so the pool sees O(workers)
-        // tasks instead of O(sessions) — job-indexed result slots and
-        // canonical reduction keep reports byte-identical regardless of
-        // how ranges are grouped onto tasks.
+        // session. Batch contiguous ranges so the pool sees far fewer
+        // tasks than sessions — canonical (streamed or slot-indexed)
+        // reduction keeps reports byte-identical regardless of how
+        // ranges are grouped onto tasks. The batch size is capped:
+        // tasks run FIFO over contiguous chunks, so the streaming
+        // reducer's out-of-order window never exceeds the active task
+        // frontier (~threads × chunk jobs) — giant chunks would let
+        // fast workers race megabytes of stashed scalars ahead of the
+        // in-order cursor.
         const std::vector<JobRange> &ranges = outcome.plan.ranges;
         const size_t target_tasks =
             static_cast<size_t>(config_.threads) * 4;
-        const size_t chunk = ranges.size() > target_tasks
-            ? (ranges.size() + target_tasks - 1) / target_tasks
-            : 1;
+        constexpr size_t kMaxRangesPerTask = 512;
+        const size_t chunk = std::min(
+            kMaxRangesPerTask,
+            ranges.size() > target_tasks
+                ? (ranges.size() + target_tasks - 1) / target_tasks
+                : 1);
         for (size_t first = 0; first < ranges.size(); first += chunk) {
             const size_t count = std::min(chunk, ranges.size() - first);
             pool.submit([&, first, count](int worker) {
@@ -823,6 +938,7 @@ FleetRunner::run()
         outcome.poolStats = pool.stats();
     }
     const auto stop = std::chrono::steady_clock::now();
+    sample_rss();
     if (progress)
         progress->finish();
 
@@ -834,6 +950,7 @@ FleetRunner::run()
             sink.finish();
         outcome.persistMs = msSince(persist_start);
     }
+    sample_rss();
     for (const std::string &error : sink.errors)
         outcome.diagnostics.push_back(error);
     outcome.persistedRecords = sink.persisted;
@@ -888,7 +1005,7 @@ FleetRunner::run()
             for (const std::string &problem : reduction.problems)
                 outcome.diagnostics.push_back("reduce: " + problem);
         }
-    } else {
+    } else if (config_.collectResults) {
         for (const JobSpec &job : jobs_) {
             if (!executed[static_cast<size_t>(job.index)])
                 continue;
@@ -901,6 +1018,16 @@ FleetRunner::run()
                     job.schedulerIndex)]),
                 stats[static_cast<size_t>(job.index)]);
         }
+    } else {
+        // Stream drain: only jobs stranded behind a gap an errored
+        // range left behind wait here; fold them in the same ascending
+        // job order the cursor would have used.
+        for (const auto &[job_index, session_stats] : reduce_window)
+            foldJob(job_index, session_stats);
+        reduce_window.clear();
+        if (telemetry)
+            telemetry->gauge("runner.reduce_window_peak",
+                             static_cast<double>(reduce_window_peak));
     }
     if (config_.collectResults) {
         for (const JobSpec &job : jobs_) {
@@ -910,6 +1037,7 @@ FleetRunner::run()
         }
     }
     outcome.reduceMs = msSince(reduce_start);
+    sample_rss();
     return outcome;
 }
 
@@ -947,6 +1075,7 @@ makeRunTelemetry(const FleetConfig &config, const FleetOutcome &outcome)
     // logical clock — that is what makes the artifact byte-reproducible
     // (the RunTelemetry determinism contract).
     if (!t.logicalClock) {
+        t.peakRssKb = currentPeakRssKb();
         t.planMs = outcome.planMs;
         t.executeMs = outcome.wallMs;
         t.persistMs = outcome.persistMs;

@@ -25,11 +25,21 @@ MetricsAggregator::add(const std::string &device, const std::string &app,
     acc.latencyEventSum += stats.meanLatencyMs * stats.events;
     acc.sessionMeanLatency.add(stats.meanLatencyMs);
     acc.sessionP95Latency.add(stats.p95LatencyMs);
+    acc.eventLatency.merge(stats.latencySketch);
     acc.predictionsMade += stats.predictionsMade;
     acc.predictionsCorrect += stats.predictionsCorrect;
     acc.mispredictions += stats.mispredictions;
     acc.mispredictWasteMs += stats.mispredictWasteMs;
     acc.fallbacks += stats.fellBackToReactive ? 1 : 0;
+}
+
+void
+MetricsAggregator::addEventLatencySketch(const std::string &device,
+                                         const std::string &app,
+                                         const std::string &scheduler,
+                                         const PercentileSketch &sketch)
+{
+    cells_[CellKey{device, app, scheduler}].eventLatency.merge(sketch);
 }
 
 void
@@ -49,10 +59,9 @@ MetricsAggregator::merge(const MetricsAggregator &other)
         dst.queueLength.merge(src.queueLength);
         dst.maxLatencyMs = std::max(dst.maxLatencyMs, src.maxLatencyMs);
         dst.latencyEventSum += src.latencyEventSum;
-        for (double x : src.sessionMeanLatency.samples())
-            dst.sessionMeanLatency.add(x);
-        for (double x : src.sessionP95Latency.samples())
-            dst.sessionP95Latency.add(x);
+        dst.sessionMeanLatency.merge(src.sessionMeanLatency);
+        dst.sessionP95Latency.merge(src.sessionP95Latency);
+        dst.eventLatency.merge(src.eventLatency);
         dst.predictionsMade += src.predictionsMade;
         dst.predictionsCorrect += src.predictionsCorrect;
         dst.mispredictions += src.mispredictions;
@@ -107,8 +116,11 @@ MetricsAggregator::summarize(const CellKey &key, const CellAccum &acc) const
     c.meanLatencyMs = acc.events
         ? acc.latencyEventSum / static_cast<double>(acc.events)
         : 0.0;
-    c.p50SessionLatencyMs = acc.sessionMeanLatency.percentile(50.0);
-    c.p95SessionLatencyMs = acc.sessionP95Latency.percentile(95.0);
+    c.p50LatencyMs = acc.eventLatency.quantile(0.50);
+    c.p95LatencyMs = acc.eventLatency.quantile(0.95);
+    c.p99LatencyMs = acc.eventLatency.quantile(0.99);
+    c.p50SessionLatencyMs = acc.sessionMeanLatency.quantile(0.50);
+    c.p95SessionLatencyMs = acc.sessionP95Latency.quantile(0.95);
     c.predictionAccuracy = acc.predictionsMade
         ? static_cast<double>(acc.predictionsCorrect) /
           static_cast<double>(acc.predictionsMade)

@@ -4,15 +4,19 @@
  *
  * Workers reduce every finished SimResult to a compact SessionStats (a
  * few dozen scalars — scales to fleets far beyond what retaining raw
- * results allows) and write it into a job-indexed slot without locking;
- * the runner then feeds the slots to a MetricsAggregator in canonical
- * job order. Aggregation is therefore deterministic in the face of any
- * worker interleaving: same fleet, same summary bytes, any thread count.
+ * results allows) and the runner streams the stats into a
+ * MetricsAggregator in canonical job order (an ordered cursor plus a
+ * bounded out-of-order window). Aggregation is therefore deterministic
+ * in the face of any worker interleaving — same fleet, same summary
+ * bytes, any thread count — while the resident set stays independent
+ * of the user-axis size.
  *
  * Cells are (device, app, scheduler) groups. Means/extrema use
- * util/stats RunningStats; percentiles come from per-session sample
- * sets (session mean and session p95 latency), which keeps cell memory
- * O(sessions), not O(events).
+ * util/stats RunningStats; percentiles come from mergeable
+ * PercentileSketches (per-session mean and p95 distributions, plus the
+ * per-event latency sketch carried in each SessionStats), which keeps
+ * cell memory O(1) in both sessions and events — a 10M-session cell
+ * costs the same few hundred counters as a 10-session one.
  */
 
 #ifndef PES_RUNNER_METRICS_AGGREGATOR_HH
@@ -53,6 +57,11 @@ struct CellSummary
 
     /** Event-weighted mean latency over the cell. */
     double meanLatencyMs = 0.0;
+    /** Event-level latency percentiles over every event of the cell
+     *  (merged per-session sketches; ~0.8% relative accuracy). */
+    double p50LatencyMs = 0.0;
+    double p95LatencyMs = 0.0;
+    double p99LatencyMs = 0.0;
     /** Median of per-session mean latencies. */
     double p50SessionLatencyMs = 0.0;
     /** 95th percentile of per-session p95 latencies. */
@@ -79,6 +88,19 @@ class MetricsAggregator
     /** Fold one session into cell (device, app, scheduler). */
     void add(const std::string &device, const std::string &app,
              const std::string &scheduler, const SessionStats &stats);
+
+    /**
+     * Merge one session's event-latency sketch into a cell, without
+     * folding any of the session's scalars. Bin-wise sketch merges
+     * commute, so callers that must fold scalars in canonical job
+     * order (for bit-stable float sums) can still merge sketches the
+     * moment a session completes — in any order — and stash only the
+     * small scalar remainder (sketch cleared) for the ordered fold.
+     */
+    void addEventLatencySketch(const std::string &device,
+                               const std::string &app,
+                               const std::string &scheduler,
+                               const PercentileSketch &sketch);
 
     /** Fold another aggregator's cells into this one. */
     void merge(const MetricsAggregator &other);
@@ -131,8 +153,13 @@ class MetricsAggregator
         double maxLatencyMs = 0.0;
         /** Session mean latencies weighted by events (pooled mean). */
         double latencyEventSum = 0.0;
-        SampleSet sessionMeanLatency;
-        SampleSet sessionP95Latency;
+        /** Distribution sketches: per-session mean, per-session p95,
+         *  and every event latency (merged from the per-session
+         *  sketches). Bin-wise merge keeps any shard/merge order
+         *  byte-identical. */
+        PercentileSketch sessionMeanLatency;
+        PercentileSketch sessionP95Latency;
+        PercentileSketch eventLatency;
         long predictionsMade = 0;
         long predictionsCorrect = 0;
         long mispredictions = 0;

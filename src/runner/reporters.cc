@@ -53,6 +53,9 @@ fillCellNumbers(CellSummary &c, const std::vector<double> &xs)
     c.meanWasteEnergyMj = xs[i++];
     c.meanDurationMs = xs[i++];
     c.meanLatencyMs = xs[i++];
+    c.p50LatencyMs = xs[i++];
+    c.p95LatencyMs = xs[i++];
+    c.p99LatencyMs = xs[i++];
     c.p50SessionLatencyMs = xs[i++];
     c.p95SessionLatencyMs = xs[i++];
     c.maxLatencyMs = xs[i++];
@@ -85,7 +88,8 @@ cellMetricNames()
         "mean_energy_mj", "stddev_energy_mj", "min_energy_mj",
         "max_energy_mj", "mean_busy_energy_mj", "mean_idle_energy_mj",
         "mean_overhead_energy_mj", "mean_waste_energy_mj",
-        "mean_duration_ms", "mean_latency_ms", "p50_session_latency_ms",
+        "mean_duration_ms", "mean_latency_ms", "p50_latency_ms",
+        "p95_latency_ms", "p99_latency_ms", "p50_session_latency_ms",
         "p95_session_latency_ms", "max_latency_ms", "avg_queue_length",
         "prediction_accuracy", "mispredicts_per_session",
         "mispredict_waste_ms_per_session", "fallback_rate",
@@ -101,6 +105,7 @@ cellMetricValues(const CellSummary &c)
             c.meanEnergyMj, c.stddevEnergyMj, c.minEnergyMj, c.maxEnergyMj,
             c.meanBusyEnergyMj, c.meanIdleEnergyMj, c.meanOverheadEnergyMj,
             c.meanWasteEnergyMj, c.meanDurationMs, c.meanLatencyMs,
+            c.p50LatencyMs, c.p95LatencyMs, c.p99LatencyMs,
             c.p50SessionLatencyMs, c.p95SessionLatencyMs, c.maxLatencyMs,
             c.avgQueueLength, c.predictionAccuracy,
             c.mispredictsPerSession, c.mispredictWasteMsPerSession,
@@ -116,6 +121,7 @@ makeFleetReport(const FleetConfig &config, const MetricsAggregator &metrics)
         config.seedMode == SeedMode::Fleet ? "fleet" : "evaluation";
     report.warmDrivers = config.warmDrivers;
     report.scenario = config.scenario;
+    report.population = config.populationTag;
     report.users = config.effectiveUsers();
     report.sessions = metrics.sessions();
     report.events = metrics.events();
@@ -145,6 +151,8 @@ JsonReporter::write(const FleetReport &report, std::ostream &os)
     os << "    \"seed_mode\": \"" << jsonEscape(report.seedMode) << "\",\n";
     os << "    \"warm\": " << (report.warmDrivers ? 1 : 0) << ",\n";
     os << "    \"scenario\": \"" << jsonEscape(report.scenario)
+       << "\",\n";
+    os << "    \"population\": \"" << jsonEscape(report.population)
        << "\",\n";
     os << "    \"users\": " << report.users << ",\n";
     os << "    \"sessions\": " << report.sessions << ",\n";
@@ -202,6 +210,7 @@ JsonReporter::parse(const std::string &text)
     report.seedMode = fieldStr(*meta, "seed_mode");
     report.warmDrivers = fieldNum(*meta, "warm") != 0.0;
     report.scenario = fieldStr(*meta, "scenario");
+    report.population = fieldStr(*meta, "population");
     report.users = static_cast<int>(fieldNum(*meta, "users"));
     report.sessions = static_cast<int>(fieldNum(*meta, "sessions"));
     report.events = static_cast<long>(fieldNum(*meta, "events"));
@@ -239,6 +248,7 @@ CsvReporter::write(const FleetReport &report, std::ostream &os)
        << " seed_mode=" << report.seedMode
        << " warm=" << (report.warmDrivers ? 1 : 0)
        << " scenario=" << report.scenario
+       << " population=" << report.population
        << " users=" << report.users
        << " sessions=" << report.sessions << " events=" << report.events
        << "\n";
@@ -330,6 +340,8 @@ CsvReporter::parseReport(const std::string &text)
                 report.warmDrivers = n != 0;
             } else if (key == "scenario") {
                 report.scenario = value;
+            } else if (key == "population") {
+                report.population = value;
             } else if (key == "users" && parseInt64(value, n)) {
                 report.users = static_cast<int>(n);
             } else if (key == "sessions" && parseInt64(value, n)) {

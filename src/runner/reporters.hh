@@ -35,8 +35,11 @@ struct FleetReport
      *  v3: added the "scenario" meta string (stress-family identity,
      *  "<family>@<severity>"; empty for baseline sweeps) — severity
      *  cells of a scenario sweep are different user populations and
-     *  must never silently diff against each other or the baseline. */
-    static constexpr int kVersion = 3;
+     *  must never silently diff against each other or the baseline.
+     *  v4: added the "population" meta tag ("<name>#<digest>", empty
+     *  for homogeneous sweeps) and the sketch-sourced event-level
+     *  p50/p95/p99_latency_ms cell columns. */
+    static constexpr int kVersion = 4;
 
     uint64_t baseSeed = 0;
     /** "fleet" or "evaluation" (see SeedMode). */
@@ -45,6 +48,9 @@ struct FleetReport
     bool warmDrivers = false;
     /** Scenario identity (FleetConfig::scenario; empty = baseline). */
     std::string scenario;
+    /** Population identity tag (FleetConfig::populationTag,
+     *  "<name>#<digest>"; empty = homogeneous i.i.d. users). */
+    std::string population;
     int users = 0;
     int sessions = 0;
     long events = 0;

@@ -756,8 +756,10 @@ RuntimeSimulator::finalizeStats()
     if (s.events > 0) {
         s.meanLatencyMs = statsLatencySum_ / s.events;
         SampleSet latencies;
-        for (double lat : statsLatencies_)
+        for (double lat : statsLatencies_) {
             latencies.add(lat);
+            s.latencySketch.add(lat);
+        }
         s.p95LatencyMs = latencies.percentile(95.0);
     }
     const EnergyTotals totals = meter_.tagTotals();

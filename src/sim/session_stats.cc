@@ -18,6 +18,7 @@ SessionStats::reduce(const SimResult &result)
         const double lat = e.latency();
         latency_sum += lat;
         latencies.add(lat);
+        s.latencySketch.add(lat);
         s.maxLatencyMs = std::max(s.maxLatencyMs, lat);
     }
     if (s.events > 0) {

@@ -14,6 +14,7 @@
 #define PES_SIM_SESSION_STATS_HH
 
 #include "sim/sim_types.hh"
+#include "util/psketch.hh"
 
 namespace pes {
 
@@ -38,6 +39,13 @@ struct SessionStats
     double mispredictWasteMs = 0.0;
     double avgQueueLength = 0.0;
     bool fellBackToReactive = false;
+    /**
+     * Per-event latency sketch of the session: merged bin-wise across
+     * sessions at reduction, it yields true event-level p50/p95/p99
+     * per cell from bounded memory, for fleets of any size. Filled on
+     * both the full-result and the stats-only fast path.
+     */
+    PercentileSketch latencySketch;
 
     /** Reduce a full simulation result. */
     static SessionStats reduce(const SimResult &result);

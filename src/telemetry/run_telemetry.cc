@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
 #include <ostream>
 #include <sstream>
 
@@ -80,6 +82,7 @@ writeRunTelemetryJson(const RunTelemetry &t, std::ostream &os)
        << "},\n"
        << "  \"checkpoint\": {\"flushes\": " << t.checkpointFlushes
        << ", \"bytes\": " << t.checkpointBytes << "},\n"
+       << "  \"mem\": {\"peak_rss_kb\": " << t.peakRssKb << "},\n"
        << "  \"thread_pool\": {\"tasks\": " << t.poolTasks
        << ", \"max_queue_depth\": " << t.poolMaxQueueDepth
        << ", \"busy_ms\": " << jsonNum(t.poolBusyMs)
@@ -183,6 +186,8 @@ parseRunTelemetry(const std::string &text)
         t.checkpointFlushes = fieldU64(*ckpt, "flushes");
         t.checkpointBytes = fieldU64(*ckpt, "bytes");
     }
+    if (const JsonValue *mem = doc->find("mem"))
+        t.peakRssKb = fieldU64(*mem, "peak_rss_kb");
     if (const JsonValue *pool = doc->find("thread_pool")) {
         t.poolTasks = fieldU64(*pool, "tasks");
         t.poolMaxQueueDepth = fieldU64(*pool, "max_queue_depth");
@@ -276,6 +281,8 @@ foldRunTelemetry(RunTelemetry &into, const RunTelemetry &part)
     into.cacheDuplicateSynthesis += part.cacheDuplicateSynthesis;
     into.checkpointFlushes += part.checkpointFlushes;
     into.checkpointBytes += part.checkpointBytes;
+    // One process, one high-water mark: parts fold by max, not sum.
+    into.peakRssKb = std::max(into.peakRssKb, part.peakRssKb);
     into.poolTasks += part.poolTasks;
     into.poolMaxQueueDepth =
         std::max(into.poolMaxQueueDepth, part.poolMaxQueueDepth);
@@ -331,6 +338,26 @@ foldRunTelemetry(RunTelemetry &into, const RunTelemetry &part)
     into.counters.gauges.assign(gauges.begin(), gauges.end());
     into.counters.durations.assign(durations.begin(), durations.end());
     into.recomputeRates();
+}
+
+uint64_t
+currentPeakRssKb()
+{
+    std::FILE *f = std::fopen("/proc/self/status", "r");
+    if (!f)
+        return 0;
+    uint64_t kb = 0;
+    char line[256];
+    while (std::fgets(line, sizeof(line), f)) {
+        if (std::strncmp(line, "VmHWM:", 6) == 0) {
+            unsigned long long parsed = 0;
+            if (std::sscanf(line + 6, "%llu", &parsed) == 1)
+                kb = parsed;
+            break;
+        }
+    }
+    std::fclose(f);
+    return kb;
 }
 
 } // namespace pes

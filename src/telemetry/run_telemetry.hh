@@ -51,8 +51,9 @@ struct RunTelemetry
 {
     /** Schema version (bumped on layout changes). v2 adds the scaling
      *  section and trace_cache duplicate_synthesis; v3 adds pool
-     *  queue-wait attribution (tasks, total and mean wait) to scaling. */
-    static constexpr int kVersion = 3;
+     *  queue-wait attribution (tasks, total and mean wait) to scaling;
+     *  v4 adds the "mem" section (peak_rss_kb high-water mark). */
+    static constexpr int kVersion = 4;
 
     /** Producing verb: "run", "stress", "merge", "bench". */
     std::string tool = "run";
@@ -85,6 +86,16 @@ struct RunTelemetry
     /** Persist-stage checkpoint cost. */
     uint64_t checkpointFlushes = 0;
     uint64_t checkpointBytes = 0;
+
+    /**
+     * Process peak RSS in KiB (VmHWM from /proc/self/status), sampled
+     * at the runner's stage boundaries. A scheduling-dependent OS
+     * figure, so it is zeroed under the logical clock like the wall
+     * times; 0 also on platforms without /proc. The bounded-memory CI
+     * gate reads it: a 100k-user mixture sweep must sit in the same
+     * envelope as a 1k-user one (sketches, not samples).
+     */
+    uint64_t peakRssKb = 0;
 
     /** ThreadPool saturation over the execute stage. */
     uint64_t poolTasks = 0;
@@ -145,6 +156,13 @@ std::optional<RunTelemetry> parseRunTelemetry(const std::string &text);
  * @p into is empty (zero sessions and events).
  */
 void foldRunTelemetry(RunTelemetry &into, const RunTelemetry &part);
+
+/**
+ * The process's peak resident set size in KiB (VmHWM from
+ * /proc/self/status); 0 when unavailable. Monotone over a process
+ * lifetime — callers sample it at stage boundaries and keep the max.
+ */
+uint64_t currentPeakRssKb();
 
 } // namespace pes
 

@@ -22,10 +22,11 @@ TraceGenerator::appFor(const AppProfile &profile)
 }
 
 InteractionTrace
-TraceGenerator::generate(const AppProfile &profile, uint64_t user_seed)
+TraceGenerator::generate(const AppProfile &profile, uint64_t user_seed,
+                         const UserParams *trait_scale)
 {
     const WebApp &app = appFor(profile);
-    UserModel model(profile, app, user_seed, *platform_);
+    UserModel model(profile, app, user_seed, *platform_, trait_scale);
     return model.generateSession();
 }
 

@@ -44,9 +44,12 @@ class TraceGenerator
     /** The (cached) synthesized application for @p profile. */
     const WebApp &appFor(const AppProfile &profile);
 
-    /** One session of user @p user_seed on @p profile. */
+    /** One session of user @p user_seed on @p profile. @p trait_scale
+     *  optionally scales the seed-sampled UserParams (population
+     *  cohorts); null = the homogeneous i.i.d. population. */
     InteractionTrace generate(const AppProfile &profile,
-                              uint64_t user_seed);
+                              uint64_t user_seed,
+                              const UserParams *trait_scale = nullptr);
 
     /** @p count training sessions from the training user population. */
     std::vector<InteractionTrace>

@@ -57,9 +57,10 @@ UserParams::sample(Rng &rng)
 }
 
 UserModel::UserModel(const AppProfile &profile, const WebApp &app,
-                     uint64_t user_seed, const AcmpPlatform &platform)
+                     uint64_t user_seed, const AcmpPlatform &platform,
+                     const UserParams *trait_scale)
     : profile_(&profile), app_(&app), userSeed_(user_seed),
-      platform_(&platform)
+      platform_(&platform), traitScale_(trait_scale)
 {
 }
 
@@ -68,7 +69,9 @@ UserModel::generateSession() const
 {
     const AppProfile &p = *profile_;
     Rng rng(hashCombine(hashString(p.name.c_str()), userSeed_));
-    const UserParams user = UserParams::sample(rng);
+    const UserParams sampled = UserParams::sample(rng);
+    const UserParams user =
+        traitScale_ ? sampled.scaledBy(*traitScale_) : sampled;
 
     WebAppSession session(*app_);
     DomAnalyzer analyzer(session);

@@ -47,6 +47,14 @@ struct UserParams
 
     /** Sample quirks from @p rng. */
     static UserParams sample(class Rng &rng);
+
+    /** Field-wise product: population cohorts scale the seed-sampled
+     *  quirks with their own multiplier bundle. */
+    UserParams scaledBy(const UserParams &m) const
+    {
+        return {thinkScale * m.thinkScale, moveAffinity * m.moveAffinity,
+                tapAffinity * m.tapAffinity, navAffinity * m.navAffinity};
+    }
 };
 
 /**
@@ -62,9 +70,13 @@ class UserModel
      *        different users (the paper collects training and evaluation
      *        traces from different users).
      * @param platform Platform used by the oracle-feasibility repair pass.
+     * @param trait_scale Optional multipliers applied on top of the
+     *        seed-sampled UserParams (population cohorts; borrowed for
+     *        the call to generateSession, not owned). Null = identity.
      */
     UserModel(const AppProfile &profile, const WebApp &app,
-              uint64_t user_seed, const AcmpPlatform &platform);
+              uint64_t user_seed, const AcmpPlatform &platform,
+              const UserParams *trait_scale = nullptr);
 
     /** Generate one session. Deterministic in (profile, app, seed). */
     InteractionTrace generateSession() const;
@@ -77,6 +89,7 @@ class UserModel
     const WebApp *app_;
     uint64_t userSeed_;
     const AcmpPlatform *platform_;
+    const UserParams *traitScale_;
 };
 
 /**

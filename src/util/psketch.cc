@@ -1,0 +1,184 @@
+#include "util/psketch.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pes {
+
+int32_t
+PercentileSketch::indexOf(double value)
+{
+    // Exact integer bucketing from the IEEE-754 representation:
+    // frexp(value) = m * 2^e with m in [0.5, 1). The mantissa's
+    // position inside its octave picks one of kSubBuckets sub-buckets;
+    // no libm log is involved, so the bucket of a value is identical
+    // on every conforming platform.
+    int e = 0;
+    const double m = std::frexp(value, &e);
+    int32_t sub = static_cast<int32_t>((m - 0.5) * (2 * kSubBuckets));
+    if (sub < 0)
+        sub = 0;
+    if (sub >= kSubBuckets)
+        sub = kSubBuckets - 1;
+    return static_cast<int32_t>(e) * kSubBuckets + sub;
+}
+
+double
+PercentileSketch::representative(int32_t index)
+{
+    // Euclidean split of index into (octave e, sub-bucket): sub must
+    // land in [0, kSubBuckets) even for negative indices (values < 1).
+    int32_t e = index / kSubBuckets;
+    int32_t sub = index - e * kSubBuckets;
+    if (sub < 0) {
+        sub += kSubBuckets;
+        e -= 1;
+    }
+    const double lo =
+        std::ldexp(0.5 + sub / (2.0 * kSubBuckets), e);
+    const double hi =
+        std::ldexp(0.5 + (sub + 1) / (2.0 * kSubBuckets), e);
+    return 0.5 * (lo + hi);
+}
+
+void
+PercentileSketch::add(double value)
+{
+    if (!std::isfinite(value))
+        return;
+    const double v = value < 0.0 ? 0.0 : value;
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    if (v <= 0.0) {
+        ++zero_;
+        return;
+    }
+    ++bins_[indexOf(v)];
+}
+
+void
+PercentileSketch::merge(const PercentileSketch &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    } else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    zero_ += other.zero_;
+    for (const auto &bin : other.bins_)
+        bins_[bin.first] += bin.second;
+}
+
+double
+PercentileSketch::min() const
+{
+    return count_ == 0 ? 0.0 : min_;
+}
+
+double
+PercentileSketch::max() const
+{
+    return count_ == 0 ? 0.0 : max_;
+}
+
+double
+PercentileSketch::quantile(double q) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Nearest-rank target over the count_ inserted values.
+    const uint64_t rank = static_cast<uint64_t>(
+        std::llround(q * static_cast<double>(count_ - 1)));
+    if (rank < zero_)
+        return 0.0;
+    uint64_t cum = zero_;
+    for (const auto &bin : bins_) {
+        cum += bin.second;
+        if (rank < cum) {
+            const double rep = representative(bin.first);
+            return std::min(std::max(rep, min_), max_);
+        }
+    }
+    return max_;
+}
+
+void
+PercentileSketch::clear()
+{
+    bins_.clear();
+    count_ = 0;
+    zero_ = 0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+void
+PercentileSketch::appendTo(std::string &out) const
+{
+    putU32(out, kSerialVersion);
+    putU64(out, count_);
+    putU64(out, zero_);
+    putF64(out, min());
+    putF64(out, max());
+    putU32(out, static_cast<uint32_t>(bins_.size()));
+    for (const auto &bin : bins_) {
+        putI32(out, bin.first);
+        putU64(out, bin.second);
+    }
+}
+
+bool
+PercentileSketch::readFrom(ByteReader &r, PercentileSketch &out)
+{
+    out.clear();
+    uint32_t version = 0;
+    if (!r.getU32(version) || version != kSerialVersion)
+        return false;
+    uint32_t nbins = 0;
+    if (!r.getU64(out.count_) || !r.getU64(out.zero_) ||
+        !r.getF64(out.min_) || !r.getF64(out.max_) || !r.getU32(nbins))
+        return false;
+    uint64_t tallied = out.zero_;
+    bool first = true;
+    int32_t prev = 0;
+    for (uint32_t i = 0; i < nbins; ++i) {
+        int32_t index = 0;
+        uint64_t bin_count = 0;
+        if (!r.getI32(index) || !r.getU64(bin_count))
+            return false;
+        // Canonical form only: ascending bins, no empty bins — the
+        // serialize-equal-iff-equal property depends on it.
+        if (bin_count == 0 || (!first && index <= prev))
+            return false;
+        out.bins_.emplace_hint(out.bins_.end(), index, bin_count);
+        tallied += bin_count;
+        prev = index;
+        first = false;
+    }
+    return tallied == out.count_;
+}
+
+bool
+PercentileSketch::operator==(const PercentileSketch &other) const
+{
+    return count_ == other.count_ && zero_ == other.zero_ &&
+        min() == other.min() && max() == other.max() &&
+        bins_ == other.bins_;
+}
+
+} // namespace pes

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic, mergeable percentile sketch for streaming latency
+ * aggregation.
+ *
+ * A fleet cell may span millions of sessions; holding per-session
+ * samples (SampleSet) to answer "p99 latency" does not scale. A
+ * PercentileSketch is a bounded-memory histogram over logarithmic
+ * buckets: values within one bucket differ by at most ~0.8% (64
+ * sub-buckets per octave), so any quantile is answered to that relative
+ * accuracy from a few hundred counters regardless of stream length.
+ *
+ * Determinism contract — the property that lets sketches flow through
+ * `.psum` parts, shard merges and coordinator-leased reductions without
+ * breaking the byte-identical-reports guarantee:
+ *
+ *  - the sketch state is a pure function of the inserted MULTISET:
+ *    insertion order never matters (bucketing is exact integer
+ *    arithmetic on the IEEE-754 exponent/mantissa via frexp — no libm
+ *    log call whose last ulp could differ across platforms);
+ *  - merge() is bin-wise counter addition: associative, commutative,
+ *    and idempotent-free, so any merge tree over any partitioning of
+ *    the stream yields bit-identical state (no running float sum is
+ *    kept — that would be merge-order dependent);
+ *  - serialization writes bins in ascending index order: equal sketches
+ *    serialize to equal bytes.
+ *
+ * Unlike a t-digest (whose centroids depend on insertion and merge
+ * order), this trades a fixed relative-error bound for perfect
+ * mergeability — the right trade under a byte-exact diff gate.
+ */
+
+#ifndef PES_UTIL_PSKETCH_HH
+#define PES_UTIL_PSKETCH_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/binary_io.hh"
+
+namespace pes {
+
+/** Bounded-memory log-bucketed quantile sketch (see file comment). */
+class PercentileSketch
+{
+  public:
+    /** Serialization format version (appendTo/readFrom). */
+    static constexpr uint32_t kSerialVersion = 1;
+    /** Sub-buckets per power-of-two octave: relative quantile error is
+     *  at most 1/(2*kSubBuckets) ~ 0.78%. */
+    static constexpr int32_t kSubBuckets = 64;
+
+    /** Insert one value. Non-finite values are ignored; values <= 0
+     *  land in a dedicated zero bucket (latencies are never negative,
+     *  but a defensive clamp beats silent UB). */
+    void add(double value);
+
+    /** Fold @p other in (bin-wise counter addition). */
+    void merge(const PercentileSketch &other);
+
+    /** Values inserted (finite ones). */
+    uint64_t count() const { return count_; }
+    /** Inserted values that were <= 0. */
+    uint64_t zeroCount() const { return zero_; }
+    /** Smallest / largest inserted value (0 when empty). */
+    double min() const;
+    double max() const;
+    /** Occupied log buckets (memory footprint proxy). */
+    size_t binCount() const { return bins_.size(); }
+    bool empty() const { return count_ == 0; }
+
+    /**
+     * The value at quantile @p q in [0, 1] (nearest-rank over bucket
+     * representatives, clamped into [min, max]); 0 when empty.
+     * Deterministic in (state, q).
+     */
+    double quantile(double q) const;
+
+    /** Reset to the empty sketch. */
+    void clear();
+
+    /** Append the canonical serialization (bins ascending). Equal
+     *  sketches always produce equal bytes. */
+    void appendTo(std::string &out) const;
+
+    /** Parse a sketch serialized by appendTo() at @p r's cursor. False
+     *  on truncation, version mismatch, or non-canonical bin order —
+     *  @p out is unspecified then. */
+    static bool readFrom(ByteReader &r, PercentileSketch &out);
+
+    bool operator==(const PercentileSketch &other) const;
+    bool operator!=(const PercentileSketch &other) const
+    {
+        return !(*this == other);
+    }
+
+  private:
+    static int32_t indexOf(double value);
+    static double representative(int32_t index);
+
+    /** Occupied buckets: log-bucket index -> count. Ordered map so
+     *  iteration (quantile walk, serialization) is canonical. */
+    std::map<int32_t, uint64_t> bins_;
+    uint64_t count_ = 0;
+    uint64_t zero_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace pes
+
+#endif // PES_UTIL_PSKETCH_HH

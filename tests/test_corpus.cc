@@ -734,5 +734,138 @@ TEST(FleetCorpus, ExplicitSeedListDrivesTheUserAxis)
     EXPECT_EQ(jobs[2].userSeed, 3333u);
 }
 
+// --------------------------------------------------- manifest segments
+
+/** A small corpus of @p users recorded traces for segmentation tests. */
+CorpusStore
+recordedCorpus(const std::string &dir, int users)
+{
+    std::string error;
+    auto store = CorpusStore::create(dir, &error);
+    EXPECT_TRUE(store.has_value()) << error;
+    for (int u = 0; u < users; ++u) {
+        EXPECT_TRUE(store->add(makeTrace("cnn", 1000 + u),
+                               exynosProvenance(), &error))
+            << error;
+    }
+    EXPECT_TRUE(store->save(&error)) << error;
+    return std::move(*store);
+}
+
+TEST(CorpusSegments, ShardedManifestOpensAsTheWholeCorpus)
+{
+    const TempDir dir("segments");
+    const CorpusStore whole = recordedCorpus(dir.str(), 9);
+    const auto whole_entries = whole.entries();
+
+    std::string error;
+    {
+        auto store = CorpusStore::open(dir.str(), &error);
+        ASSERT_TRUE(store.has_value()) << error;
+        ASSERT_TRUE(store->shard(4, &error)) << error;
+    }
+    EXPECT_FALSE(
+        fs::exists(dir.path / CorpusStore::kManifestName));
+
+    // open() discovers the complete segment set and presents the same
+    // entries in the same canonical order.
+    auto merged = CorpusStore::open(dir.str(), &error);
+    ASSERT_TRUE(merged.has_value()) << error;
+    EXPECT_EQ(merged->segmentCount(), 4);
+    const auto merged_entries = merged->entries();
+    ASSERT_EQ(merged_entries.size(), whole_entries.size());
+    for (size_t i = 0; i < whole_entries.size(); ++i) {
+        EXPECT_EQ(merged_entries[i].file, whole_entries[i].file);
+        EXPECT_EQ(merged_entries[i].checksum, whole_entries[i].checksum);
+    }
+
+    // Per-segment views partition the corpus: validate clean, disjoint
+    // membership, sizes summing to the whole.
+    size_t total = 0;
+    for (int k = 0; k < 4; ++k) {
+        auto seg = CorpusStore::openSegment(dir.str(), k, 4, &error);
+        ASSERT_TRUE(seg.has_value()) << error;
+        std::vector<CorpusProblem> problems;
+        EXPECT_TRUE(seg->validate(problems))
+            << (problems.empty() ? "" : problems[0].message);
+        for (const CorpusEntry &e : seg->entries())
+            EXPECT_EQ(CorpusStore::segmentOf(e.userSeed, 4), k);
+        total += seg->entries().size();
+    }
+    EXPECT_EQ(total, whole_entries.size());
+}
+
+TEST(CorpusSegments, IncompleteOrMixedSegmentSetsAreRejected)
+{
+    const TempDir dir("segments_bad");
+    recordedCorpus(dir.str(), 6);
+    std::string error;
+    {
+        auto store = CorpusStore::open(dir.str(), &error);
+        ASSERT_TRUE(store.has_value()) << error;
+        ASSERT_TRUE(store->shard(3, &error)) << error;
+    }
+
+    // Drop one segment: open must refuse rather than silently serve a
+    // partial corpus.
+    fs::rename(dir.path / CorpusStore::segmentManifestName(1, 3),
+               dir.path / "stash.json");
+    EXPECT_FALSE(CorpusStore::open(dir.str(), &error).has_value());
+    EXPECT_NE(error.find("incomplete"), std::string::npos) << error;
+    fs::rename(dir.path / "stash.json",
+               dir.path / CorpusStore::segmentManifestName(1, 3));
+
+    // A stray segment file from a different split is a mixed set.
+    std::ofstream(dir.path / CorpusStore::segmentManifestName(0, 5))
+        << "{\"version\": 1, \"traces\": []}\n";
+    EXPECT_FALSE(CorpusStore::open(dir.str(), &error).has_value());
+    EXPECT_NE(error.find("mixes segment sets"), std::string::npos)
+        << error;
+}
+
+TEST(CorpusSegments, SegmentedReplayMatchesTheWholeManifest)
+{
+    const TempDir dir("segments_replay");
+    std::string error;
+    {
+        auto store = CorpusStore::create(dir.str(), &error);
+        ASSERT_TRUE(store.has_value()) << error;
+        FleetConfig seeds;
+        TraceGenerator generator(exynos());
+        for (const char *app : {"cnn", "social_feed"}) {
+            for (int u = 0; u < 4; ++u) {
+                ASSERT_TRUE(store->add(
+                    generator.generate(appByName(app),
+                                       fleetUserSeed(seeds, u)),
+                    exynosProvenance(), &error))
+                    << error;
+            }
+        }
+        ASSERT_TRUE(store->save(&error)) << error;
+    }
+
+    const auto replay_bytes = [&] {
+        auto corpus = CorpusStore::open(dir.str(), &error);
+        EXPECT_TRUE(corpus.has_value()) << error;
+        FleetConfig config;
+        config.schedulers = {SchedulerKind::Ebs};
+        config.apps = {appByName("cnn"), appByName("social_feed")};
+        config.users = 4;
+        config.corpus = &*corpus;
+        FleetRunner runner(std::move(config));
+        return JsonReporter::toString(
+            makeFleetReport(runner.config(), runner.run().metrics));
+    };
+
+    const std::string whole_bytes = replay_bytes();
+    {
+        auto store = CorpusStore::open(dir.str(), &error);
+        ASSERT_TRUE(store.has_value()) << error;
+        ASSERT_TRUE(store->shard(3, &error)) << error;
+    }
+    EXPECT_EQ(replay_bytes(), whole_bytes)
+        << "sharding the manifest must not change replayed reports";
+}
+
 } // namespace
 } // namespace pes

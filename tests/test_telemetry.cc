@@ -289,7 +289,7 @@ TEST(RunTelemetry, RejectsMalformedAndWrongVersion)
     EXPECT_FALSE(parseRunTelemetry("{}").has_value());
     RunTelemetry t;
     std::string text = runTelemetryToString(t);
-    const std::string needle = "\"telemetry_version\": 3";
+    const std::string needle = "\"telemetry_version\": 4";
     const size_t at = text.find(needle);
     ASSERT_NE(at, std::string::npos);
     text.replace(at, needle.size(), "\"telemetry_version\": 999");

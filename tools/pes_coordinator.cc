@@ -34,6 +34,7 @@
 
 #include "coordinator/coordinator.hh"
 #include "coordinator/lease_queue.hh"
+#include "population/population_spec.hh"
 #include "results/result_reduce.hh"
 #include "results/result_store.hh"
 #include "runner/fleet_runner.hh"
@@ -64,8 +65,12 @@ usage()
         "store.\n"
         "      sweep flags: --schedulers --apps --devices --users "
         "--seed\n"
-        "      --eval-population --warm --checkpoint-every (pes_fleet "
-        "defaults).\n"
+        "      --eval-population --population --warm --checkpoint-every "
+        "(pes_fleet\n"
+        "      defaults). --population=SPEC (built-in name or .json "
+        "file) embeds the\n"
+        "      mixture spec in queue.json so every worker re-derives "
+        "identical seeds.\n"
         "      Scenario (stress) sweeps are not coordinatable yet — "
         "shard those.\n"
         "  pes_coordinator run --queue-dir=DIR [--out=FILE] "
@@ -189,7 +194,7 @@ reduceAndReport(const ResultStore &store, const std::string &out_path,
 int
 cmdInit(int argc, char **argv)
 {
-    std::string queue_dir, results_dir;
+    std::string queue_dir, results_dir, population_ref;
     long grain = 0;
     long lease_ms = 30000;
     FleetConfig config;
@@ -217,6 +222,8 @@ cmdInit(int argc, char **argv)
             config.warmDrivers = true;
         } else if (arg == "--eval-population") {
             config.seedMode = SeedMode::Evaluation;
+        } else if (flagValue(arg, "population", value)) {
+            population_ref = value;
         } else if (flagValue(arg, "schedulers", value)) {
             config.schedulers = parseSchedulerList(value);
         } else if (flagValue(arg, "apps", value)) {
@@ -248,6 +255,25 @@ cmdInit(int argc, char **argv)
     fatal_if(results_dir.empty(),
              "init: --results-dir=DIR is required");
 
+    // Mixture population: resolved here, embedded in queue.json below
+    // so workers reconstruct the exact spec (and digest) from the plan.
+    std::optional<PopulationSpec> population;
+    if (!population_ref.empty()) {
+        fatal_if(config.seedMode == SeedMode::Evaluation,
+                 "--population cannot be combined with "
+                 "--eval-population");
+        std::vector<IntegrityProblem> problems;
+        population = resolvePopulation(population_ref, problems);
+        if (!population) {
+            for (const IntegrityProblem &p : problems)
+                std::cerr << "FAIL " << p.message << "\n";
+            return integrityExitCode(problems);
+        }
+        config.population = &*population;
+        config.populationTag = populationTag(*population);
+        config.populationDigest = populationDigest(*population);
+    }
+
     // The store is created first, with the same spec workers re-derive
     // from queue.json — so the queue's identity and the manifest's can
     // never drift apart.
@@ -275,6 +301,7 @@ cmdInit(int argc, char **argv)
     plan.devices = spec.devices;
     plan.apps = spec.apps;
     plan.schedulers = spec.schedulers;
+    plan.population = population;
     plan.ranges = partitionJobs(jobs, effective_grain);
 
     auto queue = LeaseQueue::create(queue_dir, plan, &error);

@@ -50,8 +50,18 @@ usage()
         "                      [--quiet]\n"
         "  pes_corpus inspect  --dir=DIR [--app=NAME] [--device=NAME]\n"
         "                      [--user=SEED]\n"
-        "  pes_corpus validate --dir=DIR [--quiet]\n"
-        "                      exit: 0 clean, 3 missing files, 4 corrupt\n"
+        "  pes_corpus validate --dir=DIR [--segment=K/N] [--quiet]\n"
+        "                      exit: 0 clean, 3 missing files, 4 corrupt.\n"
+        "                      --segment streams one segment manifest of "
+        "an N-way\n"
+        "                      split (memory bounded by that segment)\n"
+        "  pes_corpus shard    --dir=DIR --segments=N [--quiet]\n"
+        "                      split manifest.json into N hashed-seed "
+        "segment\n"
+        "                      manifests (manifest.seg-K-of-N.json); "
+        "traces stay\n"
+        "                      put, and open() reads the segment set as "
+        "one corpus\n"
         "  pes_corpus replay   --dir=DIR [--schedulers=LIST] [--threads=N]\n"
         "                      [--warm] [--out=FILE] [--csv=FILE] [--quiet]\n"
         "  pes_corpus mutate   --dir=DIR --into=DIR --op=OP [--seed=S]\n"
@@ -233,18 +243,39 @@ int
 cmdValidate(const std::vector<std::pair<std::string, std::string>> &flags)
 {
     std::string dir;
+    long seg_k = -1, seg_n = 0;
     bool quiet = false;
     for (const auto &[name, value] : flags) {
-        if (name == "dir")
+        if (name == "dir") {
             dir = value;
-        else if (name == "quiet")
+        } else if (name == "segment") {
+            const size_t slash = value.find('/');
+            fatal_if(slash == std::string::npos,
+                     "--segment expects K/N (e.g. 0/4), got '%s'",
+                     value.c_str());
+            seg_k = requireLong(value.substr(0, slash), "segment", 0,
+                                1000000);
+            seg_n = requireLong(value.substr(slash + 1), "segment", 1,
+                                1000000);
+            fatal_if(seg_k >= seg_n, "--segment=K/N needs K < N");
+        } else if (name == "quiet") {
             quiet = true;
-        else
+        } else {
             fatal("validate: unknown option '--%s'", name.c_str());
+        }
     }
-    const CorpusStore store = openOrDie(dir);
+    std::optional<CorpusStore> store;
+    if (seg_n > 0) {
+        fatal_if(dir.empty(), "--dir is required");
+        std::string error;
+        store = CorpusStore::openSegment(dir, static_cast<int>(seg_k),
+                                         static_cast<int>(seg_n), &error);
+        fatal_if(!store, "cannot open segment: %s", error.c_str());
+    } else {
+        store = openOrDie(dir);
+    }
     std::vector<CorpusProblem> problems;
-    if (!store.validate(problems)) {
+    if (!store->validate(problems)) {
         if (!quiet) {
             for (const CorpusProblem &p : problems)
                 std::cerr << "FAIL " << p.message << "\n";
@@ -254,8 +285,50 @@ cmdValidate(const std::vector<std::pair<std::string, std::string>> &flags)
         return integrityExitCode(problems);
     }
     if (!quiet) {
-        std::cout << "OK: " << store.entries().size()
-                  << " traces verified in " << dir << "\n";
+        std::cout << "OK: " << store->entries().size()
+                  << " traces verified in " << dir
+                  << (seg_n > 0 ? " (segment " + std::to_string(seg_k) +
+                          "/" + std::to_string(seg_n) + ")"
+                                : "")
+                  << "\n";
+    }
+    return 0;
+}
+
+// -------------------------------------------------------------- shard
+
+int
+cmdShard(const std::vector<std::pair<std::string, std::string>> &flags)
+{
+    std::string dir;
+    long segments = 0;
+    bool quiet = false;
+    for (const auto &[name, value] : flags) {
+        if (name == "dir")
+            dir = value;
+        else if (name == "segments")
+            segments = requireLong(value, "segments", 1, 1000000);
+        else if (name == "quiet")
+            quiet = true;
+        else
+            fatal("shard: unknown option '--%s'", name.c_str());
+    }
+    fatal_if(segments < 1, "--segments=N is required");
+
+    CorpusStore store = openOrDie(dir);
+    fatal_if(store.segmentCount() > 0,
+             "corpus '%s' is already segmented %d-way", dir.c_str(),
+             store.segmentCount());
+    std::string error;
+    fatal_if(!store.shard(static_cast<int>(segments), &error),
+             "shard failed: %s", error.c_str());
+    if (!quiet) {
+        std::cout << "sharded " << store.entries().size()
+                  << " traces into " << segments
+                  << " segment manifest(s) in " << dir << "\n"
+                  << "validate per segment with: pes_corpus validate "
+                     "--dir=" << dir << " --segment=K/" << segments
+                  << "\n";
     }
     return 0;
 }
@@ -561,6 +634,8 @@ main(int argc, char **argv)
         return cmdInspect(flags);
     if (cmd == "validate")
         return cmdValidate(flags);
+    if (cmd == "shard")
+        return cmdShard(flags);
     if (cmd == "replay")
         return cmdReplay(flags);
     if (cmd == "mutate")

@@ -36,6 +36,7 @@
 #include "coordinator/lease_queue.hh"
 #include "core/experiment.hh"
 #include "corpus/corpus_store.hh"
+#include "population/population_spec.hh"
 #include "results/report_diff.hh"
 #include "results/result_reduce.hh"
 #include "results/tolerance.hh"
@@ -73,6 +74,14 @@ usage()
         "[0xf1ee7]\n"
         "  --eval-population  draw users from the paper's Sec.-6.1 "
         "evaluation seeds\n"
+        "  --population=SPEC  draw users from a mixture population: a "
+        "built-in name\n"
+        "                     (--list-populations) or a spec-file path "
+        "ending in .json.\n"
+        "                     Identity-bearing: stores/diffs refuse to "
+        "mix populations.\n"
+        "                     exit: 3 missing spec file, 4 "
+        "malformed/invalid spec\n"
         "  --warm             one warmed driver per cell (sessions of a "
         "cell run in order)\n"
         "  --corpus=DIR       replay traces from a recorded corpus "
@@ -103,6 +112,8 @@ usage()
         "  --list-apps        print every known application profile and "
         "exit\n"
         "  --list-devices     print every known device model and exit\n"
+        "  --list-populations print every built-in mixture population "
+        "and exit\n"
         "  --quiet            suppress progress chatter\n"
         "  --help             this text\n"
         "\n"
@@ -296,6 +307,53 @@ listDevices()
             .cell(info.platform.name());
     }
     table.print(std::cout);
+    return 0;
+}
+
+/** --list-populations: the discovery view of the mixture registry. */
+int
+listPopulations()
+{
+    Table table({"population", "cohorts", "mixture"});
+    for (const PopulationSpec &spec : populationRegistry()) {
+        std::vector<std::string> parts;
+        for (const CohortSpec &c : spec.cohorts)
+            parts.push_back(c.name + ":" + formatDouble(c.weight, 2));
+        table.beginRow()
+            .cell(spec.name)
+            .cell(static_cast<long>(spec.cohorts.size()))
+            .cell(join(parts, " "));
+    }
+    table.print(std::cout);
+    std::cout << "or bring your own: --population=FILE.json (JSON "
+                 "mixture spec; see DESIGN.md)\n";
+    return 0;
+}
+
+/**
+ * Resolve a `--population=SPEC` flag into @p config (the spec itself
+ * lands in @p holder, which must outlive the runner — the config only
+ * borrows it). Prints classified diagnostics and returns the integrity
+ * exit code on failure, 0 on success.
+ */
+int
+applyPopulationFlag(const std::string &ref,
+                    std::optional<PopulationSpec> &holder,
+                    FleetConfig &config)
+{
+    fatal_if(config.seedMode == SeedMode::Evaluation,
+             "--population cannot be combined with --eval-population "
+             "(the evaluation seeds are a fixed cohort)");
+    std::vector<IntegrityProblem> problems;
+    holder = resolvePopulation(ref, problems);
+    if (!holder) {
+        for (const IntegrityProblem &p : problems)
+            std::cerr << "FAIL " << p.message << "\n";
+        return integrityExitCode(problems);
+    }
+    config.population = &*holder;
+    config.populationTag = populationTag(*holder);
+    config.populationDigest = populationDigest(*holder);
     return 0;
 }
 
@@ -1357,6 +1415,7 @@ main(int argc, char **argv)
     std::string csv_path;
     std::string corpus_dir;
     std::string results_dir;
+    std::string population_ref;
     bool quiet = false;
     ObsOptions obs;
 
@@ -1370,6 +1429,8 @@ main(int argc, char **argv)
             return listApps();
         } else if (arg == "--list-devices") {
             return listDevices();
+        } else if (arg == "--list-populations") {
+            return listPopulations();
         } else if (arg == "--quiet") {
             quiet = true;
         } else if (obs.consume(arg)) {
@@ -1405,6 +1466,8 @@ main(int argc, char **argv)
             config.traceCacheCap = static_cast<size_t>(cap);
         } else if (arg == "--eval-population") {
             config.seedMode = SeedMode::Evaluation;
+        } else if (flagValue(arg, "population", value)) {
+            population_ref = value;
         } else if (flagValue(arg, "corpus", value)) {
             corpus_dir = value;
         } else if (flagValue(arg, "schedulers", value)) {
@@ -1443,6 +1506,16 @@ main(int argc, char **argv)
 
     fatal_if(config.resume && results_dir.empty(),
              "--resume requires --results-dir");
+
+    // Mixture population: the spec lives here so the config (and the
+    // runner it moves into) can borrow it for the whole run.
+    std::optional<PopulationSpec> population;
+    if (!population_ref.empty()) {
+        const int rc =
+            applyPopulationFlag(population_ref, population, config);
+        if (rc != 0)
+            return rc;
+    }
 
     // Corpus replay: same axes and seeds, traces read from disk.
     std::optional<CorpusStore> corpus;
